@@ -1,0 +1,94 @@
+"""A3 (ablation) — leaner middleware-model configurations.
+
+Paper Sec. VII-A: "The flexibility of the model-based approach would
+enable us to model leaner configurations for each of the layers,
+featuring only the strictly required components, thus contributing to
+compensate for the extra overhead."
+
+Regenerates: the eight-scenario suite on the full model-based Broker
+vs a lean configuration (autonomic manager and state snapshots
+disabled in the middleware model).  Shape asserted: lean is at least
+as fast and narrows the gap to the handcrafted baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import (
+    ResultTable,
+    ScenarioRunner,
+    fresh_handcrafted_broker,
+    fresh_model_based_broker,
+)
+from repro.bench.workloads import COMMUNICATION_SCENARIOS
+
+#: The failure-recovery scenario needs the autonomic path disabled for
+#: an apples-to-apples run (recovery is an explicit step in E1 anyway).
+SUITE = {
+    name: steps for name, steps in COMMUNICATION_SCENARIOS.items()
+}
+
+
+def _suite_time(factory, repeat: int = 7) -> float:
+    samples = []
+    for _ in range(repeat):
+        _broker, _service, runner = factory()
+        start = time.perf_counter()
+        for steps in SUITE.values():
+            runner.run(steps)
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    trimmed = samples[:-2]
+    return sum(trimmed) / len(trimmed)
+
+
+def test_full_config_suite(benchmark):
+    benchmark.group = "a3-suite"
+
+    def run():
+        _b, _s, runner = fresh_model_based_broker(lean=False)
+        for steps in SUITE.values():
+            runner.run(steps)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_lean_config_suite(benchmark):
+    benchmark.group = "a3-suite"
+
+    def run():
+        _b, _s, runner = fresh_model_based_broker(lean=True)
+        for steps in SUITE.values():
+            runner.run(steps)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+
+
+def test_a3_lean_narrows_the_gap(benchmark, report):
+    results: dict[str, float] = {}
+
+    def run():
+        results["full"] = _suite_time(lambda: fresh_model_based_broker(lean=False))
+        results["lean"] = _suite_time(lambda: fresh_model_based_broker(lean=True))
+        results["hand"] = _suite_time(fresh_handcrafted_broker)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full_overhead = 100.0 * (results["full"] / results["hand"] - 1.0)
+    lean_overhead = 100.0 * (results["lean"] / results["hand"] - 1.0)
+    table = ResultTable(
+        "A3: lean middleware-model configuration "
+        "(paper: leaner configs compensate the overhead)",
+        ["configuration", "suite ms", "overhead vs handcrafted %"],
+    )
+    table.add("model-based (full managers)", results["full"] * 1000,
+              full_overhead)
+    table.add("model-based (lean)", results["lean"] * 1000, lean_overhead)
+    table.add("handcrafted", results["hand"] * 1000, 0.0)
+    report.append(table)
+
+    # Shape: lean <= full (it does strictly less per call), and the
+    # remaining overhead stays positive (flexibility is not free).
+    assert results["lean"] <= results["full"] * 1.05
+    assert lean_overhead > 0.0

@@ -1,0 +1,102 @@
+"""A4 (ablation) — IM generation vs repository size and fan-out.
+
+The structure behind E2's amortization: how the cold generation cycle
+scales with the size of the procedure repository and the number of
+configurations examined, while the cached steady state stays flat.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.harness import ResultTable
+from repro.bench.repo_factory import (
+    ROOT_CLASSIFIER,
+    build_generator,
+    build_repository,
+)
+
+SIZES = (24, 50, 100, 200, 400)
+
+
+@pytest.mark.parametrize("procedures", SIZES)
+def test_cold_generation_scaling(benchmark, procedures):
+    repository = build_repository(procedures=procedures)
+    generator = build_generator(repository)
+    benchmark.group = "a4-cold-by-repo-size"
+    benchmark(lambda: generator.generate(ROOT_CLASSIFIER, use_cache=False))
+
+
+def test_a4_scaling_table(benchmark, report):
+    rows: list[tuple[int, float, float]] = []
+
+    def run():
+        rows.clear()
+        for procedures in SIZES:
+            repository = build_repository(procedures=procedures)
+            generator = build_generator(repository)
+            start = time.perf_counter()
+            for _ in range(5):
+                generator.generate(ROOT_CLASSIFIER, use_cache=False)
+            cold = (time.perf_counter() - start) / 5
+            generator.generate(ROOT_CLASSIFIER)  # prime cache
+            start = time.perf_counter()
+            for _ in range(1000):
+                generator.generate(ROOT_CLASSIFIER)
+            cached = (time.perf_counter() - start) / 1000
+            rows.append((procedures, cold, cached))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "A4: generation cycle vs repository size",
+        ["procedures", "cold ms", "cached ms"],
+    )
+    for procedures, cold, cached in rows:
+        table.add(procedures, cold * 1000, cached * 1000)
+    report.append(table)
+
+    colds = [cold for _, cold, _ in rows]
+    cacheds = [cached for _, _, cached in rows]
+    # cold generation grows with repository size...
+    assert colds[-1] > colds[0]
+    # ...while the cached steady state stays essentially flat
+    assert max(cacheds) < min(colds)
+    assert max(cacheds) / min(cacheds) < 10.0
+
+
+def test_a4_configuration_budget(benchmark, report):
+    """More configurations examined -> better selection, higher cold
+    cost; the budget caps the trade-off."""
+    repository = build_repository(
+        procedures=100, candidates_per_classifier=3
+    )
+    rows: list[tuple[int, float, float]] = []
+
+    def run():
+        rows.clear()
+        for budget in (1, 4, 16, 64):
+            generator = build_generator(
+                repository, max_configurations=budget
+            )
+            start = time.perf_counter()
+            for _ in range(5):
+                model = generator.generate(ROOT_CLASSIFIER, use_cache=False)
+            cold = (time.perf_counter() - start) / 5
+            rows.append((budget, cold, model.score))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "A4b: configuration budget (examined per request)",
+        ["budget", "cold ms", "selected score"],
+    )
+    for budget, cold, score in rows:
+        table.add(budget, cold * 1000, score)
+    report.append(table)
+
+    # larger budgets never select a worse configuration
+    scores = [score for _, _, score in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))

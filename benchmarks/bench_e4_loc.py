@@ -1,0 +1,104 @@
+"""E4 — code-size reduction from DSK/MoE separation (paper Sec. VII-B).
+
+Paper: "due to the separation of domain-specific concerns, we were
+able to achieve a reduction in lines of code (from 1402 to 1176)" —
+a 16.1 % reduction in the *domain-specific* artifact.
+
+Regenerates: the size comparison between the handcrafted communication
+middleware (monolithic synthesis + monolithic controller/broker +
+handcrafted NCB) and the model-based DSK module replacing them.
+
+Metric note: the paper counted Java LoC, where statements ≈ physical
+lines.  Our DSK is declarative Python data formatted one-key-per-line,
+so physical LoC penalizes it for formatting; the formatting-independent
+*significant-token* count is the faithful cross-language analog and is
+the metric asserted.  Both are reported.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ResultTable
+from repro.bench.loc import loc_report
+
+
+def test_e4_loc_reduction(benchmark, report):
+    result = benchmark(loc_report)
+
+    table = ResultTable(
+        "E4: domain-specific artifact size (paper: 1402 -> 1176 LoC, "
+        "-16.1 %)",
+        ["metric", "handcrafted", "model-based DSK", "reduction %"],
+    )
+    loc_pct = 100.0 * result["reduction_loc"] / result["handcrafted_loc"]
+    tok_pct = 100.0 * result["reduction_tokens"] / result["handcrafted_tokens"]
+    table.add("physical LoC", result["handcrafted_loc"],
+              result["model_based_loc"], loc_pct)
+    table.add("significant tokens", result["handcrafted_tokens"],
+              result["model_based_tokens"], tok_pct)
+    report.append(table)
+
+    # Shape: the separated, model-based domain artifact is smaller than
+    # the monolith on the formatting-independent metric, by a margin in
+    # the paper's ballpark (paper: 16.1 %).
+    assert result["reduction_tokens"] > 0
+    assert 5.0 < tok_pct < 40.0, f"token reduction {tok_pct:.1f}% off-band"
+
+
+def test_e4_engine_is_amortized_across_domains(benchmark, report):
+    """The mechanism behind the reduction: the dispatch/selection
+    machinery lives in shared engine code, written once.  Adding a
+    domain costs only its DSK; the handcrafted approach re-pays the
+    machinery each time."""
+    import repro.domains.communication.dsk as comm_dsk
+    import repro.domains.crowdsensing.dsk as cs_dsk
+    import repro.domains.microgrid.dsk as grid_dsk
+    import repro.domains.smartspace.dsk as ss_dsk
+    import repro.middleware.broker.actions
+    import repro.middleware.broker.autonomic
+    import repro.middleware.broker.layer
+    import repro.middleware.broker.resource
+    import repro.middleware.broker.state
+    import repro.middleware.controller.dsc
+    import repro.middleware.controller.handlers
+    import repro.middleware.controller.intent
+    import repro.middleware.controller.layer
+    import repro.middleware.controller.policy
+    import repro.middleware.controller.procedure
+    import repro.middleware.controller.stackmachine
+    from repro.bench.loc import count_module_tokens
+
+    def compute():
+        engine_modules = [
+            repro.middleware.controller.dsc,
+            repro.middleware.controller.procedure,
+            repro.middleware.controller.intent,
+            repro.middleware.controller.stackmachine,
+            repro.middleware.controller.handlers,
+            repro.middleware.controller.policy,
+            repro.middleware.controller.layer,
+            repro.middleware.broker.actions,
+            repro.middleware.broker.autonomic,
+            repro.middleware.broker.layer,
+            repro.middleware.broker.resource,
+            repro.middleware.broker.state,
+        ]
+        engine = sum(count_module_tokens(m) for m in engine_modules)
+        dsks = {
+            "communication": count_module_tokens(comm_dsk),
+            "microgrid": count_module_tokens(grid_dsk),
+            "smartspace": count_module_tokens(ss_dsk),
+            "crowdsensing": count_module_tokens(cs_dsk),
+        }
+        return engine, dsks
+
+    engine, dsks = benchmark(compute)
+    table = ResultTable(
+        "E4b: shared engine vs per-domain DSK (tokens)",
+        ["artifact", "tokens"],
+    )
+    table.add("shared engine (written once)", engine)
+    for domain, tokens in dsks.items():
+        table.add(f"DSK: {domain}", tokens)
+    report.append(table)
+    # every DSK is far smaller than the engine it reuses
+    assert all(tokens < engine / 2 for tokens in dsks.values())

@@ -1,0 +1,94 @@
+"""E5 — behavioral equivalence of model-based and handcrafted middleware.
+
+Paper Sec. VII-A: "we were able to validate the behavioral equivalence
+(in terms of the sequence of commands that were generated for the
+underlying resources as a result of model interpretation) of the
+model-based implementations of the middleware and their original,
+handcrafted, counterparts."
+
+Regenerates: per-scenario resource-command traces from both Broker
+implementations (exact equality asserted on every scenario), plus the
+whole-suite replay throughput of each implementation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ResultTable,
+    fresh_handcrafted_broker,
+    fresh_model_based_broker,
+)
+from repro.bench.workloads import COMMUNICATION_SCENARIOS
+
+
+def test_e5_trace_equivalence(benchmark, report):
+    table = ResultTable(
+        "E5: resource-command trace equivalence across the 8 scenarios",
+        ["scenario", "resource ops", "traces equal"],
+    )
+    mismatches = []
+
+    def verify_all():
+        table.rows.clear()
+        for scenario, steps in COMMUNICATION_SCENARIOS.items():
+            _mb, model_service, model_runner = fresh_model_based_broker()
+            _hb, hand_service, hand_runner = fresh_handcrafted_broker()
+            model_runner.run(steps)
+            hand_runner.run(steps)
+            equal = model_service.op_log == hand_service.op_log
+            if not equal:
+                mismatches.append(
+                    (scenario, model_service.op_log, hand_service.op_log)
+                )
+            table.add(scenario, len(model_service.op_log), equal)
+
+    benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    report.append(table)
+    assert mismatches == [], f"trace divergence: {mismatches[:1]}"
+
+
+def test_e5_model_based_suite_replay(benchmark):
+    """Throughput of the full suite on the model-based Broker."""
+    benchmark.group = "e5-suite-replay"
+
+    def replay():
+        _broker, _service, runner = fresh_model_based_broker()
+        for steps in COMMUNICATION_SCENARIOS.values():
+            runner.run(steps)
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+
+
+def test_e5_handcrafted_suite_replay(benchmark):
+    benchmark.group = "e5-suite-replay"
+
+    def replay():
+        _broker, _service, runner = fresh_handcrafted_broker()
+        for steps in COMMUNICATION_SCENARIOS.values():
+            runner.run(steps)
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+
+
+def test_e5_state_equivalence(benchmark):
+    """Beyond traces: the resulting service states agree too."""
+
+    def verify():
+        for steps in COMMUNICATION_SCENARIOS.values():
+            _mb, model_service, model_runner = fresh_model_based_broker()
+            _hb, hand_service, hand_runner = fresh_handcrafted_broker()
+            model_runner.run(steps)
+            hand_runner.run(steps)
+            model_state = sorted(
+                (s.state, len(s.parties), len(s.streams))
+                for s in model_service.sessions.values()
+            )
+            hand_state = sorted(
+                (s.state, len(s.parties), len(s.streams))
+                for s in hand_service.sessions.values()
+            )
+            assert model_state == hand_state
+
+    benchmark.pedantic(verify, rounds=1, iterations=1)

@@ -1,0 +1,18 @@
+"""Shared benchmark configuration.
+
+Every module in this directory regenerates one experiment from
+EXPERIMENTS.md.  Absolute timings depend on the host; the assertions
+check the *shapes* the paper reports (who wins, by roughly what
+factor), with generous tolerance bands.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects result tables and prints them at the end of the run."""
+    tables = []
+    yield tables
+    for table in tables:
+        print("\n" + table.render())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Quickstart: build a domain-specific middleware platform from a model.
+
+This walks the complete MD-DSM loop for a deliberately tiny domain —
+smart irrigation — in one file:
+
+1. define the application-level DSML (a metamodel),
+2. describe the middleware *as a model* (instance of the shared,
+   domain-independent middleware metamodel),
+3. load the middleware model into a running platform over a simulated
+   resource,
+4. execute application models: submit, edit, resubmit, tear down.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.middleware import DomainKnowledge, MiddlewareModelBuilder, load_platform
+from repro.middleware.broker.resource import CallableResource
+from repro.modeling import Metamodel, Model
+
+
+def build_dsml() -> Metamodel:
+    """Step 1 — the Irrigation Modeling Language (IrrML)."""
+    irrml = Metamodel("irrml")
+    garden = irrml.new_class("Garden")
+    garden.attribute("name", "string", required=True)
+    garden.reference("zones", "Zone", containment=True, many=True)
+    zone = irrml.new_class("Zone")
+    zone.attribute("name", "string", required=True)
+    zone.attribute("litersPerHour", "float", default=2.0)
+    zone.attribute("active", "bool", default=True)
+    return irrml.resolve()
+
+
+def build_middleware_model() -> Model:
+    """Step 2 — the middleware, described as a model.
+
+    The same metamodel (``repro.middleware.middleware_metamodel()``)
+    describes the CVM, MGridVM, 2SVM and CSVM; here it describes a
+    two-command irrigation platform.
+    """
+    builder = MiddlewareModelBuilder("irrigation-mw", "irrigation")
+    builder.ui_layer()
+
+    # Synthesis: how IrrML model changes become commands (an LTS per class).
+    builder.synthesis_layer().rule(
+        "Zone",
+        states={"watering": False, "idle": False},
+        transitions=[
+            {"source": "initial", "label": "add", "target": "watering",
+             "guard": "active",
+             "commands": [{"operation": "zone.start",
+                           "args_expr": {"zone": "obj.id",
+                                         "rate": "litersPerHour"}}]},
+            {"source": "initial", "label": "add", "target": "idle",
+             "guard": "not active", "commands": []},
+            {"source": "watering", "label": "set:litersPerHour",
+             "target": "watering",
+             "commands": [{"operation": "zone.adjust",
+                           "args_expr": {"zone": "object_id", "rate": "new"}}]},
+            {"source": "watering", "label": "set:active", "target": "idle",
+             "guard": "not new",
+             "commands": [{"operation": "zone.stop",
+                           "args_expr": {"zone": "object_id"}}]},
+            {"source": "idle", "label": "set:active", "target": "watering",
+             "guard": "new",
+             "commands": [{"operation": "zone.start",
+                           "args_expr": {"zone": "object_id",
+                                         "rate": "obj.litersPerHour"}}]},
+            {"source": "watering", "label": "remove", "target": "initial",
+             "commands": [{"operation": "zone.stop",
+                           "args_expr": {"zone": "object_id"}}]},
+            {"source": "idle", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    )
+
+    # Controller: predefined actions (Case 1) per command.
+    controller = builder.controller_layer()
+    controller.action("start", "zone.start",
+                      [{"api": "valve.open",
+                        "args_expr": {"zone": "zone", "rate": "rate"}}])
+    controller.action("adjust", "zone.adjust",
+                      [{"api": "valve.rate",
+                        "args_expr": {"zone": "zone", "rate": "rate"}}])
+    controller.action("stop", "zone.stop",
+                      [{"api": "valve.close", "args_expr": {"zone": "zone"}}])
+
+    # Broker: map APIs onto the (simulated) valve controller resource.
+    broker = builder.broker_layer()
+    broker.requires_resource("valves")
+    broker.action("open", "valve.open",
+                  [{"resource": "valves", "operation": "open",
+                    "args_expr": {"zone": "zone", "rate": "rate"}}])
+    broker.action("rate", "valve.rate",
+                  [{"resource": "valves", "operation": "set_rate",
+                    "args_expr": {"zone": "zone", "rate": "rate"}}])
+    broker.action("close", "valve.close",
+                  [{"resource": "valves", "operation": "close",
+                    "args_expr": {"zone": "zone"}}])
+    return builder.build()
+
+
+def main() -> None:
+    irrml = build_dsml()
+
+    # Step 3 — a simulated valve controller and the running platform.
+    valves: dict[str, float] = {}
+
+    def open_valve(zone: str, rate: float) -> None:
+        valves[zone] = rate
+        print(f"  [valves] open {zone} at {rate} L/h")
+
+    def set_rate(zone: str, rate: float) -> None:
+        valves[zone] = rate
+        print(f"  [valves] adjust {zone} to {rate} L/h")
+
+    def close_valve(zone: str) -> None:
+        valves.pop(zone, None)
+        print(f"  [valves] close {zone}")
+
+    resource = CallableResource(
+        "valves",
+        {"open": open_valve, "set_rate": set_rate, "close": close_valve},
+    )
+    platform = load_platform(
+        build_middleware_model(),
+        DomainKnowledge(dsml=irrml, resources=[resource]),
+    )
+    print(f"platform up: {platform}")
+
+    # Step 4 — execute an application model.
+    print("\n-- submit the initial garden model --")
+    garden_model = Model(irrml, name="backyard")
+    garden = garden_model.create_root("Garden", name="backyard")
+    roses = garden_model.create("Zone", name="roses", litersPerHour=3.0)
+    lawn = garden_model.create("Zone", name="lawn", litersPerHour=8.0)
+    garden.zones.extend([roses, lawn])
+    result = platform.run_model(garden_model)
+    print(f"  synthesized: {result.script.operations()}")
+
+    print("\n-- edit the model: lawn off, roses throttled --")
+    edited = platform.ui.checkout()   # models@runtime: edit a live copy
+    edited.by_id(lawn.id).active = False
+    edited.by_id(roses.id).litersPerHour = 1.5
+    result = platform.ui.submit(platform.ui.put_model(edited))
+    print(f"  synthesized: {result.script.operations()}")
+
+    print("\n-- tear down --")
+    platform.teardown_model()
+    assert valves == {}, valves
+
+    print(f"\nstats: {platform.stats()}")
+    platform.stop()
+    print("quickstart complete")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Baselines the paper compares against (Sec. VII):
+
+* :class:`HandcraftedBroker` — the original, non-model-based CVM
+  Broker (E1's 17 % overhead baseline, E5's equivalence baseline).
+* :class:`NonAdaptiveController` — the fixed-wiring controller whose
+  redeploy cost drives the 800 ms vs 4000 ms adaptation comparison.
+"""
+
+from repro.baselines.handcrafted_broker import HandcraftedBroker
+from repro.baselines.monolithic_cvm import MonolithicCVM
+from repro.baselines.monolithic_synthesis import MonolithicSynthesis
+from repro.baselines.nonadaptive_controller import (
+    NonAdaptiveController,
+    WiringSpec,
+)
+
+__all__ = [
+    "HandcraftedBroker",
+    "MonolithicCVM",
+    "MonolithicSynthesis",
+    "NonAdaptiveController",
+    "WiringSpec",
+]

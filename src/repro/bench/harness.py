@@ -1,0 +1,198 @@
+"""Shared benchmark harness: scenario replay, timing, result tables.
+
+The pytest-benchmark modules under ``benchmarks/`` use these helpers
+to replay workloads against either Broker implementation, time code
+paths consistently, and print the rows that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.baselines.handcrafted_broker import HandcraftedBroker
+from repro.bench.workloads import Step
+from repro.middleware.broker.layer import BrokerLayer
+from repro.sim.network import CommService
+
+__all__ = [
+    "ScenarioRunner",
+    "Measurement",
+    "measure",
+    "ResultTable",
+    "fresh_model_based_broker",
+    "fresh_handcrafted_broker",
+]
+
+
+class ScenarioRunner:
+    """Replays a workload scenario against one Broker implementation.
+
+    The runner needs to resolve symbolic connection ids to live
+    session ids for failure injection; ``session_lookup`` abstracts
+    over the two Brokers' state representations.
+    """
+
+    def __init__(
+        self,
+        broker: Any,
+        service: CommService,
+        session_lookup: Callable[[str], str],
+    ) -> None:
+        self.broker = broker
+        self.service = service
+        self.session_lookup = session_lookup
+        self.steps_run = 0
+
+    def run(self, steps: Sequence[Step]) -> None:
+        for step in steps:
+            tag = step[0]
+            if tag == "api":
+                _tag, api, args = step
+                self.broker.call_api(api, **args)
+            elif tag == "fail":
+                self.service.inject_failure(self.session_lookup(step[1]))
+            elif tag == "recover":
+                # Recovery is itself a broker responsibility.
+                self.broker.call_api(
+                    "ncb.recover_session", session=self.session_lookup(step[1])
+                )
+            else:
+                raise ValueError(f"unknown scenario step tag {tag!r}")
+            self.steps_run += 1
+
+
+def fresh_model_based_broker(
+    *, lean: bool = False, autonomic: bool | None = None
+) -> tuple[BrokerLayer, CommService, ScenarioRunner]:
+    """A model-based Broker layer loaded from the CVM middleware model.
+
+    Only the Broker layer is loaded (the E1 experiment compares Broker
+    implementations below an identical upper stack).  Autonomic
+    recovery is disabled by default so both Brokers execute recovery
+    through the same explicit API step.
+    """
+    from repro.domains.communication.cml import cml_metamodel
+    from repro.domains.communication.cvm import build_middleware_model
+    from repro.middleware.loader import DomainKnowledge, load_platform
+
+    service = CommService("net0")
+    model = build_middleware_model(lean=lean)
+    knowledge = DomainKnowledge(dsml=cml_metamodel(), resources=[service])
+    platform = load_platform(model, knowledge, start=False)
+    broker = platform.broker
+    assert broker is not None
+    if autonomic is None:
+        autonomic = False
+    broker.autonomic.enabled = autonomic
+    # Start only the broker (upper layers are not under test here).
+    broker.start()
+
+    def lookup(connection: str) -> str:
+        return broker.state.get(f"session:{connection}")
+
+    return broker, service, ScenarioRunner(broker, service, lookup)
+
+
+def fresh_handcrafted_broker() -> tuple[HandcraftedBroker, CommService, ScenarioRunner]:
+    service = CommService("net0")
+    broker = HandcraftedBroker(service)
+
+    def lookup(connection: str) -> str:
+        return broker.sessions[connection]
+
+    return broker, service, ScenarioRunner(broker, service, lookup)
+
+
+@dataclass
+class Measurement:
+    """Timing statistics over repeated runs of a callable."""
+
+    label: str
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def ratio_to(self, other: "Measurement") -> float:
+        """mean(self) / mean(other)."""
+        return self.mean / other.mean
+
+    def __repr__(self) -> str:
+        return (
+            f"Measurement({self.label!r}, n={len(self.samples)}, "
+            f"mean={self.mean * 1000:.3f}ms)"
+        )
+
+
+def measure(
+    label: str,
+    fn: Callable[[], Any],
+    *,
+    repeat: int = 5,
+    warmup: int = 1,
+) -> Measurement:
+    """Time ``fn`` ``repeat`` times (after ``warmup`` discarded runs)."""
+    for _ in range(warmup):
+        fn()
+    measurement = Measurement(label)
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        measurement.samples.append(time.perf_counter() - start)
+    return measurement
+
+
+class ResultTable:
+    """Plain-text result table matching EXPERIMENTS.md formatting."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        parts = [f"== {self.title} ==", line(self.columns),
+                 line("-" * w for w in widths)]
+        parts += [line(row) for row in self.rows]
+        return "\n".join(parts)
+
+    def print(self) -> None:
+        print("\n" + self.render())
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,163 @@
+"""Lines-of-code accounting for the E4 experiment.
+
+Paper Sec. VII-B: "due to the separation of domain-specific concerns,
+we were able to achieve a reduction in lines of code (from 1402 to
+1176)".  The claim is relative: after separating domain knowledge from
+the model of execution, the *domain-specific* code shrinks because the
+dispatch/selection/adaptation machinery moves into shared,
+domain-independent engine code.
+
+We reproduce the same comparison over our artifacts:
+
+* *handcrafted side* — the non-model-based implementations in
+  ``repro.baselines`` (domain logic interleaved with dispatch code),
+* *model-based side* — the pure-data DSK functions for the same layer
+  (the only per-domain code a middleware engineer writes).
+
+Counting is AST-aware: non-blank, non-comment source lines, with
+docstrings excluded (both sides are documented; documentation must not
+bias the comparison).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import io
+import tokenize
+from types import ModuleType
+from typing import Callable
+
+__all__ = [
+    "count_source_loc",
+    "count_module_loc",
+    "count_callable_loc",
+    "count_source_tokens",
+    "count_module_tokens",
+    "loc_report",
+]
+
+
+def count_source_loc(source: str) -> int:
+    """Non-blank, non-comment, non-docstring logical source lines."""
+    doc_lines = _docstring_lines(source)
+    count = 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if lineno in doc_lines:
+            continue
+        count += 1
+    return count
+
+
+def _docstring_lines(source: str) -> set[int]:
+    """Line numbers occupied by docstrings."""
+    lines: set[int] = set()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return lines
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        body = getattr(node, "body", [])
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            expr = body[0]
+            end = expr.end_lineno or expr.lineno
+            lines.update(range(expr.lineno, end + 1))
+    return lines
+
+
+def count_module_loc(module: ModuleType) -> int:
+    return count_source_loc(inspect.getsource(module))
+
+
+def count_source_tokens(source: str) -> int:
+    """Significant token count: formatting-independent code size.
+
+    Excludes comments, docstrings (module/class/function leading string
+    literals), and structural tokens (NEWLINE/INDENT/...).  Physical
+    LoC punishes the DSK's one-key-per-line dict formatting relative to
+    dense imperative statements; token counting compares what is
+    actually *written*.
+    """
+    doc_lines = _docstring_lines(source)
+    skip = {
+        tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+        tokenize.DEDENT, tokenize.ENCODING, tokenize.ENDMARKER,
+    }
+    count = 0
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type in skip:
+            continue
+        if token.type == tokenize.STRING and token.start[0] in doc_lines:
+            continue
+        count += 1
+    return count
+
+
+def count_module_tokens(module: ModuleType) -> int:
+    return count_source_tokens(inspect.getsource(module))
+
+
+def count_callable_loc(fn: Callable) -> int:
+    return count_source_loc(_dedent(inspect.getsource(fn)))
+
+
+def _dedent(source: str) -> str:
+    import textwrap
+
+    return textwrap.dedent(source)
+
+
+def comment_ratio(source: str) -> float:
+    """Share of comment tokens per source line (documentation metric)."""
+    comments = 0
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type == tokenize.COMMENT:
+            comments += 1
+    total = max(1, len(source.splitlines()))
+    return comments / total
+
+
+def loc_report() -> dict[str, int]:
+    """E4's headline numbers over the communication domain.
+
+    Handcrafted side: the full hand-written broker plus the fixed-wiring
+    controller — domain behaviour entangled with dispatch code.
+    Model-based side: the per-domain artifacts a middleware engineer
+    actually writes (the DSK spec functions covering the same broker
+    and controller behaviour).
+    """
+    from repro.baselines import (
+        handcrafted_broker,
+        monolithic_cvm,
+        monolithic_synthesis,
+    )
+    from repro.domains.communication import dsk
+
+    handcrafted_modules = (monolithic_synthesis, monolithic_cvm, handcrafted_broker)
+    handcrafted = sum(count_module_loc(m) for m in handcrafted_modules)
+    handcrafted_tokens = sum(count_module_tokens(m) for m in handcrafted_modules)
+    model_based = count_module_loc(dsk)
+    model_based_tokens = count_module_tokens(dsk)
+    return {
+        "handcrafted_loc": handcrafted,
+        "model_based_loc": model_based,
+        "reduction_loc": handcrafted - model_based,
+        "handcrafted_tokens": handcrafted_tokens,
+        "model_based_tokens": model_based_tokens,
+        "reduction_tokens": handcrafted_tokens - model_based_tokens,
+    }
+
+
+__all__.append("comment_ratio")

@@ -1,0 +1,141 @@
+"""Synthetic procedure repositories for the E2/A4 experiments.
+
+Paper Sec. VII-B: "the Controller's repository was populated with
+metadata of 100 curated procedures aimed at achieving optimum
+dependency matching.  With this test, the Controller layer was able to
+complete a full generation cycle (IM generation, validation, and
+selection) in under 120 ms, with the average cycle time quickly
+approaching 1 ms as we approached 100 000 cycles."
+
+:func:`build_repository` generates such a curated repository
+deterministically: a layered DSC taxonomy where each operation layer
+depends on classifiers of the next layer, with a configurable number
+of alternative candidates per classifier (the source of configurations
+the generator must examine and select among).
+"""
+
+from __future__ import annotations
+
+from repro.middleware.controller.dsc import DSCTaxonomy
+from repro.middleware.controller.intent import IntentModelGenerator
+from repro.middleware.controller.policy import ContextStore, Policy, PolicyEngine
+from repro.middleware.controller.procedure import Procedure, ProcedureRepository
+
+__all__ = ["build_repository", "build_generator", "ROOT_CLASSIFIER"]
+
+#: The abstract operation every benchmark request targets.
+ROOT_CLASSIFIER = "syn.l0"
+
+
+def build_repository(
+    *,
+    procedures: int = 100,
+    depth: int = 4,
+    candidates_per_classifier: int = 2,
+    dependencies_per_procedure: int = 2,
+) -> ProcedureRepository:
+    """A layered synthetic repository with ``procedures`` entries.
+
+    Layout: ``depth`` classifier layers ``syn.l0 .. syn.l<depth-1>``;
+    each layer ``i`` holds enough classifiers that, with
+    ``candidates_per_classifier`` procedures each, the total procedure
+    count is met.  Procedures in layer ``i < depth-1`` depend on
+    ``dependencies_per_procedure`` classifiers of layer ``i+1``
+    (leaf-layer procedures have no dependencies), guaranteeing every
+    generation resolves ("optimum dependency matching").
+    """
+    if procedures < depth * candidates_per_classifier:
+        raise ValueError(
+            "need at least depth*candidates_per_classifier procedures"
+        )
+    taxonomy = DSCTaxonomy("synthetic")
+    taxonomy.define("syn")
+    # Distribute classifiers across layers; layer 0 has exactly one
+    # classifier (the benchmark entry point).
+    per_layer_procs = procedures // depth
+    classifiers_per_layer = max(1, per_layer_procs // candidates_per_classifier)
+    layer_classifiers: list[list[str]] = []
+    for layer in range(depth):
+        width = 1 if layer == 0 else classifiers_per_layer
+        names = []
+        for index in range(width):
+            name = f"syn.l{layer}" if layer == 0 and index == 0 else (
+                f"syn.l{layer}.c{index}"
+            )
+            taxonomy.define(name, parent="syn")
+            names.append(name)
+        layer_classifiers.append(names)
+
+    repository = ProcedureRepository(taxonomy)
+    built = 0
+    for layer in range(depth):
+        names = layer_classifiers[layer]
+        next_names = layer_classifiers[layer + 1] if layer + 1 < depth else []
+        for c_index, classifier in enumerate(names):
+            for variant in range(candidates_per_classifier):
+                if built >= procedures:
+                    break
+                dependencies: list[str] = []
+                if next_names:
+                    for d in range(dependencies_per_procedure):
+                        dependencies.append(
+                            next_names[(c_index + d + variant) % len(next_names)]
+                        )
+                    # Dependencies must be distinct classifiers.
+                    dependencies = sorted(set(dependencies))
+                procedure = Procedure(
+                    f"proc_l{layer}_c{c_index}_v{variant}",
+                    classifier,
+                    dependencies=dependencies,
+                    attributes={
+                        "cost": 1.0 + variant,
+                        "reliability": 0.90 + 0.02 * variant,
+                    },
+                )
+                unit = procedure.main
+                for dependency in dependencies:
+                    unit.add("INVOKE", dependency=dependency)
+                unit.add("NOOP", cost=0.1)
+                unit.add("RETURN")
+                repository.add(procedure)
+                built += 1
+    # Top up with leaf-layer variants until the exact count is reached.
+    leaf_names = layer_classifiers[-1]
+    extra = 0
+    while built < procedures:
+        classifier = leaf_names[extra % len(leaf_names)]
+        procedure = Procedure(
+            f"proc_extra_{extra}",
+            classifier,
+            attributes={"cost": 2.0 + extra % 3, "reliability": 0.9},
+        )
+        procedure.main.add("NOOP", cost=0.1)
+        procedure.main.add("RETURN")
+        repository.add(procedure)
+        built += 1
+        extra += 1
+    assert len(repository) == procedures
+    return repository
+
+
+def build_generator(
+    repository: ProcedureRepository,
+    *,
+    max_configurations: int = 8,
+    cache_size: int = 512,
+) -> IntentModelGenerator:
+    """A generator with the paper-style scoring policy installed."""
+    policies = PolicyEngine(ContextStore({"mode": "normal"}))
+    policies.add(
+        Policy(
+            name="score",
+            condition="True",
+            weights={"cost": -1.0, "reliability": 5.0},
+        )
+    )
+    return IntentModelGenerator(
+        repository,
+        policies,
+        max_configurations=max_configurations,
+        cache_size=cache_size,
+    )

@@ -1,0 +1,8 @@
+"""The four case-study domain platforms (paper Sec. IV), each built on
+the same middleware metamodel and runtime:
+
+* :mod:`repro.domains.communication` — CML / CVM.
+* :mod:`repro.domains.microgrid` — MGridML / MGridVM.
+* :mod:`repro.domains.smartspace` — 2SML / 2SVM.
+* :mod:`repro.domains.crowdsensing` — CSML / CSVM.
+"""

@@ -1,0 +1,160 @@
+"""Shared assembly of domain DSK specs into middleware models.
+
+Every domain package exposes the same spec functions (synthesis rules,
+DSC taxonomy, procedures, actions, policies, autonomic knowledge) as
+pure data; :func:`assemble_middleware_model` turns one such DSK module
+into a complete middleware model.  That the *same* assembler covers all
+four domains is itself part of the reproduction: the paper's single
+domain-independent metamodel expresses every platform of Sec. IV.
+"""
+
+from __future__ import annotations
+
+from types import ModuleType
+from typing import Any, Callable
+
+from repro.middleware.model import MiddlewareModelBuilder
+from repro.modeling.model import Model
+
+__all__ = ["assemble_middleware_model"]
+
+
+def _specs(dsk: ModuleType, name: str) -> list[dict[str, Any]]:
+    fn: Callable[[], list[dict[str, Any]]] | None = getattr(dsk, name, None)
+    return fn() if fn is not None else []
+
+
+def assemble_middleware_model(
+    name: str,
+    domain: str,
+    dsk: ModuleType,
+    *,
+    description: str = "",
+    lean: bool = False,
+    default_case: str = "actions",
+    layer_names: dict[str, str] | None = None,
+    with_ui: bool = True,
+    with_synthesis: bool = True,
+    with_controller: bool = True,
+    with_broker: bool = True,
+) -> Model:
+    """Build a middleware model from a domain DSK module.
+
+    ``with_*`` flags realize the layer-suppression configurations of
+    Secs. IV-C/IV-D (e.g. a smart-object node keeps only controller +
+    broker).  ``lean`` disables the Broker's optional managers (A3
+    ablation).
+    """
+    names = {"ui": "ui", "synthesis": "synthesis",
+             "controller": "controller", "broker": "broker"}
+    names.update(layer_names or {})
+    builder = MiddlewareModelBuilder(name, domain, description=description)
+
+    if with_ui:
+        builder.ui_layer(names["ui"])
+
+    if with_synthesis:
+        synthesis = builder.synthesis_layer(names["synthesis"])
+        for rule in _specs(dsk, "synthesis_rules"):
+            synthesis.rule(
+                rule["class_name"],
+                initial=rule.get("initial", "initial"),
+                on_unmatched=rule.get("on_unmatched", "ignore"),
+                states=rule.get("states", {}),
+                transitions=rule.get("transitions", []),
+            )
+
+    if with_controller:
+        controller = builder.controller_layer(
+            names["controller"], default_case=default_case
+        )
+        for spec in _specs(dsk, "dsc_specs"):
+            controller.dsc(
+                spec["name"],
+                kind=spec.get("kind", "operation"),
+                parent=spec.get("parent"),
+                description=spec.get("description", ""),
+                constraints=spec.get("constraints"),
+            )
+        for spec in _specs(dsk, "procedure_specs"):
+            controller.procedure(
+                spec["name"],
+                spec["classifier"],
+                dependencies=spec.get("dependencies", ()),
+                attributes=spec.get("attributes"),
+                units=spec.get("units"),
+                description=spec.get("description", ""),
+            )
+        for spec in _specs(dsk, "controller_action_specs"):
+            controller.action(
+                spec["name"],
+                spec["pattern"],
+                spec["steps"],
+                guard=spec.get("guard"),
+                attributes=spec.get("attributes"),
+            )
+        map_fn = getattr(dsk, "classifier_map", None)
+        if map_fn is not None:
+            for pattern, classifier in map_fn().items():
+                controller.map_operation(pattern, classifier)
+        for spec in _specs(dsk, "policy_specs"):
+            controller.policy(
+                spec["name"],
+                condition=spec.get("condition", "True"),
+                weights=spec.get("weights"),
+                prefer=spec.get("prefer"),
+                force_case=spec.get("force_case"),
+                applies_to=spec.get("applies_to", ""),
+                advice=spec.get("advice"),
+                priority=spec.get("priority", 0),
+            )
+        for spec in _specs(dsk, "case_override_specs"):
+            controller.case_override(spec["pattern"], spec["case"])
+
+    if with_broker:
+        broker = builder.broker_layer(
+            names["broker"],
+            enable_autonomic=not lean,
+            enable_state_snapshots=not lean,
+        )
+        resource_name = getattr(dsk, "RESOURCE_NAME", None)
+        if resource_name:
+            broker.requires_resource(resource_name)
+        for spec in _specs(dsk, "broker_action_specs"):
+            if lean and spec.get("lean_skip"):
+                # "leaner configurations ... featuring only the strictly
+                # required components" (Sec. VII-A)
+                continue
+            broker.action(
+                spec["name"],
+                spec["pattern"],
+                spec["steps"],
+                guard=spec.get("guard"),
+                priority=spec.get("priority", 0),
+            )
+        if not lean:
+            for spec in _specs(dsk, "event_binding_specs"):
+                inline = spec["action"]
+                broker.action(
+                    inline["name"], f"internal.{inline['name']}", inline["steps"]
+                )
+                broker.event_binding(
+                    spec["topic_pattern"], inline["name"], guard=spec.get("guard")
+                )
+        if not lean:
+            for spec in _specs(dsk, "symptom_specs"):
+                broker.symptom(
+                    spec["name"],
+                    spec["condition"],
+                    spec["request_kind"],
+                    on_topic=spec.get("on_topic"),
+                    cooldown=spec.get("cooldown", 0.0),
+                )
+            for spec in _specs(dsk, "plan_specs"):
+                broker.plan(
+                    spec["name"],
+                    spec["request_kind"],
+                    spec["steps"],
+                    guard=spec.get("guard"),
+                )
+    return builder.build()

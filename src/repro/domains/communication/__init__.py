@@ -1,0 +1,18 @@
+"""Communication domain: CML (DSML), DSK, and the CVM platform."""
+
+from repro.domains.communication.cml import (
+    CmlBuilder,
+    cml_constraints,
+    cml_metamodel,
+    parse_cml,
+)
+from repro.domains.communication.cvm import (
+    build_cvm,
+    build_middleware_model,
+    default_context,
+)
+
+__all__ = [
+    "cml_metamodel", "cml_constraints", "CmlBuilder", "parse_cml",
+    "build_cvm", "build_middleware_model", "default_context",
+]

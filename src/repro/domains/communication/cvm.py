@@ -1,0 +1,90 @@
+"""CVM — the Communication Virtual Machine (paper Sec. IV-A).
+
+Assembles the communication domain's middleware model (from the DSK in
+:mod:`repro.domains.communication.dsk`) and loads it into a running
+:class:`~repro.middleware.platform.Platform`, yielding the model-based
+equivalent of the four-layer CVM: UCI (UI), SE (Synthesis), UCM
+(Controller) and NCB (Broker) over a simulated communication service.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.domains.assembly import assemble_middleware_model
+from repro.domains.communication import dsk
+from repro.domains.communication.cml import cml_constraints, cml_metamodel, parse_cml
+from repro.middleware.broker.actions import BrokerAction
+from repro.middleware.loader import DomainKnowledge, load_platform
+from repro.middleware.platform import Platform
+from repro.modeling.model import Model
+from repro.runtime.clock import Clock
+from repro.runtime.events import EventBus
+from repro.sim.network import CommService
+
+__all__ = ["build_middleware_model", "build_cvm", "default_context"]
+
+
+def build_middleware_model(
+    *,
+    name: str = "cvm",
+    lean: bool = False,
+    default_case: str = "actions",
+) -> Model:
+    """The CVM middleware model (an instance of the md-dsm metamodel).
+
+    ``lean=True`` produces the minimal manager configuration used by
+    the A3 ablation (autonomic + snapshots disabled); ``default_case``
+    selects the Controller's classification default (Sec. VI: action
+    selection for efficiency-first domains, IM generation for highly
+    dynamic ones).
+    """
+    return assemble_middleware_model(
+        name,
+        "communication",
+        dsk,
+        description="User-to-user communication (CML/CVM)",
+        lean=lean,
+        default_case=default_case,
+        layer_names={"ui": "uci", "synthesis": "se",
+                     "controller": "ucm", "broker": "ncb"},
+    )
+
+
+def default_context() -> dict[str, Any]:
+    """Initial Controller context for a CVM instance."""
+    return {"network_quality": "good", "adaptation_mode": "static"}
+
+
+def build_cvm(
+    *,
+    service: CommService | None = None,
+    lean: bool = False,
+    default_case: str = "actions",
+    bus: EventBus | None = None,
+    clock: Clock | None = None,
+    extra_broker_actions: list[BrokerAction] | None = None,
+) -> Platform:
+    """Create and start a CVM platform over a (simulated) service."""
+    service = service or CommService(dsk.RESOURCE_NAME)
+    if service.name != dsk.RESOURCE_NAME:
+        raise ValueError(
+            f"communication service must be named {dsk.RESOURCE_NAME!r} "
+            f"(broker actions are bound to it)"
+        )
+    knowledge = DomainKnowledge(
+        dsml=cml_metamodel(),
+        resources=[service],
+        constraints=cml_constraints(),
+        parser=parse_cml,
+        broker_actions=list(extra_broker_actions or []),
+    )
+    platform = load_platform(
+        build_middleware_model(lean=lean, default_case=default_case),
+        knowledge,
+        bus=bus,
+        clock=clock,
+    )
+    assert platform.controller is not None
+    platform.controller.context.update(default_context())
+    return platform

@@ -1,0 +1,677 @@
+"""Domain-specific knowledge (DSK) for the communication domain.
+
+This module is pure *data*: the synthesis rules (LTSs over CML
+metaclasses), the DSC taxonomy, the procedure repository, the
+controller/broker action definitions and the autonomic knowledge that
+together give CML its operational semantics.  The structures here are
+consumed by :mod:`repro.domains.communication.cvm`, which assembles
+them into a middleware model — keeping domain knowledge separate from
+the model of execution (paper Sec. V-B).
+
+Identity conventions: CML ``Connection`` objects map to broker-managed
+sessions keyed by the connection's object id; ``Person`` objects are
+party tokens (their object id); ``Medium`` objects map to media streams
+keyed by the medium's object id.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "RESOURCE_NAME",
+    "synthesis_rules",
+    "dsc_specs",
+    "procedure_specs",
+    "controller_action_specs",
+    "classifier_map",
+    "policy_specs",
+    "broker_action_specs",
+    "event_binding_specs",
+    "symptom_specs",
+    "plan_specs",
+]
+
+#: Name the CommService resource must be registered under.
+RESOURCE_NAME = "net0"
+
+
+# ---------------------------------------------------------------------------
+# Synthesis layer: LTS rules per CML metaclass
+# ---------------------------------------------------------------------------
+
+def synthesis_rules() -> list[dict[str, Any]]:
+    """Rule specs consumed by ``SynthesisLayerBuilder.rule``."""
+    connection_rule = {
+        "class_name": "Connection",
+        "states": {"open": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "open",
+                "commands": [
+                    {
+                        "operation": "comm.session.establish",
+                        "classifier": "comm.session.establish",
+                        "args_expr": {"connection": "obj.id"},
+                        "target_expr": "obj.id",
+                    },
+                    {
+                        "operation": "comm.party.add",
+                        "classifier": "comm.party.add",
+                        "foreach": "obj.participants",
+                        "args_expr": {
+                            "connection": "obj.id",
+                            "party": "item.id",
+                        },
+                    },
+                ],
+            },
+            {
+                "source": "open", "label": "list:participants", "target": "open",
+                "commands": [
+                    {
+                        "operation": "comm.party.add",
+                        "classifier": "comm.party.add",
+                        "foreach": "added",
+                        "args_expr": {"connection": "object_id", "party": "item"},
+                    },
+                    {
+                        "operation": "comm.party.remove",
+                        "classifier": "comm.party.remove",
+                        "foreach": "removed",
+                        "args_expr": {"connection": "object_id", "party": "item"},
+                    },
+                ],
+            },
+            {
+                "source": "open", "label": "set:name", "target": "open",
+                "commands": [],  # renaming has no operational effect
+            },
+            {
+                "source": "open", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "comm.session.teardown",
+                        "classifier": "comm.session.teardown",
+                        "args_expr": {"connection": "object_id"},
+                    }
+                ],
+            },
+        ],
+    }
+    medium_rule = {
+        "class_name": "Medium",
+        "states": {"streaming": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "streaming",
+                "commands": [
+                    {
+                        "operation": "comm.stream.open",
+                        "classifier": "comm.stream.open",
+                        "args_expr": {
+                            "connection": "obj.container.id",
+                            "medium": "obj.id",
+                            "kind": "kind",
+                            "quality": "quality",
+                        },
+                    }
+                ],
+            },
+            {
+                "source": "streaming", "label": "set:quality", "target": "streaming",
+                "commands": [
+                    {
+                        "operation": "comm.stream.reconfigure",
+                        "classifier": "comm.stream.reconfigure",
+                        "args_expr": {
+                            "connection": "obj.container.id",
+                            "medium": "object_id",
+                            "quality": "new",
+                        },
+                    }
+                ],
+            },
+            {
+                # Changing the medium kind replaces the stream.
+                "source": "streaming", "label": "set:kind", "target": "streaming",
+                "commands": [
+                    {
+                        "operation": "comm.stream.close",
+                        "classifier": "comm.stream.close",
+                        "args_expr": {
+                            "connection": "obj.container.id",
+                            "medium": "object_id",
+                        },
+                    },
+                    {
+                        "operation": "comm.stream.open",
+                        "classifier": "comm.stream.open",
+                        "args_expr": {
+                            "connection": "obj.container.id",
+                            "medium": "object_id",
+                            "kind": "new",
+                            "quality": "obj.quality",
+                        },
+                    },
+                ],
+            },
+            {
+                "source": "streaming", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "comm.stream.close",
+                        "classifier": "comm.stream.close",
+                        "args_expr": {
+                            "connection": "obj.container.id",
+                            "medium": "object_id",
+                        },
+                    }
+                ],
+            },
+        ],
+    }
+    # Persons and schemas are declarative-only: they produce no commands
+    # but the rules pin that down explicitly (strict-mode platforms).
+    person_rule = {
+        "class_name": "Person",
+        "states": {"known": False},
+        "transitions": [
+            {"source": "initial", "label": "add", "target": "known", "commands": []},
+            {"source": "known", "label": "remove", "target": "initial", "commands": []},
+            {"source": "known", "label": "set:name", "target": "known", "commands": []},
+            {"source": "known", "label": "set:role", "target": "known", "commands": []},
+            {"source": "known", "label": "set:userId", "target": "known", "commands": []},
+        ],
+    }
+    schema_rule = {
+        "class_name": "CommSchema",
+        "states": {"active": False},
+        "transitions": [
+            {"source": "initial", "label": "add", "target": "active", "commands": []},
+            {"source": "active", "label": "remove", "target": "initial", "commands": []},
+            {"source": "active", "label": "set:isInstance", "target": "active", "commands": []},
+            {"source": "active", "label": "list:persons", "target": "active", "commands": []},
+            {"source": "active", "label": "list:connections", "target": "active", "commands": []},
+        ],
+    }
+    return [connection_rule, medium_rule, person_rule, schema_rule]
+
+
+# ---------------------------------------------------------------------------
+# Controller layer: DSC taxonomy (paper Sec. V-B)
+# ---------------------------------------------------------------------------
+
+def dsc_specs() -> list[dict[str, Any]]:
+    """The communication DSC taxonomy (operation + data classifiers)."""
+    return [
+        {"name": "comm", "description": "communication domain root"},
+        {"name": "comm.session", "parent": "comm"},
+        {"name": "comm.session.establish", "parent": "comm.session"},
+        {"name": "comm.session.teardown", "parent": "comm.session"},
+        {"name": "comm.party", "parent": "comm"},
+        {"name": "comm.party.add", "parent": "comm.party"},
+        {"name": "comm.party.remove", "parent": "comm.party"},
+        {"name": "comm.stream", "parent": "comm"},
+        {"name": "comm.stream.open", "parent": "comm.stream"},
+        {"name": "comm.stream.close", "parent": "comm.stream"},
+        {"name": "comm.stream.reconfigure", "parent": "comm.stream"},
+        {"name": "comm.stream.transport", "parent": "comm.stream",
+         "description": "abstract data-path establishment"},
+        {"name": "comm.logging", "parent": "comm",
+         "description": "operation audit logging"},
+        {"name": "comm.qos", "parent": "comm",
+         "description": "QoS monitoring attachment"},
+        # data classifiers
+        {"name": "comm.data", "kind": "data", "description": "media data root"},
+        {"name": "comm.data.media", "kind": "data", "parent": "comm.data"},
+        {"name": "comm.data.roster", "kind": "data", "parent": "comm.data"},
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Controller layer: procedures (Case 2 — dynamic Intent Models)
+# ---------------------------------------------------------------------------
+
+def procedure_specs() -> list[dict[str, Any]]:
+    """Procedure specs for ``ControllerLayerBuilder.procedure``.
+
+    The stream-open operation exhibits the paper's variability test:
+    two transport procedures match ``comm.stream.transport`` and the
+    policy-scored generation step picks per context.
+    """
+    return [
+        {
+            "name": "establish_session",
+            "classifier": "comm.session.establish",
+            "dependencies": ["comm.logging"],
+            "attributes": {"cost": 2.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.open_session",
+                                "args_expr": {"connection": "connection"},
+                                "result": "session"}),
+                    ("INVOKE", {"dependency": "comm.logging",
+                                "args_expr": {"event": "'session.establish'",
+                                              "subject": "connection"}}),
+                    ("RETURN", {"expr": "session"}),
+                ]
+            },
+        },
+        {
+            "name": "teardown_session",
+            "classifier": "comm.session.teardown",
+            "dependencies": ["comm.logging"],
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.close_session",
+                                "args_expr": {"connection": "connection"}}),
+                    ("INVOKE", {"dependency": "comm.logging",
+                                "args_expr": {"event": "'session.teardown'",
+                                              "subject": "connection"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "add_party",
+            "classifier": "comm.party.add",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.add_party",
+                                "args_expr": {"connection": "connection",
+                                              "party": "party"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "remove_party",
+            "classifier": "comm.party.remove",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.remove_party",
+                                "args_expr": {"connection": "connection",
+                                              "party": "party"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "open_stream_adaptive",
+            "classifier": "comm.stream.open",
+            "dependencies": ["comm.stream.transport", "comm.qos"],
+            "attributes": {"cost": 2.0, "reliability": 0.95, "adaptive": True},
+            "units": {
+                "main": [
+                    ("INVOKE", {"dependency": "comm.stream.transport",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium",
+                                              "kind": "kind",
+                                              "quality": "quality"},
+                                "result": "stream"}),
+                    ("INVOKE", {"dependency": "comm.qos",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium"}}),
+                    ("RETURN", {"expr": "stream"}),
+                ]
+            },
+        },
+        {
+            "name": "transport_fast",
+            "classifier": "comm.stream.transport",
+            "attributes": {"cost": 1.0, "reliability": 0.90, "latency": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.open_stream",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium",
+                                              "kind": "kind",
+                                              "quality": "quality"},
+                                "result": "stream"}),
+                    ("RETURN", {"expr": "stream"}),
+                ]
+            },
+        },
+        {
+            "name": "transport_reliable",
+            "classifier": "comm.stream.transport",
+            "attributes": {"cost": 3.0, "reliability": 0.999, "latency": 2.5},
+            "units": {
+                "main": [
+                    # Reliable path verifies the session before opening.
+                    ("BROKER", {"api": "ncb.probe", "result": "health"}),
+                    ("GUARD", {"condition": "health['active_sessions'] >= 0"}),
+                    ("BROKER", {"api": "ncb.open_stream",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium",
+                                              "kind": "kind",
+                                              "quality": "quality"},
+                                "result": "stream"}),
+                    ("RETURN", {"expr": "stream"}),
+                ]
+            },
+        },
+        {
+            "name": "close_stream",
+            "classifier": "comm.stream.close",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.close_stream",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "reconfigure_stream",
+            "classifier": "comm.stream.reconfigure",
+            "attributes": {"cost": 1.0, "reliability": 0.98},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.reconfigure_stream",
+                                "args_expr": {"connection": "connection",
+                                              "medium": "medium",
+                                              "quality": "quality"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "log_operation",
+            "classifier": "comm.logging",
+            "attributes": {"cost": 0.2, "reliability": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.log",
+                                "args_expr": {"event": "event",
+                                              "subject": "subject"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "qos_monitor",
+            "classifier": "comm.qos",
+            "attributes": {"cost": 0.5, "reliability": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "ncb.probe", "result": "health"}),
+                    ("EMIT", {"topic": "controller.qos.sampled",
+                              "args_expr": {"connection": "connection",
+                                            "medium": "medium"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+    ]
+
+
+def classifier_map() -> dict[str, str]:
+    """Command operation pattern -> DSC (Case 2 classification input)."""
+    return {
+        "comm.session.establish": "comm.session.establish",
+        "comm.session.teardown": "comm.session.teardown",
+        "comm.party.add": "comm.party.add",
+        "comm.party.remove": "comm.party.remove",
+        "comm.stream.open": "comm.stream.open",
+        "comm.stream.close": "comm.stream.close",
+        "comm.stream.reconfigure": "comm.stream.reconfigure",
+    }
+
+
+def policy_specs() -> list[dict[str, Any]]:
+    """Controller policies: candidate scoring + classification forcing."""
+    return [
+        {
+            # Baseline scoring: cheap and reliable procedures win.
+            "name": "baseline-scoring",
+            "condition": "True",
+            "weights": {"cost": -1.0, "reliability": 5.0},
+        },
+        {
+            # Poor network: strongly prefer reliable transport.
+            "name": "prefer-reliability-on-poor-network",
+            "condition": "network_quality == 'poor'",
+            "weights": {"reliability": 50.0},
+            "applies_to": "comm.stream",
+            "priority": 10,
+        },
+        {
+            # Adaptive mode: force dynamic IM generation for streams.
+            "name": "adaptive-streams",
+            "condition": "adaptation_mode == 'dynamic'",
+            "force_case": "intent",
+            "applies_to": "comm.stream",
+            "priority": 5,
+        },
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Controller layer: predefined actions (Case 1)
+# ---------------------------------------------------------------------------
+
+def controller_action_specs() -> list[dict[str, Any]]:
+    """Case 1 actions: one declarative action per CML operation."""
+    return [
+        {
+            "name": "act-establish",
+            "pattern": "comm.session.establish",
+            "attributes": {"cost": 1.0},
+            "steps": [
+                {"api": "ncb.open_session",
+                 "args_expr": {"connection": "connection"},
+                 "result": "session"},
+            ],
+        },
+        {
+            "name": "act-teardown",
+            "pattern": "comm.session.teardown",
+            "steps": [
+                {"api": "ncb.close_session",
+                 "args_expr": {"connection": "connection"}},
+            ],
+        },
+        {
+            "name": "act-add-party",
+            "pattern": "comm.party.add",
+            "steps": [
+                {"api": "ncb.add_party",
+                 "args_expr": {"connection": "connection", "party": "party"}},
+            ],
+        },
+        {
+            "name": "act-remove-party",
+            "pattern": "comm.party.remove",
+            "steps": [
+                {"api": "ncb.remove_party",
+                 "args_expr": {"connection": "connection", "party": "party"}},
+            ],
+        },
+        {
+            "name": "act-open-stream",
+            "pattern": "comm.stream.open",
+            "steps": [
+                {"api": "ncb.open_stream",
+                 "args_expr": {"connection": "connection", "medium": "medium",
+                               "kind": "kind", "quality": "quality"}},
+            ],
+        },
+        {
+            "name": "act-close-stream",
+            "pattern": "comm.stream.close",
+            "steps": [
+                {"api": "ncb.close_stream",
+                 "args_expr": {"connection": "connection", "medium": "medium"}},
+            ],
+        },
+        {
+            "name": "act-reconfigure-stream",
+            "pattern": "comm.stream.reconfigure",
+            "steps": [
+                {"api": "ncb.reconfigure_stream",
+                 "args_expr": {"connection": "connection", "medium": "medium",
+                               "quality": "quality"}},
+            ],
+        },
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Broker layer: NCB actions over the simulated communication service
+# ---------------------------------------------------------------------------
+
+def broker_action_specs() -> list[dict[str, Any]]:
+    """The NCB API: ``ncb.*`` -> CommService operations.
+
+    Broker state maps connection ids to live session ids
+    (``session:<connection>``) and medium ids to stream ids
+    (``stream:<medium>``) — the layer's runtime model.
+    """
+    net = RESOURCE_NAME
+    return [
+        {
+            "name": "ncb-open-session",
+            "pattern": "ncb.open_session",
+            "steps": [
+                {"resource": net, "operation": "open_session",
+                 "args_expr": {"initiator": "connection"},
+                 "result": "session",
+                 "state_expr": "'session:' + connection"},
+            ],
+        },
+        {
+            "name": "ncb-close-session",
+            "pattern": "ncb.close_session",
+            "steps": [
+                {"resource": net, "operation": "close_session",
+                 "args_expr": {"session": "state['session:' + connection]"}},
+            ],
+        },
+        {
+            "name": "ncb-add-party",
+            "pattern": "ncb.add_party",
+            "steps": [
+                {"resource": net, "operation": "add_party",
+                 "args_expr": {"session": "state['session:' + connection]",
+                               "party": "party"}},
+            ],
+        },
+        {
+            "name": "ncb-remove-party",
+            "pattern": "ncb.remove_party",
+            "steps": [
+                {"resource": net, "operation": "remove_party",
+                 "args_expr": {"session": "state['session:' + connection]",
+                               "party": "party"}},
+            ],
+        },
+        {
+            "name": "ncb-open-stream",
+            "pattern": "ncb.open_stream",
+            "steps": [
+                {"resource": net, "operation": "open_stream",
+                 "args_expr": {"session": "state['session:' + connection]",
+                               "medium": "kind", "quality": "quality"},
+                 "result": "stream",
+                 "state_expr": "'stream:' + medium"},
+            ],
+        },
+        {
+            "name": "ncb-close-stream",
+            "pattern": "ncb.close_stream",
+            "steps": [
+                {"resource": net, "operation": "close_stream",
+                 "args_expr": {"session": "state['session:' + connection]",
+                               "stream": "state['stream:' + medium]"}},
+            ],
+        },
+        {
+            "name": "ncb-reconfigure-stream",
+            "pattern": "ncb.reconfigure_stream",
+            "steps": [
+                {"resource": net, "operation": "reconfigure_stream",
+                 "args_expr": {"session": "state['session:' + connection]",
+                               "stream": "state['stream:' + medium]",
+                               "quality": "quality"}},
+            ],
+        },
+        {
+            "name": "ncb-probe",
+            "pattern": "ncb.probe",
+            "lean_skip": True,
+            "steps": [
+                {"resource": net, "operation": "probe", "result": "health",
+                 "state": "last_probe"},
+            ],
+        },
+        {
+            "name": "ncb-log",
+            "pattern": "ncb.log",
+            "lean_skip": True,
+            "steps": [
+                # Audit log kept in broker state (count per event kind).
+                {"set": "log_count", "expr": "state.get('log_count', 0) + 1"},
+            ],
+        },
+        {
+            "name": "ncb-recover-session",
+            "pattern": "ncb.recover_session",
+            "steps": [
+                {"resource": net, "operation": "recover_session",
+                 "args_expr": {"session": "session"}},
+            ],
+        },
+    ]
+
+
+def event_binding_specs() -> list[dict[str, Any]]:
+    """Layer-local reactions to resource events."""
+    return [
+        # Track failure counts in broker state for symptom conditions.
+        {
+            "topic_pattern": f"resource.{RESOURCE_NAME}.session_failed",
+            "action": {
+                "name": "ncb-note-failure",
+                "pattern": "*",
+                "steps": [
+                    {"set": "failures", "expr": "state.get('failures', 0) + 1"},
+                ],
+            },
+        },
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Broker layer: autonomic knowledge (failure recovery)
+# ---------------------------------------------------------------------------
+
+def symptom_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "session-failure",
+            "condition": "True",
+            "request_kind": "recover-session",
+            "on_topic": f"resource.{RESOURCE_NAME}.session_failed",
+        },
+    ]
+
+
+def plan_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "recover-failed-session",
+            "request_kind": "recover-session",
+            "steps": [
+                {"resource": RESOURCE_NAME, "operation": "recover_session",
+                 "args_expr": {"session": "session"}},
+                {"set": "recoveries", "expr": "state.get('recoveries', 0) + 1"},
+            ],
+        },
+    ]

@@ -1,0 +1,13 @@
+"""Mobile crowdsensing domain: CSML (DSML), DSK, and the CSVM provider."""
+
+from repro.domains.crowdsensing.csml import (
+    QueryBuilder,
+    csml_constraints,
+    csml_metamodel,
+)
+from repro.domains.crowdsensing.csvm import CSVM, build_middleware_model
+
+__all__ = [
+    "csml_metamodel", "csml_constraints", "QueryBuilder",
+    "CSVM", "build_middleware_model",
+]

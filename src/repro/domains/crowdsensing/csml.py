@@ -1,0 +1,105 @@
+"""CSML — the Crowdsensing Modeling Language (paper Sec. IV-D).
+
+CSML models "represent crowdsensing queries, which in turn are
+dynamically interpreted to drive the acquisition of sensing data (from
+participating devices) and the subsequent processing to produce the
+query results" (Melo et al. [17]).  The headline CSVM capability —
+"for long running queries, CSVM also allows on-the-fly changes to the
+user's model, which dynamically reflect on the execution of the
+query" — maps to attribute updates on a running ``SensingQuery``.
+"""
+
+from __future__ import annotations
+
+from repro.modeling.constraints import ConstraintRegistry
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model, MObject
+
+__all__ = ["csml_metamodel", "csml_constraints", "QueryBuilder"]
+
+_METAMODEL: Metamodel | None = None
+_CONSTRAINTS: ConstraintRegistry | None = None
+
+
+def csml_metamodel() -> Metamodel:
+    global _METAMODEL
+    if _METAMODEL is not None:
+        return _METAMODEL
+    mm = Metamodel("csml")
+    mm.new_enum("Aggregate", ["mean", "max", "min", "count"])
+
+    campaign = mm.new_class("Campaign")
+    campaign.attribute("name", "string", required=True)
+    campaign.reference("queries", "SensingQuery", containment=True, many=True)
+
+    query = mm.new_class("SensingQuery")
+    query.attribute("name", "string", required=True)
+    query.attribute("sensor", "string", required=True)
+    query.attribute("region", "string", default="")
+    query.attribute("aggregate", "Aggregate", default="mean")
+    query.attribute("minBattery", "float", default=0.0)
+    query.attribute("active", "bool", default=True)
+
+    _METAMODEL = mm.resolve()
+    return _METAMODEL
+
+
+def csml_constraints() -> ConstraintRegistry:
+    global _CONSTRAINTS
+    if _CONSTRAINTS is not None:
+        return _CONSTRAINTS
+    registry = ConstraintRegistry()
+    registry.invariant(
+        "query-battery-range",
+        "SensingQuery",
+        "0 <= self.minBattery <= 100",
+        message="minBattery must be a percentage",
+    )
+    registry.invariant(
+        "campaign-unique-query-names",
+        "Campaign",
+        lambda obj, _ctx: len({q.get("name") for q in obj.get("queries")})
+        == len(obj.get("queries")),
+        message="query names must be unique within a campaign",
+    )
+    registry.invariant(
+        "query-known-sensor",
+        "SensingQuery",
+        "self.sensor in ('temperature', 'noise', 'gps')",
+        message="sensor must be one the simulated fleet provides",
+    )
+    _CONSTRAINTS = registry
+    return _CONSTRAINTS
+
+
+class QueryBuilder:
+    """Fluent construction of CSML campaign models."""
+
+    def __init__(self, name: str) -> None:
+        self.model = Model(csml_metamodel(), name=name)
+        self.campaign = self.model.create_root("Campaign", name=name)
+
+    def query(
+        self,
+        name: str,
+        sensor: str,
+        *,
+        region: str = "",
+        aggregate: str = "mean",
+        min_battery: float = 0.0,
+        active: bool = True,
+    ) -> MObject:
+        query = self.model.create(
+            "SensingQuery",
+            name=name,
+            sensor=sensor,
+            region=region,
+            aggregate=aggregate,
+            minBattery=float(min_battery),
+            active=active,
+        )
+        self.campaign.queries.append(query)
+        return query
+
+    def build(self) -> Model:
+        return self.model

@@ -1,0 +1,412 @@
+"""Domain-specific knowledge for the mobile crowdsensing domain (CSVM).
+
+Queries use their model-object id as the fleet task id, so on-the-fly
+model updates address the running task directly.  Collection rounds
+are Case 2 (dynamic Intent Models): the aggregation dependency varies
+per query (mean/max/min/count) and the *gathering* dependency varies
+by fleet battery pressure — the domain's adaptive variability point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "RESOURCE_NAME",
+    "synthesis_rules",
+    "dsc_specs",
+    "procedure_specs",
+    "controller_action_specs",
+    "classifier_map",
+    "policy_specs",
+    "case_override_specs",
+    "broker_action_specs",
+    "symptom_specs",
+    "plan_specs",
+]
+
+RESOURCE_NAME = "fleet0"
+
+
+def synthesis_rules() -> list[dict[str, Any]]:
+    query_rule = {
+        "class_name": "SensingQuery",
+        "states": {"running": False, "paused": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "running",
+                "guard": "active",
+                "commands": [
+                    {
+                        "operation": "cs.query.start",
+                        "classifier": "cs.query.start",
+                        "args_expr": {"task": "obj.id", "sensor": "sensor",
+                                      "region": "region",
+                                      "min_battery": "minBattery"},
+                    }
+                ],
+            },
+            {
+                "source": "initial", "label": "add", "target": "paused",
+                "guard": "not active",
+                "commands": [],
+            },
+            {
+                # On-the-fly update of a long-running query (Sec. IV-D).
+                "source": "running", "label": "set:sensor", "target": "running",
+                "commands": [
+                    {
+                        "operation": "cs.query.update",
+                        "classifier": "cs.query.update",
+                        "args": {"min_battery": None},
+                        "args_expr": {"task": "object_id", "sensor": "new"},
+                    }
+                ],
+            },
+            {
+                "source": "running", "label": "set:minBattery", "target": "running",
+                "commands": [
+                    {
+                        "operation": "cs.query.update",
+                        "classifier": "cs.query.update",
+                        "args": {"sensor": None},
+                        "args_expr": {"task": "object_id", "min_battery": "new"},
+                    }
+                ],
+            },
+            {
+                "source": "running", "label": "set:aggregate", "target": "running",
+                "commands": [],  # aggregation is applied at collect time
+            },
+            {
+                # Region changes re-scope eligibility: restart the task.
+                "source": "running", "label": "set:region", "target": "running",
+                "commands": [
+                    {
+                        "operation": "cs.query.stop",
+                        "classifier": "cs.query.stop",
+                        "args_expr": {"task": "object_id"},
+                    },
+                    {
+                        "operation": "cs.query.start",
+                        "classifier": "cs.query.start",
+                        "args_expr": {"task": "object_id",
+                                      "sensor": "obj.sensor",
+                                      "region": "new",
+                                      "min_battery": "obj.minBattery"},
+                    },
+                ],
+            },
+            {
+                "source": "running", "label": "set:active", "target": "paused",
+                "guard": "not new",
+                "commands": [
+                    {
+                        "operation": "cs.query.stop",
+                        "classifier": "cs.query.stop",
+                        "args_expr": {"task": "object_id"},
+                    }
+                ],
+            },
+            {
+                "source": "paused", "label": "set:active", "target": "running",
+                "guard": "new",
+                "commands": [
+                    {
+                        "operation": "cs.query.start",
+                        "classifier": "cs.query.start",
+                        "args_expr": {"task": "object_id", "sensor": "obj.sensor",
+                                      "region": "obj.region",
+                                      "min_battery": "obj.minBattery"},
+                    }
+                ],
+            },
+            {
+                "source": "running", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "cs.query.stop",
+                        "classifier": "cs.query.stop",
+                        "args_expr": {"task": "object_id"},
+                    }
+                ],
+            },
+            {
+                "source": "paused", "label": "remove", "target": "initial",
+                "commands": [],
+            },
+        ],
+    }
+    campaign_rule = {
+        "class_name": "Campaign",
+        "states": {"active": False},
+        "transitions": [
+            {"source": "initial", "label": "add", "target": "active",
+             "commands": []},
+            {"source": "active", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    }
+    return [query_rule, campaign_rule]
+
+
+def dsc_specs() -> list[dict[str, Any]]:
+    return [
+        {"name": "cs", "description": "crowdsensing domain root"},
+        {"name": "cs.query", "parent": "cs"},
+        {"name": "cs.query.start", "parent": "cs.query"},
+        {"name": "cs.query.update", "parent": "cs.query"},
+        {"name": "cs.query.stop", "parent": "cs.query"},
+        {"name": "cs.collect", "parent": "cs",
+         "description": "one collection + aggregation round"},
+        {"name": "cs.collect.mean", "parent": "cs.collect"},
+        {"name": "cs.collect.max", "parent": "cs.collect"},
+        {"name": "cs.collect.min", "parent": "cs.collect"},
+        {"name": "cs.collect.count", "parent": "cs.collect"},
+        {"name": "cs.gather", "parent": "cs",
+         "description": "abstract reading acquisition"},
+        {"name": "cs.data", "kind": "data"},
+        {"name": "cs.data.readings", "kind": "data", "parent": "cs.data"},
+    ]
+
+
+def procedure_specs() -> list[dict[str, Any]]:
+    aggregations = {
+        "mean": "sum(values) / len(values)",
+        "max": "max(values)",
+        "min": "min(values)",
+        "count": "len(values)",
+    }
+    procedures: list[dict[str, Any]] = [
+        {
+            "name": "start_query",
+            "classifier": "cs.query.start",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "csb.distribute",
+                                "args_expr": {"task": "task", "sensor": "sensor",
+                                              "region": "region",
+                                              "min_battery": "min_battery"},
+                                "result": "devices"}),
+                    ("RETURN", {"expr": "devices"}),
+                ]
+            },
+        },
+        {
+            "name": "update_query",
+            "classifier": "cs.query.update",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "csb.update",
+                                "args_expr": {"task": "task", "sensor": "sensor",
+                                              "min_battery": "min_battery"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        # Reading acquisition: full sweep vs battery-saving sample.
+        {
+            "name": "gather_all",
+            "classifier": "cs.gather",
+            "attributes": {"cost": 2.0, "reliability": 0.99, "coverage": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "csb.collect",
+                                "args_expr": {"task": "task"},
+                                "result": "readings"}),
+                    ("RETURN", {"expr": "readings"}),
+                ]
+            },
+        },
+        {
+            "name": "gather_sampled",
+            "classifier": "cs.gather",
+            "attributes": {"cost": 1.0, "reliability": 0.95, "coverage": 0.5,
+                           "battery_friendly": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "csb.collect",
+                                "args_expr": {"task": "task"},
+                                "result": "readings"}),
+                    ("SET", {"var": "half",
+                             "expr": "max(1, len(readings) // 2)"}),
+                    ("RETURN", {"expr": "readings[0:half]"}),
+                ]
+            },
+        },
+    ]
+    for kind, formula in aggregations.items():
+        procedures.append(
+            {
+                "name": f"collect_{kind}",
+                "classifier": f"cs.collect.{kind}",
+                "dependencies": ["cs.gather"],
+                "attributes": {"cost": 1.0, "reliability": 0.99},
+                "units": {
+                    "main": [
+                        ("INVOKE", {"dependency": "cs.gather",
+                                    "args_expr": {"task": "task"},
+                                    "result": "readings"}),
+                        ("SET", {"var": "values",
+                                 "expr": "[r['value'] for r in readings]"}),
+                        ("GUARD", {"condition": "len(values) > 0"}),
+                        ("SET", {"var": "aggregated", "expr": formula}),
+                        ("EMIT", {"topic": "controller.cs.result",
+                                  "args_expr": {"task": "task",
+                                                "value": "aggregated",
+                                                "samples": "len(values)"}}),
+                        ("RETURN", {"expr": "aggregated"}),
+                    ]
+                },
+            }
+        )
+    return procedures
+
+
+def controller_action_specs() -> list[dict[str, Any]]:
+    """Case 1 actions cover query lifecycle; collection is Case 2 only."""
+    return [
+        {
+            "name": "act-start-query",
+            "pattern": "cs.query.start",
+            "steps": [
+                {"api": "csb.distribute",
+                 "args_expr": {"task": "task", "sensor": "sensor",
+                               "region": "region", "min_battery": "min_battery"}},
+            ],
+        },
+        {
+            "name": "act-update-query",
+            "pattern": "cs.query.update",
+            "steps": [
+                {"api": "csb.update",
+                 "args_expr": {"task": "task", "sensor": "sensor",
+                               "min_battery": "min_battery"}},
+            ],
+        },
+        {
+            "name": "act-stop-query",
+            "pattern": "cs.query.stop",
+            "steps": [
+                {"api": "csb.revoke", "args_expr": {"task": "task"}},
+            ],
+        },
+    ]
+
+
+def classifier_map() -> dict[str, str]:
+    return {
+        "cs.query.start": "cs.query.start",
+        "cs.query.update": "cs.query.update",
+        "cs.query.stop": "cs.query.stop",
+        "cs.query.collect": "cs.collect",
+    }
+
+
+def case_override_specs() -> list[dict[str, Any]]:
+    # Collection rounds always use dynamic IM generation.
+    return [{"pattern": "cs.query.collect", "case": "intent"}]
+
+
+def policy_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "baseline-scoring",
+            "condition": "True",
+            "weights": {"cost": -1.0, "reliability": 5.0},
+        },
+        {
+            # Low fleet battery: prefer the battery-friendly gatherer.
+            "name": "battery-saver",
+            "condition": "fleet_battery < 30",
+            "weights": {"battery_friendly": 50.0},
+            "applies_to": "cs.gather",
+            "priority": 10,
+        },
+        {
+            # High coverage demanded: prefer full sweeps.
+            "name": "coverage-first",
+            "condition": "coverage_mode == 'full'",
+            "weights": {"coverage": 50.0},
+            "applies_to": "cs.gather",
+            "priority": 5,
+        },
+    ]
+
+
+def broker_action_specs() -> list[dict[str, Any]]:
+    fleet = RESOURCE_NAME
+    return [
+        {
+            "name": "csb-distribute",
+            "pattern": "csb.distribute",
+            "steps": [
+                {"resource": fleet, "operation": "distribute_task",
+                 "args_expr": {"task": "task", "sensor": "sensor",
+                               "region": "region", "min_battery": "min_battery"},
+                 "result": "devices",
+                 "state_expr": "'task:' + task"},
+            ],
+        },
+        {
+            "name": "csb-update",
+            "pattern": "csb.update",
+            "steps": [
+                {"resource": fleet, "operation": "update_task",
+                 "args_expr": {"task": "task", "sensor": "sensor",
+                               "min_battery": "min_battery"}},
+            ],
+        },
+        {
+            "name": "csb-revoke",
+            "pattern": "csb.revoke",
+            "steps": [
+                {"resource": fleet, "operation": "revoke_task",
+                 "args_expr": {"task": "task"}},
+            ],
+        },
+        {
+            "name": "csb-collect",
+            "pattern": "csb.collect",
+            "steps": [
+                {"resource": fleet, "operation": "collect",
+                 "args_expr": {"task": "task"}, "result": "readings"},
+            ],
+        },
+        {
+            "name": "csb-status",
+            "pattern": "csb.status",
+            "steps": [
+                {"resource": fleet, "operation": "fleet_status",
+                 "result": "status", "state": "fleet_status"},
+            ],
+        },
+    ]
+
+
+def symptom_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "device-dropout",
+            "condition": "True",
+            "request_kind": "dropout",
+            "on_topic": f"resource.{RESOURCE_NAME}.device_dropped",
+        },
+    ]
+
+
+def plan_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            # Track dropouts and refresh fleet status for policies.
+            "name": "track-dropouts",
+            "request_kind": "dropout",
+            "steps": [
+                {"set": "dropouts", "expr": "state.get('dropouts', 0) + 1"},
+                {"resource": RESOURCE_NAME, "operation": "fleet_status",
+                 "result": "status", "state": "fleet_status"},
+            ],
+        },
+    ]

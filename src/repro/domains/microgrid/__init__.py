@@ -1,0 +1,17 @@
+"""Smart microgrid domain: MGridML (DSML), DSK, and the MGridVM platform."""
+
+from repro.domains.microgrid.mgridml import (
+    MGridBuilder,
+    mgridml_constraints,
+    mgridml_metamodel,
+)
+from repro.domains.microgrid.mgridvm import (
+    build_mgridvm,
+    build_middleware_model,
+    default_context,
+)
+
+__all__ = [
+    "mgridml_metamodel", "mgridml_constraints", "MGridBuilder",
+    "build_mgridvm", "build_middleware_model", "default_context",
+]

@@ -1,0 +1,598 @@
+"""Domain-specific knowledge for the smart microgrid domain.
+
+Same structure as the communication DSK (pure data interpreted by the
+shared middleware stack): synthesis rules over MGridML metaclasses,
+the grid DSC taxonomy, energy-management procedures (the paper's
+"applies energy management algorithms" in the MCM layer), MHB broker
+actions over the simulated plant, and the autonomic overload-handling
+knowledge.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "RESOURCE_NAME",
+    "synthesis_rules",
+    "dsc_specs",
+    "procedure_specs",
+    "controller_action_specs",
+    "classifier_map",
+    "policy_specs",
+    "broker_action_specs",
+    "symptom_specs",
+    "plan_specs",
+]
+
+RESOURCE_NAME = "plant0"
+
+
+def synthesis_rules() -> list[dict[str, Any]]:
+    device_rule = {
+        "class_name": "DeviceSpec",
+        "states": {"registered": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.register",
+                        "classifier": "grid.device.register",
+                        "args_expr": {
+                            "device": "deviceId", "kind": "kind",
+                            "rating": "powerRating", "priority": "priority",
+                        },
+                    },
+                    {
+                        "operation": "grid.device.set_mode",
+                        "classifier": "grid.device.configure",
+                        "when": "mode != 'off'",
+                        "args_expr": {"device": "deviceId", "mode": "mode"},
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "set:mode", "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.set_mode",
+                        "classifier": "grid.device.configure",
+                        "args_expr": {"device": "obj.deviceId", "mode": "new"},
+                    }
+                ],
+            },
+            {
+                "source": "registered", "label": "set:priority", "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.set_priority",
+                        "classifier": "grid.device.configure",
+                        "args_expr": {"device": "obj.deviceId", "priority": "new"},
+                    }
+                ],
+            },
+            {
+                # Identity/rating/kind edits replace the physical device:
+                # deregister the old registration, register the new one.
+                "source": "registered", "label": "set:deviceId",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.deregister",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "old"},
+                    },
+                    {
+                        "operation": "grid.device.register",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "new", "kind": "obj.kind",
+                                      "rating": "obj.powerRating",
+                                      "priority": "obj.priority"},
+                    },
+                    {
+                        "operation": "grid.device.set_mode",
+                        "classifier": "grid.device.configure",
+                        "when": "obj.mode != 'off'",
+                        "args_expr": {"device": "new", "mode": "obj.mode"},
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "set:powerRating",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.deregister",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "obj.deviceId"},
+                    },
+                    {
+                        "operation": "grid.device.register",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "obj.deviceId",
+                                      "kind": "obj.kind", "rating": "new",
+                                      "priority": "obj.priority"},
+                    },
+                    {
+                        "operation": "grid.device.set_mode",
+                        "classifier": "grid.device.configure",
+                        "when": "obj.mode != 'off'",
+                        "args_expr": {"device": "obj.deviceId",
+                                      "mode": "obj.mode"},
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "set:kind",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "grid.device.deregister",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "obj.deviceId"},
+                    },
+                    {
+                        "operation": "grid.device.register",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "obj.deviceId", "kind": "new",
+                                      "rating": "obj.powerRating",
+                                      "priority": "obj.priority"},
+                    },
+                    {
+                        "operation": "grid.device.set_mode",
+                        "classifier": "grid.device.configure",
+                        "when": "obj.mode != 'off'",
+                        "args_expr": {"device": "obj.deviceId",
+                                      "mode": "obj.mode"},
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "grid.device.deregister",
+                        "classifier": "grid.device.register",
+                        "args_expr": {"device": "obj.deviceId"},
+                    }
+                ],
+            },
+        ],
+    }
+    policy_rule = {
+        "class_name": "EnergyPolicy",
+        "states": {"applied": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "applied",
+                "commands": [
+                    {
+                        "operation": "grid.policy.apply",
+                        "classifier": "grid.policy",
+                        "when": "enabled",
+                        "args_expr": {"policy": "name", "kind": "kind",
+                                      "threshold": "threshold"},
+                    }
+                ],
+            },
+            {
+                "source": "applied", "label": "set:threshold", "target": "applied",
+                "commands": [
+                    {
+                        "operation": "grid.policy.apply",
+                        "classifier": "grid.policy",
+                        "args_expr": {"policy": "obj.name", "kind": "obj.kind",
+                                      "threshold": "new"},
+                    }
+                ],
+            },
+            {
+                "source": "applied", "label": "set:kind", "target": "applied",
+                "commands": [
+                    {
+                        "operation": "grid.policy.apply",
+                        "classifier": "grid.policy",
+                        "args_expr": {"policy": "obj.name", "kind": "new",
+                                      "threshold": "obj.threshold"},
+                    }
+                ],
+            },
+            {
+                "source": "applied", "label": "set:enabled", "target": "applied",
+                "commands": [
+                    {
+                        "operation": "grid.policy.apply",
+                        "classifier": "grid.policy",
+                        "when": "new",
+                        "args_expr": {"policy": "obj.name", "kind": "obj.kind",
+                                      "threshold": "obj.threshold"},
+                    },
+                    {
+                        "operation": "grid.policy.revoke",
+                        "classifier": "grid.policy",
+                        "when": "not new",
+                        "args_expr": {"policy": "obj.name"},
+                    },
+                ],
+            },
+            {
+                "source": "applied", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "grid.policy.revoke",
+                        "classifier": "grid.policy",
+                        "args_expr": {"policy": "obj.name"},
+                    }
+                ],
+            },
+        ],
+    }
+    grid_rule = {
+        "class_name": "MGridModel",
+        "states": {"active": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "active",
+                "commands": [
+                    {
+                        "operation": "grid.configure",
+                        "classifier": "grid.configure",
+                        "args_expr": {"import_limit": "gridImportLimit"},
+                    }
+                ],
+            },
+            {
+                "source": "active", "label": "set:gridImportLimit", "target": "active",
+                "commands": [
+                    {
+                        "operation": "grid.configure",
+                        "classifier": "grid.configure",
+                        "args_expr": {"import_limit": "new"},
+                    }
+                ],
+            },
+            {"source": "active", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    }
+    return [device_rule, policy_rule, grid_rule]
+
+
+def dsc_specs() -> list[dict[str, Any]]:
+    return [
+        {"name": "grid", "description": "microgrid domain root"},
+        {"name": "grid.device", "parent": "grid"},
+        {"name": "grid.device.register", "parent": "grid.device"},
+        {"name": "grid.device.configure", "parent": "grid.device"},
+        {"name": "grid.policy", "parent": "grid"},
+        {"name": "grid.configure", "parent": "grid"},
+        {"name": "grid.balance", "parent": "grid",
+         "description": "abstract supply/demand balancing"},
+        {"name": "grid.metering", "parent": "grid"},
+        {"name": "grid.data", "kind": "data"},
+        {"name": "grid.data.telemetry", "kind": "data", "parent": "grid.data"},
+    ]
+
+
+def procedure_specs() -> list[dict[str, Any]]:
+    """Energy-management procedures.
+
+    ``grid.balance`` is the variability point: under overload the
+    middleware may *shed load* (cheap, uncomfortable) or *dispatch
+    storage* (comfortable, costlier) — chosen by policy and context.
+    """
+    return [
+        {
+            "name": "register_device",
+            "classifier": "grid.device.register",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "mhb.register",
+                                "args_expr": {"device": "device", "kind": "kind",
+                                              "rating": "rating",
+                                              "priority": "priority"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "configure_device",
+            "classifier": "grid.device.configure",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "mhb.set_mode",
+                                "args_expr": {"device": "device", "mode": "mode"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "balance_by_shedding",
+            "classifier": "grid.balance",
+            "dependencies": ["grid.metering"],
+            "attributes": {"cost": 1.0, "comfort": 0.2, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("INVOKE", {"dependency": "grid.metering",
+                                "result": "balance"}),
+                    ("BROKER", {"api": "mhb.shed_load",
+                                "args_expr": {"watts": "balance['grid_import']"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "balance_by_storage",
+            "classifier": "grid.balance",
+            "dependencies": ["grid.metering"],
+            "attributes": {"cost": 3.0, "comfort": 0.9, "reliability": 0.95},
+            "units": {
+                "main": [
+                    ("INVOKE", {"dependency": "grid.metering",
+                                "result": "balance"}),
+                    ("BROKER", {"api": "mhb.dispatch_storage", "result": "ok"}),
+                    ("RETURN", {"expr": "ok"}),
+                ]
+            },
+        },
+        {
+            "name": "read_meter",
+            "classifier": "grid.metering",
+            "attributes": {"cost": 0.3, "reliability": 1.0},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "mhb.read_balance", "result": "balance"}),
+                    ("RETURN", {"expr": "balance"}),
+                ]
+            },
+        },
+    ]
+
+
+def controller_action_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "act-register",
+            "pattern": "grid.device.register",
+            "steps": [
+                {"api": "mhb.register",
+                 "args_expr": {"device": "device", "kind": "kind",
+                               "rating": "rating", "priority": "priority"}},
+            ],
+        },
+        {
+            "name": "act-deregister",
+            "pattern": "grid.device.deregister",
+            "steps": [
+                {"api": "mhb.deregister", "args_expr": {"device": "device"}},
+            ],
+        },
+        {
+            "name": "act-set-mode",
+            "pattern": "grid.device.set_mode",
+            "steps": [
+                {"api": "mhb.set_mode",
+                 "args_expr": {"device": "device", "mode": "mode"}},
+            ],
+        },
+        {
+            "name": "act-set-priority",
+            "pattern": "grid.device.set_priority",
+            "steps": [
+                {"api": "mhb.set_priority",
+                 "args_expr": {"device": "device", "priority": "priority"}},
+            ],
+        },
+        {
+            "name": "act-apply-policy",
+            "pattern": "grid.policy.apply",
+            "steps": [
+                {"api": "mhb.store_policy",
+                 "args_expr": {"policy": "policy", "kind": "kind",
+                               "threshold": "threshold"}},
+            ],
+        },
+        {
+            "name": "act-revoke-policy",
+            "pattern": "grid.policy.revoke",
+            "steps": [
+                {"api": "mhb.drop_policy", "args_expr": {"policy": "policy"}},
+            ],
+        },
+        {
+            "name": "act-configure",
+            "pattern": "grid.configure",
+            "steps": [
+                {"api": "mhb.configure",
+                 "args_expr": {"import_limit": "import_limit"}},
+            ],
+        },
+        {
+            "name": "act-balance",
+            "pattern": "grid.balance",
+            "steps": [
+                {"api": "mhb.read_balance", "result": "balance"},
+                {"api": "mhb.shed_load",
+                 "args_expr": {"watts": "balance['grid_import']"}},
+            ],
+        },
+    ]
+
+
+def classifier_map() -> dict[str, str]:
+    return {
+        "grid.device.register": "grid.device.register",
+        "grid.device.deregister": "grid.device.register",
+        "grid.device.set_mode": "grid.device.configure",
+        "grid.device.set_priority": "grid.device.configure",
+        "grid.policy.*": "grid.policy",
+        "grid.configure": "grid.configure",
+        "grid.balance": "grid.balance",
+    }
+
+
+def policy_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "baseline-scoring",
+            "condition": "True",
+            "weights": {"cost": -1.0, "reliability": 5.0},
+        },
+        {
+            # Comfort-first households dispatch storage before shedding.
+            "name": "comfort-first",
+            "condition": "household_preference == 'comfort'",
+            "weights": {"comfort": 20.0},
+            "applies_to": "grid.balance",
+            "priority": 10,
+        },
+        {
+            # Force dynamic IMs for balancing (inherently contextual).
+            "name": "dynamic-balancing",
+            "condition": "True",
+            "force_case": "intent",
+            "applies_to": "grid.balance",
+        },
+    ]
+
+
+def broker_action_specs() -> list[dict[str, Any]]:
+    plant = RESOURCE_NAME
+    return [
+        {
+            "name": "mhb-register",
+            "pattern": "mhb.register",
+            "steps": [
+                {"resource": plant, "operation": "register_device",
+                 "args_expr": {"device": "device", "kind": "kind",
+                               "power_rating": "rating", "priority": "priority"}},
+            ],
+        },
+        {
+            "name": "mhb-deregister",
+            "pattern": "mhb.deregister",
+            "steps": [
+                {"resource": plant, "operation": "deregister_device",
+                 "args_expr": {"device": "device"}},
+            ],
+        },
+        {
+            "name": "mhb-set-mode",
+            "pattern": "mhb.set_mode",
+            "steps": [
+                {"resource": plant, "operation": "set_mode",
+                 "args_expr": {"device": "device", "mode": "mode"}},
+            ],
+        },
+        {
+            "name": "mhb-set-priority",
+            "pattern": "mhb.set_priority",
+            "steps": [
+                {"resource": plant, "operation": "set_priority",
+                 "args_expr": {"device": "device", "priority": "priority"}},
+            ],
+        },
+        {
+            "name": "mhb-read-balance",
+            "pattern": "mhb.read_balance",
+            "steps": [
+                {"resource": plant, "operation": "read_balance",
+                 "result": "balance", "state": "last_balance"},
+            ],
+        },
+        {
+            "name": "mhb-shed-load",
+            "pattern": "mhb.shed_load",
+            "steps": [
+                {"resource": plant, "operation": "shed_load",
+                 "args_expr": {"watts": "watts"}},
+                {"set": "sheds", "expr": "state.get('sheds', 0) + 1"},
+            ],
+        },
+        {
+            # Dispatch all storage devices into discharging mode.
+            "name": "mhb-dispatch-storage",
+            "pattern": "mhb.dispatch_storage",
+            "steps": [
+                {"resource": plant, "operation": "dispatch_storage",
+                 "result": "dispatched"},
+                {"set": "storage_dispatches",
+                 "expr": "state.get('storage_dispatches', 0) + 1"},
+            ],
+        },
+        {
+            "name": "mhb-store-policy",
+            "pattern": "mhb.store_policy",
+            "steps": [
+                {"set": "policies_applied",
+                 "expr": "state.get('policies_applied', 0) + 1"},
+            ],
+        },
+        {
+            "name": "mhb-drop-policy",
+            "pattern": "mhb.drop_policy",
+            "steps": [
+                {"set": "policies_applied",
+                 "expr": "max(0, state.get('policies_applied', 0) - 1)"},
+            ],
+        },
+        {
+            "name": "mhb-configure",
+            "pattern": "mhb.configure",
+            "steps": [
+                {"resource": plant, "operation": "set_import_limit",
+                 "args_expr": {"limit": "import_limit"}},
+            ],
+        },
+        {
+            "name": "mhb-tick",
+            "pattern": "mhb.tick",
+            "steps": [
+                {"resource": plant, "operation": "tick", "result": "balance",
+                 "state": "last_balance"},
+            ],
+        },
+    ]
+
+
+def symptom_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "grid-overload",
+            "condition": "grid_import > limit",
+            "request_kind": "rebalance",
+            "on_topic": f"resource.{RESOURCE_NAME}.overload",
+        },
+        {
+            "name": "device-failed",
+            "condition": "True",
+            "request_kind": "device-outage",
+            "on_topic": f"resource.{RESOURCE_NAME}.device_failure",
+        },
+    ]
+
+
+def plan_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            # MAPE-K execute: shed enough load to get under the limit.
+            "name": "shed-overload",
+            "request_kind": "rebalance",
+            "steps": [
+                {"resource": RESOURCE_NAME, "operation": "shed_load",
+                 "args_expr": {"watts": "grid_import - limit"}},
+                {"set": "overload_mitigations",
+                 "expr": "state.get('overload_mitigations', 0) + 1"},
+            ],
+        },
+        {
+            "name": "note-outage",
+            "request_kind": "device-outage",
+            "steps": [
+                {"set": "outages", "expr": "state.get('outages', 0) + 1"},
+            ],
+        },
+    ]

@@ -1,0 +1,136 @@
+"""MGridML — the Microgrid Modeling Language (paper Sec. IV-B).
+
+MGridML models express "the configuration requirements of the
+microgrid, which may be a home" (Allison et al. [11]): the devices the
+plant comprises, their desired operating modes and priorities, and the
+energy-management policies the middleware must enforce.  Unlike CML,
+the microgrid domain has *centralized* semantics: one plant, shared
+state, high resource utilization.
+"""
+
+from __future__ import annotations
+
+from repro.modeling.constraints import ConstraintRegistry
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model, MObject
+
+__all__ = ["mgridml_metamodel", "mgridml_constraints", "MGridBuilder"]
+
+_METAMODEL: Metamodel | None = None
+_CONSTRAINTS: ConstraintRegistry | None = None
+
+
+def mgridml_metamodel() -> Metamodel:
+    global _METAMODEL
+    if _METAMODEL is not None:
+        return _METAMODEL
+    mm = Metamodel("mgridml")
+    mm.new_enum("DeviceKind", ["load", "generator", "storage"])
+    mm.new_enum(
+        "DeviceMode", ["off", "on", "standby", "charging", "discharging"]
+    )
+    mm.new_enum("PolicyKind", ["peak_shaving", "cost_saving", "comfort"])
+
+    grid = mm.new_class("MGridModel")
+    grid.attribute("name", "string", required=True)
+    grid.attribute("gridImportLimit", "float", default=5000.0)
+    grid.reference("devices", "DeviceSpec", containment=True, many=True)
+    grid.reference("policies", "EnergyPolicy", containment=True, many=True)
+
+    device = mm.new_class("DeviceSpec")
+    device.attribute("deviceId", "string", required=True)
+    device.attribute("kind", "DeviceKind", required=True)
+    device.attribute("powerRating", "float", required=True)
+    device.attribute("mode", "DeviceMode", default="off")
+    device.attribute("priority", "int", default=1)
+
+    policy = mm.new_class("EnergyPolicy")
+    policy.attribute("name", "string", required=True)
+    policy.attribute("kind", "PolicyKind", required=True)
+    policy.attribute("threshold", "float", default=0.0)
+    policy.attribute("enabled", "bool", default=True)
+
+    _METAMODEL = mm.resolve()
+    return _METAMODEL
+
+
+def mgridml_constraints() -> ConstraintRegistry:
+    global _CONSTRAINTS
+    if _CONSTRAINTS is not None:
+        return _CONSTRAINTS
+    registry = ConstraintRegistry()
+    registry.invariant(
+        "device-positive-rating",
+        "DeviceSpec",
+        "self.powerRating > 0",
+        message="device power rating must be positive",
+    )
+    registry.invariant(
+        "device-mode-matches-kind",
+        "DeviceSpec",
+        lambda obj, _ctx: obj.get("mode")
+        in {
+            "load": ("off", "on", "standby"),
+            "generator": ("off", "on", "standby"),
+            "storage": ("off", "charging", "discharging", "standby"),
+        }[obj.get("kind")],
+        message="device mode is invalid for its kind",
+    )
+    registry.invariant(
+        "grid-unique-device-ids",
+        "MGridModel",
+        lambda obj, _ctx: len({d.get("deviceId") for d in obj.get("devices")})
+        == len(obj.get("devices")),
+        message="device ids must be unique within a microgrid",
+    )
+    registry.invariant(
+        "policy-threshold-nonnegative",
+        "EnergyPolicy",
+        "self.threshold >= 0",
+        message="policy threshold must be non-negative",
+    )
+    _CONSTRAINTS = registry
+    return _CONSTRAINTS
+
+
+class MGridBuilder:
+    """Fluent construction of MGridML instance models."""
+
+    def __init__(self, name: str, *, grid_import_limit: float = 5000.0) -> None:
+        self.model = Model(mgridml_metamodel(), name=name)
+        self.grid = self.model.create_root(
+            "MGridModel", name=name, gridImportLimit=grid_import_limit
+        )
+
+    def device(
+        self,
+        device_id: str,
+        kind: str,
+        power_rating: float,
+        *,
+        mode: str = "off",
+        priority: int = 1,
+    ) -> MObject:
+        device = self.model.create(
+            "DeviceSpec",
+            deviceId=device_id,
+            kind=kind,
+            powerRating=float(power_rating),
+            mode=mode,
+            priority=priority,
+        )
+        self.grid.devices.append(device)
+        return device
+
+    def policy(
+        self, name: str, kind: str, *, threshold: float = 0.0, enabled: bool = True
+    ) -> MObject:
+        policy = self.model.create(
+            "EnergyPolicy", name=name, kind=kind,
+            threshold=float(threshold), enabled=enabled,
+        )
+        self.grid.policies.append(policy)
+        return policy
+
+    def build(self) -> Model:
+        return self.model

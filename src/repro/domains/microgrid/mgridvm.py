@@ -1,0 +1,76 @@
+"""MGridVM — the Microgrid Virtual Machine (paper Sec. IV-B).
+
+Assembles the microgrid middleware model from the DSK and loads it
+into a running platform: MUI (UI), MSE (Synthesis), MCM (Controller)
+and MHB (Broker) over a simulated plant controller.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.domains.assembly import assemble_middleware_model
+from repro.domains.microgrid import dsk
+from repro.domains.microgrid.mgridml import mgridml_constraints, mgridml_metamodel
+from repro.middleware.loader import DomainKnowledge, load_platform
+from repro.middleware.platform import Platform
+from repro.modeling.model import Model
+from repro.runtime.clock import Clock
+from repro.runtime.events import EventBus
+from repro.sim.plant import PlantController
+
+__all__ = ["build_middleware_model", "build_mgridvm", "default_context"]
+
+
+def build_middleware_model(
+    *,
+    name: str = "mgridvm",
+    lean: bool = False,
+    default_case: str = "actions",
+) -> Model:
+    """The MGridVM middleware model."""
+    return assemble_middleware_model(
+        name,
+        "microgrid",
+        dsk,
+        description="Smart microgrid energy management (MGridML/MGridVM)",
+        lean=lean,
+        default_case=default_case,
+        layer_names={"ui": "mui", "synthesis": "mse",
+                     "controller": "mcm", "broker": "mhb"},
+    )
+
+
+def default_context() -> dict[str, Any]:
+    return {"household_preference": "economy", "season": "summer"}
+
+
+def build_mgridvm(
+    *,
+    plant: PlantController | None = None,
+    lean: bool = False,
+    default_case: str = "actions",
+    bus: EventBus | None = None,
+    clock: Clock | None = None,
+) -> Platform:
+    """Create and start an MGridVM platform over a (simulated) plant."""
+    plant = plant or PlantController(dsk.RESOURCE_NAME)
+    if plant.name != dsk.RESOURCE_NAME:
+        raise ValueError(
+            f"plant controller must be named {dsk.RESOURCE_NAME!r} "
+            f"(broker actions are bound to it)"
+        )
+    knowledge = DomainKnowledge(
+        dsml=mgridml_metamodel(),
+        resources=[plant],
+        constraints=mgridml_constraints(),
+    )
+    platform = load_platform(
+        build_middleware_model(lean=lean, default_case=default_case),
+        knowledge,
+        bus=bus,
+        clock=clock,
+    )
+    assert platform.controller is not None
+    platform.controller.context.update(default_context())
+    return platform

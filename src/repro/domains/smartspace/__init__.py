@@ -1,0 +1,21 @@
+"""Smart spaces domain: 2SML (DSML), DSK, and the distributed 2SVM."""
+
+from repro.domains.smartspace.ssml import (
+    SpaceBuilder,
+    ssml_constraints,
+    ssml_metamodel,
+)
+from repro.domains.smartspace.ssvm import (
+    TwoSVM,
+    build_central_model,
+    build_full_model,
+    build_object_node,
+    build_object_node_model,
+)
+
+__all__ = [
+    "ssml_metamodel", "ssml_constraints", "SpaceBuilder",
+    "TwoSVM", "build_central_model", "build_full_model",
+    "build_object_node",
+    "build_object_node_model",
+]

@@ -1,0 +1,628 @@
+"""Domain-specific knowledge for the smart-spaces domain (2SVM).
+
+Commands carry a ``node`` argument naming the object-side runtime that
+must execute them — the deployment in
+:mod:`repro.domains.smartspace.ssvm` routes per-node sub-scripts to
+layer-suppressed platforms (paper Sec. IV-C: the central device runs
+the top layers, smart objects run the bottom two).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "RESOURCE_NAME",
+    "synthesis_rules",
+    "dsc_specs",
+    "procedure_specs",
+    "controller_action_specs",
+    "classifier_map",
+    "policy_specs",
+    "broker_action_specs",
+    "event_binding_specs",
+]
+
+RESOURCE_NAME = "space0"
+
+
+def synthesis_rules() -> list[dict[str, Any]]:
+    object_rule = {
+        "class_name": "SmartObjectSpec",
+        "states": {"registered": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "registered",
+                "commands": [
+                    {
+                        "operation": "ss.object.register",
+                        "classifier": "ss.object.register",
+                        "args_expr": {
+                            "object": "objectId", "kind": "kind", "node": "node",
+                            "capabilities":
+                                "{s.capability: s.value for s in obj.settings}",
+                        },
+                    },
+                ],
+            },
+            {
+                # Identity/kind edits re-register the object in place.
+                "source": "registered", "label": "set:objectId",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "ss.object.deregister",
+                        "classifier": "ss.object.register",
+                        "args_expr": {"object": "old", "node": "obj.node"},
+                    },
+                    {
+                        "operation": "ss.object.register",
+                        "classifier": "ss.object.register",
+                        "args_expr": {
+                            "object": "new", "kind": "obj.kind",
+                            "node": "obj.node",
+                            "capabilities":
+                                "{s.capability: s.value for s in obj.settings}",
+                        },
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "set:kind",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "ss.object.deregister",
+                        "classifier": "ss.object.register",
+                        "args_expr": {"object": "obj.objectId",
+                                      "node": "obj.node"},
+                    },
+                    {
+                        "operation": "ss.object.register",
+                        "classifier": "ss.object.register",
+                        "args_expr": {
+                            "object": "obj.objectId", "kind": "new",
+                            "node": "obj.node",
+                            "capabilities":
+                                "{s.capability: s.value for s in obj.settings}",
+                        },
+                    },
+                ],
+            },
+            {
+                # Node change migrates the object between partitions.
+                "source": "registered", "label": "set:node",
+                "target": "registered",
+                "commands": [
+                    {
+                        "operation": "ss.object.deregister",
+                        "classifier": "ss.object.register",
+                        "args_expr": {"object": "obj.objectId", "node": "old"},
+                    },
+                    {
+                        "operation": "ss.object.register",
+                        "classifier": "ss.object.register",
+                        "args_expr": {
+                            "object": "obj.objectId", "kind": "obj.kind",
+                            "node": "new",
+                            "capabilities":
+                                "{s.capability: s.value for s in obj.settings}",
+                        },
+                    },
+                ],
+            },
+            {
+                "source": "registered", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "ss.object.deregister",
+                        "classifier": "ss.object.register",
+                        "args_expr": {"object": "obj.objectId", "node": "obj.node"},
+                    }
+                ],
+            },
+        ],
+    }
+    setting_rule = {
+        "class_name": "Setting",
+        "states": {"applied": False},
+        "transitions": [
+            {
+                # Settings of a newly added object travel with its
+                # register command; only mark them applied here.
+                "source": "initial", "label": "add", "target": "applied",
+                "commands": [],
+            },
+            {
+                "source": "applied", "label": "set:value", "target": "applied",
+                "commands": [
+                    {
+                        "operation": "ss.object.configure",
+                        "classifier": "ss.object.configure",
+                        "args_expr": {
+                            "object": "obj.container.objectId",
+                            "node": "obj.container.node",
+                            "capability": "obj.capability",
+                            "value": "new",
+                        },
+                    }
+                ],
+            },
+            {
+                "source": "applied", "label": "set:capability",
+                "target": "applied",
+                "commands": [
+                    {
+                        "operation": "ss.object.undefine",
+                        "classifier": "ss.object.configure",
+                        "args_expr": {
+                            "object": "obj.container.objectId",
+                            "node": "obj.container.node",
+                            "capability": "old",
+                        },
+                    },
+                    {
+                        "operation": "ss.object.define",
+                        "classifier": "ss.object.configure",
+                        "args_expr": {
+                            "object": "obj.container.objectId",
+                            "node": "obj.container.node",
+                            "capability": "new",
+                            "value": "obj.value",
+                        },
+                    },
+                ],
+            },
+            {"source": "applied", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    }
+    reaction_rule = {
+        "class_name": "Reaction",
+        "states": {"bound": False},
+        "transitions": [
+            {
+                "source": "initial", "label": "add", "target": "bound",
+                "commands": [
+                    {
+                        "operation": "ss.app.bind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                            "capability": "obj.capability",
+                            "value": "obj.value",
+                        },
+                    }
+                ],
+            },
+            {
+                "source": "bound", "label": "set:capability", "target": "bound",
+                "commands": [
+                    {
+                        "operation": "ss.app.unbind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                        },
+                    },
+                    {
+                        "operation": "ss.app.bind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                            "capability": "new",
+                            "value": "obj.value",
+                        },
+                    },
+                ],
+            },
+            {
+                # Retargeting unbinds at the OLD target's node and binds
+                # at the new one (old_obj still references the old target).
+                "source": "bound", "label": "set:target", "target": "bound",
+                "commands": [
+                    {
+                        "operation": "ss.app.unbind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "old_obj.target.objectId",
+                            "node": "old_obj.target.node",
+                        },
+                    },
+                    {
+                        "operation": "ss.app.bind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                            "capability": "obj.capability",
+                            "value": "obj.value",
+                        },
+                    },
+                ],
+            },
+            {
+                # Editing a reaction re-installs its script (unbind+bind).
+                "source": "bound", "label": "set:value", "target": "bound",
+                "commands": [
+                    {
+                        "operation": "ss.app.unbind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                        },
+                    },
+                    {
+                        "operation": "ss.app.bind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                            "capability": "obj.capability",
+                            "value": "new",
+                        },
+                    },
+                ],
+            },
+            {
+                "source": "bound", "label": "remove", "target": "initial",
+                "commands": [
+                    {
+                        "operation": "ss.app.unbind",
+                        "classifier": "ss.app.bind",
+                        "args_expr": {
+                            "app": "obj.container.name",
+                            "trigger": "obj.container.trigger",
+                            "object": "obj.target.objectId",
+                            "node": "obj.target.node",
+                        },
+                    }
+                ],
+            },
+        ],
+    }
+    passive = [
+        {
+            "class_name": class_name,
+            "states": {"known": False},
+            "transitions": [
+                {"source": "initial", "label": "add", "target": "known",
+                 "commands": []},
+                {"source": "known", "label": "remove", "target": "initial",
+                 "commands": []},
+            ],
+        }
+        for class_name in ("SpaceModel",)
+    ]
+    user_rule = {
+        "class_name": "UserSpec",
+        "states": {"known": False},
+        "transitions": [
+            {"source": "initial", "label": "add", "target": "known",
+             "commands": []},
+            {"source": "known", "label": "set:userId", "target": "known",
+             "commands": []},
+            {"source": "known", "label": "set:name", "target": "known",
+             "commands": []},
+            {"source": "known", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    }
+    app_rule = {
+        "class_name": "UbiApp",
+        "states": {"known": False},
+        "transitions": [
+            {"source": "initial", "label": "add", "target": "known",
+             "commands": []},
+            {"source": "known", "label": "set:name", "target": "known",
+             "commands": []},
+            {
+                # A trigger change re-installs every reaction's script
+                # under the new trigger.
+                "source": "known", "label": "set:trigger", "target": "known",
+                "commands": [
+                    {
+                        "operation": "ss.app.unbind",
+                        "classifier": "ss.app.bind",
+                        "foreach": "obj.reactions",
+                        "args_expr": {
+                            "app": "obj.name",
+                            "trigger": "old",
+                            "object": "item.target.objectId",
+                            "node": "item.target.node",
+                        },
+                    },
+                    {
+                        "operation": "ss.app.bind",
+                        "classifier": "ss.app.bind",
+                        "foreach": "obj.reactions",
+                        "args_expr": {
+                            "app": "obj.name",
+                            "trigger": "new",
+                            "object": "item.target.objectId",
+                            "node": "item.target.node",
+                            "capability": "item.capability",
+                            "value": "item.value",
+                        },
+                    },
+                ],
+            },
+            {"source": "known", "label": "remove", "target": "initial",
+             "commands": []},
+        ],
+    }
+    return [object_rule, setting_rule, reaction_rule, user_rule, app_rule,
+            *passive]
+
+
+def dsc_specs() -> list[dict[str, Any]]:
+    return [
+        {"name": "ss", "description": "smart-space domain root"},
+        {"name": "ss.object", "parent": "ss"},
+        {"name": "ss.object.register", "parent": "ss.object"},
+        {"name": "ss.object.configure", "parent": "ss.object"},
+        {"name": "ss.app", "parent": "ss"},
+        {"name": "ss.app.bind", "parent": "ss.app"},
+        {"name": "ss.presence", "parent": "ss"},
+        {"name": "ss.data", "kind": "data"},
+        {"name": "ss.data.capabilities", "kind": "data", "parent": "ss.data"},
+    ]
+
+
+def procedure_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "register_object",
+            "classifier": "ss.object.register",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "shb.register",
+                                "args_expr": {"object": "object", "kind": "kind",
+                                              "capabilities": "capabilities"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "configure_object",
+            "classifier": "ss.object.configure",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "shb.configure",
+                                "args_expr": {"object": "object",
+                                              "capability": "capability",
+                                              "value": "value"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+        {
+            "name": "bind_app",
+            "classifier": "ss.app.bind",
+            "attributes": {"cost": 1.0, "reliability": 0.99},
+            "units": {
+                "main": [
+                    ("BROKER", {"api": "shb.install",
+                                "args_expr": {"object": "object",
+                                              "trigger": "trigger",
+                                              "app": "app",
+                                              "capability": "capability",
+                                              "value": "value"}}),
+                    ("RETURN", {}),
+                ]
+            },
+        },
+    ]
+
+
+def controller_action_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "act-register-object",
+            "pattern": "ss.object.register",
+            "steps": [
+                {"api": "shb.register",
+                 "args_expr": {"object": "object", "kind": "kind",
+                               "capabilities": "capabilities"}},
+            ],
+        },
+        {
+            "name": "act-deregister-object",
+            "pattern": "ss.object.deregister",
+            "steps": [
+                {"api": "shb.deregister", "args_expr": {"object": "object"}},
+            ],
+        },
+        {
+            "name": "act-configure-object",
+            "pattern": "ss.object.configure",
+            "steps": [
+                {"api": "shb.configure",
+                 "args_expr": {"object": "object", "capability": "capability",
+                               "value": "value"}},
+            ],
+        },
+        {
+            "name": "act-define-capability",
+            "pattern": "ss.object.define",
+            "steps": [
+                {"api": "shb.define",
+                 "args_expr": {"object": "object", "capability": "capability",
+                               "value": "value"}},
+            ],
+        },
+        {
+            "name": "act-undefine-capability",
+            "pattern": "ss.object.undefine",
+            "steps": [
+                {"api": "shb.undefine",
+                 "args_expr": {"object": "object",
+                               "capability": "capability"}},
+            ],
+        },
+        {
+            "name": "act-bind-app",
+            "pattern": "ss.app.bind",
+            "steps": [
+                {"api": "shb.install",
+                 "args_expr": {"object": "object", "trigger": "trigger",
+                               "app": "app", "capability": "capability",
+                               "value": "value"}},
+            ],
+        },
+        {
+            "name": "act-unbind-app",
+            "pattern": "ss.app.unbind",
+            "steps": [
+                {"api": "shb.uninstall",
+                 "args_expr": {"object": "object", "trigger": "trigger",
+                               "app": "app"}},
+            ],
+        },
+    ]
+
+
+def classifier_map() -> dict[str, str]:
+    return {
+        "ss.object.register": "ss.object.register",
+        "ss.object.deregister": "ss.object.register",
+        "ss.object.configure": "ss.object.configure",
+        "ss.object.define": "ss.object.configure",
+        "ss.object.undefine": "ss.object.configure",
+        "ss.app.*": "ss.app.bind",
+    }
+
+
+def policy_specs() -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "baseline-scoring",
+            "condition": "True",
+            "weights": {"cost": -1.0, "reliability": 5.0},
+        },
+    ]
+
+
+def broker_action_specs() -> list[dict[str, Any]]:
+    space = RESOURCE_NAME
+    return [
+        {
+            "name": "shb-register",
+            "pattern": "shb.register",
+            "steps": [
+                {"resource": space, "operation": "register_object",
+                 "args_expr": {"object_id": "object", "kind": "kind",
+                               "capabilities": "capabilities"}},
+            ],
+        },
+        {
+            "name": "shb-deregister",
+            "pattern": "shb.deregister",
+            "steps": [
+                {"resource": space, "operation": "deregister_object",
+                 "args_expr": {"object_id": "object"}},
+            ],
+        },
+        {
+            "name": "shb-configure",
+            "pattern": "shb.configure",
+            "steps": [
+                {"resource": space, "operation": "configure",
+                 "args_expr": {"object_id": "object", "capability": "capability",
+                               "value": "value"}},
+            ],
+        },
+        {
+            "name": "shb-define",
+            "pattern": "shb.define",
+            "steps": [
+                {"resource": space, "operation": "define_capability",
+                 "args_expr": {"object_id": "object",
+                               "capability": "capability",
+                               "value": "value"}},
+            ],
+        },
+        {
+            "name": "shb-undefine",
+            "pattern": "shb.undefine",
+            "steps": [
+                {"resource": space, "operation": "undefine_capability",
+                 "args_expr": {"object_id": "object",
+                               "capability": "capability"}},
+            ],
+        },
+        {
+            "name": "shb-install",
+            "pattern": "shb.install",
+            "steps": [
+                {"resource": space, "operation": "install_script",
+                 "args_expr": {
+                     "object_id": "object", "trigger": "trigger",
+                     "script": "{'app': app, 'capability': capability, 'value': value}",
+                 }},
+            ],
+        },
+        {
+            # Tolerant: rebind sequences (retarget, trigger change) may
+            # unbind a script that an earlier step already replaced.
+            "name": "shb-uninstall",
+            "pattern": "shb.uninstall",
+            "steps": [
+                {"resource": space, "operation": "uninstall_script",
+                 "args": {"missing_ok": True},
+                 "args_expr": {"object_id": "object", "trigger": "trigger",
+                               "app": "app"}},
+            ],
+        },
+    ]
+
+
+def event_binding_specs() -> list[dict[str, Any]]:
+    """Asynchronous trigger execution at the object node (Sec. IV-C)."""
+    space = RESOURCE_NAME
+    return [
+        {
+            "topic_pattern": f"resource.{space}.object_entered",
+            "action": {
+                "name": "shb-run-entry-scripts",
+                "pattern": "*",
+                "steps": [
+                    {"resource": space, "operation": "trigger_scripts",
+                     "args": {"trigger": "object_entered"}},
+                    {"set": "entries", "expr": "state.get('entries', 0) + 1"},
+                ],
+            },
+        },
+        {
+            "topic_pattern": f"resource.{space}.object_left",
+            "action": {
+                "name": "shb-run-exit-scripts",
+                "pattern": "*",
+                "steps": [
+                    {"resource": space, "operation": "trigger_scripts",
+                     "args": {"trigger": "object_left"}},
+                    {"set": "exits", "expr": "state.get('exits', 0) + 1"},
+                ],
+            },
+        },
+    ]

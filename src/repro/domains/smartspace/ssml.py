@@ -1,0 +1,154 @@
+"""2SML — the Smart Spaces Modeling Language (paper Sec. IV-C).
+
+2SML constructs "represent the main kinds of elements that constitute
+smart spaces — users, smart objects, and ubiquitous applications —
+along with the relationships among them" (Freitas et al. [12]).
+
+Metamodel:
+
+* ``SpaceModel`` (root) — the smart space.
+* ``SmartObjectSpec`` — a programmable object; ``node`` names the
+  object-side runtime hosting it (layer-suppressed deployment).
+* ``Setting`` — one capability value of an object.
+* ``UserSpec`` — a user known to the space.
+* ``UbiApp`` — a ubiquitous application: a trigger event plus
+  ``Reaction`` effects installed *on* the objects they touch and
+  executed asynchronously when the trigger fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.modeling.constraints import ConstraintRegistry
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model, MObject
+
+__all__ = ["ssml_metamodel", "ssml_constraints", "SpaceBuilder"]
+
+_METAMODEL: Metamodel | None = None
+_CONSTRAINTS: ConstraintRegistry | None = None
+
+
+def ssml_metamodel() -> Metamodel:
+    global _METAMODEL
+    if _METAMODEL is not None:
+        return _METAMODEL
+    mm = Metamodel("ssml")
+    mm.new_enum("TriggerKind", ["object_entered", "object_left", "announce"])
+
+    space = mm.new_class("SpaceModel")
+    space.attribute("name", "string", required=True)
+    space.reference("objects", "SmartObjectSpec", containment=True, many=True)
+    space.reference("users", "UserSpec", containment=True, many=True)
+    space.reference("apps", "UbiApp", containment=True, many=True)
+
+    obj = mm.new_class("SmartObjectSpec")
+    obj.attribute("objectId", "string", required=True)
+    obj.attribute("kind", "string", default="generic")
+    obj.attribute("node", "string", default="node0")
+    obj.reference("settings", "Setting", containment=True, many=True)
+
+    setting = mm.new_class("Setting")
+    setting.attribute("capability", "string", required=True)
+    setting.attribute("value", "any")
+
+    user = mm.new_class("UserSpec")
+    user.attribute("userId", "string", required=True)
+    user.attribute("name", "string")
+
+    app = mm.new_class("UbiApp")
+    app.attribute("name", "string", required=True)
+    app.attribute("trigger", "TriggerKind", required=True)
+    app.reference("reactions", "Reaction", containment=True, many=True)
+
+    reaction = mm.new_class("Reaction")
+    reaction.attribute("capability", "string", required=True)
+    reaction.attribute("value", "any")
+    reaction.reference("target", "SmartObjectSpec", required=True)
+
+    _METAMODEL = mm.resolve()
+    return _METAMODEL
+
+
+def ssml_constraints() -> ConstraintRegistry:
+    global _CONSTRAINTS
+    if _CONSTRAINTS is not None:
+        return _CONSTRAINTS
+    registry = ConstraintRegistry()
+    registry.invariant(
+        "space-unique-object-ids",
+        "SpaceModel",
+        lambda obj, _ctx: len({o.get("objectId") for o in obj.get("objects")})
+        == len(obj.get("objects")),
+        message="object ids must be unique within a space",
+    )
+    registry.invariant(
+        "object-unique-capabilities",
+        "SmartObjectSpec",
+        lambda obj, _ctx: len({s.get("capability") for s in obj.get("settings")})
+        == len(obj.get("settings")),
+        message="capabilities must be unique per object",
+    )
+    registry.invariant(
+        "reaction-target-in-space",
+        "Reaction",
+        lambda obj, _ctx: (
+            obj.get("target") is not None
+            and obj.root() is obj.get("target").root()
+        ),
+        message="a reaction must target an object of the same space",
+    )
+    _CONSTRAINTS = registry
+    return _CONSTRAINTS
+
+
+class SpaceBuilder:
+    """Fluent construction of 2SML models."""
+
+    def __init__(self, name: str) -> None:
+        self.model = Model(ssml_metamodel(), name=name)
+        self.space = self.model.create_root("SpaceModel", name=name)
+
+    def smart_object(
+        self,
+        object_id: str,
+        *,
+        kind: str = "generic",
+        node: str = "node0",
+        settings: dict[str, Any] | None = None,
+    ) -> MObject:
+        obj = self.model.create(
+            "SmartObjectSpec", objectId=object_id, kind=kind, node=node
+        )
+        for capability, value in dict(settings or {}).items():
+            obj.settings.append(
+                self.model.create("Setting", capability=capability, value=value)
+            )
+        self.space.objects.append(obj)
+        return obj
+
+    def user(self, user_id: str, *, name: str = "") -> MObject:
+        user = self.model.create("UserSpec", userId=user_id, name=name or user_id)
+        self.space.users.append(user)
+        return user
+
+    def app(
+        self,
+        name: str,
+        trigger: str,
+        reactions: list[tuple[MObject, str, Any]],
+    ) -> MObject:
+        """``reactions`` is a list of (target object, capability, value)."""
+        app = self.model.create("UbiApp", name=name, trigger=trigger)
+        for target, capability, value in reactions:
+            app.reactions.append(
+                self.model.create(
+                    "Reaction", target=target, capability=capability, value=value
+                )
+            )
+        self.space.apps.append(app)
+        return app
+
+    def build(self) -> Model:
+        return self.model

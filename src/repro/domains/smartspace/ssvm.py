@@ -1,0 +1,209 @@
+"""2SVM — the Smart Spaces Virtual Machine (paper Sec. IV-C).
+
+The 2SVM is the distributed, layer-suppressed deployment of the
+reference architecture: "the instance of 2SVM that runs on the central
+device that controls the smart space only has the three top layers,
+while the instances that run on smart objects only have the two bottom
+layers.  ... model synthesis only happens in the smart space
+controller, which dispatches the synthesized control scripts to the
+middleware layer on the smart objects."
+
+:class:`TwoSVM` realizes exactly that: a *central node* (UI +
+Synthesis, no Controller/Broker) synthesizes scripts and routes each
+command — by its ``node`` argument — to an *object node* (Controller +
+Broker over that node's :class:`~repro.sim.space.SmartSpace`
+partition).  Installed app scripts execute asynchronously at the
+object nodes when presence events fire (no central involvement).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.domains.assembly import assemble_middleware_model
+from repro.domains.smartspace import dsk
+from repro.domains.smartspace.ssml import ssml_constraints, ssml_metamodel
+from repro.middleware.loader import DomainKnowledge, load_platform
+from repro.middleware.platform import Platform
+from repro.middleware.synthesis.engine import SynthesisResult
+from repro.middleware.synthesis.scripts import Command, ControlScript
+from repro.modeling.model import Model
+from repro.runtime.clock import Clock
+from repro.sim.space import SmartSpace
+
+__all__ = [
+    "build_central_model",
+    "build_full_model",
+    "build_object_node_model",
+    "build_object_node",
+    "TwoSVM",
+]
+
+
+def build_central_model(*, name: str = "2svm-central") -> Model:
+    """Middleware model for the central node (top layers only)."""
+    return assemble_middleware_model(
+        name,
+        "smartspace",
+        dsk,
+        description="2SVM central node: UI + Synthesis (Sec. IV-C)",
+        with_controller=False,
+        with_broker=False,
+    )
+
+
+def build_full_model(*, name: str = "2svm-full") -> Model:
+    """A single-node, four-layer smart-space middleware model.
+
+    Used by tooling (conformance checks, the A2 ablation's full-stack
+    comparator); production deployments use the suppressed
+    central/object-node split below.
+    """
+    return assemble_middleware_model(
+        name,
+        "smartspace",
+        dsk,
+        description="2SVM single-node configuration (all four layers)",
+    )
+
+
+def build_object_node_model(*, name: str = "2svm-node") -> Model:
+    """Middleware model for an object node (bottom layers only)."""
+    return assemble_middleware_model(
+        name,
+        "smartspace",
+        dsk,
+        description="2SVM object node: Controller + Broker (Sec. IV-C)",
+        with_ui=False,
+        with_synthesis=False,
+    )
+
+
+def build_object_node(
+    node_id: str,
+    *,
+    space: SmartSpace | None = None,
+    clock: Clock | None = None,
+) -> Platform:
+    """A running object-node platform over its smart-space partition."""
+    space = space or SmartSpace(dsk.RESOURCE_NAME)
+    if space.name != dsk.RESOURCE_NAME:
+        raise ValueError(
+            f"smart-space resource must be named {dsk.RESOURCE_NAME!r}"
+        )
+    knowledge = DomainKnowledge(dsml=ssml_metamodel(), resources=[space])
+    return load_platform(
+        build_object_node_model(name=f"2svm-{node_id}"), knowledge, clock=clock
+    )
+
+
+class TwoSVM:
+    """The complete distributed 2SVM deployment."""
+
+    def __init__(self, node_ids: list[str] | None = None, *, clock: Clock | None = None) -> None:
+        node_ids = node_ids or ["node0"]
+        knowledge = DomainKnowledge(
+            dsml=ssml_metamodel(), constraints=ssml_constraints()
+        )
+        self.central = load_platform(build_central_model(), knowledge, clock=clock)
+        self.spaces: dict[str, SmartSpace] = {}
+        self.nodes: dict[str, Platform] = {}
+        for node_id in node_ids:
+            space = SmartSpace(dsk.RESOURCE_NAME)
+            self.spaces[node_id] = space
+            self.nodes[node_id] = build_object_node(
+                node_id, space=space, clock=clock
+            )
+        self.scripts_dispatched = 0
+
+    # -- model execution -----------------------------------------------
+
+    def run_model(self, model: Model, **context: Any) -> SynthesisResult:
+        """Synthesize centrally, dispatch per-node scripts remotely."""
+        assert self.central.ui is not None
+        self.central.ui.put_model(model)
+        result = self.central.ui.submit(model, **context)
+        self.dispatch(result.script)
+        return result
+
+    def teardown_model(self) -> SynthesisResult:
+        result = self.central.teardown_model()
+        self.dispatch(result.script)
+        return result
+
+    def dispatch(self, script: ControlScript) -> dict[str, int]:
+        """Route each command to the node named by its ``node`` arg.
+
+        Returns node -> commands dispatched.  Commands without a node
+        argument are broadcast to every node.
+        """
+        per_node: dict[str, list[Command]] = {n: [] for n in self.nodes}
+        for command in script:
+            node_id = command.args.get("node")
+            targets = [node_id] if node_id else list(self.nodes)
+            for target in targets:
+                if target not in self.nodes:
+                    raise ValueError(
+                        f"command {command.operation!r} targets unknown node "
+                        f"{target!r}"
+                    )
+                per_node[target].append(command)
+        dispatched: dict[str, int] = {}
+        for node_id, commands in per_node.items():
+            if not commands:
+                continue
+            sub_script = ControlScript(
+                name=f"{script.name}@{node_id}", commands=list(commands)
+            )
+            outcome = self.nodes[node_id].run_script(sub_script)
+            if not outcome.ok:
+                failures = [o.command.operation for o in outcome.failures()]
+                raise RuntimeError(
+                    f"node {node_id} failed commands {failures!r}"
+                )
+            dispatched[node_id] = len(commands)
+            self.scripts_dispatched += 1
+        return dispatched
+
+    # -- presence driving -------------------------------------------------
+
+    def _space_of(self, object_id: str) -> SmartSpace:
+        for space in self.spaces.values():
+            if object_id in space.objects:
+                return space
+        raise KeyError(f"object {object_id!r} is not registered on any node")
+
+    def object_enters(self, object_id: str) -> None:
+        home = self._space_of(object_id)
+        home.object_enters(object_id)
+        self._propagate(home, object_id, "object_entered")
+
+    def object_leaves(self, object_id: str) -> None:
+        home = self._space_of(object_id)
+        home.object_leaves(object_id)
+        self._propagate(home, object_id, "object_left")
+
+    def _propagate(self, home: SmartSpace, object_id: str, event: str) -> None:
+        """Space-wide presence propagation: every other partition sees
+        the event so its installed scripts can react (Sec. IV-C)."""
+        kind = home.objects[object_id].kind
+        for space in self.spaces.values():
+            if space is not home:
+                space.observe_remote_presence(object_id, kind, event)
+
+    def read_object(self, object_id: str) -> dict[str, Any]:
+        return self._space_of(object_id).op_read_object(object_id)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def stop(self) -> None:
+        self.central.stop()
+        for node in self.nodes.values():
+            node.stop()
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "central": self.central.stats(),
+            "nodes": {nid: n.stats() for nid, n in self.nodes.items()},
+            "scripts_dispatched": self.scripts_dispatched,
+        }

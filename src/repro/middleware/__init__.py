@@ -1,0 +1,44 @@
+"""MD-DSM middleware: the paper's primary contribution.
+
+The package realizes the four-layer reference architecture (UI,
+Synthesis, Controller, Broker), the domain-independent middleware
+metamodel, and the platform loader that turns middleware models plus
+domain knowledge into running platforms.
+"""
+
+from repro.middleware.bridge import (
+    BridgeActivation,
+    BridgeError,
+    BridgeRule,
+    PlatformBridge,
+)
+from repro.middleware.conformance import (
+    ConformanceIssue,
+    ConformanceReport,
+    check_conformance,
+)
+from repro.middleware.loader import DomainKnowledge, LoaderError, load_platform
+from repro.middleware.metamodel import (
+    dumps_json_attr,
+    loads_json_attr,
+    middleware_metamodel,
+)
+from repro.middleware.model import (
+    BrokerLayerBuilder,
+    ControllerLayerBuilder,
+    MiddlewareModelBuilder,
+    SynthesisLayerBuilder,
+)
+from repro.middleware.platform import Platform, PlatformError
+from repro.middleware.ui import ModelWorkspace, UIError
+
+__all__ = [
+    "middleware_metamodel", "dumps_json_attr", "loads_json_attr",
+    "MiddlewareModelBuilder", "BrokerLayerBuilder", "ControllerLayerBuilder",
+    "SynthesisLayerBuilder",
+    "DomainKnowledge", "load_platform", "LoaderError",
+    "Platform", "PlatformError",
+    "ModelWorkspace", "UIError",
+    "check_conformance", "ConformanceReport", "ConformanceIssue",
+    "PlatformBridge", "BridgeRule", "BridgeActivation", "BridgeError",
+]

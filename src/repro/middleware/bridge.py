@@ -1,0 +1,237 @@
+"""Cross-platform bridges: interoperability between domain middlewares.
+
+The paper motivates MD-DSM with smart-city integration — "they argue in
+favor of the integration of such smart systems as an essential aspect
+of a larger smart cities picture" (Sec. II) — and points at
+models@runtime connector synthesis (Bencomo et al.) as "an interesting
+perspective ... for the interoperability problem across different
+domain specific middleware platforms" (Sec. VIII).
+
+:class:`PlatformBridge` is that connector: declarative
+:class:`BridgeRule` entries map *events* surfacing on one platform's
+bus to *commands* submitted to another platform's Controller.  Rules
+are pure data (topic pattern, guard, command template with expressions
+over the event payload), so a bridge is itself model-like knowledge —
+and like everything else in the stack it can be installed, inspected
+and removed at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.middleware.platform import Platform
+from repro.middleware.synthesis.scripts import Command
+from repro.modeling.expr import evaluate
+from repro.runtime.events import Signal, Subscription
+
+__all__ = ["BridgeError", "BridgeRule", "BridgeActivation", "PlatformBridge"]
+
+
+class BridgeError(Exception):
+    """Raised on malformed rules or bridging to an unfit platform."""
+
+
+@dataclass
+class BridgeRule:
+    """One event->command mapping.
+
+    ``command`` is a template dict: ``operation`` (required), literal
+    ``args``, expression-valued ``args_expr`` (evaluated over the event
+    payload plus ``topic``), and optional ``classifier``/``guard``.
+    """
+
+    name: str
+    topic_pattern: str
+    command: Mapping[str, Any]
+    guard: str | None = None
+    #: suppress re-firing for the same (rule, dedup key) — expression
+    #: over the payload; None = fire on every matching event.
+    dedup_expr: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.command.get("operation"):
+            raise BridgeError(f"rule {self.name!r}: command needs an operation")
+
+    def matches(self, topic: str, payload: Mapping[str, Any]) -> bool:
+        if self.topic_pattern.endswith("*"):
+            if not topic.startswith(self.topic_pattern[:-1]):
+                return False
+        elif topic != self.topic_pattern:
+            return False
+        if self.guard is None:
+            return True
+        try:
+            env = dict(payload)
+            env["topic"] = topic
+            return bool(evaluate(self.guard, env))
+        except Exception:  # noqa: BLE001 - missing payload keys = no match
+            return False
+
+    def render(self, topic: str, payload: Mapping[str, Any]) -> Command:
+        env = dict(payload)
+        env["topic"] = topic
+        args = dict(self.command.get("args", {}))
+        for key, expr in dict(self.command.get("args_expr", {})).items():
+            args[key] = evaluate(str(expr), env)
+        return Command(
+            operation=str(self.command["operation"]),
+            args=args,
+            classifier=self.command.get("classifier"),
+        )
+
+    def dedup_key(self, topic: str, payload: Mapping[str, Any]) -> Any:
+        if self.dedup_expr is None:
+            return None
+        env = dict(payload)
+        env["topic"] = topic
+        return evaluate(self.dedup_expr, env)
+
+
+@dataclass(frozen=True)
+class BridgeActivation:
+    """Record of one rule firing (for inspection/testing)."""
+
+    rule: str
+    topic: str
+    operation: str
+    ok: bool
+    detail: str = ""
+
+
+class PlatformBridge:
+    """Forwards events from a source platform to a target's Controller.
+
+    The bridge subscribes to the *source* platform's bus; matching
+    events render commands executed on the *target* platform's
+    Controller layer.  Failures are recorded (and surfaced as
+    ``bridge.failed`` events on the target bus), never propagated back
+    into the source platform's event path — one domain's outage must
+    not poison another's.
+    """
+
+    def __init__(
+        self,
+        source: Platform,
+        target: Platform,
+        *,
+        name: str | None = None,
+    ) -> None:
+        if target.controller is None:
+            raise BridgeError(
+                f"target platform {target.name!r} has no controller layer"
+            )
+        self.source = source
+        self.target = target
+        self.name = name or f"{source.name}->{target.name}"
+        self._rules: list[BridgeRule] = []
+        self._subscription: Subscription | None = None
+        self._seen: set[tuple[str, Any]] = set()
+        self.activations: list[BridgeActivation] = []
+
+    # -- rule management -------------------------------------------------
+
+    def add_rule(self, rule: BridgeRule) -> BridgeRule:
+        if any(r.name == rule.name for r in self._rules):
+            raise BridgeError(f"duplicate bridge rule {rule.name!r}")
+        self._rules.append(rule)
+        return rule
+
+    def rule(
+        self,
+        name: str,
+        topic_pattern: str,
+        command: Mapping[str, Any],
+        *,
+        guard: str | None = None,
+        dedup_expr: str | None = None,
+    ) -> "PlatformBridge":
+        self.add_rule(BridgeRule(
+            name=name, topic_pattern=topic_pattern, command=command,
+            guard=guard, dedup_expr=dedup_expr,
+        ))
+        return self
+
+    def remove_rule(self, name: str) -> None:
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.name != name]
+        if len(self._rules) == before:
+            raise BridgeError(f"no bridge rule {name!r}")
+
+    @property
+    def rule_count(self) -> int:
+        return len(self._rules)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "PlatformBridge":
+        if self._subscription is None:
+            self._subscription = self.source.bus.subscribe(
+                "*", self._on_event
+            )
+        return self
+
+    def stop(self) -> "PlatformBridge":
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._subscription is not None
+
+    # -- event path -----------------------------------------------------------------
+
+    def _on_event(self, signal: Signal) -> None:
+        payload = dict(signal.payload)
+        for rule in self._rules:
+            if not rule.matches(signal.topic, payload):
+                continue
+            dedup = rule.dedup_key(signal.topic, payload)
+            if dedup is not None:
+                token = (rule.name, dedup)
+                if token in self._seen:
+                    continue
+                self._seen.add(token)
+            self._fire(rule, signal.topic, payload)
+
+    def _fire(self, rule: BridgeRule, topic: str, payload: dict[str, Any]) -> None:
+        controller = self.target.controller
+        assert controller is not None
+        try:
+            command = rule.render(topic, payload)
+            outcome = controller.execute_command(command)
+            ok = outcome.ok
+            detail = "" if ok else (
+                outcome.result.error if outcome.result else "unknown"
+            ) or ""
+        except Exception as exc:  # noqa: BLE001 - isolated per design
+            ok = False
+            detail = f"{type(exc).__name__}: {exc}"
+            command = None
+        operation = str(rule.command["operation"])
+        self.activations.append(
+            BridgeActivation(
+                rule=rule.name, topic=topic, operation=operation,
+                ok=ok, detail=detail,
+            )
+        )
+        if not ok:
+            self.target.bus.emit(
+                "bridge.failed", origin=self.name,
+                rule=rule.name, source_topic=topic, detail=detail,
+            )
+
+    def stats(self) -> dict[str, Any]:
+        fired = len(self.activations)
+        failed = sum(1 for a in self.activations if not a.ok)
+        return {"name": self.name, "rules": self.rule_count,
+                "fired": fired, "failed": failed}
+
+    def __repr__(self) -> str:
+        return (
+            f"PlatformBridge({self.name!r}, rules={self.rule_count}, "
+            f"running={self.running})"
+        )

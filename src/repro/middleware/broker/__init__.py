@@ -1,0 +1,34 @@
+"""Broker layer: resource interfacing, actions/handlers, state,
+policy and autonomic management (paper Sec. V-A, Fig. 6)."""
+
+from repro.middleware.broker.actions import (
+    ActionContext,
+    BrokerAction,
+    BrokerActionError,
+    BrokerActionTable,
+    EventBinding,
+    EventBindingTable,
+)
+from repro.middleware.broker.autonomic import (
+    AutonomicManager,
+    ChangePlan,
+    ChangeRequest,
+    Symptom,
+)
+from repro.middleware.broker.layer import BrokerLayer
+from repro.middleware.broker.resource import (
+    CallableResource,
+    Resource,
+    ResourceError,
+    ResourceManager,
+)
+from repro.middleware.broker.state import StateError, StateManager
+
+__all__ = [
+    "BrokerLayer",
+    "BrokerAction", "BrokerActionTable", "BrokerActionError", "ActionContext",
+    "EventBinding", "EventBindingTable",
+    "Resource", "CallableResource", "ResourceManager", "ResourceError",
+    "StateManager", "StateError",
+    "AutonomicManager", "Symptom", "ChangeRequest", "ChangePlan",
+]

@@ -1,0 +1,248 @@
+"""Broker actions and handlers.
+
+Paper Sec. V-A: "Calls and events are handled by selecting and
+dispatching appropriate actions. ... the middleware engineer also
+needs to specify the actions to be executed in response to calls and
+events received by the Broker layer.  These are specified in the model
+as instances of Action and Handler, respectively, which define the
+mechanisms to select the appropriate action in each case."
+
+* :class:`BrokerAction` — behaviour bound to an API pattern.  Either a
+  Python callable or a declarative list of resource invocations (the
+  model-defined form).
+* :class:`BrokerActionTable` — the call Handler: selects the action for
+  an API call (pattern + guard + priority).
+* :class:`EventBinding` — the event Handler: maps resource-event topics
+  to actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.middleware.broker.resource import ResourceManager
+from repro.middleware.broker.state import StateManager
+from repro.modeling.expr import evaluate
+
+__all__ = [
+    "BrokerActionError",
+    "ActionContext",
+    "BrokerAction",
+    "BrokerActionTable",
+    "EventBinding",
+    "EventBindingTable",
+]
+
+
+class BrokerActionError(Exception):
+    """Raised when no action matches or an action is malformed."""
+
+
+@dataclass
+class ActionContext:
+    """Everything a broker action may touch."""
+
+    resources: ResourceManager
+    state: StateManager
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def env(self) -> dict[str, Any]:
+        env: dict[str, Any] = dict(self.state.as_dict())
+        env.update(self.args)
+        env["state"] = self.state.as_dict()
+        return env
+
+
+@dataclass
+class BrokerAction:
+    """One action selectable by the Broker's handlers.
+
+    Declarative steps have the form::
+
+        {"resource": "net0",          # or "resource_expr": "device_id"
+         "operation": "open_session",
+         "args": {...}, "args_expr": {...},
+         "result": "session",          # store into step env
+         "state": "last_session"}      # store into the state manager
+
+    A step may instead update state only: ``{"set": "key",
+    "expr": "..."} ``.
+    """
+
+    name: str
+    pattern: str
+    implementation: (
+        Callable[[ActionContext], Any] | list[Mapping[str, Any]]
+    )
+    guard: str | None = None
+    priority: int = 0
+
+    def matches(self, api: str, env: Mapping[str, Any]) -> bool:
+        if self.pattern.endswith("*"):
+            if not api.startswith(self.pattern[:-1]):
+                return False
+        elif api != self.pattern:
+            return False
+        if self.guard is not None:
+            try:
+                return bool(evaluate(self.guard, dict(env)))
+            except Exception:  # noqa: BLE001 - unmatched guard = no match
+                return False
+        return True
+
+    def run(self, context: ActionContext) -> Any:
+        if callable(self.implementation):
+            return self.implementation(context)
+        env = context.env()
+        value: Any = None
+        for step in self.implementation:
+            if "set" in step:
+                context.state.set(
+                    str(step["set"]), evaluate(str(step["expr"]), env)
+                )
+                env = context.env()
+                continue
+            if "compute" in step:
+                # Pure transformation step: evaluate an expression over
+                # the step environment; becomes the action value.
+                value = evaluate(str(step["compute"]), env)
+                store = step.get("result")
+                if store:
+                    env[store] = value
+                continue
+            resource_name = step.get("resource")
+            if resource_name is None and "resource_expr" in step:
+                resource_name = str(evaluate(str(step["resource_expr"]), env))
+            operation = step.get("operation")
+            if not resource_name or not operation:
+                raise BrokerActionError(
+                    f"action {self.name!r}: step needs resource+operation "
+                    f"or set+expr: {dict(step)!r}"
+                )
+            call_args = dict(step.get("args", {}))
+            for key, expr in dict(step.get("args_expr", {})).items():
+                call_args[key] = evaluate(str(expr), env)
+            value = context.resources.invoke(resource_name, operation, **call_args)
+            store = step.get("result")
+            if store:
+                env[store] = value
+            state_key = step.get("state")
+            if state_key is None and "state_expr" in step:
+                state_key = evaluate(str(step["state_expr"]), env)
+            if state_key:
+                context.state.set(str(state_key), value)
+                env = context.env()
+        return value
+
+
+class BrokerActionTable:
+    """Selects and runs the best action for an API call."""
+
+    def __init__(self, resources: ResourceManager, state: StateManager) -> None:
+        self.resources = resources
+        self.state = state
+        self._actions: list[BrokerAction] = []
+        self.dispatched = 0
+
+    def register(self, action: BrokerAction) -> BrokerAction:
+        if any(a.name == action.name for a in self._actions):
+            raise BrokerActionError(f"duplicate broker action {action.name!r}")
+        self._actions.append(action)
+        return action
+
+    def add(
+        self, name: str, pattern: str, implementation: Any, **kwargs: Any
+    ) -> BrokerAction:
+        return self.register(
+            BrokerAction(name=name, pattern=pattern, implementation=implementation, **kwargs)
+        )
+
+    def select(self, api: str, args: Mapping[str, Any]) -> BrokerAction | None:
+        env = dict(self.state.as_dict())
+        env.update(args)
+        matching = [a for a in self._actions if a.matches(api, env)]
+        if not matching:
+            return None
+        matching.sort(key=lambda a: -a.priority)
+        return matching[0]
+
+    def dispatch(self, api: str, **args: Any) -> Any:
+        action = self.select(api, args)
+        if action is None:
+            raise BrokerActionError(f"no broker action for API {api!r}")
+        self.dispatched += 1
+        return action.run(
+            ActionContext(resources=self.resources, state=self.state, args=dict(args))
+        )
+
+    @property
+    def action_count(self) -> int:
+        return len(self._actions)
+
+    def known_apis(self) -> list[str]:
+        return sorted(a.pattern for a in self._actions)
+
+
+@dataclass
+class EventBinding:
+    """Routes resource events matching ``topic_pattern`` to an action."""
+
+    topic_pattern: str
+    action: BrokerAction
+    guard: str | None = None
+
+    def matches(self, topic: str, payload: Mapping[str, Any]) -> bool:
+        if self.topic_pattern.endswith("*"):
+            if not topic.startswith(self.topic_pattern[:-1]):
+                return False
+        elif topic != self.topic_pattern:
+            return False
+        if self.guard is not None:
+            try:
+                return bool(evaluate(self.guard, dict(payload)))
+            except Exception:  # noqa: BLE001
+                return False
+        return True
+
+
+class EventBindingTable:
+    """The Broker's event Handler: runs actions for resource events."""
+
+    def __init__(self, resources: ResourceManager, state: StateManager) -> None:
+        self.resources = resources
+        self.state = state
+        self._bindings: list[EventBinding] = []
+        self.handled = 0
+
+    def bind(
+        self,
+        topic_pattern: str,
+        action: BrokerAction,
+        *,
+        guard: str | None = None,
+    ) -> EventBinding:
+        binding = EventBinding(topic_pattern=topic_pattern, action=action, guard=guard)
+        self._bindings.append(binding)
+        return binding
+
+    def dispatch(self, topic: str, payload: Mapping[str, Any]) -> int:
+        """Run all matching bindings; returns how many fired."""
+        fired = 0
+        for binding in self._bindings:
+            if binding.matches(topic, payload):
+                args = dict(payload)
+                args["topic"] = topic
+                binding.action.run(
+                    ActionContext(
+                        resources=self.resources, state=self.state, args=args
+                    )
+                )
+                fired += 1
+        if fired:
+            self.handled += 1
+        return fired
+
+    @property
+    def binding_count(self) -> int:
+        return len(self._bindings)

@@ -1,0 +1,222 @@
+"""Autonomic management: self-configuration of the Broker layer.
+
+Paper Sec. V-A: "for the Autonomic Manager, different symptoms, change
+requests and change plans may be defined to specify the different
+situations in which autonomic behavior is triggered and how to handle
+each such occurrence."
+
+This is a compact MAPE-K loop over the layer's monitored state:
+
+* :class:`Symptom` — *monitor/analyze*: a condition over state-manager
+  metrics (optionally narrowed to an event topic) that, when it becomes
+  true, raises a :class:`ChangeRequest`.
+* :class:`ChangeRequest` — the analyzed problem, carrying the symptom
+  and a snapshot of the triggering context.
+* :class:`ChangePlan` — *plan/execute*: a named recipe of broker
+  actions / resource invocations executed to handle a class of change
+  requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.middleware.broker.actions import ActionContext, BrokerActionError
+from repro.middleware.broker.resource import ResourceManager
+from repro.middleware.broker.state import StateManager
+from repro.modeling.expr import evaluate
+
+__all__ = ["Symptom", "ChangeRequest", "ChangePlan", "AutonomicManager"]
+
+_request_seq = itertools.count(1)
+
+
+@dataclass
+class Symptom:
+    """A monitored condition that triggers autonomic behaviour.
+
+    ``condition`` is evaluated against the state manager's variables
+    merged with the triggering event payload (if any).  ``on_topic``
+    restricts evaluation to matching events; a symptom without a topic
+    is (re)evaluated on every state change.
+    """
+
+    name: str
+    condition: str
+    request_kind: str
+    on_topic: str | None = None
+    cooldown: float = 0.0           # seconds between consecutive firings
+    _last_fired: float = field(default=float("-inf"), repr=False)
+
+    def topic_matches(self, topic: str | None) -> bool:
+        if self.on_topic is None:
+            return True
+        if topic is None:
+            return False
+        if self.on_topic.endswith("*"):
+            return topic.startswith(self.on_topic[:-1])
+        return topic == self.on_topic
+
+    def holds(self, env: Mapping[str, Any]) -> bool:
+        try:
+            return bool(evaluate(self.condition, dict(env)))
+        except Exception:  # noqa: BLE001 - missing metrics = not firing
+            return False
+
+
+@dataclass(frozen=True)
+class ChangeRequest:
+    """An analyzed problem awaiting a plan."""
+
+    kind: str
+    symptom: str
+    context: Mapping[str, Any]
+    request_id: int = field(default_factory=lambda: next(_request_seq))
+
+
+@dataclass
+class ChangePlan:
+    """A recipe handling one kind of change request.
+
+    ``steps`` follow the declarative broker-action step format, or the
+    plan may carry a Python callable.
+    """
+
+    name: str
+    request_kind: str
+    steps: list[Mapping[str, Any]] | Callable[[ChangeRequest, ActionContext], Any]
+    guard: str | None = None
+
+    def applicable(self, request: ChangeRequest, env: Mapping[str, Any]) -> bool:
+        if request.kind != self.request_kind:
+            return False
+        if self.guard is None:
+            return True
+        try:
+            return bool(evaluate(self.guard, dict(env)))
+        except Exception:  # noqa: BLE001
+            return False
+
+    def execute(self, request: ChangeRequest, context: ActionContext) -> Any:
+        if callable(self.steps):
+            return self.steps(request, context)
+        from repro.middleware.broker.actions import BrokerAction
+
+        action = BrokerAction(
+            name=f"plan:{self.name}", pattern="*", implementation=list(self.steps)
+        )
+        return action.run(context)
+
+
+class AutonomicManager:
+    """Evaluates symptoms and executes change plans (MAPE-K loop)."""
+
+    def __init__(
+        self,
+        resources: ResourceManager,
+        state: StateManager,
+        *,
+        now: Callable[[], float] | None = None,
+    ) -> None:
+        self.resources = resources
+        self.state = state
+        self._now = now or (lambda: 0.0)
+        self._symptoms: list[Symptom] = []
+        self._plans: list[ChangePlan] = []
+        self.requests_raised: list[ChangeRequest] = []
+        self.plans_executed = 0
+        self.unplanned_requests: list[ChangeRequest] = []
+        self.enabled = True
+        #: re-entrancy guard: plans mutate state, which re-triggers
+        #: observation; nested evaluation is suppressed.
+        self._evaluating = False
+
+    # -- knowledge installation ----------------------------------------------
+
+    def add_symptom(self, symptom: Symptom) -> Symptom:
+        self._symptoms.append(symptom)
+        return symptom
+
+    def add_plan(self, plan: ChangePlan) -> ChangePlan:
+        self._plans.append(plan)
+        return plan
+
+    # -- monitor/analyze entry points ------------------------------------------
+
+    def observe_event(self, topic: str, payload: Mapping[str, Any]) -> int:
+        """Evaluate topic-scoped symptoms against an event; returns the
+        number of change requests raised."""
+        if not self.enabled or self._evaluating:
+            return 0
+        self._evaluating = True
+        try:
+            env = dict(self.state.as_dict())
+            env.update(payload)
+            raised = 0
+            for symptom in self._symptoms:
+                if symptom.on_topic is None or not symptom.topic_matches(topic):
+                    continue
+                raised += self._maybe_fire(symptom, env)
+            return raised
+        finally:
+            self._evaluating = False
+
+    def observe_state(self) -> int:
+        """Evaluate topic-free symptoms against current state."""
+        if not self.enabled or self._evaluating:
+            return 0
+        self._evaluating = True
+        try:
+            env = dict(self.state.as_dict())
+            raised = 0
+            for symptom in self._symptoms:
+                if symptom.on_topic is not None:
+                    continue
+                raised += self._maybe_fire(symptom, env)
+            return raised
+        finally:
+            self._evaluating = False
+
+    def _maybe_fire(self, symptom: Symptom, env: Mapping[str, Any]) -> int:
+        now = self._now()
+        if now - symptom._last_fired < symptom.cooldown:
+            return 0
+        if not symptom.holds(env):
+            return 0
+        symptom._last_fired = now
+        request = ChangeRequest(
+            kind=symptom.request_kind, symptom=symptom.name, context=dict(env)
+        )
+        self.requests_raised.append(request)
+        self._plan_and_execute(request)
+        return 1
+
+    # -- plan/execute -----------------------------------------------------------
+
+    def _plan_and_execute(self, request: ChangeRequest) -> None:
+        env = dict(self.state.as_dict())
+        env.update(request.context)
+        for plan in self._plans:
+            if plan.applicable(request, env):
+                context = ActionContext(
+                    resources=self.resources,
+                    state=self.state,
+                    args=dict(request.context),
+                )
+                try:
+                    plan.execute(request, context)
+                    self.plans_executed += 1
+                except BrokerActionError:
+                    continue  # try the next applicable plan
+                return
+        self.unplanned_requests.append(request)
+
+    @property
+    def symptom_count(self) -> int:
+        return len(self._symptoms)
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,164 @@
+"""The Broker layer façade (main Manager).
+
+Paper Sec. V-A / Fig. 6: "the main Manager ... is responsible for
+exposing the layer's interface and handling calls received from the
+upper layer and events received from the underlying resources.  Calls
+and events are handled by selecting and dispatching appropriate
+actions."
+
+:class:`BrokerLayer` composes the specialized managers — state, policy,
+autonomic and resource — and exposes ``call_api`` (the
+:class:`~repro.middleware.controller.stackmachine.BrokerPort` consumed
+by the Controller) plus upward event forwarding.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.middleware.broker.actions import (
+    BrokerAction,
+    BrokerActionError,
+    BrokerActionTable,
+    EventBindingTable,
+)
+from repro.middleware.broker.autonomic import AutonomicManager, ChangePlan, Symptom
+from repro.middleware.broker.resource import Resource, ResourceManager
+from repro.middleware.broker.state import StateManager
+from repro.middleware.controller.policy import ContextStore, PolicyEngine
+from repro.runtime.component import Component
+from repro.runtime.events import Signal
+
+__all__ = ["BrokerLayer"]
+
+
+class BrokerLayer(Component):
+    """Main manager of the Broker layer.
+
+    Manager sub-structure follows the Broker metamodel (Fig. 6); any
+    manager can be disabled through configuration metadata, which is
+    how leaner configurations are modeled (the paper argues leaner
+    layer configurations offset the model-based overhead, Sec. VII-A):
+
+    * ``enable_autonomic`` (default true)
+    * ``enable_policies`` (default true)
+    * ``enable_state_snapshots`` (default true)
+    """
+
+    def __init__(self, name: str = "broker", **kwargs: Any) -> None:
+        super().__init__(name, **kwargs)
+        self.state = StateManager(name=f"{name}.state")
+        self.resources = ResourceManager(self.bus, name=f"{name}.resources")
+        self.calls = BrokerActionTable(self.resources, self.state)
+        self.events = EventBindingTable(self.resources, self.state)
+        self.policies = PolicyEngine(ContextStore())
+        self.autonomic = AutonomicManager(
+            self.resources, self.state, now=lambda: self.clock.now()
+        )
+        self.api_calls = 0
+        self.events_forwarded = 0
+        self._subscription = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def on_configure(self) -> None:
+        self.autonomic.enabled = _as_bool(self.metadata.get("enable_autonomic", True))
+        self._policies_enabled = _as_bool(
+            self.metadata.get("enable_policies", True)
+        )
+        self._snapshots_enabled = _as_bool(
+            self.metadata.get("enable_state_snapshots", True)
+        )
+
+    def on_start(self) -> None:
+        # Receive events from every registered resource — unless this
+        # configuration has nobody to deliver them to (lean configs
+        # with no bindings, no autonomic manager, and no upper layer
+        # skip the whole event path).
+        needs_events = (
+            self.events.binding_count > 0
+            or self.autonomic.enabled
+            or self.port_or_none("upward") is not None
+        )
+        if needs_events:
+            self._subscription = self.bus.subscribe(
+                "resource.*", self._on_resource_event
+            )
+        if self.autonomic.enabled:
+            self.state.watch(lambda *_: self.autonomic.observe_state())
+
+    def on_stop(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    # -- the layer interface (BrokerPort) -------------------------------------
+
+    def call_api(self, api: str, **args: Any) -> Any:
+        """Handle a call from the Controller layer."""
+        self.require_running()
+        self.api_calls += 1
+        snapshot_taken = False
+        if self._snapshots_enabled and args.pop("_transactional", False):
+            self.state.snapshot()
+            snapshot_taken = True
+        try:
+            result = self.calls.dispatch(api, **args)
+        except Exception:
+            # Any failure inside a transactional call rolls state back
+            # (resource faults included, not just dispatch errors).
+            if snapshot_taken:
+                self.state.restore()
+            raise
+        if snapshot_taken:
+            self.state.drop_snapshot()
+        return result
+
+    # -- installation API (used by the model loader and DSK modules) -----------
+
+    def install_resource(self, resource: Resource) -> Resource:
+        return self.resources.register(resource)
+
+    def install_action(self, action: BrokerAction) -> BrokerAction:
+        return self.calls.register(action)
+
+    def install_event_binding(
+        self, topic_pattern: str, action: BrokerAction, *, guard: str | None = None
+    ) -> None:
+        self.events.bind(topic_pattern, action, guard=guard)
+
+    def install_symptom(self, symptom: Symptom) -> Symptom:
+        return self.autonomic.add_symptom(symptom)
+
+    def install_plan(self, plan: ChangePlan) -> ChangePlan:
+        return self.autonomic.add_plan(plan)
+
+    # -- event path -----------------------------------------------------------------
+
+    def _on_resource_event(self, signal: Signal) -> None:
+        payload = dict(signal.payload)
+        # 1. layer-local event bindings (model-defined reactions)
+        self.events.dispatch(signal.topic, payload)
+        # 2. autonomic monitoring
+        self.autonomic.observe_event(signal.topic, payload)
+        # 3. forward upward for the Controller's event handler
+        self.events_forwarded += 1
+        upward = self.port_or_none("upward")
+        if upward is not None:
+            upward.receive_signal(signal)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "api_calls": self.api_calls,
+            "actions": self.calls.action_count,
+            "resources": len(self.resources),
+            "events_forwarded": self.events_forwarded,
+            "autonomic_requests": len(self.autonomic.requests_raised),
+            "autonomic_plans_executed": self.autonomic.plans_executed,
+        }
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, str):
+        return value.lower() in ("1", "true", "yes", "on")
+    return bool(value)

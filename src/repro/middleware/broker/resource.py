@@ -1,0 +1,162 @@
+"""Resource management: the Broker's interface to the world below.
+
+Paper Sec. V-A: the Broker metamodel defines a resource manager "to
+interface with the underlying resources", and the layer is
+"responsible for interacting with the underlying resources and
+services for the actual execution of commands, considering systems
+issues such as heterogeneity and concurrency" (Sec. III).
+
+A :class:`Resource` is the uniform adapter contract every underlying
+service implements (simulated network services, plant controllers,
+smart objects, sensing devices).  :class:`ResourceManager` hides
+heterogeneity behind name-based dispatch and forwards resource events
+upward.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.runtime.events import EventBus
+
+__all__ = ["ResourceError", "Resource", "CallableResource", "ResourceManager"]
+
+
+class ResourceError(Exception):
+    """Raised on unknown resources/operations or failed invocations."""
+
+
+class Resource:
+    """Adapter contract for an underlying resource or service.
+
+    Subclasses implement :meth:`invoke`; they emit asynchronous
+    occurrences by calling :meth:`notify` (wired to the Broker's bus by
+    the resource manager).
+    """
+
+    def __init__(self, name: str, *, kind: str = "generic") -> None:
+        self.name = name
+        self.kind = kind
+        self._notify: Callable[[str, dict[str, Any]], None] | None = None
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        raise NotImplementedError
+
+    def operations(self) -> list[str]:
+        """Advertised operations (diagnostics; empty = unadvertised)."""
+        return []
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "operations": self.operations()}
+
+    # -- event plumbing ---------------------------------------------------
+
+    def attach(self, notify: Callable[[str, dict[str, Any]], None]) -> None:
+        self._notify = notify
+
+    def detach(self) -> None:
+        self._notify = None
+
+    def notify(self, topic: str, **payload: Any) -> None:
+        if self._notify is not None:
+            self._notify(topic, payload)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} kind={self.kind!r}>"
+
+
+class CallableResource(Resource):
+    """A resource backed by a mapping of operation name -> callable."""
+
+    def __init__(
+        self,
+        name: str,
+        operations: Mapping[str, Callable[..., Any]],
+        *,
+        kind: str = "callable",
+    ) -> None:
+        super().__init__(name, kind=kind)
+        self._operations = dict(operations)
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        fn = self._operations.get(operation)
+        if fn is None:
+            raise ResourceError(
+                f"resource {self.name!r} has no operation {operation!r}"
+            )
+        return fn(**args)
+
+    def operations(self) -> list[str]:
+        return sorted(self._operations)
+
+
+class ResourceManager:
+    """Registers resources and dispatches operations onto them.
+
+    Resource events surface on the Broker's bus under
+    ``resource.<resource-name>.<topic>``.
+    """
+
+    def __init__(self, bus: EventBus, *, name: str = "resources") -> None:
+        self.bus = bus
+        self.name = name
+        self._resources: dict[str, Resource] = {}
+        self.invocations = 0
+
+    def register(self, resource: Resource) -> Resource:
+        if resource.name in self._resources:
+            raise ResourceError(f"duplicate resource {resource.name!r}")
+        self._resources[resource.name] = resource
+        resource.attach(
+            lambda topic, payload, _name=resource.name: self.bus.publish(
+                _resource_event(_name, topic, payload)
+            )
+        )
+        return resource
+
+    def deregister(self, name: str) -> Resource:
+        resource = self._resources.pop(name, None)
+        if resource is None:
+            raise ResourceError(f"no resource {name!r}")
+        resource.detach()
+        return resource
+
+    def get(self, name: str) -> Resource | None:
+        return self._resources.get(name)
+
+    def require(self, name: str) -> Resource:
+        resource = self._resources.get(name)
+        if resource is None:
+            raise ResourceError(f"no resource {name!r}")
+        return resource
+
+    def invoke(self, resource_name: str, operation: str, **args: Any) -> Any:
+        self.invocations += 1
+        return self.require(resource_name).invoke(operation, **args)
+
+    def by_kind(self, kind: str) -> list[Resource]:
+        return [r for r in self._resources.values() if r.kind == kind]
+
+    def inventory(self) -> list[dict[str, Any]]:
+        return [r.describe() for r in self._resources.values()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._resources
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(self._resources.values())
+
+    def __len__(self) -> int:
+        return len(self._resources)
+
+
+def _resource_event(resource_name: str, topic: str, payload: dict[str, Any]):
+    from repro.runtime.events import Event
+
+    merged = dict(payload)
+    merged.setdefault("resource", resource_name)
+    return Event(
+        topic=f"resource.{resource_name}.{topic}",
+        payload=merged,
+        origin=resource_name,
+    )

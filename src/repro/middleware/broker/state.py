@@ -1,0 +1,138 @@
+"""State management: the layer's runtime model.
+
+Paper Sec. V-A: the Broker metamodel includes "state management (to
+store and manipulate the layer's runtime model)".  The runtime model
+has two parts:
+
+* a *variable store* — flat key/value state with snapshot/restore
+  (used by actions and the autonomic manager's monitored metrics), and
+* an optional *model slot* — an :class:`~repro.modeling.model.Model`
+  instance representing the layer's structured runtime model, enabling
+  the models@runtime reflection path (Sec. III).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.modeling.model import Model
+from repro.modeling.serialize import clone_model
+
+__all__ = ["StateError", "StateManager"]
+
+
+class StateError(Exception):
+    """Raised on invalid snapshot/restore operations."""
+
+
+class StateManager:
+    """Key/value runtime state with snapshots plus a structured model slot."""
+
+    def __init__(self, *, name: str = "state") -> None:
+        self.name = name
+        self._values: dict[str, Any] = {}
+        self._snapshots: list[dict[str, Any]] = []
+        self._model: Model | None = None
+        self._watchers: list[Callable[[str, Any, Any], None]] = []
+
+    # -- variable store -----------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._values.get(key, default)
+
+    def set(self, key: str, value: Any) -> None:
+        old = self._values.get(key)
+        if key in self._values and old == value:
+            return  # no change: watchers stay quiet (loop hygiene)
+        self._values[key] = value
+        for watcher in list(self._watchers):
+            watcher(key, old, value)
+
+    def update(self, values: Mapping[str, Any]) -> None:
+        for key, value in values.items():
+            self.set(key, value)
+
+    def delete(self, key: str) -> None:
+        if key in self._values:
+            old = self._values.pop(key)
+            for watcher in list(self._watchers):
+                watcher(key, old, None)
+
+    def increment(self, key: str, delta: float = 1) -> Any:
+        value = self._values.get(key, 0) + delta
+        self.set(key, value)
+        return value
+
+    def keys(self) -> list[str]:
+        return sorted(self._values)
+
+    def watch(self, callback: Callable[[str, Any, Any], None]) -> None:
+        self._watchers.append(callback)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    # -- snapshots (failure recovery) ------------------------------------------
+
+    def snapshot(self) -> int:
+        """Push a snapshot; returns its index."""
+        self._snapshots.append(dict(self._values))
+        return len(self._snapshots) - 1
+
+    def restore(self, index: int | None = None) -> None:
+        """Restore the given (default: latest) snapshot, popping it and
+        any later ones."""
+        if not self._snapshots:
+            raise StateError(f"state {self.name!r}: no snapshot to restore")
+        if index is None:
+            index = len(self._snapshots) - 1
+        if not 0 <= index < len(self._snapshots):
+            raise StateError(f"state {self.name!r}: no snapshot {index}")
+        restored = self._snapshots[index]
+        del self._snapshots[index:]
+        old = self._values
+        self._values = dict(restored)
+        for key in set(old) | set(self._values):
+            if old.get(key) != self._values.get(key):
+                for watcher in list(self._watchers):
+                    watcher(key, old.get(key), self._values.get(key))
+
+    def drop_snapshot(self) -> None:
+        """Discard the latest snapshot (commit point reached)."""
+        if not self._snapshots:
+            raise StateError(f"state {self.name!r}: no snapshot to drop")
+        self._snapshots.pop()
+
+    @property
+    def snapshot_count(self) -> int:
+        return len(self._snapshots)
+
+    # -- structured runtime model -------------------------------------------------
+
+    @property
+    def runtime_model(self) -> Model | None:
+        return self._model
+
+    def install_model(self, model: Model) -> None:
+        self._model = model
+
+    def checkpoint_model(self) -> Model:
+        """A deep copy of the runtime model (comparator input)."""
+        if self._model is None:
+            raise StateError(f"state {self.name!r}: no runtime model installed")
+        return clone_model(self._model)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"StateManager({self.name!r}, keys={len(self._values)}, "
+            f"snapshots={len(self._snapshots)})"
+        )

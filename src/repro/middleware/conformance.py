@@ -1,0 +1,392 @@
+"""Conformance checking between a DSML and a middleware model.
+
+Paper Sec. IX lists as a main research challenge "an approach ... to
+systematically ensure that the generated MD-DSM adequately supports
+the application-level DSML", and Fig. 1 annotates the DSML/middleware
+relationship with "conformance".  This module implements that check as
+a static analysis over the two models:
+
+1. **Coverage** — every concrete DSML metaclass has a synthesis rule;
+   each rule's LTS handles the lifecycle labels its metaclass can
+   produce (``add``/``remove``, ``set:<attr>`` for mutable attributes,
+   ``list:<ref>`` for many-valued features).
+2. **Operation closure** — every command operation a synthesis rule
+   can emit is executable by the Controller: a matching Case 1 action
+   pattern or a Case 2 classifier with at least one candidate
+   procedure.
+3. **API closure** — every Broker API invoked by controller actions or
+   procedure EUs has a matching Broker action.
+4. **Resource closure** — every resource named by broker action steps
+   is declared as a required resource of the Broker layer.
+5. **Reference closure** — event bindings name defined actions; DSC
+   parents exist; procedure classifiers/dependencies name defined DSCs.
+
+The checker is advisory-by-severity: gaps that would fail at runtime
+are errors; suspicious-but-legal configurations (e.g. an attribute
+with no ``set:`` transition — maybe immutable by design) are warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.middleware.metamodel import loads_json_attr, middleware_metamodel
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model, MObject
+
+__all__ = ["ConformanceIssue", "ConformanceReport", "check_conformance"]
+
+
+@dataclass(frozen=True)
+class ConformanceIssue:
+    """One conformance finding."""
+
+    severity: str          # "error" | "warning"
+    area: str              # coverage | operations | apis | resources | references
+    subject: str           # the element concerned
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.area}: {self.subject}: {self.message}"
+
+
+@dataclass
+class ConformanceReport:
+    """All findings of one conformance check."""
+
+    issues: list[ConformanceIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> list[ConformanceIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ConformanceIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def by_area(self, area: str) -> list[ConformanceIssue]:
+        return [i for i in self.issues if i.area == area]
+
+    def add(self, severity: str, area: str, subject: str, message: str) -> None:
+        self.issues.append(ConformanceIssue(severity, area, subject, message))
+
+    def render(self) -> str:
+        if not self.issues:
+            return "conformance: OK (no findings)"
+        lines = [f"conformance: {len(self.errors)} error(s), "
+                 f"{len(self.warnings)} warning(s)"]
+        lines += [f"  {issue}" for issue in self.issues]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.issues)
+
+
+def check_conformance(
+    middleware_model: Model,
+    dsml: Metamodel,
+    *,
+    known_resources: set[str] | None = None,
+) -> ConformanceReport:
+    """Statically check that ``middleware_model`` supports ``dsml``.
+
+    ``known_resources`` optionally names resources the deployment will
+    provide, enabling the resource-closure check to flag steps that
+    address undeclared resources.
+    """
+    if middleware_model.metamodel is not middleware_metamodel():
+        raise ValueError("first argument must be a middleware model")
+    report = ConformanceReport()
+    root = middleware_model.roots[0] if middleware_model.roots else None
+    if root is None or not root.is_a("MiddlewareModel"):
+        report.add("error", "references", "(root)",
+                   "middleware model has no MiddlewareModel root")
+        return report
+
+    synthesis = root.get("synthesis")
+    controller = root.get("controller")
+    broker = root.get("broker")
+
+    emitted_operations = _check_coverage(report, synthesis, dsml)
+    _check_operations(report, controller, emitted_operations)
+    apis_used = _collect_apis(controller)
+    _check_apis(report, broker, apis_used, has_controller=controller is not None)
+    _check_resources(report, broker, known_resources)
+    _check_references(report, controller, broker)
+    return report
+
+
+# -- 1. coverage ----------------------------------------------------------
+
+
+def _check_coverage(
+    report: ConformanceReport, synthesis: MObject | None, dsml: Metamodel
+) -> set[str]:
+    """Check rule coverage of the DSML; return all emittable operations."""
+    emitted: set[str] = set()
+    rules: dict[str, MObject] = {}
+    if synthesis is not None:
+        for rule in synthesis.get("rules"):
+            rules[str(rule.get("className"))] = rule
+            for transition in rule.get("transitions"):
+                for template in loads_json_attr(
+                    transition.get("commandsJson"), []
+                ):
+                    operation = template.get("operation")
+                    if operation:
+                        emitted.add(str(operation))
+    for cls in dsml.iter_classes(concrete_only=True):
+        rule = rules.get(cls.name)
+        if rule is None:
+            severity = "error" if synthesis is not None else "warning"
+            report.add(
+                severity, "coverage", cls.name,
+                "no synthesis rule for this DSML class",
+            )
+            continue
+        labels = {
+            str(t.get("label")) for t in rule.get("transitions")
+        }
+        if "add" not in labels:
+            report.add("error", "coverage", cls.name,
+                       "rule does not handle 'add'")
+        if "remove" not in labels:
+            report.add("warning", "coverage", cls.name,
+                       "rule does not handle 'remove' (teardown will be "
+                       "silently ignored)")
+        for attr_name in cls.all_attributes():
+            if attr_name == "name":
+                continue  # renames are conventionally operational no-ops
+            label = f"set:{attr_name}"
+            attr = cls.all_attributes()[attr_name]
+            if attr.many:
+                label = f"list:{attr_name}"
+            if label not in labels:
+                report.add(
+                    "warning", "coverage", f"{cls.name}.{attr_name}",
+                    f"no transition for {label!r} (attribute edits will "
+                    f"not reach the platform)",
+                )
+        for ref_name, ref in cls.all_references().items():
+            if ref.containment:
+                continue  # containment changes surface as add/remove
+            label = f"list:{ref_name}" if ref.many else f"set:{ref_name}"
+            if label not in labels:
+                report.add(
+                    "warning", "coverage", f"{cls.name}.{ref_name}",
+                    f"no transition for {label!r}",
+                )
+    for class_name in rules:
+        if dsml.find_class(class_name) is None:
+            report.add(
+                "warning", "coverage", class_name,
+                "synthesis rule targets a class the DSML does not define",
+            )
+    return emitted
+
+
+# -- 2. operations --------------------------------------------------------
+
+
+def _pattern_matches(pattern: str, value: str) -> bool:
+    if pattern.endswith("*"):
+        return value.startswith(pattern[:-1])
+    return value == pattern
+
+
+def _check_operations(
+    report: ConformanceReport,
+    controller: MObject | None,
+    operations: set[str],
+) -> None:
+    if controller is None:
+        if operations:
+            # A suppressed controller is a deliberate distributed
+            # configuration (2SVM central node): operations are shipped
+            # to remote nodes, so this is advisory, not an error.
+            report.add(
+                "warning", "operations", "(controller)",
+                f"{len(operations)} operations are emitted but the "
+                f"controller layer is suppressed (a remote controller "
+                f"must serve them)",
+            )
+        return
+    action_patterns = [
+        str(a.get("pattern")) for a in controller.get("actions")
+    ]
+    classifier_map = {
+        str(m.get("pattern")): str(m.get("classifier"))
+        for m in controller.get("classifierMap")
+    }
+    procedures_by_classifier: dict[str, int] = {}
+    dsc_parents: dict[str, str | None] = {
+        str(d.get("name")): (d.get("parent") or None)
+        for d in controller.get("classifiers")
+    }
+    for procedure in controller.get("procedures"):
+        classifier = str(procedure.get("classifier"))
+        procedures_by_classifier[classifier] = (
+            procedures_by_classifier.get(classifier, 0) + 1
+        )
+
+    def classifier_served(classifier: str) -> bool:
+        # a procedure classified by `classifier` or any descendant serves it
+        for candidate, count in procedures_by_classifier.items():
+            if count <= 0:
+                continue
+            node: str | None = candidate
+            while node is not None:
+                if node == classifier:
+                    return True
+                node = dsc_parents.get(node)
+        return False
+
+    for operation in sorted(operations):
+        case1 = any(_pattern_matches(p, operation) for p in action_patterns)
+        classifier = None
+        for pattern, mapped in classifier_map.items():
+            if _pattern_matches(pattern, operation):
+                classifier = mapped
+                break
+        case2 = classifier is not None and classifier_served(classifier)
+        if not case1 and not case2:
+            report.add(
+                "error", "operations", operation,
+                "no Case 1 action matches and no Case 2 procedure can "
+                "serve this emitted operation",
+            )
+
+
+# -- 3. APIs ---------------------------------------------------------------
+
+
+def _collect_apis(controller: MObject | None) -> set[str]:
+    apis: set[str] = set()
+    if controller is None:
+        return apis
+    for action in controller.get("actions"):
+        for step in action.get("steps"):
+            apis.add(str(step.get("api")))
+    for procedure in controller.get("procedures"):
+        for unit in procedure.get("units"):
+            for instruction in unit.get("instructions"):
+                if str(instruction.get("opcode")) != "BROKER":
+                    continue
+                operands = loads_json_attr(
+                    instruction.get("operandsJson"), {}
+                )
+                api = operands.get("api")
+                if api:
+                    apis.add(str(api))
+    return apis
+
+
+def _check_apis(
+    report: ConformanceReport,
+    broker: MObject | None,
+    apis: set[str],
+    *,
+    has_controller: bool,
+) -> None:
+    if broker is None:
+        if apis and has_controller:
+            report.add(
+                "warning", "apis", "(broker)",
+                f"{len(apis)} Broker APIs are invoked but the broker "
+                f"layer is suppressed (a remote broker must serve them)",
+            )
+        return
+    patterns = [str(a.get("pattern")) for a in broker.get("actions")]
+    for api in sorted(apis):
+        if not any(_pattern_matches(p, api) for p in patterns):
+            report.add(
+                "error", "apis", api,
+                "no broker action matches this API",
+            )
+
+
+# -- 4. resources ------------------------------------------------------------
+
+
+def _check_resources(
+    report: ConformanceReport,
+    broker: MObject | None,
+    known_resources: set[str] | None,
+) -> None:
+    if broker is None:
+        return
+    declared = {
+        str(r.get("name")) for r in broker.get("requiredResources")
+    }
+    used: set[str] = set()
+    for action in list(broker.get("actions")) + list(broker.get("plans")):
+        for step in action.get("steps"):
+            resource = step.get("resource")
+            if resource:
+                used.add(str(resource))
+    for resource in sorted(used - declared):
+        report.add(
+            "warning", "resources", resource,
+            "broker steps address this resource but the model does not "
+            "declare it as required",
+        )
+    if known_resources is not None:
+        for resource in sorted(used - set(known_resources)):
+            report.add(
+                "error", "resources", resource,
+                "broker steps address a resource the deployment does "
+                "not provide",
+            )
+
+
+# -- 5. references -------------------------------------------------------------
+
+
+def _check_references(
+    report: ConformanceReport,
+    controller: MObject | None,
+    broker: MObject | None,
+) -> None:
+    if controller is not None:
+        dsc_names = {str(d.get("name")) for d in controller.get("classifiers")}
+        for dsc in controller.get("classifiers"):
+            parent = dsc.get("parent")
+            if parent and str(parent) not in dsc_names:
+                report.add(
+                    "error", "references", str(dsc.get("name")),
+                    f"DSC parent {parent!r} is not defined",
+                )
+        for procedure in controller.get("procedures"):
+            name = str(procedure.get("name"))
+            if str(procedure.get("classifier")) not in dsc_names:
+                report.add(
+                    "error", "references", name,
+                    f"procedure classifier "
+                    f"{procedure.get('classifier')!r} is not a defined DSC",
+                )
+            for dependency in procedure.get("dependencies"):
+                if str(dependency) not in dsc_names:
+                    report.add(
+                        "error", "references", name,
+                        f"dependency {dependency!r} is not a defined DSC",
+                    )
+        for mapping in controller.get("classifierMap"):
+            if str(mapping.get("classifier")) not in dsc_names:
+                report.add(
+                    "error", "references", str(mapping.get("pattern")),
+                    f"classifier map targets undefined DSC "
+                    f"{mapping.get('classifier')!r}",
+                )
+    if broker is not None:
+        action_names = {str(a.get("name")) for a in broker.get("actions")}
+        for binding in broker.get("eventBindings"):
+            if str(binding.get("action")) not in action_names:
+                report.add(
+                    "error", "references", str(binding.get("topicPattern")),
+                    f"event binding names undefined action "
+                    f"{binding.get('action')!r}",
+                )

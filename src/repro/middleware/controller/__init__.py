@@ -1,0 +1,61 @@
+"""Controller layer: command classification, DSCs, procedures,
+Intent Model generation, and the stack-machine execution engine
+(paper Secs. V-B and VI)."""
+
+from repro.middleware.controller.dsc import DSC, DSCError, DSCTaxonomy
+from repro.middleware.controller.handlers import (
+    Action,
+    ActionHandler,
+    CommandClassifier,
+    EventHandler,
+    HandlerError,
+    IntentModelHandler,
+)
+from repro.middleware.controller.intent import (
+    GenerationStats,
+    IntentError,
+    IntentModel,
+    IntentModelGenerator,
+    IntentNode,
+)
+from repro.middleware.controller.layer import (
+    CommandOutcome,
+    ControllerLayer,
+    ScriptOutcome,
+)
+from repro.middleware.controller.policy import (
+    ContextStore,
+    Policy,
+    PolicyDecision,
+    PolicyEngine,
+    PolicyError,
+)
+from repro.middleware.controller.procedure import (
+    ExecutionUnit,
+    Instruction,
+    Procedure,
+    ProcedureError,
+    ProcedureRepository,
+)
+from repro.middleware.controller.stackmachine import (
+    BrokerCallRecord,
+    BrokerPort,
+    ExecutionError,
+    ExecutionResult,
+    GuardFailed,
+    StackMachine,
+)
+
+__all__ = [
+    "DSC", "DSCTaxonomy", "DSCError",
+    "Procedure", "ProcedureRepository", "ProcedureError",
+    "Instruction", "ExecutionUnit",
+    "IntentModel", "IntentNode", "IntentModelGenerator", "IntentError",
+    "GenerationStats",
+    "StackMachine", "ExecutionResult", "ExecutionError", "GuardFailed",
+    "BrokerPort", "BrokerCallRecord",
+    "Policy", "PolicyEngine", "PolicyDecision", "PolicyError", "ContextStore",
+    "Action", "ActionHandler", "IntentModelHandler", "CommandClassifier",
+    "EventHandler", "HandlerError",
+    "ControllerLayer", "CommandOutcome", "ScriptOutcome",
+]

@@ -1,0 +1,188 @@
+"""Domain-Specific Classifiers (DSCs).
+
+Paper Sec. V-B: "Domain Specific Classifiers, or DSCs, categorize
+operations and data based on the business rules of a domain. ... Once
+generated, the DSCs serve as a mechanism to describe interfaces with
+implicit domain-specific constraints."
+
+A :class:`DSC` is a node in a domain taxonomy: it has a name, an
+optional parent (specialization), a kind (``operation`` or ``data``),
+and optional attribute constraints that candidate procedures must
+satisfy.  Matching is covariant: a procedure classified by a *more
+specific* DSC is a valid candidate for a dependency on any of its
+ancestors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+__all__ = ["DSCError", "DSC", "DSCTaxonomy"]
+
+
+class DSCError(Exception):
+    """Raised on malformed or inconsistent classifier definitions."""
+
+
+class DSC:
+    """One classifier in a domain taxonomy."""
+
+    OPERATION = "operation"
+    DATA = "data"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        kind: str = OPERATION,
+        parent: "DSC | None" = None,
+        description: str = "",
+        constraints: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not name:
+            raise DSCError("DSC name must be non-empty")
+        if kind not in (self.OPERATION, self.DATA):
+            raise DSCError(f"DSC {name!r}: kind must be operation|data, got {kind!r}")
+        if parent is not None and parent.kind != kind:
+            raise DSCError(
+                f"DSC {name!r}: kind {kind!r} differs from parent "
+                f"{parent.name!r} kind {parent.kind!r}"
+            )
+        self.name = name
+        self.kind = kind
+        self.parent = parent
+        self.description = description
+        #: Attribute constraints a classified procedure must declare,
+        #: e.g. {"medium": "video"}.  Exact-match semantics.
+        self.constraints = dict(constraints or {})
+
+    def ancestors(self) -> Iterator["DSC"]:
+        node = self.parent
+        seen: set[str] = set()
+        while node is not None:
+            if node.name in seen:
+                raise DSCError(f"classifier cycle through {node.name!r}")
+            seen.add(node.name)
+            yield node
+            node = node.parent
+
+    def is_a(self, other: "DSC | str") -> bool:
+        """True if this classifier equals or specializes ``other``."""
+        other_name = other if isinstance(other, str) else other.name
+        if self.name == other_name:
+            return True
+        return any(a.name == other_name for a in self.ancestors())
+
+    def satisfied_by(self, attributes: Mapping[str, Any]) -> bool:
+        """True if ``attributes`` satisfy this DSC's constraints (and all
+        ancestors' constraints — constraints accumulate down the taxonomy)."""
+        for dsc in (self, *self.ancestors()):
+            for key, expected in dsc.constraints.items():
+                if attributes.get(key) != expected:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        parent = f" < {self.parent.name}" if self.parent else ""
+        return f"DSC({self.name}{parent} [{self.kind}])"
+
+
+class DSCTaxonomy:
+    """A domain's classifier set with name-based lookup and matching."""
+
+    def __init__(self, domain: str) -> None:
+        self.domain = domain
+        self._classifiers: dict[str, DSC] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add(self, dsc: DSC) -> DSC:
+        if dsc.name in self._classifiers:
+            raise DSCError(
+                f"taxonomy {self.domain!r}: duplicate classifier {dsc.name!r}"
+            )
+        if dsc.parent is not None and dsc.parent.name not in self._classifiers:
+            raise DSCError(
+                f"taxonomy {self.domain!r}: parent {dsc.parent.name!r} of "
+                f"{dsc.name!r} must be added first"
+            )
+        self._classifiers[dsc.name] = dsc
+        return dsc
+
+    def define(
+        self,
+        name: str,
+        *,
+        kind: str = DSC.OPERATION,
+        parent: str | None = None,
+        description: str = "",
+        constraints: Mapping[str, Any] | None = None,
+    ) -> DSC:
+        parent_dsc = self.require(parent) if parent is not None else None
+        return self.add(
+            DSC(
+                name,
+                kind=kind,
+                parent=parent_dsc,
+                description=description,
+                constraints=constraints,
+            )
+        )
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, name: str) -> DSC | None:
+        return self._classifiers.get(name)
+
+    def require(self, name: str) -> DSC:
+        dsc = self._classifiers.get(name)
+        if dsc is None:
+            raise DSCError(f"taxonomy {self.domain!r}: no classifier {name!r}")
+        return dsc
+
+    def matches(self, candidate: str, required: str) -> bool:
+        """True if classifier ``candidate`` can stand in for ``required``."""
+        candidate_dsc = self.get(candidate)
+        if candidate_dsc is None:
+            return False
+        return candidate_dsc.is_a(required)
+
+    def descendants_of(self, name: str) -> list[DSC]:
+        base = self.require(name)
+        return [d for d in self._classifiers.values() if d.is_a(base)]
+
+    def operations(self) -> list[DSC]:
+        return [d for d in self._classifiers.values() if d.kind == DSC.OPERATION]
+
+    def data(self) -> list[DSC]:
+        return [d for d in self._classifiers.values() if d.kind == DSC.DATA]
+
+    def roots(self) -> list[DSC]:
+        return [d for d in self._classifiers.values() if d.parent is None]
+
+    def merge(self, other: "DSCTaxonomy") -> "DSCTaxonomy":
+        """A new taxonomy containing both classifier sets (multi-domain
+        deployments); duplicate names raise."""
+        merged = DSCTaxonomy(f"{self.domain}+{other.domain}")
+        for dsc in self:
+            merged._classifiers[dsc.name] = dsc
+        for dsc in other:
+            if dsc.name in merged._classifiers:
+                raise DSCError(
+                    f"merge conflict: classifier {dsc.name!r} exists in both "
+                    f"{self.domain!r} and {other.domain!r}"
+                )
+            merged._classifiers[dsc.name] = dsc
+        return merged
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._classifiers
+
+    def __iter__(self) -> Iterator[DSC]:
+        return iter(self._classifiers.values())
+
+    def __len__(self) -> int:
+        return len(self._classifiers)
+
+    def __repr__(self) -> str:
+        return f"DSCTaxonomy({self.domain!r}, classifiers={len(self)})"

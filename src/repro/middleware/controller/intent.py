@@ -1,0 +1,357 @@
+"""Intent Model (IM) generation, validation and selection.
+
+Paper Sec. V-B: "The generation of an execution model operates on
+procedure metadata to determine the optimal configuration of a set of
+procedures to carry out a requested operation based on active policies.
+It determines valid configurations by examining the DSC-described
+dependencies of a procedure X, and matches them with other procedures
+that are classified by the DSCs on which X depends.  This step is
+repeated recursively while ensuring that unwanted configurations such
+as cycles are avoided, until a procedure dependency tree is generated.
+This tree is referred to as an Intent Model (IM)."
+
+The full cycle measured in the paper's evaluation (Sec. VII-B) is
+**generation, validation, and selection**; the ~1 ms amortized figure
+at 100 000 cycles arises from the configuration cache, which this
+module implements as an LRU keyed by (classifier, repository version,
+policy-relevant context fingerprint).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.middleware.controller.policy import PolicyDecision, PolicyEngine
+from repro.middleware.controller.procedure import Procedure, ProcedureRepository
+
+__all__ = [
+    "IntentError",
+    "IntentNode",
+    "IntentModel",
+    "GenerationStats",
+    "IntentModelGenerator",
+]
+
+
+class IntentError(Exception):
+    """Raised when no valid Intent Model exists for a request."""
+
+
+@dataclass
+class IntentNode:
+    """One node of the procedure dependency tree."""
+
+    procedure: Procedure
+    #: dependency DSC name -> resolved child node (one per declared dep).
+    children: dict[str, "IntentNode"] = field(default_factory=dict)
+
+    def walk(self) -> Iterator["IntentNode"]:
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+    def resolve(self, dependency: str) -> "IntentNode":
+        child = self.children.get(dependency)
+        if child is None:
+            raise IntentError(
+                f"procedure {self.procedure.name!r}: no resolved dependency "
+                f"{dependency!r}"
+            )
+        return child
+
+    def size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children.values())
+
+    def __repr__(self) -> str:
+        return f"IntentNode({self.procedure.name!r}, children={len(self.children)})"
+
+
+@dataclass
+class IntentModel:
+    """A validated procedure dependency tree for one abstract operation."""
+
+    classifier: str
+    root: IntentNode
+    score: float = 0.0
+    from_cache: bool = False
+    configurations_examined: int = 0
+
+    def procedures(self) -> list[Procedure]:
+        return [node.procedure for node in self.root.walk()]
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+    def signature(self) -> tuple[str, ...]:
+        """Stable identity of the selected configuration."""
+        return tuple(node.procedure.name for node in self.root.walk())
+
+    def __repr__(self) -> str:
+        return (
+            f"IntentModel({self.classifier!r}, size={self.size()}, "
+            f"score={self.score:.3f}, cached={self.from_cache})"
+        )
+
+
+@dataclass
+class GenerationStats:
+    """Counters accumulated across generator invocations."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    generated: int = 0
+    configurations_examined: int = 0
+    validations: int = 0
+    failures: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.cache_hits / self.requests
+
+
+class IntentModelGenerator:
+    """Generates, validates, selects and caches Intent Models.
+
+    Parameters:
+        repository: procedure store (provides candidate matching).
+        policies: policy engine; its decision both *filters* (via DSC
+            constraints, handled by the repository) and *ranks*
+            candidate configurations.
+        max_depth: defensive bound on dependency recursion.
+        max_configurations: how many complete configurations to examine
+            per request before selecting the best (the paper's
+            "various ways of executing a particular command").
+        cache_size: number of (classifier, context) entries retained.
+    """
+
+    def __init__(
+        self,
+        repository: ProcedureRepository,
+        policies: PolicyEngine,
+        *,
+        max_depth: int = 16,
+        max_configurations: int = 8,
+        cache_size: int = 512,
+    ) -> None:
+        self.repository = repository
+        self.policies = policies
+        self.max_depth = max_depth
+        self.max_configurations = max_configurations
+        self.cache_size = cache_size
+        self.stats = GenerationStats()
+        self._cache: OrderedDict[tuple, IntentModel] = OrderedDict()
+
+    # -- public API ------------------------------------------------------
+
+    def generate(self, classifier: str, *, use_cache: bool = True) -> IntentModel:
+        """Run a full cycle: generation, validation, selection.
+
+        Raises :class:`IntentError` when no valid configuration exists.
+        """
+        self.stats.requests += 1
+        key = self._cache_key(classifier)
+        if use_cache:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.stats.cache_hits += 1
+                return IntentModel(
+                    classifier=cached.classifier,
+                    root=cached.root,
+                    score=cached.score,
+                    from_cache=True,
+                    configurations_examined=0,
+                )
+        model = self._generate_uncached(classifier)
+        if use_cache:
+            self._cache[key] = model
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return model
+
+    def invalidate(self) -> None:
+        self._cache.clear()
+
+    @property
+    def cache_entries(self) -> int:
+        return len(self._cache)
+
+    # -- generation ---------------------------------------------------------
+
+    def _generate_uncached(self, classifier: str) -> IntentModel:
+        # Policies are scoped by classifier (``applies_to``), so each
+        # resolution level ranks candidates under the decision for *its*
+        # classifier — memoized for the duration of this generation.
+        decisions: dict[str, PolicyDecision] = {}
+
+        def decision_for(name: str) -> PolicyDecision:
+            found = decisions.get(name)
+            if found is None:
+                found = self.policies.decide(name)
+                decisions[name] = found
+            return found
+
+        configurations: list[IntentNode] = []
+        examined = 0
+        for tree in self._enumerate(
+            classifier, path=(), depth=0, decision_for=decision_for
+        ):
+            examined += 1
+            if self._validate(tree):
+                configurations.append(tree)
+            if examined >= self.max_configurations:
+                break
+        self.stats.configurations_examined += examined
+        if not configurations:
+            self.stats.failures += 1
+            raise IntentError(
+                f"no valid Intent Model for classifier {classifier!r} "
+                f"(examined {examined} configurations)"
+            )
+        best = max(
+            configurations, key=lambda t: self._tree_score(t, decision_for)
+        )
+        self.stats.generated += 1
+        return IntentModel(
+            classifier=classifier,
+            root=best,
+            score=self._tree_score(best, decision_for),
+            configurations_examined=examined,
+        )
+
+    def _enumerate(
+        self,
+        classifier: str,
+        *,
+        path: tuple[str, ...],
+        depth: int,
+        decision_for,
+    ) -> Iterator[IntentNode]:
+        """Yield complete dependency trees for ``classifier``, best-first.
+
+        ``path`` carries the procedure names on the current resolution
+        branch; re-entering one is the cycle the paper's generator must
+        avoid.
+        """
+        if depth > self.max_depth:
+            return
+        decision = decision_for(classifier)
+        candidates = self.repository.candidates_for(classifier)
+        candidates.sort(
+            key=lambda p: decision.score(p.attributes, p.name), reverse=True
+        )
+        for candidate in candidates:
+            if candidate.name in path:
+                continue  # cycle avoidance
+            yield from self._expand(
+                candidate, path=path + (candidate.name,), depth=depth,
+                decision_for=decision_for,
+            )
+
+    def _expand(
+        self,
+        procedure: Procedure,
+        *,
+        path: tuple[str, ...],
+        depth: int,
+        decision_for,
+    ) -> Iterator[IntentNode]:
+        """Yield trees rooted at ``procedure`` with all deps resolved."""
+        if not procedure.dependencies:
+            yield IntentNode(procedure=procedure)
+            return
+        yield from self._expand_deps(
+            procedure, list(procedure.dependencies), {}, path=path,
+            depth=depth, decision_for=decision_for,
+        )
+
+    def _expand_deps(
+        self,
+        procedure: Procedure,
+        remaining: list[str],
+        resolved: dict[str, IntentNode],
+        *,
+        path: tuple[str, ...],
+        depth: int,
+        decision_for,
+    ) -> Iterator[IntentNode]:
+        if not remaining:
+            yield IntentNode(procedure=procedure, children=dict(resolved))
+            return
+        dependency, rest = remaining[0], remaining[1:]
+        for subtree in self._enumerate(
+            dependency, path=path, depth=depth + 1, decision_for=decision_for
+        ):
+            resolved[dependency] = subtree
+            yield from self._expand_deps(
+                procedure, rest, resolved, path=path, depth=depth,
+                decision_for=decision_for,
+            )
+            del resolved[dependency]
+
+    # -- validation & selection ----------------------------------------------
+
+    def _validate(self, tree: IntentNode) -> bool:
+        """Structural validation of a candidate configuration.
+
+        Checks: every declared dependency of every node is resolved;
+        resolved children are classified compatibly; no procedure
+        repeats along any root-to-leaf path (cycle freedom); depth
+        bound respected.
+        """
+        self.stats.validations += 1
+        taxonomy = self.repository.taxonomy
+        if tree.depth() > self.max_depth + 1:
+            return False
+
+        def check(node: IntentNode, lineage: set[str]) -> bool:
+            if node.procedure.name in lineage:
+                return False
+            declared = set(node.procedure.dependencies)
+            if declared != set(node.children):
+                return False
+            for dependency, child in node.children.items():
+                if not taxonomy.matches(child.procedure.classifier, dependency):
+                    return False
+                if not check(child, lineage | {node.procedure.name}):
+                    return False
+            return True
+
+        return check(tree, set())
+
+    def _tree_score(self, tree: IntentNode, decision_for) -> float:
+        """Total score: each node under its own classifier's decision."""
+        return sum(
+            decision_for(node.procedure.classifier).score(
+                node.procedure.attributes, node.procedure.name
+            )
+            for node in tree.walk()
+        )
+
+    # -- caching ---------------------------------------------------------------
+
+    def _cache_key(self, classifier: str) -> tuple:
+        return (
+            classifier,
+            self.repository.version,
+            self.policies.context.fingerprint(self.policies.relevant_context_keys()),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IntentModelGenerator(repo={len(self.repository)} procedures, "
+            f"cache={len(self._cache)}/{self.cache_size})"
+        )

@@ -1,0 +1,260 @@
+"""Procedures and Execution Units (EUs).
+
+Paper Sec. V-B: "Procedures, and their accompanying execution units
+(EUs), undertake the domain specific operations of the controller.
+They are classified by DSCs (... a single procedure [is] classified by
+a single DSC), allowing them to be considered as candidates to realize
+the abstract operation (i.e., the interface) that matches their
+classifying DSC."
+
+A :class:`Procedure` is pure metadata + behaviour description; its
+behaviour is a sequence of :class:`Instruction` objects executed by the
+Controller's stack machine.  The instruction set is the Controller's
+*model of execution* (domain-independent): memory management, event
+handling, message passing and remote (Broker) calls — exactly the
+categories the paper lists.
+
+Instruction opcodes:
+
+=============  =========================================================
+``SET``        bind a local variable from a safe expression
+``BROKER``     call a Broker-layer API (``api``, templated ``args``)
+``INVOKE``     DSC-based call of a declared dependency (pushes a frame)
+``EMIT``       raise an event to the Controller's event handler
+``GUARD``      abort this frame unless the expression holds
+``RETURN``     finish this frame (optionally yielding a value)
+``NOOP``       spin ``cost`` units of simulated work (calibration)
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.middleware.controller.dsc import DSCError, DSCTaxonomy
+
+__all__ = [
+    "ProcedureError",
+    "Instruction",
+    "ExecutionUnit",
+    "Procedure",
+    "ProcedureRepository",
+]
+
+
+class ProcedureError(Exception):
+    """Raised on malformed procedures or repository inconsistencies."""
+
+
+_OPCODES = {"SET", "BROKER", "INVOKE", "EMIT", "GUARD", "RETURN", "NOOP"}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One stack-machine instruction."""
+
+    opcode: str
+    operands: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.opcode not in _OPCODES:
+            raise ProcedureError(f"unknown opcode {self.opcode!r}")
+
+    def operand(self, key: str, default: Any = None) -> Any:
+        return self.operands.get(key, default)
+
+    def __str__(self) -> str:
+        return f"{self.opcode} {dict(self.operands)!r}"
+
+
+@dataclass
+class ExecutionUnit:
+    """A named, ordered block of instructions within a procedure.
+
+    Procedures usually have a single ``main`` EU; compensation/rollback
+    behaviour goes in additional EUs (e.g. ``on_error``).
+    """
+
+    name: str
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def add(self, opcode: str, **operands: Any) -> "ExecutionUnit":
+        self.instructions.append(Instruction(opcode, operands))
+        return self
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class Procedure:
+    """Metadata and behaviour of one domain operation implementation.
+
+    Attributes:
+        name: unique within a repository.
+        classifier: the single DSC classifying this procedure.
+        dependencies: DSC names this procedure may ``INVOKE``.
+        attributes: quality/constraint metadata consulted by DSC
+            constraint matching and policy scoring (e.g. ``cost``,
+            ``reliability``, ``medium``).
+        execution_units: named EU blocks; ``main`` is the entry point.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        classifier: str,
+        *,
+        dependencies: list[str] | tuple[str, ...] = (),
+        attributes: Mapping[str, Any] | None = None,
+        description: str = "",
+    ) -> None:
+        if not name:
+            raise ProcedureError("procedure name must be non-empty")
+        if not classifier:
+            raise ProcedureError(f"procedure {name!r} requires a classifier")
+        self.name = name
+        self.classifier = classifier
+        self.dependencies: tuple[str, ...] = tuple(dependencies)
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.description = description
+        self.execution_units: dict[str, ExecutionUnit] = {}
+
+    # -- behaviour construction ------------------------------------------
+
+    def unit(self, name: str = "main") -> ExecutionUnit:
+        """Get or create an execution unit."""
+        if name not in self.execution_units:
+            self.execution_units[name] = ExecutionUnit(name)
+        return self.execution_units[name]
+
+    @property
+    def main(self) -> ExecutionUnit:
+        return self.unit("main")
+
+    def has_unit(self, name: str) -> bool:
+        return name in self.execution_units
+
+    # -- metadata queries ---------------------------------------------------
+
+    @property
+    def cost(self) -> float:
+        """Estimated execution cost (policy scoring input; default 1.0)."""
+        return float(self.attributes.get("cost", 1.0))
+
+    @property
+    def reliability(self) -> float:
+        """Estimated reliability in [0, 1] (default 1.0)."""
+        return float(self.attributes.get("reliability", 1.0))
+
+    def instruction_count(self) -> int:
+        return sum(len(eu) for eu in self.execution_units.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Procedure({self.name!r}: {self.classifier}, "
+            f"deps={list(self.dependencies)})"
+        )
+
+
+class ProcedureRepository:
+    """The Controller's procedure store, indexed by classifier.
+
+    Candidate lookup implements the paper's covariant matching: a
+    dependency on DSC ``D`` is satisfied by any procedure whose
+    classifier `is_a` ``D`` and whose attributes satisfy ``D``'s
+    accumulated constraints.
+    """
+
+    def __init__(self, taxonomy: DSCTaxonomy) -> None:
+        self.taxonomy = taxonomy
+        self._procedures: dict[str, Procedure] = {}
+        self._by_classifier: dict[str, list[Procedure]] = {}
+        #: bumped on every mutation; used to invalidate IM caches.
+        self.version = 0
+
+    def add(self, procedure: Procedure) -> Procedure:
+        if procedure.name in self._procedures:
+            raise ProcedureError(f"duplicate procedure {procedure.name!r}")
+        try:
+            self.taxonomy.require(procedure.classifier)
+        except DSCError as exc:
+            raise ProcedureError(str(exc)) from exc
+        for dep in procedure.dependencies:
+            if dep not in self.taxonomy:
+                raise ProcedureError(
+                    f"procedure {procedure.name!r}: unknown dependency DSC {dep!r}"
+                )
+        self._procedures[procedure.name] = procedure
+        self._by_classifier.setdefault(procedure.classifier, []).append(procedure)
+        self.version += 1
+        return procedure
+
+    def remove(self, name: str) -> Procedure:
+        procedure = self._procedures.pop(name, None)
+        if procedure is None:
+            raise ProcedureError(f"no procedure {name!r}")
+        self._by_classifier[procedure.classifier].remove(procedure)
+        self.version += 1
+        return procedure
+
+    def get(self, name: str) -> Procedure | None:
+        return self._procedures.get(name)
+
+    def require(self, name: str) -> Procedure:
+        procedure = self._procedures.get(name)
+        if procedure is None:
+            raise ProcedureError(f"no procedure {name!r}")
+        return procedure
+
+    def candidates_for(self, classifier: str) -> list[Procedure]:
+        """All procedures that can realize the abstract operation
+        described by ``classifier`` (covariant + constraint matching)."""
+        required = self.taxonomy.get(classifier)
+        if required is None:
+            return []
+        result: list[Procedure] = []
+        for dsc in self.taxonomy.descendants_of(classifier):
+            for procedure in self._by_classifier.get(dsc.name, []):
+                if required.satisfied_by(procedure.attributes):
+                    result.append(procedure)
+        return result
+
+    def classifiers_in_use(self) -> set[str]:
+        return set(self._by_classifier)
+
+    def check_closure(self) -> list[str]:
+        """Diagnostics: dependencies with no candidate at all.
+
+        Returns a list of human-readable problems (empty = closed).
+        The middleware engineer runs this at model-load time (paper:
+        "automated tools to verify the consistency of the generated
+        middleware").
+        """
+        problems: list[str] = []
+        for procedure in self._procedures.values():
+            for dep in procedure.dependencies:
+                if not self.candidates_for(dep):
+                    problems.append(
+                        f"procedure {procedure.name!r}: dependency {dep!r} "
+                        f"has no candidate procedure"
+                    )
+        return problems
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._procedures
+
+    def __iter__(self) -> Iterator[Procedure]:
+        return iter(self._procedures.values())
+
+    def __len__(self) -> int:
+        return len(self._procedures)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcedureRepository(domain={self.taxonomy.domain!r}, "
+            f"procedures={len(self)})"
+        )

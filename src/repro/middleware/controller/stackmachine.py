@@ -1,0 +1,278 @@
+"""The Controller's execution engine: a stack machine over Intent Models.
+
+Paper Sec. V-B: "The execution engine of the Controller is a stack
+machine that operates by executing the EUs of the procedure currently
+on top of the stack.  ... a procedure X, through its EUs, can call
+procedures that were matched to its declared dependencies, which
+results in the called procedure being pushed onto the stack, or it can
+signal that it has completed its operation, resulting in the procedure
+being popped from the stack."
+
+The machine executes :class:`~repro.middleware.controller.procedure.
+Instruction` opcodes; ``BROKER`` instructions call into the Broker
+layer through a :class:`BrokerPort`, and ``EMIT`` raises events to the
+Controller's event handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol
+
+from repro.middleware.controller.intent import IntentError, IntentModel, IntentNode
+from repro.middleware.controller.procedure import Instruction
+from repro.modeling.expr import ExpressionError, evaluate
+
+__all__ = [
+    "ExecutionError",
+    "GuardFailed",
+    "BrokerPort",
+    "BrokerCallRecord",
+    "ExecutionResult",
+    "StackMachine",
+]
+
+
+class ExecutionError(Exception):
+    """Raised on runaway executions or bad instructions."""
+
+
+class GuardFailed(ExecutionError):
+    """A ``GUARD`` instruction evaluated false (frame aborted)."""
+
+
+class BrokerPort(Protocol):
+    """What the stack machine needs from the Broker layer."""
+
+    def call_api(self, api: str, **args: Any) -> Any:  # pragma: no cover
+        ...
+
+
+@dataclass(frozen=True)
+class BrokerCallRecord:
+    """Trace entry for one Broker API call (E5 equivalence checking)."""
+
+    api: str
+    args: tuple[tuple[str, Any], ...]
+    result: Any = None
+
+    @classmethod
+    def of(cls, api: str, args: Mapping[str, Any], result: Any) -> "BrokerCallRecord":
+        return cls(api=api, args=tuple(sorted(args.items())), result=result)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in self.args)
+        return f"{self.api}({rendered})"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one Intent Model."""
+
+    status: str = "ok"                        # ok | guard_failed | error
+    value: Any = None
+    broker_calls: list[BrokerCallRecord] = field(default_factory=list)
+    events: list[tuple[str, dict[str, Any]]] = field(default_factory=list)
+    instructions_executed: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def call_trace(self) -> list[str]:
+        return [str(record) for record in self.broker_calls]
+
+
+@dataclass
+class _Frame:
+    node: IntentNode
+    unit_name: str
+    locals: dict[str, Any]
+    pc: int = 0
+    #: where to store the RETURN value in the parent frame (or None).
+    result_var: str | None = None
+
+
+class StackMachine:
+    """Executes Intent Models against a Broker port.
+
+    One machine instance is reusable across executions; it holds no
+    per-execution state.
+    """
+
+    def __init__(
+        self,
+        broker: BrokerPort,
+        *,
+        emit: Callable[[str, dict[str, Any]], None] | None = None,
+        context: Mapping[str, Any] | None = None,
+        max_instructions: int = 100_000,
+        work: Callable[[float], None] | None = None,
+    ) -> None:
+        self.broker = broker
+        self._emit = emit
+        self.context = dict(context or {})
+        self.max_instructions = max_instructions
+        #: hook charging simulated work for NOOP (defaults to a spin).
+        self._work = work or _spin
+
+    def execute(
+        self,
+        model: IntentModel,
+        args: Mapping[str, Any] | None = None,
+        *,
+        unit: str = "main",
+    ) -> ExecutionResult:
+        result = ExecutionResult()
+        root_locals = dict(args or {})
+        stack: list[_Frame] = [
+            _Frame(node=model.root, unit_name=unit, locals=root_locals)
+        ]
+        if not model.root.procedure.has_unit(unit):
+            raise ExecutionError(
+                f"procedure {model.root.procedure.name!r} has no unit {unit!r}"
+            )
+        try:
+            while stack:
+                frame = stack[-1]
+                instructions = frame.node.procedure.unit(frame.unit_name).instructions
+                if frame.pc >= len(instructions):
+                    self._pop(stack, frame, None)
+                    continue
+                instruction = instructions[frame.pc]
+                frame.pc += 1
+                result.instructions_executed += 1
+                if result.instructions_executed > self.max_instructions:
+                    raise ExecutionError(
+                        f"instruction budget exceeded "
+                        f"({self.max_instructions}); runaway execution?"
+                    )
+                self._step(instruction, frame, stack, result)
+        except GuardFailed as exc:
+            result.status = "guard_failed"
+            result.error = str(exc)
+        except (ExecutionError, ExpressionError, IntentError) as exc:
+            result.status = "error"
+            result.error = str(exc)
+        if result.ok:
+            result.value = root_locals.get("__result__")
+        return result
+
+    # -- instruction dispatch ----------------------------------------------
+
+    def _step(
+        self,
+        instruction: Instruction,
+        frame: _Frame,
+        stack: list[_Frame],
+        result: ExecutionResult,
+    ) -> None:
+        opcode = instruction.opcode
+        if opcode == "SET":
+            var = instruction.operand("var")
+            if not var:
+                raise ExecutionError("SET requires a 'var' operand")
+            frame.locals[var] = self._value(instruction, frame)
+        elif opcode == "BROKER":
+            api = instruction.operand("api")
+            if not api:
+                raise ExecutionError("BROKER requires an 'api' operand")
+            call_args = self._resolve_args(instruction, frame)
+            outcome = self.broker.call_api(api, **call_args)
+            result.broker_calls.append(BrokerCallRecord.of(api, call_args, outcome))
+            store = instruction.operand("result")
+            if store:
+                frame.locals[store] = outcome
+        elif opcode == "INVOKE":
+            dependency = instruction.operand("dependency")
+            if not dependency:
+                raise ExecutionError("INVOKE requires a 'dependency' operand")
+            child = frame.node.resolve(dependency)
+            child_unit = instruction.operand("unit", "main")
+            if not child.procedure.has_unit(child_unit):
+                raise ExecutionError(
+                    f"procedure {child.procedure.name!r} has no unit "
+                    f"{child_unit!r}"
+                )
+            stack.append(
+                _Frame(
+                    node=child,
+                    unit_name=child_unit,
+                    locals=self._resolve_args(instruction, frame),
+                    result_var=instruction.operand("result"),
+                )
+            )
+        elif opcode == "EMIT":
+            topic = instruction.operand("topic")
+            if not topic:
+                raise ExecutionError("EMIT requires a 'topic' operand")
+            payload = self._resolve_args(instruction, frame)
+            result.events.append((topic, payload))
+            if self._emit is not None:
+                self._emit(topic, payload)
+        elif opcode == "GUARD":
+            condition = instruction.operand("condition")
+            if not condition:
+                raise ExecutionError("GUARD requires a 'condition' operand")
+            if not evaluate(condition, self._env(frame)):
+                raise GuardFailed(
+                    f"guard {condition!r} failed in "
+                    f"{frame.node.procedure.name!r}"
+                )
+        elif opcode == "RETURN":
+            value = (
+                self._value(instruction, frame)
+                if ("value" in instruction.operands or "expr" in instruction.operands)
+                else None
+            )
+            self._pop(stack, frame, value)
+        elif opcode == "NOOP":
+            self._work(float(instruction.operand("cost", 0.0)))
+        else:  # pragma: no cover - opcodes validated at construction
+            raise ExecutionError(f"unknown opcode {opcode!r}")
+
+    def _pop(self, stack: list[_Frame], frame: _Frame, value: Any) -> None:
+        stack.pop()
+        if stack:
+            parent = stack[-1]
+            if frame.result_var:
+                parent.locals[frame.result_var] = value
+        else:
+            frame.locals["__result__"] = value
+
+    # -- operand evaluation ----------------------------------------------------
+
+    def _env(self, frame: _Frame) -> dict[str, Any]:
+        env = dict(self.context)
+        env.update(frame.locals)
+        env["ctx"] = self.context
+        return env
+
+    def _value(self, instruction: Instruction, frame: _Frame) -> Any:
+        """Value from a literal ``value`` or expression ``expr`` operand."""
+        if "expr" in instruction.operands:
+            return evaluate(str(instruction.operand("expr")), self._env(frame))
+        return instruction.operand("value")
+
+    def _resolve_args(self, instruction: Instruction, frame: _Frame) -> dict[str, Any]:
+        """Merge literal ``args`` with evaluated ``args_expr`` operands."""
+        resolved = dict(instruction.operand("args", {}) or {})
+        env = self._env(frame)
+        for key, expr in dict(instruction.operand("args_expr", {}) or {}).items():
+            resolved[key] = evaluate(str(expr), env)
+        return resolved
+
+
+def _spin(cost: float) -> None:
+    """Default NOOP work: a tight loop proportional to ``cost``.
+
+    ``cost`` is in abstract work units (~1 unit = one thousand loop
+    iterations), so NOOP-heavy procedures consume measurable wall time
+    in benchmarks without calling time.sleep (which would put the
+    interpreter to sleep rather than model CPU-bound middleware work).
+    """
+    count = int(cost * 1000)
+    total = 0
+    for i in range(count):
+        total += i

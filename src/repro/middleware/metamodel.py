@@ -1,0 +1,242 @@
+"""The domain-independent middleware metamodel (paper Figs. 5 and 6).
+
+This is MD-DSM's central artifact: a *single* metamodel whose instances
+(middleware models) describe complete middleware configurations for any
+application domain.  "A middleware model, which is created as an
+instance of this metamodel, defines the mechanisms and structures
+needed to interpret user-defined application models" (Sec. V-A).
+
+Structure (macro level, Fig. 5): a ``MiddlewareModel`` root contains
+one definition per layer; each layer sub-metamodel provides the
+constructs of Secs. V-A/VI:
+
+* Broker layer (Fig. 6): main manager implied by the layer itself,
+  plus ``ActionDef``/``EventBindingDef`` (calls/events handling),
+  ``SymptomDef``/``ChangePlanDef`` (autonomic manager), resource
+  requirements, and manager toggles.
+* Controller layer (Sec. VI / Fig. 8): ``DSCDef``, ``ProcedureDef``
+  (+ units/instructions), ``ControllerActionDef`` (Case 1),
+  ``PolicyDef``, ``ClassifierMapDef`` and ``CaseOverrideDef``
+  (command classification).
+* Synthesis layer: ``RuleDef`` with an embedded LTS
+  (``LtsStateDef``/``LtsTransitionDef``) per DSML metaclass.
+* UI layer: a thin definition delegating to the modeling-environment
+  tooling (the paper leverages EMF/GMF; we leverage the kernel).
+
+Complex values (constraint maps, instruction operands, action steps)
+are stored as JSON strings — the same encoding trade-off EMF models
+make for open-ended data — and parsed by the loader.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.modeling.meta import Metamodel
+
+__all__ = [
+    "middleware_metamodel",
+    "dumps_json_attr",
+    "loads_json_attr",
+]
+
+_METAMODEL: Metamodel | None = None
+
+
+def dumps_json_attr(value: Any) -> str:
+    """Encode a structured value for storage in a JSON-string attribute."""
+    return json.dumps(value, sort_keys=True)
+
+
+def loads_json_attr(text: str | None, default: Any) -> Any:
+    """Decode a JSON-string attribute (empty/None -> default)."""
+    if not text:
+        return default
+    return json.loads(text)
+
+
+def middleware_metamodel() -> Metamodel:
+    """Build (once) and return the middleware metamodel."""
+    global _METAMODEL
+    if _METAMODEL is not None:
+        return _METAMODEL
+    mm = Metamodel("md-dsm")
+
+    mm.new_enum("LayerKind", ["ui", "synthesis", "controller", "broker"])
+    mm.new_enum("DSCKind", ["operation", "data"])
+    mm.new_enum("CaseKind", ["actions", "intent"])
+    mm.new_enum("UnmatchedKind", ["ignore", "error"])
+
+    # -- root ------------------------------------------------------------
+    root = mm.new_class("MiddlewareModel")
+    root.attribute("name", "string", required=True)
+    root.attribute("domain", "string", required=True)
+    root.attribute("description", "string")
+
+    named = mm.new_class("NamedElement", abstract=True)
+    named.attribute("name", "string", required=True)
+
+    # -- generic component definitions (runtime factory input) ------------
+    parameter = mm.new_class("Parameter")
+    parameter.attribute("key", "string", required=True)
+    parameter.attribute("value", "any")
+
+    wire = mm.new_class("Wire")
+    wire.attribute("port", "string", required=True)
+    wire.attribute("target", "string", required=True)
+
+    component = mm.new_class("ComponentDef", supertypes=[named])
+    component.attribute("template", "string", required=True)
+    component.reference("parameters", "Parameter", containment=True, many=True)
+    component.reference("wires", "Wire", containment=True, many=True)
+
+    # -- layers ------------------------------------------------------------
+    layer = mm.new_class("LayerDef", abstract=True, supertypes=[named])
+    layer.attribute("enabled", "bool", default=True)
+    layer.reference("components", "ComponentDef", containment=True, many=True)
+    layer.reference("settings", "Parameter", containment=True, many=True)
+
+    mm.new_class("UILayerDef", supertypes=[layer])
+
+    synthesis = mm.new_class("SynthesisLayerDef", supertypes=[layer])
+    synthesis.attribute("strict", "bool", default=False)
+    synthesis.reference("rules", "RuleDef", containment=True, many=True)
+
+    controller = mm.new_class("ControllerLayerDef", supertypes=[layer])
+    controller.attribute("defaultCase", "CaseKind", default="actions")
+    controller.attribute("maxConfigurations", "int", default=8)
+    controller.attribute("cacheSize", "int", default=512)
+    controller.reference("classifiers", "DSCDef", containment=True, many=True)
+    controller.reference("procedures", "ProcedureDef", containment=True, many=True)
+    controller.reference("actions", "ControllerActionDef", containment=True, many=True)
+    controller.reference("policies", "PolicyDef", containment=True, many=True)
+    controller.reference("classifierMap", "ClassifierMapDef", containment=True, many=True)
+    controller.reference("caseOverrides", "CaseOverrideDef", containment=True, many=True)
+
+    broker = mm.new_class("BrokerLayerDef", supertypes=[layer])
+    broker.attribute("enableAutonomic", "bool", default=True)
+    broker.attribute("enablePolicies", "bool", default=True)
+    broker.attribute("enableStateSnapshots", "bool", default=True)
+    broker.reference("actions", "BrokerActionDef", containment=True, many=True)
+    broker.reference("eventBindings", "EventBindingDef", containment=True, many=True)
+    broker.reference("symptoms", "SymptomDef", containment=True, many=True)
+    broker.reference("plans", "ChangePlanDef", containment=True, many=True)
+    broker.reference("requiredResources", "ResourceRequirementDef", containment=True, many=True)
+
+    root.reference("ui", "UILayerDef", containment=True)
+    root.reference("synthesis", "SynthesisLayerDef", containment=True)
+    root.reference("controller", "ControllerLayerDef", containment=True)
+    root.reference("broker", "BrokerLayerDef", containment=True)
+
+    # -- broker sub-metamodel (Fig. 6) ----------------------------------------
+    step = mm.new_class("StepDef")
+    step.attribute("resource", "string")
+    step.attribute("resourceExpr", "string")
+    step.attribute("operation", "string")
+    step.attribute("argsJson", "string")
+    step.attribute("argsExprJson", "string")
+    step.attribute("result", "string")
+    step.attribute("stateKey", "string")
+    step.attribute("stateExpr", "string")
+    step.attribute("setKey", "string")      # state-only step: setKey+expr
+    step.attribute("compute", "string")     # pure transform step: compute(+result)
+    step.attribute("expr", "string")
+
+    broker_action = mm.new_class("BrokerActionDef", supertypes=[named])
+    broker_action.attribute("pattern", "string", required=True)
+    broker_action.attribute("guard", "string")
+    broker_action.attribute("priority", "int", default=0)
+    broker_action.reference("steps", "StepDef", containment=True, many=True)
+
+    binding = mm.new_class("EventBindingDef")
+    binding.attribute("topicPattern", "string", required=True)
+    binding.attribute("action", "string", required=True)   # BrokerActionDef name
+    binding.attribute("guard", "string")
+
+    symptom = mm.new_class("SymptomDef", supertypes=[named])
+    symptom.attribute("condition", "string", required=True)
+    symptom.attribute("requestKind", "string", required=True)
+    symptom.attribute("onTopic", "string")
+    symptom.attribute("cooldown", "float", default=0.0)
+
+    plan = mm.new_class("ChangePlanDef", supertypes=[named])
+    plan.attribute("requestKind", "string", required=True)
+    plan.attribute("guard", "string")
+    plan.reference("steps", "StepDef", containment=True, many=True)
+
+    requirement = mm.new_class("ResourceRequirementDef", supertypes=[named])
+    requirement.attribute("kind", "string")
+    requirement.attribute("optional", "bool", default=False)
+
+    # -- controller sub-metamodel (Secs. V-B, VI) --------------------------------
+    dsc = mm.new_class("DSCDef", supertypes=[named])
+    dsc.attribute("kind", "DSCKind", default="operation")
+    dsc.attribute("parent", "string")
+    dsc.attribute("description", "string")
+    dsc.attribute("constraintsJson", "string")
+
+    instruction = mm.new_class("InstructionDef")
+    instruction.attribute("opcode", "string", required=True)
+    instruction.attribute("operandsJson", "string")
+
+    unit = mm.new_class("UnitDef", supertypes=[named])
+    unit.reference("instructions", "InstructionDef", containment=True, many=True)
+
+    procedure = mm.new_class("ProcedureDef", supertypes=[named])
+    procedure.attribute("classifier", "string", required=True)
+    procedure.attribute("dependencies", "string", many=True)
+    procedure.attribute("attributesJson", "string")
+    procedure.attribute("description", "string")
+    procedure.reference("units", "UnitDef", containment=True, many=True)
+
+    controller_action = mm.new_class("ControllerActionDef", supertypes=[named])
+    controller_action.attribute("pattern", "string", required=True)
+    controller_action.attribute("guard", "string")
+    controller_action.attribute("attributesJson", "string")
+    controller_action.reference("steps", "ControllerStepDef", containment=True, many=True)
+
+    controller_step = mm.new_class("ControllerStepDef")
+    controller_step.attribute("api", "string", required=True)
+    controller_step.attribute("argsJson", "string")
+    controller_step.attribute("argsExprJson", "string")
+    controller_step.attribute("result", "string")
+
+    policy = mm.new_class("PolicyDef", supertypes=[named])
+    policy.attribute("condition", "string", default="True")
+    policy.attribute("weightsJson", "string")
+    policy.attribute("preferJson", "string")
+    policy.attribute("forceCase", "string")
+    policy.attribute("appliesTo", "string")
+    policy.attribute("adviceJson", "string")
+    policy.attribute("priority", "int", default=0)
+
+    classifier_map = mm.new_class("ClassifierMapDef")
+    classifier_map.attribute("pattern", "string", required=True)
+    classifier_map.attribute("classifier", "string", required=True)
+
+    case_override = mm.new_class("CaseOverrideDef")
+    case_override.attribute("pattern", "string", required=True)
+    case_override.attribute("case", "CaseKind", required=True)
+
+    # -- synthesis sub-metamodel ----------------------------------------------------
+    lts_state = mm.new_class("LtsStateDef", supertypes=[named])
+    lts_state.attribute("final", "bool", default=False)
+
+    lts_transition = mm.new_class("LtsTransitionDef")
+    lts_transition.attribute("source", "string", required=True)
+    lts_transition.attribute("label", "string", required=True)
+    lts_transition.attribute("target", "string", required=True)
+    lts_transition.attribute("guard", "string")
+    lts_transition.attribute("priority", "int", default=0)
+    lts_transition.attribute("commandsJson", "string")  # command templates
+
+    rule = mm.new_class("RuleDef")
+    rule.attribute("className", "string", required=True)
+    rule.attribute("initial", "string", default="initial")
+    rule.attribute("onUnmatched", "UnmatchedKind", default="ignore")
+    rule.reference("states", "LtsStateDef", containment=True, many=True)
+    rule.reference("transitions", "LtsTransitionDef", containment=True, many=True)
+
+    _METAMODEL = mm.resolve()
+    return _METAMODEL

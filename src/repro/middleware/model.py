@@ -1,0 +1,394 @@
+"""Typed builder façade over middleware models.
+
+Middleware engineers (the paper's target users) describe platforms as
+*models*, not code.  This module provides an ergonomic builder that
+constructs instances of the middleware metamodel
+(:func:`~repro.middleware.metamodel.middleware_metamodel`); the result
+is an ordinary :class:`~repro.modeling.model.Model` that can be
+validated, serialized, diffed, and loaded into a running platform by
+:mod:`repro.middleware.loader`.
+
+The domain packages (``repro.domains.*``) use this builder to express
+their middleware configurations — demonstrating the paper's claim that
+one domain-independent metamodel covers very different domains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.middleware.metamodel import dumps_json_attr, middleware_metamodel
+from repro.modeling.model import Model, MObject
+
+__all__ = [
+    "MiddlewareModelBuilder",
+    "BrokerLayerBuilder",
+    "ControllerLayerBuilder",
+    "SynthesisLayerBuilder",
+]
+
+
+class MiddlewareModelBuilder:
+    """Builds a complete middleware model for one domain."""
+
+    def __init__(self, name: str, domain: str, *, description: str = "") -> None:
+        self.metamodel = middleware_metamodel()
+        self.model = Model(self.metamodel, name=name)
+        self.root = self.model.create_root(
+            "MiddlewareModel", name=name, domain=domain, description=description
+        )
+        self._broker: BrokerLayerBuilder | None = None
+        self._controller: ControllerLayerBuilder | None = None
+        self._synthesis: SynthesisLayerBuilder | None = None
+
+    def ui_layer(self, name: str = "ui") -> MObject:
+        ui = self.model.create("UILayerDef", name=name)
+        self.root.ui = ui
+        return ui
+
+    def broker_layer(self, name: str = "broker", **flags: bool) -> "BrokerLayerBuilder":
+        if self._broker is None:
+            layer = self.model.create("BrokerLayerDef", name=name)
+            for key, value in flags.items():
+                layer.set(_camel(key), value)
+            self.root.broker = layer
+            self._broker = BrokerLayerBuilder(self.model, layer)
+        return self._broker
+
+    def controller_layer(
+        self, name: str = "controller", **settings: Any
+    ) -> "ControllerLayerBuilder":
+        if self._controller is None:
+            layer = self.model.create("ControllerLayerDef", name=name)
+            for key, value in settings.items():
+                layer.set(_camel(key), value)
+            self.root.controller = layer
+            self._controller = ControllerLayerBuilder(self.model, layer)
+        return self._controller
+
+    def synthesis_layer(
+        self, name: str = "synthesis", *, strict: bool = False
+    ) -> "SynthesisLayerBuilder":
+        if self._synthesis is None:
+            layer = self.model.create("SynthesisLayerDef", name=name, strict=strict)
+            self.root.synthesis = layer
+            self._synthesis = SynthesisLayerBuilder(self.model, layer)
+        return self._synthesis
+
+    def build(self) -> Model:
+        return self.model
+
+
+class _LayerBuilder:
+    def __init__(self, model: Model, layer: MObject) -> None:
+        self.model = model
+        self.layer = layer
+
+    def component(
+        self,
+        name: str,
+        template: str,
+        *,
+        parameters: Mapping[str, Any] | None = None,
+        wires: Mapping[str, str] | None = None,
+    ) -> "_LayerBuilder":
+        """Add a generic component realized by the runtime factory."""
+        component = self.model.create("ComponentDef", name=name,
+                                      template=template)
+        for key, value in dict(parameters or {}).items():
+            component.parameters.append(
+                self.model.create("Parameter", key=key, value=value)
+            )
+        for port, target in dict(wires or {}).items():
+            component.wires.append(
+                self.model.create("Wire", port=port, target=target)
+            )
+        self.layer.components.append(component)
+        return self
+
+    def _steps(self, owner_feature: Any, steps: Sequence[Mapping[str, Any]]) -> None:
+        for step in steps:
+            element = self.model.create("StepDef")
+            if "set" in step:
+                element.setKey = str(step["set"])
+                element.expr = str(step["expr"])
+            elif "compute" in step:
+                element.compute = str(step["compute"])
+                if step.get("result"):
+                    element.result = str(step["result"])
+            else:
+                if "resource" in step:
+                    element.resource = str(step["resource"])
+                if "resource_expr" in step:
+                    element.resourceExpr = str(step["resource_expr"])
+                element.operation = str(step.get("operation", ""))
+                if step.get("args"):
+                    element.argsJson = dumps_json_attr(dict(step["args"]))
+                if step.get("args_expr"):
+                    element.argsExprJson = dumps_json_attr(dict(step["args_expr"]))
+                if step.get("result"):
+                    element.result = str(step["result"])
+                if step.get("state"):
+                    element.stateKey = str(step["state"])
+                if step.get("state_expr"):
+                    element.stateExpr = str(step["state_expr"])
+            owner_feature.append(element)
+
+
+class BrokerLayerBuilder(_LayerBuilder):
+    """Populates a ``BrokerLayerDef``."""
+
+    def action(
+        self,
+        name: str,
+        pattern: str,
+        steps: Sequence[Mapping[str, Any]],
+        *,
+        guard: str | None = None,
+        priority: int = 0,
+    ) -> "BrokerLayerBuilder":
+        action = self.model.create(
+            "BrokerActionDef", name=name, pattern=pattern, priority=priority
+        )
+        if guard:
+            action.guard = guard
+        self._steps(action.steps, steps)
+        self.layer.actions.append(action)
+        return self
+
+    def event_binding(
+        self, topic_pattern: str, action_name: str, *, guard: str | None = None
+    ) -> "BrokerLayerBuilder":
+        binding = self.model.create(
+            "EventBindingDef", topicPattern=topic_pattern, action=action_name
+        )
+        if guard:
+            binding.guard = guard
+        self.layer.eventBindings.append(binding)
+        return self
+
+    def symptom(
+        self,
+        name: str,
+        condition: str,
+        request_kind: str,
+        *,
+        on_topic: str | None = None,
+        cooldown: float = 0.0,
+    ) -> "BrokerLayerBuilder":
+        symptom = self.model.create(
+            "SymptomDef",
+            name=name,
+            condition=condition,
+            requestKind=request_kind,
+            cooldown=cooldown,
+        )
+        if on_topic:
+            symptom.onTopic = on_topic
+        self.layer.symptoms.append(symptom)
+        return self
+
+    def plan(
+        self,
+        name: str,
+        request_kind: str,
+        steps: Sequence[Mapping[str, Any]],
+        *,
+        guard: str | None = None,
+    ) -> "BrokerLayerBuilder":
+        plan = self.model.create("ChangePlanDef", name=name, requestKind=request_kind)
+        if guard:
+            plan.guard = guard
+        self._steps(plan.steps, steps)
+        self.layer.plans.append(plan)
+        return self
+
+    def requires_resource(
+        self, name: str, *, kind: str = "", optional: bool = False
+    ) -> "BrokerLayerBuilder":
+        requirement = self.model.create(
+            "ResourceRequirementDef", name=name, kind=kind, optional=optional
+        )
+        self.layer.requiredResources.append(requirement)
+        return self
+
+
+class ControllerLayerBuilder(_LayerBuilder):
+    """Populates a ``ControllerLayerDef``."""
+
+    def dsc(
+        self,
+        name: str,
+        *,
+        kind: str = "operation",
+        parent: str | None = None,
+        description: str = "",
+        constraints: Mapping[str, Any] | None = None,
+    ) -> "ControllerLayerBuilder":
+        dsc = self.model.create("DSCDef", name=name, kind=kind, description=description)
+        if parent:
+            dsc.parent = parent
+        if constraints:
+            dsc.constraintsJson = dumps_json_attr(dict(constraints))
+        self.layer.classifiers.append(dsc)
+        return self
+
+    def procedure(
+        self,
+        name: str,
+        classifier: str,
+        *,
+        dependencies: Sequence[str] = (),
+        attributes: Mapping[str, Any] | None = None,
+        units: Mapping[str, Sequence[tuple[str, Mapping[str, Any]]]] | None = None,
+        description: str = "",
+    ) -> "ControllerLayerBuilder":
+        """Add a procedure; ``units`` maps unit name to a list of
+        ``(opcode, operands)`` pairs."""
+        procedure = self.model.create(
+            "ProcedureDef",
+            name=name,
+            classifier=classifier,
+            dependencies=list(dependencies),
+            description=description,
+        )
+        if attributes:
+            procedure.attributesJson = dumps_json_attr(dict(attributes))
+        for unit_name, instructions in dict(units or {"main": []}).items():
+            unit = self.model.create("UnitDef", name=unit_name)
+            for opcode, operands in instructions:
+                unit.instructions.append(
+                    self.model.create(
+                        "InstructionDef",
+                        opcode=opcode,
+                        operandsJson=dumps_json_attr(dict(operands)),
+                    )
+                )
+            procedure.units.append(unit)
+        self.layer.procedures.append(procedure)
+        return self
+
+    def action(
+        self,
+        name: str,
+        pattern: str,
+        steps: Sequence[Mapping[str, Any]],
+        *,
+        guard: str | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> "ControllerLayerBuilder":
+        action = self.model.create("ControllerActionDef", name=name, pattern=pattern)
+        if guard:
+            action.guard = guard
+        if attributes:
+            action.attributesJson = dumps_json_attr(dict(attributes))
+        for step in steps:
+            element = self.model.create("ControllerStepDef", api=str(step["api"]))
+            if step.get("args"):
+                element.argsJson = dumps_json_attr(dict(step["args"]))
+            if step.get("args_expr"):
+                element.argsExprJson = dumps_json_attr(dict(step["args_expr"]))
+            if step.get("result"):
+                element.result = str(step["result"])
+            action.steps.append(element)
+        self.layer.actions.append(action)
+        return self
+
+    def policy(
+        self,
+        name: str,
+        *,
+        condition: str = "True",
+        weights: Mapping[str, float] | None = None,
+        prefer: Mapping[str, float] | None = None,
+        force_case: str | None = None,
+        applies_to: str = "",
+        advice: Mapping[str, Any] | None = None,
+        priority: int = 0,
+    ) -> "ControllerLayerBuilder":
+        policy = self.model.create(
+            "PolicyDef",
+            name=name,
+            condition=condition,
+            appliesTo=applies_to,
+            priority=priority,
+        )
+        if weights:
+            policy.weightsJson = dumps_json_attr(dict(weights))
+        if prefer:
+            policy.preferJson = dumps_json_attr(dict(prefer))
+        if force_case:
+            policy.forceCase = force_case
+        if advice:
+            policy.adviceJson = dumps_json_attr(dict(advice))
+        self.layer.policies.append(policy)
+        return self
+
+    def map_operation(self, pattern: str, classifier: str) -> "ControllerLayerBuilder":
+        self.layer.classifierMap.append(
+            self.model.create(
+                "ClassifierMapDef", pattern=pattern, classifier=classifier
+            )
+        )
+        return self
+
+    def case_override(self, pattern: str, case: str) -> "ControllerLayerBuilder":
+        self.layer.caseOverrides.append(
+            self.model.create("CaseOverrideDef", pattern=pattern, case=case)
+        )
+        return self
+
+
+class SynthesisLayerBuilder(_LayerBuilder):
+    """Populates a ``SynthesisLayerDef``."""
+
+    def rule(
+        self,
+        class_name: str,
+        *,
+        initial: str = "initial",
+        on_unmatched: str = "ignore",
+        states: Mapping[str, bool] | Sequence[str] = (),
+        transitions: Sequence[Mapping[str, Any]] = (),
+    ) -> "SynthesisLayerBuilder":
+        """Add a synthesis rule.
+
+        ``states`` is a sequence of names or name->final mapping;
+        each transition dict has ``source``, ``label``, ``target``, and
+        optional ``guard``, ``priority`` and ``commands`` (a list of
+        command-template dicts).
+        """
+        rule = self.model.create(
+            "RuleDef",
+            className=class_name,
+            initial=initial,
+            onUnmatched=on_unmatched,
+        )
+        state_items = (
+            states.items() if isinstance(states, Mapping)
+            else [(s, False) for s in states]
+        )
+        for state_name, final in state_items:
+            rule.states.append(
+                self.model.create("LtsStateDef", name=state_name, final=bool(final))
+            )
+        for transition in transitions:
+            element = self.model.create(
+                "LtsTransitionDef",
+                source=str(transition["source"]),
+                label=str(transition["label"]),
+                target=str(transition["target"]),
+                priority=int(transition.get("priority", 0)),
+            )
+            if transition.get("guard"):
+                element.guard = str(transition["guard"])
+            if transition.get("commands"):
+                element.commandsJson = dumps_json_attr(list(transition["commands"]))
+            rule.transitions.append(element)
+        self.layer.rules.append(rule)
+        return self
+
+
+def _camel(snake: str) -> str:
+    parts = snake.split("_")
+    return parts[0] + "".join(p.title() for p in parts[1:])

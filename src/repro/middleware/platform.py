@@ -1,0 +1,312 @@
+"""The assembled MD-DSM platform.
+
+A :class:`Platform` is the realized middleware instance for one domain:
+the four reference-architecture layers wired together (paper Sec. III),
+with the *layer suppression* variants of Secs. IV-C/IV-D supported by
+simply omitting layers (2SVM controller node: top three layers; smart
+object node: bottom two; CSVM provider: bottom three).
+
+The platform also exposes the models@runtime reflection loop
+(Sec. III): :meth:`reflect` returns the live middleware model;
+:meth:`apply_reflection` accepts an edited copy, diffs it against the
+live model, and applies the supported change classes (adding policies,
+procedures, classifiers, actions) "at runtime with immediate effect".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.middleware.broker.layer import BrokerLayer
+from repro.middleware.controller.layer import ControllerLayer, ScriptOutcome
+from repro.middleware.synthesis.engine import SynthesisEngine, SynthesisResult
+from repro.middleware.synthesis.scripts import ControlScript
+from repro.middleware.ui import ModelWorkspace
+from repro.modeling.diff import diff_models
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model, MObject
+from repro.modeling.serialize import clone_model, clone_object
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.events import EventBus
+
+__all__ = ["PlatformError", "Platform"]
+
+
+class PlatformError(Exception):
+    """Raised on invalid platform operations."""
+
+
+class Platform:
+    """A running middleware instance for one application domain."""
+
+    def __init__(
+        self,
+        name: str,
+        domain: str,
+        *,
+        middleware_model: Model,
+        dsml: Metamodel,
+        ui: ModelWorkspace | None = None,
+        synthesis: SynthesisEngine | None = None,
+        controller: ControllerLayer | None = None,
+        broker: BrokerLayer | None = None,
+        bus: EventBus | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.name = name
+        self.domain = domain
+        self.middleware_model = middleware_model
+        self.dsml = dsml
+        self.ui = ui
+        self.synthesis = synthesis
+        self.controller = controller
+        self.broker = broker
+        self.bus = bus or EventBus(name=f"{name}.bus")
+        self.clock = clock or WallClock()
+        #: generic components realized from the middleware model's
+        #: ComponentDef elements (started/stopped with the platform).
+        from repro.runtime.registry import Registry
+
+        self.components = Registry(name=f"{name}.components")
+        self.started = False
+        self._wire()
+
+    # -- wiring ----------------------------------------------------------
+
+    def _wire(self) -> None:
+        if self.controller is not None and self.broker is not None:
+            self.controller.wire("broker", self.broker)
+            self.broker.wire("upward", self.controller)
+        if self.synthesis is not None and self.controller is not None:
+            self.synthesis.wire("downward", self.controller)
+            # Controller-raised events reach the Synthesis interpreter.
+            self.controller.events.on(
+                "controller.*",
+                lambda topic, payload: self.synthesis.handle_event(topic, payload),
+            )
+        if self.ui is not None and self.synthesis is not None:
+            self.ui.wire("synthesis", self.synthesis)
+
+    @property
+    def layers(self) -> list[Any]:
+        return [
+            layer
+            for layer in (self.ui, self.synthesis, self.controller, self.broker)
+            if layer is not None
+        ]
+
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "Platform":
+        if self.started:
+            return self
+        # Bottom-up: a layer's on_start may use the one below it.
+        for layer in reversed(self.layers):
+            if not layer.running:
+                layer.start()
+        self.components.start_all()
+        self.started = True
+        return self
+
+    def stop(self) -> "Platform":
+        if not self.started:
+            return self
+        self.components.stop_all()
+        for layer in self.layers:
+            if layer.running:
+                layer.stop()
+        self.started = False
+        return self
+
+    def __enter__(self) -> "Platform":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- application model execution -------------------------------------------
+
+    def run_model(self, model: Model, **context: Any) -> SynthesisResult:
+        """Execute an application model through the full stack."""
+        self._require(self.synthesis, "synthesis")
+        if self.ui is not None:
+            self.ui.put_model(model)
+            return self.ui.submit(model, **context)
+        return self.synthesis.synthesize(model, context=context or None)
+
+    def run_script(self, script: ControlScript) -> ScriptOutcome:
+        """Execute a pre-synthesized control script (suppressed-stack
+        nodes receive scripts from a remote Synthesis layer)."""
+        self._require(self.controller, "controller")
+        return self.controller.submit_script(script)
+
+    def teardown_model(self) -> SynthesisResult:
+        self._require(self.synthesis, "synthesis")
+        return self.synthesis.teardown_script()
+
+    # -- models@runtime reflection -------------------------------------------------
+
+    def reflect(self) -> Model:
+        """An editable copy of the live middleware model."""
+        return clone_model(self.middleware_model)
+
+    def apply_reflection(self, edited: Model) -> list[str]:
+        """Apply supported middleware-model edits at runtime.
+
+        Supported change classes (additions take immediate effect):
+        ``PolicyDef``, ``ProcedureDef``, ``DSCDef``,
+        ``ControllerActionDef``, ``BrokerActionDef``, ``SymptomDef``,
+        ``ChangePlanDef``.  Returns a human-readable list of applied
+        changes; unsupported structural edits raise.
+        """
+        from repro.middleware import loader as _loader
+        from repro.middleware.broker.actions import BrokerAction
+        from repro.middleware.broker.autonomic import ChangePlan, Symptom
+        from repro.middleware.controller.handlers import Action
+        from repro.middleware.controller.policy import Policy
+        from repro.middleware.metamodel import loads_json_attr
+
+        changes = diff_models(self.middleware_model, edited)
+        applied: list[str] = []
+        live_index = self.middleware_model.index()
+        added_ids = {
+            c.object_id for c in changes if c.kind == "add"
+        }
+        for change in changes:
+            if change.kind != "add" or change.new_object is None:
+                raise PlatformError(
+                    f"unsupported runtime middleware change: {change}; only "
+                    f"additions are applied reflectively (restart for the rest)"
+                )
+            element = change.new_object
+            container = element.container
+            if container is not None and container.id in added_ids:
+                continue  # travels with its added parent (subtree root)
+            self._apply_addition(
+                element, applied, live_index,
+                Policy=Policy, Action=Action, BrokerAction=BrokerAction,
+                Symptom=Symptom, ChangePlan=ChangePlan,
+                loader=_loader, loads_json_attr=loads_json_attr,
+            )
+        return applied
+
+    def _apply_addition(
+        self,
+        element: MObject,
+        applied: list[str],
+        live_index: dict[str, MObject],
+        **ns: Any,
+    ) -> None:
+        loader = ns["loader"]
+        cls = element.meta.name
+        if cls == "PolicyDef" and self.controller is not None:
+            self.controller.policies.add(
+                ns["Policy"](
+                    name=str(element.get("name")),
+                    condition=str(element.get("condition")),
+                    weights=ns["loads_json_attr"](element.get("weightsJson"), {}),
+                    prefer=ns["loads_json_attr"](element.get("preferJson"), {}),
+                    force_case=element.get("forceCase") or None,
+                    applies_to=str(element.get("appliesTo") or ""),
+                    advice=ns["loads_json_attr"](element.get("adviceJson"), {}),
+                    priority=int(element.get("priority")),
+                )
+            )
+        elif cls == "DSCDef" and self.controller is not None:
+            self.controller.taxonomy.define(
+                str(element.get("name")),
+                kind=str(element.get("kind")),
+                parent=element.get("parent") or None,
+                constraints=ns["loads_json_attr"](element.get("constraintsJson"), {}),
+            )
+        elif cls == "ProcedureDef" and self.controller is not None:
+            self.controller.repository.add(loader._procedure_from_def(element))
+            self.controller.generator.invalidate()
+        elif cls == "ControllerActionDef" and self.controller is not None:
+            self.controller.install_action(
+                ns["Action"](
+                    name=str(element.get("name")),
+                    pattern=str(element.get("pattern")),
+                    implementation=[
+                        loader._controller_step_dict(s) for s in element.get("steps")
+                    ],
+                    guard=element.get("guard") or None,
+                    attributes=ns["loads_json_attr"](element.get("attributesJson"), {}),
+                )
+            )
+        elif cls == "BrokerActionDef" and self.broker is not None:
+            self.broker.install_action(
+                ns["BrokerAction"](
+                    name=str(element.get("name")),
+                    pattern=str(element.get("pattern")),
+                    implementation=[
+                        loader._step_dict(s) for s in element.get("steps")
+                    ],
+                    guard=element.get("guard") or None,
+                    priority=int(element.get("priority")),
+                )
+            )
+        elif cls == "SymptomDef" and self.broker is not None:
+            self.broker.install_symptom(
+                ns["Symptom"](
+                    name=str(element.get("name")),
+                    condition=str(element.get("condition")),
+                    request_kind=str(element.get("requestKind")),
+                    on_topic=element.get("onTopic") or None,
+                    cooldown=float(element.get("cooldown")),
+                )
+            )
+        elif cls == "ChangePlanDef" and self.broker is not None:
+            self.broker.install_plan(
+                ns["ChangePlan"](
+                    name=str(element.get("name")),
+                    request_kind=str(element.get("requestKind")),
+                    steps=[loader._step_dict(s) for s in element.get("steps")],
+                    guard=element.get("guard") or None,
+                )
+            )
+        else:
+            raise PlatformError(
+                f"unsupported reflective addition of {cls!r} "
+                f"(or its layer is suppressed)"
+            )
+        # Mirror the addition into the live middleware model so further
+        # reflection rounds diff against up-to-date state.
+        container = element.container
+        if container is not None and container.id in live_index:
+            ref = element.containing_reference
+            assert ref is not None
+            copied = clone_object(element)
+            if ref.many:
+                live_index[container.id].get(ref.name).append(copied)
+            else:
+                live_index[container.id].set(ref.name, copied)
+        applied.append(f"added {cls} {element.get('name') if element.meta.find_feature('name') else element.id}")
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {"name": self.name, "domain": self.domain}
+        if self.synthesis is not None:
+            stats["synthesis"] = self.synthesis.stats()
+        if self.controller is not None:
+            stats["controller"] = self.controller.stats()
+        if self.broker is not None:
+            stats["broker"] = self.broker.stats()
+        return stats
+
+    def _require(self, layer: Any, name: str) -> None:
+        if layer is None:
+            raise PlatformError(
+                f"platform {self.name!r} has no {name} layer (suppressed "
+                f"in this node configuration)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform({self.name!r}, domain={self.domain!r}, "
+            f"layers={self.layer_names()})"
+        )

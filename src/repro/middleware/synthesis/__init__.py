@@ -1,0 +1,35 @@
+"""Synthesis layer: model comparator, LTS-driven change interpreter,
+dispatcher, and control scripts (paper Secs. V-A and V-B)."""
+
+from repro.middleware.synthesis.comparator import ComparatorError, ModelComparator
+from repro.middleware.synthesis.dispatcher import Dispatcher
+from repro.middleware.synthesis.engine import (
+    SynthesisEngine,
+    SynthesisError,
+    SynthesisResult,
+)
+from repro.middleware.synthesis.interpreter import (
+    ChangeInterpreter,
+    EntityRule,
+    InterpreterError,
+)
+from repro.middleware.synthesis.scripts import (
+    Command,
+    ControlScript,
+    ScriptError,
+    script_from_dict,
+    script_from_json,
+    script_metamodel,
+    script_to_dict,
+    script_to_json,
+)
+
+__all__ = [
+    "SynthesisEngine", "SynthesisResult", "SynthesisError",
+    "ModelComparator", "ComparatorError",
+    "ChangeInterpreter", "EntityRule", "InterpreterError",
+    "Dispatcher",
+    "Command", "ControlScript", "ScriptError",
+    "script_metamodel", "script_to_dict", "script_from_dict",
+    "script_to_json", "script_from_json",
+]

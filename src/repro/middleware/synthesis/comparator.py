@@ -1,0 +1,50 @@
+"""The model comparator component of the Synthesis layer.
+
+Paper Sec. V-A: "(1) model comparator — compares the new user-defined
+model and the current runtime model to produce a change list."
+
+This wraps the kernel's :func:`~repro.modeling.diff.diff_models` with
+the Synthesis layer's conventions: an absent runtime model compares as
+an *empty* model ("an empty model if the system has just been
+started"), and comparisons are validated to be same-metamodel.
+"""
+
+from __future__ import annotations
+
+from repro.modeling.diff import ChangeList, diff_models
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+
+__all__ = ["ComparatorError", "ModelComparator"]
+
+
+class ComparatorError(Exception):
+    """Raised when models cannot be compared."""
+
+
+class ModelComparator:
+    """Produces change lists between runtime and user models."""
+
+    def __init__(self, metamodel: Metamodel) -> None:
+        self.metamodel = metamodel
+        self.comparisons = 0
+
+    def empty_model(self) -> Model:
+        return Model(self.metamodel, name="empty")
+
+    def compare(self, current: Model | None, new: Model) -> ChangeList:
+        """Diff ``current`` (None = system just started) against ``new``."""
+        if new.metamodel is not self.metamodel:
+            raise ComparatorError(
+                f"new model conforms to {new.metamodel.name!r}, expected "
+                f"{self.metamodel.name!r}"
+            )
+        if current is None:
+            current = self.empty_model()
+        elif current.metamodel is not self.metamodel:
+            raise ComparatorError(
+                f"runtime model conforms to {current.metamodel.name!r}, "
+                f"expected {self.metamodel.name!r}"
+            )
+        self.comparisons += 1
+        return diff_models(current, new)

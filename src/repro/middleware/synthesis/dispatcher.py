@@ -1,0 +1,48 @@
+"""The dispatcher component of the Synthesis layer.
+
+Paper Sec. V-A: "(3) dispatcher — dispatches a new runtime model to the
+UI and updates the currently executing model."
+
+The dispatcher owns the *runtime model* (the model currently in
+execution).  After a synthesis cycle it promotes the accepted user
+model to runtime model (a defensive deep copy, so later user edits
+don't mutate it) and notifies UI-layer listeners.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.modeling.model import Model
+from repro.modeling.serialize import clone_model
+
+__all__ = ["Dispatcher"]
+
+
+class Dispatcher:
+    """Runtime-model ownership and UI notification."""
+
+    def __init__(self) -> None:
+        self._runtime_model: Model | None = None
+        self._listeners: list[Callable[[Model], None]] = []
+        self.dispatches = 0
+
+    @property
+    def runtime_model(self) -> Model | None:
+        return self._runtime_model
+
+    def on_model_update(self, listener: Callable[[Model], None]) -> None:
+        """Register a UI-layer listener for runtime-model updates."""
+        self._listeners.append(listener)
+
+    def promote(self, accepted: Model) -> Model:
+        """Install ``accepted`` as the new runtime model and notify."""
+        self._runtime_model = clone_model(accepted)
+        self.dispatches += 1
+        for listener in list(self._listeners):
+            listener(self._runtime_model)
+        return self._runtime_model
+
+    def clear(self) -> None:
+        """Drop the runtime model (system reset)."""
+        self._runtime_model = None

@@ -1,0 +1,161 @@
+"""The Synthesis Engine: comparator + interpreter + dispatcher.
+
+Paper Sec. V-B: "The input to the Synthesis layer is a sequence of
+user-defined DSML models and the output is a set of control scripts
+sent to the Controller layer for processing.  The semantics used to
+execute DSML models in the Synthesis layer involves comparing two
+models at runtime: the model that is currently running (an empty model
+if the system has just been started) and a new (updated) model
+submitted by the user."
+
+:class:`SynthesisEngine` also performs *model validation* before
+synthesis (structural + DSK invariants) and optional *negotiation*
+hooks (the CVM's SE "negotiates communication models with other
+parties"; domains install a negotiator callable when relevant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.middleware.synthesis.comparator import ModelComparator
+from repro.middleware.synthesis.dispatcher import Dispatcher
+from repro.middleware.synthesis.interpreter import ChangeInterpreter, EntityRule
+from repro.middleware.synthesis.scripts import ControlScript
+from repro.modeling.constraints import ConstraintRegistry, validate_model
+from repro.modeling.diff import ChangeList
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.runtime.component import Component
+
+__all__ = ["SynthesisError", "SynthesisResult", "SynthesisEngine"]
+
+
+class SynthesisError(Exception):
+    """Raised on invalid models or failed synthesis."""
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced by one synthesis cycle."""
+
+    script: ControlScript
+    changes: ChangeList
+    accepted_model: Model
+
+    @property
+    def no_op(self) -> bool:
+        return self.changes.empty
+
+
+class SynthesisEngine(Component):
+    """Transforms user models into control scripts.
+
+    Wire the ``downward`` port to the Controller layer to auto-submit
+    produced scripts; without it, callers receive the script from
+    :meth:`synthesize` and route it themselves (remote installation in
+    the smart-spaces configuration).
+    """
+
+    def __init__(
+        self,
+        name: str = "synthesis",
+        *,
+        metamodel: Metamodel,
+        constraints: ConstraintRegistry | None = None,
+        strict: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(name, **kwargs)
+        self.metamodel = metamodel
+        self.constraints = constraints if constraints is not None else ConstraintRegistry()
+        self.comparator = ModelComparator(metamodel)
+        self.interpreter = ChangeInterpreter(strict=strict)
+        self.dispatcher = Dispatcher()
+        #: optional negotiation hook: (new_model) -> new_model (possibly
+        #: adjusted after negotiating with remote parties).
+        self.negotiator: Callable[[Model], Model] | None = None
+        self.cycles = 0
+        self.rejected = 0
+
+    # -- DSK installation ---------------------------------------------------
+
+    def add_rule(self, rule: EntityRule) -> EntityRule:
+        return self.interpreter.add_rule(rule)
+
+    def add_rules(self, rules: list[EntityRule]) -> None:
+        for rule in rules:
+            self.interpreter.add_rule(rule)
+
+    # -- main cycle -------------------------------------------------------------
+
+    def synthesize(
+        self,
+        new_model: Model,
+        *,
+        context: dict[str, Any] | None = None,
+        submit: bool = True,
+    ) -> SynthesisResult:
+        """Run one synthesis cycle over a newly submitted user model.
+
+        Steps: validate -> negotiate -> compare -> interpret -> promote
+        -> (optionally) submit downward.
+        """
+        self.require_running()
+        report = validate_model(new_model, self.constraints)
+        if not report.ok:
+            self.rejected += 1
+            raise SynthesisError(
+                f"model rejected: {len(report.errors)} validation error(s): "
+                + "; ".join(str(d) for d in report.errors[:3])
+            )
+        if self.negotiator is not None:
+            new_model = self.negotiator(new_model)
+        changes = self.comparator.compare(self.dispatcher.runtime_model, new_model)
+        script = self.interpreter.interpret(
+            changes,
+            script_name=f"{self.name}:{new_model.name}",
+            context=context,
+        )
+        script.source_model = new_model.name
+        self.dispatcher.promote(new_model)
+        self.cycles += 1
+        if submit and not script.empty:
+            downward = self.port_or_none("downward")
+            if downward is not None:
+                downward.submit_script(script)
+        return SynthesisResult(
+            script=script, changes=changes, accepted_model=new_model
+        )
+
+    def teardown_script(self, *, context: dict[str, Any] | None = None) -> SynthesisResult:
+        """Synthesize the script that tears the running model down
+        (compare runtime model against empty)."""
+        self.require_running()
+        empty = self.comparator.empty_model()
+        changes = self.comparator.compare(self.dispatcher.runtime_model, empty)
+        script = self.interpreter.interpret(
+            changes, script_name=f"{self.name}:teardown", context=context
+        )
+        self.dispatcher.clear()
+        self.interpreter.reset()
+        self.cycles += 1
+        downward = self.port_or_none("downward")
+        if downward is not None and not script.empty:
+            downward.submit_script(script)
+        return SynthesisResult(script=script, changes=changes, accepted_model=empty)
+
+    # -- Controller events --------------------------------------------------------
+
+    def handle_event(self, topic: str, payload: dict[str, Any]) -> int:
+        return self.interpreter.handle_event(topic, payload)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "cycles": self.cycles,
+            "rejected": self.rejected,
+            "comparisons": self.comparator.comparisons,
+            "changes_processed": self.interpreter.changes_processed,
+            "commands_emitted": self.interpreter.commands_emitted,
+        }

@@ -1,0 +1,203 @@
+"""Control scripts: the Synthesis -> Controller interface.
+
+Paper Sec. IV-A: the Synthesis layer "transforms CML models into
+control scripts"; the Controller "interprets the control scripts".
+A :class:`ControlScript` is an ordered sequence of :class:`Command`
+objects; each command names a domain *operation* (dot-separated) and
+carries arguments plus an optional classifier hint used by command
+classification (Sec. VI).
+
+Scripts are themselves model data: :func:`script_metamodel` exposes the
+script structure as a metamodel so scripts can be serialized, validated
+and shipped across nodes (the 2SVM smart-space configuration installs
+scripts on remote smart objects).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.modeling.meta import Metamodel
+
+__all__ = [
+    "Command",
+    "ControlScript",
+    "ScriptError",
+    "script_metamodel",
+    "script_to_dict",
+    "script_from_dict",
+]
+
+_script_seq = itertools.count(1)
+
+
+class ScriptError(Exception):
+    """Raised on malformed scripts or commands."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One step of a control script.
+
+    Attributes:
+        operation: dot-separated domain operation, e.g.
+            ``"session.establish"`` or ``"device.set_mode"``.
+        args: operation arguments.
+        classifier: optional DSC name hinting classification; when
+            absent, the Controller derives it from the operation.
+        target: optional entity id the command concerns.
+        guard: optional safe-expression string; a false guard skips the
+            command at execution time.
+    """
+
+    operation: str
+    args: Mapping[str, Any] = field(default_factory=dict)
+    classifier: str | None = None
+    target: str | None = None
+    guard: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.operation:
+            raise ScriptError("command operation must be non-empty")
+
+    @property
+    def category(self) -> str:
+        """Leading segment of the operation (coarse classification)."""
+        return self.operation.split(".", 1)[0]
+
+    def with_args(self, **extra: Any) -> "Command":
+        merged = dict(self.args)
+        merged.update(extra)
+        return Command(
+            operation=self.operation,
+            args=merged,
+            classifier=self.classifier,
+            target=self.target,
+            guard=self.guard,
+        )
+
+    def __str__(self) -> str:
+        target = f" @{self.target}" if self.target else ""
+        return f"{self.operation}({dict(self.args)!r}){target}"
+
+
+@dataclass
+class ControlScript:
+    """An ordered command sequence produced by one synthesis cycle."""
+
+    name: str = ""
+    commands: list[Command] = field(default_factory=list)
+    source_model: str = ""          # id/name of the application model
+    script_id: str = field(default_factory=lambda: f"script#{next(_script_seq)}")
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def add(self, command: Command) -> "ControlScript":
+        self.commands.append(command)
+        return self
+
+    def command(self, operation: str, **args: Any) -> "ControlScript":
+        """Shorthand to append a command."""
+        return self.add(Command(operation=operation, args=args))
+
+    def operations(self) -> list[str]:
+        return [c.operation for c in self.commands]
+
+    @property
+    def empty(self) -> bool:
+        return not self.commands
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self.commands)
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlScript({self.script_id}, name={self.name!r}, "
+            f"commands={len(self.commands)})"
+        )
+
+
+_SCRIPT_METAMODEL: Metamodel | None = None
+
+
+def script_metamodel() -> Metamodel:
+    """The metamodel for control scripts (part of the DSK, Sec. V-B)."""
+    global _SCRIPT_METAMODEL
+    if _SCRIPT_METAMODEL is not None:
+        return _SCRIPT_METAMODEL
+    metamodel = Metamodel("control-scripts")
+    script = metamodel.new_class("Script")
+    script.attribute("name", "string")
+    script.attribute("sourceModel", "string")
+    script.reference("commands", "ScriptCommand", containment=True, many=True)
+    command = metamodel.new_class("ScriptCommand")
+    command.attribute("operation", "string", required=True)
+    command.attribute("classifier", "string")
+    command.attribute("target", "string")
+    command.attribute("guard", "string")
+    command.attribute("argsJson", "string")
+    _SCRIPT_METAMODEL = metamodel.resolve()
+    return _SCRIPT_METAMODEL
+
+
+def script_to_dict(script: ControlScript) -> dict[str, Any]:
+    """Serialize a script to a plain document (for shipping/installing)."""
+    return {
+        "script_id": script.script_id,
+        "name": script.name,
+        "source_model": script.source_model,
+        "metadata": dict(script.metadata),
+        "commands": [
+            {
+                "operation": c.operation,
+                "args": dict(c.args),
+                "classifier": c.classifier,
+                "target": c.target,
+                "guard": c.guard,
+            }
+            for c in script.commands
+        ],
+    }
+
+
+def script_from_dict(doc: Mapping[str, Any]) -> ControlScript:
+    try:
+        script = ControlScript(
+            name=str(doc.get("name", "")),
+            source_model=str(doc.get("source_model", "")),
+        )
+        if "script_id" in doc:
+            script.script_id = str(doc["script_id"])
+        script.metadata = dict(doc.get("metadata", {}))
+        for command_doc in doc.get("commands", []):
+            script.add(
+                Command(
+                    operation=command_doc["operation"],
+                    args=dict(command_doc.get("args", {})),
+                    classifier=command_doc.get("classifier"),
+                    target=command_doc.get("target"),
+                    guard=command_doc.get("guard"),
+                )
+            )
+    except (KeyError, TypeError) as exc:
+        raise ScriptError(f"malformed script document: {exc}") from exc
+    return script
+
+
+def script_to_json(script: ControlScript) -> str:
+    return json.dumps(script_to_dict(script), indent=2)
+
+
+def script_from_json(text: str) -> ControlScript:
+    try:
+        return script_from_dict(json.loads(text))
+    except json.JSONDecodeError as exc:
+        raise ScriptError(f"invalid JSON: {exc}") from exc
+
+
+__all__ += ["script_to_json", "script_from_json"]

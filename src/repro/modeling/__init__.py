@@ -1,0 +1,83 @@
+"""EMF-equivalent metamodeling kernel.
+
+Public surface of the kernel used by the middleware stack, the domain
+DSMLs, and user code:
+
+* :mod:`repro.modeling.meta` — metaclasses, attributes, references, enums.
+* :mod:`repro.modeling.model` — typed instances and model containers.
+* :mod:`repro.modeling.constraints` — OCL-style validation.
+* :mod:`repro.modeling.serialize` — JSON documents and cloning.
+* :mod:`repro.modeling.diff` — model comparison (change lists).
+* :mod:`repro.modeling.lts` — labeled transition systems.
+* :mod:`repro.modeling.expr` — safe expression language.
+* :mod:`repro.modeling.templates` — code-template engine.
+* :mod:`repro.modeling.weave` — aspect-style model composition.
+"""
+
+from repro.modeling.constraints import (
+    ConstraintRegistry,
+    Diagnostic,
+    Invariant,
+    Severity,
+    ValidationReport,
+    validate_model,
+    validate_object,
+)
+from repro.modeling.diff import Change, ChangeList, diff_models, diff_objects
+from repro.modeling.expr import Expression, ExpressionError, evaluate
+from repro.modeling.lts import LTS, LTSError, LTSExecution, State, Transition
+from repro.modeling.meta import (
+    MetaAttribute,
+    MetaClass,
+    MetaEnum,
+    Metamodel,
+    MetamodelError,
+    MetaReference,
+    build_metamodel,
+)
+from repro.modeling.model import Model, ModelError, MObject
+from repro.modeling.serialize import (
+    SerializationError,
+    clone_model,
+    clone_object,
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+    object_to_dict,
+)
+from repro.modeling.templates import Template, TemplateError, render
+from repro.modeling.weave import (
+    Override,
+    WeaveConflict,
+    WeaveResult,
+    default_key,
+    weave_models,
+)
+
+__all__ = [
+    # meta
+    "Metamodel", "MetaClass", "MetaAttribute", "MetaReference", "MetaEnum",
+    "MetamodelError", "build_metamodel",
+    # model
+    "Model", "MObject", "ModelError",
+    # constraints
+    "ConstraintRegistry", "Invariant", "Diagnostic", "Severity",
+    "ValidationReport", "validate_model", "validate_object",
+    # serialize
+    "SerializationError", "model_to_dict", "model_from_dict",
+    "model_to_json", "model_from_json", "object_to_dict",
+    "metamodel_to_dict", "metamodel_from_dict", "clone_model", "clone_object",
+    # diff
+    "Change", "ChangeList", "diff_models", "diff_objects",
+    # lts
+    "LTS", "LTSExecution", "LTSError", "State", "Transition",
+    # expr
+    "Expression", "ExpressionError", "evaluate",
+    # templates
+    "Template", "TemplateError", "render",
+    # weave
+    "weave_models", "WeaveResult", "WeaveConflict", "Override", "default_key",
+]

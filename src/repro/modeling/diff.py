@@ -1,0 +1,255 @@
+"""Model comparison: the heart of the Synthesis layer.
+
+The paper's Synthesis layer "involves comparing two models at runtime:
+the model that is currently running (an empty model if the system has
+just been started) and a new (updated) model submitted by the user"
+(Sec. V-B).  This module computes that difference as a
+:class:`ChangeList` of typed change entries, matched by object id.
+
+Change kinds:
+
+* ``add``     — object present only in the new model (one change per
+  added object, parents before children),
+* ``remove``  — object present only in the old model (one change per
+  removed object, children before parents),
+* ``set``     — single-valued attribute or reference changed,
+* ``list``    — multi-valued feature membership changed (added/removed),
+* ``move``    — object re-parented to a different container.
+
+The change list is ordered for safe replay: removals bottom-up, then
+sets/moves, then additions top-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.modeling.meta import MetaAttribute, MetaReference
+from repro.modeling.model import Model, MObject
+
+__all__ = ["Change", "ChangeList", "diff_models", "diff_objects"]
+
+
+@dataclass(frozen=True)
+class Change:
+    """One atomic difference between two models."""
+
+    kind: str                      # add | remove | set | list | move
+    object_id: str
+    class_name: str
+    feature: str | None = None
+    old: Any = None
+    new: Any = None
+    added: tuple[str, ...] = ()    # for kind == "list": ids or values added
+    removed: tuple[str, ...] = ()  # for kind == "list": ids or values removed
+    new_object: MObject | None = None   # for kind == "add": the subtree
+    old_object: MObject | None = None   # for kind == "remove": the subtree
+
+    def __str__(self) -> str:
+        if self.kind == "add":
+            return f"add {self.class_name}({self.object_id})"
+        if self.kind == "remove":
+            return f"remove {self.class_name}({self.object_id})"
+        if self.kind == "move":
+            return (
+                f"move {self.class_name}({self.object_id}) "
+                f"{self.old} -> {self.new}"
+            )
+        if self.kind == "list":
+            return (
+                f"list {self.class_name}({self.object_id}).{self.feature} "
+                f"+{list(self.added)} -{list(self.removed)}"
+            )
+        return (
+            f"set {self.class_name}({self.object_id}).{self.feature} "
+            f"{self.old!r} -> {self.new!r}"
+        )
+
+
+@dataclass
+class ChangeList:
+    """Ordered list of changes from an old model to a new model."""
+
+    changes: list[Change] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return not self.changes
+
+    def by_kind(self, kind: str) -> list[Change]:
+        return [c for c in self.changes if c.kind == kind]
+
+    def for_class(self, class_name: str) -> list[Change]:
+        return [c for c in self.changes if c.class_name == class_name]
+
+    def for_object(self, object_id: str) -> list[Change]:
+        return [c for c in self.changes if c.object_id == object_id]
+
+    def __iter__(self) -> Iterator[Change]:
+        return iter(self.changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __repr__(self) -> str:
+        counts: dict[str, int] = {}
+        for change in self.changes:
+            counts[change.kind] = counts.get(change.kind, 0) + 1
+        return f"ChangeList({counts})"
+
+
+def _value_token(value: Any) -> Any:
+    """Comparable token for a feature value (objects compare by id)."""
+    if isinstance(value, MObject):
+        return f"$ref:{value.id}"
+    return value
+
+
+def _feature_changes(
+    old_obj: MObject,
+    new_obj: MObject,
+    *,
+    skip_containment: bool,
+) -> Iterator[Change]:
+    """Feature-level changes; every yielded change carries both the new
+    and the old version of the object, so downstream interpreters can
+    navigate from either side of the change."""
+    cls = new_obj.meta
+    for name, attr in cls.all_attributes().items():
+        old_value = old_obj.get(name)
+        new_value = new_obj.get(name)
+        if attr.many:
+            old_list = list(old_value)
+            new_list = list(new_value)
+            if old_list != new_list:
+                added = tuple(str(v) for v in new_list if v not in old_list)
+                removed = tuple(str(v) for v in old_list if v not in new_list)
+                if added or removed:
+                    yield Change(
+                        "list", new_obj.id, cls.name, feature=name,
+                        added=added, removed=removed,
+                        old=old_list, new=new_list, new_object=new_obj,
+                        old_object=old_obj,
+                    )
+                else:  # pure reordering
+                    yield Change(
+                        "set", new_obj.id, cls.name, feature=name,
+                        old=old_list, new=new_list, new_object=new_obj,
+                        old_object=old_obj,
+                    )
+        elif old_value != new_value:
+            yield Change(
+                "set", new_obj.id, cls.name, feature=name,
+                old=old_value, new=new_value, new_object=new_obj,
+                old_object=old_obj,
+            )
+    for name, ref in cls.all_references().items():
+        if ref.containment and skip_containment:
+            continue
+        old_value = old_obj.get(name)
+        new_value = new_obj.get(name)
+        if ref.many:
+            old_ids = [_value_token(v) for v in old_value]
+            new_ids = [_value_token(v) for v in new_value]
+            added = tuple(i[5:] for i in new_ids if i not in old_ids)
+            removed = tuple(i[5:] for i in old_ids if i not in new_ids)
+            if added or removed:
+                yield Change(
+                    "list", new_obj.id, cls.name, feature=name,
+                    added=added, removed=removed, new_object=new_obj,
+                    old_object=old_obj,
+                )
+        else:
+            old_token = _value_token(old_value)
+            new_token = _value_token(new_value)
+            if old_token != new_token:
+                # Store plain object ids (not internal $ref tokens) so
+                # interpreters see the same identifiers as list changes.
+                yield Change(
+                    "set", new_obj.id, cls.name, feature=name,
+                    old=_strip_ref(old_token), new=_strip_ref(new_token),
+                    new_object=new_obj, old_object=old_obj,
+                )
+
+
+def _strip_ref(token):
+    if isinstance(token, str) and token.startswith("$ref:"):
+        return token[5:]
+    return token
+
+
+def _containment_parent_id(obj: MObject) -> str | None:
+    return obj.container.id if obj.container is not None else None
+
+
+def diff_models(old: Model, new: Model) -> ChangeList:
+    """Compute the ordered change list transforming ``old`` into ``new``.
+
+    Objects are matched by id; an object appearing in both models with
+    a different class is treated as remove + add.
+    """
+    old_index = old.index()
+    new_index = new.index()
+    old_ids = set(old_index)
+    new_ids = set(new_index)
+
+    retyped = {
+        oid
+        for oid in old_ids & new_ids
+        if old_index[oid].meta.name != new_index[oid].meta.name
+    }
+    removed_ids = (old_ids - new_ids) | retyped
+    added_ids = (new_ids - old_ids) | retyped
+    common_ids = (old_ids & new_ids) - retyped
+
+    removals: list[Change] = []
+    # One removal per removed object, children before parents, so
+    # interpreters tear entities down bottom-up.
+    for oid in sorted(
+        removed_ids, key=lambda i: -old_index[i].path().count("/")
+    ):
+        obj = old_index[oid]
+        removals.append(
+            Change("remove", oid, obj.meta.name, old_object=obj)
+        )
+
+    updates: list[Change] = []
+    moves: list[Change] = []
+    for oid in sorted(common_ids, key=lambda i: new_index[i].path()):
+        old_obj = old_index[oid]
+        new_obj = new_index[oid]
+        old_parent = _containment_parent_id(old_obj)
+        new_parent = _containment_parent_id(new_obj)
+        if old_parent != new_parent:
+            moves.append(
+                Change(
+                    "move", oid, new_obj.meta.name,
+                    old=old_parent, new=new_parent, new_object=new_obj,
+                )
+            )
+        updates.extend(
+            _feature_changes(old_obj, new_obj, skip_containment=True)
+        )
+
+    additions: list[Change] = []
+    # One addition per added object, parents before children, so
+    # interpreters build entities top-down (a child's rule may navigate
+    # to its container).
+    for oid in sorted(added_ids, key=lambda i: new_index[i].path()):
+        obj = new_index[oid]
+        additions.append(Change("add", oid, obj.meta.name, new_object=obj))
+
+    return ChangeList(changes=removals + updates + moves + additions)
+
+
+def diff_objects(old_obj: MObject, new_obj: MObject) -> ChangeList:
+    """Diff two object subtrees directly (wraps them in throwaway models)."""
+    if old_obj.meta.metamodel is None or new_obj.meta.metamodel is None:
+        raise ValueError("objects must belong to a metamodel to be diffed")
+    old_model = Model(old_obj.meta.metamodel, name="old")
+    new_model = Model(new_obj.meta.metamodel, name="new")
+    # Roots may be contained elsewhere; walk directly instead of re-rooting.
+    old_model.walk = old_obj.walk  # type: ignore[method-assign]
+    new_model.walk = new_obj.walk  # type: ignore[method-assign]
+    return diff_models(old_model, new_model)

@@ -1,0 +1,318 @@
+"""A small, safe expression language for guards, policies and constraints.
+
+The middleware metamodel stores behaviour *as data*: LTS guards, policy
+conditions and constraint bodies are strings evaluated against a
+context.  Evaluating arbitrary Python with ``eval`` would make models a
+code-injection vector, so we compile a restricted subset of Python
+expressions via :mod:`ast` and interpret it ourselves.
+
+Supported syntax: literals, names, attribute access, subscripts,
+boolean/comparison/arithmetic operators, unary ops, conditional
+expressions, and calls to a whitelisted set of pure functions
+(``len``, ``min``, ``max``, ``abs``, ``sum``, ``any``, ``all``,
+``round``, ``sorted``, ``str``, ``int``, ``float``, ``bool``).
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from typing import Any, Callable, Mapping
+
+__all__ = ["ExpressionError", "Expression", "evaluate"]
+
+
+class ExpressionError(Exception):
+    """Raised for syntax errors, forbidden constructs, or evaluation faults."""
+
+
+_BINOPS: dict[type, Callable[[Any, Any], Any]] = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.FloorDiv: operator.floordiv,
+    ast.Mod: operator.mod,
+    ast.Pow: operator.pow,
+}
+
+_CMPOPS: dict[type, Callable[[Any, Any], bool]] = {
+    ast.Eq: operator.eq,
+    ast.NotEq: operator.ne,
+    ast.Lt: operator.lt,
+    ast.LtE: operator.le,
+    ast.Gt: operator.gt,
+    ast.GtE: operator.ge,
+    ast.In: lambda a, b: a in b,
+    ast.NotIn: lambda a, b: a not in b,
+    ast.Is: operator.is_,
+    ast.IsNot: operator.is_not,
+}
+
+_UNARYOPS: dict[type, Callable[[Any], Any]] = {
+    ast.Not: operator.not_,
+    ast.USub: operator.neg,
+    ast.UAdd: operator.pos,
+}
+
+_SAFE_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "len": len,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "sum": sum,
+    "any": any,
+    "all": all,
+    "round": round,
+    "sorted": sorted,
+    "str": str,
+    "int": int,
+    "float": float,
+    "bool": bool,
+}
+
+_SAFE_CONSTANTS: dict[str, Any] = {
+    "True": True,
+    "False": False,
+    "None": None,
+}
+
+#: Method names callable on values inside expressions (pure methods of
+#: builtin containers/strings; no mutation).
+_SAFE_METHODS: frozenset[str] = frozenset(
+    {
+        "get", "keys", "values", "items",
+        "startswith", "endswith", "lower", "upper", "strip",
+        "split", "join", "replace", "format",
+        "count", "index",
+    }
+)
+
+
+class Expression:
+    """A compiled expression, reusable across many evaluations.
+
+    >>> Expression("load > 0.8 and mode == 'auto'").evaluate(
+    ...     {"load": 0.9, "mode": "auto"})
+    True
+    """
+
+    def __init__(self, source: str) -> None:
+        if not isinstance(source, str) or not source.strip():
+            raise ExpressionError("expression source must be a non-empty string")
+        self.source = source
+        try:
+            tree = ast.parse(source, mode="eval")
+        except SyntaxError as exc:
+            raise ExpressionError(f"syntax error in {source!r}: {exc}") from exc
+        self._check(tree.body)
+        self._tree = tree.body
+
+    def evaluate(self, context: Mapping[str, Any] | None = None) -> Any:
+        env = dict(_SAFE_CONSTANTS)
+        if context:
+            env.update(context)
+        try:
+            return self._eval(self._tree, env)
+        except ExpressionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced as ExpressionError
+            raise ExpressionError(f"error evaluating {self.source!r}: {exc}") from exc
+
+    # -- compilation-time whitelist check --------------------------------
+
+    _ALLOWED_NODES = (
+        ast.Expression,
+        ast.BoolOp, ast.And, ast.Or,
+        ast.BinOp, ast.UnaryOp, ast.Compare, ast.IfExp,
+        ast.Call, ast.Name, ast.Load, ast.Store, ast.Constant,
+        ast.Attribute, ast.Subscript, ast.Index if hasattr(ast, "Index") else ast.Expression,
+        ast.List, ast.Tuple, ast.Dict, ast.Set,
+        ast.Slice,
+        ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+        ast.comprehension,
+    ) + tuple(_BINOPS) + tuple(_CMPOPS) + tuple(_UNARYOPS)
+
+    def _check(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if not isinstance(child, self._ALLOWED_NODES):
+                raise ExpressionError(
+                    f"forbidden construct {type(child).__name__} in {self.source!r}"
+                )
+            if isinstance(child, ast.Call):
+                func = child.func
+                name_ok = isinstance(func, ast.Name) and func.id in _SAFE_FUNCTIONS
+                method_ok = (
+                    isinstance(func, ast.Attribute) and func.attr in _SAFE_METHODS
+                )
+                if not (name_ok or method_ok):
+                    raise ExpressionError(
+                        f"only whitelisted function/method calls allowed "
+                        f"in {self.source!r}"
+                    )
+                if child.keywords:
+                    raise ExpressionError(
+                        f"keyword arguments not allowed in {self.source!r}"
+                    )
+            if isinstance(child, ast.Attribute) and child.attr.startswith("_"):
+                raise ExpressionError(
+                    f"access to private attribute {child.attr!r} forbidden "
+                    f"in {self.source!r}"
+                )
+
+    # -- interpreter ------------------------------------------------------
+
+    def _eval(self, node: ast.AST, env: Mapping[str, Any]) -> Any:
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            raise ExpressionError(
+                f"unknown name {node.id!r} in {self.source!r}"
+            )
+        if isinstance(node, ast.BoolOp):
+            if isinstance(node.op, ast.And):
+                result: Any = True
+                for value in node.values:
+                    result = self._eval(value, env)
+                    if not result:
+                        return result
+                return result
+            result = False
+            for value in node.values:
+                result = self._eval(value, env)
+                if result:
+                    return result
+            return result
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise ExpressionError(f"unsupported operator in {self.source!r}")
+            return op(self._eval(node.left, env), self._eval(node.right, env))
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARYOPS.get(type(node.op))
+            if op is None:
+                raise ExpressionError(f"unsupported unary op in {self.source!r}")
+            return op(self._eval(node.operand, env))
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            for op_node, comparator in zip(node.ops, node.comparators):
+                right = self._eval(comparator, env)
+                op = _CMPOPS.get(type(op_node))
+                if op is None:
+                    raise ExpressionError(f"unsupported comparison in {self.source!r}")
+                if not op(left, right):
+                    return False
+                left = right
+            return True
+        if isinstance(node, ast.IfExp):
+            if self._eval(node.test, env):
+                return self._eval(node.body, env)
+            return self._eval(node.orelse, env)
+        if isinstance(node, ast.Call):
+            args = [self._eval(arg, env) for arg in node.args]
+            if isinstance(node.func, ast.Name):
+                return _SAFE_FUNCTIONS[node.func.id](*args)
+            assert isinstance(node.func, ast.Attribute)
+            receiver = self._eval(node.func.value, env)
+            method = getattr(receiver, node.func.attr)
+            return method(*args)
+        if isinstance(node, ast.Attribute):
+            value = self._eval(node.value, env)
+            # MObject features resolve through get(); non-feature names
+            # (id, container, ...) fall back to plain attribute access.
+            getter = getattr(value, "get", None)
+            if callable(getter) and hasattr(value, "meta"):
+                try:
+                    return value.get(node.attr)
+                except Exception:  # noqa: BLE001 - not a model feature
+                    return getattr(value, node.attr)
+            return getattr(value, node.attr)
+        if isinstance(node, ast.Subscript):
+            value = self._eval(node.value, env)
+            index = self._eval(node.slice, env)
+            return value[index]
+        if isinstance(node, ast.Slice):
+            lower = self._eval(node.lower, env) if node.lower else None
+            upper = self._eval(node.upper, env) if node.upper else None
+            step = self._eval(node.step, env) if node.step else None
+            return slice(lower, upper, step)
+        if isinstance(node, ast.List):
+            return [self._eval(item, env) for item in node.elts]
+        if isinstance(node, ast.Tuple):
+            return tuple(self._eval(item, env) for item in node.elts)
+        if isinstance(node, ast.Set):
+            return {self._eval(item, env) for item in node.elts}
+        if isinstance(node, ast.Dict):
+            return {
+                self._eval(key, env): self._eval(value, env)
+                for key, value in zip(node.keys, node.values)
+                if key is not None
+            }
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            results = list(self._comprehend(node.elt, node.generators, env))
+            if isinstance(node, ast.SetComp):
+                return set(results)
+            return results
+        if isinstance(node, ast.DictComp):
+            pairs = self._comprehend(
+                ast.Tuple(elts=[node.key, node.value], ctx=ast.Load()),
+                node.generators,
+                env,
+            )
+            return dict(pairs)
+        raise ExpressionError(
+            f"unsupported node {type(node).__name__} in {self.source!r}"
+        )
+
+    def _comprehend(
+        self,
+        elt: ast.AST,
+        generators: list[ast.comprehension],
+        env: Mapping[str, Any],
+    ) -> Any:
+        """Evaluate comprehension generators recursively."""
+        if not generators:
+            yield self._eval(elt, env)
+            return
+        generator, *rest = generators
+        iterable = self._eval(generator.iter, env)
+        for item in iterable:
+            scoped = dict(env)
+            self._bind(generator.target, item, scoped)
+            if all(self._eval(cond, scoped) for cond in generator.ifs):
+                yield from self._comprehend(elt, rest, scoped)
+
+    def _bind(self, target: ast.AST, value: Any, env: dict[str, Any]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, ast.Tuple):
+            values = list(value)
+            if len(values) != len(target.elts):
+                raise ExpressionError(
+                    f"cannot unpack {len(values)} values into "
+                    f"{len(target.elts)} names in {self.source!r}"
+                )
+            for sub_target, sub_value in zip(target.elts, values):
+                self._bind(sub_target, sub_value, env)
+        else:
+            raise ExpressionError(
+                f"unsupported comprehension target in {self.source!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Expression({self.source!r})"
+
+
+_cache: dict[str, Expression] = {}
+
+
+def evaluate(source: str, context: Mapping[str, Any] | None = None) -> Any:
+    """Compile (with caching) and evaluate ``source`` against ``context``."""
+    compiled = _cache.get(source)
+    if compiled is None:
+        compiled = Expression(source)
+        if len(_cache) < 4096:
+            _cache[source] = compiled
+    return compiled.evaluate(context)

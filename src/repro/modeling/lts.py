@@ -1,0 +1,220 @@
+"""Labeled transition systems (LTS).
+
+The paper's Synthesis layer encodes "the domain-specific semantics of
+model synthesis" as labeled transition systems (Sec. V-A/V-B, following
+Allison et al. [11]): the change interpreter consumes a change list and
+walks a per-entity LTS whose transitions are guarded by the change kind
+and context, emitting control-script commands as transition actions.
+
+An :class:`LTS` here is a deterministic-by-priority machine: states,
+and transitions ``(source, label, guard, actions, target)``.  Guards
+are safe expression strings (see :mod:`repro.modeling.expr`) evaluated
+against a caller-provided context; actions are opaque payloads the
+interpreter turns into commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.modeling.expr import Expression
+
+__all__ = ["LTSError", "State", "Transition", "LTS", "LTSExecution"]
+
+
+class LTSError(Exception):
+    """Raised on malformed machines or invalid execution steps."""
+
+
+@dataclass(frozen=True)
+class State:
+    """A named LTS state."""
+
+    name: str
+    final: bool = False
+
+
+@dataclass
+class Transition:
+    """A guarded, labeled transition emitting actions when taken."""
+
+    source: str
+    label: str
+    target: str
+    guard: str | None = None
+    actions: tuple[Any, ...] = ()
+    priority: int = 0
+    _compiled_guard: Expression | None = field(default=None, repr=False, compare=False)
+
+    def guard_holds(self, context: Mapping[str, Any]) -> bool:
+        if self.guard is None:
+            return True
+        if self._compiled_guard is None:
+            self._compiled_guard = Expression(self.guard)
+        return bool(self._compiled_guard.evaluate(context))
+
+
+class LTS:
+    """A labeled transition system with guarded transitions.
+
+    Transition selection on ``step(label, context)``: among transitions
+    from the current state with a matching label whose guard holds,
+    the highest-priority one (ties: declaration order) is taken.
+    """
+
+    def __init__(self, name: str, *, initial: str = "initial") -> None:
+        self.name = name
+        self.initial = initial
+        self.states: dict[str, State] = {}
+        self._transitions: list[Transition] = []
+        self.add_state(initial)
+
+    # -- construction -------------------------------------------------
+
+    def add_state(self, name: str, *, final: bool = False) -> State:
+        if name in self.states:
+            existing = self.states[name]
+            if final and not existing.final:
+                self.states[name] = State(name, final=True)
+            return self.states[name]
+        state = State(name, final=final)
+        self.states[name] = state
+        return state
+
+    def add_transition(
+        self,
+        source: str,
+        label: str,
+        target: str,
+        *,
+        guard: str | None = None,
+        actions: tuple[Any, ...] | list[Any] = (),
+        priority: int = 0,
+    ) -> Transition:
+        self.add_state(source)
+        self.add_state(target)
+        transition = Transition(
+            source=source,
+            label=label,
+            target=target,
+            guard=guard,
+            actions=tuple(actions),
+            priority=priority,
+        )
+        self._transitions.append(transition)
+        return transition
+
+    # -- queries -------------------------------------------------------
+
+    def transitions_from(self, state: str) -> list[Transition]:
+        return [t for t in self._transitions if t.source == state]
+
+    def labels(self) -> set[str]:
+        return {t.label for t in self._transitions}
+
+    def check(self) -> None:
+        """Verify well-formedness: all endpoints exist, initial exists."""
+        if self.initial not in self.states:
+            raise LTSError(f"LTS {self.name!r}: missing initial state")
+        for t in self._transitions:
+            if t.source not in self.states or t.target not in self.states:
+                raise LTSError(
+                    f"LTS {self.name!r}: dangling transition {t.source}->{t.target}"
+                )
+
+    def reachable_states(self) -> set[str]:
+        seen = {self.initial}
+        frontier = [self.initial]
+        while frontier:
+            state = frontier.pop()
+            for t in self.transitions_from(state):
+                if t.target not in seen:
+                    seen.add(t.target)
+                    frontier.append(t.target)
+        return seen
+
+    def unreachable_states(self) -> set[str]:
+        return set(self.states) - self.reachable_states()
+
+    def new_execution(self, *, state: str | None = None) -> "LTSExecution":
+        return LTSExecution(self, state=state or self.initial)
+
+    def __repr__(self) -> str:
+        return (
+            f"LTS({self.name!r}, states={len(self.states)}, "
+            f"transitions={len(self._transitions)})"
+        )
+
+
+class LTSExecution:
+    """A mutable execution (current state + trace) over an LTS."""
+
+    def __init__(self, lts: LTS, *, state: str) -> None:
+        if state not in lts.states:
+            raise LTSError(f"unknown state {state!r} in LTS {lts.name!r}")
+        lts.check()
+        self.lts = lts
+        self.state = state
+        self.trace: list[Transition] = []
+
+    @property
+    def in_final_state(self) -> bool:
+        return self.lts.states[self.state].final
+
+    def enabled(
+        self, label: str, context: Mapping[str, Any] | None = None
+    ) -> list[Transition]:
+        """Transitions enabled for ``label`` in the current state."""
+        env = context or {}
+        candidates = [
+            t
+            for t in self.lts.transitions_from(self.state)
+            if t.label == label and t.guard_holds(env)
+        ]
+        candidates.sort(key=lambda t: -t.priority)
+        return candidates
+
+    def can_step(self, label: str, context: Mapping[str, Any] | None = None) -> bool:
+        return bool(self.enabled(label, context))
+
+    def step(
+        self, label: str, context: Mapping[str, Any] | None = None
+    ) -> tuple[Any, ...]:
+        """Take the best enabled transition; return its actions.
+
+        Raises :class:`LTSError` if no transition is enabled — the
+        change interpreter treats that as an invalid model evolution.
+        """
+        candidates = self.enabled(label, context)
+        if not candidates:
+            raise LTSError(
+                f"LTS {self.lts.name!r}: no transition for label {label!r} "
+                f"from state {self.state!r}"
+            )
+        transition = candidates[0]
+        self.state = transition.target
+        self.trace.append(transition)
+        return transition.actions
+
+    def try_step(
+        self, label: str, context: Mapping[str, Any] | None = None
+    ) -> tuple[Any, ...] | None:
+        """Like :meth:`step` but returns None when no transition is enabled."""
+        if not self.can_step(label, context):
+            return None
+        return self.step(label, context)
+
+    def run(
+        self,
+        labels: Iterator[str] | list[str],
+        context: Mapping[str, Any] | None = None,
+    ) -> list[Any]:
+        """Step through a label sequence, collecting all emitted actions."""
+        emitted: list[Any] = []
+        for label in labels:
+            emitted.extend(self.step(label, context))
+        return emitted
+
+    def __repr__(self) -> str:
+        return f"LTSExecution({self.lts.name!r}, state={self.state!r})"

@@ -1,0 +1,306 @@
+"""JSON (de)serialization of models and metamodels.
+
+EMF serializes models as XMI; we use an equivalent JSON document
+format.  Object identity is preserved through stable ids so that
+cross-references (non-containment) survive a round trip, which the
+Synthesis layer's model comparator depends on.
+
+Document format for a model::
+
+    {"metamodel": "cml", "name": "my-model",
+     "roots": [ {object}, ... ]}
+
+and for an object::
+
+    {"id": "schema#3", "class": "Schema",
+     "attrs": {"name": "chat"},
+     "refs": {"connections": [{object}, ...],      # containment: inline
+              "owner": {"$ref": "person#1"}}}      # cross-ref: by id
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.modeling.meta import (
+    MetaAttribute,
+    Metamodel,
+    MetamodelError,
+    MetaReference,
+    build_metamodel,
+)
+from repro.modeling.model import Model, ModelError, MObject
+
+__all__ = [
+    "SerializationError",
+    "model_to_dict",
+    "model_from_dict",
+    "model_to_json",
+    "model_from_json",
+    "object_to_dict",
+    "metamodel_to_dict",
+    "metamodel_from_dict",
+    "clone_model",
+    "clone_object",
+]
+
+
+class SerializationError(Exception):
+    """Raised on malformed documents or unresolvable references."""
+
+
+# -- serialization ------------------------------------------------------
+
+
+def object_to_dict(obj: MObject) -> dict[str, Any]:
+    """Serialize one object (and its containment subtree)."""
+    doc: dict[str, Any] = {"id": obj.id, "class": obj.meta.name}
+    attrs: dict[str, Any] = {}
+    for name, attr in obj.meta.all_attributes().items():
+        value = obj.get(name)
+        if attr.many:
+            if value:
+                attrs[name] = list(value)
+        elif value is not None and value != attr.default_value():
+            attrs[name] = value
+        elif value is not None and name in obj._attrs:
+            attrs[name] = value
+    if attrs:
+        doc["attrs"] = attrs
+    refs: dict[str, Any] = {}
+    for name, ref in obj.meta.all_references().items():
+        value = obj.get(name)
+        if ref.many:
+            items = list(value)
+            if not items:
+                continue
+            if ref.containment:
+                refs[name] = [object_to_dict(item) for item in items]
+            else:
+                refs[name] = [{"$ref": item.id} for item in items]
+        else:
+            if value is None:
+                continue
+            if ref.containment:
+                refs[name] = object_to_dict(value)
+            else:
+                refs[name] = {"$ref": value.id}
+    if refs:
+        doc["refs"] = refs
+    return doc
+
+
+def model_to_dict(model: Model) -> dict[str, Any]:
+    return {
+        "metamodel": model.metamodel.name,
+        "name": model.name,
+        "roots": [object_to_dict(root) for root in model.roots],
+    }
+
+
+def model_to_json(model: Model, *, indent: int | None = 2) -> str:
+    return json.dumps(model_to_dict(model), indent=indent, sort_keys=False)
+
+
+# -- deserialization ----------------------------------------------------
+
+
+def _instantiate(
+    doc: dict[str, Any],
+    metamodel: Metamodel,
+    index: dict[str, MObject],
+    pending: list[tuple[MObject, MetaReference, Any]],
+) -> MObject:
+    class_name = doc.get("class")
+    if not isinstance(class_name, str):
+        raise SerializationError(f"object document missing 'class': {doc!r}")
+    cls = metamodel.find_class(class_name)
+    if cls is None:
+        raise SerializationError(f"unknown class {class_name!r}")
+    try:
+        obj = MObject(cls, id=doc.get("id"))
+    except ModelError as exc:
+        raise SerializationError(str(exc)) from exc
+    if obj.id in index:
+        raise SerializationError(f"duplicate object id {obj.id!r}")
+    index[obj.id] = obj
+    for name, value in dict(doc.get("attrs", {})).items():
+        feature = cls.find_feature(name)
+        if not isinstance(feature, MetaAttribute):
+            raise SerializationError(
+                f"{class_name}.{name} is not an attribute"
+            )
+        try:
+            obj.set(name, value)
+        except ModelError as exc:
+            raise SerializationError(str(exc)) from exc
+    for name, value in dict(doc.get("refs", {})).items():
+        feature = cls.find_feature(name)
+        if not isinstance(feature, MetaReference):
+            raise SerializationError(
+                f"{class_name}.{name} is not a reference"
+            )
+        if feature.containment:
+            children = value if feature.many else [value]
+            for child_doc in children:
+                child = _instantiate(child_doc, metamodel, index, pending)
+                if feature.many:
+                    obj.get(name).append(child)
+                else:
+                    obj.set(name, child)
+        else:
+            pending.append((obj, feature, value))
+    return obj
+
+
+def model_from_dict(
+    doc: dict[str, Any],
+    metamodel: Metamodel,
+) -> Model:
+    if doc.get("metamodel") not in (None, metamodel.name):
+        raise SerializationError(
+            f"document metamodel {doc.get('metamodel')!r} does not match "
+            f"{metamodel.name!r}"
+        )
+    model = Model(metamodel, name=str(doc.get("name", "model")))
+    index: dict[str, MObject] = {}
+    pending: list[tuple[MObject, MetaReference, Any]] = []
+    for root_doc in doc.get("roots", []):
+        model.add_root(_instantiate(root_doc, metamodel, index, pending))
+    # Second pass: resolve cross-references now that all ids exist.
+    for obj, ref, value in pending:
+        targets = value if ref.many else [value]
+        for target_doc in targets:
+            target_id = target_doc.get("$ref") if isinstance(target_doc, dict) else None
+            if target_id is None:
+                raise SerializationError(
+                    f"cross-reference {ref.qualified_name} must use {{'$ref': id}}"
+                )
+            target = index.get(target_id)
+            if target is None:
+                raise SerializationError(
+                    f"{ref.qualified_name}: dangling reference to {target_id!r}"
+                )
+            try:
+                if ref.many:
+                    obj.get(ref.name).append(target)
+                else:
+                    obj.set(ref.name, target)
+            except ModelError as exc:
+                raise SerializationError(str(exc)) from exc
+    return model
+
+
+def model_from_json(text: str, metamodel: Metamodel) -> Model:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SerializationError("top-level JSON value must be an object")
+    return model_from_dict(doc, metamodel)
+
+
+# -- metamodel documents --------------------------------------------------
+
+
+def metamodel_to_dict(metamodel: Metamodel) -> dict[str, Any]:
+    classes: dict[str, Any] = {}
+    for cls in metamodel.classes.values():
+        spec: dict[str, Any] = {}
+        if cls.abstract:
+            spec["abstract"] = True
+        if cls.supertypes:
+            spec["supertypes"] = [s.name for s in cls.supertypes]
+        attrs: dict[str, Any] = {}
+        for attr in cls.own_attributes():
+            attr_spec: dict[str, Any] = {"type": attr.type_name}
+            if attr.many:
+                attr_spec["many"] = True
+            if attr.required:
+                attr_spec["required"] = True
+            if attr.default is not None:
+                attr_spec["default"] = attr.default
+            attrs[attr.name] = attr_spec
+        if attrs:
+            spec["attributes"] = attrs
+        refs: dict[str, Any] = {}
+        for ref in cls.own_references():
+            ref_spec: dict[str, Any] = {"target": ref.target_name}
+            if ref.containment:
+                ref_spec["containment"] = True
+            if ref.many:
+                ref_spec["many"] = True
+            if ref.required:
+                ref_spec["required"] = True
+            if ref.opposite:
+                ref_spec["opposite"] = ref.opposite
+            refs[ref.name] = ref_spec
+        if refs:
+            spec["references"] = refs
+        classes[cls.name] = spec
+    return {
+        "name": metamodel.name,
+        "enums": {e.name: list(e.literals) for e in metamodel.enums.values()},
+        "classes": classes,
+    }
+
+
+def metamodel_from_dict(
+    doc: dict[str, Any],
+    *,
+    imports: tuple[Metamodel, ...] = (),
+) -> Metamodel:
+    try:
+        return build_metamodel(
+            str(doc["name"]),
+            doc.get("classes", {}),
+            enums=doc.get("enums", {}),
+            imports=imports,
+        )
+    except (KeyError, MetamodelError) as exc:
+        raise SerializationError(f"bad metamodel document: {exc}") from exc
+
+
+# -- cloning --------------------------------------------------------------
+
+
+def clone_object(obj: MObject, *, fresh_ids: bool = False) -> MObject:
+    """Deep-copy an object subtree (cross-refs within the subtree kept)."""
+    doc = object_to_dict(obj)
+    if fresh_ids:
+        _strip_ids(doc)
+    index: dict[str, MObject] = {}
+    pending: list[tuple[MObject, MetaReference, Any]] = []
+    metamodel = obj.meta.metamodel
+    if metamodel is None:
+        raise SerializationError(f"{obj!r} has no metamodel; cannot clone")
+    clone = _instantiate(doc, metamodel, index, pending)
+    for owner, ref, value in pending:
+        targets = value if ref.many else [value]
+        for target_doc in targets:
+            target = index.get(target_doc["$ref"])
+            if target is None:
+                # Cross-ref escapes the subtree: drop it (EMF proxies
+                # would do the same for an isolated copy).
+                continue
+            if ref.many:
+                owner.get(ref.name).append(target)
+            else:
+                owner.set(ref.name, target)
+    return clone
+
+
+def _strip_ids(doc: dict[str, Any]) -> None:
+    doc.pop("id", None)
+    for value in dict(doc.get("refs", {})).values():
+        children = value if isinstance(value, list) else [value]
+        for child in children:
+            if isinstance(child, dict) and "$ref" not in child:
+                _strip_ids(child)
+
+
+def clone_model(model: Model) -> Model:
+    """Deep-copy a model, preserving all ids (used by the comparator)."""
+    return model_from_dict(model_to_dict(model), model.metamodel)

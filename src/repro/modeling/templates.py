@@ -1,0 +1,231 @@
+"""Code-template engine for the component factory.
+
+The paper's runtime environment "generates each middleware component
+based on code templates that are parameterized with metadata from the
+middleware model" (Sec. V-A).  This module provides that template
+mechanism: a tiny, dependency-free text templater with
+
+* ``${expr}`` substitution (safe expressions, see
+  :mod:`repro.modeling.expr`),
+* ``%for x in expr% ... %end%`` loops,
+* ``%if expr% ... %elif expr% ... %else% ... %end%`` conditionals.
+
+Templates render to text; the component factory also uses them to
+render *specifications* (dicts) by templating JSON snippets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from repro.modeling.expr import Expression, ExpressionError
+
+__all__ = ["TemplateError", "Template", "render"]
+
+
+class TemplateError(Exception):
+    """Raised on malformed templates or failing substitutions."""
+
+
+_TOKEN_RE = re.compile(
+    r"\$\{(?P<subst>[^{}]+)\}"
+    r"|%(?P<directive>for|if|elif|else|end)(?P<rest>[^%]*)%"
+)
+
+
+class _Node:
+    def render(self, env: dict[str, Any], out: list[str]) -> None:
+        raise NotImplementedError
+
+
+class _Text(_Node):
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def render(self, env: dict[str, Any], out: list[str]) -> None:
+        out.append(self.text)
+
+
+class _Subst(_Node):
+    def __init__(self, source: str) -> None:
+        try:
+            self.expression = Expression(source)
+        except ExpressionError as exc:
+            raise TemplateError(f"bad substitution ${{{source}}}: {exc}") from exc
+
+    def render(self, env: dict[str, Any], out: list[str]) -> None:
+        try:
+            value = self.expression.evaluate(env)
+        except ExpressionError as exc:
+            raise TemplateError(str(exc)) from exc
+        out.append("" if value is None else str(value))
+
+
+class _For(_Node):
+    def __init__(self, var: str, source: str, body: list[_Node]) -> None:
+        if not var.isidentifier():
+            raise TemplateError(f"bad loop variable {var!r}")
+        self.var = var
+        try:
+            self.iterable = Expression(source)
+        except ExpressionError as exc:
+            raise TemplateError(f"bad loop expression {source!r}: {exc}") from exc
+        self.body = body
+
+    def render(self, env: dict[str, Any], out: list[str]) -> None:
+        try:
+            items = self.iterable.evaluate(env)
+        except ExpressionError as exc:
+            raise TemplateError(str(exc)) from exc
+        for item in items:
+            scoped = dict(env)
+            scoped[self.var] = item
+            for node in self.body:
+                node.render(scoped, out)
+
+
+class _If(_Node):
+    def __init__(self, branches: list[tuple[Expression | None, list[_Node]]]) -> None:
+        self.branches = branches
+
+    def render(self, env: dict[str, Any], out: list[str]) -> None:
+        for condition, body in self.branches:
+            taken = condition is None
+            if condition is not None:
+                try:
+                    taken = bool(condition.evaluate(env))
+                except ExpressionError as exc:
+                    raise TemplateError(str(exc)) from exc
+            if taken:
+                for node in body:
+                    node.render(env, out)
+                return
+
+
+class Template:
+    """A compiled template.
+
+    >>> Template("Hello ${name}!").render({"name": "world"})
+    'Hello world!'
+    """
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self._nodes, rest = self._parse(source, 0, terminators=())
+        if rest != len(source):
+            raise TemplateError("unexpected %end% without opening directive")
+
+    def render(self, context: Mapping[str, Any] | None = None) -> str:
+        env = dict(context or {})
+        out: list[str] = []
+        for node in self._nodes:
+            node.render(env, out)
+        return "".join(out)
+
+    # -- parser ---------------------------------------------------------
+
+    def _parse(
+        self, source: str, pos: int, *, terminators: tuple[str, ...]
+    ) -> tuple[list[_Node], int]:
+        """Parse until one of ``terminators`` or end of input.
+
+        Returns (nodes, position-after-consumed-input).  For terminator
+        directives, the position points *at* the directive token so the
+        caller can inspect it.
+        """
+        nodes: list[_Node] = []
+        while pos < len(source):
+            match = _TOKEN_RE.search(source, pos)
+            if match is None:
+                nodes.append(_Text(source[pos:]))
+                return nodes, len(source)
+            if match.start() > pos:
+                nodes.append(_Text(source[pos:match.start()]))
+            if match.group("subst") is not None:
+                nodes.append(_Subst(match.group("subst").strip()))
+                pos = match.end()
+                continue
+            directive = match.group("directive")
+            rest = (match.group("rest") or "").strip()
+            if directive in terminators:
+                return nodes, match.start()
+            if directive == "for":
+                loop_match = re.fullmatch(r"\s*(\w+)\s+in\s+(.+)", match.group("rest"))
+                if loop_match is None:
+                    raise TemplateError(f"malformed %for{match.group('rest')}%")
+                body, body_end = self._parse(
+                    source, match.end(), terminators=("end",)
+                )
+                end_match = _TOKEN_RE.match(source, body_end)
+                if end_match is None or end_match.group("directive") != "end":
+                    raise TemplateError("%for% without matching %end%")
+                nodes.append(
+                    _For(loop_match.group(1), loop_match.group(2).strip(), body)
+                )
+                pos = end_match.end()
+                continue
+            if directive == "if":
+                branches: list[tuple[Expression | None, list[_Node]]] = []
+                condition_src = rest
+                cursor = match.end()
+                while True:
+                    body, body_end = self._parse(
+                        source, cursor, terminators=("elif", "else", "end")
+                    )
+                    try:
+                        condition = (
+                            Expression(condition_src)
+                            if condition_src is not None
+                            else None
+                        )
+                    except ExpressionError as exc:
+                        raise TemplateError(
+                            f"bad condition {condition_src!r}: {exc}"
+                        ) from exc
+                    branches.append((condition, body))
+                    next_match = _TOKEN_RE.match(source, body_end)
+                    if next_match is None:
+                        raise TemplateError("%if% without matching %end%")
+                    next_directive = next_match.group("directive")
+                    if next_directive == "end":
+                        nodes.append(_If(branches))
+                        pos = next_match.end()
+                        break
+                    if next_directive == "elif":
+                        condition_src = (next_match.group("rest") or "").strip()
+                        cursor = next_match.end()
+                        continue
+                    if next_directive == "else":
+                        body, body_end = self._parse(
+                            source, next_match.end(), terminators=("end",)
+                        )
+                        branches.append((None, body))
+                        end_match = _TOKEN_RE.match(source, body_end)
+                        if end_match is None or end_match.group("directive") != "end":
+                            raise TemplateError("%else% without matching %end%")
+                        nodes.append(_If(branches))
+                        pos = end_match.end()
+                        break
+                    raise TemplateError(f"unexpected %{next_directive}%")
+                continue
+            if directive in ("elif", "else", "end"):
+                raise TemplateError(f"unexpected %{directive}% at position {pos}")
+        return nodes, pos
+
+    def __repr__(self) -> str:
+        preview = self.source if len(self.source) <= 40 else self.source[:37] + "..."
+        return f"Template({preview!r})"
+
+
+_template_cache: dict[str, Template] = {}
+
+
+def render(source: str, context: Mapping[str, Any] | None = None) -> str:
+    """Compile (with caching) and render a template."""
+    compiled = _template_cache.get(source)
+    if compiled is None:
+        compiled = Template(source)
+        if len(_template_cache) < 1024:
+            _template_cache[source] = compiled
+    return compiled.render(context)

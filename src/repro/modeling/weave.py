@@ -1,0 +1,279 @@
+"""Model weaving: composing multiple models of one application.
+
+Paper Sec. IX (future work): "an MD-DSM platform should be capable of
+simultaneously executing (through a weaving step) multiple related
+models that describe the different concerns of an application", in the
+style of aspect-oriented modeling [30].
+
+:func:`weave_models` merges a *base* model with any number of *aspect*
+models conforming to the same metamodel.  Correspondence between
+elements is established by a **key** — by default ``(class name,
+value of the class's first string attribute)``, i.e. name-based
+matching, which is how separately-authored aspects refer to shared
+elements.  Semantics:
+
+* matched elements merge: explicitly-set single-valued features of the
+  aspect override the base (recorded as :class:`Override` entries);
+  many-valued attributes and references union, preserving order;
+* unmatched elements are added (containment position follows the
+  aspect's structure, attached to the merged counterpart of their
+  container);
+* cross-references inside added subtrees are re-targeted to the merged
+  counterparts of their targets;
+* ``strict=True`` turns overrides of *explicitly set* base values into
+  :class:`WeaveConflict` errors (two concerns disagreeing about one
+  value is then a modeling error, not a silent last-wins).
+
+The woven result is a fresh model; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.modeling.model import Model, MObject
+from repro.modeling.serialize import clone_model
+
+__all__ = ["WeaveConflict", "Override", "WeaveResult", "weave_models", "default_key"]
+
+
+class WeaveConflict(Exception):
+    """Two models disagree on an explicitly-set single value (strict mode)."""
+
+
+@dataclass(frozen=True)
+class Override:
+    """A base value replaced by an aspect value during weaving."""
+
+    key: Hashable
+    feature: str
+    old: Any
+    new: Any
+    source_model: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.key}.{self.feature}: {self.old!r} -> {self.new!r} "
+            f"(from {self.source_model!r})"
+        )
+
+
+@dataclass
+class WeaveResult:
+    """The woven model plus an account of what the weave did."""
+
+    model: Model
+    merged: int = 0
+    added: int = 0
+    overrides: list[Override] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"woven: {self.merged} merged, {self.added} added, "
+            f"{len(self.overrides)} override(s)"
+        )
+
+
+def default_key(obj: MObject) -> Hashable:
+    """(class name, first string-attribute value) — name-based matching.
+
+    Falls back to the object id for classes without a string attribute,
+    which effectively makes such elements add-only.
+    """
+    for attr in obj.meta.all_attributes().values():
+        if attr.type_name == "string" and not attr.many:
+            return (obj.meta.name, obj.get(attr.name))
+    return (obj.meta.name, obj.id)
+
+
+def weave_models(
+    base: Model,
+    *aspects: Model,
+    key: Callable[[MObject], Hashable] | None = None,
+    name: str = "woven",
+    strict: bool = False,
+) -> WeaveResult:
+    """Weave ``aspects`` into ``base``; returns a fresh composed model."""
+    key_fn = key or default_key
+    for aspect in aspects:
+        if aspect.metamodel is not base.metamodel:
+            raise ValueError(
+                f"aspect {aspect.name!r} conforms to "
+                f"{aspect.metamodel.name!r}, base to {base.metamodel.name!r}"
+            )
+    result_model = clone_model(base)
+    result_model.name = name
+    result = WeaveResult(model=result_model)
+    #: weave key -> element of the woven model
+    index: dict[Hashable, MObject] = {}
+    #: keys whose single-valued features were explicitly set (provenance
+    #: for strict-mode conflicts): (key, feature) -> source model name
+    provenance: dict[tuple[Hashable, str], str] = {}
+    for obj in result_model.walk():
+        index[key_fn(obj)] = obj
+        for feature_name in obj._attrs:
+            provenance[(key_fn(obj), feature_name)] = base.name
+
+    for aspect in aspects:
+        #: aspect object -> woven counterpart (for reference fixing)
+        counterpart: dict[str, MObject] = {}
+        visited_this_aspect: list[tuple[MObject, MObject, bool]] = []
+        for root in aspect.roots:
+            _merge_element(
+                root, None, None, result, index, provenance, counterpart,
+                visited_this_aspect, key_fn, aspect.name, strict,
+                result_model,
+            )
+        _fix_references(visited_this_aspect, counterpart, index, key_fn)
+    return result
+
+
+# -- merge machinery ----------------------------------------------------
+
+
+def _merge_element(
+    source: MObject,
+    target_container: MObject | None,
+    containing_feature: str | None,
+    result: WeaveResult,
+    index: dict[Hashable, MObject],
+    provenance: dict[tuple[Hashable, str], str],
+    counterpart: dict[str, MObject],
+    visited: list[tuple[MObject, MObject, bool]],
+    key_fn: Callable[[MObject], Hashable],
+    aspect_name: str,
+    strict: bool,
+    result_model: Model,
+) -> MObject:
+    element_key = key_fn(source)
+    existing = index.get(element_key)
+    if existing is not None:
+        counterpart[source.id] = existing
+        visited.append((source, existing, False))
+        result.merged += 1
+        _merge_attributes(
+            source, existing, element_key, result, provenance,
+            aspect_name, strict,
+        )
+    else:
+        existing = result_model.create(source.meta.name)
+        counterpart[source.id] = existing
+        index[element_key] = existing
+        result.added += 1
+        visited.append((source, existing, True))
+        for attr_name, value in source._attrs.items():
+            existing.set(
+                attr_name, list(value) if isinstance(value, list) else value
+            )
+            provenance[(element_key, attr_name)] = aspect_name
+        if target_container is not None and containing_feature is not None:
+            feature = target_container.meta.find_feature(containing_feature)
+            if feature is not None and feature.many:
+                target_container.get(containing_feature).append(existing)
+            else:
+                target_container.set(containing_feature, existing)
+        else:
+            result_model.add_root(existing)
+    # recurse into containment children
+    for ref_name, ref in source.meta.all_references().items():
+        if not ref.containment:
+            continue
+        children = source.get(ref_name)
+        children = list(children) if ref.many else (
+            [children] if children is not None else []
+        )
+        for child in children:
+            _merge_element(
+                child, existing, ref_name, result, index, provenance,
+                counterpart, visited, key_fn, aspect_name, strict,
+                result_model,
+            )
+    return existing
+
+
+def _merge_attributes(
+    source: MObject,
+    target: MObject,
+    element_key: Hashable,
+    result: WeaveResult,
+    provenance: dict[tuple[Hashable, str], str],
+    aspect_name: str,
+    strict: bool,
+) -> None:
+    for attr_name, value in source._attrs.items():
+        attr = source.meta.all_attributes()[attr_name]
+        if attr.many:
+            merged = list(target.get(attr_name))
+            for item in value:
+                if item not in merged:
+                    merged.append(item)
+            target.set(attr_name, merged)
+            continue
+        current = target.get(attr_name)
+        if current == value:
+            continue
+        previous_setter = provenance.get((element_key, attr_name))
+        if strict and previous_setter is not None:
+            raise WeaveConflict(
+                f"{element_key}.{attr_name}: {previous_setter!r} set "
+                f"{current!r}, {aspect_name!r} sets {value!r}"
+            )
+        result.overrides.append(
+            Override(
+                key=element_key, feature=attr_name,
+                old=current, new=value, source_model=aspect_name,
+            )
+        )
+        target.set(attr_name, value)
+        provenance[(element_key, attr_name)] = aspect_name
+
+
+def _fix_references(
+    visited: list[tuple[MObject, MObject, bool]],
+    counterpart: dict[str, MObject],
+    index: dict[Hashable, MObject],
+    key_fn: Callable[[MObject], Hashable],
+) -> None:
+    """Point non-containment references of woven elements at woven
+    counterparts.  Added elements get all their references installed;
+    merged elements union many-valued references and fill single-valued
+    references only when the base left them unset (the base's explicit
+    reference choices win)."""
+    for source, target, is_added in visited:
+        _retarget(source, target, counterpart, index, key_fn, is_added)
+
+
+def _retarget(
+    source: MObject,
+    target: MObject,
+    counterpart: dict[str, MObject],
+    index: dict[Hashable, MObject],
+    key_fn: Callable[[MObject], Hashable],
+    is_added: bool,
+) -> None:
+    for ref_name, ref in source.meta.all_references().items():
+        if ref.containment:
+            continue
+        value = source.get(ref_name)
+        if ref.many:
+            for item in value:
+                resolved = _resolve(item, counterpart, index, key_fn)
+                if resolved is not None and resolved not in target.get(ref_name):
+                    target.get(ref_name).append(resolved)
+        elif value is not None:
+            resolved = _resolve(value, counterpart, index, key_fn)
+            if resolved is not None and (is_added or target.get(ref_name) is None):
+                target.set(ref_name, resolved)
+
+
+def _resolve(
+    item: MObject,
+    counterpart: dict[str, MObject],
+    index: dict[Hashable, MObject],
+    key_fn: Callable[[MObject], Hashable],
+) -> MObject | None:
+    found = counterpart.get(item.id)
+    if found is not None:
+        return found
+    return index.get(key_fn(item))

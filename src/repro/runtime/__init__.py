@@ -1,0 +1,36 @@
+"""Generic, domain-independent runtime environment (paper Sec. V-A).
+
+Provides the substrate on which middleware models execute: components
+with lifecycle and ports, a component factory driven by model metadata,
+an event bus, clocks (wall and virtual), executors, and registries.
+"""
+
+from repro.runtime.clock import Clock, Timer, VirtualClock, WallClock
+from repro.runtime.component import Component, ComponentError, LifecycleState
+from repro.runtime.events import (
+    Call,
+    Event,
+    EventBus,
+    EventDeliveryError,
+    Signal,
+    Subscription,
+)
+from repro.runtime.executor import (
+    ExecutorError,
+    InlineExecutor,
+    Mailbox,
+    TaskExecutor,
+    ThreadPoolExecutorAdapter,
+)
+from repro.runtime.factory import ComponentFactory, ComponentSpec, FactoryError
+from repro.runtime.registry import Registry, RegistryError, TypeRegistry
+
+__all__ = [
+    "Clock", "WallClock", "VirtualClock", "Timer",
+    "Component", "ComponentError", "LifecycleState",
+    "Signal", "Call", "Event", "EventBus", "EventDeliveryError", "Subscription",
+    "TaskExecutor", "InlineExecutor", "ThreadPoolExecutorAdapter",
+    "Mailbox", "ExecutorError",
+    "ComponentFactory", "ComponentSpec", "FactoryError",
+    "Registry", "TypeRegistry", "RegistryError",
+]

@@ -1,0 +1,145 @@
+"""Component model: lifecycle, ports, and wiring.
+
+Middleware models are realized as graphs of components (paper Sec. V-A:
+"the runtime environment is used to generate and execute the
+appropriate middleware components defined in the model").  A
+:class:`Component` has a lifecycle (``CREATED → CONFIGURED → STARTED →
+STOPPED``), named *ports* for explicit wiring to other components, and
+access to the shared :class:`~repro.runtime.events.EventBus` and
+:class:`~repro.runtime.clock.Clock`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, TYPE_CHECKING
+
+from repro.runtime.clock import Clock, WallClock
+from repro.runtime.events import EventBus
+
+if TYPE_CHECKING:
+    from repro.runtime.registry import Registry
+
+__all__ = ["ComponentError", "LifecycleState", "Component"]
+
+
+class ComponentError(Exception):
+    """Raised on lifecycle violations or bad wiring."""
+
+
+class LifecycleState:
+    CREATED = "created"
+    CONFIGURED = "configured"
+    STARTED = "started"
+    STOPPED = "stopped"
+
+    _TRANSITIONS = {
+        CREATED: {CONFIGURED},
+        CONFIGURED: {STARTED},
+        STARTED: {STOPPED},
+        STOPPED: {STARTED},  # restart allowed
+    }
+
+    @classmethod
+    def check(cls, current: str, target: str) -> None:
+        if target not in cls._TRANSITIONS.get(current, set()):
+            raise ComponentError(
+                f"illegal lifecycle transition {current!r} -> {target!r}"
+            )
+
+
+class Component:
+    """Base class for all generated and handwritten middleware components.
+
+    Subclasses override ``on_configure``, ``on_start``, ``on_stop``.
+    Configuration arrives as a metadata mapping extracted from the
+    middleware model by the component factory.
+    """
+
+    #: Port names this component requires before it can start.
+    required_ports: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        bus: EventBus | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.name = name
+        self.bus = bus or EventBus(name=f"{name}.bus")
+        self.clock = clock or WallClock()
+        self.lifecycle = LifecycleState.CREATED
+        self.metadata: dict[str, Any] = {}
+        self._ports: dict[str, Any] = {}
+        self.registry: "Registry | None" = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def configure(self, metadata: Mapping[str, Any] | None = None) -> "Component":
+        LifecycleState.check(self.lifecycle, LifecycleState.CONFIGURED)
+        self.metadata = dict(metadata or {})
+        self.on_configure()
+        self.lifecycle = LifecycleState.CONFIGURED
+        return self
+
+    def start(self) -> "Component":
+        LifecycleState.check(self.lifecycle, LifecycleState.STARTED)
+        missing = [p for p in self.required_ports if p not in self._ports]
+        if missing:
+            raise ComponentError(
+                f"component {self.name!r} cannot start: unwired ports {missing!r}"
+            )
+        self.on_start()
+        self.lifecycle = LifecycleState.STARTED
+        return self
+
+    def stop(self) -> "Component":
+        LifecycleState.check(self.lifecycle, LifecycleState.STOPPED)
+        self.on_stop()
+        self.lifecycle = LifecycleState.STOPPED
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self.lifecycle == LifecycleState.STARTED
+
+    def require_running(self) -> None:
+        if not self.running:
+            raise ComponentError(f"component {self.name!r} is not started")
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_configure(self) -> None:
+        """Subclass hook: interpret ``self.metadata``."""
+
+    def on_start(self) -> None:
+        """Subclass hook: acquire resources, subscribe to topics."""
+
+    def on_stop(self) -> None:
+        """Subclass hook: release resources."""
+
+    # -- ports ---------------------------------------------------------------
+
+    def wire(self, port: str, target: Any) -> "Component":
+        """Connect ``port`` to ``target`` (usually another component)."""
+        if self.lifecycle == LifecycleState.STARTED:
+            raise ComponentError(
+                f"component {self.name!r}: cannot rewire port {port!r} while running"
+            )
+        self._ports[port] = target
+        return self
+
+    def port(self, name: str) -> Any:
+        if name not in self._ports:
+            raise ComponentError(f"component {self.name!r}: port {name!r} unwired")
+        return self._ports[name]
+
+    def port_or_none(self, name: str) -> Any:
+        return self._ports.get(name)
+
+    @property
+    def ports(self) -> dict[str, Any]:
+        return dict(self._ports)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} {self.lifecycle}>"

@@ -1,0 +1,168 @@
+"""Signals, calls, events, and the event bus.
+
+The paper's reference architecture routes three kinds of stimuli
+between layers (Sec. VI): *calls* arriving from the layer above,
+*events* arriving from the layer below (or raised internally), and the
+umbrella term *signal* for both ("both calls and events are treated in
+the same way and thus are indistinctly called signals").
+
+:class:`EventBus` is the in-process publish/subscribe fabric shared by
+the runtime environment and the simulated substrates.  Topic matching
+supports exact topics and trailing ``*`` wildcards (``"broker.*"``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["Signal", "Call", "Event", "Subscription", "EventBus"]
+
+_signal_seq = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A stimulus routed through a middleware layer.
+
+    ``topic`` names the operation or occurrence (dot-separated);
+    ``payload`` carries arbitrary data; ``origin`` identifies the
+    emitting component for tracing.
+    """
+
+    topic: str
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    origin: str = ""
+    seq: int = field(default_factory=lambda: next(_signal_seq))
+
+    @property
+    def kind(self) -> str:
+        return "signal"
+
+    def with_payload(self, **extra: Any) -> "Signal":
+        merged = dict(self.payload)
+        merged.update(extra)
+        return type(self)(topic=self.topic, payload=merged, origin=self.origin)
+
+    def __str__(self) -> str:
+        return f"{self.kind}:{self.topic}#{self.seq}"
+
+
+@dataclass(frozen=True)
+class Call(Signal):
+    """A request from the layer above (UI -> Synthesis -> Controller -> Broker)."""
+
+    @property
+    def kind(self) -> str:
+        return "call"
+
+
+@dataclass(frozen=True)
+class Event(Signal):
+    """An occurrence from the layer below or raised internally."""
+
+    @property
+    def kind(self) -> str:
+        return "event"
+
+
+@dataclass
+class Subscription:
+    """A live subscription; ``cancel()`` detaches it from the bus."""
+
+    pattern: str
+    callback: Callable[[Signal], None]
+    bus: "EventBus"
+    active: bool = True
+
+    def matches(self, topic: str) -> bool:
+        if not self.active:
+            return False
+        if self.pattern.endswith("*"):
+            return topic.startswith(self.pattern[:-1])
+        return topic == self.pattern
+
+    def cancel(self) -> None:
+        self.active = False
+        self.bus._drop(self)
+
+
+class EventBus:
+    """Synchronous in-process publish/subscribe bus.
+
+    Delivery is depth-first and synchronous: ``publish`` invokes every
+    matching subscriber before returning.  Subscriber exceptions are
+    collected and re-raised as a single :class:`EventDeliveryError`
+    after all subscribers ran — one failing handler must not starve
+    the others (middleware robustness requirement).
+    """
+
+    def __init__(self, *, name: str = "bus") -> None:
+        self.name = name
+        self._subscriptions: list[Subscription] = []
+        self._history: list[Signal] = []
+        self.record_history = False
+
+    def subscribe(
+        self, pattern: str, callback: Callable[[Signal], None]
+    ) -> Subscription:
+        subscription = Subscription(pattern=pattern, callback=callback, bus=self)
+        self._subscriptions.append(subscription)
+        return subscription
+
+    def publish(self, signal: Signal) -> int:
+        """Deliver ``signal``; returns the number of subscribers reached."""
+        if self.record_history:
+            self._history.append(signal)
+        errors: list[Exception] = []
+        delivered = 0
+        for subscription in list(self._subscriptions):
+            if not subscription.matches(signal.topic):
+                continue
+            delivered += 1
+            try:
+                subscription.callback(signal)
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
+        if errors:
+            raise EventDeliveryError(signal, errors)
+        return delivered
+
+    def emit(self, topic: str, *, origin: str = "", **payload: Any) -> int:
+        return self.publish(Event(topic=topic, payload=payload, origin=origin))
+
+    def call(self, topic: str, *, origin: str = "", **payload: Any) -> int:
+        return self.publish(Call(topic=topic, payload=payload, origin=origin))
+
+    def history(self) -> list[Signal]:
+        return list(self._history)
+
+    def clear_history(self) -> None:
+        self._history.clear()
+
+    def _drop(self, subscription: Subscription) -> None:
+        if subscription in self._subscriptions:
+            self._subscriptions.remove(subscription)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscriptions)
+
+    def __repr__(self) -> str:
+        return f"EventBus({self.name!r}, subscribers={self.subscriber_count})"
+
+
+class EventDeliveryError(Exception):
+    """One or more subscribers raised while handling a signal."""
+
+    def __init__(self, signal: Signal, errors: list[Exception]) -> None:
+        self.signal = signal
+        self.errors = errors
+        detail = "; ".join(f"{type(e).__name__}: {e}" for e in errors[:3])
+        super().__init__(
+            f"{len(errors)} subscriber error(s) for {signal}: {detail}"
+        )
+
+
+__all__.append("EventDeliveryError")

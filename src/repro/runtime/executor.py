@@ -1,0 +1,179 @@
+"""Execution contexts: mailboxes and worker pools.
+
+The paper's runtime environment "provides threads (and the underlying
+concurrency model) to run the middleware components" (Sec. V-A).  Two
+concurrency models are provided:
+
+* :class:`InlineExecutor` — deterministic, runs tasks synchronously in
+  submission order (used with the virtual clock in tests and to get
+  stable benchmark measurements).
+* :class:`ThreadPoolExecutorAdapter` — a real thread pool for the
+  examples and for domains with asynchronous semantics (smart spaces,
+  crowdsensing).
+
+:class:`Mailbox` gives each component an ordered work queue with
+single-consumer semantics — the concurrency discipline of the CVM's
+middleware layer (one in-flight script per session).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable
+
+__all__ = [
+    "ExecutorError",
+    "TaskExecutor",
+    "InlineExecutor",
+    "ThreadPoolExecutorAdapter",
+    "Mailbox",
+]
+
+
+class ExecutorError(Exception):
+    """Raised on submission to a shut-down executor."""
+
+
+class TaskExecutor:
+    """Abstract task executor."""
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        raise NotImplementedError
+
+
+class InlineExecutor(TaskExecutor):
+    """Runs every task synchronously at submission time.
+
+    Exceptions propagate through the returned future, exactly like a
+    real pool, so calling code is executor-agnostic.
+    """
+
+    def __init__(self) -> None:
+        self._shut_down = False
+        self.submitted = 0
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        if self._shut_down:
+            raise ExecutorError("executor is shut down")
+        self.submitted += 1
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except Exception as exc:  # noqa: BLE001 - captured in future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self) -> None:
+        self._shut_down = True
+
+
+class ThreadPoolExecutorAdapter(TaskExecutor):
+    """Thin adapter over :class:`concurrent.futures.ThreadPoolExecutor`."""
+
+    def __init__(self, *, max_workers: int = 4, name: str = "repro") -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix=name
+        )
+        self._shut_down = False
+
+    def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        if self._shut_down:
+            raise ExecutorError("executor is shut down")
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def shutdown(self) -> None:
+        self._shut_down = True
+        self._pool.shutdown(wait=True)
+
+
+class Mailbox:
+    """An ordered, single-consumer work queue for one component.
+
+    ``post`` enqueues a task; ``drain`` (inline mode) or the pump thread
+    (threaded mode) executes tasks strictly in order.  Errors are
+    routed to the optional ``on_error`` callback instead of killing the
+    consumer — a middleware layer must survive a bad command.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.on_error = on_error
+        self._queue: "queue.Queue[Callable[[], None] | None]" = queue.Queue()
+        self._thread: threading.Thread | None = None
+        self._running = False
+        self.processed = 0
+        self.failed = 0
+
+    def post(self, task: Callable[[], None]) -> None:
+        self._queue.put(task)
+
+    def drain(self, *, max_tasks: int | None = None) -> int:
+        """Synchronously run queued tasks; returns how many ran."""
+        ran = 0
+        while max_tasks is None or ran < max_tasks:
+            try:
+                task = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if task is None:
+                break
+            self._run(task)
+            ran += 1
+        return ran
+
+    def start_pump(self) -> None:
+        """Start a dedicated consumer thread (threaded deployments)."""
+        if self._running:
+            return
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._pump, name=f"mailbox-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop_pump(self, *, timeout: float = 5.0) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._queue.put(None)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _pump(self) -> None:
+        while self._running:
+            task = self._queue.get()
+            if task is None:
+                break
+            self._run(task)
+
+    def _run(self, task: Callable[[], None]) -> None:
+        try:
+            task()
+            self.processed += 1
+        except Exception as exc:  # noqa: BLE001 - routed to error handler
+            self.failed += 1
+            if self.on_error is not None:
+                self.on_error(exc)
+            else:
+                raise
+
+    @property
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+    def __repr__(self) -> str:
+        return (
+            f"Mailbox({self.name!r}, pending={self.pending}, "
+            f"processed={self.processed}, failed={self.failed})"
+        )

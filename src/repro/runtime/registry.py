@@ -1,0 +1,128 @@
+"""Named registries for components and component types.
+
+:class:`Registry` is the runtime's service locator: components register
+under unique names and can look one another up without hard wiring.
+:class:`TypeRegistry` maps *template names* (strings appearing in
+middleware models) to Python component classes; the component factory
+resolves through it, which is how model metadata chooses
+implementations without importing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Type
+
+from repro.runtime.component import Component, ComponentError
+
+__all__ = ["RegistryError", "Registry", "TypeRegistry"]
+
+
+class RegistryError(Exception):
+    """Raised on duplicate registrations or failed lookups."""
+
+
+class Registry:
+    """A flat namespace of live component instances."""
+
+    def __init__(self, *, name: str = "registry") -> None:
+        self.name = name
+        self._components: dict[str, Component] = {}
+
+    def register(self, component: Component) -> Component:
+        if component.name in self._components:
+            raise RegistryError(
+                f"registry {self.name!r}: duplicate component {component.name!r}"
+            )
+        self._components[component.name] = component
+        component.registry = self
+        return component
+
+    def deregister(self, name: str) -> Component:
+        component = self._components.pop(name, None)
+        if component is None:
+            raise RegistryError(f"registry {self.name!r}: no component {name!r}")
+        component.registry = None
+        return component
+
+    def lookup(self, name: str) -> Component:
+        component = self._components.get(name)
+        if component is None:
+            raise RegistryError(f"registry {self.name!r}: no component {name!r}")
+        return component
+
+    def lookup_or_none(self, name: str) -> Component | None:
+        return self._components.get(name)
+
+    def by_type(self, component_type: Type[Component]) -> list[Component]:
+        return [
+            c for c in self._components.values() if isinstance(c, component_type)
+        ]
+
+    def start_all(self) -> None:
+        for component in self._components.values():
+            if not component.running:
+                component.start()
+
+    def stop_all(self) -> None:
+        """Stop all running components, last-registered first."""
+        for component in reversed(list(self._components.values())):
+            if component.running:
+                component.stop()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._components
+
+    def __iter__(self) -> Iterator[Component]:
+        return iter(list(self._components.values()))
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.name!r}, components={len(self)})"
+
+
+class TypeRegistry:
+    """Maps model-level template names to component classes/factories."""
+
+    def __init__(self) -> None:
+        self._types: dict[str, Callable[..., Component]] = {}
+
+    def register(
+        self, template_name: str, factory: Callable[..., Component]
+    ) -> None:
+        if template_name in self._types:
+            raise RegistryError(f"duplicate template {template_name!r}")
+        self._types[template_name] = factory
+
+    def component_type(
+        self, template_name: str
+    ) -> Callable[[Callable[..., Component]], Callable[..., Component]]:
+        """Decorator form of :meth:`register`."""
+
+        def decorator(factory: Callable[..., Component]) -> Callable[..., Component]:
+            self.register(template_name, factory)
+            return factory
+
+        return decorator
+
+    def resolve(self, template_name: str) -> Callable[..., Component]:
+        factory = self._types.get(template_name)
+        if factory is None:
+            raise RegistryError(f"unknown component template {template_name!r}")
+        return factory
+
+    def create(self, template_name: str, name: str, **kwargs: Any) -> Component:
+        component = self.resolve(template_name)(name, **kwargs)
+        if not isinstance(component, Component):
+            raise RegistryError(
+                f"template {template_name!r} produced {type(component).__name__}, "
+                f"not a Component"
+            )
+        return component
+
+    def known_templates(self) -> list[str]:
+        return sorted(self._types)
+
+    def __contains__(self, template_name: object) -> bool:
+        return template_name in self._types

@@ -1,0 +1,20 @@
+"""Simulated underlying resources (substitutions for the paper's real
+services/hardware; see DESIGN.md substitution table).
+
+* :mod:`repro.sim.network` — communication services (CVM substrate).
+* :mod:`repro.sim.plant` — microgrid plant controllers (MGridVM).
+* :mod:`repro.sim.space` — smart-space environment (2SVM).
+* :mod:`repro.sim.fleet` — crowdsensing device fleet (CSVM).
+"""
+
+from repro.sim.fleet import DeviceFleet, FleetError, SensingDevice
+from repro.sim.network import CommService, MediaStream, NetworkError, Session
+from repro.sim.plant import PlantController, PlantError, PowerDevice
+from repro.sim.space import SmartObject, SmartSpace, SpaceError
+
+__all__ = [
+    "CommService", "Session", "MediaStream", "NetworkError",
+    "PlantController", "PowerDevice", "PlantError",
+    "SmartSpace", "SmartObject", "SpaceError",
+    "DeviceFleet", "SensingDevice", "FleetError",
+]

@@ -1,0 +1,228 @@
+"""Simulated crowdsensing device fleet (CSVM substrate).
+
+The CSVM drives participatory sensing on smartphones (Melo et al.
+[17]).  We substitute a deterministic fleet of simulated devices with
+seeded synthetic sensor streams, a task distribution surface, and
+reading collection — the code path a crowdsensing query exercises.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.middleware.broker.resource import Resource, ResourceError
+
+__all__ = ["FleetError", "SensingDevice", "DeviceFleet"]
+
+
+class FleetError(ResourceError):
+    """Raised on unknown devices/sensors or disabled devices."""
+
+
+@dataclass
+class SensingDevice:
+    """One participating device with synthetic sensors.
+
+    Sensor values are deterministic functions of (seed, sample index)
+    so experiments are reproducible.  Battery drains per sample;
+    devices drop out of the fleet at 0.
+    """
+
+    device_id: str
+    sensors: tuple[str, ...] = ("temperature", "noise", "gps")
+    seed: int = 0
+    battery: float = 100.0
+    participating: bool = True
+    samples_taken: int = 0
+    region: str = "center"
+    active_tasks: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def sample(self, sensor: str) -> float:
+        if not self.participating:
+            raise FleetError(f"device {self.device_id} is not participating")
+        if sensor not in self.sensors:
+            raise FleetError(
+                f"device {self.device_id} has no sensor {sensor!r}"
+            )
+        if self.battery <= 0:
+            self.participating = False
+            raise FleetError(f"device {self.device_id} battery depleted")
+        self.samples_taken += 1
+        self.battery -= 0.01
+        rng = random.Random(f"{self.seed}:{sensor}:{self.samples_taken}")
+        base = {"temperature": 20.0, "noise": 55.0, "gps": 0.0}.get(sensor, 0.0)
+        drift = 5.0 * math.sin(self.samples_taken / 10.0 + self.seed)
+        return base + drift + rng.gauss(0.0, 1.0)
+
+
+class DeviceFleet(Resource):
+    """The fleet resource: task distribution and reading collection.
+
+    Operations: ``register_device``, ``distribute_task``,
+    ``revoke_task``, ``update_task``, ``collect``, ``fleet_status``.
+    """
+
+    def __init__(
+        self,
+        name: str = "fleet0",
+        *,
+        op_cost: float = 0.02,
+        work: Any = None,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(name, kind="crowdsensing")
+        self.devices: dict[str, SensingDevice] = {}
+        self.op_cost = op_cost
+        self._work = work or _spin
+        self._seed = seed
+        self.op_count = 0
+        self.op_log: list[str] = []
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        handler = getattr(self, f"op_{operation}", None)
+        if handler is None:
+            raise FleetError(f"fleet {self.name!r}: unknown operation {operation!r}")
+        self._work(self.op_cost)
+        self.op_count += 1
+        self.op_log.append(operation)
+        return handler(**args)
+
+    def operations(self) -> list[str]:
+        return sorted(name[3:] for name in dir(self) if name.startswith("op_"))
+
+    # -- operations -----------------------------------------------------
+
+    def op_register_device(
+        self,
+        device: str,
+        sensors: list[str] | None = None,
+        region: str = "center",
+    ) -> str:
+        if device in self.devices:
+            raise FleetError(f"device {device!r} already registered")
+        self.devices[device] = SensingDevice(
+            device_id=device,
+            sensors=tuple(sensors or ("temperature", "noise", "gps")),
+            seed=self._seed + len(self.devices),
+            region=region,
+        )
+        self.notify("device_joined", device=device, region=region)
+        return device
+
+    def op_deregister_device(self, device: str) -> bool:
+        self._device(device)
+        del self.devices[device]
+        self.notify("device_departed", device=device)
+        return True
+
+    def op_distribute_task(
+        self,
+        task: str,
+        sensor: str,
+        region: str = "",
+        min_battery: float = 0.0,
+    ) -> list[str]:
+        """Install a sensing task on all eligible devices; returns them."""
+        assigned: list[str] = []
+        for device in self.devices.values():
+            if not device.participating:
+                continue
+            if sensor not in device.sensors:
+                continue
+            if region and device.region != region:
+                continue
+            if device.battery < min_battery:
+                continue
+            device.active_tasks[task] = {
+                "sensor": sensor, "region": region, "min_battery": min_battery,
+            }
+            assigned.append(device.device_id)
+        self.notify("task_distributed", task=task, devices=len(assigned))
+        return sorted(assigned)
+
+    def op_update_task(
+        self, task: str, sensor: str | None = None, min_battery: float | None = None
+    ) -> int:
+        """On-the-fly task change (CSVM's long-running query updates)."""
+        updated = 0
+        for device in self.devices.values():
+            spec = device.active_tasks.get(task)
+            if spec is None:
+                continue
+            if sensor is not None:
+                spec["sensor"] = sensor
+            if min_battery is not None:
+                spec["min_battery"] = float(min_battery)
+            updated += 1
+        self.notify("task_updated", task=task, devices=updated)
+        return updated
+
+    def op_revoke_task(self, task: str) -> int:
+        revoked = 0
+        for device in self.devices.values():
+            if task in device.active_tasks:
+                del device.active_tasks[task]
+                revoked += 1
+        self.notify("task_revoked", task=task, devices=revoked)
+        return revoked
+
+    def op_collect(self, task: str) -> list[dict[str, Any]]:
+        """One collection round: a reading from each assigned device."""
+        readings: list[dict[str, Any]] = []
+        for device in list(self.devices.values()):
+            spec = device.active_tasks.get(task)
+            if spec is None or not device.participating:
+                continue
+            if device.battery < spec.get("min_battery", 0.0):
+                continue
+            try:
+                value = device.sample(spec["sensor"])
+            except FleetError:
+                self.notify("device_dropped", device=device.device_id, task=task)
+                continue
+            readings.append(
+                {
+                    "device": device.device_id,
+                    "sensor": spec["sensor"],
+                    "value": value,
+                    "region": device.region,
+                }
+            )
+        self.notify("collection_round", task=task, readings=len(readings))
+        return readings
+
+    def op_fleet_status(self) -> dict[str, Any]:
+        participating = [d for d in self.devices.values() if d.participating]
+        return {
+            "devices": len(self.devices),
+            "participating": len(participating),
+            "mean_battery": (
+                sum(d.battery for d in participating) / len(participating)
+                if participating
+                else 0.0
+            ),
+        }
+
+    # -- churn driving (bench/test API) ------------------------------------------
+
+    def drain_battery(self, device: str, amount: float) -> None:
+        found = self._device(device)
+        found.battery = max(0.0, found.battery - amount)
+        if found.battery == 0.0:
+            found.participating = False
+            self.notify("device_dropped", device=device, task="*")
+
+    def _device(self, device_id: str) -> SensingDevice:
+        found = self.devices.get(device_id)
+        if found is None:
+            raise FleetError(f"unknown device {device_id!r}")
+        return found
+
+
+def _spin(cost: float) -> None:
+    total = 0
+    for i in range(int(cost * 1000)):
+        total += i

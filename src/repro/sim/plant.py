@@ -1,0 +1,260 @@
+"""Simulated microgrid plant (MGridVM substrate).
+
+The original MGridVM issues atomic commands to physical microgrid
+controllers and devices (Allison et al. [11]).  We substitute a
+deterministic simulated plant: :class:`PowerDevice` state machines
+aggregated by a :class:`PlantController` resource, with power-balance
+accounting and overload/failure events — the same command surface the
+Microgrid Hardware Broker (MHB) drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.middleware.broker.resource import Resource, ResourceError
+
+__all__ = ["PlantError", "PowerDevice", "PlantController"]
+
+
+class PlantError(ResourceError):
+    """Raised on commands to unknown devices or invalid modes."""
+
+
+@dataclass
+class PowerDevice:
+    """One microgrid device.
+
+    ``kind`` determines the sign of its power contribution:
+    ``load`` draws ``power_rating`` watts when on; ``generator``
+    supplies; ``storage`` draws when charging and supplies when
+    discharging.
+    """
+
+    device_id: str
+    kind: str                       # load | generator | storage
+    power_rating: float             # watts (positive magnitude)
+    mode: str = "off"               # off | on | standby | charging | discharging
+    priority: int = 1               # shed order under overload (1 = shed first)
+    health: str = "ok"              # ok | failed
+    energy: float = 0.0             # storage state-of-charge (Wh-equivalent)
+
+    VALID_MODES = {
+        "load": ("off", "on", "standby"),
+        "generator": ("off", "on", "standby"),
+        "storage": ("off", "charging", "discharging", "standby"),
+    }
+
+    def set_mode(self, mode: str) -> None:
+        if self.health == "failed":
+            raise PlantError(f"device {self.device_id} has failed")
+        if mode not in self.VALID_MODES[self.kind]:
+            raise PlantError(
+                f"device {self.device_id} ({self.kind}): invalid mode {mode!r}"
+            )
+        self.mode = mode
+
+    @property
+    def net_power(self) -> float:
+        """Signed watts: positive = supply, negative = draw."""
+        if self.health == "failed" or self.mode in ("off", "standby"):
+            return 0.0
+        if self.kind == "load":
+            return -self.power_rating
+        if self.kind == "generator":
+            return self.power_rating
+        # storage
+        if self.mode == "charging":
+            return -self.power_rating
+        if self.mode == "discharging":
+            return self.power_rating
+        return 0.0
+
+
+class PlantController(Resource):
+    """The simulated plant controller (MHB target).
+
+    Operations: ``register_device``, ``set_mode``, ``read_device``,
+    ``read_balance``, ``shed_load``, ``tick``, ``set_tariff``.
+
+    ``tick`` advances plant physics one step: integrates storage
+    energy and emits ``overload`` when demand exceeds supply plus the
+    grid import limit, and ``device_failure`` for injected failures.
+    """
+
+    def __init__(
+        self,
+        name: str = "plant0",
+        *,
+        grid_import_limit: float = 5000.0,
+        op_cost: float = 0.02,
+        work: Any = None,
+    ) -> None:
+        super().__init__(name, kind="microgrid")
+        self.devices: dict[str, PowerDevice] = {}
+        self.grid_import_limit = grid_import_limit
+        self.tariff = 1.0
+        self.op_cost = op_cost
+        self._work = work or _spin
+        self.op_count = 0
+        self.op_log: list[str] = []
+        self.ticks = 0
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        handler = getattr(self, f"op_{operation}", None)
+        if handler is None:
+            raise PlantError(
+                f"controller {self.name!r}: unknown operation {operation!r}"
+            )
+        self._work(self.op_cost)
+        self.op_count += 1
+        self.op_log.append(operation)
+        return handler(**args)
+
+    def operations(self) -> list[str]:
+        return sorted(name[3:] for name in dir(self) if name.startswith("op_"))
+
+    # -- operations -----------------------------------------------------
+
+    def op_register_device(
+        self,
+        device: str,
+        kind: str,
+        power_rating: float,
+        priority: int = 1,
+    ) -> str:
+        if device in self.devices:
+            raise PlantError(f"device {device!r} already registered")
+        if kind not in PowerDevice.VALID_MODES:
+            raise PlantError(f"unknown device kind {kind!r}")
+        self.devices[device] = PowerDevice(
+            device_id=device, kind=kind,
+            power_rating=float(power_rating), priority=int(priority),
+        )
+        self.notify("device_registered", device=device, kind=kind)
+        return device
+
+    def op_deregister_device(self, device: str) -> bool:
+        self._device(device)
+        del self.devices[device]
+        self.notify("device_deregistered", device=device)
+        return True
+
+    def op_set_mode(self, device: str, mode: str) -> str:
+        found = self._device(device)
+        found.set_mode(mode)
+        self.notify("mode_changed", device=device, mode=mode)
+        return mode
+
+    def op_set_priority(self, device: str, priority: int) -> int:
+        found = self._device(device)
+        found.priority = int(priority)
+        return found.priority
+
+    def op_read_device(self, device: str) -> dict[str, Any]:
+        found = self._device(device)
+        return {
+            "device": found.device_id,
+            "kind": found.kind,
+            "mode": found.mode,
+            "net_power": found.net_power,
+            "health": found.health,
+            "energy": found.energy,
+        }
+
+    def op_read_balance(self) -> dict[str, float]:
+        supply = sum(d.net_power for d in self.devices.values() if d.net_power > 0)
+        demand = -sum(d.net_power for d in self.devices.values() if d.net_power < 0)
+        return {
+            "supply": supply,
+            "demand": demand,
+            "net": supply - demand,
+            "grid_import": max(0.0, demand - supply),
+        }
+
+    def op_shed_load(self, watts: float) -> list[str]:
+        """Turn off lowest-priority loads until ``watts`` is shed."""
+        shed: list[str] = []
+        remaining = float(watts)
+        loads = sorted(
+            (d for d in self.devices.values()
+             if d.kind == "load" and d.mode == "on" and d.health == "ok"),
+            key=lambda d: d.priority,
+        )
+        for device in loads:
+            if remaining <= 0:
+                break
+            device.set_mode("off")
+            remaining -= device.power_rating
+            shed.append(device.device_id)
+            self.notify("load_shed", device=device.device_id)
+        return shed
+
+    def op_dispatch_storage(self) -> list[str]:
+        """Switch charged storage devices to discharging."""
+        dispatched: list[str] = []
+        for device in self.devices.values():
+            if device.kind != "storage" or device.health == "failed":
+                continue
+            if device.mode != "discharging" and device.energy > 0:
+                device.set_mode("discharging")
+                dispatched.append(device.device_id)
+                self.notify("storage_dispatched", device=device.device_id)
+        return dispatched
+
+    def op_set_import_limit(self, limit: float) -> float:
+        self.grid_import_limit = float(limit)
+        return self.grid_import_limit
+
+    def op_set_tariff(self, tariff: float) -> float:
+        self.tariff = float(tariff)
+        self.notify("tariff_changed", tariff=self.tariff)
+        return self.tariff
+
+    def op_tick(self, hours: float = 1.0) -> dict[str, float]:
+        """Advance plant physics; emits overload events."""
+        self.ticks += 1
+        balance = self.op_read_balance()
+        for device in self.devices.values():
+            if device.kind == "storage":
+                if device.mode == "charging":
+                    device.energy += device.power_rating * hours
+                elif device.mode == "discharging":
+                    device.energy = max(
+                        0.0, device.energy - device.power_rating * hours
+                    )
+                    if device.energy == 0.0:
+                        device.set_mode("standby")
+                        self.notify("storage_depleted", device=device.device_id)
+        if balance["grid_import"] > self.grid_import_limit:
+            self.notify(
+                "overload",
+                grid_import=balance["grid_import"],
+                limit=self.grid_import_limit,
+            )
+        return balance
+
+    # -- failure injection (bench/test API) --------------------------------------
+
+    def inject_device_failure(self, device: str) -> None:
+        found = self._device(device)
+        found.health = "failed"
+        self.notify("device_failure", device=device)
+
+    def repair_device(self, device: str) -> None:
+        found = self._device(device)
+        found.health = "ok"
+        self.notify("device_repaired", device=device)
+
+    def _device(self, device_id: str) -> PowerDevice:
+        found = self.devices.get(device_id)
+        if found is None:
+            raise PlantError(f"unknown device {device_id!r}")
+        return found
+
+
+def _spin(cost: float) -> None:
+    total = 0
+    for i in range(int(cost * 1000)):
+        total += i

@@ -1,0 +1,271 @@
+"""Simulated smart-space environment (2SVM substrate).
+
+The 2SVM runs partially on a central controller node and partially on
+smart objects (Freitas et al. [12]); scripts are installed on the
+middleware layer of smart objects and triggered by asynchronous
+events such as objects entering or leaving the environment.
+
+:class:`SmartObject` is a programmable entity with named capabilities
+and an installed-script store; :class:`SmartSpace` is the environment
+resource managing presence and broadcasting events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.middleware.broker.resource import Resource, ResourceError
+
+__all__ = ["SpaceError", "SmartObject", "SmartSpace"]
+
+
+class SpaceError(ResourceError):
+    """Raised on operations targeting absent objects or capabilities."""
+
+
+@dataclass
+class SmartObject:
+    """One programmable smart object.
+
+    ``capabilities`` maps capability name -> current value (e.g.
+    ``{"light": 0, "locked": True}``); ``configure`` sets them.
+    ``installed_scripts`` holds serialized control scripts keyed by
+    trigger topic — executed by the object's local (suppressed) stack.
+    """
+
+    object_id: str
+    kind: str = "generic"
+    capabilities: dict[str, Any] = field(default_factory=dict)
+    present: bool = False
+    installed_scripts: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def configure(self, capability: str, value: Any) -> Any:
+        if capability not in self.capabilities:
+            raise SpaceError(
+                f"object {self.object_id} has no capability {capability!r}"
+            )
+        self.capabilities[capability] = value
+        return value
+
+
+class SmartSpace(Resource):
+    """The smart-space environment resource.
+
+    Operations: ``register_object``, ``configure``, ``read_object``,
+    ``install_script``, ``uninstall_script``, ``list_present``,
+    ``announce``.
+
+    Presence changes (``object_enters`` / ``object_leaves``, driven by
+    the test/bench API) emit the asynchronous events that trigger
+    installed scripts in the 2SVM architecture.
+    """
+
+    def __init__(self, name: str = "space0", *, op_cost: float = 0.02, work: Any = None) -> None:
+        super().__init__(name, kind="smartspace")
+        self.objects: dict[str, SmartObject] = {}
+        self.op_cost = op_cost
+        self._work = work or _spin
+        self.op_count = 0
+        self.op_log: list[str] = []
+
+    def invoke(self, operation: str, **args: Any) -> Any:
+        handler = getattr(self, f"op_{operation}", None)
+        if handler is None:
+            raise SpaceError(f"space {self.name!r}: unknown operation {operation!r}")
+        self._work(self.op_cost)
+        self.op_count += 1
+        self.op_log.append(operation)
+        return handler(**args)
+
+    def operations(self) -> list[str]:
+        return sorted(name[3:] for name in dir(self) if name.startswith("op_"))
+
+    # -- operations -----------------------------------------------------
+
+    def op_register_object(
+        self,
+        object_id: str,
+        kind: str = "generic",
+        capabilities: dict[str, Any] | None = None,
+    ) -> str:
+        if object_id in self.objects:
+            raise SpaceError(f"object {object_id!r} already registered")
+        self.objects[object_id] = SmartObject(
+            object_id=object_id, kind=kind,
+            capabilities=dict(capabilities or {}),
+        )
+        self.notify("object_registered", object=object_id, kind=kind)
+        return object_id
+
+    def op_deregister_object(self, object_id: str) -> bool:
+        self._object(object_id)
+        del self.objects[object_id]
+        self.notify("object_deregistered", object=object_id)
+        return True
+
+    def op_define_capability(
+        self, object_id: str, capability: str, value: Any = None
+    ) -> Any:
+        """Add (or re-point) a capability on an object.
+
+        ``configure`` only sets existing capabilities; model-level
+        capability renames need this explicit definition step.
+        """
+        obj = self._object(object_id)
+        obj.capabilities[capability] = value
+        self.notify(
+            "capability_defined", object=object_id, capability=capability
+        )
+        return value
+
+    def op_undefine_capability(self, object_id: str, capability: str) -> bool:
+        obj = self._object(object_id)
+        if capability not in obj.capabilities:
+            raise SpaceError(
+                f"object {object_id} has no capability {capability!r}"
+            )
+        del obj.capabilities[capability]
+        self.notify(
+            "capability_undefined", object=object_id, capability=capability
+        )
+        return True
+
+    def op_configure(self, object_id: str, capability: str, value: Any) -> Any:
+        obj = self._object(object_id)
+        result = obj.configure(capability, value)
+        self.notify(
+            "object_configured", object=object_id, capability=capability, value=value
+        )
+        return result
+
+    def op_read_object(self, object_id: str) -> dict[str, Any]:
+        obj = self._object(object_id)
+        return {
+            "object": obj.object_id,
+            "kind": obj.kind,
+            "present": obj.present,
+            "capabilities": dict(obj.capabilities),
+            "scripts": sorted(obj.installed_scripts),
+        }
+
+    def op_install_script(
+        self, object_id: str, trigger: str, script: dict[str, Any]
+    ) -> str:
+        """Install a script; a script of the same app for the same
+        trigger is replaced (installation is idempotent per app)."""
+        obj = self._object(object_id)
+        scripts = obj.installed_scripts.setdefault(trigger, [])
+        app = dict(script).get("app")
+        if app is not None:
+            scripts[:] = [s for s in scripts if s.get("app") != app]
+        scripts.append(dict(script))
+        self.notify("script_installed", object=object_id, trigger=trigger)
+        return trigger
+
+    def op_uninstall_script(
+        self,
+        object_id: str,
+        trigger: str,
+        app: str | None = None,
+        missing_ok: bool = False,
+    ) -> bool:
+        obj = self._object(object_id)
+        scripts = obj.installed_scripts.get(trigger)
+        if not scripts:
+            if missing_ok:
+                return False
+            raise SpaceError(
+                f"object {object_id} has no script for trigger {trigger!r}"
+            )
+        if app is None:
+            del obj.installed_scripts[trigger]
+        else:
+            remaining = [s for s in scripts if s.get("app") != app]
+            if len(remaining) == len(scripts):
+                if missing_ok:
+                    return False
+                raise SpaceError(
+                    f"object {object_id} has no script of app {app!r} "
+                    f"for trigger {trigger!r}"
+                )
+            if remaining:
+                obj.installed_scripts[trigger] = remaining
+            else:
+                del obj.installed_scripts[trigger]
+        self.notify("script_uninstalled", object=object_id, trigger=trigger)
+        return True
+
+    def op_trigger_scripts(self, trigger: str, object_id: str | None = None) -> int:
+        """Execute installed scripts for ``trigger``.
+
+        The 2SVM installs synthesized scripts at the smart objects and
+        fires them on asynchronous events; this operation is that local
+        execution step.  Returns the number of scripts run.
+        """
+        ran = 0
+        targets = (
+            [self._object(object_id)] if object_id else list(self.objects.values())
+        )
+        for obj in targets:
+            for script in obj.installed_scripts.get(trigger, []):
+                capability = script.get("capability")
+                if capability in obj.capabilities:
+                    obj.configure(capability, script.get("value"))
+                    ran += 1
+                    self.notify(
+                        "script_executed",
+                        object=obj.object_id,
+                        trigger=trigger,
+                        capability=capability,
+                    )
+        return ran
+
+    def op_list_present(self) -> list[str]:
+        return sorted(o.object_id for o in self.objects.values() if o.present)
+
+    def op_announce(self, topic: str, **payload: Any) -> int:
+        """Broadcast an application-level event into the space."""
+        self.notify(f"announce.{topic}", **payload)
+        return len(self.objects)
+
+    # -- presence driving (bench/test API) ------------------------------------
+
+    def object_enters(self, object_id: str) -> None:
+        obj = self._object(object_id)
+        if obj.present:
+            return
+        obj.present = True
+        self.notify("object_entered", object=object_id, kind=obj.kind)
+
+    def observe_remote_presence(
+        self, object_id: str, kind: str, event: str
+    ) -> None:
+        """Surface a presence event that happened in another partition.
+
+        Distributed deployments (2SVM) propagate space-wide presence so
+        every node's installed scripts can react; local object state is
+        untouched.
+        """
+        if event not in ("object_entered", "object_left"):
+            raise SpaceError(f"unknown presence event {event!r}")
+        self.notify(event, object=object_id, kind=kind, remote=True)
+
+    def object_leaves(self, object_id: str) -> None:
+        obj = self._object(object_id)
+        if not obj.present:
+            return
+        obj.present = False
+        self.notify("object_left", object=object_id, kind=obj.kind)
+
+    def _object(self, object_id: str) -> SmartObject:
+        obj = self.objects.get(object_id)
+        if obj is None:
+            raise SpaceError(f"unknown object {object_id!r}")
+        return obj
+
+
+def _spin(cost: float) -> None:
+    total = 0
+    for i in range(int(cost * 1000)):
+        total += i

@@ -1,0 +1,244 @@
+"""Tests for the handcrafted/non-adaptive/monolithic baselines."""
+
+import pytest
+
+from repro.baselines import (
+    HandcraftedBroker,
+    MonolithicCVM,
+    MonolithicSynthesis,
+    NonAdaptiveController,
+)
+from repro.bench.workloads import adaptation_wiring, adaptation_wiring_reliable
+from repro.domains.communication.cml import CmlBuilder
+from repro.middleware.broker.resource import ResourceError
+from repro.middleware.synthesis.scripts import Command
+from repro.modeling.serialize import clone_model
+from repro.sim.network import CommService
+
+
+@pytest.fixture
+def service():
+    return CommService("net0", op_cost=0.0)
+
+
+class TestHandcraftedBroker:
+    def test_session_flow(self, service):
+        broker = HandcraftedBroker(service)
+        broker.call_api("ncb.open_session", connection="c1")
+        broker.call_api("ncb.add_party", connection="c1", party="p1")
+        broker.call_api("ncb.open_stream", connection="c1", medium="m1",
+                        kind="audio", quality="standard")
+        broker.call_api("ncb.reconfigure_stream", connection="c1",
+                        medium="m1", quality="high")
+        broker.call_api("ncb.close_stream", connection="c1", medium="m1")
+        broker.call_api("ncb.close_session", connection="c1")
+        assert service.op_log == [
+            "open_session", "add_party", "open_stream",
+            "reconfigure_stream", "close_stream", "close_session",
+        ]
+        assert broker.api_calls == 6
+
+    def test_unknown_api(self, service):
+        with pytest.raises(ResourceError, match="unknown API"):
+            HandcraftedBroker(service).call_api("ncb.teleport")
+
+    def test_unknown_connection(self, service):
+        broker = HandcraftedBroker(service)
+        with pytest.raises(ResourceError, match="no session"):
+            broker.call_api("ncb.add_party", connection="ghost", party="p")
+
+    def test_log_and_probe(self, service):
+        broker = HandcraftedBroker(service)
+        broker.call_api("ncb.open_session", connection="c1")
+        broker.call_api("ncb.log", event="e", subject="s")
+        assert broker.log_count == 1
+        health = broker.call_api("ncb.probe")
+        assert health["active_sessions"] == 1
+
+
+class TestNonAdaptiveController:
+    class EchoBroker:
+        def __init__(self):
+            self.calls = []
+
+        def call_api(self, api, **args):
+            self.calls.append((api, args))
+            return api
+
+    def test_fixed_path_execution(self):
+        broker = self.EchoBroker()
+        controller = NonAdaptiveController(
+            broker, adaptation_wiring(), work=lambda cost: None
+        )
+        controller.execute_command(
+            Command("comm.session.establish", args={"connection": "c1"})
+        )
+        assert broker.calls == [("ncb.open_session", {"connection": "c1"})]
+        assert controller.commands_executed == 1
+
+    def test_unwired_operation_requires_redeploy(self):
+        broker = self.EchoBroker()
+        controller = NonAdaptiveController(
+            broker, {}, work=lambda cost: None
+        )
+        with pytest.raises(KeyError, match="redeploy"):
+            controller.execute_command(Command("comm.session.establish"))
+
+    def test_redeploy_swaps_wiring(self):
+        broker = self.EchoBroker()
+        controller = NonAdaptiveController(
+            broker, adaptation_wiring(), work=lambda cost: None
+        )
+        controller.redeploy(adaptation_wiring_reliable())
+        controller.execute_command(
+            Command("comm.stream.open",
+                    args={"connection": "c", "medium": "m",
+                          "kind": "audio", "quality": "standard"})
+        )
+        # reliable wiring probes before opening
+        assert broker.calls[0][0] == "ncb.probe"
+        assert broker.calls[1][0] == "ncb.open_stream"
+        assert controller.redeploys == 1
+
+    def test_build_work_charged(self):
+        charges = []
+        NonAdaptiveController(
+            self.EchoBroker(), adaptation_wiring(), work=charges.append
+        )
+        assert len(charges) == len(adaptation_wiring())
+
+    def test_redeploy_replays_state(self):
+        broker = self.EchoBroker()
+        controller = NonAdaptiveController(
+            broker, adaptation_wiring(), work=lambda cost: None
+        )
+        controller.execute_command(
+            Command("comm.session.establish", args={"connection": "c1"})
+        )
+        controller.redeploy(adaptation_wiring_reliable())
+        assert controller._runtime_state["comm.session.establish"] is not None
+
+
+class TestMonolithicCVM:
+    @pytest.fixture
+    def cvm(self, service):
+        return MonolithicCVM(service)
+
+    def run_setup(self, cvm):
+        cvm.execute_command(
+            Command("comm.session.establish", args={"connection": "c1"})
+        )
+        cvm.execute_command(
+            Command("comm.party.add", args={"connection": "c1", "party": "p1"})
+        )
+        cvm.execute_command(
+            Command("comm.stream.open",
+                    args={"connection": "c1", "medium": "m1",
+                          "kind": "audio", "quality": "standard"})
+        )
+
+    def test_full_flow(self, cvm, service):
+        self.run_setup(cvm)
+        cvm.execute_command(
+            Command("comm.stream.reconfigure",
+                    args={"connection": "c1", "medium": "m1",
+                          "quality": "high"})
+        )
+        cvm.execute_command(
+            Command("comm.session.teardown", args={"connection": "c1"})
+        )
+        assert cvm.sessions == {}
+        assert cvm.streams == {}
+        # teardown closed the stream before the session
+        assert service.op_log[-2:] == ["close_stream", "close_session"]
+
+    def test_reliable_path_under_poor_network(self, cvm, service):
+        cvm.network_quality = "poor"
+        self.run_setup(cvm)
+        assert service.op_log.count("probe") == 1  # reliable transport
+
+    def test_failure_autorecovery(self, cvm, service):
+        self.run_setup(cvm)
+        session = next(iter(service.sessions))
+        service.inject_failure(session)
+        assert service.sessions[session].state == "active"
+        assert cvm.recoveries == 1
+
+    def test_guards(self, cvm):
+        self.run_setup(cvm)
+        with pytest.raises(ResourceError, match="already has a session"):
+            cvm.execute_command(
+                Command("comm.session.establish", args={"connection": "c1"})
+            )
+        with pytest.raises(ResourceError, match="not tracked"):
+            cvm.execute_command(
+                Command("comm.party.remove",
+                        args={"connection": "c1", "party": "ghost"})
+            )
+        with pytest.raises(ResourceError, match="bad quality"):
+            cvm.execute_command(
+                Command("comm.stream.reconfigure",
+                        args={"connection": "c1", "medium": "m1",
+                              "quality": "extreme"})
+            )
+
+    def test_stats(self, cvm):
+        self.run_setup(cvm)
+        stats = cvm.stats()
+        assert stats["commands_executed"] == 3
+        assert stats["log_entries"] == 3
+
+
+class TestMonolithicSynthesis:
+    def scenario(self):
+        builder = CmlBuilder("s")
+        alice = builder.person("alice", role="initiator")
+        bob = builder.person("bob")
+        connection = builder.connection(
+            "daily", [alice, bob], media=["audio", ("video", "high")]
+        )
+        return builder, connection
+
+    def test_initial_synthesis_matches_mddsm_semantics(self):
+        builder, connection = self.scenario()
+        synthesis = MonolithicSynthesis()
+        script = synthesis.synthesize(builder.build())
+        assert script.operations() == [
+            "comm.session.establish", "comm.party.add", "comm.party.add",
+            "comm.stream.open", "comm.stream.open",
+        ]
+        assert synthesis.running_connections() == [connection.id]
+
+    def test_incremental_changes(self):
+        builder, connection = self.scenario()
+        synthesis = MonolithicSynthesis()
+        v1 = builder.build()
+        synthesis.synthesize(v1)
+        v2 = clone_model(v1)
+        for medium in v2.by_id(connection.id).media:
+            if medium.kind == "video":
+                medium.quality = "low"
+        carol = v2.create("Person", userId="carol")
+        v2.roots[0].persons.append(carol)
+        v2.by_id(connection.id).participants.append(carol)
+        script = synthesis.synthesize(v2)
+        assert sorted(script.operations()) == [
+            "comm.party.add", "comm.stream.reconfigure",
+        ]
+
+    def test_teardown(self):
+        builder, _ = self.scenario()
+        synthesis = MonolithicSynthesis()
+        synthesis.synthesize(builder.build())
+        script = synthesis.teardown()
+        assert script.operations() == [
+            "comm.stream.close", "comm.stream.close", "comm.session.teardown",
+        ]
+        assert synthesis.running_connections() == []
+
+    def test_validation(self):
+        builder = CmlBuilder("bad")
+        solo = builder.person("solo")
+        builder.connection("c", [solo])
+        with pytest.raises(ValueError, match="two participants"):
+            MonolithicSynthesis().synthesize(builder.build())

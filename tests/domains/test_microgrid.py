@@ -1,0 +1,150 @@
+"""Tests for the smart microgrid domain (MGridML + MGridVM)."""
+
+import pytest
+
+from repro.domains.microgrid import (
+    MGridBuilder,
+    build_mgridvm,
+    mgridml_constraints,
+)
+from repro.middleware.synthesis.scripts import Command
+from repro.modeling.constraints import validate_model
+from repro.sim.plant import PlantController
+
+
+@pytest.fixture
+def plant():
+    return PlantController("plant0", grid_import_limit=1000.0, op_cost=0.0)
+
+
+@pytest.fixture
+def vm(plant):
+    platform = build_mgridvm(plant=plant)
+    yield platform
+    platform.stop()
+
+
+def home_builder() -> tuple[MGridBuilder, dict]:
+    builder = MGridBuilder("home", grid_import_limit=1000.0)
+    refs = {
+        "heater": builder.device("heater", "load", 1500.0, mode="on",
+                                 priority=1),
+        "fridge": builder.device("fridge", "load", 300.0, mode="on",
+                                 priority=5),
+        "solar": builder.device("solar", "generator", 400.0, mode="on"),
+        "battery": builder.device("battery", "storage", 500.0,
+                                  mode="charging"),
+        "policy": builder.policy("cap", "peak_shaving", threshold=1000.0),
+    }
+    return builder, refs
+
+
+class TestMGridML:
+    def test_constraints_accept_valid(self):
+        builder, _ = home_builder()
+        assert validate_model(builder.build(), mgridml_constraints()).ok
+
+    def test_negative_rating_rejected(self):
+        builder = MGridBuilder("bad")
+        builder.device("x", "load", -5.0)
+        assert not validate_model(builder.build(), mgridml_constraints()).ok
+
+    def test_mode_kind_mismatch_rejected(self):
+        builder = MGridBuilder("bad")
+        device = builder.device("x", "load", 100.0)
+        device.set("mode", "charging")
+        assert not validate_model(builder.build(), mgridml_constraints()).ok
+
+    def test_duplicate_device_ids_rejected(self):
+        builder = MGridBuilder("bad")
+        builder.device("x", "load", 100.0)
+        builder.device("x", "load", 200.0)
+        assert not validate_model(builder.build(), mgridml_constraints()).ok
+
+
+class TestMGridVmExecution:
+    def test_model_realizes_plant_state(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        assert set(plant.devices) == {"heater", "fridge", "solar", "battery"}
+        assert plant.devices["heater"].mode == "on"
+        assert plant.devices["battery"].mode == "charging"
+        assert plant.grid_import_limit == 1000.0
+        assert vm.broker.state.get("policies_applied") == 1
+
+    def test_mode_update(self, vm, plant):
+        builder, refs = home_builder()
+        vm.run_model(builder.build())
+        edited = vm.ui.checkout()
+        edited.by_id(refs["battery"].id).mode = "discharging"
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert plant.devices["battery"].mode == "discharging"
+
+    def test_policy_disable_revokes(self, vm, plant):
+        builder, refs = home_builder()
+        vm.run_model(builder.build())
+        edited = vm.ui.checkout()
+        edited.by_id(refs["policy"].id).enabled = False
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert vm.broker.state.get("policies_applied") == 0
+
+    def test_device_removal_deregisters(self, vm, plant):
+        builder, refs = home_builder()
+        vm.run_model(builder.build())
+        edited = vm.ui.checkout()
+        grid = edited.roots[0]
+        grid.devices.remove(edited.by_id(refs["fridge"].id))
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert "fridge" not in plant.devices
+
+    def test_autonomic_overload_mitigation(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        # demand 1800 + 500 charging vs supply 400 -> import 1900 > 1000
+        plant.invoke("tick")
+        assert vm.broker.state.get("overload_mitigations") == 1
+        balance = plant.invoke("read_balance")
+        assert balance["grid_import"] <= 1000.0
+
+    def test_device_failure_tracked(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        plant.inject_device_failure("solar")
+        assert vm.broker.state.get("outages") == 1
+
+
+class TestBalancingVariability:
+    """grid.balance is Case 2 with two strategies: shed vs storage."""
+
+    def run_balance(self, vm):
+        return vm.controller.execute_command(
+            Command("grid.balance", classifier="grid.balance")
+        )
+
+    def test_economy_household_sheds(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        plant.devices["battery"].energy = 400.0
+        outcome = self.run_balance(vm)
+        assert outcome.case == "intent"
+        assert outcome.ok
+        assert vm.broker.state.get("sheds") == 1
+        assert vm.broker.state.get("storage_dispatches") is None
+
+    def test_comfort_household_dispatches_storage(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        plant.devices["battery"].energy = 400.0
+        vm.controller.context.set("household_preference", "comfort")
+        outcome = self.run_balance(vm)
+        assert outcome.ok
+        assert vm.broker.state.get("storage_dispatches") == 1
+        assert plant.devices["battery"].mode == "discharging"
+
+    def test_im_cache_reused_across_rounds(self, vm, plant):
+        builder, _ = home_builder()
+        vm.run_model(builder.build())
+        self.run_balance(vm)
+        self.run_balance(vm)
+        stats = vm.controller.generator.stats
+        assert stats.cache_hits >= 1

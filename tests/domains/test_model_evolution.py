@@ -1,0 +1,161 @@
+"""Tests for deep model-evolution paths across the domains.
+
+These exercise the update transitions that the conformance checker
+demands: identity/kind/rating changes, cross-node migration, reaction
+retargeting, trigger changes, and query re-scoping.
+"""
+
+import pytest
+
+from repro.domains.crowdsensing import CSVM, QueryBuilder
+from repro.domains.microgrid import MGridBuilder, build_mgridvm
+from repro.domains.smartspace import SpaceBuilder, TwoSVM
+from repro.modeling.serialize import clone_model
+from repro.sim.fleet import DeviceFleet
+from repro.sim.plant import PlantController
+
+
+class TestMicrogridEvolution:
+    @pytest.fixture
+    def world(self):
+        plant = PlantController("plant0", op_cost=0.0)
+        vm = build_mgridvm(plant=plant)
+        builder = MGridBuilder("home")
+        device = builder.device("pump", "load", 500.0, mode="on", priority=3)
+        vm.run_model(builder.build())
+        yield vm, plant, builder, device
+        vm.stop()
+
+    def test_rating_change_replaces_device(self, world):
+        vm, plant, builder, device = world
+        edited = vm.ui.checkout()
+        edited.by_id(device.id).powerRating = 900.0
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert plant.devices["pump"].power_rating == 900.0
+        assert plant.devices["pump"].mode == "on"  # mode restored
+        assert plant.op_log[-3:] == [
+            "deregister_device", "register_device", "set_mode"
+        ]
+
+    def test_device_rename(self, world):
+        vm, plant, builder, device = world
+        edited = vm.ui.checkout()
+        edited.by_id(device.id).deviceId = "pump-2"
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert "pump" not in plant.devices
+        assert plant.devices["pump-2"].power_rating == 500.0
+
+    def test_kind_change(self, world):
+        vm, plant, builder, device = world
+        edited = vm.ui.checkout()
+        target = edited.by_id(device.id)
+        target.kind = "generator"
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert plant.devices["pump"].kind == "generator"
+
+    def test_policy_kind_change_reapplies(self, world):
+        vm, plant, builder, _device = world
+        policy_builder = MGridBuilder("home")
+        policy_builder.device("pump", "load", 500.0, mode="on", priority=3)
+        policy = policy_builder.policy("p", "peak_shaving", threshold=5.0)
+        vm.ui.submit(vm.ui.put_model(policy_builder.build()))
+        applied_before = vm.broker.state.get("policies_applied")
+        edited = vm.ui.checkout()
+        edited.by_id(policy.id).kind = "cost_saving"
+        vm.ui.submit(vm.ui.put_model(edited))
+        assert vm.broker.state.get("policies_applied") == applied_before + 1
+
+
+class TestSmartspaceEvolution:
+    @pytest.fixture
+    def world(self):
+        vm = TwoSVM(["node0", "node1"])
+        builder = SpaceBuilder("lab")
+        obj = builder.smart_object("cam", kind="camera", node="node0",
+                                   settings={"recording": False})
+        target = builder.smart_object("lamp", kind="lamp", node="node1",
+                                      settings={"light": 0})
+        app = builder.app("motion", "object_entered",
+                          [(target, "light", 100)])
+        vm.run_model(builder.build())
+        yield vm, builder, obj, target, app
+        vm.stop()
+
+    def test_node_migration(self, world):
+        vm, builder, obj, _target, _app = world
+        assert "cam" in vm.spaces["node0"].objects
+        edited = vm.central.ui.checkout()
+        edited.by_id(obj.id).node = "node1"
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        assert "cam" not in vm.spaces["node0"].objects
+        assert "cam" in vm.spaces["node1"].objects
+        # capabilities travelled with the migration
+        assert vm.spaces["node1"].objects["cam"].capabilities == {
+            "recording": False
+        }
+
+    def test_capability_rename(self, world):
+        vm, builder, obj, _target, _app = world
+        edited = vm.central.ui.checkout()
+        setting = edited.by_id(obj.id).settings[0]
+        setting.capability = "streaming"
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        capabilities = vm.read_object("cam")["capabilities"]
+        assert "streaming" in capabilities
+        assert "recording" not in capabilities
+
+    def test_reaction_retarget_unbinds_old_node(self, world):
+        vm, builder, obj, target, app = world
+        assert vm.read_object("lamp")["scripts"] == ["object_entered"]
+        edited = vm.central.ui.checkout()
+        reaction = edited.objects_by_class("Reaction")[0]
+        reaction.capability = "recording"
+        reaction.value = True
+        reaction.target = edited.by_id(obj.id)  # retarget lamp -> cam
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        assert vm.read_object("lamp")["scripts"] == []
+        assert vm.read_object("cam")["scripts"] == ["object_entered"]
+
+    def test_trigger_change_rebinds(self, world):
+        vm, builder, obj, target, app = world
+        edited = vm.central.ui.checkout()
+        edited.by_id(app.id).trigger = "object_left"
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        assert vm.read_object("lamp")["scripts"] == ["object_left"]
+        # the new trigger fires; the old one doesn't
+        vm.object_enters("cam")
+        assert vm.read_object("lamp")["capabilities"]["light"] == 0
+        vm.object_leaves("cam")
+        assert vm.read_object("lamp")["capabilities"]["light"] == 100
+
+
+class TestCrowdsensingEvolution:
+    def test_region_change_restarts_task(self):
+        fleet = DeviceFleet("fleet0", op_cost=0.0)
+        for index in range(6):
+            fleet.op_register_device(
+                f"d{index}", region="north" if index < 3 else "south"
+            )
+        vm = CSVM(fleet=fleet)
+        builder = QueryBuilder("campaign")
+        query = builder.query("q", "temperature", region="north")
+        vm.submit_model(builder.build())
+        north_devices = {
+            d.device_id for d in fleet.devices.values()
+            if query.id in d.active_tasks
+        }
+        assert north_devices == {"d0", "d1", "d2"}
+        edited = clone_model(builder.build())
+        edited.by_id(query.id).region = "south"
+        result = vm.submit_model(edited)
+        assert result.script.operations() == ["cs.query.stop", "cs.query.start"]
+        south_devices = {
+            d.device_id for d in fleet.devices.values()
+            if query.id in d.active_tasks
+        }
+        assert south_devices == {"d3", "d4", "d5"}
+        vm.stop()

@@ -1,0 +1,278 @@
+"""Unit tests for the simulated substrates."""
+
+import pytest
+
+from repro.sim.fleet import DeviceFleet, FleetError
+from repro.sim.network import CommService, NetworkError
+from repro.sim.plant import PlantController, PlantError
+from repro.sim.space import SmartSpace, SpaceError
+
+
+class TestCommService:
+    @pytest.fixture
+    def service(self):
+        return CommService("net0", op_cost=0.0)
+
+    def test_session_lifecycle(self, service):
+        session = service.invoke("open_session", initiator="alice")
+        service.invoke("add_party", session=session, party="bob")
+        assert len(service.sessions[session].parties) == 2
+        service.invoke("remove_party", session=session, party="bob")
+        service.invoke("close_session", session=session)
+        assert service.sessions[session].state == "closed"
+
+    def test_initiator_cannot_leave(self, service):
+        session = service.invoke("open_session", initiator="alice")
+        with pytest.raises(NetworkError, match="initiator"):
+            service.invoke("remove_party", session=session, party="alice")
+
+    def test_stream_lifecycle(self, service):
+        session = service.invoke("open_session", initiator="a")
+        stream = service.invoke("open_stream", session=session,
+                                medium="video", quality="high")
+        service.invoke("reconfigure_stream", session=session,
+                       stream=stream, quality="low")
+        assert service.sessions[session].streams[stream].quality == "low"
+        service.invoke("send_data", session=session, stream=stream, size=10)
+        service.invoke("close_stream", session=session, stream=stream)
+        assert stream not in service.sessions[session].streams
+
+    def test_invalid_medium_and_quality(self, service):
+        session = service.invoke("open_session", initiator="a")
+        with pytest.raises(NetworkError, match="medium"):
+            service.invoke("open_stream", session=session, medium="smell")
+        with pytest.raises(NetworkError, match="quality"):
+            service.invoke("open_stream", session=session, medium="audio",
+                           quality="insane")
+
+    def test_failure_and_recovery(self, service):
+        session = service.invoke("open_session", initiator="a")
+        events = []
+        service.attach(lambda topic, payload: events.append(topic))
+        service.inject_failure(session)
+        assert "session_failed" in events
+        with pytest.raises(NetworkError, match="failed"):
+            service.invoke("add_party", session=session, party="x")
+        service.invoke("recover_session", session=session)
+        service.invoke("add_party", session=session, party="x")
+        assert "session_recovered" in events
+
+    def test_recover_active_session_rejected(self, service):
+        session = service.invoke("open_session", initiator="a")
+        with pytest.raises(NetworkError, match="not failed"):
+            service.invoke("recover_session", session=session)
+
+    def test_unknown_operation_and_session(self, service):
+        with pytest.raises(NetworkError, match="unknown operation"):
+            service.invoke("teleport")
+        with pytest.raises(NetworkError, match="unknown session"):
+            service.invoke("close_session", session="nope")
+
+    def test_probe(self, service):
+        service.invoke("open_session", initiator="a")
+        health = service.invoke("probe")
+        assert health["active_sessions"] == 1
+
+    def test_op_log(self, service):
+        service.invoke("open_session", initiator="a")
+        assert service.op_log == ["open_session"]
+        assert service.op_count == 1
+
+
+class TestPlantController:
+    @pytest.fixture
+    def plant(self):
+        plant = PlantController("plant0", grid_import_limit=1000.0, op_cost=0.0)
+        plant.invoke("register_device", device="heater", kind="load",
+                     power_rating=1500.0, priority=1)
+        plant.invoke("register_device", device="solar", kind="generator",
+                     power_rating=400.0)
+        plant.invoke("register_device", device="battery", kind="storage",
+                     power_rating=500.0)
+        return plant
+
+    def test_balance_accounting(self, plant):
+        plant.invoke("set_mode", device="heater", mode="on")
+        plant.invoke("set_mode", device="solar", mode="on")
+        balance = plant.invoke("read_balance")
+        assert balance["demand"] == 1500.0
+        assert balance["supply"] == 400.0
+        assert balance["grid_import"] == 1100.0
+
+    def test_invalid_mode_for_kind(self, plant):
+        with pytest.raises(PlantError, match="invalid mode"):
+            plant.invoke("set_mode", device="heater", mode="charging")
+
+    def test_storage_modes_and_tick(self, plant):
+        plant.invoke("set_mode", device="battery", mode="charging")
+        plant.invoke("tick", hours=2.0)
+        assert plant.devices["battery"].energy == 1000.0
+        plant.invoke("set_mode", device="battery", mode="discharging")
+        plant.invoke("tick", hours=1.0)
+        assert plant.devices["battery"].energy == 500.0
+
+    def test_storage_depletes_to_standby(self, plant):
+        battery = plant.devices["battery"]
+        battery.energy = 100.0
+        plant.invoke("set_mode", device="battery", mode="discharging")
+        plant.invoke("tick", hours=1.0)
+        assert battery.mode == "standby"
+
+    def test_overload_event(self, plant):
+        events = []
+        plant.attach(lambda topic, payload: events.append((topic, payload)))
+        plant.invoke("set_mode", device="heater", mode="on")
+        plant.invoke("tick")
+        topics = [t for t, _ in events]
+        assert "overload" in topics
+
+    def test_shed_load_by_priority(self, plant):
+        plant.invoke("register_device", device="tv", kind="load",
+                     power_rating=200.0, priority=9)
+        plant.invoke("set_mode", device="heater", mode="on")
+        plant.invoke("set_mode", device="tv", mode="on")
+        shed = plant.invoke("shed_load", watts=1000.0)
+        assert shed == ["heater"]  # priority 1 sheds first
+        assert plant.devices["heater"].mode == "off"
+        assert plant.devices["tv"].mode == "on"
+
+    def test_dispatch_storage(self, plant):
+        plant.devices["battery"].energy = 300.0
+        dispatched = plant.invoke("dispatch_storage")
+        assert dispatched == ["battery"]
+        assert plant.devices["battery"].mode == "discharging"
+
+    def test_device_failure(self, plant):
+        plant.inject_device_failure("heater")
+        with pytest.raises(PlantError, match="failed"):
+            plant.invoke("set_mode", device="heater", mode="on")
+        assert plant.devices["heater"].net_power == 0.0
+        plant.repair_device("heater")
+        plant.invoke("set_mode", device="heater", mode="on")
+
+    def test_duplicate_registration(self, plant):
+        with pytest.raises(PlantError, match="already registered"):
+            plant.invoke("register_device", device="heater", kind="load",
+                         power_rating=1.0)
+
+
+class TestSmartSpace:
+    @pytest.fixture
+    def space(self):
+        space = SmartSpace("space0", op_cost=0.0)
+        space.invoke("register_object", object_id="lamp",
+                     capabilities={"light": 0})
+        return space
+
+    def test_configure(self, space):
+        space.invoke("configure", object_id="lamp", capability="light", value=50)
+        assert space.objects["lamp"].capabilities["light"] == 50
+
+    def test_unknown_capability(self, space):
+        with pytest.raises(SpaceError, match="no capability"):
+            space.invoke("configure", object_id="lamp", capability="sound",
+                         value=1)
+
+    def test_script_install_trigger_uninstall(self, space):
+        space.invoke("install_script", object_id="lamp",
+                     trigger="object_entered",
+                     script={"app": "a1", "capability": "light", "value": 99})
+        ran = space.invoke("trigger_scripts", trigger="object_entered")
+        assert ran == 1
+        assert space.objects["lamp"].capabilities["light"] == 99
+        space.invoke("uninstall_script", object_id="lamp",
+                     trigger="object_entered", app="a1")
+        assert space.invoke("trigger_scripts", trigger="object_entered") == 0
+
+    def test_uninstall_missing(self, space):
+        with pytest.raises(SpaceError):
+            space.invoke("uninstall_script", object_id="lamp", trigger="t")
+
+    def test_presence_events(self, space):
+        events = []
+        space.attach(lambda topic, payload: events.append(topic))
+        space.object_enters("lamp")
+        space.object_enters("lamp")  # idempotent
+        space.object_leaves("lamp")
+        assert events == ["object_entered", "object_left"]
+        assert space.invoke("list_present") == []
+
+    def test_remote_presence_does_not_change_state(self, space):
+        events = []
+        space.attach(lambda topic, payload: events.append((topic, payload)))
+        space.observe_remote_presence("ghost", "badge", "object_entered")
+        assert events[0][0] == "object_entered"
+        assert events[0][1]["remote"] is True
+        assert "ghost" not in space.objects
+
+    def test_bad_remote_event(self, space):
+        with pytest.raises(SpaceError):
+            space.observe_remote_presence("x", "y", "object_danced")
+
+
+class TestDeviceFleet:
+    @pytest.fixture
+    def fleet(self):
+        fleet = DeviceFleet("fleet0", op_cost=0.0)
+        for i in range(4):
+            fleet.invoke("register_device", device=f"d{i}",
+                         region="center" if i < 2 else "edge")
+        return fleet
+
+    def test_distribute_and_collect(self, fleet):
+        assigned = fleet.invoke("distribute_task", task="t1",
+                                sensor="temperature")
+        assert len(assigned) == 4
+        readings = fleet.invoke("collect", task="t1")
+        assert len(readings) == 4
+        assert all(isinstance(r["value"], float) for r in readings)
+
+    def test_region_filter(self, fleet):
+        assigned = fleet.invoke("distribute_task", task="t1",
+                                sensor="temperature", region="edge")
+        assert assigned == ["d2", "d3"]
+
+    def test_battery_filter(self, fleet):
+        fleet.drain_battery("d0", 90.0)
+        assigned = fleet.invoke("distribute_task", task="t1",
+                                sensor="noise", min_battery=50.0)
+        assert "d0" not in assigned
+
+    def test_update_task(self, fleet):
+        fleet.invoke("distribute_task", task="t1", sensor="temperature")
+        updated = fleet.invoke("update_task", task="t1", sensor="noise")
+        assert updated == 4
+        readings = fleet.invoke("collect", task="t1")
+        assert all(r["sensor"] == "noise" for r in readings)
+
+    def test_revoke_task(self, fleet):
+        fleet.invoke("distribute_task", task="t1", sensor="gps")
+        assert fleet.invoke("revoke_task", task="t1") == 4
+        assert fleet.invoke("collect", task="t1") == []
+
+    def test_depleted_device_drops_out(self, fleet):
+        fleet.invoke("distribute_task", task="t1", sensor="noise")
+        fleet.drain_battery("d1", 100.0)
+        readings = fleet.invoke("collect", task="t1")
+        assert len(readings) == 3
+
+    def test_deterministic_readings(self):
+        a = DeviceFleet("fleet0", op_cost=0.0, seed=7)
+        b = DeviceFleet("fleet0", op_cost=0.0, seed=7)
+        for fleet in (a, b):
+            fleet.invoke("register_device", device="d0")
+            fleet.invoke("distribute_task", task="t", sensor="temperature")
+        ra = a.invoke("collect", task="t")
+        rb = b.invoke("collect", task="t")
+        assert ra == rb
+
+    def test_fleet_status(self, fleet):
+        status = fleet.invoke("fleet_status")
+        assert status["devices"] == 4
+        assert status["participating"] == 4
+        assert status["mean_battery"] == pytest.approx(100.0)
+
+    def test_unknown_sensor(self, fleet):
+        device = fleet.devices["d0"]
+        with pytest.raises(FleetError, match="no sensor"):
+            device.sample("smell")

@@ -1,0 +1,156 @@
+"""Tests for the smart spaces domain (2SML + distributed 2SVM)."""
+
+import pytest
+
+from repro.domains.smartspace import (
+    SpaceBuilder,
+    TwoSVM,
+    build_object_node,
+    ssml_constraints,
+)
+from repro.modeling.constraints import validate_model
+
+
+@pytest.fixture
+def vm():
+    deployment = TwoSVM(["node0", "node1"])
+    yield deployment
+    deployment.stop()
+
+
+def lab_builder() -> tuple[SpaceBuilder, dict]:
+    builder = SpaceBuilder("lab")
+    refs = {
+        "lamp": builder.smart_object("lamp1", kind="lamp", node="node0",
+                                     settings={"light": 0}),
+        "door": builder.smart_object("door1", kind="door", node="node1",
+                                     settings={"locked": True}),
+        "badge": builder.smart_object("badge9", kind="badge", node="node1"),
+    }
+    builder.user("alice")
+    refs["app"] = builder.app(
+        "welcome", "object_entered",
+        [(refs["lamp"], "light", 80), (refs["door"], "locked", False)],
+    )
+    return builder, refs
+
+
+class TestSsml:
+    def test_valid_model(self):
+        builder, _ = lab_builder()
+        assert validate_model(builder.build(), ssml_constraints()).ok
+
+    def test_duplicate_object_ids_rejected(self):
+        builder = SpaceBuilder("bad")
+        builder.smart_object("x")
+        builder.smart_object("x")
+        assert not validate_model(builder.build(), ssml_constraints()).ok
+
+    def test_duplicate_capabilities_rejected(self):
+        builder = SpaceBuilder("bad")
+        obj = builder.smart_object("x", settings={"a": 1})
+        obj.settings.append(
+            builder.model.create("Setting", capability="a", value=2)
+        )
+        assert not validate_model(builder.build(), ssml_constraints()).ok
+
+    def test_cross_space_reaction_rejected(self):
+        b1 = SpaceBuilder("one")
+        foreign = b1.smart_object("foreign", settings={"x": 1})
+        b2 = SpaceBuilder("two")
+        b2.smart_object("local", settings={"x": 1})
+        b2.app("bad", "object_entered", [(foreign, "x", 2)])
+        assert not validate_model(b2.build(), ssml_constraints()).ok
+
+
+class TestLayerSuppression:
+    def test_central_node_has_top_layers_only(self, vm):
+        assert vm.central.ui is not None
+        assert vm.central.synthesis is not None
+        assert vm.central.controller is None
+        assert vm.central.broker is None
+
+    def test_object_nodes_have_bottom_layers_only(self, vm):
+        for node in vm.nodes.values():
+            assert node.ui is None
+            assert node.synthesis is None
+            assert node.controller is not None
+            assert node.broker is not None
+
+    def test_standalone_object_node(self):
+        node = build_object_node("solo")
+        assert node.controller is not None
+        node.stop()
+
+
+class TestDistributedExecution:
+    def test_commands_routed_by_node(self, vm):
+        builder, _ = lab_builder()
+        vm.run_model(builder.build())
+        assert "lamp1" in vm.spaces["node0"].objects
+        assert "door1" in vm.spaces["node1"].objects
+        assert "lamp1" not in vm.spaces["node1"].objects
+        # app scripts installed on the nodes owning the targets
+        assert "object_entered" in vm.spaces["node0"].objects[
+            "lamp1"].installed_scripts
+        assert "object_entered" in vm.spaces["node1"].objects[
+            "door1"].installed_scripts
+
+    def test_registration_carries_initial_settings(self, vm):
+        builder, _ = lab_builder()
+        vm.run_model(builder.build())
+        assert vm.read_object("lamp1")["capabilities"] == {"light": 0}
+
+    def test_presence_triggers_installed_scripts_everywhere(self, vm):
+        builder, _ = lab_builder()
+        vm.run_model(builder.build())
+        vm.object_enters("badge9")
+        assert vm.read_object("lamp1")["capabilities"]["light"] == 80
+        assert vm.read_object("door1")["capabilities"]["locked"] is False
+
+    def test_script_execution_is_local_no_central_involvement(self, vm):
+        builder, _ = lab_builder()
+        vm.run_model(builder.build())
+        synthesis_cycles = vm.central.synthesis.cycles
+        vm.object_enters("badge9")
+        # asynchronous trigger execution never re-enters the central node
+        assert vm.central.synthesis.cycles == synthesis_cycles
+
+    def test_setting_update_routes_to_owning_node(self, vm):
+        builder, refs = lab_builder()
+        vm.run_model(builder.build())
+        edited = vm.central.ui.checkout()
+        lamp = edited.by_id(refs["lamp"].id)
+        lamp.settings[0].value = 42
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        assert vm.read_object("lamp1")["capabilities"]["light"] == 42
+
+    def test_app_removal_uninstalls_scripts(self, vm):
+        builder, refs = lab_builder()
+        vm.run_model(builder.build())
+        edited = vm.central.ui.checkout()
+        app = edited.by_id(refs["app"].id)
+        edited.roots[0].apps.remove(app)
+        result = vm.central.ui.submit(vm.central.ui.put_model(edited))
+        vm.dispatch(result.script)
+        assert vm.read_object("lamp1")["scripts"] == []
+        vm.object_enters("badge9")
+        assert vm.read_object("lamp1")["capabilities"]["light"] == 0
+
+    def test_unknown_object_presence(self, vm):
+        with pytest.raises(KeyError):
+            vm.object_enters("ghost")
+
+    def test_unknown_node_in_command(self, vm):
+        builder = SpaceBuilder("bad")
+        builder.smart_object("x", node="mars")
+        with pytest.raises(ValueError, match="unknown node"):
+            vm.run_model(builder.build())
+
+    def test_stats_shape(self, vm):
+        builder, _ = lab_builder()
+        vm.run_model(builder.build())
+        stats = vm.stats()
+        assert stats["scripts_dispatched"] == 2
+        assert set(stats["nodes"]) == {"node0", "node1"}

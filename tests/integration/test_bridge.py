@@ -1,0 +1,187 @@
+"""Cross-platform bridge tests: the smart-city integration scenario.
+
+Paper Sec. II: smart-city sub-systems (smart spaces, communication,
+energy) must integrate; Sec. VIII points at runtime connectors as the
+mechanism.  These tests wire the shipped domain platforms together
+through :class:`PlatformBridge`.
+"""
+
+import pytest
+
+from repro.domains.communication import build_cvm
+from repro.domains.microgrid import MGridBuilder, build_mgridvm
+from repro.domains.smartspace import SpaceBuilder, TwoSVM
+from repro.middleware.bridge import BridgeError, BridgeRule, PlatformBridge
+from repro.sim.network import CommService
+from repro.sim.plant import PlantController
+
+
+@pytest.fixture
+def office():
+    deployment = TwoSVM(["node0"])
+    builder = SpaceBuilder("office")
+    builder.smart_object("front-door", kind="door", node="node0",
+                         settings={"locked": True})
+    builder.smart_object("visitor-badge", kind="badge", node="node0")
+    deployment.run_model(builder.build())
+    yield deployment
+    deployment.stop()
+
+
+@pytest.fixture
+def cvm():
+    service = CommService("net0", op_cost=0.0)
+    platform = build_cvm(service=service)
+    yield platform, service
+    platform.stop()
+
+
+class TestBridgeRules:
+    def test_rule_requires_operation(self):
+        with pytest.raises(BridgeError, match="operation"):
+            BridgeRule(name="r", topic_pattern="*", command={})
+
+    def test_matching_and_guard(self):
+        rule = BridgeRule(
+            name="r", topic_pattern="resource.space0.*",
+            command={"operation": "x"},
+            guard="kind == 'badge'",
+        )
+        assert rule.matches("resource.space0.object_entered",
+                            {"kind": "badge"})
+        assert not rule.matches("resource.space0.object_entered",
+                                {"kind": "door"})
+        assert not rule.matches("other.topic", {"kind": "badge"})
+        assert not rule.matches("resource.space0.x", {})  # guard key absent
+
+    def test_render_command(self):
+        rule = BridgeRule(
+            name="r", topic_pattern="*",
+            command={"operation": "comm.session.establish",
+                     "args": {"priority": "high"},
+                     "args_expr": {"connection": "'security-' + object"}},
+        )
+        command = rule.render("t", {"object": "door1"})
+        assert command.operation == "comm.session.establish"
+        assert command.args == {"priority": "high",
+                                "connection": "security-door1"}
+
+
+class TestSecurityCallScenario:
+    """A visitor entering the office triggers a security call."""
+
+    def test_presence_event_establishes_session(self, office, cvm):
+        platform, service = cvm
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule(
+            "security-call",
+            "resource.space0.object_entered",
+            {"operation": "comm.session.establish",
+             "args_expr": {"connection": "'security-' + object"}},
+            guard="kind == 'badge'",
+        ).start()
+
+        office.object_enters("visitor-badge")
+        assert len(service.sessions) == 1
+        assert bridge.stats() == {
+            "name": bridge.name, "rules": 1, "fired": 1, "failed": 0,
+        }
+        # the door (not a badge) does not trigger a call
+        office.object_leaves("visitor-badge")
+        office.object_enters("front-door")
+        assert len(service.sessions) == 1
+
+    def test_dedup_suppresses_refiring(self, office, cvm):
+        platform, service = cvm
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule(
+            "security-call",
+            "resource.space0.object_entered",
+            {"operation": "comm.session.establish",
+             "args_expr": {"connection": "'security-' + object"}},
+            guard="kind == 'badge'",
+            dedup_expr="object",
+        ).start()
+        office.object_enters("visitor-badge")
+        office.object_leaves("visitor-badge")
+        office.object_enters("visitor-badge")
+        assert len(service.sessions) == 1
+        assert len(bridge.activations) == 1
+
+    def test_stop_detaches(self, office, cvm):
+        platform, service = cvm
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule(
+            "r", "resource.space0.object_entered",
+            {"operation": "comm.session.establish",
+             "args_expr": {"connection": "object"}},
+        ).start()
+        bridge.stop()
+        office.object_enters("visitor-badge")
+        assert service.sessions == {}
+        assert not bridge.running
+
+    def test_failures_are_isolated(self, office, cvm):
+        platform, _service = cvm
+        failures = []
+        platform.bus.subscribe("bridge.failed", failures.append)
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule(
+            "broken", "resource.space0.object_entered",
+            {"operation": "comm.party.add",    # no session -> broker error
+             "args_expr": {"connection": "'ghost'", "party": "object"}},
+        ).start()
+        # the source platform event path survives the target failure
+        office.object_enters("visitor-badge")
+        assert office.read_object("visitor-badge")["present"] is True
+        assert bridge.stats()["failed"] == 1
+        assert len(failures) == 1
+
+
+class TestEnergyAwareSpaceScenario:
+    """Grid overload turns the office lights down (microgrid -> space)."""
+
+    def test_overload_event_reconfigures_space(self, office):
+        plant = PlantController("plant0", grid_import_limit=100.0, op_cost=0.0)
+        grid = build_mgridvm(plant=plant)
+        builder = MGridBuilder("home", grid_import_limit=100.0)
+        builder.device("heater", "load", 500.0, mode="on")
+        grid.run_model(builder.build())
+
+        bridge = PlatformBridge(grid, office.nodes["node0"],
+                                name="grid->space")
+        bridge.rule(
+            "dim-on-overload",
+            "resource.plant0.overload",
+            {"operation": "ss.object.configure",
+             "args": {"object": "front-door", "capability": "locked",
+                      "value": True}},
+        ).start()
+        plant.op_tick()   # overload fires
+        assert bridge.stats()["fired"] == 1
+        assert office.read_object("front-door")["capabilities"]["locked"] is True
+        grid.stop()
+
+    def test_target_without_controller_rejected(self, office):
+        central = office.central  # UI+Synthesis only
+        node = office.nodes["node0"]
+        with pytest.raises(BridgeError, match="no controller"):
+            PlatformBridge(node, central)
+
+
+class TestRuleManagement:
+    def test_duplicate_rule_rejected(self, office, cvm):
+        platform, _ = cvm
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule("r", "*", {"operation": "x"})
+        with pytest.raises(BridgeError, match="duplicate"):
+            bridge.rule("r", "*", {"operation": "y"})
+
+    def test_remove_rule(self, office, cvm):
+        platform, _ = cvm
+        bridge = PlatformBridge(office.nodes["node0"], platform)
+        bridge.rule("r", "*", {"operation": "x"})
+        bridge.remove_rule("r")
+        assert bridge.rule_count == 0
+        with pytest.raises(BridgeError):
+            bridge.remove_rule("r")

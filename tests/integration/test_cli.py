@@ -1,0 +1,121 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def cvm_model_file(tmp_path, capsys):
+    assert main(["export-middleware-model", "communication"]) == 0
+    text = capsys.readouterr().out
+    path = tmp_path / "cvm.json"
+    path.write_text(text)
+    return str(path)
+
+
+class TestDomains:
+    def test_lists_all_four(self, capsys):
+        assert main(["domains"]) == 0
+        out = capsys.readouterr().out
+        for domain in ("communication", "microgrid", "smartspace",
+                       "crowdsensing"):
+            assert domain in out
+
+
+class TestExport:
+    def test_export_mddsm_metamodel(self, capsys):
+        assert main(["export-metamodel", "md-dsm"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "md-dsm"
+        assert "MiddlewareModel" in doc["classes"]
+
+    def test_export_domain_dsml(self, capsys):
+        assert main(["export-metamodel", "communication"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "cml"
+
+    def test_export_scripts_metamodel(self, capsys):
+        assert main(["export-metamodel", "scripts"]) == 0
+        assert json.loads(capsys.readouterr().out)["name"] == "control-scripts"
+
+    def test_export_unknown(self, capsys):
+        assert main(["export-metamodel", "nope"]) == 2
+
+    def test_export_middleware_model_roundtrips(self, cvm_model_file):
+        from repro.middleware.metamodel import middleware_metamodel
+        from repro.modeling.serialize import model_from_json
+
+        with open(cvm_model_file) as handle:
+            model = model_from_json(handle.read(), middleware_metamodel())
+        assert model.roots[0].get("domain") == "communication"
+
+    def test_export_middleware_unknown_domain(self, capsys):
+        assert main(["export-middleware-model", "nope"]) == 2
+
+
+class TestInspectValidate:
+    def test_inspect(self, cvm_model_file, capsys):
+        assert main(["inspect", cvm_model_file]) == 0
+        out = capsys.readouterr().out
+        assert "'cvm'" in out
+        assert "procedures=" in out
+
+    def test_validate_ok(self, cvm_model_file, capsys):
+        assert main(["validate", cvm_model_file]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_broken_model(self, cvm_model_file, capsys, tmp_path):
+        doc = json.loads(open(cvm_model_file).read())
+        del doc["roots"][0]["attrs"]["name"]  # required attribute gone
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["validate", str(bad)]) == 1
+
+
+class TestConformance:
+    @pytest.mark.parametrize(
+        "domain", ["communication", "microgrid", "smartspace", "crowdsensing"]
+    )
+    def test_all_shipped_domains_conform(self, domain, capsys):
+        assert main(["conformance", domain]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_conformance_detects_gap(self, cvm_model_file, capsys, tmp_path):
+        doc = json.loads(open(cvm_model_file).read())
+        broker = doc["roots"][0]["refs"]["broker"]
+        broker["refs"]["actions"] = [
+            a for a in broker["refs"]["actions"]
+            if a["attrs"]["name"] != "ncb-add-party"
+        ]
+        bad = tmp_path / "gap.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["conformance", "communication", "--model", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ncb.add_party" in out
+
+    def test_conformance_unknown_domain(self):
+        assert main(["conformance", "nope"]) == 2
+
+
+class TestRunCml:
+    def test_runs_scenario(self, tmp_path, capsys):
+        scenario = tmp_path / "s.cml"
+        scenario.write_text(
+            "scenario t\nperson a initiator\nperson b\n"
+            "connection c a b : audio\n"
+        )
+        assert main(["run-cml", str(scenario)]) == 0
+        out = capsys.readouterr().out
+        assert "comm.session.establish" in out
+        assert "open_session" in out
+
+    def test_teardown_flag(self, tmp_path, capsys):
+        scenario = tmp_path / "s.cml"
+        scenario.write_text(
+            "scenario t\nperson a initiator\nperson b\nconnection c a b\n"
+        )
+        assert main(["run-cml", str(scenario), "--teardown"]) == 0
+        assert "close_session" in capsys.readouterr().out

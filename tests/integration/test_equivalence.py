@@ -1,0 +1,97 @@
+"""E5 as a test: behavioral equivalence of model-based vs handcrafted.
+
+Paper Sec. VII-A: "we were able to validate the behavioral equivalence
+(in terms of the sequence of commands that were generated for the
+underlying resources as a result of model interpretation) of the
+model-based implementations of the middleware and their original,
+handcrafted, counterparts."
+"""
+
+import pytest
+
+from repro.baselines import MonolithicCVM, MonolithicSynthesis
+from repro.bench.harness import (
+    fresh_handcrafted_broker,
+    fresh_model_based_broker,
+)
+from repro.bench.workloads import COMMUNICATION_SCENARIOS
+from repro.domains.communication import CmlBuilder, build_cvm
+from repro.modeling.serialize import clone_model
+from repro.sim.network import CommService
+
+
+@pytest.mark.parametrize("scenario", sorted(COMMUNICATION_SCENARIOS))
+def test_broker_equivalence_per_scenario(scenario):
+    """Same resource-command sequence from both Broker implementations."""
+    steps = COMMUNICATION_SCENARIOS[scenario]
+    _mb, m_service, m_runner = fresh_model_based_broker()
+    m_service.op_cost = 0.0
+    _hb, h_service, h_runner = fresh_handcrafted_broker()
+    h_service.op_cost = 0.0
+    m_runner.run(steps)
+    h_runner.run(steps)
+    assert m_service.op_log == h_service.op_log
+
+
+def _edit_sequence():
+    """A three-revision CML editing session."""
+    builder = CmlBuilder("meeting")
+    alice = builder.person("alice", role="initiator")
+    bob = builder.person("bob")
+    connection = builder.connection(
+        "call", [alice, bob], media=["audio", ("video", "standard")]
+    )
+    v1 = builder.build()
+
+    v2 = clone_model(v1)
+    for medium in v2.by_id(connection.id).media:
+        if medium.kind == "video":
+            medium.quality = "high"
+    carol = v2.create("Person", userId="carol")
+    v2.roots[0].persons.append(carol)
+    v2.by_id(connection.id).participants.append(carol)
+
+    v3 = clone_model(v2)
+    v3_connection = v3.by_id(connection.id)
+    for medium in list(v3_connection.media):
+        if medium.kind == "audio":
+            v3_connection.media.remove(medium)
+    return [v1, v2, v3]
+
+
+def test_full_stack_equivalence_across_model_revisions():
+    """The whole MD-DSM stack produces the same service-operation trace
+    as the monolithic (synthesis + middleware) original across a
+    multi-revision editing session."""
+    revisions = _edit_sequence()
+
+    # model-based stack
+    md_service = CommService("net0", op_cost=0.0)
+    platform = build_cvm(service=md_service)
+    for revision in revisions:
+        platform.run_model(clone_model(revision))
+    platform.teardown_model()
+    platform.stop()
+
+    # monolithic stack
+    mono_service = CommService("net0", op_cost=0.0)
+    synthesis = MonolithicSynthesis()
+    middleware = MonolithicCVM(mono_service)
+    for revision in revisions:
+        for command in synthesis.synthesize(clone_model(revision)):
+            middleware.execute_command(command)
+    for command in synthesis.teardown():
+        middleware.execute_command(command)
+
+    assert md_service.op_log == mono_service.op_log
+
+
+def test_session_states_equivalent_after_run():
+    steps = COMMUNICATION_SCENARIOS["multi-session"]
+    _mb, m_service, m_runner = fresh_model_based_broker()
+    _hb, h_service, h_runner = fresh_handcrafted_broker()
+    m_runner.run(steps)
+    h_runner.run(steps)
+    m_states = sorted(s.state for s in m_service.sessions.values())
+    h_states = sorted(s.state for s in h_service.sessions.values())
+    assert m_states == h_states

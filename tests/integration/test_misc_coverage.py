@@ -1,0 +1,163 @@
+"""Coverage for smaller API surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.cli import build_parser
+from repro.modeling.diff import diff_objects
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import clone_object
+
+
+class TestDiffObjects:
+    @pytest.fixture
+    def metamodel(self):
+        mm = Metamodel("d")
+        node = mm.new_class("DNode")
+        node.attribute("name", "string", required=True)
+        node.attribute("value", "int", default=0)
+        node.reference("children", "DNode", containment=True, many=True)
+        return mm.resolve()
+
+    def test_diff_two_subtrees(self, metamodel):
+        model = Model(metamodel, name="m")
+        original = model.create_root("DNode", name="root", value=1)
+        child = model.create("DNode", name="kid")
+        original.children.append(child)
+        edited = clone_object(original)
+        edited.value = 5
+        changes = diff_objects(original, edited)
+        sets = changes.by_kind("set")
+        assert len(sets) == 1 and sets[0].feature == "value"
+
+    def test_requires_metamodel(self, metamodel):
+        from repro.modeling.meta import MetaClass
+        from repro.modeling.model import MObject
+
+        stray_cls = MetaClass("Stray")
+        stray = MObject(stray_cls)
+        with pytest.raises(ValueError):
+            diff_objects(stray, stray)
+
+
+class TestPlatformContextManager:
+    def test_with_statement(self):
+        from repro.domains.communication import build_cvm
+        from repro.sim.network import CommService
+
+        platform = build_cvm(service=CommService("net0", op_cost=0.0))
+        platform.stop()
+        with platform as running:
+            assert running.started
+        assert not platform.started
+
+
+class TestCliParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["domains"],
+            ["export-metamodel", "md-dsm"],
+            ["export-middleware-model", "communication"],
+            ["inspect", "f.json"],
+            ["validate", "f.json"],
+            ["conformance", "communication"],
+            ["conformance", "communication", "--model", "m.json"],
+            ["run-cml", "s.cml", "--teardown"],
+            ["reproduce"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestSimStragglers:
+    def test_fleet_deregister(self):
+        from repro.sim.fleet import DeviceFleet, FleetError
+
+        fleet = DeviceFleet("fleet0", op_cost=0.0)
+        fleet.op_register_device("d0")
+        assert fleet.op_deregister_device("d0") is True
+        with pytest.raises(FleetError):
+            fleet.op_deregister_device("d0")
+
+    def test_space_announce(self):
+        from repro.sim.space import SmartSpace
+
+        space = SmartSpace("space0", op_cost=0.0)
+        space.op_register_object("a")
+        events = []
+        space.attach(lambda topic, payload: events.append(topic))
+        assert space.op_announce("meeting_started", room="r1") == 1
+        assert events == ["announce.meeting_started"]
+
+    def test_space_capability_define_undefine(self):
+        from repro.sim.space import SmartSpace, SpaceError
+
+        space = SmartSpace("space0", op_cost=0.0)
+        space.op_register_object("lamp", capabilities={"light": 0})
+        space.op_define_capability("lamp", "color", "warm")
+        assert space.objects["lamp"].capabilities["color"] == "warm"
+        space.op_undefine_capability("lamp", "color")
+        with pytest.raises(SpaceError):
+            space.op_undefine_capability("lamp", "color")
+
+    def test_comm_service_send_data_on_closed_stream(self):
+        from repro.sim.network import CommService, NetworkError
+
+        service = CommService("net0", op_cost=0.0)
+        session = service.op_open_session(initiator="a")
+        stream = service.op_open_stream(session=session, medium="audio")
+        service.op_close_stream(session=session, stream=stream)
+        with pytest.raises(NetworkError):
+            service.op_send_data(session=session, stream=stream)
+
+
+class TestMailboxEdgeCases:
+    def test_stop_pump_idempotent(self):
+        from repro.runtime.executor import Mailbox
+
+        box = Mailbox("m")
+        box.start_pump()
+        box.stop_pump()
+        box.stop_pump()  # no-op
+
+    def test_multithreaded_posts_all_processed(self):
+        import threading
+
+        from repro.runtime.executor import Mailbox
+
+        box = Mailbox("m")
+        box.start_pump()
+        done = threading.Barrier(5)
+        results = []
+        lock = threading.Lock()
+
+        def worker(worker_id):
+            done.wait()
+            for i in range(20):
+                box.post(lambda w=worker_id, i=i: (
+                    lock.__enter__(), results.append((w, i)),
+                    lock.__exit__(None, None, None),
+                ))
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # wait for drain
+        import time
+
+        deadline = time.time() + 5
+        while box.pending and time.time() < deadline:
+            time.sleep(0.01)
+        box.stop_pump()
+        assert len(results) == 100
+        # per-worker FIFO preserved
+        for worker_id in range(5):
+            sequence = [i for w, i in results if w == worker_id]
+            assert sequence == sorted(sequence)

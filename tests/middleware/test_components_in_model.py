@@ -1,0 +1,92 @@
+"""Tests for generic ComponentDefs realized through the loader."""
+
+import pytest
+
+from repro.middleware.loader import DomainKnowledge, LoaderError, load_platform
+from repro.middleware.model import MiddlewareModelBuilder
+from repro.modeling.meta import Metamodel
+from repro.runtime.component import Component
+from repro.runtime.registry import TypeRegistry
+
+
+@pytest.fixture
+def dsml() -> Metamodel:
+    mm = Metamodel("compml")
+    thing = mm.new_class("Thing")
+    thing.attribute("name", "string", required=True)
+    return mm.resolve()
+
+
+class MonitorComponent(Component):
+    """A generic monitoring component parameterized from the model."""
+
+    def on_configure(self):
+        self.interval = float(self.metadata.get("interval", 1.0))
+        self.label = self.metadata.get("label", "")
+        self.started_count = 0
+
+    def on_start(self):
+        self.started_count += 1
+
+
+def model_with_components():
+    builder = MiddlewareModelBuilder("mw", "comp")
+    builder.ui_layer()
+    builder.synthesis_layer()
+    controller = builder.controller_layer()
+    controller.component(
+        "latency-monitor", "monitor",
+        parameters={"interval": 0.5, "label": "lat-${domain}"},
+    )
+    broker = builder.broker_layer()
+    broker.component("health-monitor", "monitor",
+                     wires={"peer": "latency-monitor"})
+    return builder.build()
+
+
+class TestComponentRealization:
+    def test_components_created_configured_started(self, dsml):
+        types = TypeRegistry()
+        types.register("monitor", MonitorComponent)
+        platform = load_platform(
+            model_with_components(),
+            DomainKnowledge(dsml=dsml, component_types=types),
+        )
+        monitor = platform.components.lookup("latency-monitor")
+        assert isinstance(monitor, MonitorComponent)
+        assert monitor.interval == 0.5
+        assert monitor.label == "lat-comp"  # template rendered w/ context
+        assert monitor.running
+        health = platform.components.lookup("health-monitor")
+        assert health.port("peer") is monitor
+        platform.stop()
+        assert not monitor.running
+
+    def test_restart_cycles_components(self, dsml):
+        types = TypeRegistry()
+        types.register("monitor", MonitorComponent)
+        platform = load_platform(
+            model_with_components(),
+            DomainKnowledge(dsml=dsml, component_types=types),
+        )
+        monitor = platform.components.lookup("latency-monitor")
+        platform.stop()
+        platform.start()
+        assert monitor.started_count == 2
+        platform.stop()
+
+    def test_missing_type_registry_rejected(self, dsml):
+        with pytest.raises(LoaderError, match="component_types"):
+            load_platform(
+                model_with_components(), DomainKnowledge(dsml=dsml)
+            )
+
+    def test_model_without_components_needs_no_registry(self, dsml):
+        builder = MiddlewareModelBuilder("mw", "comp")
+        builder.ui_layer()
+        builder.synthesis_layer()
+        builder.controller_layer()
+        builder.broker_layer()
+        platform = load_platform(builder.build(), DomainKnowledge(dsml=dsml))
+        assert len(platform.components) == 0
+        platform.stop()

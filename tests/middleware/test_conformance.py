@@ -1,0 +1,286 @@
+"""Tests for the DSML <-> middleware conformance checker."""
+
+import pytest
+
+from repro.middleware.conformance import check_conformance
+from repro.middleware.model import MiddlewareModelBuilder
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+
+
+@pytest.fixture
+def dsml() -> Metamodel:
+    mm = Metamodel("checkml")
+    widget = mm.new_class("Widget")
+    widget.attribute("name", "string", required=True)
+    widget.attribute("size", "int", default=1)
+    widget.attribute("tags", "string", many=True)
+    return mm.resolve()
+
+
+def complete_model() -> Model:
+    builder = MiddlewareModelBuilder("mw", "check")
+    builder.ui_layer()
+    builder.synthesis_layer().rule(
+        "Widget",
+        states={"live": False},
+        transitions=[
+            {"source": "initial", "label": "add", "target": "live",
+             "commands": [{"operation": "w.make",
+                           "args_expr": {"id": "obj.id"}}]},
+            {"source": "live", "label": "set:size", "target": "live",
+             "commands": [{"operation": "w.resize",
+                           "args_expr": {"id": "object_id", "n": "new"}}]},
+            {"source": "live", "label": "list:tags", "target": "live",
+             "commands": []},
+            {"source": "live", "label": "remove", "target": "initial",
+             "commands": [{"operation": "w.drop",
+                           "args_expr": {"id": "object_id"}}]},
+        ],
+    )
+    controller = builder.controller_layer()
+    controller.dsc("w")
+    controller.dsc("w.make", parent="w")
+    controller.action("a-make", "w.make", [{"api": "hw.make"}])
+    controller.action("a-resize", "w.resize", [{"api": "hw.resize"}])
+    controller.action("a-drop", "w.drop", [{"api": "hw.drop"}])
+    controller.procedure(
+        "p-make", "w.make",
+        units={"main": [("BROKER", {"api": "hw.make"}), ("RETURN", {})]},
+    )
+    controller.map_operation("w.make", "w.make")
+    broker = builder.broker_layer()
+    broker.requires_resource("hw0")
+    broker.action("b-make", "hw.make",
+                  [{"resource": "hw0", "operation": "make"}])
+    broker.action("b-resize", "hw.resize",
+                  [{"resource": "hw0", "operation": "resize"}])
+    broker.action("b-drop", "hw.drop",
+                  [{"resource": "hw0", "operation": "drop"}])
+    return builder.build()
+
+
+class TestCleanModel:
+    def test_complete_model_passes(self, dsml):
+        report = check_conformance(complete_model(), dsml)
+        assert report.ok, report.render()
+        assert report.warnings == []
+
+    def test_known_resources_satisfied(self, dsml):
+        report = check_conformance(
+            complete_model(), dsml, known_resources={"hw0"}
+        )
+        assert report.ok
+
+    def test_render(self, dsml):
+        assert "OK" in check_conformance(complete_model(), dsml).render()
+
+
+class TestCoverage:
+    def test_missing_rule_for_class(self, dsml):
+        model = complete_model()
+        synthesis = model.objects_by_class("SynthesisLayerDef")[0]
+        synthesis.rules.clear()
+        report = check_conformance(model, dsml)
+        assert any(
+            i.area == "coverage" and i.subject == "Widget"
+            for i in report.errors
+        )
+
+    def test_missing_add_transition(self, dsml):
+        model = complete_model()
+        rule = model.objects_by_class("RuleDef")[0]
+        for transition in list(rule.transitions):
+            if transition.label == "add":
+                rule.transitions.remove(transition)
+        report = check_conformance(model, dsml)
+        assert any("'add'" in i.message for i in report.errors)
+
+    def test_missing_attribute_transition_is_warning(self, dsml):
+        model = complete_model()
+        rule = model.objects_by_class("RuleDef")[0]
+        for transition in list(rule.transitions):
+            if transition.label == "set:size":
+                rule.transitions.remove(transition)
+        report = check_conformance(model, dsml)
+        assert report.ok  # warning, not error
+        assert any(
+            i.subject == "Widget.size" for i in report.warnings
+        )
+
+    def test_rule_for_unknown_class_is_warning(self, dsml):
+        builder_model = complete_model()
+        synthesis = builder_model.objects_by_class("SynthesisLayerDef")[0]
+        ghost = builder_model.create("RuleDef", className="Ghost")
+        synthesis.rules.append(ghost)
+        report = check_conformance(builder_model, dsml)
+        assert any(i.subject == "Ghost" for i in report.warnings)
+
+
+class TestOperationClosure:
+    def test_unserved_operation(self, dsml):
+        model = complete_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        for action in list(controller.actions):
+            if action.name == "a-resize":
+                controller.actions.remove(action)
+        report = check_conformance(model, dsml)
+        assert any(
+            i.area == "operations" and i.subject == "w.resize"
+            for i in report.errors
+        )
+
+    def test_case2_serves_without_action(self, dsml):
+        # remove the make action: the procedure + classifier map serve it
+        model = complete_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        for action in list(controller.actions):
+            if action.name == "a-make":
+                controller.actions.remove(action)
+        report = check_conformance(model, dsml)
+        assert not any(i.subject == "w.make" for i in report.errors)
+
+    def test_suppressed_controller_with_operations(self, dsml):
+        model = complete_model()
+        model.roots[0].controller.enabled = False
+        model.roots[0].unset("controller")
+        report = check_conformance(model, dsml)
+        # advisory: operations must be served by a remote controller
+        assert any(i.area == "operations" for i in report.warnings)
+        assert not any(i.area == "operations" for i in report.errors)
+
+
+class TestApiClosure:
+    def test_unserved_api(self, dsml):
+        model = complete_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        for action in list(broker.actions):
+            if action.name == "b-resize":
+                broker.actions.remove(action)
+        report = check_conformance(model, dsml)
+        assert any(
+            i.area == "apis" and i.subject == "hw.resize"
+            for i in report.errors
+        )
+
+    def test_procedure_broker_instructions_counted(self, dsml):
+        model = complete_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        for action in list(broker.actions):
+            if action.name == "b-make":
+                broker.actions.remove(action)
+        report = check_conformance(model, dsml)
+        assert any(i.subject == "hw.make" for i in report.errors)
+
+    def test_wildcard_pattern_serves(self, dsml):
+        model = complete_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        for action in list(broker.actions):
+            broker.actions.remove(action)
+        catch_all = model.create(
+            "BrokerActionDef", name="catch", pattern="hw.*"
+        )
+        broker.actions.append(catch_all)
+        report = check_conformance(model, dsml)
+        assert not report.by_area("apis")
+
+
+class TestResourceClosure:
+    def test_undeclared_resource_warning(self, dsml):
+        model = complete_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        broker.requiredResources.clear()
+        report = check_conformance(model, dsml)
+        assert any(
+            i.area == "resources" and i.subject == "hw0"
+            for i in report.warnings
+        )
+
+    def test_unprovided_resource_error(self, dsml):
+        report = check_conformance(
+            complete_model(), dsml, known_resources={"other"}
+        )
+        assert any(
+            i.area == "resources" and i.severity == "error"
+            for i in report.issues
+        )
+
+
+class TestReferenceClosure:
+    def test_dangling_dsc_parent(self, dsml):
+        model = complete_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        bad = model.create("DSCDef", name="stray", parent="nothing")
+        controller.classifiers.append(bad)
+        report = check_conformance(model, dsml)
+        assert any(i.subject == "stray" for i in report.errors)
+
+    def test_procedure_with_undefined_classifier(self, dsml):
+        model = complete_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        bad = model.create("ProcedureDef", name="lost", classifier="ghost")
+        controller.procedures.append(bad)
+        report = check_conformance(model, dsml)
+        assert any(i.subject == "lost" for i in report.errors)
+
+    def test_event_binding_to_missing_action(self, dsml):
+        model = complete_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        binding = model.create(
+            "EventBindingDef", topicPattern="resource.*", action="ghost"
+        )
+        broker.eventBindings.append(binding)
+        report = check_conformance(model, dsml)
+        assert any("ghost" in i.message for i in report.errors)
+
+
+class TestGuards:
+    def test_wrong_model_type_rejected(self, dsml):
+        with pytest.raises(ValueError):
+            check_conformance(Model(dsml, name="x"), dsml)
+
+
+class TestShippedDomains:
+    """Every shipped domain's middleware model conforms to its DSML."""
+
+    def test_cvm(self):
+        from repro.domains.communication.cml import cml_metamodel
+        from repro.domains.communication.cvm import build_middleware_model
+
+        report = check_conformance(
+            build_middleware_model(), cml_metamodel(),
+            known_resources={"net0"},
+        )
+        assert report.ok, report.render()
+
+    def test_mgridvm(self):
+        from repro.domains.microgrid.mgridml import mgridml_metamodel
+        from repro.domains.microgrid.mgridvm import build_middleware_model
+
+        report = check_conformance(
+            build_middleware_model(), mgridml_metamodel(),
+            known_resources={"plant0"},
+        )
+        assert report.ok, report.render()
+
+    def test_csvm(self):
+        from repro.domains.crowdsensing.csml import csml_metamodel
+        from repro.domains.crowdsensing.csvm import build_middleware_model
+
+        report = check_conformance(
+            build_middleware_model(), csml_metamodel(),
+            known_resources={"fleet0"},
+        )
+        assert report.ok, report.render()
+
+    def test_2svm_object_node(self):
+        from repro.domains.smartspace.ssml import ssml_metamodel
+        from repro.domains.smartspace.ssvm import build_object_node_model
+
+        report = check_conformance(
+            build_object_node_model(), ssml_metamodel(),
+            known_resources={"space0"},
+        )
+        # the object node has no synthesis layer: rule coverage is
+        # advisory there, and operations arrive as remote scripts
+        assert report.ok, report.render()

@@ -1,0 +1,146 @@
+"""Unit tests for the Controller layer façade."""
+
+import pytest
+
+from repro.middleware.controller.handlers import Action
+from repro.middleware.controller.layer import ControllerLayer
+from repro.middleware.controller.procedure import Procedure
+from repro.middleware.synthesis.scripts import Command, ControlScript
+from repro.runtime.events import Event
+
+
+class FakeBroker:
+    def __init__(self):
+        self.calls = []
+
+    def call_api(self, api, **args):
+        self.calls.append((api, args))
+        if api == "fail.api":
+            raise RuntimeError("backend down")
+        return api
+
+
+@pytest.fixture
+def broker():
+    return FakeBroker()
+
+
+@pytest.fixture
+def controller(broker) -> ControllerLayer:
+    layer = ControllerLayer("ctl")
+    layer.taxonomy.define("op")
+    layer.taxonomy.define("op.deep", parent="op")
+    deep = Procedure("deep", "op.deep")
+    deep.main.add("BROKER", api="deep.api", args_expr={"v": "v"})
+    deep.main.add("RETURN", value="deep-done")
+    layer.repository.add(deep)
+    layer.map_operation("do.deep", "op.deep")
+    layer.configure({})
+    layer.wire("broker", broker)
+    layer.start()
+    layer.install_action(
+        Action(name="fast", pattern="do.fast",
+               implementation=[{"api": "fast.api", "args_expr": {"v": "v"}}])
+    )
+    layer.install_action(
+        Action(name="broken", pattern="do.broken",
+               implementation=[{"api": "fail.api"}])
+    )
+    return layer
+
+
+class TestCommandExecution:
+    def test_case1_action_path(self, controller, broker):
+        outcome = controller.execute_command(Command("do.fast", args={"v": 1}))
+        assert outcome.ok and outcome.case == "actions"
+        assert broker.calls == [("fast.api", {"v": 1})]
+
+    def test_case2_intent_path(self, controller, broker):
+        outcome = controller.execute_command(Command("do.deep", args={"v": 2}))
+        assert outcome.ok and outcome.case == "intent"
+        assert outcome.result.value == "deep-done"
+        assert broker.calls == [("deep.api", {"v": 2})]
+
+    def test_guard_skips_command(self, controller, broker):
+        outcome = controller.execute_command(
+            Command("do.fast", args={"v": 1}, guard="v > 10")
+        )
+        assert outcome.case == "skipped"
+        assert outcome.ok
+        assert broker.calls == []
+
+    def test_guard_allows_command(self, controller, broker):
+        controller.execute_command(
+            Command("do.fast", args={"v": 11}, guard="v > 10")
+        )
+        assert len(broker.calls) == 1
+
+    def test_failed_action_reported(self, controller):
+        failures = []
+        controller.events.on("controller.command_failed",
+                             lambda t, p: failures.append(p))
+        script = ControlScript()
+        script.add(Command("do.broken"))
+        outcome = controller.submit_script(script)
+        assert not outcome.ok
+        assert len(outcome.failures()) == 1
+        assert failures and "backend down" in failures[0]["error"]
+
+    def test_requires_running(self, broker):
+        layer = ControllerLayer("x").configure({})
+        layer.wire("broker", broker)
+        with pytest.raises(Exception):
+            layer.execute_command(Command("op"))
+
+
+class TestScripts:
+    def test_script_executes_in_order(self, controller, broker):
+        script = ControlScript(name="s")
+        script.add(Command("do.fast", args={"v": 1}))
+        script.add(Command("do.deep", args={"v": 2}))
+        outcome = controller.submit_script(script)
+        assert outcome.ok
+        assert [c[0] for c in broker.calls] == ["fast.api", "deep.api"]
+        assert controller.scripts_executed == 1
+        assert controller.commands_executed == 2
+
+    def test_broker_trace(self, controller):
+        script = ControlScript()
+        script.add(Command("do.fast", args={"v": 9}))
+        outcome = controller.submit_script(script)
+        assert outcome.broker_trace() == ["fast.api(v=9)"]
+
+
+class TestSignals:
+    def test_event_signal_routed_to_event_handler(self, controller):
+        seen = []
+        controller.events.on("resource.*", lambda t, p: seen.append(t))
+        controller.receive_signal(
+            Event(topic="resource.net0.failed", payload={"session": "s1"})
+        )
+        assert seen == ["resource.net0.failed"]
+
+    def test_call_signal_with_script(self, controller, broker):
+        from repro.runtime.events import Call
+
+        script = ControlScript()
+        script.add(Command("do.fast", args={"v": 3}))
+        controller.receive_signal(Call(topic="script", payload={"script": script}))
+        assert broker.calls == [("fast.api", {"v": 3})]
+
+
+class TestContextPropagation:
+    def test_context_change_reaches_stack_machine(self, controller, broker):
+        check = Procedure("check", "op")
+        check.main.add("RETURN", expr="env_flag")
+        controller.repository.add(check)
+        controller.map_operation("do.check", "op")
+        controller.context.set("env_flag", "ready")
+        outcome = controller.execute_command(Command("do.check"))
+        assert outcome.result.value == "ready"
+
+    def test_stats(self, controller):
+        controller.execute_command(Command("do.fast", args={"v": 1}))
+        stats = controller.stats()
+        assert stats["commands_executed"] == 1
+        assert stats["actions_executed"] == 1

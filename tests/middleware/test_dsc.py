@@ -1,0 +1,97 @@
+"""Unit tests for Domain-Specific Classifiers."""
+
+import pytest
+
+from repro.middleware.controller.dsc import DSC, DSCError, DSCTaxonomy
+
+
+@pytest.fixture
+def taxonomy() -> DSCTaxonomy:
+    t = DSCTaxonomy("comm")
+    t.define("comm")
+    t.define("comm.stream", parent="comm")
+    t.define("comm.stream.video", parent="comm.stream",
+             constraints={"medium": "video"})
+    t.define("comm.session", parent="comm")
+    t.define("media", kind=DSC.DATA)
+    return t
+
+
+class TestDSC:
+    def test_is_a_walks_ancestors(self, taxonomy):
+        video = taxonomy.require("comm.stream.video")
+        assert video.is_a("comm.stream")
+        assert video.is_a("comm")
+        assert video.is_a(video)
+        assert not video.is_a("comm.session")
+
+    def test_kind_validation(self):
+        with pytest.raises(DSCError):
+            DSC("x", kind="weird")
+
+    def test_kind_must_match_parent(self):
+        op = DSC("op")
+        with pytest.raises(DSCError, match="kind"):
+            DSC("data-child", kind=DSC.DATA, parent=op)
+
+    def test_constraints_accumulate(self, taxonomy):
+        video = taxonomy.require("comm.stream.video")
+        assert video.satisfied_by({"medium": "video"})
+        assert not video.satisfied_by({"medium": "audio"})
+        assert not video.satisfied_by({})
+
+    def test_parent_constraints_apply(self):
+        t = DSCTaxonomy("x")
+        t.define("base", constraints={"tier": "gold"})
+        t.define("child", parent="base", constraints={"fast": True})
+        child = t.require("child")
+        assert child.satisfied_by({"tier": "gold", "fast": True})
+        assert not child.satisfied_by({"fast": True})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(DSCError):
+            DSC("")
+
+
+class TestTaxonomy:
+    def test_duplicate_rejected(self, taxonomy):
+        with pytest.raises(DSCError, match="duplicate"):
+            taxonomy.define("comm")
+
+    def test_parent_must_exist(self, taxonomy):
+        with pytest.raises(DSCError):
+            taxonomy.define("orphan", parent="nothing")
+
+    def test_matches(self, taxonomy):
+        assert taxonomy.matches("comm.stream.video", "comm.stream")
+        assert taxonomy.matches("comm.stream", "comm.stream")
+        assert not taxonomy.matches("comm.session", "comm.stream")
+        assert not taxonomy.matches("ghost", "comm")
+
+    def test_descendants_of(self, taxonomy):
+        names = {d.name for d in taxonomy.descendants_of("comm.stream")}
+        assert names == {"comm.stream", "comm.stream.video"}
+
+    def test_kind_partitions(self, taxonomy):
+        assert {d.name for d in taxonomy.data()} == {"media"}
+        assert "comm" in {d.name for d in taxonomy.operations()}
+
+    def test_roots(self, taxonomy):
+        assert {d.name for d in taxonomy.roots()} == {"comm", "media"}
+
+    def test_merge_disjoint(self, taxonomy):
+        other = DSCTaxonomy("grid")
+        other.define("grid")
+        merged = taxonomy.merge(other)
+        assert "comm" in merged and "grid" in merged
+        assert len(merged) == len(taxonomy) + 1
+
+    def test_merge_conflict(self, taxonomy):
+        other = DSCTaxonomy("x")
+        other.define("comm")
+        with pytest.raises(DSCError, match="conflict"):
+            taxonomy.merge(other)
+
+    def test_require_unknown(self, taxonomy):
+        with pytest.raises(DSCError, match="no classifier"):
+            taxonomy.require("nope")

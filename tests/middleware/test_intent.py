@@ -1,0 +1,213 @@
+"""Unit tests for Intent Model generation, validation and selection."""
+
+import pytest
+
+from repro.middleware.controller.dsc import DSCTaxonomy
+from repro.middleware.controller.intent import IntentError, IntentModelGenerator
+from repro.middleware.controller.policy import ContextStore, Policy, PolicyEngine
+from repro.middleware.controller.procedure import Procedure, ProcedureRepository
+
+
+def make_world():
+    taxonomy = DSCTaxonomy("t")
+    taxonomy.define("root_op")
+    taxonomy.define("dep_a")
+    taxonomy.define("dep_b")
+    repository = ProcedureRepository(taxonomy)
+    policies = PolicyEngine(ContextStore({"mode": "normal"}))
+    policies.add(
+        Policy(name="score", weights={"cost": -1.0, "reliability": 10.0})
+    )
+    return taxonomy, repository, policies
+
+
+class TestGeneration:
+    def test_leaf_procedure(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        im = gen.generate("root_op")
+        assert im.size() == 1
+        assert im.signature() == ("leaf",)
+        assert not im.from_cache
+
+    def test_dependency_tree(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("main", "root_op", dependencies=["dep_a", "dep_b"]))
+        repo.add(Procedure("a", "dep_a"))
+        repo.add(Procedure("b", "dep_b"))
+        gen = IntentModelGenerator(repo, pol)
+        im = gen.generate("root_op")
+        assert im.size() == 3
+        assert im.depth() == 2
+        assert im.root.resolve("dep_a").procedure.name == "a"
+        assert im.root.resolve("dep_b").procedure.name == "b"
+
+    def test_no_candidate_raises(self):
+        _t, repo, pol = make_world()
+        gen = IntentModelGenerator(repo, pol)
+        with pytest.raises(IntentError, match="no valid Intent Model"):
+            gen.generate("root_op")
+        assert gen.stats.failures == 1
+
+    def test_unresolvable_dependency_raises(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("main", "root_op", dependencies=["dep_a"]))
+        gen = IntentModelGenerator(repo, pol)
+        with pytest.raises(IntentError):
+            gen.generate("root_op")
+
+    def test_cycle_avoidance(self):
+        taxonomy = DSCTaxonomy("t")
+        taxonomy.define("x")
+        taxonomy.define("y")
+        repository = ProcedureRepository(taxonomy)
+        # x depends on y; y's only candidate depends on x again.
+        repository.add(Procedure("px", "x", dependencies=["y"]))
+        repository.add(Procedure("py", "y", dependencies=["x"]))
+        pol = PolicyEngine()
+        gen = IntentModelGenerator(repository, pol)
+        with pytest.raises(IntentError):
+            gen.generate("x")
+
+    def test_cycle_avoided_via_alternative(self):
+        taxonomy = DSCTaxonomy("t")
+        taxonomy.define("x")
+        taxonomy.define("y")
+        repository = ProcedureRepository(taxonomy)
+        repository.add(Procedure("px", "x", dependencies=["y"]))
+        repository.add(Procedure("py_cyclic", "y", dependencies=["x"],
+                                 attributes={"reliability": 1.0}))
+        repository.add(Procedure("py_leaf", "y",
+                                 attributes={"reliability": 0.5}))
+        pol = PolicyEngine()
+        pol.add(Policy(name="s", weights={"reliability": 1.0}))
+        gen = IntentModelGenerator(repository, pol, max_configurations=8)
+        im = gen.generate("x")
+        # the cyclic candidate is skipped; the leaf resolves
+        assert im.root.resolve("y").procedure.name == "py_leaf"
+
+    def test_depth_bound(self):
+        taxonomy = DSCTaxonomy("t")
+        for i in range(25):
+            taxonomy.define(f"lvl{i}")
+        repository = ProcedureRepository(taxonomy)
+        for i in range(24):
+            repository.add(
+                Procedure(f"p{i}", f"lvl{i}", dependencies=[f"lvl{i + 1}"])
+            )
+        repository.add(Procedure("p24", "lvl24"))
+        gen = IntentModelGenerator(repository, PolicyEngine(), max_depth=5)
+        with pytest.raises(IntentError):
+            gen.generate("lvl0")
+
+
+class TestSelection:
+    def test_policy_scoring_picks_best(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("cheap", "root_op",
+                           attributes={"cost": 1.0, "reliability": 0.5}))
+        repo.add(Procedure("reliable", "root_op",
+                           attributes={"cost": 3.0, "reliability": 0.99}))
+        gen = IntentModelGenerator(repo, pol)
+        im = gen.generate("root_op")
+        # reliability weight (10) dominates the cost penalty
+        assert im.signature() == ("reliable",)
+
+    def test_selection_flips_with_weights(self):
+        _t, repo, _ = make_world()
+        repo.add(Procedure("cheap", "root_op",
+                           attributes={"cost": 1.0, "reliability": 0.5}))
+        repo.add(Procedure("reliable", "root_op",
+                           attributes={"cost": 3.0, "reliability": 0.99}))
+        pol = PolicyEngine()
+        pol.add(Policy(name="cost-only", weights={"cost": -1.0}))
+        gen = IntentModelGenerator(repo, pol)
+        assert gen.generate("root_op").signature() == ("cheap",)
+
+    def test_configurations_examined_bounded(self):
+        _t, repo, pol = make_world()
+        for i in range(10):
+            repo.add(Procedure(f"v{i}", "root_op", attributes={"cost": i}))
+        gen = IntentModelGenerator(repo, pol, max_configurations=3)
+        im = gen.generate("root_op")
+        assert im.configurations_examined == 3
+
+
+class TestCaching:
+    def test_cache_hit_on_repeat(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        first = gen.generate("root_op")
+        second = gen.generate("root_op")
+        assert not first.from_cache and second.from_cache
+        assert gen.stats.cache_hits == 1
+        assert gen.stats.generated == 1
+
+    def test_repository_change_invalidates(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        gen.generate("root_op")
+        repo.add(Procedure("leaf2", "root_op"))
+        again = gen.generate("root_op")
+        assert not again.from_cache
+
+    def test_relevant_context_change_invalidates(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        gen.generate("root_op")
+        pol.context.set("mode", "eco")  # 'mode' appears in no condition
+        # 'score' policy condition is True -> no relevant keys -> hit
+        hit = gen.generate("root_op")
+        assert hit.from_cache
+
+    def test_condition_key_change_invalidates(self):
+        _t, repo, pol = make_world()
+        pol.add(Policy(name="ctx", condition="mode == 'eco'",
+                       weights={"cost": -5.0}))
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        gen.generate("root_op")
+        pol.context.set("mode", "eco")
+        miss = gen.generate("root_op")
+        assert not miss.from_cache
+
+    def test_use_cache_false_bypasses(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        gen.generate("root_op", use_cache=False)
+        again = gen.generate("root_op", use_cache=False)
+        assert not again.from_cache
+        assert gen.cache_entries == 0
+
+    def test_lru_eviction(self):
+        taxonomy = DSCTaxonomy("t")
+        repository = ProcedureRepository(taxonomy)
+        for i in range(5):
+            taxonomy.define(f"op{i}")
+            repository.add(Procedure(f"p{i}", f"op{i}"))
+        gen = IntentModelGenerator(repository, PolicyEngine(), cache_size=2)
+        for i in range(5):
+            gen.generate(f"op{i}")
+        assert gen.cache_entries == 2
+
+    def test_invalidate(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        gen.generate("root_op")
+        gen.invalidate()
+        assert gen.cache_entries == 0
+        assert not gen.generate("root_op").from_cache
+
+    def test_hit_rate(self):
+        _t, repo, pol = make_world()
+        repo.add(Procedure("leaf", "root_op"))
+        gen = IntentModelGenerator(repo, pol)
+        for _ in range(10):
+            gen.generate("root_op")
+        assert gen.stats.hit_rate == pytest.approx(0.9)

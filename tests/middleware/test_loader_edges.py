@@ -1,0 +1,212 @@
+"""Edge-case tests for the platform loader and reflection surface."""
+
+import pytest
+
+from repro.middleware.broker.actions import BrokerAction
+from repro.middleware.controller.handlers import Action
+from repro.middleware.loader import DomainKnowledge, LoaderError, load_platform
+from repro.middleware.metamodel import dumps_json_attr
+from repro.middleware.model import MiddlewareModelBuilder
+from repro.middleware.platform import PlatformError
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+
+
+@pytest.fixture
+def dsml() -> Metamodel:
+    mm = Metamodel("edgeml")
+    thing = mm.new_class("Thing")
+    thing.attribute("name", "string", required=True)
+    return mm.resolve()
+
+
+def minimal_model(**kwargs) -> Model:
+    builder = MiddlewareModelBuilder("edge-mw", "edge")
+    builder.ui_layer()
+    builder.synthesis_layer()
+    builder.controller_layer()
+    builder.broker_layer()
+    return builder.build()
+
+
+class TestLoaderErrors:
+    def test_unresolvable_dsc_parent(self, dsml):
+        model = minimal_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        controller.classifiers.append(
+            model.create("DSCDef", name="orphan", parent="ghost")
+        )
+        with pytest.raises(LoaderError, match="unresolvable DSC parents"):
+            load_platform(model, DomainKnowledge(dsml=dsml))
+
+    def test_event_binding_to_unknown_action(self, dsml):
+        model = minimal_model()
+        broker = model.objects_by_class("BrokerLayerDef")[0]
+        broker.eventBindings.append(
+            model.create("EventBindingDef", topicPattern="resource.*",
+                         action="ghost")
+        )
+        with pytest.raises(LoaderError, match="unknown"):
+            load_platform(model, DomainKnowledge(dsml=dsml))
+
+    def test_empty_model_rejected(self, dsml):
+        from repro.middleware.metamodel import middleware_metamodel
+
+        with pytest.raises(LoaderError, match="no root"):
+            load_platform(
+                Model(middleware_metamodel(), name="empty"),
+                DomainKnowledge(dsml=dsml),
+            )
+
+    def test_forward_declared_dsc_parents_resolve(self, dsml):
+        # child declared before parent: the loader's two-pass handles it
+        model = minimal_model()
+        controller = model.objects_by_class("ControllerLayerDef")[0]
+        controller.classifiers.append(
+            model.create("DSCDef", name="child", parent="base")
+        )
+        controller.classifiers.append(model.create("DSCDef", name="base"))
+        platform = load_platform(model, DomainKnowledge(dsml=dsml))
+        assert platform.controller.taxonomy.matches("child", "base")
+        platform.stop()
+
+
+class TestDskCallableInstallation:
+    def test_python_actions_from_dsk(self, dsml):
+        hits = []
+        controller_action = Action(
+            name="py-act", pattern="do.it",
+            implementation=lambda cmd, broker, ctx: broker.call_api(
+                "hw.go", n=cmd.args["n"]
+            ),
+        )
+        broker_action = BrokerAction(
+            name="py-broker", pattern="hw.go",
+            implementation=lambda ctx: hits.append(ctx.args["n"]),
+        )
+        platform = load_platform(
+            minimal_model(),
+            DomainKnowledge(
+                dsml=dsml,
+                controller_actions=[controller_action],
+                broker_actions=[broker_action],
+            ),
+        )
+        from repro.middleware.synthesis.scripts import Command
+
+        outcome = platform.controller.execute_command(
+            Command("do.it", args={"n": 7})
+        )
+        assert outcome.ok
+        assert hits == [7]
+        platform.stop()
+
+    def test_event_hooks_installed(self, dsml):
+        seen = []
+        platform = load_platform(
+            minimal_model(),
+            DomainKnowledge(
+                dsml=dsml,
+                event_hooks=[("controller.*", lambda t, p: seen.append(t))],
+            ),
+        )
+        platform.synthesis.handle_event("controller.custom", {})
+        assert seen == ["controller.custom"]
+        platform.stop()
+
+    def test_negotiator_installed(self, dsml):
+        def negotiator(model):
+            model.name = "negotiated"
+            return model
+
+        platform = load_platform(
+            minimal_model(), DomainKnowledge(dsml=dsml, negotiator=negotiator)
+        )
+        result = platform.run_model(Model(dsml, name="raw"))
+        assert result.accepted_model.name == "negotiated"
+        platform.stop()
+
+
+class TestReflectionAdditions:
+    @pytest.fixture
+    def platform(self, dsml):
+        from repro.middleware.broker.resource import CallableResource
+
+        platform = load_platform(
+            minimal_model(),
+            DomainKnowledge(
+                dsml=dsml,
+                resources=[CallableResource(
+                    "hw", {"poke": lambda: "poked"}
+                )],
+            ),
+        )
+        yield platform
+        platform.stop()
+
+    def test_add_broker_action(self, platform):
+        edited = platform.reflect()
+        broker_def = edited.objects_by_class("BrokerLayerDef")[0]
+        action = edited.create(
+            "BrokerActionDef", name="rt-action", pattern="hw.poke"
+        )
+        step = edited.create("StepDef", resource="hw", operation="poke")
+        action.steps.append(step)
+        broker_def.actions.append(action)
+        applied = platform.apply_reflection(edited)
+        assert applied == ["added BrokerActionDef rt-action"]
+        assert platform.broker.call_api("hw.poke") == "poked"
+
+    def test_add_symptom_and_plan(self, platform):
+        edited = platform.reflect()
+        broker_def = edited.objects_by_class("BrokerLayerDef")[0]
+        broker_def.symptoms.append(
+            edited.create("SymptomDef", name="rt-symptom",
+                          condition="load > 1", requestKind="cool")
+        )
+        plan = edited.create("ChangePlanDef", name="rt-plan",
+                             requestKind="cool")
+        plan.steps.append(
+            edited.create("StepDef", setKey="cooled", expr="True")
+        )
+        broker_def.plans.append(plan)
+        applied = platform.apply_reflection(edited)
+        assert sorted(applied) == [
+            "added ChangePlanDef rt-plan", "added SymptomDef rt-symptom",
+        ]
+        platform.broker.state.set("load", 2)
+        assert platform.broker.state.get("cooled") is True
+
+    def test_add_dsc_at_runtime(self, platform):
+        edited = platform.reflect()
+        controller_def = edited.objects_by_class("ControllerLayerDef")[0]
+        controller_def.classifiers.append(
+            edited.create("DSCDef", name="rt.dsc")
+        )
+        platform.apply_reflection(edited)
+        assert "rt.dsc" in platform.controller.taxonomy
+
+    def test_removal_rejected(self, platform):
+        edited = platform.reflect()
+        controller_def = edited.objects_by_class("ControllerLayerDef")[0]
+        controller_def.classifiers.append(
+            edited.create("DSCDef", name="temp")
+        )
+        platform.apply_reflection(edited)
+        # now attempt to remove it reflectively
+        shrunk = platform.reflect()
+        controller_def = shrunk.objects_by_class("ControllerLayerDef")[0]
+        for dsc in list(controller_def.classifiers):
+            if dsc.name == "temp":
+                controller_def.classifiers.remove(dsc)
+        with pytest.raises(PlatformError, match="unsupported"):
+            platform.apply_reflection(shrunk)
+
+    def test_reflection_of_unsupported_class(self, platform):
+        edited = platform.reflect()
+        synthesis_def = edited.objects_by_class("SynthesisLayerDef")[0]
+        synthesis_def.rules.append(
+            edited.create("RuleDef", className="Thing")
+        )
+        with pytest.raises(PlatformError, match="unsupported"):
+            platform.apply_reflection(edited)

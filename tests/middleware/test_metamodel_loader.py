@@ -1,0 +1,251 @@
+"""Unit tests for the middleware metamodel, builder, loader and platform."""
+
+import pytest
+
+from repro.middleware.broker.resource import CallableResource
+from repro.middleware.loader import DomainKnowledge, LoaderError, load_platform
+from repro.middleware.metamodel import (
+    dumps_json_attr,
+    loads_json_attr,
+    middleware_metamodel,
+)
+from repro.middleware.model import MiddlewareModelBuilder
+from repro.middleware.platform import PlatformError
+from repro.modeling.constraints import validate_model
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import model_from_json, model_to_json
+
+
+@pytest.fixture
+def dsml() -> Metamodel:
+    mm = Metamodel("tinyml")
+    thing = mm.new_class("Thing")
+    thing.attribute("name", "string", required=True)
+    thing.attribute("level", "int", default=0)
+    return mm.resolve()
+
+
+def tiny_middleware_model() -> Model:
+    builder = MiddlewareModelBuilder("tiny-mw", "tiny")
+    builder.ui_layer()
+    builder.synthesis_layer().rule(
+        "Thing",
+        states={"live": False},
+        transitions=[
+            {"source": "initial", "label": "add", "target": "live",
+             "commands": [{"operation": "thing.make",
+                           "args_expr": {"id": "obj.id", "level": "level"}}]},
+            {"source": "live", "label": "set:level", "target": "live",
+             "commands": [{"operation": "thing.level",
+                           "args_expr": {"id": "object_id", "level": "new"}}]},
+            {"source": "live", "label": "remove", "target": "initial",
+             "commands": [{"operation": "thing.drop",
+                           "args_expr": {"id": "object_id"}}]},
+        ],
+    )
+    controller = builder.controller_layer()
+    controller.dsc("tiny")
+    controller.dsc("tiny.make", parent="tiny")
+    controller.action("a-make", "thing.make",
+                      [{"api": "hw.create", "args_expr": {"id": "id"}},
+                       {"api": "hw.level",
+                        "args_expr": {"id": "id", "level": "level"}}])
+    controller.action("a-level", "thing.level",
+                      [{"api": "hw.level",
+                        "args_expr": {"id": "id", "level": "level"}}])
+    controller.action("a-drop", "thing.drop",
+                      [{"api": "hw.drop", "args_expr": {"id": "id"}}])
+    controller.procedure(
+        "make-proc", "tiny.make",
+        attributes={"cost": 1.0},
+        units={"main": [("BROKER", {"api": "hw.create",
+                                    "args_expr": {"id": "id"}}),
+                        ("RETURN", {})]},
+    )
+    controller.policy("score", weights={"cost": -1.0})
+    broker = builder.broker_layer()
+    broker.requires_resource("hw0")
+    broker.action("b-create", "hw.create",
+                  [{"resource": "hw0", "operation": "create",
+                    "args_expr": {"id": "id"}}])
+    broker.action("b-level", "hw.level",
+                  [{"resource": "hw0", "operation": "level",
+                    "args_expr": {"id": "id", "level": "level"}}])
+    broker.action("b-drop", "hw.drop",
+                  [{"resource": "hw0", "operation": "drop",
+                    "args_expr": {"id": "id"}}])
+    return builder.build()
+
+
+def hw_resource(log):
+    return CallableResource(
+        "hw0",
+        {
+            "create": lambda id: log.append(("create", id)),
+            "level": lambda id, level: log.append(("level", id, level)),
+            "drop": lambda id: log.append(("drop", id)),
+        },
+    )
+
+
+class TestMetamodel:
+    def test_singleton(self):
+        assert middleware_metamodel() is middleware_metamodel()
+
+    def test_expected_classes_present(self):
+        mm = middleware_metamodel()
+        for name in (
+            "MiddlewareModel", "BrokerLayerDef", "ControllerLayerDef",
+            "SynthesisLayerDef", "UILayerDef", "DSCDef", "ProcedureDef",
+            "PolicyDef", "BrokerActionDef", "SymptomDef", "ChangePlanDef",
+            "RuleDef", "LtsTransitionDef",
+        ):
+            assert mm.find_class(name) is not None, name
+
+    def test_json_attr_helpers(self):
+        assert loads_json_attr(dumps_json_attr({"a": 1}), {}) == {"a": 1}
+        assert loads_json_attr(None, "dflt") == "dflt"
+        assert loads_json_attr("", []) == []
+
+
+class TestBuilder:
+    def test_middleware_model_validates(self):
+        model = tiny_middleware_model()
+        report = validate_model(model)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_middleware_model_serializes(self):
+        model = tiny_middleware_model()
+        restored = model_from_json(model_to_json(model), middleware_metamodel())
+        assert len(restored) == len(model)
+
+    def test_layers_attached_to_root(self):
+        model = tiny_middleware_model()
+        root = model.roots[0]
+        assert root.ui is not None
+        assert root.broker is not None
+        assert len(root.controller.actions) == 3
+        assert len(root.synthesis.rules) == 1
+
+
+class TestLoader:
+    def test_full_stack_execution(self, dsml):
+        log = []
+        platform = load_platform(
+            tiny_middleware_model(),
+            DomainKnowledge(dsml=dsml, resources=[hw_resource(log)]),
+        )
+        model = Model(dsml, name="app")
+        thing = model.create_root("Thing", name="t", level=3)
+        platform.run_model(model)
+        assert log == [("create", thing.id), ("level", thing.id, 3)]
+        platform.stop()
+
+    def test_serialized_middleware_model_loads(self, dsml):
+        # the full loop: build -> serialize -> parse -> load -> run
+        log = []
+        text = model_to_json(tiny_middleware_model())
+        restored = model_from_json(text, middleware_metamodel())
+        platform = load_platform(
+            restored, DomainKnowledge(dsml=dsml, resources=[hw_resource(log)])
+        )
+        model = Model(dsml, name="app")
+        model.create_root("Thing", name="t")
+        platform.run_model(model)
+        assert log[0][0] == "create"
+
+    def test_missing_required_resource(self, dsml):
+        with pytest.raises(LoaderError, match="requires resources"):
+            load_platform(
+                tiny_middleware_model(), DomainKnowledge(dsml=dsml)
+            )
+
+    def test_wrong_metamodel_rejected(self, dsml):
+        with pytest.raises(LoaderError):
+            load_platform(Model(dsml, name="x"), DomainKnowledge(dsml=dsml))
+
+    def test_layer_suppression(self, dsml):
+        builder = MiddlewareModelBuilder("partial", "tiny")
+        controller = builder.controller_layer()
+        controller.action("a", "op", [{"api": "hw.create",
+                                       "args_expr": {"id": "id"}}])
+        broker = builder.broker_layer()
+        broker.action("b", "hw.create",
+                      [{"resource": "hw0", "operation": "create",
+                        "args_expr": {"id": "id"}}])
+        log = []
+        platform = load_platform(
+            builder.build(),
+            DomainKnowledge(dsml=dsml, resources=[hw_resource(log)]),
+        )
+        assert platform.ui is None and platform.synthesis is None
+        # run_script still works on the suppressed stack
+        from repro.middleware.synthesis.scripts import Command, ControlScript
+
+        script = ControlScript()
+        script.add(Command("op", args={"id": "x1"}))
+        outcome = platform.run_script(script)
+        assert outcome.ok
+        assert log == [("create", "x1")]
+        # model execution requires the synthesis layer
+        with pytest.raises(PlatformError, match="no synthesis layer"):
+            platform.run_model(Model(dsml, name="m"))
+
+
+class TestReflection:
+    def test_add_policy_at_runtime(self, dsml):
+        log = []
+        platform = load_platform(
+            tiny_middleware_model(),
+            DomainKnowledge(dsml=dsml, resources=[hw_resource(log)]),
+        )
+        edited = platform.reflect()
+        controller_def = edited.objects_by_class("ControllerLayerDef")[0]
+        policy = edited.create(
+            "PolicyDef", name="rt-policy", condition="True",
+        )
+        policy.weightsJson = dumps_json_attr({"cost": -9.0})
+        controller_def.policies.append(policy)
+        applied = platform.apply_reflection(edited)
+        assert applied == ["added PolicyDef rt-policy"]
+        assert any(
+            p.name == "rt-policy" for p in platform.controller.policies
+        )
+        # the live middleware model was updated too: re-reflect sees it
+        again = platform.reflect()
+        assert any(
+            p.get("name") == "rt-policy"
+            for p in again.objects_by_class("PolicyDef")
+        )
+
+    def test_add_procedure_invalidates_cache(self, dsml):
+        log = []
+        platform = load_platform(
+            tiny_middleware_model(),
+            DomainKnowledge(dsml=dsml, resources=[hw_resource(log)]),
+        )
+        edited = platform.reflect()
+        controller_def = edited.objects_by_class("ControllerLayerDef")[0]
+        procedure = edited.create(
+            "ProcedureDef", name="alt-make", classifier="tiny.make",
+        )
+        unit = edited.create("UnitDef", name="main")
+        unit.instructions.append(
+            edited.create("InstructionDef", opcode="RETURN", operandsJson="{}")
+        )
+        procedure.units.append(unit)
+        controller_def.procedures.append(procedure)
+        platform.apply_reflection(edited)
+        assert platform.controller.repository.get("alt-make") is not None
+
+    def test_unsupported_change_rejected(self, dsml):
+        log = []
+        platform = load_platform(
+            tiny_middleware_model(),
+            DomainKnowledge(dsml=dsml, resources=[hw_resource(log)]),
+        )
+        edited = platform.reflect()
+        edited.roots[0].name = "renamed"
+        with pytest.raises(PlatformError, match="unsupported"):
+            platform.apply_reflection(edited)

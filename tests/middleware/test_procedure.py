@@ -1,0 +1,121 @@
+"""Unit tests for procedures, execution units and the repository."""
+
+import pytest
+
+from repro.middleware.controller.dsc import DSCTaxonomy
+from repro.middleware.controller.procedure import (
+    Instruction,
+    Procedure,
+    ProcedureError,
+    ProcedureRepository,
+)
+
+
+@pytest.fixture
+def taxonomy() -> DSCTaxonomy:
+    t = DSCTaxonomy("demo")
+    t.define("op")
+    t.define("op.transfer", parent="op")
+    t.define("op.transfer.secure", parent="op.transfer",
+             constraints={"encrypted": True})
+    t.define("op.log", parent="op")
+    return t
+
+
+@pytest.fixture
+def repository(taxonomy) -> ProcedureRepository:
+    return ProcedureRepository(taxonomy)
+
+
+class TestInstruction:
+    def test_valid_opcodes(self):
+        for opcode in ("SET", "BROKER", "INVOKE", "EMIT", "GUARD", "RETURN", "NOOP"):
+            Instruction(opcode)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ProcedureError, match="unknown opcode"):
+            Instruction("JUMP")
+
+    def test_operand_access(self):
+        instr = Instruction("SET", {"var": "x", "expr": "1"})
+        assert instr.operand("var") == "x"
+        assert instr.operand("missing", "d") == "d"
+
+
+class TestProcedure:
+    def test_single_classifier_constraint(self):
+        # the paper: one procedure is classified by exactly one DSC
+        with pytest.raises(ProcedureError):
+            Procedure("p", "")
+
+    def test_units(self):
+        p = Procedure("p", "op")
+        p.main.add("NOOP", cost=1)
+        p.unit("on_error").add("RETURN")
+        assert p.has_unit("main") and p.has_unit("on_error")
+        assert p.instruction_count() == 2
+
+    def test_metadata_defaults(self):
+        p = Procedure("p", "op")
+        assert p.cost == 1.0
+        assert p.reliability == 1.0
+        p2 = Procedure("q", "op", attributes={"cost": 3, "reliability": 0.5})
+        assert p2.cost == 3.0 and p2.reliability == 0.5
+
+
+class TestRepository:
+    def test_add_requires_known_classifier(self, repository):
+        with pytest.raises(ProcedureError):
+            repository.add(Procedure("p", "ghost"))
+
+    def test_add_requires_known_dependencies(self, repository):
+        with pytest.raises(ProcedureError, match="unknown dependency"):
+            repository.add(Procedure("p", "op", dependencies=["ghost"]))
+
+    def test_duplicate_name_rejected(self, repository):
+        repository.add(Procedure("p", "op"))
+        with pytest.raises(ProcedureError, match="duplicate"):
+            repository.add(Procedure("p", "op"))
+
+    def test_candidates_covariant(self, repository):
+        generic = repository.add(Procedure("generic", "op.transfer"))
+        secure = repository.add(
+            Procedure("secure", "op.transfer.secure",
+                      attributes={"encrypted": True})
+        )
+        candidates = repository.candidates_for("op.transfer")
+        assert {p.name for p in candidates} == {"generic", "secure"}
+        # the specific classifier only matches the specific procedure
+        specific = repository.candidates_for("op.transfer.secure")
+        assert [p.name for p in specific] == ["secure"]
+
+    def test_constraints_filter_candidates(self, repository):
+        repository.add(Procedure("liar", "op.transfer.secure"))  # not encrypted
+        assert repository.candidates_for("op.transfer.secure") == []
+
+    def test_unknown_classifier_has_no_candidates(self, repository):
+        assert repository.candidates_for("nothing") == []
+
+    def test_remove_and_version_bump(self, repository):
+        v0 = repository.version
+        repository.add(Procedure("p", "op"))
+        assert repository.version > v0
+        v1 = repository.version
+        repository.remove("p")
+        assert repository.version > v1
+        assert "p" not in repository
+        with pytest.raises(ProcedureError):
+            repository.remove("p")
+
+    def test_check_closure_reports_gaps(self, repository):
+        repository.add(Procedure("t", "op.transfer", dependencies=["op.log"]))
+        problems = repository.check_closure()
+        assert len(problems) == 1 and "op.log" in problems[0]
+        repository.add(Procedure("logger", "op.log"))
+        assert repository.check_closure() == []
+
+    def test_iteration_and_len(self, repository):
+        repository.add(Procedure("a", "op"))
+        repository.add(Procedure("b", "op"))
+        assert len(repository) == 2
+        assert {p.name for p in repository} == {"a", "b"}

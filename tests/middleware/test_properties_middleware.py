@@ -1,0 +1,268 @@
+"""Property-based tests (hypothesis) over middleware-core invariants."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.middleware.broker.state import StateManager
+from repro.middleware.controller.dsc import DSCTaxonomy
+from repro.middleware.controller.intent import IntentError, IntentModelGenerator
+from repro.middleware.controller.policy import ContextStore, Policy, PolicyEngine
+from repro.middleware.controller.procedure import Procedure, ProcedureRepository
+from repro.middleware.synthesis.scripts import (
+    Command,
+    ControlScript,
+    script_from_json,
+    script_to_json,
+)
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+# ---------------------------------------------------------------------------
+# Intent Model generation invariants over random repositories
+# ---------------------------------------------------------------------------
+
+@st.composite
+def repositories(draw):
+    """Random layered repositories (possibly unresolvable)."""
+    taxonomy = DSCTaxonomy("prop")
+    depth = draw(st.integers(min_value=1, max_value=4))
+    layer_widths = [
+        draw(st.integers(min_value=1, max_value=3)) for _ in range(depth)
+    ]
+    classifiers: list[list[str]] = []
+    for level, width in enumerate(layer_widths):
+        names = []
+        for index in range(width):
+            name = f"l{level}c{index}"
+            taxonomy.define(name)
+            names.append(name)
+        classifiers.append(names)
+    repository = ProcedureRepository(taxonomy)
+    counter = 0
+    for level, names in enumerate(classifiers):
+        for classifier in names:
+            for _variant in range(draw(st.integers(1, 2))):
+                dependencies: list[str] = []
+                if level + 1 < depth and draw(st.booleans()):
+                    next_names = classifiers[level + 1]
+                    picks = draw(
+                        st.sets(st.sampled_from(next_names), max_size=2)
+                    )
+                    dependencies = sorted(picks)
+                procedure = Procedure(
+                    f"p{counter}", classifier,
+                    dependencies=dependencies,
+                    attributes={
+                        "cost": draw(st.floats(0.1, 5.0)),
+                        "reliability": draw(st.floats(0.5, 1.0)),
+                    },
+                )
+                procedure.main.add("RETURN")
+                repository.add(procedure)
+                counter += 1
+    return repository
+
+
+def _engine(repository: ProcedureRepository) -> IntentModelGenerator:
+    policies = PolicyEngine(ContextStore())
+    policies.add(Policy(name="s", weights={"cost": -1.0, "reliability": 3.0}))
+    return IntentModelGenerator(repository, policies)
+
+
+@settings(max_examples=40, deadline=None)
+@given(repositories())
+def test_generated_ims_are_structurally_valid(repository):
+    generator = _engine(repository)
+    taxonomy = repository.taxonomy
+    for classifier in sorted(repository.classifiers_in_use()):
+        try:
+            model = generator.generate(classifier, use_cache=False)
+        except IntentError:
+            continue  # unresolvable request: acceptable outcome
+        for node in model.root.walk():
+            # every declared dependency resolved, compatibly classified
+            assert set(node.procedure.dependencies) == set(node.children)
+            for dependency, child in node.children.items():
+                assert taxonomy.matches(
+                    child.procedure.classifier, dependency
+                )
+        # cycle freedom along any root-to-leaf path
+        def no_repeats(node, lineage):
+            assert node.procedure.name not in lineage
+            for child in node.children.values():
+                no_repeats(child, lineage | {node.procedure.name})
+
+        no_repeats(model.root, set())
+        # the root serves the requested classifier
+        assert taxonomy.matches(model.root.procedure.classifier, classifier)
+
+
+@settings(max_examples=30, deadline=None)
+@given(repositories())
+def test_generation_is_deterministic(repository):
+    for classifier in sorted(repository.classifiers_in_use()):
+        first = second = None
+        try:
+            first = _engine(repository).generate(classifier, use_cache=False)
+            second = _engine(repository).generate(classifier, use_cache=False)
+        except IntentError:
+            assert (first is None) == (second is None)
+            continue
+        assert first.signature() == second.signature()
+        assert first.score == second.score
+
+
+@settings(max_examples=30, deadline=None)
+@given(repositories())
+def test_cached_result_matches_uncached(repository):
+    generator = _engine(repository)
+    for classifier in sorted(repository.classifiers_in_use()):
+        try:
+            fresh = generator.generate(classifier, use_cache=False)
+        except IntentError:
+            continue
+        cached_in = generator.generate(classifier)        # populates
+        cached_out = generator.generate(classifier)       # hits
+        assert cached_out.from_cache
+        assert cached_out.signature() == fresh.signature()
+        assert cached_in.signature() == fresh.signature()
+
+
+# ---------------------------------------------------------------------------
+# State manager: snapshot/restore round-trips under random ops
+# ---------------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), _names, st.integers(-5, 5)),
+        st.tuples(st.just("delete"), _names, st.none()),
+        st.tuples(st.just("increment"), _names, st.integers(1, 3)),
+    ),
+    max_size=20,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_ops, _ops)
+def test_snapshot_restore_is_exact(before, after):
+    state = StateManager()
+    for op, key, value in before:
+        if op == "set":
+            state.set(key, value)
+        elif op == "delete":
+            state.delete(key)
+        else:
+            state.increment(key, value)
+    frozen = state.as_dict()
+    state.snapshot()
+    for op, key, value in after:
+        if op == "set":
+            state.set(key, value)
+        elif op == "delete":
+            state.delete(key)
+        else:
+            state.increment(key, value)
+    state.restore()
+    assert state.as_dict() == frozen
+    assert state.snapshot_count == 0
+
+
+# ---------------------------------------------------------------------------
+# Control scripts: serialization round trip on random scripts
+# ---------------------------------------------------------------------------
+
+_json_values = st.one_of(
+    st.integers(-100, 100), st.booleans(), _names, st.none(),
+    st.lists(st.integers(0, 9), max_size=3),
+)
+
+
+@st.composite
+def scripts(draw) -> ControlScript:
+    script = ControlScript(name=draw(_names))
+    for _ in range(draw(st.integers(0, 8))):
+        script.add(
+            Command(
+                operation=".".join(draw(
+                    st.lists(_names, min_size=1, max_size=3)
+                )),
+                args=draw(st.dictionaries(_names, _json_values, max_size=4)),
+                classifier=draw(st.one_of(st.none(), _names)),
+                target=draw(st.one_of(st.none(), _names)),
+            )
+        )
+    return script
+
+
+@settings(max_examples=50, deadline=None)
+@given(scripts())
+def test_script_roundtrip(script: ControlScript):
+    restored = script_from_json(script_to_json(script))
+    assert restored.script_id == script.script_id
+    assert restored.operations() == script.operations()
+    for original, copy in zip(script, restored):
+        assert dict(copy.args) == dict(original.args)
+        assert copy.classifier == original.classifier
+        assert copy.target == original.target
+
+
+# ---------------------------------------------------------------------------
+# Weaving: algebraic sanity on random models
+# ---------------------------------------------------------------------------
+
+from repro.modeling.meta import Metamodel  # noqa: E402
+from repro.modeling.model import Model  # noqa: E402
+from repro.modeling.weave import weave_models  # noqa: E402
+
+_WEAVE_MM = Metamodel("wprop")
+_item = _WEAVE_MM.new_class("WItem")
+_item.attribute("name", "string", required=True)
+_item.attribute("count", "int", default=0)
+_item.attribute("tags", "string", many=True)
+_WEAVE_MM.resolve()
+
+
+@st.composite
+def flat_models(draw) -> Model:
+    model = Model(_WEAVE_MM, name=draw(_names))
+    used = draw(st.sets(_names, min_size=1, max_size=6))
+    for name in sorted(used):
+        model.create_root(
+            "WItem",
+            name=name,
+            count=draw(st.integers(0, 9)),
+            tags=draw(st.lists(_names, max_size=2)),
+        )
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_models())
+def test_weave_with_no_aspects_is_identity(model):
+    result = weave_models(model)
+    assert result.added == 0 and result.merged == 0
+    assert len(result.model) == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_models())
+def test_self_weave_adds_nothing(model):
+    result = weave_models(model, model)
+    assert result.added == 0
+    assert result.overrides == []
+    assert len(result.model) == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(flat_models(), flat_models())
+def test_weave_key_set_is_union(base, aspect):
+    result = weave_models(base, aspect)
+    base_names = {o.name for o in base.walk()}
+    aspect_names = {o.name for o in aspect.walk()}
+    woven_names = {o.name for o in result.model.walk()}
+    assert woven_names == base_names | aspect_names
+    assert result.added == len(aspect_names - base_names)

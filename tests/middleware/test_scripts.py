@@ -1,0 +1,97 @@
+"""Unit tests for control scripts and commands."""
+
+import pytest
+
+from repro.middleware.synthesis.scripts import (
+    Command,
+    ControlScript,
+    ScriptError,
+    script_from_dict,
+    script_from_json,
+    script_metamodel,
+    script_to_dict,
+    script_to_json,
+)
+
+
+class TestCommand:
+    def test_construction(self):
+        cmd = Command("session.open", args={"id": "s1"}, target="s1")
+        assert cmd.category == "session"
+        assert str(cmd).startswith("session.open(")
+
+    def test_empty_operation_rejected(self):
+        with pytest.raises(ScriptError):
+            Command("")
+
+    def test_with_args(self):
+        cmd = Command("op", args={"a": 1})
+        enriched = cmd.with_args(b=2)
+        assert dict(enriched.args) == {"a": 1, "b": 2}
+        assert dict(cmd.args) == {"a": 1}
+
+    def test_commands_are_immutable(self):
+        cmd = Command("op")
+        with pytest.raises(AttributeError):
+            cmd.operation = "other"
+
+
+class TestControlScript:
+    def test_builder_style(self):
+        script = ControlScript(name="s")
+        script.command("a.x", k=1).command("b.y")
+        assert script.operations() == ["a.x", "b.y"]
+        assert len(script) == 2
+        assert not script.empty
+
+    def test_unique_ids(self):
+        assert ControlScript().script_id != ControlScript().script_id
+
+    def test_iteration(self):
+        script = ControlScript()
+        script.command("one").command("two")
+        assert [c.operation for c in script] == ["one", "two"]
+
+
+class TestSerialization:
+    @pytest.fixture
+    def script(self) -> ControlScript:
+        script = ControlScript(name="demo", source_model="m1")
+        script.add(Command("a.b", args={"x": 1}, classifier="dsc.a",
+                           target="t1", guard="x > 0"))
+        script.command("c.d")
+        script.metadata["origin"] = "test"
+        return script
+
+    def test_dict_roundtrip(self, script):
+        restored = script_from_dict(script_to_dict(script))
+        assert restored.script_id == script.script_id
+        assert restored.operations() == script.operations()
+        first = restored.commands[0]
+        assert first.classifier == "dsc.a"
+        assert first.guard == "x > 0"
+        assert dict(first.args) == {"x": 1}
+        assert restored.metadata == {"origin": "test"}
+
+    def test_json_roundtrip(self, script):
+        restored = script_from_json(script_to_json(script))
+        assert restored.operations() == script.operations()
+
+    def test_malformed_document(self):
+        with pytest.raises(ScriptError):
+            script_from_dict({"commands": [{"args": {}}]})  # no operation
+
+    def test_bad_json(self):
+        with pytest.raises(ScriptError):
+            script_from_json("nope{")
+
+
+class TestScriptMetamodel:
+    def test_structure(self):
+        mm = script_metamodel()
+        assert mm.find_class("Script") is not None
+        command = mm.require_class("ScriptCommand")
+        assert command.find_feature("operation").required
+
+    def test_singleton(self):
+        assert script_metamodel() is script_metamodel()

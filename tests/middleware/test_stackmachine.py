@@ -1,0 +1,184 @@
+"""Unit tests for the Controller's stack-machine execution engine."""
+
+import pytest
+
+from repro.middleware.controller.intent import IntentModel, IntentNode
+from repro.middleware.controller.procedure import Procedure
+from repro.middleware.controller.stackmachine import (
+    ExecutionError,
+    StackMachine,
+)
+
+
+class FakeBroker:
+    """Records API calls; returns canned or echoed results."""
+
+    def __init__(self, results=None):
+        self.calls = []
+        self.results = dict(results or {})
+
+    def call_api(self, api, **args):
+        self.calls.append((api, args))
+        if api in self.results:
+            result = self.results[api]
+            return result(args) if callable(result) else result
+        return f"result:{api}"
+
+
+def leaf_model(procedure: Procedure) -> IntentModel:
+    return IntentModel(classifier=procedure.classifier,
+                       root=IntentNode(procedure=procedure))
+
+
+class TestOpcodes:
+    def test_set_and_return(self):
+        p = Procedure("p", "op")
+        p.main.add("SET", var="x", expr="a + 1")
+        p.main.add("RETURN", expr="x * 2")
+        machine = StackMachine(FakeBroker())
+        result = machine.execute(leaf_model(p), {"a": 4})
+        assert result.ok
+        assert result.value == 10
+
+    def test_set_literal_value(self):
+        p = Procedure("p", "op")
+        p.main.add("SET", var="x", value="hello")
+        p.main.add("RETURN", expr="x")
+        result = StackMachine(FakeBroker()).execute(leaf_model(p))
+        assert result.value == "hello"
+
+    def test_broker_call_with_expr_args(self):
+        p = Procedure("p", "op")
+        p.main.add("BROKER", api="svc.do", args={"fixed": 1},
+                   args_expr={"dynamic": "n * 2"}, result="out")
+        p.main.add("RETURN", expr="out")
+        broker = FakeBroker({"svc.do": 42})
+        result = StackMachine(broker).execute(leaf_model(p), {"n": 3})
+        assert result.value == 42
+        assert broker.calls == [("svc.do", {"fixed": 1, "dynamic": 6})]
+        assert result.call_trace() == ["svc.do(dynamic=6, fixed=1)"]
+
+    def test_invoke_pushes_and_pops(self):
+        child = Procedure("child", "dep")
+        child.main.add("RETURN", expr="inp + 1")
+        parent = Procedure("parent", "op", dependencies=["dep"])
+        parent.main.add("INVOKE", dependency="dep",
+                        args_expr={"inp": "start"}, result="got")
+        parent.main.add("RETURN", expr="got * 10")
+        model = IntentModel(
+            classifier="op",
+            root=IntentNode(
+                procedure=parent,
+                children={"dep": IntentNode(procedure=child)},
+            ),
+        )
+        result = StackMachine(FakeBroker()).execute(model, {"start": 4})
+        assert result.value == 50
+
+    def test_emit_collects_and_forwards(self):
+        p = Procedure("p", "op")
+        p.main.add("EMIT", topic="x.y", args={"k": 1})
+        emitted = []
+        machine = StackMachine(
+            FakeBroker(), emit=lambda t, pl: emitted.append((t, pl))
+        )
+        result = machine.execute(leaf_model(p))
+        assert result.events == [("x.y", {"k": 1})]
+        assert emitted == [("x.y", {"k": 1})]
+
+    def test_guard_pass_and_fail(self):
+        p = Procedure("p", "op")
+        p.main.add("GUARD", condition="n > 0")
+        p.main.add("RETURN", value="done")
+        machine = StackMachine(FakeBroker())
+        ok = machine.execute(leaf_model(p), {"n": 1})
+        assert ok.ok and ok.value == "done"
+        failed = machine.execute(leaf_model(p), {"n": -1})
+        assert failed.status == "guard_failed"
+        assert "guard" in failed.error
+
+    def test_noop_charges_work(self):
+        charges = []
+        p = Procedure("p", "op")
+        p.main.add("NOOP", cost=2.5)
+        machine = StackMachine(FakeBroker(), work=charges.append)
+        machine.execute(leaf_model(p))
+        assert charges == [2.5]
+
+    def test_implicit_return_at_end_of_unit(self):
+        p = Procedure("p", "op")
+        p.main.add("SET", var="x", value=1)
+        result = StackMachine(FakeBroker()).execute(leaf_model(p))
+        assert result.ok
+        assert result.value is None
+
+
+class TestErrors:
+    def test_missing_operands(self):
+        for opcode, operand in (
+            ("SET", "var"), ("BROKER", "api"), ("INVOKE", "dependency"),
+            ("EMIT", "topic"), ("GUARD", "condition"),
+        ):
+            p = Procedure("p", "op")
+            p.main.add(opcode)
+            result = StackMachine(FakeBroker()).execute(leaf_model(p))
+            assert result.status == "error"
+            assert operand in result.error
+
+    def test_invoke_unresolved_dependency(self):
+        p = Procedure("p", "op", dependencies=["dep"])
+        p.main.add("INVOKE", dependency="dep")
+        result = StackMachine(FakeBroker()).execute(leaf_model(p))
+        assert result.status == "error"
+        assert "no resolved dependency" in result.error
+
+    def test_missing_unit(self):
+        p = Procedure("p", "op")
+        with pytest.raises(ExecutionError, match="no unit"):
+            StackMachine(FakeBroker()).execute(leaf_model(p), unit="ghost")
+
+    def test_instruction_budget(self):
+        # An EU that never terminates... cannot exist (no loops), but a
+        # deep invoke chain bounded by budget is equivalent; emulate by
+        # tiny budget on a long unit.
+        p = Procedure("p", "op")
+        for _ in range(10):
+            p.main.add("NOOP", cost=0)
+        machine = StackMachine(FakeBroker(), max_instructions=5)
+        result = machine.execute(leaf_model(p))
+        assert result.status == "error"
+        assert "budget" in result.error
+
+    def test_expression_error_surfaces(self):
+        p = Procedure("p", "op")
+        p.main.add("SET", var="x", expr="1 / 0")
+        result = StackMachine(FakeBroker()).execute(leaf_model(p))
+        assert result.status == "error"
+
+
+class TestContext:
+    def test_context_visible_to_expressions(self):
+        p = Procedure("p", "op")
+        p.main.add("RETURN", expr="mode")
+        machine = StackMachine(FakeBroker(), context={"mode": "eco"})
+        assert machine.execute(leaf_model(p)).value == "eco"
+
+    def test_locals_shadow_context(self):
+        p = Procedure("p", "op")
+        p.main.add("SET", var="mode", value="local")
+        p.main.add("RETURN", expr="mode")
+        machine = StackMachine(FakeBroker(), context={"mode": "global"})
+        assert machine.execute(leaf_model(p)).value == "local"
+
+    def test_ctx_alias(self):
+        p = Procedure("p", "op")
+        p.main.add("RETURN", expr="ctx.get('missing', 'fallback')")
+        machine = StackMachine(FakeBroker(), context={})
+        assert machine.execute(leaf_model(p)).value == "fallback"
+
+    def test_alternate_unit(self):
+        p = Procedure("p", "op")
+        p.main.add("RETURN", value="main")
+        p.unit("recover").add("RETURN", value="recovered")
+        machine = StackMachine(FakeBroker())
+        assert machine.execute(leaf_model(p), unit="recover").value == "recovered"

@@ -1,0 +1,152 @@
+"""Tests for the UI layer (ModelWorkspace), including woven submission."""
+
+import pytest
+
+from repro.middleware.synthesis.engine import SynthesisEngine
+from repro.middleware.synthesis.interpreter import EntityRule
+from repro.middleware.ui import ModelWorkspace, UIError
+from repro.modeling.constraints import ConstraintRegistry
+from repro.modeling.lts import LTS
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import model_to_json
+
+
+@pytest.fixture
+def dsml() -> Metamodel:
+    mm = Metamodel("noteml")
+    note = mm.new_class("Note")
+    note.attribute("name", "string", required=True)
+    note.attribute("text", "string")
+    note.attribute("tags", "string", many=True)
+    return mm.resolve()
+
+
+@pytest.fixture
+def workspace(dsml) -> ModelWorkspace:
+    lts = LTS("note")
+    lts.add_transition(
+        "initial", "add", "posted",
+        actions=({"operation": "note.post",
+                  "args_expr": {"id": "obj.id"}},),
+    )
+    lts.add_transition("posted", "set:text", "posted")
+    lts.add_transition("posted", "remove", "initial")
+    synthesis = SynthesisEngine(metamodel=dsml)
+    synthesis.add_rule(EntityRule("Note", lts))
+    synthesis.configure({})
+    synthesis.start()
+    constraints = ConstraintRegistry()
+    constraints.invariant("short", "Note", "len(self.text) < 100")
+    ui = ModelWorkspace(metamodel=dsml, constraints=constraints)
+    ui.configure({})
+    ui.wire("synthesis", synthesis)
+    ui.start()
+    return ui
+
+
+class TestModelManagement:
+    def test_new_model_and_lookup(self, workspace):
+        model = workspace.new_model("draft")
+        assert workspace.get_model("draft") is model
+        assert workspace.model_names() == ["draft"]
+        with pytest.raises(UIError, match="already has"):
+            workspace.new_model("draft")
+
+    def test_unknown_model(self, workspace):
+        with pytest.raises(UIError, match="no model"):
+            workspace.get_model("ghost")
+
+    def test_put_model_rejects_foreign_metamodel(self, workspace):
+        other = Metamodel("other")
+        other.new_class("X")
+        other.resolve()
+        with pytest.raises(UIError, match="conforms to"):
+            workspace.put_model(Model(other, name="m"))
+
+    def test_checkout_is_a_copy(self, workspace, dsml):
+        model = workspace.new_model("m")
+        model.create_root("Note", name="n", text="hello")
+        copy = workspace.checkout("m")
+        copy.roots[0].text = "edited"
+        assert model.roots[0].text == "hello"
+
+    def test_checkout_runtime_requires_submission(self, workspace):
+        with pytest.raises(UIError, match="no runtime model"):
+            workspace.checkout()
+
+    def test_runtime_view_after_submit(self, workspace):
+        model = workspace.new_model("m")
+        model.create_root("Note", name="n", text="x")
+        workspace.submit("m")
+        assert workspace.runtime_view is not None
+        assert workspace.checkout().roots[0].name == "n"
+
+
+class TestValidationGate:
+    def test_invalid_model_rejected(self, workspace):
+        model = workspace.new_model("m")
+        model.create_root("Note", name="n", text="y" * 200)
+        with pytest.raises(ValueError, match="validation failed"):
+            workspace.submit("m")
+
+    def test_submission_counts(self, workspace):
+        model = workspace.new_model("m")
+        model.create_root("Note", name="n", text="ok")
+        workspace.submit("m")
+        assert workspace.submissions == 1
+
+
+class TestParsing:
+    def test_default_parser_is_json(self, workspace, dsml):
+        model = Model(dsml, name="j")
+        model.create_root("Note", name="n", text="t")
+        parsed = workspace.parse(model_to_json(model), name="fromjson")
+        assert parsed.roots[0].text == "t"
+        assert "fromjson" in workspace.model_names()
+
+    def test_custom_parser(self, workspace, dsml):
+        def parser(text: str) -> Model:
+            model = Model(dsml, name="custom")
+            for line in text.splitlines():
+                if line.strip():
+                    model.create_root("Note", name=line.strip())
+            return model
+
+        workspace.set_parser(parser)
+        parsed = workspace.parse("one\ntwo\n")
+        assert len(parsed.roots) == 2
+
+
+class TestWovenSubmission:
+    def test_submit_woven(self, workspace, dsml):
+        base = Model(dsml, name="base")
+        base.create_root("Note", name="shared", text="v1", tags=["a"])
+        aspect = Model(dsml, name="aspect")
+        aspect.create_root("Note", name="shared", tags=["b"])
+        aspect.create_root("Note", name="extra", text="new")
+        weave, synthesis_result = workspace.submit_woven(base, aspect)
+        assert weave.merged == 1 and weave.added == 1
+        woven = weave.model
+        shared = [n for n in woven.roots if n.name == "shared"][0]
+        assert shared.tags == ["a", "b"]
+        # both notes synthesized into commands
+        assert synthesis_result.script.operations() == ["note.post"] * 2
+
+    def test_submit_woven_by_name(self, workspace, dsml):
+        base = workspace.new_model("base")
+        base.create_root("Note", name="n", text="x")
+        aspect = workspace.new_model("aspect")
+        aspect.create_root("Note", name="m", text="y")
+        weave, result = workspace.submit_woven("base", "aspect")
+        assert len(result.script) == 2
+
+    def test_strict_weave_conflict_propagates(self, workspace, dsml):
+        from repro.modeling.weave import WeaveConflict
+
+        base = Model(dsml, name="b")
+        base.create_root("Note", name="n", text="one")
+        aspect = Model(dsml, name="a")
+        aspect.create_root("Note", name="n", text="two")
+        with pytest.raises(WeaveConflict):
+            workspace.submit_woven(base, aspect, strict=True)

@@ -1,0 +1,184 @@
+"""Unit tests for the model comparator (diff)."""
+
+import pytest
+
+from repro.modeling.diff import diff_models
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import clone_model
+
+
+@pytest.fixture
+def metamodel() -> Metamodel:
+    mm = Metamodel("org")
+    unit = mm.new_class("Unit")
+    unit.attribute("name", "string", required=True)
+    unit.attribute("budget", "float", default=0.0)
+    unit.reference("members", "Person", containment=True, many=True)
+    unit.reference("subunits", "Unit", containment=True, many=True)
+    unit.reference("lead", "Person")
+    person = mm.new_class("Person")
+    person.attribute("name", "string", required=True)
+    person.attribute("skills", "string", many=True)
+    return mm.resolve()
+
+
+@pytest.fixture
+def base(metamodel) -> Model:
+    m = Model(metamodel, name="base")
+    org = m.create_root("Unit", name="org", budget=100.0)
+    alice = m.create("Person", name="alice", skills=["py"])
+    bob = m.create("Person", name="bob")
+    org.members.extend([alice, bob])
+    org.lead = alice
+    sub = m.create("Unit", name="sub")
+    org.subunits.append(sub)
+    return m
+
+
+class TestNoChange:
+    def test_identical_models_empty_diff(self, base):
+        assert diff_models(base, clone_model(base)).empty
+
+    def test_empty_models(self, metamodel):
+        a = Model(metamodel, name="a")
+        b = Model(metamodel, name="b")
+        assert diff_models(a, b).empty
+
+
+class TestAdditions:
+    def test_every_added_object_reported_parent_first(self, base):
+        new = clone_model(base)
+        team = new.create("Unit", name="team")
+        carol = new.create("Person", name="carol")
+        team.members.append(carol)
+        new.roots[0].subunits.append(team)
+        changes = diff_models(base, new)
+        adds = changes.by_kind("add")
+        assert [c.class_name for c in adds] == ["Unit", "Person"]
+        assert adds[0].new_object.name == "team"
+        # plus the membership change on the containing unit is implicit
+        # in containment (no separate 'list' entry for containment refs)
+        assert not [
+            c for c in changes.by_kind("list") if c.feature == "subunits"
+        ]
+
+    def test_add_from_empty_model(self, base, metamodel):
+        empty = Model(metamodel, name="empty")
+        changes = diff_models(empty, base)
+        assert len(changes.by_kind("add")) == len(base)
+        # parents come before children
+        ids = [c.object_id for c in changes.by_kind("add")]
+        assert ids[0] == base.roots[0].id
+
+
+class TestRemovals:
+    def test_removals_children_first(self, base):
+        new = clone_model(base)
+        org = new.roots[0]
+        sub = org.subunits[0]
+        org.subunits.remove(sub)
+        # also drop a whole subtree: remove org's members
+        changes = diff_models(base, new)
+        removes = changes.by_kind("remove")
+        assert [c.object_id for c in removes] == [sub.id]
+        assert removes[0].old_object is not None
+
+    def test_remove_subtree_children_before_parent(self, base, metamodel):
+        empty = Model(metamodel, name="empty")
+        changes = diff_models(base, empty)
+        removes = changes.by_kind("remove")
+        depths = [c.old_object.path().count("/") for c in removes]
+        assert depths == sorted(depths, reverse=True)
+
+
+class TestUpdates:
+    def test_attribute_set(self, base):
+        new = clone_model(base)
+        new.roots[0].budget = 250.0
+        changes = diff_models(base, new)
+        sets = changes.by_kind("set")
+        assert len(sets) == 1
+        change = sets[0]
+        assert change.feature == "budget"
+        assert change.old == 100.0 and change.new == 250.0
+        assert change.new_object is not None
+
+    def test_many_attribute_list_change(self, base):
+        new = clone_model(base)
+        alice = [p for p in new.walk() if p.is_a("Person")][0]
+        alice.skills = ["py", "go"]
+        changes = diff_models(base, new)
+        lists = changes.by_kind("list")
+        assert len(lists) == 1
+        assert lists[0].added == ("go",)
+        assert lists[0].removed == ()
+
+    def test_single_reference_retarget(self, base):
+        new = clone_model(base)
+        org = new.roots[0]
+        bob = [p for p in org.members if p.name == "bob"][0]
+        org.lead = bob
+        changes = diff_models(base, new)
+        sets = [c for c in changes.by_kind("set") if c.feature == "lead"]
+        assert len(sets) == 1
+        assert sets[0].new == bob.id
+
+    def test_many_reference_membership(self, base, metamodel):
+        # use a non-containment many ref via a fresh metamodel feature
+        mm = Metamodel("g")
+        node = mm.new_class("N")
+        node.attribute("name", "string")
+        node.reference("peers", "N", many=True)
+        mm.resolve()
+        old = Model(mm, name="o")
+        a = old.create_root("N", name="a")
+        b = old.create_root("N", name="b")
+        a.peers.append(b)
+        new = clone_model(old)
+        new_a = new.by_id(a.id)
+        new_a.peers.remove(new.by_id(b.id))
+        changes = diff_models(old, new)
+        lists = changes.by_kind("list")
+        assert lists and lists[0].removed == (b.id,)
+
+
+class TestMoves:
+    def test_reparent_reported_as_move(self, base):
+        new = clone_model(base)
+        org = new.roots[0]
+        sub = org.subunits[0]
+        alice = [p for p in org.members if p.name == "alice"][0]
+        org.members.remove(alice)
+        sub.members.append(alice)
+        changes = diff_models(base, new)
+        moves = changes.by_kind("move")
+        assert len(moves) == 1
+        assert moves[0].object_id == alice.id
+        assert moves[0].old == org.id and moves[0].new == sub.id
+        # a move is not an add/remove
+        assert not changes.by_kind("add")
+        assert not changes.by_kind("remove")
+
+
+class TestRetyping:
+    def test_same_id_different_class_is_remove_plus_add(self, metamodel):
+        old = Model(metamodel, name="o")
+        unit = old.create_root("Unit", name="x")
+        new = Model(metamodel, name="n")
+        person = new.create_root("Person", name="x")
+        object.__setattr__(person, "_id", unit.id)  # force id collision
+        changes = diff_models(old, new)
+        assert len(changes.by_kind("remove")) == 1
+        assert len(changes.by_kind("add")) == 1
+
+
+class TestOrdering:
+    def test_removals_before_updates_before_adds(self, base):
+        new = clone_model(base)
+        org = new.roots[0]
+        org.budget = 1.0
+        org.subunits.remove(org.subunits[0])
+        org.members.append(new.create("Person", name="zed"))
+        kinds = [c.kind for c in diff_models(base, new)]
+        assert kinds.index("remove") < kinds.index("set") < kinds.index("add")

@@ -1,0 +1,149 @@
+"""Unit tests for the safe expression language."""
+
+import pytest
+
+from repro.modeling.expr import Expression, ExpressionError, evaluate
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import MObject
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        ("source", "context", "expected"),
+        [
+            ("1 + 2 * 3", {}, 7),
+            ("10 / 4", {}, 2.5),
+            ("10 // 4", {}, 2),
+            ("7 % 3", {}, 1),
+            ("2 ** 5", {}, 32),
+            ("-x", {"x": 3}, -3),
+            ("not flag", {"flag": False}, True),
+            ("a and b", {"a": 1, "b": 2}, 2),
+            ("a or b", {"a": 0, "b": 5}, 5),
+            ("x if cond else y", {"x": 1, "y": 2, "cond": False}, 2),
+            ("1 < 2 < 3", {}, True),
+            ("1 < 2 > 5", {}, False),
+            ("'a' in word", {"word": "cat"}, True),
+            ("v is None", {"v": None}, True),
+            ("[1, 2][1]", {}, 2),
+            ("(1, 2)[0]", {}, 1),
+            ("{'k': 9}['k']", {}, 9),
+            ("items[1:3]", {"items": [0, 1, 2, 3]}, [1, 2]),
+            ("len(items)", {"items": [1, 2, 3]}, 3),
+            ("max(1, 5, 3)", {}, 5),
+            ("sorted(xs)", {"xs": [3, 1]}, [1, 3]),
+            ("str(42)", {}, "42"),
+            ("True", {}, True),
+        ],
+    )
+    def test_evaluation(self, source, context, expected):
+        assert evaluate(source, context) == expected
+
+    def test_unknown_name(self):
+        with pytest.raises(ExpressionError, match="unknown name"):
+            evaluate("missing + 1")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ExpressionError):
+            Expression("   ")
+
+    def test_syntax_error(self):
+        with pytest.raises(ExpressionError, match="syntax"):
+            Expression("1 +")
+
+    def test_runtime_error_wrapped(self):
+        with pytest.raises(ExpressionError, match="error evaluating"):
+            evaluate("1 / 0")
+
+
+class TestSecurity:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "__import__('os')",
+            "open('/etc/passwd')",
+            "exec('1')",
+            "lambda: 1",
+            "x := 4",
+            "[].append(1)",            # mutating method not whitelisted
+            "obj.__class__",           # dunder access
+            "getattr(x, 'y')",
+            "f'{x}'",                  # f-strings are JoinedStr nodes
+        ],
+    )
+    def test_forbidden_constructs(self, source):
+        with pytest.raises(ExpressionError):
+            Expression(source)
+
+    def test_keyword_arguments_rejected(self):
+        with pytest.raises(ExpressionError):
+            Expression("sorted(xs, reverse=True)")
+
+    def test_private_attribute_access_rejected(self):
+        with pytest.raises(ExpressionError, match="private"):
+            Expression("x._secret")
+
+
+class TestMethodsAndComprehensions:
+    def test_whitelisted_methods(self):
+        assert evaluate("d.get('a', 0)", {"d": {"a": 1}}) == 1
+        assert evaluate("d.get('b', 7)", {"d": {"a": 1}}) == 7
+        assert evaluate("s.startswith('ab')", {"s": "abc"}) is True
+        assert evaluate("s.upper()", {"s": "ab"}) == "AB"
+        assert evaluate("'-'.join(xs)", {"xs": ["a", "b"]}) == "a-b"
+
+    def test_list_comprehension(self):
+        assert evaluate("[x * 2 for x in xs]", {"xs": [1, 2]}) == [2, 4]
+        assert evaluate("[x for x in xs if x > 1]", {"xs": [1, 2, 3]}) == [2, 3]
+
+    def test_nested_generators(self):
+        assert evaluate(
+            "[x + y for x in a for y in b]", {"a": [1, 2], "b": [10, 20]}
+        ) == [11, 21, 12, 22]
+
+    def test_dict_and_set_comprehension(self):
+        assert evaluate("{k: v + 1 for k, v in d.items()}", {"d": {"a": 1}}) == {
+            "a": 2
+        }
+        assert evaluate("{x % 2 for x in xs}", {"xs": [1, 2, 3]}) == {0, 1}
+
+    def test_generator_expression_in_call(self):
+        assert evaluate("sum(x * x for x in xs)", {"xs": [1, 2, 3]}) == 14
+
+    def test_tuple_unpacking_mismatch(self):
+        with pytest.raises(ExpressionError, match="unpack"):
+            evaluate("[a for a, b in xs]", {"xs": [(1, 2, 3)]})
+
+    def test_comprehension_scoping_does_not_leak(self):
+        # the loop variable must not clobber the outer env
+        assert evaluate("[x for x in xs] + [x]", {"xs": [9], "x": 1}) == [9, 1]
+
+
+class TestMObjectAccess:
+    @pytest.fixture
+    def obj(self):
+        mm = Metamodel("m")
+        cls = mm.new_class("Thing")
+        cls.attribute("name", "string")
+        cls.attribute("size", "int")
+        cls.reference("next", "Thing")
+        mm.resolve()
+        first = MObject(cls, name="first", size=3)
+        second = MObject(cls, name="second", size=5)
+        first.next = second
+        return first
+
+    def test_feature_access(self, obj):
+        assert evaluate("o.name", {"o": obj}) == "first"
+        assert evaluate("o.size + 1", {"o": obj}) == 4
+        assert evaluate("o.next.name", {"o": obj}) == "second"
+
+    def test_non_feature_fallback(self, obj):
+        assert evaluate("o.id", {"o": obj}) == obj.id
+
+
+class TestCaching:
+    def test_evaluate_uses_cache(self):
+        source = "cache_probe_xyz + 1"
+        assert evaluate(source, {"cache_probe_xyz": 1}) == 2
+        assert evaluate(source, {"cache_probe_xyz": 10}) == 11

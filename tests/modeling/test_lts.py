@@ -1,0 +1,125 @@
+"""Unit tests for labeled transition systems."""
+
+import pytest
+
+from repro.modeling.lts import LTS, LTSError
+
+
+@pytest.fixture
+def session_lts() -> LTS:
+    lts = LTS("session")
+    lts.add_transition("initial", "open", "active", actions=("establish",))
+    lts.add_transition("active", "join", "active", actions=("add_party",))
+    lts.add_transition(
+        "active", "close", "closed",
+        guard="parties == 0", actions=("teardown",), priority=1,
+    )
+    lts.add_transition(
+        "active", "close", "draining",
+        guard="parties > 0", actions=("drain",),
+    )
+    lts.add_transition("draining", "drained", "closed", actions=("teardown",))
+    lts.add_state("closed", final=True)
+    return lts
+
+
+class TestConstruction:
+    def test_states_created_implicitly(self, session_lts):
+        assert set(session_lts.states) == {
+            "initial", "active", "closed", "draining"
+        }
+
+    def test_final_flag_upgrade(self):
+        lts = LTS("x")
+        lts.add_state("done")
+        lts.add_state("done", final=True)
+        assert lts.states["done"].final
+
+    def test_labels(self, session_lts):
+        assert session_lts.labels() == {"open", "join", "close", "drained"}
+
+    def test_reachability(self, session_lts):
+        assert session_lts.unreachable_states() == set()
+        lts = LTS("y")
+        lts.add_state("island")
+        assert lts.unreachable_states() == {"island"}
+
+    def test_check_valid(self, session_lts):
+        session_lts.check()  # should not raise
+
+
+class TestExecution:
+    def test_happy_path(self, session_lts):
+        ex = session_lts.new_execution()
+        assert ex.step("open") == ("establish",)
+        assert ex.state == "active"
+        assert ex.step("join") == ("add_party",)
+        assert ex.step("close", {"parties": 0}) == ("teardown",)
+        assert ex.in_final_state
+        assert len(ex.trace) == 3
+
+    def test_guard_selects_branch(self, session_lts):
+        ex = session_lts.new_execution()
+        ex.step("open")
+        assert ex.step("close", {"parties": 3}) == ("drain",)
+        assert ex.state == "draining"
+        ex.step("drained")
+        assert ex.in_final_state
+
+    def test_priority_breaks_ties(self):
+        lts = LTS("p")
+        lts.add_transition("initial", "go", "low", priority=0, actions=("l",))
+        lts.add_transition("initial", "go", "high", priority=5, actions=("h",))
+        ex = lts.new_execution()
+        assert ex.step("go") == ("h",)
+
+    def test_no_enabled_transition_raises(self, session_lts):
+        ex = session_lts.new_execution()
+        with pytest.raises(LTSError, match="no transition"):
+            ex.step("join")  # not valid from initial
+
+    def test_try_step_returns_none(self, session_lts):
+        ex = session_lts.new_execution()
+        assert ex.try_step("join") is None
+        assert ex.state == "initial"
+
+    def test_run_sequence(self, session_lts):
+        ex = session_lts.new_execution()
+        actions = ex.run(["open", "join", "join"], {"parties": 2})
+        assert actions == ["establish", "add_party", "add_party"]
+
+    def test_guard_with_missing_context_raises(self, session_lts):
+        ex = session_lts.new_execution()
+        ex.step("open")
+        with pytest.raises(Exception):
+            ex.step("close")  # guard references 'parties'
+
+    def test_start_in_named_state(self, session_lts):
+        ex = session_lts.new_execution(state="active")
+        assert ex.can_step("join")
+
+    def test_unknown_start_state(self, session_lts):
+        with pytest.raises(LTSError, match="unknown state"):
+            session_lts.new_execution(state="nowhere")
+
+    def test_executions_are_independent(self, session_lts):
+        ex1 = session_lts.new_execution()
+        ex2 = session_lts.new_execution()
+        ex1.step("open")
+        assert ex2.state == "initial"
+
+
+class TestErrors:
+    def test_missing_initial_state(self):
+        lts = LTS("bad")
+        del lts.states["initial"]
+        with pytest.raises(LTSError, match="initial"):
+            lts.check()
+
+    def test_enabled_ordering_by_priority(self):
+        lts = LTS("x")
+        lts.add_transition("initial", "e", "a", priority=1)
+        lts.add_transition("initial", "e", "b", priority=9)
+        ex = lts.new_execution()
+        targets = [t.target for t in ex.enabled("e")]
+        assert targets == ["b", "a"]

@@ -1,0 +1,225 @@
+"""Unit tests for the metamodel (type) level."""
+
+import pytest
+
+from repro.modeling.meta import (
+    MetaAttribute,
+    MetaClass,
+    MetaEnum,
+    Metamodel,
+    MetamodelError,
+    MetaReference,
+    build_metamodel,
+)
+
+
+@pytest.fixture
+def metamodel() -> Metamodel:
+    mm = Metamodel("zoo")
+    mm.new_enum("Diet", ["herbivore", "carnivore", "omnivore"])
+    animal = mm.new_class("Animal", abstract=True)
+    animal.attribute("name", "string", required=True)
+    animal.attribute("diet", "Diet")
+    mammal = mm.new_class("Mammal", supertypes=[animal])
+    mammal.attribute("legs", "int", default=4)
+    mm.new_class("Bird", supertypes=[animal])
+    enclosure = mm.new_class("Enclosure")
+    enclosure.attribute("label", "string")
+    enclosure.reference("residents", "Animal", containment=True, many=True)
+    enclosure.reference("keeperOf", "Mammal")
+    return mm.resolve()
+
+
+class TestMetaEnum:
+    def test_literals_and_default(self):
+        enum = MetaEnum("Color", ["red", "green"])
+        assert enum.default == "red"
+        assert enum.is_valid("green")
+        assert not enum.is_valid("blue")
+        assert "red" in enum
+
+    def test_rejects_empty_and_duplicates(self):
+        with pytest.raises(MetamodelError):
+            MetaEnum("E", [])
+        with pytest.raises(MetamodelError):
+            MetaEnum("E", ["a", "a"])
+
+
+class TestMetaClass:
+    def test_inheritance_and_conformance(self, metamodel):
+        animal = metamodel.require_class("Animal")
+        mammal = metamodel.require_class("Mammal")
+        bird = metamodel.require_class("Bird")
+        assert mammal.conforms_to(animal)
+        assert not animal.conforms_to(mammal)
+        assert not bird.conforms_to(mammal)
+        assert mammal.conforms_to(mammal)
+
+    def test_feature_lookup_walks_supertypes(self, metamodel):
+        mammal = metamodel.require_class("Mammal")
+        assert mammal.find_feature("name") is not None
+        assert mammal.find_feature("legs") is not None
+        assert mammal.find_feature("nope") is None
+        all_attrs = mammal.all_attributes()
+        assert set(all_attrs) == {"name", "diet", "legs"}
+
+    def test_duplicate_feature_rejected(self):
+        cls = MetaClass("C")
+        cls.attribute("x", "int")
+        with pytest.raises(MetamodelError):
+            cls.attribute("x", "string")
+
+    def test_shadowing_inherited_feature_rejected(self):
+        mm = Metamodel("m")
+        base = mm.new_class("Base")
+        base.attribute("x", "int")
+        derived = mm.new_class("Derived", supertypes=[base])
+        # shadowing is caught eagerly at feature-definition time
+        with pytest.raises(MetamodelError, match="already has feature"):
+            derived.attribute("x", "string")
+
+    def test_containment_references(self, metamodel):
+        enclosure = metamodel.require_class("Enclosure")
+        names = [r.name for r in enclosure.containment_references()]
+        assert names == ["residents"]
+
+    def test_bad_class_name(self):
+        with pytest.raises(MetamodelError):
+            MetaClass("1bad")
+
+
+class TestMetaAttribute:
+    def test_type_checking(self, metamodel):
+        mammal = metamodel.require_class("Mammal")
+        legs = mammal.find_feature("legs")
+        legs.check_value(2)
+        with pytest.raises(MetamodelError):
+            legs.check_value("two")
+        with pytest.raises(MetamodelError):
+            legs.check_value(True)  # bool is not an int here
+
+    def test_enum_typed_attribute(self, metamodel):
+        animal = metamodel.require_class("Animal")
+        diet = animal.find_feature("diet")
+        diet.check_value("herbivore")
+        with pytest.raises(MetamodelError):
+            diet.check_value("vegan")
+        assert diet.default_value() == "herbivore"
+
+    def test_float_accepts_int(self):
+        attr = MetaAttribute("ratio", "float")
+        attr.resolve(Metamodel("m"))
+        attr.check_value(1)
+        attr.check_value(1.5)
+
+    def test_unknown_type_rejected_at_resolve(self):
+        mm = Metamodel("m")
+        cls = mm.new_class("C")
+        cls.attribute("bad", "Quux")
+        with pytest.raises(MetamodelError, match="unknown type"):
+            mm.resolve()
+
+
+class TestMetaReference:
+    def test_unknown_target_rejected(self):
+        mm = Metamodel("m")
+        cls = mm.new_class("C")
+        cls.reference("r", "Nothing")
+        with pytest.raises(MetamodelError, match="unknown target"):
+            mm.resolve()
+
+    def test_opposite_must_be_reference(self):
+        mm = Metamodel("m")
+        a = mm.new_class("A")
+        b = mm.new_class("B")
+        b.attribute("back", "string")
+        a.reference("fwd", "B", opposite="back")
+        with pytest.raises(MetamodelError, match="not a reference"):
+            mm.resolve()
+
+    def test_double_containment_opposites_rejected(self):
+        mm = Metamodel("m")
+        a = mm.new_class("A")
+        b = mm.new_class("B")
+        a.reference("kids", "B", containment=True, many=True, opposite="parent")
+        b.reference("parent", "A", containment=True, opposite="kids")
+        with pytest.raises(MetamodelError, match="containment"):
+            mm.resolve()
+
+    def test_valid_opposite_pair(self):
+        mm = Metamodel("m")
+        a = mm.new_class("A")
+        b = mm.new_class("B")
+        a.reference("kids", "B", containment=True, many=True, opposite="parent")
+        b.reference("parent", "A", opposite="kids")
+        mm.resolve()
+        kids = a.find_feature("kids")
+        assert isinstance(kids, MetaReference)
+        assert kids.opposite_ref is b.find_feature("parent")
+
+
+class TestMetamodel:
+    def test_duplicate_class_rejected(self, metamodel):
+        with pytest.raises(MetamodelError):
+            metamodel.new_class("Animal")
+
+    def test_imports_resolution(self, metamodel):
+        extension = Metamodel("ext", imports=[metamodel])
+        vet = extension.new_class("Vet")
+        vet.reference("patient", "Animal")
+        extension.resolve()
+        assert extension.find_class("Animal") is metamodel.find_class("Animal")
+        assert "Animal" in extension
+
+    def test_subclasses_of(self, metamodel):
+        subs = {c.name for c in metamodel.subclasses_of("Animal")}
+        assert subs == {"Animal", "Mammal", "Bird"}
+
+    def test_self_inheritance_rejected(self):
+        mm = Metamodel("m")
+        a = MetaClass("A")
+        a.supertypes = (a,)
+        mm.add_class(a)
+        with pytest.raises(MetamodelError):
+            mm.resolve()
+
+    def test_require_class_error(self, metamodel):
+        with pytest.raises(MetamodelError, match="no class"):
+            metamodel.require_class("Ghost")
+
+
+class TestBuildMetamodel:
+    def test_declarative_construction(self):
+        mm = build_metamodel(
+            "shop",
+            {
+                "Item": {
+                    "attributes": {
+                        "name": "string",
+                        "price": {"type": "float", "required": True},
+                    }
+                },
+                "Cart": {
+                    "references": {
+                        "items": {"target": "Item", "containment": True,
+                                  "many": True}
+                    }
+                },
+                "SpecialItem": {"supertypes": ["Item"]},
+            },
+            enums={"Size": ["s", "m", "l"]},
+        )
+        assert mm.require_class("SpecialItem").conforms_to(
+            mm.require_class("Item")
+        )
+        assert mm.find_enum("Size") is not None
+
+    def test_unresolvable_supertypes(self):
+        with pytest.raises(MetamodelError, match="unresolvable"):
+            build_metamodel("bad", {"A": {"supertypes": ["Missing"]}})
+
+    def test_forward_declared_supertypes(self):
+        mm = build_metamodel(
+            "fwd", {"Derived": {"supertypes": ["Base"]}, "Base": {}}
+        )
+        assert mm.require_class("Derived").conforms_to(mm.require_class("Base"))

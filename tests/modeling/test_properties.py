@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) over the modeling kernel.
+
+Invariants checked:
+
+* serialization round-trips are identity on structure,
+* ``diff(m, m) == []`` and ``diff`` is consistent with edits applied,
+* containment forms a forest (single container, acyclic),
+* expression evaluation is deterministic and side-effect free.
+"""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modeling.diff import diff_models
+from repro.modeling.expr import Expression, ExpressionError
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import clone_model, model_from_dict, model_to_dict
+
+# -- a compact metamodel used by all properties ----------------------------
+
+_MM = Metamodel("prop")
+_node = _MM.new_class("PNode")
+_node.attribute("name", "string", required=True)
+_node.attribute("weight", "int", default=0)
+_node.attribute("labels", "string", many=True)
+_node.reference("children", "PNode", containment=True, many=True)
+_node.reference("link", "PNode")
+_MM.resolve()
+
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@st.composite
+def models(draw) -> Model:
+    """Random forests of PNodes with random cross-links."""
+    model = Model(_MM, name="random")
+    node_count = draw(st.integers(min_value=1, max_value=12))
+    nodes = []
+    for index in range(node_count):
+        node = model.create(
+            "PNode",
+            name=draw(_names),
+            weight=draw(st.integers(min_value=-5, max_value=5)),
+            labels=draw(st.lists(_names, max_size=3)),
+        )
+        nodes.append(node)
+        if index == 0:
+            model.add_root(node)
+        else:
+            parent = nodes[draw(st.integers(0, index - 1))]
+            parent.children.append(node)
+    # random cross-links
+    for node in nodes:
+        if draw(st.booleans()):
+            node.link = nodes[draw(st.integers(0, len(nodes) - 1))]
+    return model
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_serialization_roundtrip_is_identity(model: Model) -> None:
+    restored = model_from_dict(model_to_dict(model), _MM)
+    assert set(restored.index()) == set(model.index())
+    for obj in model.walk():
+        twin = restored.by_id(obj.id)
+        assert twin is not None
+        assert twin.name == obj.name
+        assert twin.weight == obj.weight
+        assert list(twin.labels) == list(obj.labels)
+        if obj.link is not None:
+            assert twin.link is not None and twin.link.id == obj.link.id
+        else:
+            assert twin.link is None
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_diff_of_clone_is_empty(model: Model) -> None:
+    assert diff_models(model, clone_model(model)).empty
+
+
+@settings(max_examples=40, deadline=None)
+@given(models(), st.integers(min_value=-100, max_value=100))
+def test_diff_detects_single_attribute_edit(model: Model, new_weight: int) -> None:
+    edited = clone_model(model)
+    target = next(iter(edited.walk()))
+    old_weight = target.weight
+    target.weight = new_weight
+    changes = diff_models(model, edited)
+    if new_weight == old_weight:
+        assert changes.empty
+    else:
+        assert len(changes) == 1
+        change = changes.changes[0]
+        assert change.kind == "set"
+        assert change.feature == "weight"
+        assert change.object_id == target.id
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_containment_is_a_forest(model: Model) -> None:
+    seen: set[str] = set()
+    for obj in model.walk():
+        assert obj.id not in seen, "object visited twice: containment cycle"
+        seen.add(obj.id)
+        # every non-root has exactly one container chain to a root
+        depth = 0
+        cursor = obj
+        while cursor.container is not None:
+            cursor = cursor.container
+            depth += 1
+            assert depth < 10_000
+        assert cursor in model.roots
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_diff_against_empty_counts_every_object(model: Model) -> None:
+    empty = Model(_MM, name="empty")
+    additions = diff_models(empty, model).by_kind("add")
+    assert len(additions) == len(model)
+    removals = diff_models(model, empty).by_kind("remove")
+    assert len(removals) == len(model)
+
+
+# -- expression properties -----------------------------------------------
+
+_int_exprs = st.integers(min_value=-1000, max_value=1000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_int_exprs, _int_exprs)
+def test_expression_arithmetic_matches_python(a: int, b: int) -> None:
+    env = {"a": a, "b": b}
+    assert Expression("a + b").evaluate(env) == a + b
+    assert Expression("a - b").evaluate(env) == a - b
+    assert Expression("a * b").evaluate(env) == a * b
+    assert Expression("a > b").evaluate(env) == (a > b)
+    assert Expression("max(a, b)").evaluate(env) == max(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_int_exprs, min_size=1, max_size=20))
+def test_expression_comprehension_matches_python(xs: list[int]) -> None:
+    env = {"xs": xs}
+    assert Expression("[x * 2 for x in xs]").evaluate(env) == [x * 2 for x in xs]
+    assert Expression("sum(xs)").evaluate(env) == sum(xs)
+    assert Expression("sorted(xs)").evaluate(env) == sorted(xs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_int_exprs, min_size=1, max_size=10))
+def test_expression_evaluation_is_pure(xs: list[int]) -> None:
+    env = {"xs": xs}
+    original = list(xs)
+    compiled = Expression("sorted(xs)[0]")
+    first = compiled.evaluate(env)
+    second = compiled.evaluate(env)
+    assert first == second
+    assert xs == original, "evaluation mutated its input"
+
+
+@settings(max_examples=30, deadline=None)
+@given(_names)
+def test_unknown_names_always_raise(name: str) -> None:
+    compiled = Expression(f"{name}_undefined_suffix")
+    with pytest.raises(ExpressionError):
+        compiled.evaluate({})

@@ -1,0 +1,108 @@
+"""Property-based tests for the template engine and LTS machinery."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.modeling.lts import LTS
+from repro.modeling.templates import render
+
+_plain = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,:;!?/-_()",
+    max_size=60,
+)
+import keyword
+
+_names = st.text(
+    alphabet=string.ascii_lowercase, min_size=1, max_size=6
+).filter(lambda n: not keyword.iskeyword(n))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_plain)
+def test_marker_free_text_renders_verbatim(text: str):
+    assert render(text) == text
+
+
+@settings(max_examples=60, deadline=None)
+@given(_names, st.integers(-100, 100))
+def test_substitution_inserts_value(name: str, value: int):
+    assert render(f"[${{{name}}}]", {name: value}) == f"[{value}]"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-9, 9), max_size=8))
+def test_loop_renders_each_item(items: list[int]):
+    out = render("%for x in items%${x};%end%", {"items": items})
+    assert out == "".join(f"{x};" for x in items)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.booleans(), _plain, _plain)
+def test_conditional_picks_exactly_one_branch(flag, yes, no):
+    # guard against branch text containing template markers
+    yes = yes.replace("%", "").replace("$", "")
+    no = no.replace("%", "").replace("$", "")
+    out = render(f"%if flag%{yes}%else%{no}%end%", {"flag": flag})
+    assert out == (yes if flag else no)
+
+
+# ---------------------------------------------------------------------------
+# LTS: random chains behave deterministically
+# ---------------------------------------------------------------------------
+
+@st.composite
+def chains(draw):
+    """A linear LTS: s0 -a-> s1 -a-> ... with per-step actions."""
+    length = draw(st.integers(min_value=1, max_value=8))
+    lts = LTS("chain", initial="s0")
+    for index in range(length):
+        lts.add_transition(
+            f"s{index}", "step", f"s{index + 1}",
+            actions=(f"a{index}",),
+        )
+    lts.add_state(f"s{length}", final=True)
+    return lts, length
+
+
+@settings(max_examples=40, deadline=None)
+@given(chains())
+def test_chain_runs_to_final(chain):
+    lts, length = chain
+    execution = lts.new_execution()
+    emitted = execution.run(["step"] * length)
+    assert emitted == [f"a{i}" for i in range(length)]
+    assert execution.in_final_state
+    assert lts.unreachable_states() == set()
+
+
+@settings(max_examples=40, deadline=None)
+@given(chains(), st.integers(min_value=0, max_value=7))
+def test_partial_runs_track_position(chain, steps):
+    lts, length = chain
+    steps = min(steps, length)
+    execution = lts.new_execution()
+    execution.run(["step"] * steps)
+    assert execution.state == f"s{steps}"
+    assert len(execution.trace) == steps
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(_names, st.integers(0, 9)), min_size=1, max_size=6,
+        unique_by=lambda t: t[0],
+    )
+)
+def test_priority_always_selects_max(transitions):
+    lts = LTS("prio")
+    for name, priority in transitions:
+        lts.add_transition("initial", "go", name, priority=priority,
+                           actions=(name,))
+    best = max(transitions, key=lambda t: t[1])[1]
+    execution = lts.new_execution()
+    (chosen,) = execution.step("go")
+    chosen_priority = dict(transitions)[chosen]
+    assert chosen_priority == best

@@ -1,0 +1,168 @@
+"""Unit tests for model/metamodel (de)serialization and cloning."""
+
+import pytest
+
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.serialize import (
+    SerializationError,
+    clone_model,
+    clone_object,
+    metamodel_from_dict,
+    metamodel_to_dict,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+    model_to_json,
+    object_to_dict,
+)
+
+
+@pytest.fixture
+def metamodel() -> Metamodel:
+    mm = Metamodel("library")
+    mm.new_enum("Genre", ["fiction", "reference"])
+    book = mm.new_class("Book")
+    book.attribute("title", "string", required=True)
+    book.attribute("genre", "Genre")
+    book.attribute("pages", "int", default=100)
+    book.attribute("keywords", "string", many=True)
+    shelf = mm.new_class("Shelf")
+    shelf.attribute("label", "string")
+    shelf.reference("books", "Book", containment=True, many=True)
+    shelf.reference("featured", "Book")
+    return mm.resolve()
+
+
+@pytest.fixture
+def model(metamodel) -> Model:
+    m = Model(metamodel, name="branch")
+    shelf = m.create_root("Shelf", label="A")
+    b1 = m.create("Book", title="Dune", genre="fiction", pages=412,
+                  keywords=["sand", "spice"])
+    b2 = m.create("Book", title="TAOCP", genre="reference")
+    shelf.books.extend([b1, b2])
+    shelf.featured = b2
+    return m
+
+
+class TestRoundTrip:
+    def test_json_roundtrip_preserves_structure(self, model, metamodel):
+        restored = model_from_json(model_to_json(model), metamodel)
+        assert len(restored) == len(model)
+        shelf = restored.roots[0]
+        titles = [b.title for b in shelf.books]
+        assert titles == ["Dune", "TAOCP"]
+        assert shelf.featured.title == "TAOCP"
+        assert shelf.featured is shelf.books[1]  # identity restored
+
+    def test_ids_preserved(self, model, metamodel):
+        restored = model_from_dict(model_to_dict(model), metamodel)
+        assert set(restored.index()) == set(model.index())
+
+    def test_defaults_not_serialized(self, model):
+        doc = model_to_dict(model)
+        taocp = doc["roots"][0]["refs"]["books"][1]
+        assert "pages" not in taocp.get("attrs", {})  # default value elided
+
+    def test_many_attributes_roundtrip(self, model, metamodel):
+        restored = model_from_dict(model_to_dict(model), metamodel)
+        dune = [b for b in restored.walk() if b.is_a("Book")][0]
+        assert dune.keywords == ["sand", "spice"]
+
+
+class TestErrors:
+    def test_unknown_class(self, metamodel):
+        with pytest.raises(SerializationError, match="unknown class"):
+            model_from_dict(
+                {"roots": [{"class": "Ghost", "id": "g#1"}]}, metamodel
+            )
+
+    def test_missing_class_key(self, metamodel):
+        with pytest.raises(SerializationError, match="missing 'class'"):
+            model_from_dict({"roots": [{"id": "x"}]}, metamodel)
+
+    def test_metamodel_mismatch(self, model, metamodel):
+        doc = model_to_dict(model)
+        doc["metamodel"] = "somethingelse"
+        with pytest.raises(SerializationError, match="does not match"):
+            model_from_dict(doc, metamodel)
+
+    def test_dangling_reference(self, metamodel):
+        doc = {
+            "roots": [
+                {
+                    "class": "Shelf",
+                    "id": "s#1",
+                    "refs": {"featured": {"$ref": "nothing"}},
+                }
+            ]
+        }
+        with pytest.raises(SerializationError, match="dangling"):
+            model_from_dict(doc, metamodel)
+
+    def test_duplicate_ids(self, metamodel):
+        doc = {
+            "roots": [
+                {"class": "Book", "id": "b#1", "attrs": {"title": "A"}},
+                {"class": "Book", "id": "b#1", "attrs": {"title": "B"}},
+            ]
+        }
+        with pytest.raises(SerializationError, match="duplicate"):
+            model_from_dict(doc, metamodel)
+
+    def test_bad_json(self, metamodel):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            model_from_json("{not json", metamodel)
+
+    def test_bad_attribute_value(self, metamodel):
+        doc = {"roots": [{"class": "Book", "attrs": {"pages": "many"}}]}
+        with pytest.raises(SerializationError):
+            model_from_dict(doc, metamodel)
+
+
+class TestClone:
+    def test_clone_model_is_deep(self, model):
+        copy = clone_model(model)
+        copy.roots[0].books[0].title = "Changed"
+        assert model.roots[0].books[0].title == "Dune"
+
+    def test_clone_object_keeps_internal_refs(self, model):
+        shelf = model.roots[0]
+        copy = clone_object(shelf)
+        assert copy.featured is copy.books[1]
+        assert copy is not shelf
+
+    def test_clone_object_fresh_ids(self, model):
+        shelf = model.roots[0]
+        copy = clone_object(shelf, fresh_ids=True)
+        assert copy.id != shelf.id
+        assert {b.id for b in copy.books}.isdisjoint(
+            {b.id for b in shelf.books}
+        )
+
+
+class TestMetamodelDocuments:
+    def test_metamodel_roundtrip(self, metamodel):
+        doc = metamodel_to_dict(metamodel)
+        restored = metamodel_from_dict(doc)
+        assert set(restored.classes) == set(metamodel.classes)
+        book = restored.require_class("Book")
+        assert book.find_feature("genre").type_name == "Genre"
+        shelf = restored.require_class("Shelf")
+        books_ref = shelf.find_feature("books")
+        assert books_ref.containment and books_ref.many
+
+    def test_roundtripped_metamodel_usable(self, metamodel, model):
+        restored_mm = metamodel_from_dict(metamodel_to_dict(metamodel))
+        restored = model_from_dict(model_to_dict(model), restored_mm)
+        assert len(restored) == 3
+
+    def test_bad_document(self):
+        with pytest.raises(SerializationError):
+            metamodel_from_dict({"classes": {}})  # missing name
+
+    def test_object_to_dict_minimal(self, model):
+        doc = object_to_dict(model.roots[0])
+        assert doc["class"] == "Shelf"
+        assert len(doc["refs"]["books"]) == 2

@@ -1,0 +1,98 @@
+"""Unit tests for the code-template engine."""
+
+import pytest
+
+from repro.modeling.templates import Template, TemplateError, render
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert render("Hello ${name}!", {"name": "world"}) == "Hello world!"
+
+    def test_expression(self):
+        assert render("${a + b * 2}", {"a": 1, "b": 3}) == "7"
+
+    def test_none_renders_empty(self):
+        assert render("[${x}]", {"x": None}) == "[]"
+
+    def test_plain_text_passthrough(self):
+        assert render("no markers here") == "no markers here"
+
+    def test_bad_expression_at_compile(self):
+        with pytest.raises(TemplateError):
+            Template("${1 +}")
+
+    def test_unknown_name_at_render(self):
+        with pytest.raises(TemplateError):
+            render("${missing}")
+
+
+class TestLoops:
+    def test_for_loop(self):
+        assert render("%for x in items%${x},%end%", {"items": [1, 2, 3]}) == "1,2,3,"
+
+    def test_loop_scoping(self):
+        out = render("%for x in items%${x}%end%${x}", {"items": [1], "x": 9})
+        assert out == "19"
+
+    def test_nested_loops(self):
+        out = render(
+            "%for r in rows%%for c in r%${c}%end%;%end%",
+            {"rows": [[1, 2], [3]]},
+        )
+        assert out == "12;3;"
+
+    def test_malformed_for(self):
+        with pytest.raises(TemplateError, match="malformed"):
+            Template("%for notin items%x%end%")
+
+    def test_unclosed_for(self):
+        with pytest.raises(TemplateError, match="without matching"):
+            Template("%for x in items%${x}")
+
+
+class TestConditionals:
+    def test_if_else(self):
+        t = Template("%if n > 1%many%else%one%end%")
+        assert t.render({"n": 5}) == "many"
+        assert t.render({"n": 1}) == "one"
+
+    def test_elif_chain(self):
+        t = Template("%if n > 10%big%elif n > 5%mid%else%small%end%")
+        assert t.render({"n": 20}) == "big"
+        assert t.render({"n": 7}) == "mid"
+        assert t.render({"n": 1}) == "small"
+
+    def test_if_without_else(self):
+        t = Template("%if flag%yes%end%")
+        assert t.render({"flag": True}) == "yes"
+        assert t.render({"flag": False}) == ""
+
+    def test_stray_end(self):
+        with pytest.raises(TemplateError):
+            Template("text %end%")
+
+    def test_stray_else(self):
+        with pytest.raises(TemplateError):
+            Template("%else%")
+
+
+class TestComposition:
+    def test_loop_inside_conditional(self):
+        t = Template("%if xs%%for x in xs%${x} %end%%else%empty%end%")
+        assert t.render({"xs": [1, 2]}) == "1 2 "
+        assert t.render({"xs": []}) == "empty"
+
+    def test_conditional_inside_loop(self):
+        t = Template("%for x in xs%%if x > 1%${x}%end%%end%")
+        assert t.render({"xs": [1, 2, 3]}) == "23"
+
+    def test_component_parameter_use_case(self):
+        # The factory renders model metadata into configuration values.
+        t = Template("endpoint-${node}:%if secure%443%else%80%end%")
+        assert t.render({"node": "n1", "secure": True}) == "endpoint-n1:443"
+
+    def test_render_caching_is_context_free(self):
+        source = "${v}"
+        assert render(source, {"v": 1}) == "1"
+        assert render(source, {"v": 2}) == "2"

@@ -1,0 +1,219 @@
+"""Tests for model weaving (aspect-oriented model composition)."""
+
+import pytest
+
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.modeling.weave import (
+    WeaveConflict,
+    default_key,
+    weave_models,
+)
+
+
+@pytest.fixture
+def metamodel() -> Metamodel:
+    mm = Metamodel("appml")
+    app = mm.new_class("App")
+    app.attribute("name", "string", required=True)
+    app.attribute("version", "string")
+    app.reference("services", "Service", containment=True, many=True)
+    service = mm.new_class("Service")
+    service.attribute("name", "string", required=True)
+    service.attribute("replicas", "int", default=1)
+    service.attribute("labels", "string", many=True)
+    service.reference("dependsOn", "Service", many=True)
+    return mm.resolve()
+
+
+def make_base(metamodel) -> Model:
+    base = Model(metamodel, name="base")
+    app = base.create_root("App", name="shop", version="1.0")
+    web = base.create("Service", name="web", replicas=2)
+    db = base.create("Service", name="db")
+    app.services.extend([web, db])
+    web.dependsOn.append(db)
+    return base
+
+
+class TestMerging:
+    def test_disjoint_aspect_adds(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="metrics")
+        app = aspect.create_root("App", name="shop")
+        app.services.append(aspect.create("Service", name="prometheus"))
+        result = weave_models(base, aspect)
+        names = {s.name for s in result.model.objects_by_class("Service")}
+        assert names == {"web", "db", "prometheus"}
+        assert result.added == 1
+        assert result.merged >= 1
+
+    def test_matched_elements_merge_not_duplicate(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="a")
+        app = aspect.create_root("App", name="shop")
+        app.services.append(aspect.create("Service", name="web"))
+        result = weave_models(base, aspect)
+        webs = [
+            s for s in result.model.objects_by_class("Service")
+            if s.name == "web"
+        ]
+        assert len(webs) == 1
+
+    def test_single_value_override_recorded(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="scale-up")
+        app = aspect.create_root("App", name="shop")
+        app.services.append(aspect.create("Service", name="web", replicas=8))
+        result = weave_models(base, aspect)
+        web = [s for s in result.model.objects_by_class("Service")
+               if s.name == "web"][0]
+        assert web.replicas == 8
+        assert len(result.overrides) == 1
+        override = result.overrides[0]
+        assert override.feature == "replicas"
+        assert override.old == 2 and override.new == 8
+        assert override.source_model == "scale-up"
+
+    def test_many_attributes_union(self, metamodel):
+        base = make_base(metamodel)
+        base.roots[0].services[0].labels = ["frontend"]
+        aspect = Model(metamodel, name="a")
+        app = aspect.create_root("App", name="shop")
+        app.services.append(
+            aspect.create("Service", name="web", labels=["frontend", "public"])
+        )
+        result = weave_models(base, aspect)
+        web = [s for s in result.model.objects_by_class("Service")
+               if s.name == "web"][0]
+        assert web.labels == ["frontend", "public"]
+
+    def test_cross_references_retargeted(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="cache")
+        app = aspect.create_root("App", name="shop")
+        cache = aspect.create("Service", name="cache")
+        web_ghost = aspect.create("Service", name="web")
+        cache.dependsOn.append(web_ghost)
+        app.services.extend([cache, web_ghost])
+        result = weave_models(base, aspect)
+        woven_cache = [s for s in result.model.objects_by_class("Service")
+                       if s.name == "cache"][0]
+        targets = [t.name for t in woven_cache.dependsOn]
+        assert targets == ["web"]
+        # and the target is the *base* web (merged), not a duplicate
+        woven_web = [s for s in result.model.objects_by_class("Service")
+                     if s.name == "web"]
+        assert len(woven_web) == 1
+        assert woven_cache.dependsOn[0] is woven_web[0]
+
+    def test_merged_element_reference_union(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="a")
+        app = aspect.create_root("App", name="shop")
+        web = aspect.create("Service", name="web")
+        extra = aspect.create("Service", name="queue")
+        web.dependsOn.append(extra)
+        app.services.extend([web, extra])
+        result = weave_models(base, aspect)
+        woven_web = [s for s in result.model.objects_by_class("Service")
+                     if s.name == "web"][0]
+        assert {t.name for t in woven_web.dependsOn} == {"db", "queue"}
+
+    def test_inputs_not_mutated(self, metamodel):
+        base = make_base(metamodel)
+        base_size = len(base)
+        aspect = Model(metamodel, name="a")
+        app = aspect.create_root("App", name="shop")
+        app.services.append(aspect.create("Service", name="new"))
+        aspect_size = len(aspect)
+        weave_models(base, aspect)
+        assert len(base) == base_size
+        assert len(aspect) == aspect_size
+
+
+class TestConflicts:
+    def test_strict_mode_raises_on_conflicting_sets(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="conflict")
+        app = aspect.create_root("App", name="shop", version="2.0")
+        with pytest.raises(WeaveConflict, match="version"):
+            weave_models(base, aspect, strict=True)
+
+    def test_strict_mode_allows_filling_unset(self, metamodel):
+        mm = metamodel
+        base = Model(mm, name="b")
+        base.create_root("App", name="shop")  # version unset
+        aspect = Model(mm, name="a")
+        aspect.create_root("App", name="shop", version="2.0")
+        result = weave_models(base, aspect, strict=True)
+        assert result.model.roots[0].version == "2.0"
+
+    def test_two_aspects_conflicting(self, metamodel):
+        base = Model(metamodel, name="b")
+        base.create_root("App", name="shop")
+        a1 = Model(metamodel, name="a1")
+        a1.create_root("App", name="shop", version="1.1")
+        a2 = Model(metamodel, name="a2")
+        a2.create_root("App", name="shop", version="9.9")
+        with pytest.raises(WeaveConflict):
+            weave_models(base, a1, a2, strict=True)
+        # non-strict: last aspect wins, both steps recorded
+        result = weave_models(base, a1, a2)
+        assert result.model.roots[0].version == "9.9"
+
+    def test_metamodel_mismatch_rejected(self, metamodel):
+        other = Metamodel("other")
+        other.new_class("X").attribute("name", "string")
+        other.resolve()
+        with pytest.raises(ValueError, match="conforms to"):
+            weave_models(make_base(metamodel), Model(other, name="o"))
+
+
+class TestKeys:
+    def test_default_key_uses_first_string_attribute(self, metamodel):
+        base = make_base(metamodel)
+        web = base.roots[0].services[0]
+        assert default_key(web) == ("Service", "web")
+
+    def test_custom_key(self, metamodel):
+        base = make_base(metamodel)
+        aspect = Model(metamodel, name="a")
+        app = aspect.create_root("App", name="DIFFERENT")
+        app.services.append(aspect.create("Service", name="web"))
+        # key on class only for App: both apps match despite names
+        def key(obj):
+            if obj.meta.name == "App":
+                return ("App",)
+            return default_key(obj)
+
+        result = weave_models(base, aspect, key=key)
+        assert len(result.model.objects_by_class("App")) == 1
+
+
+class TestEndToEnd:
+    def test_woven_cml_model_executes(self):
+        """Two CML concern models woven and run through the CVM."""
+        from repro.domains.communication import CmlBuilder, build_cvm
+        from repro.sim.network import CommService
+
+        base = CmlBuilder("call")
+        alice = base.person("alice", role="initiator")
+        bob = base.person("bob")
+        base.connection("line", [alice, bob], media=["audio"])
+
+        video_concern = CmlBuilder("call")
+        a2 = video_concern.person("alice", role="initiator")
+        b2 = video_concern.person("bob")
+        video_concern.connection("line", [a2, b2],
+                                 media=[("video", "high")])
+
+        woven = weave_models(base.build(), video_concern.build()).model
+        service = CommService("net0", op_cost=0.0)
+        cvm = build_cvm(service=service)
+        cvm.run_model(woven)
+        session = next(iter(service.sessions.values()))
+        assert {m.medium for m in session.streams.values()} == {
+            "audio", "video"
+        }
+        cvm.stop()

@@ -1,0 +1,93 @@
+"""Unit tests for clocks and timers."""
+
+import pytest
+
+from repro.runtime.clock import Timer, VirtualClock, WallClock
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_advance_is_noop(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.advance(100.0)
+        assert clock.now() - before < 1.0
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+        clock.sleep(1.0)
+        assert clock.now() == 3.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_timers_fire_in_order(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_later(2.0, lambda: fired.append("b"))
+        clock.call_later(1.0, lambda: fired.append("a"))
+        clock.call_later(3.0, lambda: fired.append("c"))
+        clock.advance(2.5)
+        assert fired == ["a", "b"]
+        assert clock.pending_timers == 1
+        clock.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_timer_scheduling_in_past_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.call_at(5.0, lambda: None)
+
+    def test_timer_fires_at_exact_time(self):
+        clock = VirtualClock()
+        seen = []
+        clock.call_at(5.0, lambda: seen.append(clock.now()))
+        clock.advance(5.0)
+        assert seen == [5.0]
+
+    def test_tie_break_is_fifo(self):
+        clock = VirtualClock()
+        fired = []
+        clock.call_at(1.0, lambda: fired.append(1))
+        clock.call_at(1.0, lambda: fired.append(2))
+        clock.advance(1.0)
+        assert fired == [1, 2]
+
+    def test_timer_can_schedule_timer(self):
+        clock = VirtualClock()
+        fired = []
+
+        def first():
+            fired.append("first")
+            clock.call_later(1.0, lambda: fired.append("second"))
+
+        clock.call_later(1.0, first)
+        clock.advance(3.0)
+        assert fired == ["first", "second"]
+
+
+class TestTimer:
+    def test_context_manager(self):
+        clock = VirtualClock()
+        with Timer(clock) as t:
+            clock.advance(1.25)
+        assert t.elapsed == 1.25
+
+    def test_stop_without_start(self):
+        with pytest.raises(RuntimeError):
+            Timer(VirtualClock()).stop()
+
+    def test_wall_timer_measures_something(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed >= 0.0

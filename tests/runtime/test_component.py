@@ -1,0 +1,295 @@
+"""Unit tests for the component model, registries, factory and executors."""
+
+import pytest
+
+from repro.modeling.meta import Metamodel
+from repro.modeling.model import Model
+from repro.runtime.component import Component, ComponentError, LifecycleState
+from repro.runtime.executor import (
+    ExecutorError,
+    InlineExecutor,
+    Mailbox,
+    ThreadPoolExecutorAdapter,
+)
+from repro.runtime.factory import ComponentFactory, ComponentSpec, FactoryError
+from repro.runtime.registry import Registry, RegistryError, TypeRegistry
+
+
+class Probe(Component):
+    """Component recording its lifecycle hooks."""
+
+    required_ports = ("dep",)
+
+    def __init__(self, name, **kwargs):
+        super().__init__(name, **kwargs)
+        self.events = []
+
+    def on_configure(self):
+        self.events.append(("configure", dict(self.metadata)))
+
+    def on_start(self):
+        self.events.append(("start",))
+
+    def on_stop(self):
+        self.events.append(("stop",))
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        c = Probe("p")
+        c.configure({"k": "v"}).wire("dep", object()).start()
+        assert c.running
+        c.stop()
+        assert not c.running
+        assert [e[0] for e in c.events] == ["configure", "start", "stop"]
+
+    def test_cannot_start_unconfigured(self):
+        c = Probe("p")
+        with pytest.raises(ComponentError):
+            c.start()
+
+    def test_cannot_start_with_unwired_required_port(self):
+        c = Probe("p").configure()
+        with pytest.raises(ComponentError, match="unwired ports"):
+            c.start()
+
+    def test_restart_after_stop(self):
+        c = Probe("p").configure()
+        c.wire("dep", 1)
+        c.start().stop()
+        c.start()
+        assert c.running
+
+    def test_cannot_rewire_while_running(self):
+        c = Probe("p").configure().wire("dep", 1)
+        c.start()
+        with pytest.raises(ComponentError, match="while running"):
+            c.wire("dep", 2)
+
+    def test_require_running(self):
+        c = Probe("p")
+        with pytest.raises(ComponentError, match="not started"):
+            c.require_running()
+
+    def test_port_lookup(self):
+        c = Probe("p").configure()
+        target = object()
+        c.wire("dep", target)
+        assert c.port("dep") is target
+        assert c.port_or_none("other") is None
+        with pytest.raises(ComponentError, match="unwired"):
+            c.port("other")
+
+    def test_lifecycle_transition_table(self):
+        with pytest.raises(ComponentError):
+            LifecycleState.check(LifecycleState.CREATED, LifecycleState.STARTED)
+        LifecycleState.check(LifecycleState.STOPPED, LifecycleState.STARTED)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = Registry()
+        c = Component("a")
+        registry.register(c)
+        assert registry.lookup("a") is c
+        assert "a" in registry
+        assert len(registry) == 1
+
+    def test_duplicate_rejected(self):
+        registry = Registry()
+        registry.register(Component("a"))
+        with pytest.raises(RegistryError, match="duplicate"):
+            registry.register(Component("a"))
+
+    def test_deregister(self):
+        registry = Registry()
+        c = registry.register(Component("a"))
+        registry.deregister("a")
+        assert registry.lookup_or_none("a") is None
+        assert c.registry is None
+
+    def test_start_stop_all(self):
+        registry = Registry()
+        a = registry.register(Component("a").configure())
+        b = registry.register(Component("b").configure())
+        registry.start_all()
+        assert a.running and b.running
+        registry.stop_all()
+        assert not a.running and not b.running
+
+    def test_by_type(self):
+        registry = Registry()
+        registry.register(Component("plain"))
+        probe = Probe("probe")
+        registry.register(probe)
+        assert registry.by_type(Probe) == [probe]
+
+
+class TestTypeRegistry:
+    def test_register_and_create(self):
+        types = TypeRegistry()
+        types.register("probe", Probe)
+        c = types.create("probe", "x")
+        assert isinstance(c, Probe)
+        assert "probe" in types
+
+    def test_decorator_form(self):
+        types = TypeRegistry()
+
+        @types.component_type("widget")
+        class Widget(Component):
+            pass
+
+        assert isinstance(types.create("widget", "w"), Widget)
+
+    def test_unknown_template(self):
+        with pytest.raises(RegistryError, match="unknown component template"):
+            TypeRegistry().resolve("ghost")
+
+    def test_non_component_factory_rejected(self):
+        types = TypeRegistry()
+        types.register("bad", lambda name, **kw: object())
+        with pytest.raises(RegistryError, match="not a Component"):
+            types.create("bad", "x")
+
+
+class TestComponentFactory:
+    @pytest.fixture
+    def types(self) -> TypeRegistry:
+        types = TypeRegistry()
+        types.register("probe", Probe)
+        types.register("plain", Component)
+        return types
+
+    def test_realize_configures(self, types):
+        factory = ComponentFactory(types)
+        component = factory.realize(
+            ComponentSpec("p1", "probe", parameters={"speed": 3})
+        )
+        assert component.metadata["speed"] == 3
+        assert component.metadata["template"] == "probe"
+        assert factory.registry.lookup("p1") is component
+
+    def test_parameter_templates_rendered(self, types):
+        factory = ComponentFactory(types, context={"node": "n7"})
+        component = factory.realize(
+            ComponentSpec("p1", "probe", parameters={"endpoint": "ep-${node}"})
+        )
+        assert component.metadata["endpoint"] == "ep-n7"
+
+    def test_wiring_between_specs(self, types):
+        factory = ComponentFactory(types)
+        specs = [
+            ComponentSpec("a", "plain"),
+            ComponentSpec("b", "probe", wiring={"dep": "a"}),
+        ]
+        a, b = factory.realize_all(specs)
+        assert b.port("dep") is a
+
+    def test_dangling_wire_target(self, types):
+        factory = ComponentFactory(types)
+        with pytest.raises(FactoryError, match="unknown component"):
+            factory.realize_all(
+                [ComponentSpec("b", "probe", wiring={"dep": "ghost"})]
+            )
+
+    def test_unknown_template_is_factory_error(self, types):
+        with pytest.raises(FactoryError):
+            ComponentFactory(types).realize(ComponentSpec("x", "ghost"))
+
+    def test_spec_from_model_element(self, types):
+        mm = Metamodel("deploy")
+        comp = mm.new_class("ComponentDef")
+        comp.attribute("name", "string")
+        comp.attribute("template", "string")
+        comp.reference("parameters", "Parameter", containment=True, many=True)
+        param = mm.new_class("Parameter")
+        param.attribute("key", "string")
+        param.attribute("value", "any")
+        mm.resolve()
+        m = Model(mm, name="d")
+        element = m.create_root("ComponentDef", name="c1", template="probe")
+        element.parameters.append(m.create("Parameter", key="speed", value=9))
+        spec = ComponentSpec.from_model(element)
+        assert spec.name == "c1" and spec.template == "probe"
+        assert spec.parameters == {"speed": 9}
+
+    def test_spec_requires_name_and_template(self):
+        with pytest.raises(FactoryError):
+            ComponentSpec("", "t")
+        with pytest.raises(FactoryError):
+            ComponentSpec("n", "")
+
+
+class TestExecutors:
+    def test_inline_executes_immediately(self):
+        executor = InlineExecutor()
+        future = executor.submit(lambda a, b: a + b, 2, 3)
+        assert future.result() == 5
+        assert executor.submitted == 1
+
+    def test_inline_captures_exceptions(self):
+        executor = InlineExecutor()
+        future = executor.submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result()
+
+    def test_inline_shutdown(self):
+        executor = InlineExecutor()
+        executor.shutdown()
+        with pytest.raises(ExecutorError):
+            executor.submit(lambda: None)
+
+    def test_thread_pool_adapter(self):
+        executor = ThreadPoolExecutorAdapter(max_workers=2)
+        try:
+            futures = [executor.submit(lambda i=i: i * i) for i in range(5)]
+            assert sorted(f.result() for f in futures) == [0, 1, 4, 9, 16]
+        finally:
+            executor.shutdown()
+        with pytest.raises(ExecutorError):
+            executor.submit(lambda: None)
+
+
+class TestMailbox:
+    def test_drain_in_order(self):
+        box = Mailbox("m")
+        out = []
+        for i in range(3):
+            box.post(lambda i=i: out.append(i))
+        assert box.drain() == 3
+        assert out == [0, 1, 2]
+        assert box.processed == 3
+
+    def test_drain_with_limit(self):
+        box = Mailbox("m")
+        for i in range(5):
+            box.post(lambda: None)
+        assert box.drain(max_tasks=2) == 2
+        assert box.pending == 3
+
+    def test_error_routed_to_handler(self):
+        errors = []
+        box = Mailbox("m", on_error=errors.append)
+        box.post(lambda: 1 / 0)
+        box.post(lambda: None)
+        box.drain()
+        assert len(errors) == 1
+        assert box.failed == 1
+        assert box.processed == 1
+
+    def test_error_without_handler_raises(self):
+        box = Mailbox("m")
+        box.post(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            box.drain()
+
+    def test_pump_thread(self):
+        import threading
+
+        box = Mailbox("m")
+        done = threading.Event()
+        box.post(done.set)
+        box.start_pump()
+        assert done.wait(timeout=5.0)
+        box.stop_pump()

@@ -1,0 +1,105 @@
+"""Unit tests for signals and the event bus."""
+
+import pytest
+
+from repro.runtime.events import (
+    Call,
+    Event,
+    EventBus,
+    EventDeliveryError,
+    Signal,
+)
+
+
+class TestSignalTypes:
+    def test_kinds(self):
+        assert Signal(topic="t").kind == "signal"
+        assert Call(topic="t").kind == "call"
+        assert Event(topic="t").kind == "event"
+
+    def test_sequence_numbers_increase(self):
+        a = Signal(topic="t")
+        b = Signal(topic="t")
+        assert b.seq > a.seq
+
+    def test_with_payload_merges(self):
+        call = Call(topic="t", payload={"a": 1})
+        enriched = call.with_payload(b=2)
+        assert dict(enriched.payload) == {"a": 1, "b": 2}
+        assert isinstance(enriched, Call)
+        assert dict(call.payload) == {"a": 1}  # original untouched
+
+
+class TestEventBus:
+    def test_exact_topic_delivery(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("a.b", received.append)
+        assert bus.emit("a.b", x=1) == 1
+        assert bus.emit("a.c") == 0
+        assert len(received) == 1
+        assert received[0].payload["x"] == 1
+
+    def test_wildcard_delivery(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("sensor.*", received.append)
+        bus.emit("sensor.temp")
+        bus.emit("sensor.humidity")
+        bus.emit("actuator.fan")
+        assert [s.topic for s in received] == ["sensor.temp", "sensor.humidity"]
+
+    def test_multiple_subscribers(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe("t", lambda s: hits.append(1))
+        bus.subscribe("t", lambda s: hits.append(2))
+        assert bus.emit("t") == 2
+        assert hits == [1, 2]
+
+    def test_cancel_subscription(self):
+        bus = EventBus()
+        hits = []
+        sub = bus.subscribe("t", lambda s: hits.append(1))
+        bus.emit("t")
+        sub.cancel()
+        bus.emit("t")
+        assert hits == [1]
+        assert bus.subscriber_count == 0
+
+    def test_failing_subscriber_does_not_starve_others(self):
+        bus = EventBus()
+        hits = []
+
+        def boom(signal):
+            raise RuntimeError("kaput")
+
+        bus.subscribe("t", boom)
+        bus.subscribe("t", lambda s: hits.append(1))
+        with pytest.raises(EventDeliveryError) as excinfo:
+            bus.emit("t")
+        assert hits == [1]  # second subscriber still ran
+        assert len(excinfo.value.errors) == 1
+
+    def test_history_recording(self):
+        bus = EventBus()
+        bus.record_history = True
+        bus.emit("a")
+        bus.call("b")
+        topics = [s.topic for s in bus.history()]
+        assert topics == ["a", "b"]
+        bus.clear_history()
+        assert bus.history() == []
+
+    def test_history_off_by_default(self):
+        bus = EventBus()
+        bus.emit("a")
+        assert bus.history() == []
+
+    def test_call_vs_emit_kinds(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("op", lambda s: seen.append(s.kind))
+        bus.call("op")
+        bus.emit("op")
+        assert seen == ["call", "event"]
