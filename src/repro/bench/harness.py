@@ -7,7 +7,9 @@ paths consistently, and print the rows that EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import json
 import statistics
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -24,6 +26,9 @@ __all__ = [
     "ResultTable",
     "fresh_model_based_broker",
     "fresh_handcrafted_broker",
+    "bus_scaling_bench",
+    "e1_quick_bench",
+    "write_bench_json",
 ]
 
 
@@ -196,3 +201,158 @@ def _fmt(cell: Any) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"
     return str(cell)
+
+
+# -- signal-fabric micro-benchmarks (BENCH_PR1.json) ----------------------
+
+
+class _LinearScanBus:
+    """Reference implementation of the pre-index routing strategy:
+    a list copy per publish plus a full scan over all subscriptions.
+    Used as the baseline the indexed bus is compared against."""
+
+    def __init__(self) -> None:
+        from repro.runtime.topics import TopicMatcher
+
+        self._matcher = TopicMatcher
+        self._subs: list[tuple[str, Callable[[], None]]] = []
+
+    def subscribe(self, pattern: str, callback: Callable[[], None]) -> None:
+        self._subs.append((pattern, callback))
+
+    def publish(self, topic: str) -> int:
+        delivered = 0
+        for pattern, callback in list(self._subs):
+            if not self._matcher.matches(pattern, topic):
+                continue
+            delivered += 1
+            callback()
+        return delivered
+
+
+def bus_scaling_bench(
+    subscriber_counts: Sequence[int] = (1, 10, 100, 1000),
+    *,
+    publishes: int = 2000,
+) -> list[dict[str, Any]]:
+    """Per-publish routing cost vs subscriber population.
+
+    Each configuration registers ``n`` exact-topic subscribers plus one
+    wildcard subscriber, then publishes to a single hot topic (one
+    exact + one wildcard match per publish).  The indexed bus should be
+    flat in ``n``; the linear-scan reference grows with ``n``.
+    """
+    from repro.runtime.events import EventBus
+    from repro.runtime.metrics import MetricsRegistry
+
+    rows: list[dict[str, Any]] = []
+    sink = lambda *_: None  # noqa: E731
+    quiet = MetricsRegistry()
+    quiet.enabled = False
+    for count in subscriber_counts:
+        bus = EventBus(name="bench", metrics=quiet)
+        for i in range(count):
+            bus.subscribe(f"cold.topic.{i}", sink)
+        bus.subscribe("hot.topic", sink)
+        bus.subscribe("hot.*", sink)
+        linear = _LinearScanBus()
+        for i in range(count):
+            linear.subscribe(f"cold.topic.{i}", sink)
+        linear.subscribe("hot.topic", sink)
+        linear.subscribe("hot.*", sink)
+
+        from repro.runtime.events import Event
+
+        signal = Event(topic="hot.topic")
+
+        def run_indexed() -> None:
+            for _ in range(publishes):
+                bus.publish(signal)
+
+        def run_linear() -> None:
+            for _ in range(publishes):
+                linear.publish("hot.topic")
+
+        indexed = measure(f"indexed[{count}]", run_indexed, repeat=5)
+        scan = measure(f"linear[{count}]", run_linear, repeat=5)
+        indexed_us = indexed.minimum / publishes * 1e6
+        linear_us = scan.minimum / publishes * 1e6
+        rows.append({
+            "subscribers": count,
+            "publishes": publishes,
+            "indexed_us": indexed_us,
+            "linear_scan_us": linear_us,
+            "speedup": linear_us / indexed_us if indexed_us else 0.0,
+        })
+    return rows
+
+
+def e1_quick_bench(*, repeat: int = 5) -> dict[str, Any]:
+    """A quick E1 pass: mean broker-overhead latency across the
+    communication scenarios (middleware-model load excluded)."""
+    from repro.bench.workloads import COMMUNICATION_SCENARIOS
+
+    scenarios: list[dict[str, Any]] = []
+    model_total = 0.0
+    hand_total = 0.0
+    for scenario, steps in COMMUNICATION_SCENARIOS.items():
+        def timed(factory: Callable[[], Any]) -> float:
+            samples = []
+            for _ in range(repeat):
+                _broker, _service, runner = factory()
+                start = time.perf_counter()
+                runner.run(steps)
+                samples.append(time.perf_counter() - start)
+            return min(samples)
+
+        model_s = timed(fresh_model_based_broker)
+        hand_s = timed(fresh_handcrafted_broker)
+        model_total += model_s
+        hand_total += hand_s
+        scenarios.append({
+            "scenario": scenario,
+            "model_ms": model_s * 1000,
+            "handcrafted_ms": hand_s * 1000,
+            "overhead_pct": 100.0 * (model_s / hand_s - 1.0),
+        })
+    mean_overhead = (
+        sum(row["overhead_pct"] for row in scenarios) / len(scenarios)
+    )
+    return {
+        "scenarios": scenarios,
+        "model_ms": model_total * 1000,
+        "handcrafted_ms": hand_total * 1000,
+        "mean_overhead_pct": mean_overhead,
+    }
+
+
+def write_bench_json(path: str = "BENCH_PR1.json") -> dict[str, Any]:
+    """Run the signal-fabric benchmarks and write the JSON report."""
+    results = {
+        "bench": "PR1-signal-fabric",
+        "python": sys.version.split()[0],
+        "bus_scaling": bus_scaling_bench(),
+        "e1": e1_quick_bench(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.harness",
+        description="signal-fabric micro-benchmarks (writes BENCH_PR1.json)",
+    )
+    parser.add_argument("--output", default="BENCH_PR1.json")
+    args = parser.parse_args(argv)
+    results = write_bench_json(args.output)
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,13 @@ Commands:
 * ``reproduce`` — regenerate the paper's headline results (E1–E5) in
   one quick pass and print the comparison tables (the full harness
   with shape assertions is ``pytest benchmarks/ --benchmark-only``).
+* ``metrics`` — run ``examples/quickstart.py`` under a fresh metrics
+  registry and print the per-topic counters and latency histograms
+  the signal fabric recorded.
+* ``trace`` — run ``examples/quickstart.py`` with causal signal
+  tracing enabled and print the trace_id/parent_seq chains.
+* ``bench-fabric`` — run the signal-fabric micro-benchmarks and write
+  ``BENCH_PR1.json`` (also ``python -m repro.bench.harness``).
 """
 
 from __future__ import annotations
@@ -351,6 +358,85 @@ def cmd_reproduce(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_quickstart(*, show_output: bool) -> None:
+    """Import and run ``examples/quickstart.py`` in-process."""
+    import contextlib
+    import importlib.util
+    import io
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if not script.exists():
+        raise FileNotFoundError(
+            f"cannot find {script}; run from a source checkout"
+        )
+    spec = importlib.util.spec_from_file_location("repro_quickstart", script)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if show_output:
+        module.main()
+        return
+    with contextlib.redirect_stdout(io.StringIO()):
+        module.main()
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run the quickstart under a fresh registry; print what it saw."""
+    from repro.runtime.metrics import MetricsRegistry, set_default_registry
+
+    registry = MetricsRegistry()
+    previous = set_default_registry(registry)
+    try:
+        _run_quickstart(show_output=args.show_run)
+    finally:
+        set_default_registry(previous)
+    if args.json:
+        print(registry.to_json(indent=2))
+    else:
+        print("signal-fabric metrics for examples/quickstart.py:\n")
+        print(registry.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the quickstart with causal tracing; print the signal forest."""
+    from repro.runtime.trace import TraceRecorder
+
+    with TraceRecorder(limit=args.limit) as recorder:
+        _run_quickstart(show_output=args.show_run)
+    min_length = 1 if args.all else 2
+    print(
+        f"causal signal chains for examples/quickstart.py "
+        f"({len(recorder)} signals recorded):\n"
+    )
+    print(recorder.render(min_length=min_length))
+    return 0
+
+
+def cmd_bench_fabric(args: argparse.Namespace) -> int:
+    from repro.bench.harness import write_bench_json
+
+    results = write_bench_json(args.output)
+    print(f"wrote {args.output}")
+    scaling = results["bus_scaling"]
+    print("\nbus routing scaling (per-publish, one matching subscriber):")
+    for row in scaling:
+        print(
+            f"  subscribers={row['subscribers']:<6} "
+            f"indexed={row['indexed_us']:.2f}µs "
+            f"linear-scan={row['linear_scan_us']:.2f}µs "
+            f"speedup={row['speedup']:.1f}x"
+        )
+    e1 = results["e1"]
+    print(
+        f"\nE1 broker overhead: model-based {e1['model_ms']:.3f} ms vs "
+        f"handcrafted {e1['handcrafted_ms']:.3f} ms "
+        f"({e1['mean_overhead_pct']:.1f}% mean overhead)"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -400,6 +486,32 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduce",
         help="regenerate the paper's headline results in one quick pass",
     )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run examples/quickstart.py and print signal-fabric metrics",
+    )
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the registry snapshot as JSON")
+    metrics.add_argument("--show-run", action="store_true",
+                         help="also show the quickstart's own output")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run examples/quickstart.py and print causal signal chains",
+    )
+    trace.add_argument("--all", action="store_true",
+                       help="include single-signal chains")
+    trace.add_argument("--limit", type=int, default=100_000,
+                       help="max signals to record")
+    trace.add_argument("--show-run", action="store_true",
+                       help="also show the quickstart's own output")
+
+    bench = sub.add_parser(
+        "bench-fabric",
+        help="run signal-fabric micro-benchmarks and write BENCH_PR1.json",
+    )
+    bench.add_argument("--output", default="BENCH_PR1.json")
     return parser
 
 
@@ -412,6 +524,9 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "conformance": cmd_conformance,
     "run-cml": cmd_run_cml,
     "reproduce": cmd_reproduce,
+    "metrics": cmd_metrics,
+    "trace": cmd_trace,
+    "bench-fabric": cmd_bench_fabric,
 }
 
 

@@ -25,6 +25,8 @@ from repro.middleware.platform import Platform
 from repro.middleware.synthesis.scripts import Command
 from repro.modeling.expr import evaluate
 from repro.runtime.events import Signal, Subscription
+from repro.runtime.metrics import MetricsRegistry, default_registry
+from repro.runtime.topics import TopicMatcher
 
 __all__ = ["BridgeError", "BridgeRule", "BridgeActivation", "PlatformBridge"]
 
@@ -55,10 +57,7 @@ class BridgeRule:
             raise BridgeError(f"rule {self.name!r}: command needs an operation")
 
     def matches(self, topic: str, payload: Mapping[str, Any]) -> bool:
-        if self.topic_pattern.endswith("*"):
-            if not topic.startswith(self.topic_pattern[:-1]):
-                return False
-        elif topic != self.topic_pattern:
+        if not TopicMatcher.matches(self.topic_pattern, topic):
             return False
         if self.guard is None:
             return True
@@ -125,6 +124,7 @@ class PlatformBridge:
         self.source = source
         self.target = target
         self.name = name or f"{source.name}->{target.name}"
+        self.metrics: MetricsRegistry = default_registry()
         self._rules: list[BridgeRule] = []
         self._subscription: Subscription | None = None
         self._seen: set[tuple[str, Any]] = set()
@@ -200,9 +200,13 @@ class PlatformBridge:
     def _fire(self, rule: BridgeRule, topic: str, payload: dict[str, Any]) -> None:
         controller = self.target.controller
         assert controller is not None
+        self.metrics.count("bridge.fired", f"{self.name}:{rule.name}")
         try:
-            command = rule.render(topic, payload)
-            outcome = controller.execute_command(command)
+            with self.metrics.time(
+                "bridge.fired", f"{self.name}:{rule.name}"
+            ):
+                command = rule.render(topic, payload)
+                outcome = controller.execute_command(command)
             ok = outcome.ok
             detail = "" if ok else (
                 outcome.result.error if outcome.result else "unknown"
@@ -219,6 +223,7 @@ class PlatformBridge:
             )
         )
         if not ok:
+            self.metrics.count("bridge.failed", f"{self.name}:{rule.name}")
             self.target.bus.emit(
                 "bridge.failed", origin=self.name,
                 rule=rule.name, source_topic=topic, detail=detail,

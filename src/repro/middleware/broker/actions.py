@@ -24,6 +24,7 @@ from typing import Any, Callable, Mapping
 from repro.middleware.broker.resource import ResourceManager
 from repro.middleware.broker.state import StateManager
 from repro.modeling.expr import evaluate
+from repro.runtime.topics import TopicMatcher
 
 __all__ = [
     "BrokerActionError",
@@ -79,10 +80,7 @@ class BrokerAction:
     priority: int = 0
 
     def matches(self, api: str, env: Mapping[str, Any]) -> bool:
-        if self.pattern.endswith("*"):
-            if not api.startswith(self.pattern[:-1]):
-                return False
-        elif api != self.pattern:
+        if not TopicMatcher.matches(self.pattern, api):
             return False
         if self.guard is not None:
             try:
@@ -193,10 +191,7 @@ class EventBinding:
     guard: str | None = None
 
     def matches(self, topic: str, payload: Mapping[str, Any]) -> bool:
-        if self.topic_pattern.endswith("*"):
-            if not topic.startswith(self.topic_pattern[:-1]):
-                return False
-        elif topic != self.topic_pattern:
+        if not TopicMatcher.matches(self.topic_pattern, topic):
             return False
         if self.guard is not None:
             try:

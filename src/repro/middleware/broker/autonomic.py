@@ -27,6 +27,7 @@ from repro.middleware.broker.actions import ActionContext, BrokerActionError
 from repro.middleware.broker.resource import ResourceManager
 from repro.middleware.broker.state import StateManager
 from repro.modeling.expr import evaluate
+from repro.runtime.topics import TopicMatcher
 
 __all__ = ["Symptom", "ChangeRequest", "ChangePlan", "AutonomicManager"]
 
@@ -55,9 +56,7 @@ class Symptom:
             return True
         if topic is None:
             return False
-        if self.on_topic.endswith("*"):
-            return topic.startswith(self.on_topic[:-1])
-        return topic == self.on_topic
+        return TopicMatcher.matches(self.on_topic, topic)
 
     def holds(self, env: Mapping[str, Any]) -> bool:
         try:

@@ -98,12 +98,14 @@ class BrokerLayer(Component):
         """Handle a call from the Controller layer."""
         self.require_running()
         self.api_calls += 1
+        self.metrics.count("broker.call_api", api)
         snapshot_taken = False
         if self._snapshots_enabled and args.pop("_transactional", False):
             self.state.snapshot()
             snapshot_taken = True
         try:
-            result = self.calls.dispatch(api, **args)
+            with self.metrics.time("broker.call_api", api, clock=self.clock):
+                result = self.calls.dispatch(api, **args)
         except Exception:
             # Any failure inside a transactional call rolls state back
             # (resource faults included, not just dispatch errors).
@@ -143,6 +145,7 @@ class BrokerLayer(Component):
         self.autonomic.observe_event(signal.topic, payload)
         # 3. forward upward for the Controller's event handler
         self.events_forwarded += 1
+        self.metrics.count("broker.events_forwarded", signal.topic)
         upward = self.port_or_none("upward")
         if upward is not None:
             upward.receive_signal(signal)

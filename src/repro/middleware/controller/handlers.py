@@ -31,6 +31,8 @@ from repro.middleware.controller.stackmachine import (
 )
 from repro.middleware.synthesis.scripts import Command
 from repro.modeling.expr import evaluate
+from repro.runtime.events import Event, EventDeliveryError
+from repro.runtime.topics import TopicMatcher
 
 __all__ = [
     "HandlerError",
@@ -70,10 +72,7 @@ class Action:
     attributes: dict[str, Any] = field(default_factory=dict)
 
     def matches(self, operation: str, env: Mapping[str, Any]) -> bool:
-        if self.pattern.endswith("*"):
-            if not operation.startswith(self.pattern[:-1]):
-                return False
-        elif operation != self.pattern:
+        if not TopicMatcher.matches(self.pattern, operation):
             return False
         if self.guard is not None:
             return bool(evaluate(self.guard, dict(env)))
@@ -213,7 +212,9 @@ class IntentModelHandler:
         if exact is not None:
             return exact
         for pattern, classifier in self.classifier_map.items():
-            if pattern.endswith("*") and command.operation.startswith(pattern[:-1]):
+            if pattern.endswith("*") and TopicMatcher.matches(
+                pattern, command.operation
+            ):
                 return classifier
         # Fall back to the operation name itself (domains may name DSCs
         # after operations).
@@ -296,7 +297,7 @@ class CommandClassifier:
         if exact is not None:
             return exact
         for pattern, case in self.overrides.items():
-            if pattern.endswith("*") and operation.startswith(pattern[:-1]):
+            if pattern.endswith("*") and TopicMatcher.matches(pattern, operation):
                 return case
         return None
 
@@ -313,17 +314,23 @@ class EventHandler:
         self._handlers.append((pattern, callback))
 
     def dispatch(self, topic: str, payload: dict[str, Any]) -> int:
+        """Invoke every matching callback; handler exceptions are
+        aggregated into one :class:`EventDeliveryError` after all
+        callbacks ran (same contract as the event bus)."""
         matched = 0
+        errors: list[Exception] = []
         for pattern, callback in self._handlers:
-            if pattern.endswith("*"):
-                if not topic.startswith(pattern[:-1]):
-                    continue
-            elif topic != pattern:
+            if not TopicMatcher.matches(pattern, topic):
                 continue
-            callback(topic, payload)
             matched += 1
+            try:
+                callback(topic, payload)
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
         if matched:
             self.handled += 1
         else:
             self.unhandled += 1
+        if errors:
+            raise EventDeliveryError(Event(topic=topic, payload=payload), errors)
         return matched

@@ -40,6 +40,7 @@ from repro.modeling.model import Model, MObject
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.events import EventBus
 from repro.runtime.factory import ComponentFactory, ComponentSpec
+from repro.runtime.metrics import MetricsRegistry, default_registry
 from repro.runtime.registry import Registry, TypeRegistry
 
 __all__ = ["LoaderError", "DomainKnowledge", "load_platform"]
@@ -87,6 +88,7 @@ def load_platform(
     *,
     bus: EventBus | None = None,
     clock: Clock | None = None,
+    metrics: MetricsRegistry | None = None,
     start: bool = True,
 ) -> Platform:
     """Realize a middleware model as a running platform."""
@@ -100,9 +102,12 @@ def load_platform(
     if not root.is_a("MiddlewareModel"):
         raise LoaderError(f"root must be a MiddlewareModel, got {root.meta.name}")
 
-    bus = bus or EventBus(name=f"{root.get('name')}.bus")
     clock = clock or WallClock()
-    kwargs = {"bus": bus, "clock": clock}
+    metrics = metrics if metrics is not None else default_registry()
+    bus = bus or EventBus(
+        name=f"{root.get('name')}.bus", clock=clock, metrics=metrics
+    )
+    kwargs = {"bus": bus, "clock": clock, "metrics": metrics}
 
     broker = _load_broker(root.get("broker"), dsk, kwargs)
     controller = _load_controller(root.get("controller"), dsk, kwargs)
@@ -120,6 +125,7 @@ def load_platform(
         broker=broker,
         bus=bus,
         clock=clock,
+        metrics=metrics,
     )
     _realize_layer_components(platform, root, dsk, bus, clock)
     if start:

@@ -28,6 +28,7 @@ from repro.modeling.model import Model, MObject
 from repro.modeling.serialize import clone_model, clone_object
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.events import EventBus
+from repro.runtime.metrics import MetricsRegistry, default_registry
 
 __all__ = ["PlatformError", "Platform"]
 
@@ -52,6 +53,7 @@ class Platform:
         broker: BrokerLayer | None = None,
         bus: EventBus | None = None,
         clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
         self.domain = domain
@@ -61,8 +63,11 @@ class Platform:
         self.synthesis = synthesis
         self.controller = controller
         self.broker = broker
-        self.bus = bus or EventBus(name=f"{name}.bus")
         self.clock = clock or WallClock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.bus = bus or EventBus(
+            name=f"{name}.bus", clock=self.clock, metrics=self.metrics
+        )
         #: generic components realized from the middleware model's
         #: ComponentDef elements (started/stopped with the platform).
         from repro.runtime.registry import Registry
@@ -297,6 +302,10 @@ class Platform:
         if self.broker is not None:
             stats["broker"] = self.broker.stats()
         return stats
+
+    def metrics_report(self) -> str:
+        """Per-topic counters and latency histograms (human-readable)."""
+        return self.metrics.render()
 
     def _require(self, layer: Any, name: str) -> None:
         if layer is None:

@@ -28,6 +28,7 @@ from repro.modeling.diff import ChangeList
 from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
 from repro.runtime.component import Component
+from repro.runtime.events import Call
 
 __all__ = ["SynthesisError", "SynthesisResult", "SynthesisEngine"]
 
@@ -112,19 +113,23 @@ class SynthesisEngine(Component):
             )
         if self.negotiator is not None:
             new_model = self.negotiator(new_model)
-        changes = self.comparator.compare(self.dispatcher.runtime_model, new_model)
-        script = self.interpreter.interpret(
-            changes,
-            script_name=f"{self.name}:{new_model.name}",
-            context=context,
-        )
+        self.metrics.count("synthesis.cycle", new_model.name)
+        with self.metrics.time("synthesis.cycle", new_model.name, clock=self.clock):
+            changes = self.comparator.compare(
+                self.dispatcher.runtime_model, new_model
+            )
+            script = self.interpreter.interpret(
+                changes,
+                script_name=f"{self.name}:{new_model.name}",
+                context=context,
+            )
         script.source_model = new_model.name
         self.dispatcher.promote(new_model)
         self.cycles += 1
         if submit and not script.empty:
             downward = self.port_or_none("downward")
             if downward is not None:
-                downward.submit_script(script)
+                self._forward_script(downward, script)
         return SynthesisResult(
             script=script, changes=changes, accepted_model=new_model
         )
@@ -143,8 +148,29 @@ class SynthesisEngine(Component):
         self.cycles += 1
         downward = self.port_or_none("downward")
         if downward is not None and not script.empty:
-            downward.submit_script(script)
+            self._forward_script(downward, script)
         return SynthesisResult(script=script, changes=changes, accepted_model=empty)
+
+    def _forward_script(self, downward: Any, script: ControlScript) -> None:
+        """Forward a control script as a *call* signal (paper Sec. VI:
+        layer-to-layer stimuli are signals), so downstream work is
+        causally traceable back to the synthesis cycle.  Ports that
+        only expose ``submit_script`` (remote/stub controllers) still
+        work, just without trace parentage."""
+        receive = getattr(downward, "receive_signal", None)
+        if receive is None:
+            downward.submit_script(script)
+            return
+        receive(
+            Call(
+                topic="synthesis.script",
+                payload={
+                    "script": script,
+                    "source_model": getattr(script, "source_model", ""),
+                },
+                origin=self.name,
+            )
+        )
 
     # -- Controller events --------------------------------------------------------
 

@@ -31,6 +31,8 @@ from repro.middleware.synthesis.scripts import Command, ControlScript
 from repro.modeling.diff import Change, ChangeList
 from repro.modeling.lts import LTS, LTSError, LTSExecution
 from repro.modeling.expr import evaluate
+from repro.runtime.events import Event, EventDeliveryError
+from repro.runtime.topics import TopicMatcher
 
 __all__ = ["InterpreterError", "EntityRule", "ChangeInterpreter"]
 
@@ -220,16 +222,25 @@ class ChangeInterpreter:
     # -- Controller events ------------------------------------------------------
 
     def handle_event(self, topic: str, payload: dict[str, Any]) -> int:
-        """Route an event from the Controller layer to DSK hooks."""
+        """Route an event from the Controller layer to DSK hooks.
+
+        Hook exceptions are collected and re-raised as one
+        :class:`~repro.runtime.events.EventDeliveryError` after every
+        matching hook ran — the same aggregation the event bus applies,
+        so one raising DSK hook cannot starve the hooks behind it.
+        """
         matched = 0
+        errors: list[Exception] = []
         for pattern, callback in self._event_hooks:
-            if pattern.endswith("*"):
-                if not topic.startswith(pattern[:-1]):
-                    continue
-            elif topic != pattern:
+            if not TopicMatcher.matches(pattern, topic):
                 continue
-            callback(topic, payload)
             matched += 1
+            try:
+                callback(topic, payload)
+            except Exception as exc:  # noqa: BLE001 - aggregated below
+                errors.append(exc)
+        if errors:
+            raise EventDeliveryError(Event(topic=topic, payload=payload), errors)
         return matched
 
     # -- diagnostics ---------------------------------------------------------------

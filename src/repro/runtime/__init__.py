@@ -23,14 +23,27 @@ from repro.runtime.executor import (
     ThreadPoolExecutorAdapter,
 )
 from repro.runtime.factory import ComponentFactory, ComponentSpec, FactoryError
+from repro.runtime.metrics import (
+    Counter,
+    LatencyHistogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
 from repro.runtime.registry import Registry, RegistryError, TypeRegistry
+from repro.runtime.topics import TopicIndex, TopicMatcher
+from repro.runtime.trace import TraceRecord, TraceRecorder, start_tracing, stop_tracing
 
 __all__ = [
     "Clock", "WallClock", "VirtualClock", "Timer",
     "Component", "ComponentError", "LifecycleState",
     "Signal", "Call", "Event", "EventBus", "EventDeliveryError", "Subscription",
+    "TopicMatcher", "TopicIndex",
     "TaskExecutor", "InlineExecutor", "ThreadPoolExecutorAdapter",
     "Mailbox", "ExecutorError",
     "ComponentFactory", "ComponentSpec", "FactoryError",
     "Registry", "TypeRegistry", "RegistryError",
+    "Counter", "LatencyHistogram", "MetricsRegistry",
+    "default_registry", "set_default_registry",
+    "TraceRecord", "TraceRecorder", "start_tracing", "stop_tracing",
 ]

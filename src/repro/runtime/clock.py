@@ -72,7 +72,9 @@ class VirtualClock(Clock):
             when, _seq, callback = heapq.heappop(self._timers)
             self._now = max(self._now, when)
             callback()
-        self._now = deadline
+        # A timer callback may itself have advanced the clock past the
+        # deadline (nested advance); never move time backwards.
+        self._now = max(self._now, deadline)
 
     def call_at(self, when: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to fire when time reaches ``when``."""

@@ -15,6 +15,7 @@ from typing import Any, Mapping, TYPE_CHECKING
 
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.events import EventBus
+from repro.runtime.metrics import MetricsRegistry, default_registry
 
 if TYPE_CHECKING:
     from repro.runtime.registry import Registry
@@ -64,10 +65,14 @@ class Component:
         *,
         bus: EventBus | None = None,
         clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.name = name
-        self.bus = bus or EventBus(name=f"{name}.bus")
         self.clock = clock or WallClock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.bus = bus or EventBus(
+            name=f"{name}.bus", clock=self.clock, metrics=self.metrics
+        )
         self.lifecycle = LifecycleState.CREATED
         self.metadata: dict[str, Any] = {}
         self._ports: dict[str, Any] = {}

@@ -8,18 +8,61 @@ the same way and thus are indistinctly called signals").
 
 :class:`EventBus` is the in-process publish/subscribe fabric shared by
 the runtime environment and the simulated substrates.  Topic matching
-supports exact topics and trailing ``*`` wildcards (``"broker.*"``).
+supports exact topics and trailing ``*`` wildcards with dot-segment
+semantics (see :class:`~repro.runtime.topics.TopicMatcher`); routing
+is indexed — exact topics hit a dict, wildcard patterns a segment trie
+— so publish cost scales with the number of *matching* subscriptions,
+not the subscriber population.
+
+Every signal carries causal-tracing fields: ``trace_id`` names the
+chain it belongs to (the root signal's ``seq``) and ``parent_seq``
+points at the signal it was derived from.  ``with_payload`` and
+``derive`` thread both automatically; see :mod:`repro.runtime.trace`.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-__all__ = ["Signal", "Call", "Event", "Subscription", "EventBus"]
+from repro.runtime.metrics import MetricsRegistry, default_registry
+from repro.runtime.topics import TopicIndex, TopicMatcher
+
+__all__ = [
+    "Signal",
+    "Call",
+    "Event",
+    "Subscription",
+    "EventBus",
+    "TopicMatcher",
+    "tracing_active",
+]
 
 _signal_seq = itertools.count(1)
+
+#: process-wide signal-creation hook (installed by repro.runtime.trace).
+_trace_hook: Callable[["Signal"], None] | None = None
+_trace_hook_owner: Any = None
+
+
+def set_trace_hook(
+    hook: Callable[["Signal"], None] | None, owner: Any
+) -> None:
+    """Install/clear the signal-creation hook (see repro.runtime.trace)."""
+    global _trace_hook, _trace_hook_owner
+    _trace_hook = hook
+    _trace_hook_owner = owner
+
+
+def tracing_active() -> bool:
+    """Whether a signal-creation trace hook is currently installed.
+
+    Layers use this to skip building trace-only signals (e.g. the
+    per-command call nodes the Controller records) on untraced runs.
+    """
+    return _trace_hook is not None
 
 
 @dataclass(frozen=True)
@@ -28,22 +71,57 @@ class Signal:
 
     ``topic`` names the operation or occurrence (dot-separated);
     ``payload`` carries arbitrary data; ``origin`` identifies the
-    emitting component for tracing.
+    emitting component for tracing.  ``trace_id``/``parent_seq`` place
+    the signal in a causal chain: a signal created from scratch roots a
+    new chain (``trace_id == seq``), a derived signal inherits its
+    source's ``trace_id`` and records the source's ``seq`` as
+    ``parent_seq``.
     """
 
     topic: str
     payload: Mapping[str, Any] = field(default_factory=dict)
     origin: str = ""
     seq: int = field(default_factory=lambda: next(_signal_seq))
+    trace_id: int = 0
+    parent_seq: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_id == 0:
+            object.__setattr__(self, "trace_id", self.seq)
+        if _trace_hook is not None:
+            _trace_hook(self)
 
     @property
     def kind(self) -> str:
         return "signal"
 
     def with_payload(self, **extra: Any) -> "Signal":
+        """A copy with merged payload, causally linked to this signal."""
         merged = dict(self.payload)
         merged.update(extra)
-        return type(self)(topic=self.topic, payload=merged, origin=self.origin)
+        return type(self)(
+            topic=self.topic,
+            payload=merged,
+            origin=self.origin,
+            trace_id=self.trace_id,
+            parent_seq=self.seq,
+        )
+
+    def derive(
+        self,
+        topic: str | None = None,
+        *,
+        origin: str | None = None,
+        payload: Mapping[str, Any] | None = None,
+    ) -> "Signal":
+        """A causal child of this signal (layer-to-layer forwarding)."""
+        return type(self)(
+            topic=topic if topic is not None else self.topic,
+            payload=dict(payload) if payload is not None else dict(self.payload),
+            origin=origin if origin is not None else self.origin,
+            trace_id=self.trace_id,
+            parent_seq=self.seq,
+        )
 
     def __str__(self) -> str:
         return f"{self.kind}:{self.topic}#{self.seq}"
@@ -77,11 +155,7 @@ class Subscription:
     active: bool = True
 
     def matches(self, topic: str) -> bool:
-        if not self.active:
-            return False
-        if self.pattern.endswith("*"):
-            return topic.startswith(self.pattern[:-1])
-        return topic == self.pattern
+        return self.active and TopicMatcher.matches(self.pattern, topic)
 
     def cancel(self) -> None:
         self.active = False
@@ -89,42 +163,76 @@ class Subscription:
 
 
 class EventBus:
-    """Synchronous in-process publish/subscribe bus.
+    """Synchronous in-process publish/subscribe bus with indexed routing.
 
     Delivery is depth-first and synchronous: ``publish`` invokes every
-    matching subscriber before returning.  Subscriber exceptions are
-    collected and re-raised as a single :class:`EventDeliveryError`
-    after all subscribers ran — one failing handler must not starve
-    the others (middleware robustness requirement).
+    matching subscriber before returning, in subscription order.
+    Subscriber exceptions are collected and re-raised as a single
+    :class:`EventDeliveryError` after all subscribers ran — one failing
+    handler must not starve the others (middleware robustness
+    requirement).
+
+    Routing uses a :class:`~repro.runtime.topics.TopicIndex`: exact
+    patterns are a dict lookup on the published topic, wildcard
+    patterns a walk of the topic's segments through a trie.
+    Subscribing or cancelling *during* a publish is safe: the matching
+    set is snapshotted per publish, and cancelled subscriptions are
+    skipped via their ``active`` flag.
+
+    Per-topic publish counters and delivery-latency histograms are
+    recorded into ``metrics`` (the process default registry unless one
+    is wired in); latency is measured on ``clock`` when provided.
     """
 
-    def __init__(self, *, name: str = "bus") -> None:
+    def __init__(
+        self,
+        *,
+        name: str = "bus",
+        clock: Any = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.name = name
+        self.clock = clock
+        self.metrics = metrics
+        self._index: TopicIndex[Subscription] = TopicIndex()
         self._subscriptions: list[Subscription] = []
         self._history: list[Signal] = []
         self.record_history = False
+        self.published = 0
+        self.delivered = 0
 
     def subscribe(
         self, pattern: str, callback: Callable[[Signal], None]
     ) -> Subscription:
         subscription = Subscription(pattern=pattern, callback=callback, bus=self)
         self._subscriptions.append(subscription)
+        self._index.add(pattern, subscription)
         return subscription
 
     def publish(self, signal: Signal) -> int:
         """Deliver ``signal``; returns the number of subscribers reached."""
         if self.record_history:
             self._history.append(signal)
+        metrics = self.metrics if self.metrics is not None else default_registry()
+        timed = metrics.enabled
+        if timed:
+            start = self.clock.now() if self.clock is not None else time.perf_counter()
         errors: list[Exception] = []
         delivered = 0
-        for subscription in list(self._subscriptions):
-            if not subscription.matches(signal.topic):
+        for subscription in self._index.match(signal.topic):
+            if not subscription.active:
                 continue
             delivered += 1
             try:
                 subscription.callback(signal)
             except Exception as exc:  # noqa: BLE001 - aggregated below
                 errors.append(exc)
+        self.published += 1
+        self.delivered += delivered
+        if timed:
+            end = self.clock.now() if self.clock is not None else time.perf_counter()
+            metrics.count("bus.publish", signal.topic)
+            metrics.observe("bus.deliver", signal.topic, end - start)
         if errors:
             raise EventDeliveryError(signal, errors)
         return delivered
@@ -135,6 +243,10 @@ class EventBus:
     def call(self, topic: str, *, origin: str = "", **payload: Any) -> int:
         return self.publish(Call(topic=topic, payload=payload, origin=origin))
 
+    def forward(self, signal: Signal, topic: str, *, origin: str = "") -> int:
+        """Publish a causal child of ``signal`` under a new topic."""
+        return self.publish(signal.derive(topic, origin=origin))
+
     def history(self) -> list[Signal]:
         return list(self._history)
 
@@ -144,10 +256,17 @@ class EventBus:
     def _drop(self, subscription: Subscription) -> None:
         if subscription in self._subscriptions:
             self._subscriptions.remove(subscription)
+            self._index.remove(subscription.pattern, subscription)
 
     @property
     def subscriber_count(self) -> int:
         return len(self._subscriptions)
+
+    @property
+    def routing_candidates(self) -> int:
+        """Subscriptions inspected by the most recent publish
+        (diagnostics: proves routing skips non-matching topics)."""
+        return self._index.last_candidates
 
     def __repr__(self) -> str:
         return f"EventBus({self.name!r}, subscribers={self.subscriber_count})"

@@ -118,7 +118,13 @@ class Mailbox:
         self._queue.put(task)
 
     def drain(self, *, max_tasks: int | None = None) -> int:
-        """Synchronously run queued tasks; returns how many ran."""
+        """Synchronously run queued tasks; returns how many ran.
+
+        ``None`` entries are stop sentinels left behind by
+        ``stop_pump`` when no pump thread consumed them; they are
+        skipped (not treated as end-of-queue) so tasks queued behind a
+        stale sentinel still run.
+        """
         ran = 0
         while max_tasks is None or ran < max_tasks:
             try:
@@ -126,7 +132,7 @@ class Mailbox:
             except queue.Empty:
                 break
             if task is None:
-                break
+                continue
             self._run(task)
             ran += 1
         return ran

@@ -1,0 +1,260 @@
+"""Counters and latency histograms for the signal fabric.
+
+The ROADMAP's north star asks for a fabric observable at production
+scale; this module is the measurement layer the middleware layers and
+the event bus report into.  Everything is in-process and cheap on the
+hot path: a counter bump is one dict lookup + one integer add, a
+latency observation is one bucket index computation.
+
+Metrics are keyed by ``(name, label)`` — name identifies the
+instrument (``"bus.publish"``, ``"broker.call_api"``), label the
+topic/operation/component it concerns.  Latency is measured on
+whatever clock the caller provides (wall clock in benchmarks, virtual
+clock in deterministic tests) and recorded in seconds.
+
+A process-wide default registry backs components that are not
+explicitly wired to one (``repro metrics`` swaps it to capture a whole
+run); platforms loaded via :func:`repro.middleware.loader.load_platform`
+share one registry per platform.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterator
+
+from repro.runtime.clock import Clock
+
+__all__ = [
+    "Counter",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "default_registry",
+    "set_default_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class LatencyHistogram:
+    """Log-scale latency histogram (seconds), 1 µs to ~67 s.
+
+    Buckets are powers of two of a microsecond: bucket ``i`` holds
+    observations in ``[2**i µs, 2**(i+1) µs)``.  Percentiles are
+    estimated from bucket upper bounds — coarse, but stable and cheap.
+    """
+
+    __slots__ = ("counts", "count", "total", "minimum", "maximum")
+
+    BUCKETS = 27  # 2**26 µs ≈ 67 s
+
+    def __init__(self) -> None:
+        self.counts = [0] * self.BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        if seconds < 0.0:
+            seconds = 0.0
+        micros = seconds * 1e6
+        index = max(0, min(self.BUCKETS - 1, int(micros).bit_length() - 1))
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated latency (seconds) at ``fraction`` (0..1)."""
+        if not self.count:
+            return 0.0
+        rank = fraction * self.count
+        running = 0
+        for index, bucket in enumerate(self.counts):
+            running += bucket
+            if running >= rank:
+                return min((2.0 ** (index + 1)) * 1e-6, self.maximum)
+        return self.maximum
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean * 1e6,
+            "p50_us": self.percentile(0.50) * 1e6,
+            "p95_us": self.percentile(0.95) * 1e6,
+            "max_us": self.maximum * 1e6,
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyHistogram(n={self.count}, mean={self.mean * 1e6:.1f}µs)"
+
+
+class _TimerContext:
+    __slots__ = ("_registry", "_name", "_label", "_clock", "_start")
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str, label: str, clock: Clock | None
+    ) -> None:
+        self._registry = registry
+        self._name = name
+        self._label = label
+        self._clock = clock
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = self._registry._now(self._clock)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = self._registry._now(self._clock) - self._start
+        self._registry.observe(self._name, self._label, elapsed)
+
+
+class MetricsRegistry:
+    """Registry of counters and latency histograms.
+
+    ``enabled = False`` turns every operation into (close to) a no-op,
+    so benchmark code can measure the uninstrumented fast path.
+    """
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self.enabled = True
+        self.clock = clock
+        self._counters: dict[tuple[str, str], Counter] = {}
+        self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def count(self, name: str, label: str = "", amount: int = 1) -> None:
+        if not self.enabled:
+            return
+        key = (name, label)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        counter.value += amount
+
+    def observe(self, name: str, label: str, seconds: float) -> None:
+        if not self.enabled:
+            return
+        key = (name, label)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def time(self, name: str, label: str = "", *, clock: Clock | None = None):
+        """Context manager recording elapsed time into a histogram."""
+        return _TimerContext(self, name, label, clock or self.clock)
+
+    def _now(self, clock: Clock | None) -> float:
+        if clock is not None:
+            return clock.now()
+        import time
+
+        return time.perf_counter()
+
+    # -- reading ----------------------------------------------------------
+
+    def counter_value(self, name: str, label: str = "") -> int:
+        counter = self._counters.get((name, label))
+        return counter.value if counter is not None else 0
+
+    def histogram(self, name: str, label: str = "") -> LatencyHistogram | None:
+        return self._histograms.get((name, label))
+
+    def counters(self) -> Iterator[tuple[str, str, int]]:
+        for (name, label), counter in sorted(self._counters.items()):
+            yield name, label, counter.value
+
+    def histograms(self) -> Iterator[tuple[str, str, LatencyHistogram]]:
+        for (name, label), histogram in sorted(self._histograms.items()):
+            yield name, label, histogram
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable dump of every instrument."""
+        return {
+            "counters": [
+                {"name": name, "label": label, "value": value}
+                for name, label, value in self.counters()
+            ],
+            "histograms": [
+                {"name": name, "label": label, **histogram.summary()}
+                for name, label, histogram in self.histograms()
+            ],
+        }
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        return json.dumps(self.snapshot(), **dumps_kwargs)
+
+    def render(self) -> str:
+        """Human-readable tables: counters, then latency histograms."""
+        lines = ["== counters =="]
+        rows = list(self.counters())
+        if not rows:
+            lines.append("  (none)")
+        width = max((len(f"{n}[{l}]") for n, l, _ in rows), default=0)
+        for name, label, value in rows:
+            key = f"{name}[{label}]" if label else name
+            lines.append(f"  {key.ljust(width)}  {value}")
+        lines.append("== latency (µs) ==")
+        hrows = list(self.histograms())
+        if not hrows:
+            lines.append("  (none)")
+        for name, label, histogram in hrows:
+            key = f"{name}[{label}]" if label else name
+            s = histogram.summary()
+            lines.append(
+                f"  {key.ljust(width)}  n={s['count']:<7} "
+                f"mean={s['mean_us']:<10.1f} p50={s['p50_us']:<10.1f} "
+                f"p95={s['p95_us']:<10.1f} max={s['max_us']:.1f}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"histograms={len(self._histograms)}, enabled={self.enabled})"
+        )
+
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used when none is wired explicitly."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,224 @@
+"""Topic pattern semantics and the indexed routing structure.
+
+Every place the middleware matches a dot-separated topic (or command
+operation) against a pattern — the event bus, the Synthesis layer's
+DSK event hooks, the Controller's event handler, Broker event bindings
+and symptoms, bridge rules — shares :class:`TopicMatcher`, so the
+wildcard semantics are defined exactly once.
+
+Semantics (dot-segment based, not raw prefix):
+
+* a pattern without a trailing ``*`` matches by string equality;
+* ``"*"`` matches every topic;
+* ``"a.b.*"`` matches ``a.b`` itself and every descendant
+  (``a.b.c``, ``a.b.c.d``, ...), but **not** ``a.bx`` — the wildcard
+  respects segment boundaries;
+* ``"pre*"`` / ``"a.pre*"`` (a non-empty prefix in the final segment)
+  matches topics with the same number of segments whose final segment
+  starts with ``pre`` — so ``"session*"`` matches ``session`` and
+  ``sessions`` but not ``sessions.closed``;
+* a ``*`` anywhere except the end of the pattern is a literal
+  character (as before this module existed).
+
+:class:`TopicIndex` is the routing structure behind
+:class:`~repro.runtime.events.EventBus`: exact patterns live in a
+dict keyed by the full topic, wildcard patterns live in a segment
+trie.  ``match`` visits only entries whose pattern can match the
+published topic, so routing cost scales with the topic's segment count
+and the number of *matching* entries — not with the total number of
+subscriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, TypeVar
+
+__all__ = ["TopicMatcher", "TopicIndex"]
+
+
+class TopicMatcher:
+    """Shared dot-segment topic/pattern matching (see module docstring)."""
+
+    WILDCARD = "*"
+
+    @staticmethod
+    def is_wildcard(pattern: str) -> bool:
+        """True if ``pattern`` uses a trailing ``*`` wildcard."""
+        return pattern.endswith("*")
+
+    @staticmethod
+    def matches(pattern: str, topic: str) -> bool:
+        if not pattern.endswith("*"):
+            return topic == pattern
+        if pattern == "*":
+            return True
+        head = pattern[:-1]
+        if head.endswith("."):
+            # "a.b.*" — the bare prefix or any descendant, never "a.bx".
+            stem = head[:-1]
+            return topic == stem or topic.startswith(head)
+        # "a.pre*" — same segment count, final segment prefix-matches.
+        parts = pattern.split(".")
+        topic_parts = topic.split(".")
+        if len(topic_parts) != len(parts):
+            return False
+        if topic_parts[: len(parts) - 1] != parts[:-1]:
+            return False
+        return topic_parts[-1].startswith(parts[-1][:-1])
+
+
+E = TypeVar("E")
+
+
+class _TrieNode:
+    __slots__ = ("children", "tail", "prefix")
+
+    def __init__(self) -> None:
+        self.children: dict[str, "_TrieNode"] = {}
+        #: entries for patterns ending in ".*" anchored at this node
+        #: (match this node's topic and all descendants).
+        self.tail: list[tuple[int, Any]] = []
+        #: (prefix, order, entry) for patterns whose final segment is
+        #: "pre*" with a non-empty prefix; match exactly one further
+        #: segment starting with that prefix.
+        self.prefix: list[tuple[str, int, Any]] = []
+
+
+class TopicIndex(Generic[E]):
+    """Exact-dict + wildcard-trie index from topic patterns to entries.
+
+    Entries registered under the same or overlapping patterns are
+    returned by :meth:`match` in registration order (the event bus
+    guarantees delivery order).  ``match`` returns a fresh list, so
+    callers may add/remove entries while iterating the result.
+    """
+
+    def __init__(self) -> None:
+        self._exact: dict[str, list[tuple[int, E]]] = {}
+        self._root = _TrieNode()
+        self._order = 0
+        self._size = 0
+        #: candidates inspected by the last ``match`` call (diagnostics
+        #: for routing tests: proves non-matching entries are skipped).
+        self.last_candidates = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, pattern: str, entry: E) -> None:
+        order = self._order
+        self._order += 1
+        self._size += 1
+        if not pattern.endswith("*"):
+            self._exact.setdefault(pattern, []).append((order, entry))
+            return
+        node, prefix = self._wildcard_node(pattern, create=True)
+        assert node is not None
+        if prefix is None:
+            node.tail.append((order, entry))
+        else:
+            node.prefix.append((prefix, order, entry))
+
+    def remove(self, pattern: str, entry: E) -> bool:
+        """Detach ``entry`` registered under ``pattern``; False if absent."""
+        if not pattern.endswith("*"):
+            bucket = self._exact.get(pattern)
+            if not bucket:
+                return False
+            for i, (_order, existing) in enumerate(bucket):
+                if existing is entry:
+                    del bucket[i]
+                    if not bucket:
+                        del self._exact[pattern]
+                    self._size -= 1
+                    return True
+            return False
+        node, prefix = self._wildcard_node(pattern, create=False)
+        if node is None:
+            return False
+        if prefix is None:
+            for i, (_order, existing) in enumerate(node.tail):
+                if existing is entry:
+                    del node.tail[i]
+                    self._size -= 1
+                    return True
+            return False
+        for i, (pre, _order, existing) in enumerate(node.prefix):
+            if pre == prefix and existing is entry:
+                del node.prefix[i]
+                self._size -= 1
+                return True
+        return False
+
+    def match(self, topic: str) -> list[E]:
+        """Entries whose pattern matches ``topic``, registration order."""
+        hits: list[tuple[int, E]] = []
+        candidates = 0
+        exact = self._exact.get(topic)
+        if exact:
+            hits.extend(exact)
+            candidates += len(exact)
+        segments = topic.split(".")
+        node = self._root
+        last = len(segments) - 1
+        for depth, segment in enumerate(segments):
+            if node.tail:
+                hits.extend(node.tail)
+                candidates += len(node.tail)
+            if depth == last and node.prefix:
+                candidates += len(node.prefix)
+                hits.extend(
+                    (order, entry)
+                    for pre, order, entry in node.prefix
+                    if segment.startswith(pre)
+                )
+            child = node.children.get(segment)
+            if child is None:
+                node = None  # type: ignore[assignment]
+                break
+            node = child
+        if node is not None and node.tail:
+            # Pattern "a.b.*" also matches the bare topic "a.b".
+            hits.extend(node.tail)
+            candidates += len(node.tail)
+        self.last_candidates = candidates
+        hits.sort(key=lambda pair: pair[0])
+        return [entry for _order, entry in hits]
+
+    def __iter__(self) -> Iterator[E]:
+        entries: list[tuple[int, E]] = []
+        for bucket in self._exact.values():
+            entries.extend(bucket)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            entries.extend(node.tail)
+            entries.extend((order, entry) for _pre, order, entry in node.prefix)
+            stack.extend(node.children.values())
+        entries.sort(key=lambda pair: pair[0])
+        return iter(entry for _order, entry in entries)
+
+    def _wildcard_node(
+        self, pattern: str, *, create: bool
+    ) -> tuple[_TrieNode | None, str | None]:
+        """The trie node anchoring a wildcard ``pattern``.
+
+        Returns ``(node, None)`` for tail patterns (``"a.b.*"``/``"*"``)
+        and ``(node, prefix)`` for final-segment prefix patterns
+        (``"a.pre*"``).  ``node`` is None when absent and not creating.
+        """
+        parts = pattern.split(".")
+        final = parts[-1]
+        if final == "*":
+            walk, prefix = parts[:-1], None
+        else:
+            walk, prefix = parts[:-1], final[:-1]
+        node = self._root
+        for segment in walk:
+            child = node.children.get(segment)
+            if child is None:
+                if not create:
+                    return None, prefix
+                child = node.children[segment] = _TrieNode()
+            node = child
+        return node, prefix

@@ -1,0 +1,152 @@
+"""Causal tracing for signals.
+
+Every :class:`~repro.runtime.events.Signal` carries a ``trace_id`` (the
+``seq`` of the root signal of its causal chain) and a ``parent_seq``
+(the ``seq`` of the signal it was derived from, if any).  Derivation
+happens through ``Signal.with_payload`` / ``Signal.derive`` and through
+the layer facades that forward work downward/upward — so a resource
+event caused by a user-model submission shares the submission's
+``trace_id``.
+
+:class:`TraceRecorder` captures every signal *created* while installed
+(not merely published — signals that never reach a bus still appear),
+then renders the causal forest.  Recording is process-wide and off by
+default; the ``repro trace`` CLI subcommand and tests switch it on via
+:func:`start_tracing` / :func:`stop_tracing` or the
+:class:`TraceRecorder` context manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.events import Signal
+
+__all__ = ["TraceRecord", "TraceRecorder", "start_tracing", "stop_tracing"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A lightweight projection of one signal (no payload retention)."""
+
+    seq: int
+    trace_id: int
+    parent_seq: int | None
+    kind: str
+    topic: str
+    origin: str
+
+    def __str__(self) -> str:
+        parent = f" <-#{self.parent_seq}" if self.parent_seq is not None else ""
+        origin = f" @{self.origin}" if self.origin else ""
+        return f"{self.kind}:{self.topic}#{self.seq}{origin}{parent}"
+
+
+class TraceRecorder:
+    """Collects trace records for every signal created while installed."""
+
+    def __init__(self, *, limit: int = 100_000) -> None:
+        self.records: list[TraceRecord] = []
+        self.limit = limit
+        self.dropped = 0
+
+    # -- capture ----------------------------------------------------------
+
+    def record(self, signal: "Signal") -> None:
+        if len(self.records) >= self.limit:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(
+                seq=signal.seq,
+                trace_id=signal.trace_id,
+                parent_seq=signal.parent_seq,
+                kind=signal.kind,
+                topic=signal.topic,
+                origin=signal.origin,
+            )
+        )
+
+    def __enter__(self) -> "TraceRecorder":
+        install_recorder(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall_recorder(self)
+
+    # -- analysis ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def chains(self) -> dict[int, list[TraceRecord]]:
+        """trace_id -> records of that causal chain, in seq order."""
+        chains: dict[int, list[TraceRecord]] = {}
+        for record in self.records:
+            chains.setdefault(record.trace_id, []).append(record)
+        for chain in chains.values():
+            chain.sort(key=lambda r: r.seq)
+        return chains
+
+    def chain_for(self, trace_id: int) -> list[TraceRecord]:
+        return self.chains().get(trace_id, [])
+
+    def render(self, *, min_length: int = 1) -> str:
+        """The causal forest as an indented text tree."""
+        lines: list[str] = []
+        for trace_id, chain in sorted(self.chains().items()):
+            if len(chain) < min_length:
+                continue
+            by_parent: dict[int | None, list[TraceRecord]] = {}
+            seqs = {record.seq for record in chain}
+            for record in chain:
+                parent = (
+                    record.parent_seq if record.parent_seq in seqs else None
+                )
+                by_parent.setdefault(parent, []).append(record)
+            lines.append(f"trace {trace_id}:")
+
+            def walk(parent: int | None, depth: int) -> None:
+                for record in by_parent.get(parent, []):
+                    lines.append("  " * (depth + 1) + str(record))
+                    if record.seq != parent:  # defensive: no self-loops
+                        walk(record.seq, depth + 1)
+
+            walk(None, 0)
+        if self.dropped:
+            lines.append(f"... {self.dropped} record(s) dropped (limit)")
+        return "\n".join(lines) if lines else "(no signals recorded)"
+
+
+def start_tracing(*, limit: int = 100_000) -> TraceRecorder:
+    """Install and return a fresh process-wide recorder."""
+    recorder = TraceRecorder(limit=limit)
+    install_recorder(recorder)
+    return recorder
+
+
+def stop_tracing() -> TraceRecorder | None:
+    """Uninstall the active recorder (if any) and return it."""
+    from repro.runtime import events
+
+    recorder = events._trace_hook_owner
+    events.set_trace_hook(None, None)
+    return recorder
+
+
+def install_recorder(recorder: TraceRecorder) -> None:
+    from repro.runtime import events
+
+    events.set_trace_hook(recorder.record, recorder)
+
+
+def uninstall_recorder(recorder: TraceRecorder) -> None:
+    from repro.runtime import events
+
+    if events._trace_hook_owner is recorder:
+        events.set_trace_hook(None, None)

@@ -144,3 +144,44 @@ class TestContextPropagation:
         stats = controller.stats()
         assert stats["commands_executed"] == 1
         assert stats["actions_executed"] == 1
+
+
+class TestCausalChains:
+    def test_script_call_roots_command_trace_nodes(self, controller):
+        """A script arriving as a Call signal roots a causal chain; the
+        commands executed for it are recorded as its children."""
+        from repro.runtime.events import Call
+        from repro.runtime.trace import TraceRecorder
+
+        script = ControlScript(name="traced")
+        script.add(Command("do.fast", args={"v": 1}))
+        script.add(Command("do.fast", args={"v": 2}))
+        with TraceRecorder() as recorder:
+            call = Call(
+                topic="synthesis.script",
+                payload={"script": script},
+                origin="synthesis",
+            )
+            controller.receive_signal(call)
+        chain = recorder.chains()[call.trace_id]
+        topics = [r.topic for r in chain]
+        assert topics[0] == "synthesis.script"
+        assert topics.count("controller.command.do.fast") == 2
+        for record in chain[1:]:
+            assert record.parent_seq == call.seq
+        assert controller.scripts_executed == 1
+
+    def test_untraced_runs_create_no_command_signals(self, controller):
+        """Without a trace hook the per-command signal nodes are skipped
+        (hot path stays allocation-free)."""
+        from repro.runtime.events import Call
+        from repro.runtime.trace import TraceRecorder
+
+        script = ControlScript(name="untraced")
+        script.add(Command("do.fast", args={"v": 1}))
+        call = Call(topic="synthesis.script", payload={"script": script})
+        controller.receive_signal(call)  # no recorder installed
+        with TraceRecorder() as recorder:
+            pass
+        assert len(recorder) == 0
+        assert controller.scripts_executed == 1

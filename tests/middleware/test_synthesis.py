@@ -314,3 +314,68 @@ class TestSynthesisEngine:
         stats = engine.stats()
         assert stats["cycles"] == 1
         assert stats["commands_emitted"] == 1
+
+
+class TestEventHookAggregation:
+    def test_raising_hook_does_not_starve_later_hooks(self):
+        """Regression: one raising DSK hook used to prevent every hook
+        registered after it from seeing the event."""
+        from repro.runtime.events import EventDeliveryError
+
+        interpreter = ChangeInterpreter()
+        calls = []
+
+        def bad(topic, payload):
+            calls.append("bad")
+            raise RuntimeError("boom")
+
+        interpreter.on_event("net.*", bad)
+        interpreter.on_event("net.*", lambda t, p: calls.append("good"))
+        with pytest.raises(EventDeliveryError) as excinfo:
+            interpreter.handle_event("net.down", {"session": "s1"})
+        assert calls == ["bad", "good"]
+        assert len(excinfo.value.errors) == 1
+        assert isinstance(excinfo.value.errors[0], RuntimeError)
+
+    def test_match_count_and_no_match(self):
+        interpreter = ChangeInterpreter()
+        seen = []
+        interpreter.on_event("net.*", lambda t, p: seen.append(t))
+        assert interpreter.handle_event("net.down", {}) == 1
+        assert interpreter.handle_event("power.low", {}) == 0
+        assert seen == ["net.down"]
+
+    def test_hook_patterns_use_segment_semantics(self):
+        # Regression: "session*" hooks used to fire on "sessions.closed".
+        interpreter = ChangeInterpreter()
+        seen = []
+        interpreter.on_event("session*", lambda t, p: seen.append(t))
+        interpreter.handle_event("sessions", {})
+        interpreter.handle_event("sessions.closed", {})
+        assert seen == ["sessions"]
+
+
+class TestScriptForwardedAsSignal:
+    def test_downward_submission_is_a_traced_call(self, dsml):
+        """Scripts travel to the Controller as Call signals carrying
+        the script payload (layer-to-layer causality)."""
+        from repro.runtime.events import Call
+
+        received = []
+
+        class FakeController:
+            def receive_signal(self, signal):
+                received.append(signal)
+
+        engine = SynthesisEngine(metamodel=dsml)
+        engine.add_rules([service_rule(), app_rule()])
+        engine.wire("downward", FakeController())
+        engine.configure({})
+        engine.start()
+        engine.synthesize(TestSynthesisEngine().make_model(dsml))
+        assert len(received) == 1
+        signal = received[0]
+        assert isinstance(signal, Call)
+        assert signal.topic == "synthesis.script"
+        assert signal.payload["script"].operations()
+        assert signal.origin == engine.name

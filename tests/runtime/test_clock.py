@@ -91,3 +91,26 @@ class TestTimer:
         with Timer() as t:
             sum(range(1000))
         assert t.elapsed >= 0.0
+
+
+class TestNestedAdvance:
+    def test_nested_advance_does_not_rewind_time(self):
+        """Regression: a timer callback advancing the clock past the
+        outer advance's deadline used to rewind ``now`` afterwards."""
+        clock = VirtualClock()
+        seen = []
+
+        def jump_ahead():
+            clock.advance(10.0)  # nested advance overshoots deadline
+            seen.append(clock.now())
+
+        clock.call_later(1.0, jump_ahead)
+        clock.advance(2.0)
+        assert seen == [11.0]
+        assert clock.now() == 11.0  # not rewound to 2.0
+
+    def test_plain_advance_still_reaches_deadline(self):
+        clock = VirtualClock()
+        clock.call_later(1.0, lambda: None)
+        clock.advance(5.0)
+        assert clock.now() == 5.0

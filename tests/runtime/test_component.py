@@ -293,3 +293,37 @@ class TestMailbox:
         box.start_pump()
         assert done.wait(timeout=5.0)
         box.stop_pump()
+
+
+class TestMailboxStaleSentinel:
+    def test_drain_skips_sentinel_left_by_stop_pump(self):
+        """Regression: a ``None`` stop sentinel the pump thread never
+        consumed used to make ``drain`` stop early, stranding tasks
+        queued behind it."""
+        import threading
+        import time
+
+        box = Mailbox("m")
+        gate = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            assert gate.wait(timeout=5.0)
+
+        box.start_pump()
+        box.post(blocker)
+        assert started.wait(timeout=5.0)
+        # The pump is busy inside ``blocker``; the sentinel lands in the
+        # queue but the loop exits on ``_running`` before reading it.
+        box.stop_pump(timeout=0.05)
+        out = []
+        box.post(lambda: out.append("late"))
+        gate.set()
+        deadline = time.monotonic() + 5.0
+        while box.pending != 2 and time.monotonic() < deadline:
+            time.sleep(0.005)  # wait for the pump thread to exit
+        assert box.pending == 2  # [sentinel, late task]
+        assert box.drain() == 1
+        assert out == ["late"]
+        assert box.pending == 0

@@ -103,3 +103,127 @@ class TestEventBus:
         bus.call("op")
         bus.emit("op")
         assert seen == ["call", "event"]
+
+
+class TestPublishMutationSafety:
+    def test_cancel_during_publish_skips_cancelled(self):
+        """A subscriber cancelling a later subscription mid-publish
+        prevents that subscription from receiving the in-flight signal."""
+        bus = EventBus()
+        hits = []
+        later = None
+
+        def canceller(signal):
+            hits.append("canceller")
+            later.cancel()
+
+        bus.subscribe("t", canceller)
+        later = bus.subscribe("t", lambda s: hits.append("later"))
+        bus.emit("t")
+        assert hits == ["canceller"]
+        bus.emit("t")
+        assert hits == ["canceller", "canceller"]
+
+    def test_self_cancel_during_publish(self):
+        bus = EventBus()
+        hits = []
+
+        def once(signal):
+            hits.append(1)
+            sub.cancel()
+
+        sub = bus.subscribe("t", once)
+        bus.emit("t")
+        bus.emit("t")
+        assert hits == [1]
+        assert bus.subscriber_count == 0
+
+    def test_subscribe_during_publish_not_delivered_in_flight(self):
+        """A subscription added mid-publish first sees the *next* signal."""
+        bus = EventBus()
+        hits = []
+
+        def adder(signal):
+            hits.append("adder")
+            bus.subscribe("t", lambda s: hits.append("new"))
+
+        bus.subscribe("t", adder)
+        bus.emit("t")
+        assert hits == ["adder"]
+        bus.emit("t")
+        assert hits == ["adder", "adder", "new"]
+
+
+class TestWildcardSegmentRegressions:
+    def test_prefix_star_does_not_cross_segments(self):
+        # Regression: "session*" used to match "sessions.closed".
+        bus = EventBus()
+        received = []
+        bus.subscribe("session*", received.append)
+        bus.emit("sessions")
+        bus.emit("sessions.closed")
+        assert [s.topic for s in received] == ["sessions"]
+
+    def test_tail_wildcard_matches_bare_stem(self):
+        # Regression: "broker.*" used to miss the bare "broker" topic.
+        bus = EventBus()
+        received = []
+        bus.subscribe("broker.*", received.append)
+        bus.emit("broker")
+        bus.emit("broker.up")
+        bus.emit("brokers")
+        assert [s.topic for s in received] == ["broker", "broker.up"]
+
+    def test_universal_wildcard(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("*", received.append)
+        bus.emit("a")
+        bus.emit("a.b.c")
+        assert len(received) == 2
+
+
+class TestIndexedRouting:
+    def test_exact_topic_skips_unrelated_subscriptions(self):
+        """Routing inspects only subscriptions that can match — the
+        published topic must not be compared against cold topics."""
+        bus = EventBus()
+        for i in range(200):
+            bus.subscribe(f"cold.topic.{i}", lambda s: None)
+        hits = []
+        bus.subscribe("hot.topic", hits.append)
+        bus.subscribe("hot.*", hits.append)
+        assert bus.publish(Event(topic="hot.topic")) == 2
+        # 2 matching candidates inspected, not 202 subscriptions.
+        assert bus.routing_candidates == 2
+        assert len(hits) == 2
+
+    def test_unsubscribe_updates_index(self):
+        bus = EventBus()
+        hits = []
+        sub = bus.subscribe("a.*", hits.append)
+        bus.emit("a.b")
+        sub.cancel()
+        bus.emit("a.b")
+        assert len(hits) == 1
+        assert bus.publish(Event(topic="a.b")) == 0
+        assert bus.routing_candidates == 0
+
+
+class TestSignalTracing:
+    def test_with_payload_links_to_source(self):
+        # Regression: with_payload used to start a fresh, unrelated chain.
+        call = Call(topic="t", payload={"a": 1})
+        enriched = call.with_payload(b=2)
+        assert enriched.parent_seq == call.seq
+        assert enriched.trace_id == call.trace_id
+
+    def test_forward_publishes_causal_child(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("down.*", received.append)
+        origin = Event(topic="up.thing", origin="res")
+        bus.forward(origin, "down.thing", origin="broker")
+        assert len(received) == 1
+        assert received[0].parent_seq == origin.seq
+        assert received[0].trace_id == origin.trace_id

@@ -1,0 +1,119 @@
+"""Unit tests for counters, latency histograms, and the registry."""
+
+import json
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestLatencyHistogram:
+    def test_counts_and_mean(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.001)
+        histogram.observe(0.003)
+        assert histogram.count == 2
+        assert abs(histogram.mean - 0.002) < 1e-9
+        assert histogram.maximum == 0.003
+
+    def test_negative_observation_clamped(self):
+        histogram = LatencyHistogram()
+        histogram.observe(-1.0)
+        assert histogram.count == 1
+        assert histogram.minimum == 0.0
+
+    def test_percentiles_bracket_observations(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(100e-6)
+        histogram.observe(0.05)  # one slow outlier
+        # p50 lands in the 100 µs region (coarse bucket upper bound).
+        assert histogram.percentile(0.50) <= 256e-6
+        # p95 still below the outlier, max equals it.
+        assert histogram.percentile(0.95) <= 256e-6
+        assert histogram.maximum == 0.05
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram().percentile(0.5) == 0.0
+
+    def test_huge_observation_lands_in_last_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e6)  # ~11 days
+        assert histogram.counts[-1] == 1
+
+    def test_summary_keys(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.001)
+        summary = histogram.summary()
+        assert set(summary) == {"count", "mean_us", "p50_us", "p95_us", "max_us"}
+
+
+class TestMetricsRegistry:
+    def test_count_and_read(self):
+        registry = MetricsRegistry()
+        registry.count("bus.publish", "a.b")
+        registry.count("bus.publish", "a.b", 2)
+        registry.count("bus.publish", "other")
+        assert registry.counter_value("bus.publish", "a.b") == 3
+        assert registry.counter_value("bus.publish", "other") == 1
+        assert registry.counter_value("bus.publish", "missing") == 0
+
+    def test_time_with_virtual_clock(self):
+        clock = VirtualClock()
+        registry = MetricsRegistry()
+        with registry.time("op", "x", clock=clock):
+            clock.advance(0.25)
+        histogram = registry.histogram("op", "x")
+        assert histogram is not None
+        assert histogram.count == 1
+        assert abs(histogram.total - 0.25) < 1e-9
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry()
+        registry.enabled = False
+        registry.count("c")
+        registry.observe("h", "", 0.1)
+        assert registry.counter_value("c") == 0
+        assert registry.histogram("h", "") is None
+
+    def test_snapshot_and_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.count("c", "lbl")
+        registry.observe("h", "lbl", 0.002)
+        data = json.loads(registry.to_json())
+        assert data["counters"] == [{"name": "c", "label": "lbl", "value": 1}]
+        assert data["histograms"][0]["name"] == "h"
+        assert data["histograms"][0]["count"] == 1
+
+    def test_render_contains_rows(self):
+        registry = MetricsRegistry()
+        registry.count("broker.call_api", "valve.open")
+        registry.observe("bus.deliver", "a.b", 0.001)
+        text = registry.render()
+        assert "broker.call_api[valve.open]" in text
+        assert "bus.deliver[a.b]" in text
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.count("c")
+        registry.observe("h", "", 0.1)
+        registry.reset()
+        assert registry.counter_value("c") == 0
+        assert registry.histogram("h", "") is None
+
+
+class TestDefaultRegistry:
+    def test_swap_and_restore(self):
+        mine = MetricsRegistry()
+        previous = set_default_registry(mine)
+        try:
+            assert default_registry() is mine
+            default_registry().count("swapped")
+            assert mine.counter_value("swapped") == 1
+        finally:
+            set_default_registry(previous)
+        assert default_registry() is previous

@@ -1,0 +1,125 @@
+"""Unit tests for dot-segment topic matching and the routing index."""
+
+import pytest
+
+from repro.runtime.topics import TopicIndex, TopicMatcher
+
+
+class TestTopicMatcher:
+    def test_exact_match(self):
+        assert TopicMatcher.matches("a.b", "a.b")
+        assert not TopicMatcher.matches("a.b", "a.b.c")
+        assert not TopicMatcher.matches("a.b", "a")
+
+    def test_universal_wildcard(self):
+        assert TopicMatcher.matches("*", "anything")
+        assert TopicMatcher.matches("*", "a.b.c")
+        assert TopicMatcher.matches("*", "")
+
+    def test_tail_wildcard_matches_descendants(self):
+        assert TopicMatcher.matches("a.b.*", "a.b.c")
+        assert TopicMatcher.matches("a.b.*", "a.b.c.d")
+
+    def test_tail_wildcard_matches_bare_stem(self):
+        # Regression: "broker.*" must match the bare "broker" topic.
+        assert TopicMatcher.matches("broker.*", "broker")
+        assert TopicMatcher.matches("a.b.*", "a.b")
+
+    def test_tail_wildcard_respects_segment_boundary(self):
+        # "a.b.*" must not match "a.bx" (raw prefix would).
+        assert not TopicMatcher.matches("a.b.*", "a.bx")
+        assert not TopicMatcher.matches("a.b.*", "a.bx.c")
+        assert not TopicMatcher.matches("broker.*", "brokers")
+
+    def test_prefix_star_stays_in_segment(self):
+        # Regression: "session*" must not match "sessions.closed" —
+        # the final-segment prefix may not cross a dot boundary.
+        assert TopicMatcher.matches("session*", "session")
+        assert TopicMatcher.matches("session*", "sessions")
+        assert not TopicMatcher.matches("session*", "sessions.closed")
+        assert not TopicMatcher.matches("session*", "session.closed")
+
+    def test_prefix_star_in_nested_segment(self):
+        assert TopicMatcher.matches("net.sess*", "net.session")
+        assert not TopicMatcher.matches("net.sess*", "net.session.up")
+        assert not TopicMatcher.matches("net.sess*", "other.session")
+
+    def test_star_in_non_final_position_is_literal(self):
+        assert TopicMatcher.matches("a.*.b", "a.*.b")
+        assert not TopicMatcher.matches("a.*.b", "a.x.b")
+
+    def test_trailing_dot_topic(self):
+        # A (degenerate) trailing-dot topic has an empty final segment.
+        assert TopicMatcher.matches("a.*", "a.")
+        assert not TopicMatcher.matches("a.b", "a.b.")
+        assert TopicMatcher.matches("*", "a.")
+
+    def test_empty_prefix_star_equivalent_to_tail(self):
+        # "a.*" written via prefix rules: "a.x*" with empty-ish prefix.
+        assert TopicMatcher.matches("a.s*", "a.s")
+        assert not TopicMatcher.matches("a.s*", "a")
+
+
+class TestTopicIndex:
+    def test_exact_topics_hit_dict(self):
+        index = TopicIndex()
+        index.add("a.b", "sub1")
+        index.add("c.d", "sub2")
+        assert index.match("a.b") == ["sub1"]
+        assert index.match("c.d") == ["sub2"]
+        assert index.match("a.c") == []
+
+    def test_registration_order_preserved_across_kinds(self):
+        index = TopicIndex()
+        index.add("a.*", "wild")
+        index.add("a.b", "exact")
+        index.add("*", "all")
+        assert index.match("a.b") == ["wild", "exact", "all"]
+
+    def test_remove(self):
+        index = TopicIndex()
+        index.add("a.b", "one")
+        index.add("a.*", "two")
+        index.remove("a.b", "one")
+        assert index.match("a.b") == ["two"]
+        index.remove("a.*", "two")
+        assert index.match("a.b") == []
+
+    def test_remove_missing_is_noop(self):
+        index = TopicIndex()
+        index.add("a.b", "one")
+        index.remove("a.b", "other")
+        index.remove("z.*", "ghost")
+        assert index.match("a.b") == ["one"]
+
+    def test_tail_wildcard_matches_bare_stem_through_index(self):
+        index = TopicIndex()
+        index.add("broker.*", "sub")
+        assert index.match("broker") == ["sub"]
+        assert index.match("broker.up") == ["sub"]
+        assert index.match("brokers") == []
+
+    def test_prefix_star_through_index(self):
+        index = TopicIndex()
+        index.add("session*", "sub")
+        assert index.match("sessions") == ["sub"]
+        assert index.match("sessions.closed") == []
+
+    def test_candidates_exclude_non_matching(self):
+        """The index never visits subscriptions on unrelated topics."""
+        index = TopicIndex()
+        for i in range(50):
+            index.add(f"cold.{i}", f"cold{i}")
+        index.add("hot.topic", "hot")
+        index.add("hot.*", "hotwild")
+        matched = index.match("hot.topic")
+        assert matched == ["hot", "hotwild"]
+        assert index.last_candidates == 2
+
+    def test_iteration_in_registration_order(self):
+        index = TopicIndex()
+        index.add("b.*", "first")
+        index.add("a", "second")
+        index.add("c*", "third")
+        assert list(index) == ["first", "second", "third"]
+        assert len(index) == 3

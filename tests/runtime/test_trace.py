@@ -1,0 +1,103 @@
+"""Unit tests for causal signal tracing."""
+
+from repro.runtime.events import Call, Event, Signal, tracing_active
+from repro.runtime.trace import TraceRecorder, start_tracing, stop_tracing
+
+
+class TestCausalIdentity:
+    def test_fresh_signal_roots_its_chain(self):
+        signal = Signal(topic="t")
+        assert signal.trace_id == signal.seq
+        assert signal.parent_seq is None
+
+    def test_with_payload_threads_parentage(self):
+        # Regression: with_payload used to discard the causal link.
+        root = Call(topic="op", payload={"a": 1})
+        child = root.with_payload(b=2)
+        assert child.parent_seq == root.seq
+        assert child.trace_id == root.trace_id
+        grandchild = child.with_payload(c=3)
+        assert grandchild.parent_seq == child.seq
+        assert grandchild.trace_id == root.trace_id
+
+    def test_derive_threads_parentage(self):
+        root = Event(topic="resource.up", origin="net0")
+        forwarded = root.derive("controller.resource.up", origin="broker")
+        assert forwarded.parent_seq == root.seq
+        assert forwarded.trace_id == root.trace_id
+        assert forwarded.topic == "controller.resource.up"
+        assert isinstance(forwarded, Event)
+
+
+class TestTraceRecorder:
+    def test_records_only_while_installed(self):
+        Signal(topic="before")
+        with TraceRecorder() as recorder:
+            Signal(topic="during")
+        Signal(topic="after")
+        assert [r.topic for r in recorder] == ["during"]
+        assert not tracing_active()
+
+    def test_tracing_active_flag(self):
+        assert not tracing_active()
+        with TraceRecorder():
+            assert tracing_active()
+        assert not tracing_active()
+
+    def test_chains_group_by_trace_id(self):
+        with TraceRecorder() as recorder:
+            root = Signal(topic="root")
+            root.with_payload(x=1)
+            other = Signal(topic="other")
+        chains = recorder.chains()
+        assert set(chains) == {root.trace_id, other.trace_id}
+        assert [r.topic for r in chains[root.trace_id]] == ["root", "root"]
+
+    def test_render_tree_and_min_length(self):
+        with TraceRecorder() as recorder:
+            root = Event(topic="root", origin="a")
+            root.derive("child", origin="b")
+            Event(topic="loner")
+        full = recorder.render()
+        assert "event:root" in full
+        assert "    event:child" in full  # indented under the root
+        assert "loner" in full
+        filtered = recorder.render(min_length=2)
+        assert "loner" not in filtered
+        assert "child" in filtered
+
+    def test_render_empty(self):
+        assert TraceRecorder().render() == "(no signals recorded)"
+
+    def test_limit_drops_and_reports(self):
+        with TraceRecorder(limit=2) as recorder:
+            for _ in range(5):
+                Signal(topic="t")
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert "3 record(s) dropped" in recorder.render()
+
+    def test_start_stop_tracing(self):
+        recorder = start_tracing()
+        try:
+            Signal(topic="captured")
+        finally:
+            stopped = stop_tracing()
+        assert stopped is recorder
+        assert [r.topic for r in recorder] == ["captured"]
+        assert stop_tracing() is None
+
+    def test_exit_leaves_foreign_recorder_installed(self):
+        outer = start_tracing()
+        try:
+            inner = TraceRecorder()
+            with inner:
+                pass  # replaced the hook...
+            # ...and uninstalling inner must not clobber a reinstalled one.
+            install_again = TraceRecorder()
+            with install_again:
+                inner.__exit__()  # stale recorder exits late
+                assert tracing_active()
+        finally:
+            stop_tracing()
+        assert not tracing_active()
