@@ -1,5 +1,12 @@
 """Benchmark harness utilities (workloads, runners, LoC accounting)."""
 
+from repro.bench.faults import (
+    GuardedScenarioRunner,
+    breaker_outage_demo,
+    build_faulty_broker,
+    guard_overhead_bench,
+    run_recovery_episodes,
+)
 from repro.bench.harness import (
     Measurement,
     ResultTable,
@@ -32,6 +39,9 @@ from repro.bench.workloads import (
 __all__ = [
     "ScenarioRunner", "Measurement", "ResultTable", "measure",
     "fresh_model_based_broker", "fresh_handcrafted_broker",
+    "GuardedScenarioRunner", "build_faulty_broker",
+    "run_recovery_episodes", "breaker_outage_demo",
+    "guard_overhead_bench",
     "COMMUNICATION_SCENARIOS", "scenario_names",
     "adaptation_wiring", "adaptation_wiring_reliable",
     "count_source_loc", "count_module_loc", "count_callable_loc",

@@ -27,6 +27,9 @@ Commands:
   tracing enabled and print the trace_id/parent_seq chains.
 * ``bench-fabric`` — run the signal-fabric micro-benchmarks and write
   ``BENCH_PR1.json`` (also ``python -m repro.bench.harness``).
+* ``bench-faults`` — replay the E5 recovery scenarios under seeded
+  fault injection with the Broker fault layer engaged and write
+  ``BENCH_PR2.json`` (also ``python -m repro.bench.faults``).
 """
 
 from __future__ import annotations
@@ -386,6 +389,16 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     from repro.runtime.metrics import MetricsRegistry, set_default_registry
 
     registry = MetricsRegistry()
+    if args.faults:
+        from repro.bench.faults import breaker_outage_demo
+
+        breaker_outage_demo(metrics=registry)
+        if args.json:
+            print(registry.to_json(indent=2))
+        else:
+            print("fault-layer metrics for the breaker outage demo:\n")
+            print(registry.render())
+        return 0
     previous = set_default_registry(registry)
     try:
         _run_quickstart(show_output=args.show_run)
@@ -433,6 +446,43 @@ def cmd_bench_fabric(args: argparse.Namespace) -> int:
         f"\nE1 broker overhead: model-based {e1['model_ms']:.3f} ms vs "
         f"handcrafted {e1['handcrafted_ms']:.3f} ms "
         f"({e1['mean_overhead_pct']:.1f}% mean overhead)"
+    )
+    return 0
+
+
+def cmd_bench_faults(args: argparse.Namespace) -> int:
+    from repro.bench.faults import write_bench_json
+
+    results = write_bench_json(args.output)
+    print(f"wrote {args.output}")
+    recovery = results["recovery"]
+    print(
+        f"\nE5 under fault injection: {recovery['episodes']} episodes, "
+        f"failure rate {recovery['failure_rate']:.0%}, "
+        f"{recovery['injected_faults']} faults injected, "
+        f"{recovery['retries']} retries, "
+        f"{recovery['unhandled_exceptions']} unhandled exceptions"
+    )
+    latency = recovery["recovery_latency"]
+    if latency:
+        print(
+            f"recovery latency: n={latency['count']} "
+            f"p50={latency['p50_us']:.0f}µs p95={latency['p95_us']:.0f}µs"
+        )
+    outage = results["breaker_outage"]
+    chain = " -> ".join(
+        transition["to"] for transition in outage["transitions"]
+    )
+    print(
+        f"breaker outage walk: closed -> {chain} "
+        f"({outage['rejected_while_open']} calls rejected while open, "
+        f"{len(outage['autonomic_requests'])} autonomic requests raised)"
+    )
+    overhead = results["guard_overhead"]
+    print(
+        f"guarded-path overhead: bare {overhead['bare_us']:.2f}µs/op, "
+        f"policy {overhead['policy_us']:.2f}µs/op, "
+        f"policy+breaker {overhead['breaker_us']:.2f}µs/op"
     )
     return 0
 
@@ -493,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--json", action="store_true",
                          help="emit the registry snapshot as JSON")
+    metrics.add_argument("--faults", action="store_true",
+                         help="run the circuit-breaker outage demo instead "
+                              "and print the fault-layer metrics")
     metrics.add_argument("--show-run", action="store_true",
                          help="also show the quickstart's own output")
 
@@ -512,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run signal-fabric micro-benchmarks and write BENCH_PR1.json",
     )
     bench.add_argument("--output", default="BENCH_PR1.json")
+
+    bench_faults = sub.add_parser(
+        "bench-faults",
+        help="run E5 recovery under seeded fault injection and write "
+             "BENCH_PR2.json",
+    )
+    bench_faults.add_argument("--output", default="BENCH_PR2.json")
     return parser
 
 
@@ -527,6 +587,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "metrics": cmd_metrics,
     "trace": cmd_trace,
     "bench-fabric": cmd_bench_fabric,
+    "bench-faults": cmd_bench_faults,
 }
 
 

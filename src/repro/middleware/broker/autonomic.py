@@ -51,6 +51,27 @@ class Symptom:
     cooldown: float = 0.0           # seconds between consecutive firings
     _last_fired: float = field(default=float("-inf"), repr=False)
 
+    @classmethod
+    def for_breaker(
+        cls,
+        resource: str,
+        *,
+        state: str = "open",
+        request_kind: str = "resource-outage",
+        cooldown: float = 0.0,
+    ) -> "Symptom":
+        """A symptom firing on circuit-breaker transitions of
+        ``resource`` (events published by the resource manager as
+        ``resource.<name>.breaker_<state>``) — the bridge from the
+        fault layer into the MAPE-K loop."""
+        return cls(
+            name=f"breaker-{state}:{resource}",
+            condition="True",
+            request_kind=request_kind,
+            on_topic=f"resource.{resource}.breaker_{state}",
+            cooldown=cooldown,
+        )
+
     def topic_matches(self, topic: str | None) -> bool:
         if self.on_topic is None:
             return True

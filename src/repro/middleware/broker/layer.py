@@ -23,7 +23,12 @@ from repro.middleware.broker.actions import (
     EventBindingTable,
 )
 from repro.middleware.broker.autonomic import AutonomicManager, ChangePlan, Symptom
-from repro.middleware.broker.resource import Resource, ResourceManager
+from repro.middleware.broker.resource import (
+    BreakerOpenError,
+    Resource,
+    ResourceManager,
+)
+from repro.runtime.faults import CircuitBreaker, InvocationOutcome, RetryPolicy
 from repro.middleware.broker.state import StateManager
 from repro.middleware.controller.policy import ContextStore, PolicyEngine
 from repro.runtime.component import Component
@@ -48,7 +53,12 @@ class BrokerLayer(Component):
     def __init__(self, name: str = "broker", **kwargs: Any) -> None:
         super().__init__(name, **kwargs)
         self.state = StateManager(name=f"{name}.state")
-        self.resources = ResourceManager(self.bus, name=f"{name}.resources")
+        self.resources = ResourceManager(
+            self.bus,
+            name=f"{name}.resources",
+            clock=self.clock,
+            metrics=self.metrics,
+        )
         self.calls = BrokerActionTable(self.resources, self.state)
         self.events = EventBindingTable(self.resources, self.state)
         self.policies = PolicyEngine(ContextStore())
@@ -116,6 +126,25 @@ class BrokerLayer(Component):
             self.state.drop_snapshot()
         return result
 
+    def call_api_guarded(self, api: str, **args: Any) -> InvocationOutcome:
+        """Graceful-degradation variant of :meth:`call_api`: failures
+        (breaker rejections included) come back as a typed outcome
+        instead of an exception — the contract heavy-traffic callers
+        use so one misbehaving resource cannot crash the caller."""
+        try:
+            value = self.call_api(api, **args)
+        except BreakerOpenError as exc:
+            return InvocationOutcome(
+                status=InvocationOutcome.REJECTED, label=api, error=exc
+            )
+        except Exception as exc:  # noqa: BLE001 - typed-outcome contract
+            return InvocationOutcome(
+                status=InvocationOutcome.FAILED, label=api, error=exc
+            )
+        return InvocationOutcome(
+            status=InvocationOutcome.OK, label=api, value=value, attempts=1
+        )
+
     # -- installation API (used by the model loader and DSK modules) -----------
 
     def install_resource(self, resource: Resource) -> Resource:
@@ -128,6 +157,26 @@ class BrokerLayer(Component):
         self, topic_pattern: str, action: BrokerAction, *, guard: str | None = None
     ) -> None:
         self.events.bind(topic_pattern, action, guard=guard)
+
+    def install_fault_policy(
+        self,
+        resource_name: str,
+        policy: RetryPolicy | None = None,
+        *,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_trials: int = 1,
+    ) -> CircuitBreaker:
+        """Protect a resource with a retry policy + circuit breaker;
+        breaker transitions surface as ``resource.<name>.breaker_*``
+        events the autonomic manager can consume as symptoms."""
+        return self.resources.protect(
+            resource_name,
+            policy,
+            failure_threshold=failure_threshold,
+            recovery_time=recovery_time,
+            half_open_trials=half_open_trials,
+        )
 
     def install_symptom(self, symptom: Symptom) -> Symptom:
         return self.autonomic.add_symptom(symptom)
@@ -151,7 +200,7 @@ class BrokerLayer(Component):
             upward.receive_signal(signal)
 
     def stats(self) -> dict[str, Any]:
-        return {
+        stats: dict[str, Any] = {
             "api_calls": self.api_calls,
             "actions": self.calls.action_count,
             "resources": len(self.resources),
@@ -159,6 +208,16 @@ class BrokerLayer(Component):
             "autonomic_requests": len(self.autonomic.requests_raised),
             "autonomic_plans_executed": self.autonomic.plans_executed,
         }
+        if self.resources.retries:
+            stats["resource_retries"] = self.resources.retries
+        breakers = {
+            resource.name: breaker.state
+            for resource in self.resources
+            if (breaker := self.resources.breaker(resource.name)) is not None
+        }
+        if breakers:
+            stats["breakers"] = breakers
+        return stats
 
 
 def _as_bool(value: Any) -> bool:

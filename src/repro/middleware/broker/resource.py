@@ -15,15 +15,41 @@ upward.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Iterator, Mapping
 
+from repro.runtime.clock import Clock
 from repro.runtime.events import EventBus
+from repro.runtime.faults import (
+    PASSTHROUGH as PASSTHROUGH_POLICY,
+    CircuitBreaker,
+    InvocationOutcome,
+    RetryPolicy,
+    call_guarded,
+)
+from repro.runtime.metrics import MetricsRegistry, default_registry
 
-__all__ = ["ResourceError", "Resource", "CallableResource", "ResourceManager"]
+__all__ = [
+    "ResourceError",
+    "TransientResourceError",
+    "BreakerOpenError",
+    "Resource",
+    "CallableResource",
+    "ResourceManager",
+]
 
 
 class ResourceError(Exception):
     """Raised on unknown resources/operations or failed invocations."""
+
+
+class TransientResourceError(ResourceError):
+    """A fault worth retrying (network glitch, injected fault, busy
+    device).  The default Broker fault policies retry only these."""
+
+
+class BreakerOpenError(ResourceError):
+    """An invocation was rejected by an open circuit breaker."""
 
 
 class Resource:
@@ -95,13 +121,34 @@ class ResourceManager:
 
     Resource events surface on the Broker's bus under
     ``resource.<resource-name>.<topic>``.
+
+    Fault tolerance: :meth:`set_fault_policy` / :meth:`protect` install
+    per-resource retry policies and circuit breakers (``"*"`` installs
+    a default for every resource).  Unprotected resources keep the
+    bare, zero-overhead invocation path.  Breaker state changes are
+    published as ``resource.<name>.breaker_<state>`` events, which the
+    Broker's autonomic manager observes as symptoms.
     """
 
-    def __init__(self, bus: EventBus, *, name: str = "resources") -> None:
+    def __init__(
+        self,
+        bus: EventBus,
+        *,
+        name: str = "resources",
+        clock: Clock | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.bus = bus
         self.name = name
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else default_registry()
         self._resources: dict[str, Resource] = {}
+        self._policies: dict[str, RetryPolicy] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: deterministic jitter source (policies opt into jitter)
+        self._rng = random.Random(0)
         self.invocations = 0
+        self.retries = 0
 
     def register(self, resource: Resource) -> Resource:
         if resource.name in self._resources:
@@ -130,9 +177,140 @@ class ResourceManager:
             raise ResourceError(f"no resource {name!r}")
         return resource
 
+    # -- fault policies ---------------------------------------------------
+
+    def set_fault_policy(
+        self,
+        resource_name: str,
+        policy: RetryPolicy | None = None,
+        *,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        """Install a retry policy and/or breaker for ``resource_name``
+        (``"*"`` = default for every resource without its own)."""
+        if policy is not None:
+            self._policies[resource_name] = policy
+        if breaker is not None:
+            breaker.name = breaker.name or resource_name
+            previous = breaker.on_transition
+            breaker.on_transition = (
+                self._breaker_transition if previous is None
+                else lambda b, old, new: (
+                    previous(b, old, new), self._breaker_transition(b, old, new)
+                )
+            )
+            self._breakers[resource_name] = breaker
+
+    def protect(
+        self,
+        resource_name: str,
+        policy: RetryPolicy | None = None,
+        *,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_trials: int = 1,
+    ) -> CircuitBreaker:
+        """Convenience: build a clock-aware breaker for a resource and
+        install it together with ``policy``."""
+        breaker = CircuitBreaker(
+            resource_name,
+            failure_threshold=failure_threshold,
+            recovery_time=recovery_time,
+            half_open_trials=half_open_trials,
+            now=self._now,
+        )
+        self.set_fault_policy(resource_name, policy, breaker=breaker)
+        return breaker
+
+    def breaker(self, resource_name: str) -> CircuitBreaker | None:
+        return self._breakers.get(resource_name)
+
+    def fault_policy(self, resource_name: str) -> RetryPolicy | None:
+        policy = self._policies.get(resource_name)
+        return policy if policy is not None else self._policies.get("*")
+
+    def _now(self) -> float:
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def _breaker_transition(
+        self, breaker: CircuitBreaker, old: str, new: str
+    ) -> None:
+        self.metrics.count(
+            "faults.breaker_transition", f"{breaker.name}:{new}"
+        )
+        self.bus.publish(
+            _resource_event(
+                breaker.name,
+                f"breaker_{new}",
+                {"previous": old, "state": new,
+                 "failures": breaker.consecutive_failures},
+            )
+        )
+
+    # -- invocation -------------------------------------------------------
+
     def invoke(self, resource_name: str, operation: str, **args: Any) -> Any:
         self.invocations += 1
-        return self.require(resource_name).invoke(operation, **args)
+        resource = self.require(resource_name)
+        policy = self.fault_policy(resource_name)
+        breaker = self._breakers.get(resource_name)
+        if policy is None and breaker is None:
+            # Unprotected fast path: semantics and overhead unchanged.
+            return resource.invoke(operation, **args)
+        outcome = self._guarded(resource, operation, args, policy, breaker)
+        if outcome.ok:
+            return outcome.value
+        if outcome.status == InvocationOutcome.REJECTED:
+            raise BreakerOpenError(str(outcome.error)) from outcome.error
+        assert outcome.error is not None
+        raise outcome.error
+
+    def invoke_guarded(
+        self, resource_name: str, operation: str, **args: Any
+    ) -> InvocationOutcome:
+        """Like :meth:`invoke`, but degrade gracefully: failures come
+        back as a typed :class:`InvocationOutcome`, never an exception."""
+        self.invocations += 1
+        label = f"{resource_name}.{operation}"
+        resource = self._resources.get(resource_name)
+        if resource is None:
+            return InvocationOutcome(
+                status=InvocationOutcome.FAILED, label=label,
+                error=ResourceError(f"no resource {resource_name!r}"),
+            )
+        return self._guarded(
+            resource, operation, args,
+            self.fault_policy(resource_name),
+            self._breakers.get(resource_name),
+        )
+
+    def _guarded(
+        self,
+        resource: Resource,
+        operation: str,
+        args: Mapping[str, Any],
+        policy: RetryPolicy | None,
+        breaker: CircuitBreaker | None,
+    ) -> InvocationOutcome:
+        label = f"{resource.name}.{operation}"
+
+        def on_retry(attempt: int, exc: BaseException, delay: float) -> None:
+            self.retries += 1
+            self.metrics.count("faults.retries", resource.name)
+
+        outcome = call_guarded(
+            lambda: resource.invoke(operation, **args),
+            policy=policy or PASSTHROUGH_POLICY,
+            breaker=breaker,
+            clock=self.clock,
+            rng=self._rng,
+            label=label,
+            on_retry=on_retry,
+        )
+        self.metrics.count(f"faults.outcome.{outcome.status}", resource.name)
+        if outcome.status == InvocationOutcome.REJECTED:
+            self.metrics.count("faults.rejected", resource.name)
+        return outcome
 
     def by_kind(self, kind: str) -> list[Resource]:
         return [r for r in self._resources.values() if r.kind == kind]

@@ -111,6 +111,7 @@ def _instantiate(
     metamodel: Metamodel,
     index: dict[str, MObject],
     pending: list[tuple[MObject, MetaReference, Any]],
+    remap: dict[str, MObject] | None = None,
 ) -> MObject:
     class_name = doc.get("class")
     if not isinstance(class_name, str):
@@ -125,6 +126,10 @@ def _instantiate(
     if obj.id in index:
         raise SerializationError(f"duplicate object id {obj.id!r}")
     index[obj.id] = obj
+    if remap is not None and "$was" in doc:
+        # fresh-id cloning: remember which original id this fresh
+        # object replaces so in-subtree cross-refs still resolve.
+        remap[str(doc["$was"])] = obj
     for name, value in dict(doc.get("attrs", {})).items():
         feature = cls.find_feature(name)
         if not isinstance(feature, MetaAttribute):
@@ -144,7 +149,7 @@ def _instantiate(
         if feature.containment:
             children = value if feature.many else [value]
             for child_doc in children:
-                child = _instantiate(child_doc, metamodel, index, pending)
+                child = _instantiate(child_doc, metamodel, index, pending, remap)
                 if feature.many:
                     obj.get(name).append(child)
                 else:
@@ -267,21 +272,40 @@ def metamodel_from_dict(
 
 
 def clone_object(obj: MObject, *, fresh_ids: bool = False) -> MObject:
-    """Deep-copy an object subtree (cross-refs within the subtree kept)."""
+    """Deep-copy an object subtree (cross-refs within the subtree kept).
+
+    With ``fresh_ids=True`` every object in the copy gets a newly
+    minted id; cross-references *within* the subtree are remapped from
+    the original ids to the fresh objects, so internal structure
+    survives re-identification.  A reference that genuinely escapes
+    the subtree raises :class:`SerializationError` under fresh ids
+    (there is no object it could legally point to); with preserved ids
+    it is dropped, matching EMF's proxy behaviour for isolated copies.
+    """
     doc = object_to_dict(obj)
+    remap: dict[str, MObject] | None = None
     if fresh_ids:
+        remap = {}
         _strip_ids(doc)
     index: dict[str, MObject] = {}
     pending: list[tuple[MObject, MetaReference, Any]] = []
     metamodel = obj.meta.metamodel
     if metamodel is None:
         raise SerializationError(f"{obj!r} has no metamodel; cannot clone")
-    clone = _instantiate(doc, metamodel, index, pending)
+    clone = _instantiate(doc, metamodel, index, pending, remap)
     for owner, ref, value in pending:
         targets = value if ref.many else [value]
         for target_doc in targets:
-            target = index.get(target_doc["$ref"])
+            ref_id = target_doc["$ref"]
+            target = index.get(ref_id)
+            if target is None and remap is not None:
+                target = remap.get(ref_id)
             if target is None:
+                if fresh_ids:
+                    raise SerializationError(
+                        f"{ref.qualified_name}: reference to {ref_id!r} "
+                        f"escapes the cloned subtree"
+                    )
                 # Cross-ref escapes the subtree: drop it (EMF proxies
                 # would do the same for an isolated copy).
                 continue
@@ -293,7 +317,10 @@ def clone_object(obj: MObject, *, fresh_ids: bool = False) -> MObject:
 
 
 def _strip_ids(doc: dict[str, Any]) -> None:
-    doc.pop("id", None)
+    """Prepare a doc for fresh-id instantiation: drop each node's id
+    but keep it under ``$was`` so the remap table can be built."""
+    if "id" in doc:
+        doc["$was"] = doc.pop("id")
     for value in dict(doc.get("refs", {})).values():
         children = value if isinstance(value, list) else [value]
         for child in children:

@@ -6,7 +6,21 @@ an event bus, clocks (wall and virtual), executors, and registries.
 """
 
 from repro.runtime.clock import Clock, Timer, VirtualClock, WallClock
-from repro.runtime.component import Component, ComponentError, LifecycleState
+from repro.runtime.component import (
+    Component,
+    ComponentError,
+    LifecycleState,
+    Supervisor,
+)
+from repro.runtime.faults import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpen,
+    FaultError,
+    InvocationOutcome,
+    RetryPolicy,
+    call_guarded,
+)
 from repro.runtime.events import (
     Call,
     Event,
@@ -36,7 +50,9 @@ from repro.runtime.trace import TraceRecord, TraceRecorder, start_tracing, stop_
 
 __all__ = [
     "Clock", "WallClock", "VirtualClock", "Timer",
-    "Component", "ComponentError", "LifecycleState",
+    "Component", "ComponentError", "LifecycleState", "Supervisor",
+    "FaultError", "CircuitOpen", "RetryPolicy", "BreakerState",
+    "CircuitBreaker", "InvocationOutcome", "call_guarded",
     "Signal", "Call", "Event", "EventBus", "EventDeliveryError", "Subscription",
     "TopicMatcher", "TopicIndex",
     "TaskExecutor", "InlineExecutor", "ThreadPoolExecutorAdapter",

@@ -117,6 +117,12 @@ class Mailbox:
     def post(self, task: Callable[[], None]) -> None:
         self._queue.put(task)
 
+    def supervise(self, supervisor: Any, component: Any) -> None:
+        """Route task errors to a
+        :class:`~repro.runtime.component.Supervisor` so a crashing
+        consumer component is restarted instead of silently wedged."""
+        self.on_error = supervisor.guard(component)
+
     def drain(self, *, max_tasks: int | None = None) -> int:
         """Synchronously run queued tasks; returns how many ran.
 

@@ -1,0 +1,327 @@
+"""Fault tolerance: retry policies, circuit breakers, typed outcomes.
+
+The paper's autonomic managers (Sec. IV/V) promise self-recovering
+middleware; this module supplies the generic mechanisms the layers
+build that promise on:
+
+* :class:`RetryPolicy` — configurable retry with exponential backoff
+  (optionally jittered from a caller-supplied seeded RNG so tests and
+  benchmarks stay deterministic).
+* :class:`CircuitBreaker` — the classic closed → open → half-open
+  state machine, driven by an injectable ``now`` callable so
+  :class:`~repro.runtime.clock.VirtualClock` tests are deterministic.
+* :class:`InvocationOutcome` — a typed result for guarded calls:
+  instead of an unhandled exception, callers receive ``ok`` /
+  ``failed`` / ``exhausted`` / ``rejected`` plus attempt counts and
+  elapsed time.
+* :func:`call_guarded` — the engine combining the three.
+
+Everything here is layer-agnostic; the Broker's resource manager
+(:mod:`repro.middleware.broker.resource`) wraps ``Resource.invoke``
+with these primitives, and :class:`~repro.runtime.component.Supervisor`
+reuses the backoff schedule for component restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.clock import Clock, WallClock
+
+__all__ = [
+    "FaultError",
+    "CircuitOpen",
+    "RetryPolicy",
+    "PASSTHROUGH",
+    "BreakerState",
+    "CircuitBreaker",
+    "InvocationOutcome",
+    "call_guarded",
+]
+
+
+class FaultError(Exception):
+    """Base class for fault-layer errors."""
+
+
+class CircuitOpen(FaultError):
+    """An invocation was rejected because the circuit breaker is open."""
+
+    def __init__(self, name: str, *, retry_at: float | None = None) -> None:
+        detail = f" (retry at t={retry_at:.3f})" if retry_at is not None else ""
+        super().__init__(f"circuit breaker {name!r} is open{detail}")
+        self.breaker_name = name
+        self.retry_at = retry_at
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry with exponential backoff.
+
+    ``delay(n)`` is the pause after the *n*-th failed attempt
+    (1-based): ``base_delay * multiplier**(n-1)`` capped at
+    ``max_delay``.  ``jitter`` widens each delay by a uniform factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from the RNG the caller passes
+    (no global randomness — determinism is a feature).
+
+    ``retry_on`` is the tuple of exception types considered transient;
+    anything else fails permanently on the first attempt.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 10.0
+    jitter: float = 0.0
+    retry_on: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def retryable(self, exc: BaseException) -> bool:
+        return isinstance(exc, self.retry_on)
+
+    def delay(self, attempt: int, rng: Any | None = None) -> float:
+        """Backoff after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+#: A policy that never retries — the do-nothing default that keeps the
+#: undecorated fast path semantics (one attempt, errors propagate).
+PASSTHROUGH = RetryPolicy(max_attempts=1, base_delay=0.0)
+
+
+class BreakerState:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-resource circuit breaker (closed → open → half-open).
+
+    * ``failure_threshold`` consecutive failures open the circuit.
+    * While open, :meth:`allow` rejects until ``recovery_time`` seconds
+      (on the injected ``now`` clock) have elapsed, then the breaker
+      moves to half-open and admits probe calls.
+    * ``half_open_trials`` consecutive probe successes close it again;
+      any probe failure re-opens it immediately.
+
+    ``on_transition(breaker, old_state, new_state)`` fires on every
+    state change — the Broker's resource manager uses it to publish
+    breaker events the autonomic manager consumes as symptoms.
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        *,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        half_open_trials: int = 1,
+        now: Callable[[], float] | None = None,
+        on_transition: Callable[["CircuitBreaker", str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if half_open_trials < 1:
+            raise ValueError("half_open_trials must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_trials = half_open_trials
+        self._now = now or (lambda: 0.0)
+        self.on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self._trial_successes = 0
+        self._opened_at = float("-inf")
+        self.transitions: list[tuple[float, str, str]] = []
+        self.rejections = 0
+
+    # -- state machine ---------------------------------------------------
+
+    def _transition(self, target: str) -> None:
+        if target == self.state:
+            return
+        old, self.state = self.state, target
+        self.transitions.append((self._now(), old, target))
+        if target == BreakerState.OPEN:
+            self._opened_at = self._now()
+        elif target == BreakerState.CLOSED:
+            self.consecutive_failures = 0
+        self._trial_successes = 0
+        if self.on_transition is not None:
+            self.on_transition(self, old, target)
+
+    @property
+    def retry_at(self) -> float:
+        """Earliest time an open breaker admits a probe."""
+        return self._opened_at + self.recovery_time
+
+    def allow(self) -> bool:
+        """Whether a call may proceed; may transition open → half-open."""
+        if self.state == BreakerState.OPEN:
+            if self._now() >= self.retry_at:
+                self._transition(BreakerState.HALF_OPEN)
+            else:
+                self.rejections += 1
+                return False
+        return True
+
+    def record_success(self) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self._trial_successes += 1
+            if self._trial_successes >= self.half_open_trials:
+                self._transition(BreakerState.CLOSED)
+        else:
+            self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        if self.state == BreakerState.HALF_OPEN:
+            self._transition(BreakerState.OPEN)
+            return
+        self.consecutive_failures += 1
+        if (
+            self.state == BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self._transition(BreakerState.OPEN)
+
+    def reset(self) -> None:
+        """Force-close (administrative override)."""
+        self._transition(BreakerState.CLOSED)
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, state={self.state}, "
+            f"failures={self.consecutive_failures})"
+        )
+
+
+@dataclass
+class InvocationOutcome:
+    """Typed result of a guarded invocation.
+
+    ``status`` is one of:
+
+    * ``"ok"`` — the call succeeded (possibly after retries).
+    * ``"failed"`` — a non-retryable error; ``error`` holds it.
+    * ``"exhausted"`` — every permitted attempt raised a transient
+      error; ``error`` holds the last one.
+    * ``"rejected"`` — the circuit breaker refused the call (or opened
+      mid-retry); ``error`` is a :class:`CircuitOpen`.
+    """
+
+    status: str
+    label: str = ""
+    value: Any = None
+    error: BaseException | None = None
+    attempts: int = 0
+    elapsed: float = 0.0
+
+    OK = "ok"
+    FAILED = "failed"
+    EXHAUSTED = "exhausted"
+    REJECTED = "rejected"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == self.OK
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+    def unwrap(self) -> Any:
+        """Return the value, or raise the captured error."""
+        if self.ok:
+            return self.value
+        assert self.error is not None
+        raise self.error
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "status": self.status,
+            "label": self.label,
+            "attempts": self.attempts,
+            "elapsed": self.elapsed,
+            "error": str(self.error) if self.error is not None else None,
+        }
+
+
+def call_guarded(
+    fn: Callable[[], Any],
+    *,
+    policy: RetryPolicy = PASSTHROUGH,
+    breaker: CircuitBreaker | None = None,
+    clock: Clock | None = None,
+    rng: Any | None = None,
+    label: str = "",
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+) -> InvocationOutcome:
+    """Run ``fn`` under a retry policy and optional circuit breaker.
+
+    Never raises for failures of ``fn`` itself — every outcome is
+    reported as a typed :class:`InvocationOutcome`.  Backoff pauses go
+    through ``clock.sleep`` so a virtual clock makes them instant and
+    deterministic.  ``on_retry(attempt, error, delay)`` fires before
+    each backoff pause.
+    """
+    clock = clock or WallClock()
+    start = clock.now()
+
+    def done(status: str, **kwargs: Any) -> InvocationOutcome:
+        return InvocationOutcome(
+            status=status, label=label,
+            elapsed=clock.now() - start, **kwargs,
+        )
+
+    if breaker is not None and not breaker.allow():
+        return done(
+            InvocationOutcome.REJECTED, attempts=0,
+            error=CircuitOpen(breaker.name or label, retry_at=breaker.retry_at),
+        )
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            value = fn()
+        except Exception as exc:  # noqa: BLE001 - converted to outcome
+            if breaker is not None:
+                breaker.record_failure()
+            if not policy.retryable(exc):
+                return done(InvocationOutcome.FAILED, attempts=attempts, error=exc)
+            if attempts >= policy.max_attempts:
+                return done(
+                    InvocationOutcome.EXHAUSTED, attempts=attempts, error=exc
+                )
+            delay = policy.delay(attempts, rng)
+            if on_retry is not None:
+                on_retry(attempts, exc, delay)
+            if delay > 0:
+                clock.sleep(delay)
+            if breaker is not None and not breaker.allow():
+                return done(
+                    InvocationOutcome.REJECTED, attempts=attempts,
+                    error=CircuitOpen(
+                        breaker.name or label, retry_at=breaker.retry_at
+                    ),
+                )
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return done(InvocationOutcome.OK, attempts=attempts, value=value)

@@ -5,8 +5,11 @@ services/hardware; see DESIGN.md substitution table).
 * :mod:`repro.sim.plant` — microgrid plant controllers (MGridVM).
 * :mod:`repro.sim.space` — smart-space environment (2SVM).
 * :mod:`repro.sim.fleet` — crowdsensing device fleet (CSVM).
+* :mod:`repro.sim.faults` — deterministic fault injection for any of
+  the above (seeded op failures, latency spikes, flaky windows).
 """
 
+from repro.sim.faults import FaultInjector, FlakyWindow, InjectedFault
 from repro.sim.fleet import DeviceFleet, FleetError, SensingDevice
 from repro.sim.network import CommService, MediaStream, NetworkError, Session
 from repro.sim.plant import PlantController, PlantError, PowerDevice
@@ -17,4 +20,5 @@ __all__ = [
     "PlantController", "PowerDevice", "PlantError",
     "SmartSpace", "SmartObject", "SpaceError",
     "DeviceFleet", "SensingDevice", "FleetError",
+    "FaultInjector", "FlakyWindow", "InjectedFault",
 ]

@@ -24,9 +24,6 @@ from repro.middleware.broker.resource import Resource, ResourceError
 
 __all__ = ["NetworkError", "Session", "MediaStream", "CommService"]
 
-_session_seq = itertools.count(1)
-_stream_seq = itertools.count(1)
-
 
 class NetworkError(ResourceError):
     """Protocol violations or operations on failed sessions."""
@@ -99,6 +96,11 @@ class CommService(Resource):
         self._work = work or _spin
         self.op_count = 0
         self.op_log: list[str] = []
+        # Per-instance id sequences: two services (or two benchmark
+        # runs in one process) must mint identical, replayable
+        # session/stream ids for golden-trace comparisons.
+        self._session_seq = itertools.count(1)
+        self._stream_seq = itertools.count(1)
 
     # -- Resource contract ---------------------------------------------
 
@@ -124,7 +126,7 @@ class CommService(Resource):
     # -- session lifecycle --------------------------------------------------
 
     def op_open_session(self, initiator: str, parties: list[str] | None = None) -> str:
-        session_id = f"sess-{next(_session_seq)}"
+        session_id = f"sess-{next(self._session_seq)}"
         session = Session(session_id=session_id, initiator=initiator)
         session.parties.add(initiator)
         for party in parties or []:
@@ -133,8 +135,15 @@ class CommService(Resource):
         self.notify("session_opened", session=session_id, initiator=initiator)
         return session_id
 
-    def op_close_session(self, session: str) -> bool:
+    def op_close_session(self, session: str, force: bool = False) -> bool:
         found = self._session(session)
+        if found.state == "closed":
+            return False      # idempotent: no re-close, no duplicate event
+        if found.state == "failed" and not force:
+            raise NetworkError(
+                f"session {session} is failed; recover it first "
+                f"(or force-close)"
+            )
         for stream in found.streams.values():
             stream.open = False
         found.state = "closed"
@@ -168,7 +177,7 @@ class CommService(Resource):
             raise NetworkError(f"unknown medium {medium!r}")
         if quality not in self.QUALITIES:
             raise NetworkError(f"unknown quality {quality!r}")
-        stream_id = f"stream-{next(_stream_seq)}"
+        stream_id = f"stream-{next(self._stream_seq)}"
         found.streams[stream_id] = MediaStream(
             stream_id=stream_id, medium=medium, quality=quality
         )

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.runtime.clock import VirtualClock
+from repro.sim.faults import FaultInjector, FlakyWindow, InjectedFault
 from repro.sim.fleet import DeviceFleet, FleetError
 from repro.sim.network import CommService, NetworkError
 from repro.sim.plant import PlantController, PlantError
@@ -62,6 +64,34 @@ class TestCommService:
         with pytest.raises(NetworkError, match="not failed"):
             service.invoke("recover_session", session=session)
 
+    def test_close_is_idempotent(self, service):
+        session = service.invoke("open_session", initiator="a")
+        events = []
+        service.attach(lambda topic, payload: events.append(topic))
+        assert service.invoke("close_session", session=session) is True
+        assert service.invoke("close_session", session=session) is False
+        assert events.count("session_closed") == 1  # no duplicate event
+
+    def test_close_failed_session_needs_force(self, service):
+        session = service.invoke("open_session", initiator="a")
+        service.inject_failure(session)
+        with pytest.raises(NetworkError, match="recover it first"):
+            service.invoke("close_session", session=session)
+        assert service.invoke("close_session", session=session, force=True)
+        assert service.sessions[session].state == "closed"
+
+    def test_id_sequences_are_per_instance(self):
+        # Two services (e.g. two benchmark runs in one process) must
+        # mint identical, replayable ids — the sequences were
+        # process-global once, which broke golden-trace comparisons.
+        first, second = CommService(op_cost=0.0), CommService(op_cost=0.0)
+        s1 = first.invoke("open_session", initiator="a")
+        s2 = second.invoke("open_session", initiator="a")
+        assert s1 == s2 == "sess-1"
+        t1 = first.invoke("open_stream", session=s1, medium="audio")
+        t2 = second.invoke("open_stream", session=s2, medium="audio")
+        assert t1 == t2 == "stream-1"
+
     def test_unknown_operation_and_session(self, service):
         with pytest.raises(NetworkError, match="unknown operation"):
             service.invoke("teleport")
@@ -77,6 +107,73 @@ class TestCommService:
         service.invoke("open_session", initiator="a")
         assert service.op_log == ["open_session"]
         assert service.op_count == 1
+
+
+class TestFaultInjector:
+    def make(self, **kwargs):
+        clock = kwargs.pop("clock", VirtualClock())
+        inner = CommService("net0", op_cost=0.0)
+        return FaultInjector(inner, clock=clock, **kwargs), inner, clock
+
+    def test_same_seed_same_fault_sequence(self):
+        logs = []
+        for _ in range(2):
+            injector, _inner, _clock = self.make(seed=11, failure_rate=0.3)
+            for _ in range(50):
+                try:
+                    injector.invoke("probe")
+                except InjectedFault:
+                    pass
+            logs.append(list(injector.fault_log))
+        assert logs[0] == logs[1]
+        assert logs[0]  # 30 % over 50 ops: some faults did fire
+
+    def test_zero_rate_never_fails(self):
+        injector, inner, _clock = self.make(seed=1, failure_rate=0.0)
+        for _ in range(20):
+            injector.invoke("probe")
+        assert injector.injected_faults == 0
+        assert inner.op_count == 20
+
+    def test_flaky_window_elevates_rate(self):
+        injector, _inner, clock = self.make(
+            seed=2, failure_rate=0.0,
+            windows=(FlakyWindow(10.0, 20.0, 1.0),),
+        )
+        injector.invoke("probe")             # before the window: healthy
+        clock.advance(10.0)
+        with pytest.raises(InjectedFault):
+            injector.invoke("probe")         # inside: hard outage
+        clock.advance(10.0)
+        injector.invoke("probe")             # after: healthy again
+        assert injector.injected_faults == 1
+
+    def test_latency_spike_charges_clock(self):
+        injector, _inner, clock = self.make(
+            seed=3, failure_rate=0.0,
+            latency_spike_rate=1.0, latency_spike=0.5,
+        )
+        injector.invoke("probe")
+        assert clock.now() == pytest.approx(0.5)
+        assert injector.spikes == 1
+
+    def test_event_plumbing_reaches_inner_notifications(self):
+        injector, inner, _clock = self.make(seed=4)
+        events = []
+        injector.attach(lambda topic, payload: events.append(topic))
+        session = injector.invoke("open_session", initiator="a")
+        inner.inject_failure(session)
+        assert "session_opened" in events
+        assert "session_failed" in events
+
+    def test_only_operations_scopes_injection(self):
+        injector, _inner, _clock = self.make(
+            seed=5, failure_rate=1.0, only_operations=("send_data",)
+        )
+        session = injector.invoke("open_session", initiator="a")
+        stream = injector.invoke("open_stream", session=session, medium="text")
+        with pytest.raises(InjectedFault):
+            injector.invoke("send_data", session=session, stream=stream)
 
 
 class TestPlantController:

@@ -19,7 +19,12 @@ from repro.modeling.diff import diff_models
 from repro.modeling.expr import Expression, ExpressionError
 from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
-from repro.modeling.serialize import clone_model, model_from_dict, model_to_dict
+from repro.modeling.serialize import (
+    clone_model,
+    clone_object,
+    model_from_dict,
+    model_to_dict,
+)
 
 # -- a compact metamodel used by all properties ----------------------------
 
@@ -172,3 +177,52 @@ def test_unknown_names_always_raise(name: str) -> None:
     compiled = Expression(f"{name}_undefined_suffix")
     with pytest.raises(ExpressionError):
         compiled.evaluate({})
+
+
+# -- cloning properties ----------------------------------------------------
+
+
+def _containment_walk(node):
+    yield node
+    for child in node.children:
+        yield from _containment_walk(child)
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_fresh_id_clone_preserves_internal_structure(model: Model) -> None:
+    """Fresh-id clones re-identify every node but keep attributes and
+    in-subtree cross-links (the PNode strategy never links outside the
+    root's subtree, so cloning must never raise)."""
+    root = model.roots[0]
+    copy = clone_object(root, fresh_ids=True)
+    originals = list(_containment_walk(root))
+    copies = list(_containment_walk(copy))
+    assert len(copies) == len(originals)
+    old_ids = {node.id for node in originals}
+    twin_of = {}
+    for original, twin in zip(originals, copies):
+        assert twin.id not in old_ids
+        assert twin.name == original.name
+        assert twin.weight == original.weight
+        assert list(twin.labels) == list(original.labels)
+        twin_of[original.id] = twin
+    for original, twin in zip(originals, copies):
+        if original.link is None:
+            assert twin.link is None
+        else:
+            assert twin.link is twin_of[original.link.id]
+
+
+@settings(max_examples=40, deadline=None)
+@given(models())
+def test_explicit_attrs_and_empty_many_roundtrip(model: Model) -> None:
+    """Explicitly-set attributes survive a round trip even at their
+    default value, and empty many-features come back empty."""
+    doc = model_to_dict(model)
+    restored = model_from_dict(doc, _MM)
+    for obj in model.walk():
+        twin = restored.by_id(obj.id)
+        assert twin is not None
+        assert twin.weight == obj.weight      # incl. explicit default 0
+        assert list(twin.labels) == list(obj.labels)  # incl. []

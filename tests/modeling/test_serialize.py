@@ -70,6 +70,26 @@ class TestRoundTrip:
         dune = [b for b in restored.walk() if b.is_a("Book")][0]
         assert dune.keywords == ["sand", "spice"]
 
+    def test_explicitly_set_default_survives(self, model, metamodel):
+        # pages == 100 is the default, but setting it explicitly is a
+        # statement the document must record.
+        taocp = model.roots[0].books[1]
+        taocp.pages = 100
+        doc = model_to_dict(model)
+        assert doc["roots"][0]["refs"]["books"][1]["attrs"]["pages"] == 100
+        restored = model_from_dict(doc, metamodel)
+        assert restored.roots[0].books[1].pages == 100
+
+    def test_empty_many_feature_roundtrip(self, model, metamodel):
+        empty = model.create("Book", title="Blank")
+        model.roots[0].books.append(empty)
+        doc = object_to_dict(empty)
+        assert "keywords" not in doc.get("attrs", {})  # empty: elided
+        restored = model_from_dict(model_to_dict(model), metamodel)
+        blank = [b for b in restored.walk()
+                 if b.is_a("Book") and b.title == "Blank"][0]
+        assert list(blank.keywords) == []
+
 
 class TestErrors:
     def test_unknown_class(self, metamodel):
@@ -140,6 +160,26 @@ class TestClone:
         assert {b.id for b in copy.books}.isdisjoint(
             {b.id for b in shelf.books}
         )
+
+    def test_clone_object_fresh_ids_keeps_internal_refs(self, model):
+        # Regression: re-identification used to silently drop
+        # cross-references that stayed inside the cloned subtree.
+        shelf = model.roots[0]
+        copy = clone_object(shelf, fresh_ids=True)
+        assert copy.featured is copy.books[1]
+        assert copy.featured.title == "TAOCP"
+
+    def test_clone_fresh_ids_escaping_ref_raises(self, model):
+        other = model.create_root("Shelf", label="B")
+        outside = model.create("Book", title="Elsewhere")
+        other.books.append(outside)
+        shelf = model.roots[0]
+        shelf.featured = outside
+        with pytest.raises(SerializationError, match="escapes"):
+            clone_object(shelf, fresh_ids=True)
+        # with preserved ids the escaping ref is dropped, as before
+        copy = clone_object(shelf)
+        assert copy.featured is None
 
 
 class TestMetamodelDocuments:

@@ -1,0 +1,416 @@
+"""Unit tests for the fault-tolerance layer.
+
+Covers the retry/backoff policy, the circuit-breaker state machine
+under a :class:`VirtualClock`, the typed-outcome guarded call engine,
+the Broker resource manager's guarded invocation paths, and the
+component supervisor's restart-with-backoff behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.middleware.broker.resource import (
+    BreakerOpenError,
+    CallableResource,
+    ResourceError,
+    ResourceManager,
+    TransientResourceError,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.component import Component, Supervisor
+from repro.runtime.events import EventBus
+from repro.runtime.executor import Mailbox
+from repro.runtime.faults import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpen,
+    InvocationOutcome,
+    RetryPolicy,
+    call_guarded,
+)
+from repro.runtime.metrics import MetricsRegistry
+
+
+class Boom(TransientResourceError):
+    pass
+
+
+class Fatal(ResourceError):
+    pass
+
+
+class TestRetryPolicy:
+    def test_backoff_progression_and_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5)
+        assert [policy.delay(n) for n in (1, 2, 3, 4, 5)] == [
+            0.1, 0.2, 0.4, 0.5, 0.5
+        ]
+
+    def test_jitter_is_deterministic_from_seeded_rng(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        first = [policy.delay(1, random.Random(42)) for _ in range(3)]
+        assert first[0] == first[1] == first[2]
+        assert 0.05 <= first[0] <= 0.15
+
+    def test_retryable_respects_types(self):
+        policy = RetryPolicy(retry_on=(Boom,))
+        assert policy.retryable(Boom("x"))
+        assert not policy.retryable(Fatal("x"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+
+class TestCircuitBreaker:
+    def make(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("recovery_time", 10.0)
+        return CircuitBreaker("b", now=clock.now, **kwargs)
+
+    def test_opens_after_consecutive_failures(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+
+    def test_success_resets_failure_streak(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_half_open_after_recovery_time_then_closes(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.999)
+        assert not breaker.allow()
+        clock.advance(0.001)
+        assert breaker.allow()
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        assert [(old, new) for _t, old, new in breaker.transitions] == [
+            ("closed", "open"), ("open", "half_open"), ("half_open", "closed")
+        ]
+
+    def test_probe_failure_reopens(self):
+        clock = VirtualClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        # the open timer restarts from the failed probe
+        assert breaker.retry_at == pytest.approx(20.0)
+
+    def test_half_open_trials(self):
+        clock = VirtualClock()
+        breaker = self.make(clock, half_open_trials=2)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+
+    def test_transition_callback_and_reset(self):
+        clock = VirtualClock()
+        seen = []
+        breaker = CircuitBreaker(
+            "b", failure_threshold=1, now=clock.now,
+            on_transition=lambda b, old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.reset()
+        assert seen == [("closed", "open"), ("open", "closed")]
+
+
+class TestCallGuarded:
+    def test_ok_first_attempt(self):
+        outcome = call_guarded(lambda: 7, clock=VirtualClock())
+        assert outcome.ok and outcome.value == 7 and outcome.attempts == 1
+        assert outcome.retries == 0
+        assert outcome.unwrap() == 7
+
+    def test_retries_then_succeeds_on_virtual_time(self):
+        clock = VirtualClock()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise Boom("transient")
+            return "done"
+
+        retries = []
+        outcome = call_guarded(
+            flaky,
+            policy=RetryPolicy(max_attempts=5, base_delay=0.1, multiplier=2.0),
+            clock=clock,
+            on_retry=lambda n, exc, d: retries.append((n, d)),
+        )
+        assert outcome.ok and outcome.attempts == 3
+        assert retries == [(1, 0.1), (2, 0.2)]
+        assert outcome.elapsed == pytest.approx(0.3)  # backoff only
+
+    def test_non_retryable_fails_immediately(self):
+        outcome = call_guarded(
+            lambda: (_ for _ in ()).throw(Fatal("nope")),
+            policy=RetryPolicy(max_attempts=5, retry_on=(Boom,)),
+            clock=VirtualClock(),
+        )
+        assert outcome.status == InvocationOutcome.FAILED
+        assert outcome.attempts == 1
+        with pytest.raises(Fatal):
+            outcome.unwrap()
+
+    def test_exhaustion_is_typed_not_raised(self):
+        outcome = call_guarded(
+            lambda: (_ for _ in ()).throw(Boom("always")),
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0),
+            clock=VirtualClock(),
+        )
+        assert outcome.status == InvocationOutcome.EXHAUSTED
+        assert outcome.attempts == 3
+        assert isinstance(outcome.error, Boom)
+
+    def test_open_breaker_rejects_without_calling(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker("b", failure_threshold=1, now=clock.now)
+        breaker.record_failure()
+        calls = {"n": 0}
+        outcome = call_guarded(
+            lambda: calls.__setitem__("n", calls["n"] + 1),
+            breaker=breaker, clock=clock,
+        )
+        assert outcome.status == InvocationOutcome.REJECTED
+        assert isinstance(outcome.error, CircuitOpen)
+        assert calls["n"] == 0 and outcome.attempts == 0
+
+    def test_breaker_opening_mid_retry_rejects(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            "b", failure_threshold=2, recovery_time=100.0, now=clock.now
+        )
+        outcome = call_guarded(
+            lambda: (_ for _ in ()).throw(Boom("down")),
+            policy=RetryPolicy(max_attempts=10, base_delay=0.01),
+            breaker=breaker, clock=clock,
+        )
+        # two failures open the breaker; the next allow() check rejects
+        assert outcome.status == InvocationOutcome.REJECTED
+        assert outcome.attempts == 2
+        assert breaker.state == BreakerState.OPEN
+
+
+class TestResourceManagerFaults:
+    def make_manager(self, fn, metrics=None):
+        clock = VirtualClock()
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        bus = EventBus(name="test", metrics=metrics)
+        manager = ResourceManager(bus, clock=clock, metrics=metrics)
+        manager.register(CallableResource("r", {"op": fn}))
+        return manager, bus, clock, metrics
+
+    def test_unprotected_fast_path_raises_as_before(self):
+        manager, *_ = self.make_manager(
+            lambda: (_ for _ in ()).throw(Boom("down"))
+        )
+        with pytest.raises(Boom):
+            manager.invoke("r", "op")
+        assert manager.retries == 0
+
+    def test_policy_retries_transient_and_returns_value(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise Boom("transient")
+            return 42
+
+        manager, _bus, _clock, metrics = self.make_manager(flaky)
+        manager.set_fault_policy(
+            "r", RetryPolicy(max_attempts=5, base_delay=0.01,
+                             retry_on=(TransientResourceError,))
+        )
+        assert manager.invoke("r", "op") == 42
+        assert manager.retries == 2
+        counters = {
+            (name, label): n for name, label, n in metrics.counters()
+        }
+        assert counters[("faults.retries", "r")] == 2
+        assert counters[("faults.outcome.ok", "r")] == 1
+
+    def test_invoke_guarded_never_raises(self):
+        manager, *_ = self.make_manager(
+            lambda: (_ for _ in ()).throw(Boom("down"))
+        )
+        manager.set_fault_policy(
+            "r", RetryPolicy(max_attempts=2, base_delay=0.0)
+        )
+        outcome = manager.invoke_guarded("r", "op")
+        assert outcome.status == InvocationOutcome.EXHAUSTED
+        missing = manager.invoke_guarded("ghost", "op")
+        assert missing.status == InvocationOutcome.FAILED
+        assert isinstance(missing.error, ResourceError)
+
+    def test_breaker_rejection_surfaces_as_broker_error(self):
+        manager, _bus, clock, _m = self.make_manager(
+            lambda: (_ for _ in ()).throw(Boom("down"))
+        )
+        manager.protect(
+            "r",
+            RetryPolicy(max_attempts=1, base_delay=0.0),
+            failure_threshold=1, recovery_time=60.0,
+        )
+        with pytest.raises(Boom):
+            manager.invoke("r", "op")   # opens the breaker
+        with pytest.raises(BreakerOpenError):
+            manager.invoke("r", "op")   # rejected while open
+
+    def test_breaker_transitions_publish_events(self):
+        events = []
+        calls = {"fail": True}
+
+        def switchable():
+            if calls["fail"]:
+                raise Boom("down")
+            return "up"
+
+        manager, bus, clock, metrics = self.make_manager(switchable)
+        bus.subscribe("resource.r.*", events.append)
+        manager.protect(
+            "r",
+            RetryPolicy(max_attempts=1, base_delay=0.0),
+            failure_threshold=2, recovery_time=5.0,
+        )
+        for _ in range(2):
+            manager.invoke_guarded("r", "op")
+        clock.advance(5.0)
+        calls["fail"] = False
+        assert manager.invoke_guarded("r", "op").ok
+        topics = [e.topic for e in events]
+        assert "resource.r.breaker_open" in topics
+        assert "resource.r.breaker_half_open" in topics
+        assert "resource.r.breaker_closed" in topics
+        counters = {
+            (name, label): n for name, label, n in metrics.counters()
+        }
+        assert counters[("faults.breaker_transition", "r:open")] == 1
+        assert counters[("faults.breaker_transition", "r:closed")] == 1
+
+
+class Crashy(Component):
+    """A component that counts lifecycle churn."""
+
+    def __init__(self, name="crashy"):
+        super().__init__(name)
+        self.starts = 0
+        self.stops = 0
+
+    def on_start(self):
+        self.starts += 1
+
+    def on_stop(self):
+        self.stops += 1
+
+
+def make_supervised(clock, **kwargs):
+    metrics = MetricsRegistry()
+    bus = EventBus(name="sup", metrics=metrics)
+    supervisor = Supervisor(clock=clock, bus=bus, metrics=metrics, **kwargs)
+    component = Crashy()
+    component.configure().start()
+    supervisor.watch(component)
+    return supervisor, component, bus, metrics
+
+
+class TestSupervisor:
+    def test_restart_with_backoff_on_virtual_clock(self):
+        clock = VirtualClock()
+        supervisor, component, bus, _m = make_supervised(
+            clock, base_delay=0.5, multiplier=2.0
+        )
+        events = []
+        bus.subscribe("supervisor.crashy.*", events.append)
+
+        assert supervisor.report_crash("crashy", RuntimeError("boom"))
+        assert component.starts == 1          # restart not yet due
+        clock.advance(0.5)                    # fires the due timer
+        assert component.starts == 2 and component.stops == 1
+
+        # second crash in the same episode backs off twice as long
+        assert supervisor.report_crash("crashy", RuntimeError("boom"))
+        clock.advance(0.5)
+        assert component.starts == 2          # 1.0 s not yet elapsed
+        clock.advance(0.5)
+        assert component.starts == 3
+        topics = [e.topic for e in events]
+        assert topics.count("supervisor.crashy.crashed") == 2
+        assert topics.count("supervisor.crashy.restarted") == 2
+
+    def test_gives_up_after_budget(self):
+        clock = VirtualClock()
+        supervisor, component, bus, metrics = make_supervised(
+            clock, max_restarts=2, base_delay=0.1, reset_after=1000.0
+        )
+        events = []
+        bus.subscribe("supervisor.crashy.gave_up", events.append)
+        assert supervisor.report_crash("crashy", RuntimeError("1"))
+        assert supervisor.report_crash("crashy", RuntimeError("2"))
+        assert not supervisor.report_crash("crashy", RuntimeError("3"))
+        assert len(events) == 1
+        assert supervisor.stats()["gave_up"] == ["crashy"]
+
+    def test_quiet_period_restores_budget(self):
+        clock = VirtualClock()
+        supervisor, component, _bus, _m = make_supervised(
+            clock, max_restarts=1, base_delay=0.0, reset_after=60.0
+        )
+        assert supervisor.report_crash("crashy", RuntimeError("1"))
+        clock.run_until_idle()
+        clock.advance(61.0)
+        assert supervisor.report_crash("crashy", RuntimeError("2"))
+
+    def test_mailbox_supervise_routes_crashes(self):
+        clock = VirtualClock()
+        metrics = MetricsRegistry()
+        bus = EventBus(name="sup", metrics=metrics)
+        supervisor = Supervisor(
+            clock=clock, bus=bus, metrics=metrics, base_delay=0.0
+        )
+        component = Crashy()
+        component.configure().start()
+        mailbox = Mailbox("crashy-mail")
+        mailbox.supervise(supervisor, component)
+        mailbox.post(lambda: (_ for _ in ()).throw(RuntimeError("task")))
+        mailbox.drain()
+        clock.run_until_idle()
+        assert supervisor.crashes == 1
+        assert component.starts == 2
