@@ -30,6 +30,9 @@ Commands:
 * ``bench-faults`` — replay the E5 recovery scenarios under seeded
   fault injection with the Broker fault layer engaged and write
   ``BENCH_PR2.json`` (also ``python -m repro.bench.faults``).
+* ``bench-synthesis`` — compare the compiled and interpreted synthesis
+  tiers (template microbench, >=5k-object stress synthesis, E1 rerun)
+  and write ``BENCH_PR3.json`` (also ``python -m repro.bench.synthesis``).
 """
 
 from __future__ import annotations
@@ -487,6 +490,38 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_synthesis(args: argparse.Namespace) -> int:
+    from repro.bench.synthesis import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    micro = results["template_microbench"]
+    print(
+        f"\ntemplate evaluation: compiled {micro['compiled_us']:.2f}µs vs "
+        f"interpreted {micro['interpreted_us']:.2f}µs per render "
+        f"({micro['speedup']:.1f}x)"
+    )
+    stress = results["synthesis_stress"]
+    print(
+        f"synthesis stress ({stress['objects']} objects, "
+        f"{stress['commands']} commands): compiled {stress['compiled_ms']:.1f} ms "
+        f"vs interpreted {stress['interpreted_ms']:.1f} ms "
+        f"({stress['speedup']:.1f}x, identical scripts: "
+        f"{stress['scripts_identical']})"
+    )
+    e1 = results["e1"]
+    line = (
+        f"E1 mean overhead: {e1['mean_overhead_pct']:.1f}% "
+        f"(model {e1['model_ms']:.3f} ms vs handcrafted "
+        f"{e1['handcrafted_ms']:.3f} ms)"
+    )
+    baseline = results.get("baseline_e1_mean_overhead_pct")
+    if baseline is not None:
+        line += f"; BENCH_PR1 baseline was {baseline:.1f}%"
+    print(line)
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -572,6 +607,17 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_PR2.json",
     )
     bench_faults.add_argument("--output", default="BENCH_PR2.json")
+
+    bench_synthesis = sub.add_parser(
+        "bench-synthesis",
+        help="compare compiled vs interpreted synthesis and write "
+             "BENCH_PR3.json",
+    )
+    bench_synthesis.add_argument("--output", default="BENCH_PR3.json")
+    bench_synthesis.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads (CI perf-smoke)",
+    )
     return parser
 
 
@@ -588,6 +634,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "trace": cmd_trace,
     "bench-fabric": cmd_bench_fabric,
     "bench-faults": cmd_bench_faults,
+    "bench-synthesis": cmd_bench_synthesis,
 }
 
 

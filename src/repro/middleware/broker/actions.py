@@ -23,7 +23,7 @@ from typing import Any, Callable, Mapping
 
 from repro.middleware.broker.resource import ResourceManager
 from repro.middleware.broker.state import StateManager
-from repro.modeling.expr import evaluate
+from repro.modeling.expr import compile_expression
 from repro.runtime.topics import TopicMatcher
 
 __all__ = [
@@ -55,6 +55,66 @@ class ActionContext:
         return env
 
 
+def _guard_evaluator(source: str) -> Callable[[Mapping[str, Any]], Any]:
+    """Compiled guard evaluator; a syntactically broken guard behaves
+    like the reference path (evaluate raised -> guard never holds)."""
+    try:
+        return compile_expression(source).evaluate_fast
+    except Exception:  # noqa: BLE001 - malformed guard = never matches
+        def broken(env: Mapping[str, Any]) -> Any:
+            raise BrokerActionError(f"malformed guard {source!r}")
+
+        return broken
+
+
+class _CompiledStep:
+    """One declarative step pre-parsed into bound evaluators, so
+    ``BrokerAction.run`` stops re-reading the step mapping (and
+    re-resolving its expression strings) on every dispatch."""
+
+    __slots__ = (
+        "kind", "state_key", "expr_fn", "resource", "resource_fn",
+        "operation", "args", "args_fns", "result", "state", "state_fn",
+    )
+
+    def __init__(self, action_name: str, step: Mapping[str, Any]) -> None:
+        if "set" in step:
+            self.kind = "set"
+            self.state_key = str(step["set"])
+            self.expr_fn = compile_expression(str(step["expr"])).evaluate_fast
+            return
+        if "compute" in step:
+            self.kind = "compute"
+            self.expr_fn = compile_expression(str(step["compute"])).evaluate_fast
+            self.result = step.get("result")
+            return
+        self.kind = "invoke"
+        self.resource = step.get("resource")
+        self.resource_fn = (
+            compile_expression(str(step["resource_expr"])).evaluate_fast
+            if self.resource is None and "resource_expr" in step
+            else None
+        )
+        self.operation = step.get("operation")
+        if (self.resource is None and self.resource_fn is None) or not self.operation:
+            raise BrokerActionError(
+                f"action {action_name!r}: step needs resource+operation "
+                f"or set+expr: {dict(step)!r}"
+            )
+        self.args = dict(step.get("args", {}))
+        self.args_fns = [
+            (key, compile_expression(str(expr)).evaluate_fast)
+            for key, expr in dict(step.get("args_expr", {})).items()
+        ]
+        self.result = step.get("result")
+        self.state = step.get("state")
+        self.state_fn = (
+            compile_expression(str(step["state_expr"])).evaluate_fast
+            if self.state is None and "state_expr" in step
+            else None
+        )
+
+
 @dataclass
 class BrokerAction:
     """One action selectable by the Broker's handlers.
@@ -69,6 +129,11 @@ class BrokerAction:
 
     A step may instead update state only: ``{"set": "key",
     "expr": "..."} ``.
+
+    The topic predicate, the guard, and declarative steps are compiled
+    once per action (the step plan is re-derived if the
+    ``implementation`` list is *replaced*; in-place mutation of a live
+    step list is not supported).
     """
 
     name: str
@@ -79,55 +144,69 @@ class BrokerAction:
     guard: str | None = None
     priority: int = 0
 
+    def __post_init__(self) -> None:
+        self._topic_match = TopicMatcher.compile(self.pattern)
+        self._guard_fn = (
+            _guard_evaluator(str(self.guard)) if self.guard is not None else None
+        )
+        self._plan: list[_CompiledStep] | None = None
+        self._plan_source: Any = None
+
     def matches(self, api: str, env: Mapping[str, Any]) -> bool:
-        if not TopicMatcher.matches(self.pattern, api):
+        if not self._topic_match(api):
             return False
-        if self.guard is not None:
+        if self._guard_fn is not None:
             try:
-                return bool(evaluate(self.guard, dict(env)))
+                return bool(self._guard_fn(dict(env)))
             except Exception:  # noqa: BLE001 - unmatched guard = no match
                 return False
         return True
+
+    def _steps(self) -> list[_CompiledStep]:
+        steps = self.implementation
+        if self._plan is None or self._plan_source is not steps:
+            self._plan = [_CompiledStep(self.name, step) for step in steps]
+            self._plan_source = steps
+        return self._plan
 
     def run(self, context: ActionContext) -> Any:
         if callable(self.implementation):
             return self.implementation(context)
         env = context.env()
         value: Any = None
-        for step in self.implementation:
-            if "set" in step:
-                context.state.set(
-                    str(step["set"]), evaluate(str(step["expr"]), env)
-                )
+        for step in self._steps():
+            kind = step.kind
+            if kind == "set":
+                context.state.set(step.state_key, step.expr_fn(env))
                 env = context.env()
                 continue
-            if "compute" in step:
+            if kind == "compute":
                 # Pure transformation step: evaluate an expression over
                 # the step environment; becomes the action value.
-                value = evaluate(str(step["compute"]), env)
-                store = step.get("result")
-                if store:
-                    env[store] = value
+                value = step.expr_fn(env)
+                if step.result:
+                    env[step.result] = value
                 continue
-            resource_name = step.get("resource")
-            if resource_name is None and "resource_expr" in step:
-                resource_name = str(evaluate(str(step["resource_expr"]), env))
-            operation = step.get("operation")
-            if not resource_name or not operation:
-                raise BrokerActionError(
-                    f"action {self.name!r}: step needs resource+operation "
-                    f"or set+expr: {dict(step)!r}"
-                )
-            call_args = dict(step.get("args", {}))
-            for key, expr in dict(step.get("args_expr", {})).items():
-                call_args[key] = evaluate(str(expr), env)
-            value = context.resources.invoke(resource_name, operation, **call_args)
-            store = step.get("result")
-            if store:
-                env[store] = value
-            state_key = step.get("state")
-            if state_key is None and "state_expr" in step:
-                state_key = evaluate(str(step["state_expr"]), env)
+            resource_name = (
+                step.resource
+                if step.resource is not None
+                else str(step.resource_fn(env))
+            )
+            if step.args_fns:
+                call_args = dict(step.args)
+                for key, fn in step.args_fns:
+                    call_args[key] = fn(env)
+            else:
+                call_args = step.args
+            value = context.resources.invoke(
+                resource_name, step.operation, **call_args
+            )
+            if step.result:
+                env[step.result] = value
+            state_key = (
+                step.state if step.state is not None
+                else (step.state_fn(env) if step.state_fn is not None else None)
+            )
             if state_key:
                 context.state.set(str(state_key), value)
                 env = context.env()
@@ -141,12 +220,23 @@ class BrokerActionTable:
         self.resources = resources
         self.state = state
         self._actions: list[BrokerAction] = []
+        #: exact patterns resolve with one dict hit; only wildcard
+        #: patterns are scanned per call.  Registration order is kept
+        #: alongside each action so priority ties still break the same
+        #: way they did with the stable full-list sort.
+        self._exact: dict[str, list[tuple[int, BrokerAction]]] = {}
+        self._wildcards: list[tuple[int, BrokerAction]] = []
         self.dispatched = 0
 
     def register(self, action: BrokerAction) -> BrokerAction:
         if any(a.name == action.name for a in self._actions):
             raise BrokerActionError(f"duplicate broker action {action.name!r}")
+        order = len(self._actions)
         self._actions.append(action)
+        if TopicMatcher.is_wildcard(action.pattern):
+            self._wildcards.append((order, action))
+        else:
+            self._exact.setdefault(action.pattern, []).append((order, action))
         return action
 
     def add(
@@ -157,13 +247,27 @@ class BrokerActionTable:
         )
 
     def select(self, api: str, args: Mapping[str, Any]) -> BrokerAction | None:
-        env = dict(self.state.as_dict())
-        env.update(args)
-        matching = [a for a in self._actions if a.matches(api, env)]
-        if not matching:
+        candidates = list(self._exact.get(api, ()))
+        for entry in self._wildcards:
+            if entry[1]._topic_match(api):
+                candidates.append(entry)
+        if not candidates:
             return None
-        matching.sort(key=lambda a: -a.priority)
-        return matching[0]
+        # The guard environment (a state-manager snapshot) is only
+        # built when a surviving candidate actually has a guard.
+        env: dict[str, Any] | None = None
+        best: tuple[int, int, BrokerAction] | None = None
+        for order, action in candidates:
+            if action._guard_fn is not None:
+                if env is None:
+                    env = dict(self.state.as_dict())
+                    env.update(args)
+                if not action.matches(api, env):
+                    continue
+            key = (-action.priority, order)
+            if best is None or key < (best[0], best[1]):
+                best = (key[0], key[1], action)
+        return best[2] if best is not None else None
 
     def dispatch(self, api: str, **args: Any) -> Any:
         action = self.select(api, args)
@@ -190,12 +294,18 @@ class EventBinding:
     action: BrokerAction
     guard: str | None = None
 
+    def __post_init__(self) -> None:
+        self._topic_match = TopicMatcher.compile(self.topic_pattern)
+        self._guard_fn = (
+            _guard_evaluator(str(self.guard)) if self.guard is not None else None
+        )
+
     def matches(self, topic: str, payload: Mapping[str, Any]) -> bool:
-        if not TopicMatcher.matches(self.topic_pattern, topic):
+        if not self._topic_match(topic):
             return False
-        if self.guard is not None:
+        if self._guard_fn is not None:
             try:
-                return bool(evaluate(self.guard, dict(payload)))
+                return bool(self._guard_fn(dict(payload)))
             except Exception:  # noqa: BLE001
                 return False
         return True

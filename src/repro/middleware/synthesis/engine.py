@@ -66,13 +66,14 @@ class SynthesisEngine(Component):
         metamodel: Metamodel,
         constraints: ConstraintRegistry | None = None,
         strict: bool = False,
+        compiled: bool = True,
         **kwargs: Any,
     ) -> None:
         super().__init__(name, **kwargs)
         self.metamodel = metamodel
         self.constraints = constraints if constraints is not None else ConstraintRegistry()
         self.comparator = ModelComparator(metamodel)
-        self.interpreter = ChangeInterpreter(strict=strict)
+        self.interpreter = ChangeInterpreter(strict=strict, compiled=compiled)
         self.dispatcher = Dispatcher()
         #: optional negotiation hook: (new_model) -> new_model (possibly
         #: adjusted after negotiating with remote parties).
@@ -82,8 +83,8 @@ class SynthesisEngine(Component):
 
     # -- DSK installation ---------------------------------------------------
 
-    def add_rule(self, rule: EntityRule) -> EntityRule:
-        return self.interpreter.add_rule(rule)
+    def add_rule(self, rule: EntityRule, *, replace: bool = False) -> EntityRule:
+        return self.interpreter.add_rule(rule, replace=replace)
 
     def add_rules(self, rules: list[EntityRule]) -> None:
         for rule in rules:
@@ -154,22 +155,55 @@ class SynthesisEngine(Component):
     def _forward_script(self, downward: Any, script: ControlScript) -> None:
         """Forward a control script as a *call* signal (paper Sec. VI:
         layer-to-layer stimuli are signals), so downstream work is
-        causally traceable back to the synthesis cycle.  Ports that
-        only expose ``submit_script`` (remote/stub controllers) still
-        work, just without trace parentage."""
+        causally traceable back to the synthesis cycle.
+
+        Three downward port shapes are supported, most specific first:
+
+        * ``receive_signal`` (the in-process Controller facade): one
+          script-level call carrying the whole script;
+        * ``publish_batch`` (an :class:`~repro.runtime.events.EventBus`
+          — distributed configurations route scripts over the fabric):
+          the script-level call plus one causal child call per command,
+          published as a single batch so the bus resolves the routing
+          index once per topic instead of once per command;
+        * ``submit_script`` (remote/stub controllers): the raw script,
+          without trace parentage.
+        """
         receive = getattr(downward, "receive_signal", None)
-        if receive is None:
-            downward.submit_script(script)
+        if receive is not None:
+            receive(self._script_call(script))
             return
-        receive(
-            Call(
-                topic="synthesis.script",
-                payload={
-                    "script": script,
-                    "source_model": getattr(script, "source_model", ""),
-                },
-                origin=self.name,
+        publish_batch = getattr(downward, "publish_batch", None)
+        if publish_batch is not None:
+            root = self._script_call(script)
+            publish_batch(
+                [root]
+                + [
+                    root.derive(
+                        "synthesis.script.command",
+                        payload={
+                            "script_id": script.script_id,
+                            "operation": command.operation,
+                            "args": dict(command.args),
+                            "classifier": command.classifier,
+                            "target": command.target,
+                            "guard": command.guard,
+                        },
+                    )
+                    for command in script
+                ]
             )
+            return
+        downward.submit_script(script)
+
+    def _script_call(self, script: ControlScript) -> Call:
+        return Call(
+            topic="synthesis.script",
+            payload={
+                "script": script,
+                "source_model": getattr(script, "source_model", ""),
+            },
+            origin=self.name,
         )
 
     # -- Controller events --------------------------------------------------------

@@ -30,7 +30,7 @@ from typing import Any, Callable, Mapping
 from repro.middleware.synthesis.scripts import Command, ControlScript
 from repro.modeling.diff import Change, ChangeList
 from repro.modeling.lts import LTS, LTSError, LTSExecution
-from repro.modeling.expr import evaluate
+from repro.modeling.expr import compile_expression
 from repro.runtime.events import Event, EventDeliveryError
 from repro.runtime.topics import TopicMatcher
 
@@ -39,6 +39,11 @@ __all__ = ["InterpreterError", "EntityRule", "ChangeInterpreter"]
 
 class InterpreterError(Exception):
     """Raised on unhandled changes in strict mode or bad rules."""
+
+
+def _interp(source: str, env: Mapping[str, Any]) -> Any:
+    """Reference-tier evaluation: cached parse, interpreted AST walk."""
+    return compile_expression(source).evaluate(env)
 
 
 class EntityRule:
@@ -70,30 +75,105 @@ class EntityRule:
         return f"EntityRule({self.class_name!r}, lts={self.lts.name!r})"
 
 
+class _CompiledTemplate:
+    """A command template lowered into compiled evaluators.
+
+    Built once per ``(rule, transition, template)`` and reused across
+    every change the template fires for, so the hot path never parses
+    or AST-walks an expression string again.
+    """
+
+    __slots__ = (
+        "template", "operation", "args", "classifier", "target", "guard",
+        "when_fn", "args_fns", "target_fn", "foreach_fn",
+    )
+
+    def __init__(self, template: Mapping[str, Any]) -> None:
+        operation = template.get("operation")
+        if not operation:
+            raise InterpreterError(
+                f"command template missing operation: {template!r}"
+            )
+        self.template = template
+        self.operation = str(operation)
+        self.args = dict(template.get("args", {}))
+        self.classifier = template.get("classifier")
+        self.target = template.get("target")
+        self.guard = template.get("guard")
+        self.when_fn = (
+            compile_expression(str(template["when"])).evaluate_fast
+            if "when" in template
+            else None
+        )
+        self.args_fns = tuple(
+            (key, compile_expression(str(expr)).evaluate_fast)
+            for key, expr in dict(template.get("args_expr", {})).items()
+        )
+        self.target_fn = (
+            compile_expression(str(template["target_expr"])).evaluate_fast
+            if self.target is None and "target_expr" in template
+            else None
+        )
+        self.foreach_fn = (
+            compile_expression(str(template["foreach"])).evaluate_fast
+            if "foreach" in template
+            else None
+        )
+
+    def render(self, env: dict[str, Any]) -> Command | None:
+        if self.when_fn is not None and not self.when_fn(env):
+            return None
+        args = dict(self.args)
+        for key, fn in self.args_fns:
+            args[key] = fn(env)
+        target = self.target
+        if target is None and self.target_fn is not None:
+            target = str(self.target_fn(env))
+        return Command(
+            operation=self.operation,
+            args=args,
+            classifier=self.classifier,
+            target=target,
+            guard=self.guard,
+        )
+
+
 class ChangeInterpreter:
     """Stateful interpreter mapping change lists to control scripts."""
 
-    def __init__(self, *, strict: bool = False) -> None:
+    def __init__(self, *, strict: bool = False, compiled: bool = True) -> None:
         #: class name -> rule; subclass matching is by exact class name
         #: of the change (DSMLs are flat enough for exact matching).
         self._rules: dict[str, EntityRule] = {}
         #: object id -> live LTS execution for that entity.
         self._executions: dict[str, LTSExecution] = {}
+        #: class name -> {id(template) -> compiled plan}; dropped when
+        #: the class's rule is replaced via :meth:`add_rule`.
+        self._plans: dict[str, dict[int, _CompiledTemplate]] = {}
         #: event topic pattern -> callback(topic, payload) for events
         #: from the Controller layer (failure recovery hooks).
         self._event_hooks: list[
             tuple[str, Callable[[str, dict[str, Any]], None]]
         ] = []
         self.strict = strict
+        #: when False, templates are re-evaluated from their source
+        #: strings per change (the reference/authoring tier).
+        self.compiled = compiled
         self.changes_processed = 0
         self.commands_emitted = 0
 
     # -- DSK installation -------------------------------------------------
 
-    def add_rule(self, rule: EntityRule) -> EntityRule:
-        if rule.class_name in self._rules:
+    def add_rule(self, rule: EntityRule, *, replace: bool = False) -> EntityRule:
+        existing = self._rules.get(rule.class_name)
+        if existing is not None and not replace:
             raise InterpreterError(f"duplicate rule for class {rule.class_name!r}")
         self._rules[rule.class_name] = rule
+        if existing is not None:
+            # Invalidate the compiled plan: the new rule's templates
+            # must be lowered fresh (stale closures would keep emitting
+            # the replaced semantics).
+            self._plans.pop(rule.class_name, None)
         return rule
 
     def on_event(
@@ -143,19 +223,39 @@ class ChangeInterpreter:
                     f"from state {execution.state!r} (change: {change})"
                 )
             return []
-        for template in actions:
-            if "foreach" in template:
-                items = evaluate(str(template["foreach"]), env)
-                for item in items:
-                    item_env = dict(env)
-                    item_env["item"] = item
-                    command = self._render_command(template, item_env)
+        if self.compiled:
+            plan = self._plans.get(rule.class_name)
+            if plan is None:
+                plan = self._plans[rule.class_name] = {}
+            for template in actions:
+                compiled = plan.get(id(template))
+                if compiled is None or compiled.template is not template:
+                    compiled = plan[id(template)] = _CompiledTemplate(template)
+                if compiled.foreach_fn is not None:
+                    for item in compiled.foreach_fn(env):
+                        item_env = dict(env)
+                        item_env["item"] = item
+                        command = compiled.render(item_env)
+                        if command is not None:
+                            commands.append(command)
+                else:
+                    command = compiled.render(env)
                     if command is not None:
                         commands.append(command)
-            else:
-                command = self._render_command(template, env)
-                if command is not None:
-                    commands.append(command)
+        else:
+            for template in actions:
+                if "foreach" in template:
+                    items = _interp(str(template["foreach"]), env)
+                    for item in items:
+                        item_env = dict(env)
+                        item_env["item"] = item
+                        command = self._render_command(template, item_env)
+                        if command is not None:
+                            commands.append(command)
+                else:
+                    command = self._render_command(template, env)
+                    if command is not None:
+                        commands.append(command)
         if change.kind == "remove":
             # Entity left the model; discard its execution state.
             self._executions.pop(change.object_id, None)
@@ -203,14 +303,14 @@ class ChangeInterpreter:
         operation = template.get("operation")
         if not operation:
             raise InterpreterError(f"command template missing operation: {template!r}")
-        if "when" in template and not evaluate(str(template["when"]), env):
+        if "when" in template and not _interp(str(template["when"]), env):
             return None
         args = dict(template.get("args", {}))
         for key, expr in dict(template.get("args_expr", {})).items():
-            args[key] = evaluate(str(expr), env)
+            args[key] = _interp(str(expr), env)
         target = template.get("target")
         if target is None and "target_expr" in template:
-            target = str(evaluate(str(template["target_expr"]), env))
+            target = str(_interp(str(template["target_expr"]), env))
         return Command(
             operation=str(operation),
             args=args,

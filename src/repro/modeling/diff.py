@@ -183,6 +183,43 @@ def _containment_parent_id(obj: MObject) -> str | None:
     return obj.container.id if obj.container is not None else None
 
 
+def _signature(obj: MObject, memo: dict[str, tuple]) -> tuple:
+    """Structural signature of an object's subtree, memoized by id.
+
+    Two subtrees with equal signatures would produce no ``set``/``list``
+    changes anywhere inside, so the differ can skip them wholesale.
+    Signatures embed child signatures, which makes the equality check a
+    C-level deep compare instead of a Python feature walk.  Reference
+    order is part of the signature, so the fast path is conservative:
+    a reordered many-reference disables the skip and falls back to the
+    exact per-feature comparison.
+    """
+    sig = memo.get(obj.id)
+    if sig is not None:
+        return sig
+    cls = obj.meta
+    parts: list[Any] = [cls.name, obj.id]
+    for name, attr in cls.all_attributes().items():
+        value = obj.get(name)
+        parts.append(tuple(value) if attr.many else value)
+    for name, ref in cls.all_references().items():
+        value = obj.get(name)
+        if ref.containment:
+            if ref.many:
+                parts.append(tuple(_signature(child, memo) for child in value))
+            else:
+                parts.append(
+                    _signature(value, memo) if value is not None else None
+                )
+        elif ref.many:
+            parts.append(tuple(_value_token(v) for v in value))
+        else:
+            parts.append(_value_token(value))
+    sig = tuple(parts)
+    memo[obj.id] = sig
+    return sig
+
+
 def diff_models(old: Model, new: Model) -> ChangeList:
     """Compute the ordered change list transforming ``old`` into ``new``.
 
@@ -216,7 +253,15 @@ def diff_models(old: Model, new: Model) -> ChangeList:
 
     updates: list[Change] = []
     moves: list[Change] = []
+    old_sigs: dict[str, tuple] = {}
+    new_sigs: dict[str, tuple] = {}
+    #: ids inside an unchanged subtree: feature/move comparison skipped
+    #: (an equal signature fixes every descendant's features *and*
+    #: containment parent; only the subtree root can still have moved).
+    unchanged: set[str] = set()
     for oid in sorted(common_ids, key=lambda i: new_index[i].path()):
+        if oid in unchanged:
+            continue
         old_obj = old_index[oid]
         new_obj = new_index[oid]
         old_parent = _containment_parent_id(old_obj)
@@ -228,6 +273,9 @@ def diff_models(old: Model, new: Model) -> ChangeList:
                     old=old_parent, new=new_parent, new_object=new_obj,
                 )
             )
+        if _signature(old_obj, old_sigs) == _signature(new_obj, new_sigs):
+            unchanged.update(child.id for child in new_obj.walk())
+            continue
         updates.extend(
             _feature_changes(old_obj, new_obj, skip_containment=True)
         )

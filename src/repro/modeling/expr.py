@@ -17,9 +17,15 @@ from __future__ import annotations
 
 import ast
 import operator
+from functools import lru_cache
 from typing import Any, Callable, Mapping
 
-__all__ = ["ExpressionError", "Expression", "evaluate"]
+__all__ = [
+    "ExpressionError",
+    "Expression",
+    "evaluate",
+    "compile_expression",
+]
 
 
 class ExpressionError(Exception):
@@ -97,6 +103,8 @@ class Expression:
     True
     """
 
+    __slots__ = ("source", "_tree", "_compiled")
+
     def __init__(self, source: str) -> None:
         if not isinstance(source, str) or not source.strip():
             raise ExpressionError("expression source must be a non-empty string")
@@ -107,13 +115,36 @@ class Expression:
             raise ExpressionError(f"syntax error in {source!r}: {exc}") from exc
         self._check(tree.body)
         self._tree = tree.body
+        self._compiled: Callable[[Mapping[str, Any]], Any] | None = None
 
     def evaluate(self, context: Mapping[str, Any] | None = None) -> Any:
+        """Reference interpreter: walk the checked AST directly.
+
+        This is the slow/authoring path; :meth:`evaluate_fast` runs the
+        same expression through compiled Python bytecode.
+        """
         env = dict(_SAFE_CONSTANTS)
         if context:
             env.update(context)
         try:
             return self._eval(self._tree, env)
+        except ExpressionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced as ExpressionError
+            raise ExpressionError(f"error evaluating {self.source!r}: {exc}") from exc
+
+    def evaluate_fast(self, context: Mapping[str, Any] | None = None) -> Any:
+        """Evaluate via the compiled closure (same semantics, no AST walk).
+
+        The first call lowers the checked AST to Python bytecode; later
+        calls are a plain function call with ``context`` consulted lazily
+        per name — no per-evaluation environment copy.
+        """
+        fn = self._compiled
+        if fn is None:
+            fn = self._compiled = _lower(self)
+        try:
+            return fn(context if context is not None else {})
         except ExpressionError:
             raise
         except Exception as exc:  # noqa: BLE001 - surfaced as ExpressionError
@@ -305,14 +336,262 @@ class Expression:
         return f"Expression({self.source!r})"
 
 
-_cache: dict[str, Expression] = {}
+# -- bytecode lowering -------------------------------------------------
+#
+# The checked AST is rewritten into a plain Python lambda over one
+# ``__env__`` parameter and compiled with ``compile()``.  Safety comes
+# from the rewrite, not from trusting ``eval``: free names become
+# ``__lookup__(__env__, ...)`` calls, attribute access and method/
+# function calls are routed through helpers that reproduce the
+# interpreter's semantics exactly, and the compiled code runs with
+# empty ``__builtins__`` so nothing outside the helpers is reachable.
+
+_FN_PREFIX = "__expr_fn_"
+
+
+def _attr_access(value: Any, name: str) -> Any:
+    """MObject features resolve through get(); non-feature names
+    (id, container, ...) fall back to plain attribute access."""
+    getter = getattr(value, "get", None)
+    if callable(getter) and hasattr(value, "meta"):
+        try:
+            return value.get(name)
+        except Exception:  # noqa: BLE001 - not a model feature
+            return getattr(value, name)
+    return getattr(value, name)
+
+
+class _Lowerer:
+    """Rewrites a checked expression AST into compilable Python."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+
+    def lower(self, node: ast.expr) -> ast.expr:
+        return self._transform(node, frozenset())
+
+    # Every node type reachable here already passed Expression._check,
+    # so the rewrite only needs to redirect the semantics-bearing
+    # constructs (names, attributes, calls, dicts, generators).
+    def _transform(self, node: ast.expr, bound: frozenset[str]) -> ast.expr:
+        if isinstance(node, ast.Constant):
+            return node
+        if isinstance(node, ast.Name):
+            if node.id in bound:
+                return node
+            return ast.Call(
+                func=ast.Name(id="__lookup__", ctx=ast.Load()),
+                args=[
+                    ast.Name(id="__env__", ctx=ast.Load()),
+                    ast.Constant(value=node.id),
+                ],
+                keywords=[],
+            )
+        if isinstance(node, ast.Call):
+            args = [self._transform(arg, bound) for arg in node.args]
+            func = node.func
+            if isinstance(func, ast.Name):
+                # whitelisted function: resolved at compile time, never
+                # shadowed by the environment (interpreter parity).
+                return ast.Call(
+                    func=ast.Name(id=_FN_PREFIX + func.id, ctx=ast.Load()),
+                    args=args,
+                    keywords=[],
+                )
+            assert isinstance(func, ast.Attribute)
+            # method call: plain getattr on the receiver, matching the
+            # interpreter's Call branch (NOT the MObject get() path).
+            receiver = self._transform(func.value, bound)
+            return ast.Call(
+                func=ast.Call(
+                    func=ast.Name(id="__getattr__", ctx=ast.Load()),
+                    args=[receiver, ast.Constant(value=func.attr)],
+                    keywords=[],
+                ),
+                args=args,
+                keywords=[],
+            )
+        if isinstance(node, ast.Attribute):
+            return ast.Call(
+                func=ast.Name(id="__attr__", ctx=ast.Load()),
+                args=[
+                    self._transform(node.value, bound),
+                    ast.Constant(value=node.attr),
+                ],
+                keywords=[],
+            )
+        if isinstance(node, ast.Dict):
+            # The interpreter silently drops `**` unpacking pairs
+            # (None keys); mirror that instead of letting Python
+            # perform the unpacking.
+            keys: list[ast.expr] = []
+            values: list[ast.expr] = []
+            for key, value in zip(node.keys, node.values):
+                if key is None:
+                    continue
+                keys.append(self._transform(key, bound))
+                values.append(self._transform(value, bound))
+            return ast.Dict(keys=keys, values=values)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            generators, inner = self._lower_generators(node.generators, bound)
+            elt = self._transform(node.elt, inner)
+            if isinstance(node, ast.SetComp):
+                return ast.SetComp(elt=elt, generators=generators)
+            # The interpreter materializes generator expressions into
+            # lists; keep that observable behaviour.
+            return ast.ListComp(elt=elt, generators=generators)
+        if isinstance(node, ast.DictComp):
+            generators, inner = self._lower_generators(node.generators, bound)
+            return ast.DictComp(
+                key=self._transform(node.key, inner),
+                value=self._transform(node.value, inner),
+                generators=generators,
+            )
+        if isinstance(node, ast.BoolOp):
+            return ast.BoolOp(
+                op=node.op,
+                values=[self._transform(v, bound) for v in node.values],
+            )
+        if isinstance(node, ast.BinOp):
+            return ast.BinOp(
+                left=self._transform(node.left, bound),
+                op=node.op,
+                right=self._transform(node.right, bound),
+            )
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(
+                op=node.op, operand=self._transform(node.operand, bound)
+            )
+        if isinstance(node, ast.Compare):
+            return ast.Compare(
+                left=self._transform(node.left, bound),
+                ops=node.ops,
+                comparators=[self._transform(c, bound) for c in node.comparators],
+            )
+        if isinstance(node, ast.IfExp):
+            return ast.IfExp(
+                test=self._transform(node.test, bound),
+                body=self._transform(node.body, bound),
+                orelse=self._transform(node.orelse, bound),
+            )
+        if isinstance(node, ast.Subscript):
+            return ast.Subscript(
+                value=self._transform(node.value, bound),
+                slice=self._transform(node.slice, bound),
+                ctx=ast.Load(),
+            )
+        if isinstance(node, ast.Slice):
+            return ast.Slice(
+                lower=self._transform(node.lower, bound) if node.lower else None,
+                upper=self._transform(node.upper, bound) if node.upper else None,
+                step=self._transform(node.step, bound) if node.step else None,
+            )
+        if isinstance(node, ast.List):
+            return ast.List(
+                elts=[self._transform(e, bound) for e in node.elts], ctx=ast.Load()
+            )
+        if isinstance(node, ast.Tuple):
+            return ast.Tuple(
+                elts=[self._transform(e, bound) for e in node.elts], ctx=ast.Load()
+            )
+        if isinstance(node, ast.Set):
+            return ast.Set(elts=[self._transform(e, bound) for e in node.elts])
+        raise ExpressionError(
+            f"unsupported node {type(node).__name__} in {self.source!r}"
+        )
+
+    def _lower_generators(
+        self,
+        generators: list[ast.comprehension],
+        bound: frozenset[str],
+    ) -> tuple[list[ast.comprehension], frozenset[str]]:
+        """Rewrite comprehension generators: the first iterable sees the
+        enclosing scope, later pieces see the comprehension targets as
+        real local bindings (shadowing env names, like the interpreter's
+        scoped copy)."""
+        inner = bound
+        lowered: list[ast.comprehension] = []
+        for position, gen in enumerate(generators):
+            iter_scope = bound if position == 0 else inner
+            inner = inner | self._target_names(gen.target)
+            lowered.append(
+                ast.comprehension(
+                    target=gen.target,
+                    iter=self._transform(gen.iter, iter_scope),
+                    ifs=[self._transform(cond, inner) for cond in gen.ifs],
+                    is_async=0,
+                )
+            )
+        return lowered, inner
+
+    def _target_names(self, target: ast.expr) -> frozenset[str]:
+        if isinstance(target, ast.Name):
+            return frozenset((target.id,))
+        if isinstance(target, ast.Tuple):
+            names: frozenset[str] = frozenset()
+            for elt in target.elts:
+                names = names | self._target_names(elt)
+            return names
+        raise ExpressionError(
+            f"unsupported comprehension target in {self.source!r}"
+        )
+
+
+def _lower(expression: Expression) -> Callable[[Mapping[str, Any]], Any]:
+    """Compile an Expression's checked AST into a callable of one
+    environment mapping."""
+    source = expression.source
+
+    def _lookup(env: Mapping[str, Any], name: str) -> Any:
+        try:
+            return env[name]
+        except (KeyError, TypeError):
+            pass
+        if name in _SAFE_CONSTANTS:
+            return _SAFE_CONSTANTS[name]
+        raise ExpressionError(f"unknown name {name!r} in {source!r}")
+
+    body = _Lowerer(source).lower(expression._tree)
+    lambda_node = ast.Expression(
+        body=ast.Lambda(
+            args=ast.arguments(
+                posonlyargs=[],
+                args=[ast.arg(arg="__env__")],
+                kwonlyargs=[],
+                kw_defaults=[],
+                defaults=[],
+            ),
+            body=body,
+        )
+    )
+    code = compile(
+        ast.fix_missing_locations(lambda_node), f"<expr {source!r}>", "eval"
+    )
+    namespace: dict[str, Any] = {
+        "__builtins__": {},
+        "__lookup__": _lookup,
+        "__attr__": _attr_access,
+        "__getattr__": getattr,
+    }
+    for fn_name, fn in _SAFE_FUNCTIONS.items():
+        namespace[_FN_PREFIX + fn_name] = fn
+    return eval(code, namespace)  # noqa: S307 - rewritten, builtins-free AST
+
+
+@lru_cache(maxsize=4096)
+def compile_expression(source: str) -> Expression:
+    """Parse, check and cache an expression (bounded LRU).
+
+    The returned :class:`Expression` lazily owns a compiled closure, so
+    hot paths sharing a source string share one parse and one lowering.
+    """
+    return Expression(source)
 
 
 def evaluate(source: str, context: Mapping[str, Any] | None = None) -> Any:
-    """Compile (with caching) and evaluate ``source`` against ``context``."""
-    compiled = _cache.get(source)
-    if compiled is None:
-        compiled = Expression(source)
-        if len(_cache) < 4096:
-            _cache[source] = compiled
-    return compiled.evaluate(context)
+    """Compile (with caching) and evaluate ``source`` against ``context``.
+
+    Uses the compiled fast path; :meth:`Expression.evaluate` remains the
+    reference AST interpreter for the authoring/debugging tier.
+    """
+    return compile_expression(source).evaluate_fast(context)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
-from repro.modeling.expr import Expression
+from repro.modeling.expr import Expression, compile_expression
 
 __all__ = ["LTSError", "State", "Transition", "LTS", "LTSExecution"]
 
@@ -51,8 +51,8 @@ class Transition:
         if self.guard is None:
             return True
         if self._compiled_guard is None:
-            self._compiled_guard = Expression(self.guard)
-        return bool(self._compiled_guard.evaluate(context))
+            self._compiled_guard = compile_expression(self.guard)
+        return bool(self._compiled_guard.evaluate_fast(context))
 
 
 class LTS:
@@ -68,6 +68,7 @@ class LTS:
         self.initial = initial
         self.states: dict[str, State] = {}
         self._transitions: list[Transition] = []
+        self._index: dict[tuple[str, str], tuple[Transition, ...]] | None = None
         self.add_state(initial)
 
     # -- construction -------------------------------------------------
@@ -103,12 +104,28 @@ class LTS:
             priority=priority,
         )
         self._transitions.append(transition)
+        self._index = None
         return transition
 
     # -- queries -------------------------------------------------------
 
     def transitions_from(self, state: str) -> list[Transition]:
         return [t for t in self._transitions if t.source == state]
+
+    def indexed_transitions(self, state: str, label: str) -> tuple[Transition, ...]:
+        """Transitions for ``(state, label)``, pre-sorted by priority
+        (ties: declaration order).  The index is built once per machine
+        shape, so executions do dict hits instead of list scans."""
+        index = self._index
+        if index is None:
+            by_key: dict[tuple[str, str], list[Transition]] = {}
+            for t in self._transitions:
+                by_key.setdefault((t.source, t.label), []).append(t)
+            index = self._index = {
+                key: tuple(sorted(ts, key=lambda t: -t.priority))
+                for key, ts in by_key.items()
+            }
+        return index.get((state, label), ())
 
     def labels(self) -> set[str]:
         return {t.label for t in self._transitions}
@@ -167,13 +184,11 @@ class LTSExecution:
     ) -> list[Transition]:
         """Transitions enabled for ``label`` in the current state."""
         env = context or {}
-        candidates = [
+        return [
             t
-            for t in self.lts.transitions_from(self.state)
-            if t.label == label and t.guard_holds(env)
+            for t in self.lts.indexed_transitions(self.state, label)
+            if t.guard_holds(env)
         ]
-        candidates.sort(key=lambda t: -t.priority)
-        return candidates
 
     def can_step(self, label: str, context: Mapping[str, Any] | None = None) -> bool:
         return bool(self.enabled(label, context))
@@ -201,9 +216,13 @@ class LTSExecution:
         self, label: str, context: Mapping[str, Any] | None = None
     ) -> tuple[Any, ...] | None:
         """Like :meth:`step` but returns None when no transition is enabled."""
-        if not self.can_step(label, context):
+        candidates = self.enabled(label, context)
+        if not candidates:
             return None
-        return self.step(label, context)
+        transition = candidates[0]
+        self.state = transition.target
+        self.trace.append(transition)
+        return transition.actions
 
     def run(
         self,

@@ -27,6 +27,8 @@ __all__ = [
     "MetaAttribute",
     "MetaReference",
     "MetaClass",
+    "FeatureSlot",
+    "FeatureTable",
     "Metamodel",
     "ATTRIBUTE_TYPES",
 ]
@@ -228,6 +230,55 @@ class MetaReference(_Feature):
         return f"MetaReference({self.qualified_name} {kind} {self.target_name})"
 
 
+class FeatureSlot:
+    """One entry of a :class:`FeatureTable`: where a feature's value
+    lives in an instance's slot store, plus what the hot path needs to
+    know about it without isinstance checks."""
+
+    __slots__ = ("index", "feature", "is_attribute", "many")
+
+    def __init__(
+        self,
+        index: int,
+        feature: "MetaAttribute | MetaReference",
+        is_attribute: bool,
+    ) -> None:
+        self.index = index
+        self.feature = feature
+        self.is_attribute = is_attribute
+        self.many = feature.many
+
+    def __repr__(self) -> str:
+        kind = "attr" if self.is_attribute else "ref"
+        return f"FeatureSlot({self.index}, {kind} {self.feature.name!r})"
+
+
+class FeatureTable:
+    """Frozen name -> :class:`FeatureSlot` map for one metaclass.
+
+    Built once per class shape and shared by every instance: feature
+    access becomes a single dict hit plus a list index instead of a
+    supertype-chain walk.  When the class (or a supertype) gains a
+    feature, the table is marked ``stale`` so live instances migrate
+    lazily to the rebuilt table on their next access.
+    """
+
+    __slots__ = ("slots", "size", "stale")
+
+    def __init__(self, cls: "MetaClass") -> None:
+        slots: dict[str, FeatureSlot] = {}
+        index = 0
+        for name, attr in cls.all_attributes().items():
+            slots[name] = FeatureSlot(index, attr, True)
+            index += 1
+        for name, ref in cls.all_references().items():
+            slots[name] = FeatureSlot(index, ref, False)
+            index += 1
+        self.slots = slots
+        self.size = index
+        self.stale = False
+
+
 class MetaClass:
     """A class in a metamodel.
 
@@ -252,6 +303,15 @@ class MetaClass:
         self._attributes: dict[str, MetaAttribute] = {}
         self._references: dict[str, MetaReference] = {}
         self.metamodel: Metamodel | None = None
+        #: supertype-name closure (incl. own name); supertypes are
+        #: immutable after construction so this never invalidates.
+        self._closure: frozenset[str] | None = None
+        self._feature_table: FeatureTable | None = None
+        self._all_attributes: dict[str, MetaAttribute] | None = None
+        self._all_references: dict[str, MetaReference] | None = None
+        #: classes whose feature table/dicts embed this class's features
+        #: (subclasses that built caches) — invalidated on feature adds.
+        self._cache_dependents: set[MetaClass] = {self}
 
     # -- construction -------------------------------------------------
 
@@ -259,13 +319,25 @@ class MetaClass:
         self._check_fresh_feature(attribute.name)
         attribute.owner = self
         self._attributes[attribute.name] = attribute
+        self._invalidate_caches()
         return attribute
 
     def add_reference(self, reference: MetaReference) -> MetaReference:
         self._check_fresh_feature(reference.name)
         reference.owner = self
         self._references[reference.name] = reference
+        self._invalidate_caches()
         return reference
+
+    def _invalidate_caches(self) -> None:
+        for dependent in self._cache_dependents:
+            table = dependent._feature_table
+            if table is not None:
+                table.stale = True
+                dependent._feature_table = None
+            dependent._all_attributes = None
+            dependent._all_references = None
+        self._cache_dependents = {self}
 
     def attribute(self, name: str, type_name: str = "string", **kwargs: Any) -> MetaAttribute:
         """Shorthand: create and add an attribute."""
@@ -293,11 +365,21 @@ class MetaClass:
             yield super_cls
             stack.extend(super_cls.supertypes)
 
+    def supertype_closure(self) -> frozenset[str]:
+        """Names of this class and all transitive supertypes (cached;
+        the supertype tuple is immutable after construction)."""
+        closure = self._closure
+        if closure is None:
+            closure = self._closure = frozenset(
+                (self.name, *(sup.name for sup in self.all_supertypes()))
+            )
+        return closure
+
     def conforms_to(self, other: "MetaClass") -> bool:
         """True if instances of this class are instances of ``other``."""
-        if other is self or other.name == self.name:
+        if other is self:
             return True
-        return any(sup.name == other.name for sup in self.all_supertypes())
+        return other.name in self.supertype_closure()
 
     def own_attributes(self) -> tuple[MetaAttribute, ...]:
         return tuple(self._attributes.values())
@@ -305,30 +387,43 @@ class MetaClass:
     def own_references(self) -> tuple[MetaReference, ...]:
         return tuple(self._references.values())
 
+    def _register_dependent(self) -> None:
+        for super_cls in self.all_supertypes():
+            super_cls._cache_dependents.add(self)
+
     def all_attributes(self) -> dict[str, MetaAttribute]:
-        result: dict[str, MetaAttribute] = {}
-        for super_cls in reversed(list(self.all_supertypes())):
-            result.update(super_cls._attributes)
-        result.update(self._attributes)
+        result = self._all_attributes
+        if result is None:
+            result = {}
+            for super_cls in reversed(list(self.all_supertypes())):
+                result.update(super_cls._attributes)
+            result.update(self._attributes)
+            self._all_attributes = result
+            self._register_dependent()
         return result
 
     def all_references(self) -> dict[str, MetaReference]:
-        result: dict[str, MetaReference] = {}
-        for super_cls in reversed(list(self.all_supertypes())):
-            result.update(super_cls._references)
-        result.update(self._references)
+        result = self._all_references
+        if result is None:
+            result = {}
+            for super_cls in reversed(list(self.all_supertypes())):
+                result.update(super_cls._references)
+            result.update(self._references)
+            self._all_references = result
+            self._register_dependent()
         return result
 
+    def feature_table(self) -> FeatureTable:
+        """The frozen per-class feature table (see :class:`FeatureTable`)."""
+        table = self._feature_table
+        if table is None:
+            table = self._feature_table = FeatureTable(self)
+            self._register_dependent()
+        return table
+
     def find_feature(self, name: str) -> MetaAttribute | MetaReference | None:
-        if name in self._attributes:
-            return self._attributes[name]
-        if name in self._references:
-            return self._references[name]
-        for super_cls in self.all_supertypes():
-            feature = super_cls._attributes.get(name) or super_cls._references.get(name)
-            if feature is not None:
-                return feature
-        return None
+        slot = self.feature_table().slots.get(name)
+        return slot.feature if slot is not None else None
 
     def containment_references(self) -> tuple[MetaReference, ...]:
         return tuple(r for r in self.all_references().values() if r.containment)

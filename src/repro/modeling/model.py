@@ -17,6 +17,7 @@ import itertools
 from typing import Any, Callable, Iterator
 
 from repro.modeling.meta import (
+    FeatureSlot,
     MetaAttribute,
     MetaClass,
     Metamodel,
@@ -24,18 +25,45 @@ from repro.modeling.meta import (
     MetaReference,
 )
 
-__all__ = ["ModelError", "MObject", "Model"]
+__all__ = ["ModelError", "ModelSpace", "MObject", "Model"]
 
 
 class ModelError(Exception):
     """Raised on ill-typed or structurally invalid model manipulation."""
 
 
-_id_counter = itertools.count(1)
+class ModelSpace:
+    """Scope for object-id sequences.
+
+    Two models built in the same space share one monotone counter (ids
+    never collide between them); models built in *different* spaces get
+    independent, deterministic sequences — which is what golden-trace
+    comparisons across repeated benchmark runs need.  The process-wide
+    default space preserves the historical global-counter behaviour.
+    """
+
+    __slots__ = ("name", "_counter")
+
+    def __init__(self, name: str = "space", *, start: int = 1) -> None:
+        self.name = name
+        self._counter = itertools.count(start)
+
+    def next_id(self, class_name: str) -> str:
+        return f"{class_name.lower()}#{next(self._counter)}"
+
+    def __repr__(self) -> str:
+        return f"ModelSpace({self.name!r})"
+
+
+_default_space = ModelSpace("default")
 
 
 def _next_id(class_name: str) -> str:
-    return f"{class_name.lower()}#{next(_id_counter)}"
+    return _default_space.next_id(class_name)
+
+
+#: sentinel marking "feature never explicitly set" in the slot store.
+_MISSING = object()
 
 
 class _ManyRefList:
@@ -46,7 +74,7 @@ class _ManyRefList:
         self._ref = ref
 
     def _raw(self) -> list["MObject"]:
-        return self._owner._refs.setdefault(self._ref.name, [])
+        return self._owner._ref_list(self._ref)
 
     def append(self, value: "MObject") -> None:
         self._owner._link(self._ref, value)
@@ -93,21 +121,71 @@ class MObject:
     against the metaclass.
     """
 
-    __slots__ = ("_cls", "_id", "_attrs", "_refs", "_container", "_container_ref")
+    __slots__ = ("_cls", "_id", "_table", "_store", "_container", "_container_ref")
 
-    def __init__(self, cls: MetaClass, *, id: str | None = None, **features: Any) -> None:
+    def __init__(
+        self,
+        cls: MetaClass,
+        *,
+        id: str | None = None,
+        space: ModelSpace | None = None,
+        **features: Any,
+    ) -> None:
         if cls.abstract:
             raise ModelError(f"cannot instantiate abstract class {cls.name!r}")
         if cls.metamodel is not None:
             cls.metamodel.resolve()
+        table = cls.feature_table()
         object.__setattr__(self, "_cls", cls)
-        object.__setattr__(self, "_id", id or _next_id(cls.name))
-        object.__setattr__(self, "_attrs", {})
-        object.__setattr__(self, "_refs", {})
+        object.__setattr__(
+            self, "_id", id or (space or _default_space).next_id(cls.name)
+        )
+        object.__setattr__(self, "_table", table)
+        object.__setattr__(self, "_store", [_MISSING] * table.size)
         object.__setattr__(self, "_container", None)
         object.__setattr__(self, "_container_ref", None)
         for name, value in features.items():
             self.set(name, value)
+
+    # -- slot-store machinery ------------------------------------------
+
+    def _slots(self) -> dict[str, FeatureSlot]:
+        """The live feature table's slot map, migrating the instance
+        store first if the class shape changed since the last access."""
+        table = self._table
+        if table.stale:
+            self._migrate()
+            table = self._table
+        return table.slots
+
+    def _migrate(self) -> None:
+        new_table = self._cls.feature_table()
+        old_table = self._table
+        old_store = self._store
+        store: list[Any] = [_MISSING] * new_table.size
+        for name, slot in old_table.slots.items():
+            target = new_table.slots.get(name)
+            if target is not None:
+                store[target.index] = old_store[slot.index]
+        object.__setattr__(self, "_table", new_table)
+        object.__setattr__(self, "_store", store)
+
+    def _require_slot(self, name: str) -> FeatureSlot:
+        slot = self._slots().get(name)
+        if slot is None:
+            raise ModelError(f"class {self._cls.name!r} has no feature {name!r}")
+        return slot
+
+    def _ref_slot(self, ref: MetaReference) -> FeatureSlot:
+        return self._slots()[ref.name]
+
+    def _ref_list(self, ref: MetaReference) -> list["MObject"]:
+        slot = self._ref_slot(ref)
+        value = self._store[slot.index]
+        if value is _MISSING:
+            value = []
+            self._store[slot.index] = value
+        return value
 
     # -- identity ------------------------------------------------------
 
@@ -141,32 +219,57 @@ class MObject:
     # -- generic feature access ----------------------------------------
 
     def get(self, name: str) -> Any:
-        feature = self._require_feature(name)
-        if isinstance(feature, MetaAttribute):
-            if feature.many:
-                return self._attrs.setdefault(name, [])
-            if name in self._attrs:
-                return self._attrs[name]
-            return feature.default_value()
-        if feature.many:
-            return _ManyRefList(self, feature)
-        return self._refs.get(name)
+        slot = self._require_slot(name)
+        value = self._store[slot.index]
+        if slot.is_attribute:
+            if slot.many:
+                if value is _MISSING:
+                    value = []
+                    self._store[slot.index] = value
+                return value
+            if value is not _MISSING:
+                return value
+            return slot.feature.default_value()
+        if slot.many:
+            return _ManyRefList(self, slot.feature)
+        return None if value is _MISSING else value
 
     def set(self, name: str, value: Any) -> None:
-        feature = self._require_feature(name)
-        if isinstance(feature, MetaAttribute):
-            self._set_attribute(feature, value)
+        slot = self._require_slot(name)
+        if slot.is_attribute:
+            self._set_attribute(slot, value)
         else:
-            self._set_reference(feature, value)
+            self._set_reference(slot.feature, value)
 
     def unset(self, name: str) -> None:
-        feature = self._require_feature(name)
-        if isinstance(feature, MetaAttribute):
-            self._attrs.pop(name, None)
-        elif feature.many:
-            _ManyRefList(self, feature).clear()
+        slot = self._require_slot(name)
+        if slot.is_attribute:
+            self._store[slot.index] = _MISSING
+        elif slot.many:
+            _ManyRefList(self, slot.feature).clear()
         else:
-            self._set_reference(feature, None)
+            self._set_reference(slot.feature, None)
+
+    def explicit_attributes(self) -> dict[str, Any]:
+        """Attributes explicitly set on this instance, without defaults
+        (many-valued lists materialized by :meth:`get` included)."""
+        slots = self._slots()
+        store = self._store
+        return {
+            name: store[slot.index]
+            for name, slot in slots.items()
+            if slot.is_attribute and store[slot.index] is not _MISSING
+        }
+
+    def has_explicit(self, name: str) -> bool:
+        """True if ``name`` is an attribute explicitly set on this
+        instance (as opposed to reporting its default)."""
+        slot = self._slots().get(name)
+        return (
+            slot is not None
+            and slot.is_attribute
+            and self._store[slot.index] is not _MISSING
+        )
 
     def __getattr__(self, name: str) -> Any:
         # Only called when normal lookup fails (i.e. model features).
@@ -185,8 +288,9 @@ class MObject:
 
     # -- attribute machinery ---------------------------------------------
 
-    def _set_attribute(self, attr: MetaAttribute, value: Any) -> None:
-        if attr.many:
+    def _set_attribute(self, slot: FeatureSlot, value: Any) -> None:
+        attr = slot.feature
+        if slot.many:
             if not isinstance(value, (list, tuple)):
                 raise ModelError(
                     f"{attr.qualified_name} is many-valued; expected list, "
@@ -194,13 +298,10 @@ class MObject:
                 )
             for item in value:
                 self._check_attr(attr, item)
-            self._attrs[attr.name] = list(value)
+            self._store[slot.index] = list(value)
             return
         self._check_attr(attr, value)
-        if value is None:
-            self._attrs.pop(attr.name, None)
-        else:
-            self._attrs[attr.name] = value
+        self._store[slot.index] = _MISSING if value is None else value
 
     def _check_attr(self, attr: MetaAttribute, value: Any) -> None:
         try:
@@ -221,7 +322,10 @@ class MObject:
             for item in value:
                 self._link(ref, item)
             return
-        current = self._refs.get(ref.name)
+        slot = self._ref_slot(ref)
+        current = self._store[slot.index]
+        if current is _MISSING:
+            current = None
         if current is value:
             return
         if current is not None:
@@ -245,33 +349,35 @@ class MObject:
         if ref.containment:
             self._take_ownership(ref, value)
         if ref.many:
-            raw = self._refs.setdefault(ref.name, [])
+            raw = self._ref_list(ref)
             if value in raw:
                 return
             raw.append(value)
         else:
-            current = self._refs.get(ref.name)
+            slot = self._ref_slot(ref)
+            current = self._store[slot.index]
             if current is value:
                 return
-            if current is not None:
+            if current is not _MISSING and current is not None:
                 self._unlink(ref, current)
-            self._refs[ref.name] = value
+            self._store[slot.index] = value
         self._sync_opposite_add(ref, value)
 
     def _unlink(self, ref: MetaReference, value: "MObject") -> None:
         if ref.many:
-            raw = self._refs.setdefault(ref.name, [])
+            raw = self._ref_list(ref)
             if value not in raw:
                 raise ModelError(
                     f"{ref.qualified_name}: {value!r} is not referenced"
                 )
             raw.remove(value)
         else:
-            if self._refs.get(ref.name) is not value:
+            slot = self._ref_slot(ref)
+            if self._store[slot.index] is not value:
                 raise ModelError(
                     f"{ref.qualified_name}: {value!r} is not referenced"
                 )
-            del self._refs[ref.name]
+            self._store[slot.index] = _MISSING
         if ref.containment and value._container is self:
             object.__setattr__(value, "_container", None)
             object.__setattr__(value, "_container_ref", None)
@@ -299,44 +405,53 @@ class MObject:
         if opp is None:
             return
         if opp.many:
-            raw = value._refs.setdefault(opp.name, [])
+            raw = value._ref_list(opp)
             if self not in raw:
                 raw.append(self)
         else:
-            current = value._refs.get(opp.name)
+            slot = value._ref_slot(opp)
+            current = value._store[slot.index]
             if current is self:
                 return
-            if current is not None:
+            if current is not _MISSING and current is not None:
                 current._quiet_remove(ref, value)
-            value._refs[opp.name] = self
+            value._store[slot.index] = self
 
     def _sync_opposite_remove(self, ref: MetaReference, value: "MObject") -> None:
         opp = ref.opposite_ref
         if opp is None:
             return
         if opp.many:
-            raw = value._refs.get(opp.name, [])
-            if self in raw:
+            slot = value._ref_slot(opp)
+            raw = value._store[slot.index]
+            if raw is not _MISSING and self in raw:
                 raw.remove(self)
-        elif value._refs.get(opp.name) is self:
-            del value._refs[opp.name]
+        else:
+            slot = value._ref_slot(opp)
+            if value._store[slot.index] is self:
+                value._store[slot.index] = _MISSING
 
     def _quiet_remove(self, ref: MetaReference, value: "MObject") -> None:
         """Remove ``value`` from our side of ``ref`` without opposite sync."""
         if ref.many:
-            raw = self._refs.get(ref.name, [])
-            if value in raw:
+            slot = self._ref_slot(ref)
+            raw = self._store[slot.index]
+            if raw is not _MISSING and value in raw:
                 raw.remove(value)
-        elif self._refs.get(ref.name) is value:
-            del self._refs[ref.name]
+        else:
+            slot = self._ref_slot(ref)
+            if self._store[slot.index] is value:
+                self._store[slot.index] = _MISSING
 
     # -- structure queries ---------------------------------------------
 
     def contents(self) -> Iterator["MObject"]:
         """Directly contained objects, in feature/insertion order."""
+        slots = self._slots()
+        store = self._store
         for ref in self._cls.containment_references():
-            value = self._refs.get(ref.name)
-            if value is None:
+            value = store[slots[ref.name].index]
+            if value is _MISSING or value is None:
                 continue
             if ref.many:
                 yield from value
@@ -371,13 +486,15 @@ class MObject:
         return "/".join(reversed(parts))
 
     def _require_feature(self, name: str) -> MetaAttribute | MetaReference:
-        feature = self._cls.find_feature(name)
-        if feature is None:
-            raise ModelError(f"class {self._cls.name!r} has no feature {name!r}")
-        return feature
+        return self._require_slot(name).feature
 
     def __repr__(self) -> str:
-        label = self._attrs.get("name")
+        slot = self._table.slots.get("name")
+        label = None
+        if slot is not None and slot.is_attribute:
+            value = self._store[slot.index]
+            if value is not _MISSING:
+                label = value
         suffix = f" name={label!r}" if label else ""
         return f"<{self._cls.name} {self._id}{suffix}>"
 
@@ -388,16 +505,23 @@ class Model:
     A model is bound to a metamodel; all roots must conform to it.
     """
 
-    def __init__(self, metamodel: Metamodel, *, name: str = "model") -> None:
+    def __init__(
+        self,
+        metamodel: Metamodel,
+        *,
+        name: str = "model",
+        space: ModelSpace | None = None,
+    ) -> None:
         metamodel.resolve()
         self.metamodel = metamodel
         self.name = name
+        self.space = space if space is not None else _default_space
         self.roots: list[MObject] = []
 
     def create(self, class_name: str, **features: Any) -> MObject:
         """Instantiate a class from this model's metamodel (not yet a root)."""
         cls = self.metamodel.require_class(class_name)
-        return MObject(cls, **features)
+        return MObject(cls, space=self.space, **features)
 
     def add_root(self, obj: MObject) -> MObject:
         if obj.container is not None:

@@ -30,7 +30,7 @@ from repro.modeling.meta import (
     MetaReference,
     build_metamodel,
 )
-from repro.modeling.model import Model, ModelError, MObject
+from repro.modeling.model import Model, ModelError, ModelSpace, MObject
 
 __all__ = [
     "SerializationError",
@@ -64,7 +64,7 @@ def object_to_dict(obj: MObject) -> dict[str, Any]:
                 attrs[name] = list(value)
         elif value is not None and value != attr.default_value():
             attrs[name] = value
-        elif value is not None and name in obj._attrs:
+        elif value is not None and obj.has_explicit(name):
             attrs[name] = value
     if attrs:
         doc["attrs"] = attrs
@@ -162,13 +162,15 @@ def _instantiate(
 def model_from_dict(
     doc: dict[str, Any],
     metamodel: Metamodel,
+    *,
+    space: ModelSpace | None = None,
 ) -> Model:
     if doc.get("metamodel") not in (None, metamodel.name):
         raise SerializationError(
             f"document metamodel {doc.get('metamodel')!r} does not match "
             f"{metamodel.name!r}"
         )
-    model = Model(metamodel, name=str(doc.get("name", "model")))
+    model = Model(metamodel, name=str(doc.get("name", "model")), space=space)
     index: dict[str, MObject] = {}
     pending: list[tuple[MObject, MetaReference, Any]] = []
     for root_doc in doc.get("roots", []):
@@ -329,5 +331,11 @@ def _strip_ids(doc: dict[str, Any]) -> None:
 
 
 def clone_model(model: Model) -> Model:
-    """Deep-copy a model, preserving all ids (used by the comparator)."""
-    return model_from_dict(model_to_dict(model), model.metamodel)
+    """Deep-copy a model, preserving all ids (used by the comparator).
+
+    The clone stays in the source model's :class:`ModelSpace`, so
+    objects created on either copy afterwards keep minting from the
+    same id sequence and cannot collide."""
+    return model_from_dict(
+        model_to_dict(model), model.metamodel, space=model.space
+    )

@@ -112,7 +112,7 @@ def weave_models(
     provenance: dict[tuple[Hashable, str], str] = {}
     for obj in result_model.walk():
         index[key_fn(obj)] = obj
-        for feature_name in obj._attrs:
+        for feature_name in obj.explicit_attributes():
             provenance[(key_fn(obj), feature_name)] = base.name
 
     for aspect in aspects:
@@ -162,7 +162,7 @@ def _merge_element(
         index[element_key] = existing
         result.added += 1
         visited.append((source, existing, True))
-        for attr_name, value in source._attrs.items():
+        for attr_name, value in source.explicit_attributes().items():
             existing.set(
                 attr_name, list(value) if isinstance(value, list) else value
             )
@@ -201,7 +201,7 @@ def _merge_attributes(
     aspect_name: str,
     strict: bool,
 ) -> None:
-    for attr_name, value in source._attrs.items():
+    for attr_name, value in source.explicit_attributes().items():
         attr = source.meta.all_attributes()[attr_name]
         if attr.many:
             merged = list(target.get(attr_name))

@@ -31,9 +31,41 @@ subscriptions.
 
 from __future__ import annotations
 
-from typing import Any, Generic, Iterator, TypeVar
+from functools import lru_cache
+from typing import Any, Callable, Generic, Iterator, TypeVar
 
 __all__ = ["TopicMatcher", "TopicIndex"]
+
+
+@lru_cache(maxsize=1024)
+def _compiled_pattern(pattern: str) -> Callable[[str], bool]:
+    """Compile a pattern into a topic predicate (module-wide bounded
+    LRU): the pattern's segments are split exactly once, no matter how
+    many call sites keep re-matching the same pattern."""
+    if not pattern.endswith("*"):
+        return pattern.__eq__
+    if pattern == "*":
+        return lambda topic: True
+    head = pattern[:-1]
+    if head.endswith("."):
+        # "a.b.*" — the bare prefix or any descendant, never "a.bx".
+        stem = head[:-1]
+        return lambda topic: topic == stem or topic.startswith(head)
+    # "a.pre*" — same segment count, final segment prefix-matches.
+    parts = pattern.split(".")
+    lead = parts[:-1]
+    final_prefix = parts[-1][:-1]
+    count = len(parts)
+
+    def match_prefix(topic: str) -> bool:
+        topic_parts = topic.split(".")
+        if len(topic_parts) != count:
+            return False
+        if topic_parts[:-1] != lead:
+            return False
+        return topic_parts[-1].startswith(final_prefix)
+
+    return match_prefix
 
 
 class TopicMatcher:
@@ -48,23 +80,11 @@ class TopicMatcher:
 
     @staticmethod
     def matches(pattern: str, topic: str) -> bool:
-        if not pattern.endswith("*"):
-            return topic == pattern
-        if pattern == "*":
-            return True
-        head = pattern[:-1]
-        if head.endswith("."):
-            # "a.b.*" — the bare prefix or any descendant, never "a.bx".
-            stem = head[:-1]
-            return topic == stem or topic.startswith(head)
-        # "a.pre*" — same segment count, final segment prefix-matches.
-        parts = pattern.split(".")
-        topic_parts = topic.split(".")
-        if len(topic_parts) != len(parts):
-            return False
-        if topic_parts[: len(parts) - 1] != parts[:-1]:
-            return False
-        return topic_parts[-1].startswith(parts[-1][:-1])
+        return _compiled_pattern(pattern)(topic)
+
+    #: compiled predicate for one pattern — callers that hold a pattern
+    #: for many matches can skip even the LRU hit.
+    compile = staticmethod(_compiled_pattern)
 
 
 E = TypeVar("E")

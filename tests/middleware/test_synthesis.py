@@ -379,3 +379,36 @@ class TestScriptForwardedAsSignal:
         assert signal.topic == "synthesis.script"
         assert signal.payload["script"].operations()
         assert signal.origin == engine.name
+
+
+class TestScriptForwardedToBusPort:
+    def test_bus_downward_port_receives_one_batch(self, dsml):
+        """When the downward port is an EventBus (distributed wiring),
+        the script travels as one batch: a script-level Call plus one
+        derived Call per command, all sharing the script's trace."""
+        from repro.runtime.events import Call, EventBus
+
+        bus = EventBus(name="downlink")
+        scripts = []
+        commands = []
+        bus.subscribe("synthesis.script", scripts.append)
+        bus.subscribe("synthesis.script.command", commands.append)
+
+        engine = SynthesisEngine(metamodel=dsml)
+        engine.add_rules([service_rule(), app_rule()])
+        engine.wire("downward", bus)
+        engine.configure({})
+        engine.start()
+        engine.synthesize(TestSynthesisEngine().make_model(dsml))
+
+        assert len(scripts) == 1
+        root = scripts[0]
+        assert isinstance(root, Call)
+        script = root.payload["script"]
+        assert len(commands) == len(list(script))
+        for signal, command in zip(commands, script):
+            assert signal.payload["script_id"] == script.script_id
+            assert signal.payload["operation"] == command.operation
+            assert signal.payload["args"] == dict(command.args)
+            assert signal.parent_seq == root.seq
+            assert signal.trace_id == root.trace_id

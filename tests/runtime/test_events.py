@@ -227,3 +227,79 @@ class TestSignalTracing:
         assert len(received) == 1
         assert received[0].parent_seq == origin.seq
         assert received[0].trace_id == origin.trace_id
+
+
+class TestPublishBatch:
+    def test_delivers_in_order_and_returns_total(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe("batch.*", received.append)
+        signals = [Event(topic=f"batch.{i}") for i in range(5)]
+        assert bus.publish_batch(signals) == 5
+        assert [s.topic for s in received] == [s.topic for s in signals]
+        assert bus.published == 5
+        assert bus.delivered == 5
+
+    def test_empty_batch(self):
+        bus = EventBus()
+        assert bus.publish_batch([]) == 0
+        assert bus.published == 0
+
+    def test_route_computed_once_per_distinct_topic(self):
+        bus = EventBus()
+        bus.subscribe("hot.topic", lambda s: None)
+        bus.subscribe("hot.*", lambda s: None)
+        lookups = []
+        index_match = bus._index.match
+        bus._index.match = lambda topic: (lookups.append(topic), index_match(topic))[1]
+        batch = [Event(topic="hot.topic") for _ in range(10)]
+        assert bus.publish_batch(batch) == 20
+        # One index lookup amortized over the repeated topic.
+        assert lookups == ["hot.topic"]
+
+    def test_errors_aggregated_after_full_delivery(self):
+        bus = EventBus()
+        received = []
+
+        def boom(signal):
+            raise RuntimeError(f"boom:{signal.topic}")
+
+        bus.subscribe("a", boom)
+        bus.subscribe("*", received.append)
+        batch = [Event(topic="a"), Event(topic="b"), Event(topic="a")]
+        with pytest.raises(EventDeliveryError) as excinfo:
+            bus.publish_batch(batch)
+        # Every signal was still delivered to the healthy subscriber...
+        assert [s.topic for s in received] == ["a", "b", "a"]
+        # ...and the error is attributed to the first failing signal,
+        # carrying every callback failure from the batch.
+        assert excinfo.value.signal is batch[0]
+        assert len(excinfo.value.errors) == 2
+
+    def test_history_recorded_for_batch(self):
+        bus = EventBus()
+        bus.record_history = True
+        batch = [Event(topic="x"), Event(topic="y")]
+        bus.publish_batch(batch)
+        assert [s.topic for s in bus.history()] == ["x", "y"]
+
+
+class TestTopicPatternCompilation:
+    def test_compile_returns_reusable_predicate(self):
+        from repro.runtime.topics import TopicMatcher
+
+        match = TopicMatcher.compile("broker.*")
+        assert match("broker")
+        assert match("broker.up.fast")
+        assert not match("brokers")
+        # Cached: same pattern yields the same compiled predicate.
+        assert TopicMatcher.compile("broker.*") is match
+
+    def test_compiled_segment_prefix(self):
+        from repro.runtime.topics import TopicMatcher
+
+        match = TopicMatcher.compile("a.pre*")
+        assert match("a.prefix")
+        assert match("a.pre")
+        assert not match("a.pre.x")
+        assert not match("b.prefix")

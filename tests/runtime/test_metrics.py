@@ -117,3 +117,48 @@ class TestDefaultRegistry:
         finally:
             set_default_registry(previous)
         assert default_registry() is previous
+
+
+class TestHistogramBucketBoundaries:
+    """Sub-µs observations must not be folded into a 2 µs bucket.
+
+    Bucket 0 covers [0, 1) µs; bucket i >= 1 covers [2**(i-1), 2**i) µs.
+    """
+
+    def test_half_microsecond_lands_in_sub_us_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.5e-6)
+        assert histogram.counts[0] == 1
+        # Reported upper bound is 1 µs, clamped to the observed maximum.
+        assert histogram.percentile(0.50) == 0.5e-6
+
+    def test_one_microsecond_starts_bucket_one(self):
+        histogram = LatencyHistogram()
+        histogram.observe(1e-6)
+        assert histogram.counts[0] == 0
+        assert histogram.counts[1] == 1
+        assert histogram.percentile(0.50) <= 2e-6
+
+    def test_exact_powers_of_two_round_up(self):
+        # 2**k µs is the *lower* edge of bucket k+1 (k >= 0).
+        for k in range(0, 10):
+            histogram = LatencyHistogram()
+            histogram.observe((2**k) * 1e-6)
+            assert histogram.counts[k + 1] == 1, k
+            # The bucket's upper bound brackets the observation.
+            assert histogram.percentile(0.99) <= (2 ** (k + 1)) * 1e-6
+
+    def test_just_below_power_of_two_stays_in_lower_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(3.999e-6)
+        assert histogram.counts[2] == 1
+
+    def test_sub_us_and_us_mix_orders_percentiles(self):
+        histogram = LatencyHistogram()
+        for _ in range(90):
+            histogram.observe(0.2e-6)
+        for _ in range(10):
+            histogram.observe(100e-6)
+        # p50 must reflect the sub-µs mass, not a folded 2 µs bucket.
+        assert histogram.percentile(0.50) <= 1e-6
+        assert histogram.percentile(0.99) >= 64e-6
