@@ -33,6 +33,10 @@ Commands:
 * ``bench-synthesis`` — compare the compiled and interpreted synthesis
   tiers (template microbench, >=5k-object stress synthesis, E1 rerun)
   and write ``BENCH_PR3.json`` (also ``python -m repro.bench.synthesis``).
+* ``bench-scale`` — run the sharded-fabric scale benchmark (hundreds of
+  concurrent CVM sessions at 1/2/4/8 shards, byte-identical op_logs vs
+  the inline baseline) and write ``BENCH_PR4.json`` (also
+  ``python -m repro.bench.scale``).
 """
 
 from __future__ import annotations
@@ -522,6 +526,39 @@ def cmd_bench_synthesis(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_scale(args: argparse.Namespace) -> int:
+    from repro.bench.scale import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    scale = results["scale"]
+    print(
+        f"\nsharded fabric: {scale['sessions']} concurrent sessions, "
+        f"{scale['scenarios']} scenarios"
+    )
+    for run in scale["runs"]:
+        print(
+            f"  shards={run['shards']:<2} elapsed={run['elapsed_s']:.3f}s "
+            f"sessions/s={run['sessions_per_s']:.0f} "
+            f"signals/s={run['signals_per_s']:.0f} "
+            f"forwarded={run['channel']['forwarded']} "
+            f"op_logs_identical={run['op_logs_identical']}"
+        )
+    speedup = scale["speedup_signals_4_shards_vs_1"]
+    if speedup is not None:
+        print(
+            f"aggregate throughput at 4 shards: {speedup:.2f}x the "
+            f"1-shard run (bar: >= 2x, met: {scale['meets_2x_at_4_shards']})"
+        )
+    e1 = results["e1"]
+    line = f"E1 mean overhead: {e1['mean_overhead_pct']:.1f}%"
+    baseline = results.get("baseline_e1_mean_overhead_pct")
+    if baseline is not None:
+        line += f"; BENCH_PR3 baseline was {baseline:.1f}%"
+    print(line)
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -618,6 +655,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smaller workloads (CI perf-smoke)",
     )
+
+    bench_scale = sub.add_parser(
+        "bench-scale",
+        help="run the sharded-fabric scale benchmark and write "
+             "BENCH_PR4.json",
+    )
+    bench_scale.add_argument("--output", default="BENCH_PR4.json")
+    bench_scale.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload (CI scale-smoke)",
+    )
     return parser
 
 
@@ -635,6 +683,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-fabric": cmd_bench_fabric,
     "bench-faults": cmd_bench_faults,
     "bench-synthesis": cmd_bench_synthesis,
+    "bench-scale": cmd_bench_scale,
 }
 
 

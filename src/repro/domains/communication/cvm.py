@@ -20,6 +20,7 @@ from repro.middleware.platform import Platform
 from repro.modeling.model import Model
 from repro.runtime.clock import Clock
 from repro.runtime.events import EventBus
+from repro.runtime.metrics import MetricsRegistry
 from repro.sim.network import CommService
 
 __all__ = ["build_middleware_model", "build_cvm", "default_context"]
@@ -63,9 +64,15 @@ def build_cvm(
     default_case: str = "actions",
     bus: EventBus | None = None,
     clock: Clock | None = None,
+    metrics: MetricsRegistry | None = None,
     extra_broker_actions: list[BrokerAction] | None = None,
 ) -> Platform:
-    """Create and start a CVM platform over a (simulated) service."""
+    """Create and start a CVM platform over a (simulated) service.
+
+    ``metrics`` routes the platform's instruments into a dedicated
+    registry — sharded deployments pass the owning shard's registry so
+    recording stays on the per-shard lock-free path.
+    """
     service = service or CommService(dsk.RESOURCE_NAME)
     if service.name != dsk.RESOURCE_NAME:
         raise ValueError(
@@ -84,6 +91,7 @@ def build_cvm(
         knowledge,
         bus=bus,
         clock=clock,
+        metrics=metrics,
     )
     assert platform.controller is not None
     platform.controller.context.update(default_context())

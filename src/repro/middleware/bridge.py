@@ -18,8 +18,9 @@ and removed at runtime.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 from repro.middleware.platform import Platform
 from repro.middleware.synthesis.scripts import Command
@@ -108,6 +109,14 @@ class PlatformBridge:
     ``bridge.failed`` events on the target bus), never propagated back
     into the source platform's event path — one domain's outage must
     not poison another's.
+
+    Under the sharded runtime the two platforms may live on different
+    shards: the dedup set and activation log are mutex-guarded, and an
+    optional ``submit`` hook reschedules the command execution onto the
+    *target* platform's shard (e.g. ``pool.runtime.shard_for(key).post``)
+    instead of running it inline on the source shard's thread.  Metrics
+    default to the target platform's registry, keeping recording on
+    the per-shard (lock-free) path rather than the shared fallback.
     """
 
     def __init__(
@@ -116,6 +125,8 @@ class PlatformBridge:
         target: Platform,
         *,
         name: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        submit: Callable[[Callable[[], None]], Any] | None = None,
     ) -> None:
         if target.controller is None:
             raise BridgeError(
@@ -124,10 +135,15 @@ class PlatformBridge:
         self.source = source
         self.target = target
         self.name = name or f"{source.name}->{target.name}"
-        self.metrics: MetricsRegistry = default_registry()
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None
+            else (target.metrics or default_registry())
+        )
+        self._submit = submit
         self._rules: list[BridgeRule] = []
         self._subscription: Subscription | None = None
         self._seen: set[tuple[str, Any]] = set()
+        self._lock = threading.Lock()
         self.activations: list[BridgeActivation] = []
 
     # -- rule management -------------------------------------------------
@@ -192,10 +208,17 @@ class PlatformBridge:
             dedup = rule.dedup_key(signal.topic, payload)
             if dedup is not None:
                 token = (rule.name, dedup)
-                if token in self._seen:
-                    continue
-                self._seen.add(token)
-            self._fire(rule, signal.topic, payload)
+                # check-and-add must be atomic: two shards surfacing
+                # the same event may race to first-fire otherwise.
+                with self._lock:
+                    if token in self._seen:
+                        continue
+                    self._seen.add(token)
+            if self._submit is not None:
+                topic = signal.topic
+                self._submit(lambda r=rule: self._fire(r, topic, payload))
+            else:
+                self._fire(rule, signal.topic, payload)
 
     def _fire(self, rule: BridgeRule, topic: str, payload: dict[str, Any]) -> None:
         controller = self.target.controller
@@ -216,12 +239,13 @@ class PlatformBridge:
             detail = f"{type(exc).__name__}: {exc}"
             command = None
         operation = str(rule.command["operation"])
-        self.activations.append(
-            BridgeActivation(
-                rule=rule.name, topic=topic, operation=operation,
-                ok=ok, detail=detail,
+        with self._lock:
+            self.activations.append(
+                BridgeActivation(
+                    rule=rule.name, topic=topic, operation=operation,
+                    ok=ok, detail=detail,
+                )
             )
-        )
         if not ok:
             self.metrics.count("bridge.failed", f"{self.name}:{rule.name}")
             self.target.bus.emit(
@@ -230,8 +254,9 @@ class PlatformBridge:
             )
 
     def stats(self) -> dict[str, Any]:
-        fired = len(self.activations)
-        failed = sum(1 for a in self.activations if not a.ok)
+        with self._lock:
+            fired = len(self.activations)
+            failed = sum(1 for a in self.activations if not a.ok)
         return {"name": self.name, "rules": self.rule_count,
                 "fired": fired, "failed": failed}
 

@@ -15,7 +15,7 @@ procedures, classifiers, actions) "at runtime with immediate effect".
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.middleware.broker.layer import BrokerLayer
 from repro.middleware.controller.layer import ControllerLayer, ScriptOutcome
@@ -29,8 +29,9 @@ from repro.modeling.serialize import clone_model, clone_object
 from repro.runtime.clock import Clock, WallClock
 from repro.runtime.events import EventBus
 from repro.runtime.metrics import MetricsRegistry, default_registry
+from repro.runtime.sharded import Shard, ShardedRuntime
 
-__all__ = ["PlatformError", "Platform"]
+__all__ = ["PlatformError", "Platform", "PlatformPool"]
 
 
 class PlatformError(Exception):
@@ -318,4 +319,113 @@ class Platform:
         return (
             f"Platform({self.name!r}, domain={self.domain!r}, "
             f"layers={self.layer_names()})"
+        )
+
+
+class PlatformPool:
+    """A sharded multi-session front door over N platform instances.
+
+    One :class:`Platform` per shard, each wired to its shard's private
+    bus/metrics/clock, with session-key affinity routing: every call
+    for session ``key`` executes on the shard (and platform) that owns
+    ``key``, so per-session ordering holds and the intra-platform hot
+    path stays single-threaded and lock-free.  Cross-shard signals go
+    through the fabric's batched forwarding channel
+    (:meth:`route_signal`); observability merges on read
+    (:meth:`merged_metrics`, :meth:`stats`).
+
+    ``factory(shard)`` must build a platform wired to ``shard.bus``,
+    ``shard.metrics`` and ``shard.clock`` — e.g.::
+
+        pool = PlatformPool(
+            lambda shard: build_cvm(
+                service=CommService("net0"), bus=shard.bus,
+                clock=shard.clock,
+            ),
+            shards=4,
+        )
+        outcome = pool.submit("session-42", lambda p: p.run_script(s))
+    """
+
+    def __init__(
+        self,
+        factory: "Callable[[Shard], Platform]",
+        *,
+        shards: int = 4,
+        name: str = "pool",
+        inline: bool = False,
+        batch_size: int = 64,
+    ) -> None:
+        self.name = name
+        self.runtime = ShardedRuntime(
+            shards, name=name, inline=inline, batch_size=batch_size
+        )
+        self.platforms: list[Platform] = [
+            factory(shard) for shard in self.runtime.shards
+        ]
+        self.started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "PlatformPool":
+        if self.started:
+            return self
+        self.runtime.start()
+        for platform in self.platforms:
+            platform.start()
+        self.started = True
+        return self
+
+    def stop(self) -> "PlatformPool":
+        if not self.started:
+            return self
+        self.runtime.stop()
+        for platform in self.platforms:
+            platform.stop()
+        self.started = False
+        return self
+
+    def __enter__(self) -> "PlatformPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- session routing --------------------------------------------------
+
+    def shard_for(self, key: str) -> Shard:
+        return self.runtime.shard_for(key)
+
+    def platform_for(self, key: str) -> Platform:
+        """The platform owning session ``key`` (affinity-stable)."""
+        return self.platforms[self.shard_for(key).index]
+
+    def submit(self, key: str, fn: "Callable[[Platform], Any]"):
+        """Run ``fn(platform)`` on the shard owning ``key``; a Future."""
+        platform = self.platform_for(key)
+        return self.runtime.submit(key, fn, platform)
+
+    def route_signal(self, signal: Any, *, key: str) -> None:
+        """Deliver ``signal`` on the owning shard's bus (batched when
+        it crosses shards)."""
+        self.runtime.route_signal(signal, key=key)
+
+    def drain(self) -> int:
+        """Inline pools: run queued session work to quiescence."""
+        return self.runtime.drain()
+
+    # -- aggregation ------------------------------------------------------
+
+    def merged_metrics(self) -> MetricsRegistry:
+        return self.runtime.merged_metrics()
+
+    def stats(self) -> dict[str, Any]:
+        stats = self.runtime.stats()
+        stats["platforms"] = [p.name for p in self.platforms]
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"PlatformPool({self.name!r}, "
+            f"shards={len(self.runtime.shards)}, started={self.started})"
         )

@@ -7,10 +7,19 @@ The dispatcher owns the *runtime model* (the model currently in
 execution).  After a synthesis cycle it promotes the accepted user
 model to runtime model (a defensive deep copy, so later user edits
 don't mutate it) and notifies UI-layer listeners.
+
+Promotion is serialized behind a mutex: under the sharded runtime a
+dispatcher may be promoted to from one shard thread while a merged
+monitoring view (or a bridge on another shard) reads
+``runtime_model`` — the clone/install/count triplet must be atomic so
+readers never observe a half-promoted state or a torn dispatch count.
+Listeners are invoked *outside* the lock, against the snapshot they
+were notified for, so a slow listener cannot stall other shards.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.modeling.model import Model
@@ -25,6 +34,7 @@ class Dispatcher:
     def __init__(self) -> None:
         self._runtime_model: Model | None = None
         self._listeners: list[Callable[[Model], None]] = []
+        self._lock = threading.Lock()
         self.dispatches = 0
 
     @property
@@ -33,16 +43,21 @@ class Dispatcher:
 
     def on_model_update(self, listener: Callable[[Model], None]) -> None:
         """Register a UI-layer listener for runtime-model updates."""
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def promote(self, accepted: Model) -> Model:
         """Install ``accepted`` as the new runtime model and notify."""
-        self._runtime_model = clone_model(accepted)
-        self.dispatches += 1
-        for listener in list(self._listeners):
-            listener(self._runtime_model)
-        return self._runtime_model
+        promoted = clone_model(accepted)
+        with self._lock:
+            self._runtime_model = promoted
+            self.dispatches += 1
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(promoted)
+        return promoted
 
     def clear(self) -> None:
         """Drop the runtime model (system reset)."""
-        self._runtime_model = None
+        with self._lock:
+            self._runtime_model = None

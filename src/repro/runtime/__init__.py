@@ -45,6 +45,14 @@ from repro.runtime.metrics import (
     set_default_registry,
 )
 from repro.runtime.registry import Registry, RegistryError, TypeRegistry
+from repro.runtime.sharded import (
+    ForwardingChannel,
+    Shard,
+    ShardedRuntime,
+    ShardedRuntimeError,
+    current_shard,
+    shard_index_for,
+)
 from repro.runtime.topics import TopicIndex, TopicMatcher
 from repro.runtime.trace import TraceRecord, TraceRecorder, start_tracing, stop_tracing
 
@@ -59,6 +67,8 @@ __all__ = [
     "Mailbox", "ExecutorError",
     "ComponentFactory", "ComponentSpec", "FactoryError",
     "Registry", "TypeRegistry", "RegistryError",
+    "ShardedRuntime", "ShardedRuntimeError", "Shard", "ForwardingChannel",
+    "shard_index_for", "current_shard",
     "Counter", "LatencyHistogram", "MetricsRegistry",
     "default_registry", "set_default_registry",
     "TraceRecord", "TraceRecorder", "start_tracing", "stop_tracing",

@@ -23,6 +23,7 @@ points at the signal it was derived from.  ``with_payload`` and
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
@@ -176,8 +177,16 @@ class EventBus:
     patterns are a dict lookup on the published topic, wildcard
     patterns a walk of the topic's segments through a trie.
     Subscribing or cancelling *during* a publish is safe: the matching
-    set is snapshotted per publish, and cancelled subscriptions are
-    skipped via their ``active`` flag.
+    set is snapshotted per publish (the index swaps in rebuilt bucket
+    lists copy-on-write, never resizing one an in-flight ``match`` may
+    be iterating), and cancelled subscriptions are skipped via their
+    ``active`` flag.  A subscription added from inside a handler sees
+    only *later* publishes; a cancellation from inside a handler stops
+    delivery immediately, including for the remaining signals of an
+    in-flight :meth:`publish_batch`.  Mutations themselves (subscribe /
+    cancel) are serialized behind a small writer lock so shards sharing
+    one bus through the fallback path cannot corrupt the index; the
+    publish hot path takes no lock.
 
     Per-topic publish counters and delivery-latency histograms are
     recorded into ``metrics`` (the process default registry unless one
@@ -196,6 +205,7 @@ class EventBus:
         self.metrics = metrics
         self._index: TopicIndex[Subscription] = TopicIndex()
         self._subscriptions: list[Subscription] = []
+        self._mutate = threading.Lock()
         self._history: list[Signal] = []
         self.record_history = False
         self.published = 0
@@ -205,8 +215,9 @@ class EventBus:
         self, pattern: str, callback: Callable[[Signal], None]
     ) -> Subscription:
         subscription = Subscription(pattern=pattern, callback=callback, bus=self)
-        self._subscriptions.append(subscription)
-        self._index.add(pattern, subscription)
+        with self._mutate:
+            self._subscriptions.append(subscription)
+            self._index.add(pattern, subscription)
         return subscription
 
     def publish(self, signal: Signal) -> int:
@@ -314,9 +325,10 @@ class EventBus:
         self._history.clear()
 
     def _drop(self, subscription: Subscription) -> None:
-        if subscription in self._subscriptions:
-            self._subscriptions.remove(subscription)
-            self._index.remove(subscription.pattern, subscription)
+        with self._mutate:
+            if subscription in self._subscriptions:
+                self._subscriptions.remove(subscription)
+                self._index.remove(subscription.pattern, subscription)
 
     @property
     def subscriber_count(self) -> int:

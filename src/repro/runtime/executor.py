@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import queue
 import threading
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor, wait
 from typing import Any, Callable
 
 __all__ = [
@@ -73,22 +73,56 @@ class InlineExecutor(TaskExecutor):
 
 
 class ThreadPoolExecutorAdapter(TaskExecutor):
-    """Thin adapter over :class:`concurrent.futures.ThreadPoolExecutor`."""
+    """Thin adapter over :class:`concurrent.futures.ThreadPoolExecutor`.
+
+    Tracks in-flight futures so :meth:`shutdown` can drain them
+    deterministically: after ``shutdown()`` returns, every accepted
+    future has completed (result or exception set) and no submission
+    can race past the closed flag into the dying pool.
+    """
 
     def __init__(self, *, max_workers: int = 4, name: str = "repro") -> None:
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix=name
         )
         self._shut_down = False
+        self._lock = threading.Lock()
+        self._inflight: set[Future] = set()
 
     def submit(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
-        if self._shut_down:
-            raise ExecutorError("executor is shut down")
-        return self._pool.submit(fn, *args, **kwargs)
+        # The closed check and pool submit happen under one lock:
+        # without it a shutdown between check and submit would hand the
+        # task to a pool that rejects it with an alien RuntimeError.
+        with self._lock:
+            if self._shut_down:
+                raise ExecutorError("executor is shut down")
+            future = self._pool.submit(fn, *args, **kwargs)
+            self._inflight.add(future)
+        future.add_done_callback(self._discard)
+        return future
+
+    def _discard(self, future: Future) -> None:
+        with self._lock:
+            self._inflight.discard(future)
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
 
     def shutdown(self) -> None:
-        self._shut_down = True
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+            pending = list(self._inflight)
         self._pool.shutdown(wait=True)
+        # pool.shutdown(wait=True) joins the worker threads; waiting on
+        # the tracked futures afterwards is belt-and-braces that also
+        # covers futures completed by cancellation.  Task exceptions
+        # stay in their futures — shutdown itself must not raise.
+        if pending:
+            wait(pending)
 
 
 class Mailbox:
@@ -144,7 +178,15 @@ class Mailbox:
         return ran
 
     def start_pump(self) -> None:
-        """Start a dedicated consumer thread (threaded deployments)."""
+        """Start a dedicated consumer thread (threaded deployments).
+
+        Restart-safe: a pump stopped and restarted gets a fresh thread,
+        and stale stop sentinels left in the queue by an earlier
+        ``stop_pump`` are ignored (a live pump only honors a sentinel
+        while it is actually stopping) — without that check a restarted
+        consumer would swallow the stale ``None`` and exit immediately,
+        wedging the mailbox with ``_running`` still True.
+        """
         if self._running:
             return
         self._running = True
@@ -153,19 +195,32 @@ class Mailbox:
         )
         self._thread.start()
 
-    def stop_pump(self, *, timeout: float = 5.0) -> None:
+    def stop_pump(self, *, timeout: float = 5.0) -> bool:
+        """Stop the consumer thread and join it.
+
+        Returns True when the thread exited within ``timeout`` (no
+        orphaned consumer), False when it is still busy — callers that
+        require a clean stop (the sharded runtime) check the result and
+        escalate; abandoning a deliberately-blocked pump remains
+        possible for tests.
+        """
         if not self._running:
-            return
+            return True
         self._running = False
         self._queue.put(None)
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
-            self._thread = None
+        thread = self._thread
+        self._thread = None
+        if thread is not None:
+            thread.join(timeout=timeout)
+            return not thread.is_alive()
+        return True
 
     def _pump(self) -> None:
         while self._running:
             task = self._queue.get()
             if task is None:
+                if self._running:
+                    continue  # stale sentinel from a previous stop
                 break
             self._run(task)
 

@@ -16,13 +16,23 @@ A process-wide default registry backs components that are not
 explicitly wired to one (``repro metrics`` swaps it to capture a whole
 run); platforms loaded via :func:`repro.middleware.loader.load_platform`
 share one registry per platform.
+
+Concurrency model (PR 4): a registry is single-writer and lock-free by
+default — the sharded runtime gives every shard its own registry, so
+the intra-shard hot path pays no synchronization.  Registries that
+*are* shared across threads (the process-wide default fallback, merged
+aggregation views) are built with ``thread_safe=True``, which guards
+every write with a mutex.  :meth:`MetricsRegistry.merge_from` /
+:meth:`MetricsRegistry.merged` combine per-shard registries into one
+read view: counters add, histograms merge bucket-wise.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any, Iterator
+import threading
+from typing import Any, Iterable, Iterator
 
 from repro.runtime.clock import Clock
 
@@ -88,6 +98,17 @@ class LatencyHistogram:
         if seconds > self.maximum:
             self.maximum = seconds
 
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s observations into this histogram (bucket-wise)."""
+        for index, bucket in enumerate(other.counts):
+            self.counts[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -145,11 +166,22 @@ class MetricsRegistry:
 
     ``enabled = False`` turns every operation into (close to) a no-op,
     so benchmark code can measure the uninstrumented fast path.
+
+    ``thread_safe=True`` serializes writes behind a mutex — required
+    for registries shared across threads (the process default, merged
+    views).  Per-shard registries in the sharded runtime are
+    single-writer and stay on the lock-free path.
     """
 
-    def __init__(self, *, clock: Clock | None = None) -> None:
+    def __init__(
+        self, *, clock: Clock | None = None, thread_safe: bool = False
+    ) -> None:
         self.enabled = True
         self.clock = clock
+        self.thread_safe = thread_safe
+        self._lock: threading.Lock | None = (
+            threading.Lock() if thread_safe else None
+        )
         self._counters: dict[tuple[str, str], Counter] = {}
         self._histograms: dict[tuple[str, str], LatencyHistogram] = {}
 
@@ -158,20 +190,38 @@ class MetricsRegistry:
     def count(self, name: str, label: str = "", amount: int = 1) -> None:
         if not self.enabled:
             return
-        key = (name, label)
-        counter = self._counters.get(key)
-        if counter is None:
-            counter = self._counters[key] = Counter()
-        counter.value += amount
+        lock = self._lock
+        if lock is None:
+            key = (name, label)
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.value += amount
+            return
+        with lock:
+            key = (name, label)
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.value += amount
 
     def observe(self, name: str, label: str, seconds: float) -> None:
         if not self.enabled:
             return
-        key = (name, label)
-        histogram = self._histograms.get(key)
-        if histogram is None:
-            histogram = self._histograms[key] = LatencyHistogram()
-        histogram.observe(seconds)
+        lock = self._lock
+        if lock is None:
+            key = (name, label)
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram()
+            histogram.observe(seconds)
+            return
+        with lock:
+            key = (name, label)
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram()
+            histogram.observe(seconds)
 
     def time(self, name: str, label: str = "", *, clock: Clock | None = None):
         """Context manager recording elapsed time into a histogram."""
@@ -183,6 +233,46 @@ class MetricsRegistry:
         import time
 
         return time.perf_counter()
+
+    # -- aggregation ------------------------------------------------------
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry.
+
+        ``other`` may be written concurrently by its (single) owning
+        shard thread; ``list(dict.items())`` is atomic under the GIL,
+        so the key snapshot is consistent.  Individual histogram fields
+        may tear by at most one in-flight observation — acceptable for
+        a monitoring view, exact once the shard has stopped.
+        """
+        for key, counter in list(other._counters.items()):
+            name, label = key
+            self.count(name, label, counter.value)
+        for key, histogram in list(other._histograms.items()):
+            snapshot = LatencyHistogram()
+            snapshot.merge(histogram)
+            lock = self._lock
+            if lock is None:
+                mine = self._histograms.get(key)
+                if mine is None:
+                    mine = self._histograms[key] = LatencyHistogram()
+                mine.merge(snapshot)
+            else:
+                with lock:
+                    mine = self._histograms.get(key)
+                    if mine is None:
+                        mine = self._histograms[key] = LatencyHistogram()
+                    mine.merge(snapshot)
+
+    @classmethod
+    def merged(
+        cls, registries: Iterable["MetricsRegistry"]
+    ) -> "MetricsRegistry":
+        """A fresh thread-safe registry combining ``registries``."""
+        view = cls(thread_safe=True)
+        for registry in registries:
+            view.merge_from(registry)
+        return view
 
     # -- reading ----------------------------------------------------------
 
@@ -252,7 +342,9 @@ class MetricsRegistry:
         )
 
 
-_default_registry = MetricsRegistry()
+# The shared fallback is reachable from every thread that never wired
+# an explicit registry, so its writes must be guarded.
+_default_registry = MetricsRegistry(thread_safe=True)
 
 
 def default_registry() -> MetricsRegistry:

@@ -126,49 +126,74 @@ class TopicIndex(Generic[E]):
         return self._size
 
     def add(self, pattern: str, entry: E) -> None:
+        # Copy-on-write: bucket lists are replaced, never mutated in
+        # place, so an in-flight ``match`` (a handler subscribing from
+        # inside a publish, or a reader on another thread) iterates
+        # either the old or the new list — never a list being resized.
         order = self._order
         self._order += 1
         self._size += 1
         if not pattern.endswith("*"):
-            self._exact.setdefault(pattern, []).append((order, entry))
+            bucket = self._exact.get(pattern)
+            self._exact[pattern] = (
+                [(order, entry)] if bucket is None
+                else [*bucket, (order, entry)]
+            )
             return
         node, prefix = self._wildcard_node(pattern, create=True)
         assert node is not None
         if prefix is None:
-            node.tail.append((order, entry))
+            node.tail = [*node.tail, (order, entry)]
         else:
-            node.prefix.append((prefix, order, entry))
+            node.prefix = [*node.prefix, (prefix, order, entry)]
 
     def remove(self, pattern: str, entry: E) -> bool:
-        """Detach ``entry`` registered under ``pattern``; False if absent."""
+        """Detach ``entry`` registered under ``pattern``; False if absent.
+
+        Like :meth:`add`, removal swaps in a rebuilt bucket list
+        (copy-on-write), keeping concurrent ``match`` iterations safe.
+        """
         if not pattern.endswith("*"):
             bucket = self._exact.get(pattern)
             if not bucket:
                 return False
-            for i, (_order, existing) in enumerate(bucket):
-                if existing is entry:
-                    del bucket[i]
-                    if not bucket:
-                        del self._exact[pattern]
-                    self._size -= 1
-                    return True
-            return False
+            kept = self._without_first(bucket, lambda p: p[1] is entry)
+            if kept is None:
+                return False
+            if kept:
+                self._exact[pattern] = kept
+            else:
+                del self._exact[pattern]
+            self._size -= 1
+            return True
         node, prefix = self._wildcard_node(pattern, create=False)
         if node is None:
             return False
         if prefix is None:
-            for i, (_order, existing) in enumerate(node.tail):
-                if existing is entry:
-                    del node.tail[i]
-                    self._size -= 1
-                    return True
+            kept_tail = self._without_first(
+                node.tail, lambda p: p[1] is entry
+            )
+            if kept_tail is None:
+                return False
+            node.tail = kept_tail
+            self._size -= 1
+            return True
+        kept_prefix = self._without_first(
+            node.prefix, lambda t: t[0] == prefix and t[2] is entry
+        )
+        if kept_prefix is None:
             return False
-        for i, (pre, _order, existing) in enumerate(node.prefix):
-            if pre == prefix and existing is entry:
-                del node.prefix[i]
-                self._size -= 1
-                return True
-        return False
+        node.prefix = kept_prefix
+        self._size -= 1
+        return True
+
+    @staticmethod
+    def _without_first(items: list, predicate: Callable[[Any], bool]):
+        """A copy of ``items`` minus the first match; None if no match."""
+        for i, item in enumerate(items):
+            if predicate(item):
+                return items[:i] + items[i + 1:]
+        return None
 
     def match(self, topic: str) -> list[E]:
         """Entries whose pattern matches ``topic``, registration order."""

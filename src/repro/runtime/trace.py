@@ -18,6 +18,7 @@ default; the ``repro trace`` CLI subcommand and tests switch it on via
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
@@ -45,29 +46,37 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Collects trace records for every signal created while installed."""
+    """Collects trace records for every signal created while installed.
+
+    The recorder is process-wide while signals are minted on every
+    shard thread of a sharded runtime, so capture is guarded by a
+    mutex — the limit check, append, and drop counter must move
+    together or concurrent writers overshoot the limit and tear the
+    drop count.
+    """
 
     def __init__(self, *, limit: int = 100_000) -> None:
         self.records: list[TraceRecord] = []
         self.limit = limit
         self.dropped = 0
+        self._lock = threading.Lock()
 
     # -- capture ----------------------------------------------------------
 
     def record(self, signal: "Signal") -> None:
-        if len(self.records) >= self.limit:
-            self.dropped += 1
-            return
-        self.records.append(
-            TraceRecord(
-                seq=signal.seq,
-                trace_id=signal.trace_id,
-                parent_seq=signal.parent_seq,
-                kind=signal.kind,
-                topic=signal.topic,
-                origin=signal.origin,
-            )
+        record = TraceRecord(
+            seq=signal.seq,
+            trace_id=signal.trace_id,
+            parent_seq=signal.parent_seq,
+            kind=signal.kind,
+            topic=signal.topic,
+            origin=signal.origin,
         )
+        with self._lock:
+            if len(self.records) >= self.limit:
+                self.dropped += 1
+                return
+            self.records.append(record)
 
     def __enter__(self) -> "TraceRecorder":
         install_recorder(self)
@@ -87,7 +96,8 @@ class TraceRecorder:
     def chains(self) -> dict[int, list[TraceRecord]]:
         """trace_id -> records of that causal chain, in seq order."""
         chains: dict[int, list[TraceRecord]] = {}
-        for record in self.records:
+        # Snapshot: shard threads may still be appending.
+        for record in tuple(self.records):
             chains.setdefault(record.trace_id, []).append(record)
         for chain in chains.values():
             chain.sort(key=lambda r: r.seq)

@@ -1,0 +1,95 @@
+"""Tests for PlatformPool: sharded multi-session platform routing."""
+
+import threading
+
+from repro.domains.communication.cvm import build_cvm
+from repro.middleware.platform import PlatformPool
+from repro.sim.network import CommService
+
+
+def cvm_factory(shard):
+    return build_cvm(
+        service=CommService("net0", op_cost=0.0),
+        bus=shard.bus,
+        clock=shard.clock,
+        metrics=shard.metrics,
+    )
+
+
+def make_pool(**kwargs):
+    return PlatformPool(cvm_factory, name="test-pool", **kwargs)
+
+
+def open_session(connection):
+    def call(platform):
+        platform.broker.call_api("ncb.open_session", connection=connection)
+        return platform.name
+
+    return call
+
+
+class TestPoolWiring:
+    def test_one_platform_per_shard_with_private_infrastructure(self):
+        pool = make_pool(shards=4, inline=True)
+        assert len(pool.platforms) == 4
+        assert len({id(p.bus) for p in pool.platforms}) == 4
+        for platform, shard in zip(pool.platforms, pool.runtime.shards):
+            assert platform.bus is shard.bus
+            assert platform.metrics is shard.metrics
+
+    def test_platform_for_follows_affinity(self):
+        pool = make_pool(shards=4, inline=True)
+        for i in range(16):
+            key = f"s{i}"
+            assert pool.platform_for(key) is (
+                pool.platforms[pool.shard_for(key).index]
+            )
+
+
+class TestPoolExecution:
+    def test_submit_runs_on_owning_platform_inline(self):
+        with make_pool(shards=4, inline=True) as pool:
+            futures = {
+                key: pool.submit(key, open_session(key))
+                for key in (f"s{i}" for i in range(8))
+            }
+            pool.drain()
+            for key, future in futures.items():
+                assert future.result(timeout=1) == (
+                    pool.platform_for(key).name
+                )
+            # Session state landed on the owning platform only.
+            for key in futures:
+                owner = pool.platform_for(key)
+                assert owner.broker.state.get(f"session:{key}") is not None
+
+    def test_merged_metrics_sees_all_shards(self):
+        with make_pool(shards=4, inline=True) as pool:
+            for i in range(20):
+                pool.submit(f"s{i}", open_session(f"s{i}"))
+            pool.drain()
+            merged = pool.merged_metrics()
+            assert merged.counter_value(
+                "broker.call_api", "ncb.open_session"
+            ) == 20
+
+    def test_threaded_pool_parallel_sessions(self):
+        pool = make_pool(shards=2)
+        results = []
+        lock = threading.Lock()
+        with pool:
+            futures = [
+                pool.submit(f"s{i}", open_session(f"s{i}")) for i in range(30)
+            ]
+            for future in futures:
+                name = future.result(timeout=10)
+                with lock:
+                    results.append(name)
+        assert len(results) == 30
+        merged = pool.merged_metrics()
+        assert merged.counter_value(
+            "broker.call_api", "ncb.open_session"
+        ) == 30
+        stats = pool.stats()
+        assert stats["task_errors"] == 0
+        assert stats["platforms"] == ["cvm"] * 2

@@ -303,3 +303,115 @@ class TestTopicPatternCompilation:
         assert match("a.pre")
         assert not match("a.pre.x")
         assert not match("b.prefix")
+
+
+class TestRoutingMutationUnderConcurrency:
+    """PR 4: subscribe/cancel during in-flight publishes must never
+    corrupt routing (copy-on-write index buckets + snapshot ordering)."""
+
+    def test_cancel_inside_handler_during_publish_batch(self):
+        bus = EventBus()
+        hits = []
+        later = None
+
+        def canceller(signal):
+            hits.append(("canceller", signal.topic))
+            later.cancel()
+
+        bus.subscribe("t.*", canceller)
+        later = bus.subscribe("t.*", lambda s: hits.append(("later", s.topic)))
+        # The cancel fires on the first signal of the batch; the later
+        # subscription must not receive *any* signal of that batch.
+        bus.publish_batch([Event(topic="t.a"), Event(topic="t.b")])
+        assert hits == [("canceller", "t.a"), ("canceller", "t.b")]
+        assert bus.subscriber_count == 1
+
+    def test_subscribe_inside_handler_during_publish_batch(self):
+        bus = EventBus()
+        hits = []
+
+        def adder(signal):
+            hits.append(("adder", signal.topic))
+            if signal.topic == "t.a":
+                bus.subscribe("t.*", lambda s: hits.append(("new", s.topic)))
+
+        bus.subscribe("t.*", adder)
+        bus.publish_batch([Event(topic="t.a"), Event(topic="t.b")])
+        # Same rule as single publish: a subscription added mid-flight
+        # first sees the *next* signal — here "t.b", the next signal of
+        # the batch (its route is computed at first occurrence) — and
+        # never the one being delivered when it was added.
+        assert hits == [
+            ("adder", "t.a"), ("adder", "t.b"), ("new", "t.b"),
+        ]
+        bus.emit("t.c")
+        assert ("new", "t.c") in hits
+
+    def test_concurrent_subscribe_while_publishing(self):
+        """A publisher hammering one topic while another thread churns
+        subscriptions on *other* topics: no lost deliveries to the
+        stable subscriber, no exceptions from torn index buckets."""
+        import threading
+
+        bus = EventBus()
+        delivered = []
+        bus.subscribe("hot.topic", lambda s: delivered.append(s.seq))
+        stop = threading.Event()
+        churn_errors = []
+
+        def churner():
+            try:
+                while not stop.is_set():
+                    subs = [
+                        bus.subscribe(f"cold.{i}", lambda s: None)
+                        for i in range(5)
+                    ]
+                    for sub in subs:
+                        sub.cancel()
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                churn_errors.append(exc)
+
+        thread = threading.Thread(target=churner)
+        thread.start()
+        try:
+            publishes = 2000
+            for _ in range(publishes):
+                bus.publish(Event(topic="hot.topic"))
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert churn_errors == []
+        assert len(delivered) == publishes
+
+    def test_concurrent_cancel_of_matching_subscriber(self):
+        """Cancelling a subscription that matches the hot topic from
+        another thread mid-stream: every publish delivers to the stable
+        subscriber exactly once and never crashes routing."""
+        import threading
+
+        bus = EventBus()
+        stable = []
+        bus.subscribe("hot", lambda s: stable.append(s.seq))
+        stop = threading.Event()
+        errors = []
+
+        def churner():
+            try:
+                while not stop.is_set():
+                    sub = bus.subscribe("hot", lambda s: None)
+                    sub.cancel()
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        thread = threading.Thread(target=churner)
+        thread.start()
+        try:
+            publishes = 2000
+            for _ in range(publishes):
+                bus.publish(Event(topic="hot"))
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert errors == []
+        assert len(stable) == publishes
+        assert bus.subscriber_count == 1

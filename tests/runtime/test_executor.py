@@ -1,0 +1,184 @@
+"""Concurrency tests for the executors (PR 4 satellites).
+
+``ThreadPoolExecutorAdapter.shutdown`` must drain in-flight futures
+deterministically, and a ``Mailbox`` pump must be restart-safe — no
+orphaned consumer threads, verified via ``threading.enumerate()``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.executor import (
+    ExecutorError,
+    Mailbox,
+    ThreadPoolExecutorAdapter,
+)
+
+
+def mailbox_threads(name):
+    return [
+        t for t in threading.enumerate() if t.name == f"mailbox-{name}"
+    ]
+
+
+class TestThreadPoolShutdown:
+    def test_shutdown_waits_for_inflight_futures(self):
+        pool = ThreadPoolExecutorAdapter(max_workers=2, name="drain")
+        release = threading.Event()
+        done = []
+
+        def slow(i):
+            release.wait(timeout=5)
+            done.append(i)
+            return i
+
+        futures = [pool.submit(slow, i) for i in range(4)]
+        release.set()
+        pool.shutdown()
+        # Deterministic: after shutdown() returns every accepted future
+        # has completed.
+        assert all(f.done() for f in futures)
+        assert sorted(f.result(timeout=0) for f in futures) == [0, 1, 2, 3]
+        assert sorted(done) == [0, 1, 2, 3]
+        assert pool.inflight == 0
+
+    def test_shutdown_does_not_raise_task_exceptions(self):
+        pool = ThreadPoolExecutorAdapter(max_workers=1, name="exc")
+
+        def boom():
+            raise ValueError("task failure")
+
+        future = pool.submit(boom)
+        pool.shutdown()  # must not re-raise the task's exception
+        assert future.done()
+        with pytest.raises(ValueError, match="task failure"):
+            future.result(timeout=0)
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ThreadPoolExecutorAdapter(max_workers=1, name="closed")
+        pool.shutdown()
+        with pytest.raises(ExecutorError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_idempotent(self):
+        pool = ThreadPoolExecutorAdapter(max_workers=1, name="twice")
+        pool.submit(lambda: None)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_concurrent_submit_vs_shutdown_never_leaks_runtime_error(self):
+        """A submit racing a shutdown either succeeds (and its future
+        completes before shutdown returns) or fails with ExecutorError —
+        never the pool's alien RuntimeError."""
+        for _ in range(20):
+            pool = ThreadPoolExecutorAdapter(max_workers=2, name="race")
+            outcomes = []
+            barrier = threading.Barrier(2)
+
+            def submitter():
+                barrier.wait()
+                for _ in range(50):
+                    try:
+                        outcomes.append(pool.submit(time.sleep, 0))
+                    except ExecutorError:
+                        outcomes.append(None)
+                        break
+
+            def stopper():
+                barrier.wait()
+                pool.shutdown()
+
+            threads = [
+                threading.Thread(target=submitter),
+                threading.Thread(target=stopper),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=5)
+            accepted = [f for f in outcomes if f is not None]
+            assert all(f.done() for f in accepted)
+
+
+class TestMailboxRestartSafety:
+    def test_stop_pump_leaves_no_thread_behind(self):
+        mailbox = Mailbox("clean-stop")
+        mailbox.start_pump()
+        assert len(mailbox_threads("clean-stop")) == 1
+        assert mailbox.stop_pump() is True
+        assert mailbox_threads("clean-stop") == []
+
+    def test_restart_after_stop_processes_new_tasks(self):
+        mailbox = Mailbox("restart")
+        ran = []
+        mailbox.start_pump()
+        mailbox.post(lambda: ran.append(1))
+        assert mailbox.stop_pump() is True
+
+        # Leave a stale sentinel the way an abandoned stop would: the
+        # restarted pump must skip it instead of exiting immediately.
+        mailbox._queue.put(None)
+        mailbox.start_pump()
+        finished = threading.Event()
+        mailbox.post(lambda: (ran.append(2), finished.set()))
+        assert finished.wait(timeout=5)
+        assert ran == [1, 2]
+        assert mailbox.stop_pump() is True
+        assert mailbox_threads("restart") == []
+
+    def test_repeated_restart_cycles_only_one_consumer(self):
+        mailbox = Mailbox("cycle")
+        for i in range(5):
+            mailbox.start_pump()
+            assert len(mailbox_threads("cycle")) == 1, f"cycle {i}"
+            done = threading.Event()
+            mailbox.post(done.set)
+            assert done.wait(timeout=5)
+            assert mailbox.stop_pump() is True
+            assert mailbox_threads("cycle") == []
+        assert mailbox.processed == 5
+
+    def test_stop_pump_reports_wedged_thread(self):
+        mailbox = Mailbox("wedged")
+        gate = threading.Event()
+        mailbox.start_pump()
+        mailbox.post(lambda: gate.wait(timeout=10))
+        # The pump is blocked inside the task: a short-timeout stop
+        # must report failure instead of pretending it joined.
+        assert mailbox.stop_pump(timeout=0.05) is False
+        gate.set()
+        for _ in range(100):
+            if not mailbox_threads("wedged"):
+                break
+            time.sleep(0.02)
+        assert mailbox_threads("wedged") == []
+
+    def test_supervised_mailbox_survives_restart(self):
+        """supervise() routing must keep working across stop/start —
+        errors go to the handler, the pump thread is never orphaned."""
+        errors = []
+
+        class FakeSupervisor:
+            def guard(self, component):
+                return errors.append
+
+        mailbox = Mailbox("supervised")
+        mailbox.supervise(FakeSupervisor(), component=None)
+        for _ in range(2):
+            mailbox.start_pump()
+            done = threading.Event()
+
+            def boom():
+                try:
+                    raise RuntimeError("handled")
+                finally:
+                    done.set()
+
+            mailbox.post(boom)
+            assert done.wait(timeout=5)
+            assert mailbox.stop_pump() is True
+        assert len(errors) == 2
+        assert all(isinstance(e, RuntimeError) for e in errors)
+        assert mailbox_threads("supervised") == []

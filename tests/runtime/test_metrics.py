@@ -162,3 +162,82 @@ class TestHistogramBucketBoundaries:
         # p50 must reflect the sub-µs mass, not a folded 2 µs bucket.
         assert histogram.percentile(0.50) <= 1e-6
         assert histogram.percentile(0.99) >= 64e-6
+
+
+class TestConcurrentRegistry:
+    """PR 4: shared registries (thread_safe=True) under parallel writers."""
+
+    def test_two_thread_hammer_counts_exactly(self):
+        import threading
+
+        registry = MetricsRegistry(thread_safe=True)
+        iterations = 20_000
+        barrier = threading.Barrier(2)
+
+        def hammer(label):
+            barrier.wait()
+            for _ in range(iterations):
+                registry.count("hammer.shared", "hot")
+                registry.count("hammer.private", label)
+                registry.observe("hammer.lat", "hot", 2e-6)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        # Lost updates on the shared key would make this < 2 * iterations.
+        assert registry.counter_value("hammer.shared", "hot") == 2 * iterations
+        for i in range(2):
+            assert registry.counter_value("hammer.private", f"t{i}") == iterations
+        histogram = registry.histogram("hammer.lat", "hot")
+        assert histogram.count == 2 * iterations
+        assert sum(histogram.counts) == 2 * iterations
+
+    def test_merge_from_folds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.count("c", "x", 3)
+        b.count("c", "x", 4)
+        b.count("c", "y", 1)
+        a.observe("h", "x", 1e-6)
+        b.observe("h", "x", 3e-6)
+        merged = MetricsRegistry.merged([a, b])
+        assert merged.thread_safe
+        assert merged.counter_value("c", "x") == 7
+        assert merged.counter_value("c", "y") == 1
+        histogram = merged.histogram("h", "x")
+        assert histogram.count == 2
+        assert abs(histogram.total - 4e-6) < 1e-12
+        # Sources untouched by the merge.
+        assert a.counter_value("c", "x") == 3
+        assert b.histogram("h", "x").count == 1
+
+    def test_merge_from_while_writer_is_live(self):
+        """A merged view taken mid-write never loses committed updates
+        and never raises — the monitoring read-path guarantee."""
+        import threading
+
+        shard = MetricsRegistry()  # single-writer, lock-free
+        stop = threading.Event()
+        committed = {"n": 0}
+
+        def writer():
+            while not stop.is_set():
+                shard.count("live", "k")
+                committed["n"] += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                view = MetricsRegistry.merged([shard])
+                seen = view.counter_value("live", "k")
+                assert seen <= committed["n"] + 1
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        final = MetricsRegistry.merged([shard])
+        assert final.counter_value("live", "k") == committed["n"]
