@@ -1,0 +1,743 @@
+"""PR 5 migration/recovery benchmark: externalized session state.
+
+Exercises the :class:`~repro.middleware.snapshot.SessionSnapshot` path
+end to end, across all four shipped domains (communication, microgrid,
+smart spaces, crowdsensing).  Each domain runs a two-phase workload —
+submit an application model, then submit an evolved model — and the
+benchmark interrupts the session between the phases three ways:
+
+* **checkpoint / kill / restore** — ``platform.checkpoint()``, JSON
+  round trip, ``platform.stop()`` (the kill), then
+  :func:`~repro.middleware.snapshot.restore_platform` rebuilds the
+  session from nothing but the snapshot and the domain's DSK;
+* **live migration** — the session runs on a 2-shard threaded
+  :class:`~repro.runtime.sharded.ShardedRuntime` and is migrated to
+  the other shard between the phases (quiesce → snapshot → transfer →
+  restore → re-route), measuring the migration pause;
+* **rebalancing** — sessions packed onto one shard of a 4-shard fabric
+  are spread by :class:`~repro.runtime.sharded.ShardRebalancer` and
+  throughput is compared before/after.
+
+Correctness is the headline: the domain service's ``op_log`` is the
+externally visible effect trace, and every interrupted run must leave
+a byte-identical op_log to the uninterrupted golden run — resume means
+*exactly* resume, no replays and no gaps.
+
+The report also times checkpoint capture/restore, snapshot sizes, and
+gates checkpoint overhead on the E1 hot path at <= 5% while an
+attached scheduler is idle.
+
+CLI front-end: ``repro bench-migrate`` (``--quick`` shrinks repeats
+for the CI migrate-smoke job); also ``python -m repro.bench.migrate``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench.scale import BLOCKING_SECONDS_PER_UNIT
+from repro.bench.workloads import COMMUNICATION_SCENARIOS, Step
+
+__all__ = [
+    "DomainCase",
+    "domain_cases",
+    "recovery_bench",
+    "migration_bench",
+    "checkpoint_overhead_bench",
+    "rebalance_bench",
+    "write_bench_json",
+]
+
+#: checkpoint overhead admitted on the E1 hot path with an idle
+#: scheduler attached (acceptance gate, percent).
+OVERHEAD_GATE_PCT = 5.0
+
+
+class DomainCase:
+    """One domain's two-phase session workload.
+
+    ``service`` builds a fresh simulated resource (the external world
+    whose ``op_log`` is the correctness witness), ``knowledge`` wraps
+    it in the domain's DSK, ``middleware`` builds the shipped
+    middleware model, and ``phase1``/``phase2`` build the application
+    model before and after the in-session edit.
+    """
+
+    __slots__ = (
+        "name", "service", "knowledge", "middleware", "context",
+        "phase1", "phase2",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        service: Callable[[], Any],
+        knowledge: Callable[[Any], Any],
+        middleware: Callable[[], Any],
+        context: dict[str, Any],
+        phase1: Callable[[], Any],
+        phase2: Callable[[], Any],
+    ) -> None:
+        self.name = name
+        self.service = service
+        self.knowledge = knowledge
+        self.middleware = middleware
+        self.context = context
+        self.phase1 = phase1
+        self.phase2 = phase2
+
+
+def domain_cases() -> list[DomainCase]:
+    """The four domains' two-phase workloads."""
+    from repro.domains.communication.cml import (
+        CmlBuilder,
+        cml_constraints,
+        cml_metamodel,
+    )
+    from repro.domains.communication.cvm import (
+        build_middleware_model as comm_middleware,
+        default_context as comm_context,
+    )
+    from repro.domains.crowdsensing.csml import (
+        QueryBuilder,
+        csml_constraints,
+        csml_metamodel,
+    )
+    from repro.domains.crowdsensing.csvm import (
+        build_middleware_model as cs_middleware,
+    )
+    from repro.domains.microgrid.mgridml import (
+        MGridBuilder,
+        mgridml_constraints,
+        mgridml_metamodel,
+    )
+    from repro.domains.microgrid.mgridvm import (
+        build_middleware_model as grid_middleware,
+        default_context as grid_context,
+    )
+    from repro.domains.smartspace.ssml import (
+        SpaceBuilder,
+        ssml_constraints,
+        ssml_metamodel,
+    )
+    from repro.domains.smartspace.ssvm import build_full_model
+    from repro.middleware.loader import DomainKnowledge
+    from repro.sim.fleet import DeviceFleet
+    from repro.sim.network import CommService
+    from repro.sim.plant import PlantController
+    from repro.sim.space import SmartSpace
+
+    def comm_model(extended: bool) -> Any:
+        builder = CmlBuilder("conference")
+        alice = builder.person("alice", role="initiator")
+        bob = builder.person("bob")
+        builder.connection("c1", [alice, bob], media=["audio"])
+        if extended:
+            carol = builder.person("carol")
+            builder.connection("c2", [alice, carol], media=["text"])
+        return builder.build()
+
+    def grid_model(extended: bool) -> Any:
+        builder = MGridBuilder("home", grid_import_limit=5000.0)
+        builder.device("heater", "load", 300.0, mode="on")
+        builder.device("solar1", "generator", 2000.0, mode="on", priority=2)
+        if extended:
+            builder.device("cooler", "load", 150.0, mode="on")
+        return builder.build()
+
+    def space_model(extended: bool) -> Any:
+        builder = SpaceBuilder("lab")
+        builder.smart_object("lamp1", kind="lamp", settings={"light": 0})
+        builder.smart_object("door1", kind="door", settings={"locked": True})
+        if extended:
+            builder.smart_object("fan1", kind="fan", settings={"speed": 0})
+        return builder.build()
+
+    def sensing_model(extended: bool) -> Any:
+        builder = QueryBuilder("air")
+        builder.query("t1", "temperature")
+        if extended:
+            builder.query("n1", "noise", aggregate="max")
+        return builder.build()
+
+    def fleet_with_devices() -> DeviceFleet:
+        fleet = DeviceFleet("fleet0", op_cost=0.0)
+        for index in range(3):
+            fleet.op_register_device(f"d{index}")  # direct: not op-logged
+        return fleet
+
+    return [
+        DomainCase(
+            "communication",
+            service=lambda: CommService("net0", op_cost=0.0),
+            knowledge=lambda svc: DomainKnowledge(
+                dsml=cml_metamodel(), resources=[svc],
+                constraints=cml_constraints(),
+            ),
+            middleware=comm_middleware,
+            context=comm_context(),
+            phase1=lambda: comm_model(False),
+            phase2=lambda: comm_model(True),
+        ),
+        DomainCase(
+            "microgrid",
+            service=lambda: PlantController("plant0", op_cost=0.0),
+            knowledge=lambda svc: DomainKnowledge(
+                dsml=mgridml_metamodel(), resources=[svc],
+                constraints=mgridml_constraints(),
+            ),
+            middleware=grid_middleware,
+            context=grid_context(),
+            phase1=lambda: grid_model(False),
+            phase2=lambda: grid_model(True),
+        ),
+        DomainCase(
+            "smartspace",
+            service=lambda: SmartSpace("space0", op_cost=0.0),
+            knowledge=lambda svc: DomainKnowledge(
+                dsml=ssml_metamodel(), resources=[svc],
+                constraints=ssml_constraints(),
+            ),
+            middleware=build_full_model,
+            context={},
+            phase1=lambda: space_model(False),
+            phase2=lambda: space_model(True),
+        ),
+        DomainCase(
+            "crowdsensing",
+            service=fleet_with_devices,
+            knowledge=lambda svc: DomainKnowledge(
+                dsml=csml_metamodel(), resources=[svc],
+                constraints=csml_constraints(),
+            ),
+            middleware=cs_middleware,
+            context={"fleet_battery": 100.0, "coverage_mode": "full"},
+            phase1=lambda: sensing_model(False),
+            phase2=lambda: sensing_model(True),
+        ),
+    ]
+
+
+def _fresh_session(case: DomainCase) -> tuple[Any, Any, Any]:
+    """(service, dsk, started platform) for one session of ``case``."""
+    from repro.middleware.loader import load_platform
+
+    service = case.service()
+    dsk = case.knowledge(service)
+    platform = load_platform(case.middleware(), dsk)
+    if platform.controller is not None and case.context:
+        platform.controller.context.update(case.context)
+    return service, dsk, platform
+
+
+def _log_bytes(service: Any) -> bytes:
+    return "\n".join(service.op_log).encode("utf-8")
+
+
+def golden_logs(cases: list[DomainCase]) -> dict[str, bytes]:
+    """Uninterrupted two-phase runs: the per-domain golden op_logs."""
+    golden: dict[str, bytes] = {}
+    for case in cases:
+        service, _dsk, platform = _fresh_session(case)
+        try:
+            platform.run_model(case.phase1())
+            platform.run_model(case.phase2())
+        finally:
+            platform.stop()
+        golden[case.name] = _log_bytes(service)
+        if not golden[case.name]:
+            raise RuntimeError(
+                f"domain {case.name!r} produced an empty op_log; the "
+                f"workload exercises nothing"
+            )
+    return golden
+
+
+# -- checkpoint / kill / restore --------------------------------------------
+
+
+def recovery_bench(
+    cases: list[DomainCase],
+    golden: dict[str, bytes],
+    *,
+    capture_repeats: int = 10,
+) -> dict[str, Any]:
+    """Checkpoint, kill, and cold-restore each domain's session."""
+    from repro.middleware.snapshot import SessionSnapshot, restore_platform
+
+    rows: list[dict[str, Any]] = []
+    for case in cases:
+        service, dsk, platform = _fresh_session(case)
+        platform.run_model(case.phase1())
+
+        capture_samples = []
+        for _ in range(capture_repeats):
+            start = time.perf_counter()
+            snapshot = platform.checkpoint()
+            capture_samples.append(time.perf_counter() - start)
+        text = snapshot.to_json(indent=None)
+        platform.stop()  # the kill: only the snapshot text survives
+
+        start = time.perf_counter()
+        restored = restore_platform(SessionSnapshot.from_json(text), dsk)
+        restore_s = time.perf_counter() - start
+        try:
+            restored.run_model(case.phase2())
+        finally:
+            restored.stop()
+
+        if _log_bytes(service) != golden[case.name]:
+            raise AssertionError(
+                f"domain {case.name!r}: op_log after checkpoint/kill/"
+                f"restore diverged from the uninterrupted run"
+            )
+        rows.append({
+            "domain": case.name,
+            "op_log_identical": True,
+            "capture_ms": min(capture_samples) * 1000,
+            "restore_ms": restore_s * 1000,
+            "snapshot_bytes": len(text.encode("utf-8")),
+        })
+    return {
+        "domains": rows,
+        "all_identical": True,
+        "median_capture_ms": statistics.median(
+            row["capture_ms"] for row in rows
+        ),
+        "median_restore_ms": statistics.median(
+            row["restore_ms"] for row in rows
+        ),
+    }
+
+
+# -- live migration ----------------------------------------------------------
+
+
+def migration_bench(
+    cases: list[DomainCase],
+    golden: dict[str, bytes],
+    *,
+    repeats: int = 3,
+) -> dict[str, Any]:
+    """Live-migrate each domain's session between the workload phases."""
+    from repro.middleware.snapshot import SessionSnapshot, restore_platform
+    from repro.runtime.sharded import ShardedRuntime
+
+    rows: list[dict[str, Any]] = []
+    all_pauses: list[float] = []
+    for case in cases:
+        pauses: list[float] = []
+        for _ in range(repeats):
+            runtime = ShardedRuntime(2, name=f"bench-migrate-{case.name}")
+            runtime.start()
+            service = case.service()
+            dsk = case.knowledge(service)
+            key = f"{case.name}-session"
+            holder: dict[str, Any] = {}
+            try:
+                def build() -> None:
+                    from repro.middleware.loader import load_platform
+
+                    platform = load_platform(case.middleware(), dsk)
+                    if platform.controller is not None and case.context:
+                        platform.controller.context.update(case.context)
+                    holder["platform"] = platform
+
+                runtime.post(key, build)
+                runtime.post(
+                    key, lambda: holder["platform"].run_model(case.phase1())
+                )
+
+                source = runtime.shard_for(key)
+                target = 1 - source.index
+
+                def capture() -> dict[str, Any]:
+                    # Runs on the source shard thread: the quiesce point.
+                    snapshot = holder["platform"].checkpoint()
+                    holder["platform"].stop()
+                    return snapshot.to_dict()
+
+                def restore(doc: dict[str, Any]) -> bool:
+                    # Runs on the target shard thread.
+                    holder["platform"] = restore_platform(
+                        SessionSnapshot.from_dict(doc), dsk
+                    )
+                    return True
+
+                # Settle phase 1 first so the timed region is the
+                # migration itself, not the queued workload.
+                source.call(lambda: None).result(timeout=60)
+                start = time.perf_counter()
+                runtime.migrate(key, target, capture=capture, restore=restore)
+                pause = time.perf_counter() - start
+
+                if runtime.shard_for(key).index != target:
+                    raise AssertionError(
+                        f"domain {case.name!r}: route override did not "
+                        f"re-point {key!r} to shard {target}"
+                    )
+                runtime.post(
+                    key, lambda: holder["platform"].run_model(case.phase2())
+                )
+            finally:
+                runtime.stop()
+            platform = holder.get("platform")
+            if platform is not None and platform.started:
+                platform.stop()
+            if _log_bytes(service) != golden[case.name]:
+                raise AssertionError(
+                    f"domain {case.name!r}: op_log after live migration "
+                    f"diverged from the uninterrupted run"
+                )
+            pauses.append(pause)
+        all_pauses.extend(pauses)
+        rows.append({
+            "domain": case.name,
+            "op_log_identical": True,
+            "median_pause_ms": statistics.median(pauses) * 1000,
+        })
+    return {
+        "domains": rows,
+        "all_identical": True,
+        "repeats": repeats,
+        "median_pause_ms": statistics.median(all_pauses) * 1000,
+    }
+
+
+# -- checkpoint overhead on the hot path ------------------------------------
+
+
+class _ScenarioRunner:
+    """Drives one E1 scenario against a full CVM platform's broker."""
+
+    __slots__ = ("service", "dsk", "platform")
+
+    def __init__(self, *, blocking: bool = False) -> None:
+        from repro.domains.communication.cml import cml_metamodel
+        from repro.domains.communication.cvm import (
+            build_middleware_model,
+            default_context,
+        )
+        from repro.middleware.loader import DomainKnowledge, load_platform
+        from repro.sim.network import CommService
+
+        if blocking:
+            self.service = CommService("net0", work=_blocking_work)
+        else:
+            self.service = CommService("net0", op_cost=0.0)
+        self.dsk = DomainKnowledge(
+            dsml=cml_metamodel(), resources=[self.service]
+        )
+        self.platform = load_platform(build_middleware_model(), self.dsk)
+        assert self.platform.broker is not None
+        # Same configuration as the E1 harness: recovery runs through
+        # the explicit scenario step, keeping runs deterministic.
+        self.platform.broker.autonomic.enabled = False
+        assert self.platform.controller is not None
+        self.platform.controller.context.update(default_context())
+
+    def run_step(self, step: Step) -> None:
+        broker = self.platform.broker
+        tag = step[0]
+        if tag == "api":
+            _tag, api, args = step
+            broker.call_api(api, **args)
+        elif tag == "fail":
+            self.service.inject_failure(self._session_id(step[1]))
+        elif tag == "recover":
+            broker.call_api(
+                "ncb.recover_session", session=self._session_id(step[1])
+            )
+        else:  # pragma: no cover - workload tags are closed
+            raise ValueError(f"unknown scenario step tag {tag!r}")
+
+    def _session_id(self, connection: str) -> str:
+        return self.platform.broker.state.get(f"session:{connection}")
+
+    def stop(self) -> None:
+        self.platform.stop()
+
+
+def _blocking_work(cost: float) -> None:
+    if cost > 0:
+        time.sleep(cost * BLOCKING_SECONDS_PER_UNIT)
+
+
+def checkpoint_overhead_bench(*, repeat: int = 15) -> dict[str, Any]:
+    """E1-scenario hot path with and without an idle scheduler attached.
+
+    The scheduler is started on a wall clock (no timer queue), so it
+    never fires on its own — the gate bounds the cost of merely having
+    checkpointing armed on a session.  Checkpoint capture cost itself
+    is reported separately from explicit ``tick()`` calls.
+    """
+    from repro.middleware.snapshot import CheckpointScheduler
+
+    steps = [
+        step
+        for scenario in COMMUNICATION_SCENARIOS.values()
+        for step in scenario
+    ]
+
+    # One scenario sweep is only ~2 ms of hot path — too short for a 5%
+    # gate against OS jitter — so a sample sums the timed step loops of
+    # several fresh sessions, timing only the loops (session setup and
+    # teardown stay outside the clock).
+    inner = 4
+
+    def one_sample(with_scheduler: bool) -> float:
+        total = 0.0
+        for _ in range(inner):
+            runner = _ScenarioRunner()
+            scheduler = None
+            if with_scheduler:
+                scheduler = CheckpointScheduler(
+                    runner.platform, interval=3600.0
+                ).start()
+            start = time.perf_counter()
+            for step in steps:
+                runner.run_step(step)
+            total += time.perf_counter() - start
+            if scheduler is not None:
+                scheduler.stop()
+            runner.stop()
+        return total
+
+    # Interleave bare/armed samples so machine drift cancels instead of
+    # biasing one side of the comparison.
+    one_sample(False)  # warm-up: imports, metamodel caches
+    bare_samples, armed_samples = [], []
+    for _ in range(repeat):
+        bare_samples.append(one_sample(False))
+        armed_samples.append(one_sample(True))
+    bare_s = min(bare_samples)
+    armed_s = min(armed_samples)
+    overhead_pct = 100.0 * (armed_s / bare_s - 1.0)
+
+    # Explicit checkpoint cost on a session with live state.
+    runner = _ScenarioRunner()
+    scheduler = CheckpointScheduler(runner.platform, interval=3600.0)
+    for step in steps:
+        runner.run_step(step)
+    tick_samples = []
+    for _ in range(max(repeat, 5)):
+        start = time.perf_counter()
+        snapshot = scheduler.tick()
+        tick_samples.append(time.perf_counter() - start)
+    snapshot_bytes = len(snapshot.to_json(indent=None).encode("utf-8"))
+    runner.stop()
+
+    return {
+        "steps": len(steps),
+        "repeat": repeat,
+        "sessions_per_sample": inner,
+        "bare_ms": bare_s * 1000 / inner,
+        "idle_scheduler_ms": armed_s * 1000 / inner,
+        "overhead_pct": overhead_pct,
+        "gate_pct": OVERHEAD_GATE_PCT,
+        "meets_gate": overhead_pct <= OVERHEAD_GATE_PCT,
+        "checkpoint_ms": statistics.median(tick_samples) * 1000,
+        "checkpoints_taken": scheduler.checkpoints_taken,
+        "snapshot_bytes": snapshot_bytes,
+    }
+
+
+# -- rebalancing -------------------------------------------------------------
+
+
+def rebalance_bench(
+    *, sessions: int = 12, shards: int = 4, rounds: int = 2
+) -> dict[str, Any]:
+    """Pack sessions onto one shard, rebalance, compare throughput.
+
+    Every session key is chosen to hash to shard 0, so the fabric
+    starts fully imbalanced; the rebalancer's migrations spread the
+    sessions and the same workload is replayed.  Services charge a
+    blocking per-op cost (the paper's service-dominated regime), so
+    spreading sessions buys real parallelism.
+    """
+    from repro.middleware.snapshot import SessionSnapshot, restore_platform
+    from repro.runtime.sharded import ShardedRuntime, ShardRebalancer
+
+    runtime = ShardedRuntime(shards, name="bench-rebalance")
+
+    keys: list[str] = []
+    index = 0
+    while len(keys) < sessions:
+        key = f"rb-{index:04d}"
+        if runtime.shard_for(key).index == 0:
+            keys.append(key)
+        index += 1
+
+    scenario_names = list(COMMUNICATION_SCENARIOS)
+    assigned = {
+        key: COMMUNICATION_SCENARIOS[scenario_names[i % len(scenario_names)]]
+        for i, key in enumerate(keys)
+    }
+    holders: dict[str, dict[str, Any]] = {key: {} for key in keys}
+
+    def build(key: str) -> None:
+        runner = _ScenarioRunner(blocking=True)
+        holders[key]["runner"] = runner
+
+    def run_workload() -> float:
+        start = time.perf_counter()
+        max_steps = max(len(steps) for steps in assigned.values())
+        for step_index in range(max_steps):
+            for key in keys:
+                steps = assigned[key]
+                if step_index >= len(steps):
+                    continue
+                for _ in range(rounds):
+                    runtime.post(
+                        key,
+                        lambda k=key, s=steps[step_index]: holders[k][
+                            "runner"
+                        ].run_step(s),
+                    )
+        for shard in runtime.shards:
+            shard.call(lambda: None).result(timeout=120)
+        return time.perf_counter() - start
+
+    runtime.start()
+    try:
+        for key in keys:
+            runtime.post(key, lambda k=key: build(k))
+        for shard in runtime.shards:
+            shard.call(lambda: None).result(timeout=120)
+
+        rebalancer = ShardRebalancer(runtime)
+        elapsed_before = run_workload()
+        loads_before = rebalancer.shard_loads()
+        imbalance_before = rebalancer.imbalance(loads_before)
+
+        def capture(key: str) -> dict[str, Any]:
+            runner = holders[key]["runner"]
+            snapshot = runner.platform.checkpoint()
+            runner.platform.stop()
+            return snapshot.to_dict()
+
+        def restore(key: str, doc: dict[str, Any]) -> bool:
+            runner = holders[key]["runner"]
+            runner.platform = restore_platform(
+                SessionSnapshot.from_dict(doc), runner.dsk
+            )
+            return True
+
+        moves = rebalancer.plan({key: 1.0 for key in keys})
+        rebalancer.apply(moves, capture=capture, restore=restore)
+
+        elapsed_after = run_workload()
+        loads_after = rebalancer.shard_loads()
+        imbalance_after = rebalancer.imbalance(loads_after)
+    finally:
+        runtime.stop()
+        for holder in holders.values():
+            runner = holder.get("runner")
+            if runner is not None and runner.platform.started:
+                runner.platform.stop()
+
+    steps_total = rounds * sum(len(steps) for steps in assigned.values())
+    return {
+        "sessions": sessions,
+        "shards": shards,
+        "rounds": rounds,
+        "steps_per_phase": steps_total,
+        "moves": len(moves),
+        "migrations": runtime.migrations,
+        "throughput_before_steps_per_s": steps_total / elapsed_before,
+        "throughput_after_steps_per_s": steps_total / elapsed_after,
+        "speedup": elapsed_before / elapsed_after,
+        "imbalance_before": imbalance_before,
+        "imbalance_after": imbalance_after,
+    }
+
+
+# -- report ------------------------------------------------------------------
+
+
+def _pr4_e1_baseline(directory: Path) -> float | None:
+    candidate = directory / "BENCH_PR4.json"
+    if not candidate.exists():
+        return None
+    try:
+        doc = json.loads(candidate.read_text(encoding="utf-8"))
+        return float(doc["e1"]["mean_overhead_pct"])
+    except (ValueError, KeyError, TypeError):
+        return None
+
+
+def write_bench_json(
+    path: str = "BENCH_PR5.json", *, quick: bool = False
+) -> dict[str, Any]:
+    """Run the PR 5 migration benchmarks and write the JSON report."""
+    from repro.bench.harness import e1_quick_bench
+
+    cases = domain_cases()
+    golden = golden_logs(cases)
+
+    recovery = recovery_bench(
+        cases, golden, capture_repeats=3 if quick else 10
+    )
+    migration = migration_bench(cases, golden, repeats=1 if quick else 3)
+    # Each hot-path sample is ~2 ms; min-of-3 is too noisy for a 5%
+    # gate, so even quick mode keeps a deep repeat count here (the
+    # sub-bench is cheap — platform construction dominates it).
+    checkpoint = checkpoint_overhead_bench(repeat=10 if quick else 15)
+    rebalance = rebalance_bench(
+        sessions=6 if quick else 12, rounds=1 if quick else 2
+    )
+    if not quick and not checkpoint["meets_gate"]:
+        raise AssertionError(
+            f"idle-scheduler checkpoint overhead on the E1 hot path is "
+            f"{checkpoint['overhead_pct']:.2f}% "
+            f"(acceptance bar: <= {OVERHEAD_GATE_PCT}%)"
+        )
+    e1 = e1_quick_bench(repeat=3 if quick else 25)
+    baseline = _pr4_e1_baseline(Path(path).resolve().parent)
+    results: dict[str, Any] = {
+        "bench": "PR5-session-externalization",
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "recovery": recovery,
+        "migration": migration,
+        "checkpoint": checkpoint,
+        "rebalance": rebalance,
+        "e1": e1,
+        "baseline_e1_mean_overhead_pct": baseline,
+    }
+    if baseline is not None:
+        results["e1_overhead_delta_pct_points"] = (
+            e1["mean_overhead_pct"] - baseline
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.migrate",
+        description="session checkpoint/restore and live-migration "
+                    "benchmarks (writes BENCH_PR5.json)",
+    )
+    parser.add_argument("--output", default="BENCH_PR5.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI migrate-smoke)")
+    args = parser.parse_args(argv)
+    results = write_bench_json(args.output, quick=args.quick)
+    print(json.dumps(results, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,10 @@ Commands:
   concurrent CVM sessions at 1/2/4/8 shards, byte-identical op_logs vs
   the inline baseline) and write ``BENCH_PR4.json`` (also
   ``python -m repro.bench.scale``).
+* ``bench-migrate`` — run the session checkpoint/restore and
+  live-migration benchmark (all four domains, byte-identical op_logs vs
+  uninterrupted runs, migration pause and rebalance throughput) and
+  write ``BENCH_PR5.json`` (also ``python -m repro.bench.migrate``).
 """
 
 from __future__ import annotations
@@ -559,6 +563,45 @@ def cmd_bench_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_migrate(args: argparse.Namespace) -> int:
+    from repro.bench.migrate import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    recovery = results["recovery"]
+    print(
+        f"\ncheckpoint/kill/restore: {len(recovery['domains'])} domains, "
+        f"op_logs identical={recovery['all_identical']}, "
+        f"median capture {recovery['median_capture_ms']:.2f} ms, "
+        f"median restore {recovery['median_restore_ms']:.2f} ms"
+    )
+    migration = results["migration"]
+    print(
+        f"live migration: op_logs identical={migration['all_identical']}, "
+        f"median pause {migration['median_pause_ms']:.2f} ms"
+    )
+    checkpoint = results["checkpoint"]
+    print(
+        f"idle-scheduler overhead on E1 steps: "
+        f"{checkpoint['overhead_pct']:.2f}% "
+        f"(gate <= {checkpoint['gate_pct']}%, met: "
+        f"{checkpoint['meets_gate']}); checkpoint cost "
+        f"{checkpoint['checkpoint_ms']:.2f} ms, "
+        f"{checkpoint['snapshot_bytes']} bytes"
+    )
+    rebalance = results["rebalance"]
+    print(
+        f"rebalance: {rebalance['moves']} moves over "
+        f"{rebalance['shards']} shards, throughput "
+        f"{rebalance['throughput_before_steps_per_s']:.0f} -> "
+        f"{rebalance['throughput_after_steps_per_s']:.0f} steps/s "
+        f"({rebalance['speedup']:.2f}x), imbalance "
+        f"{rebalance['imbalance_before']:.1f} -> "
+        f"{rebalance['imbalance_after']:.1f}"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -666,6 +709,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smaller workload (CI scale-smoke)",
     )
+
+    bench_migrate = sub.add_parser(
+        "bench-migrate",
+        help="run the session checkpoint/restore and live-migration "
+             "benchmark and write BENCH_PR5.json",
+    )
+    bench_migrate.add_argument("--output", default="BENCH_PR5.json")
+    bench_migrate.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats (CI migrate-smoke)",
+    )
     return parser
 
 
@@ -684,6 +738,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-faults": cmd_bench_faults,
     "bench-synthesis": cmd_bench_synthesis,
     "bench-scale": cmd_bench_scale,
+    "bench-migrate": cmd_bench_migrate,
 }
 
 

@@ -233,6 +233,52 @@ class AutonomicManager:
                 return
         self.unplanned_requests.append(request)
 
+    # -- externalization (PR 5) ------------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture MAPE-K history: cooldown clocks, raised requests,
+        execution counters.  Symptoms and plans themselves are domain
+        knowledge the restoring side installs independently."""
+        return {
+            "last_fired": {
+                symptom.name: symptom._last_fired
+                for symptom in self._symptoms
+                if symptom._last_fired != float("-inf")
+            },
+            "requests": [
+                {"kind": request.kind, "symptom": request.symptom}
+                for request in self.requests_raised
+            ],
+            "unplanned": [
+                {"kind": request.kind, "symptom": request.symptom}
+                for request in self.unplanned_requests
+            ],
+            "plans_executed": self.plans_executed,
+            "enabled": self.enabled,
+        }
+
+    def restore_external(self, doc: Mapping[str, Any]) -> None:
+        """Apply captured history onto locally installed symptoms/plans.
+
+        Restored requests are history entries only — no plan is
+        re-executed for them (the source session already did).
+        """
+        last_fired = dict(doc.get("last_fired", {}))
+        for symptom in self._symptoms:
+            symptom._last_fired = float(
+                last_fired.get(symptom.name, float("-inf"))
+            )
+        self.requests_raised = [
+            ChangeRequest(kind=entry["kind"], symptom=entry["symptom"], context={})
+            for entry in doc.get("requests", [])
+        ]
+        self.unplanned_requests = [
+            ChangeRequest(kind=entry["kind"], symptom=entry["symptom"], context={})
+            for entry in doc.get("unplanned", [])
+        ]
+        self.plans_executed = int(doc.get("plans_executed", 0))
+        self.enabled = bool(doc.get("enabled", True))
+
     @property
     def symptom_count(self) -> int:
         return len(self._symptoms)

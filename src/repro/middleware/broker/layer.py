@@ -68,6 +68,11 @@ class BrokerLayer(Component):
         self.api_calls = 0
         self.events_forwarded = 0
         self._subscription = None
+        #: actions installed while running (reflection, autonomic
+        #: plans) — the loader installs model-defined actions before
+        #: start, so anything arriving later must travel with the
+        #: session snapshot (PR 5).
+        self._dynamic_actions: list[BrokerAction] = []
 
     # -- lifecycle -------------------------------------------------------
 
@@ -151,7 +156,10 @@ class BrokerLayer(Component):
         return self.resources.register(resource)
 
     def install_action(self, action: BrokerAction) -> BrokerAction:
-        return self.calls.register(action)
+        registered = self.calls.register(action)
+        if self.running:
+            self._dynamic_actions.append(registered)
+        return registered
 
     def install_event_binding(
         self, topic_pattern: str, action: BrokerAction, *, guard: str | None = None
@@ -198,6 +206,93 @@ class BrokerLayer(Component):
         upward = self.port_or_none("upward")
         if upward is not None:
             upward.receive_signal(signal)
+
+    # -- externalization (PR 5) -------------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture the broker's mutable surface for migration/recovery.
+
+        Covered: the state manager (values + snapshot stack + model
+        slot), per-resource circuit-breaker state, resource/dispatch
+        counters, the autonomic manager's history, and *dynamic*
+        action-table entries (actions installed after start — e.g. by
+        reflection or autonomic plans).  Model-defined actions are
+        rebuilt from the session model by the loader and are not
+        duplicated here.  A dynamic action with a Python-callable
+        implementation cannot travel as data; it is recorded as a named
+        marker and must already exist on the restoring side.
+        """
+        breakers = {}
+        for resource in self.resources:
+            breaker = self.resources.breaker(resource.name)
+            if breaker is not None:
+                breakers[resource.name] = breaker.externalize()
+        dynamic = []
+        for action in self._dynamic_actions:
+            entry: dict[str, Any] = {
+                "name": action.name,
+                "pattern": action.pattern,
+                "guard": action.guard,
+                "priority": action.priority,
+            }
+            if callable(action.implementation):
+                entry["callable"] = True
+            else:
+                entry["steps"] = [dict(step) for step in action.implementation]
+            dynamic.append(entry)
+        return {
+            "state": self.state.externalize(),
+            "breakers": dict(sorted(breakers.items())),
+            "dynamic_actions": dynamic,
+            "autonomic": self.autonomic.externalize(),
+            "api_calls": self.api_calls,
+            "events_forwarded": self.events_forwarded,
+            "invocations": self.resources.invocations,
+            "retries": self.resources.retries,
+            "dispatched": self.calls.dispatched,
+        }
+
+    def restore_external(self, doc: dict[str, Any], *, metamodel: Any = None) -> None:
+        """Apply a captured document onto this (compatible) layer.
+
+        Quiet restore: state values are written without watcher
+        notification so the autonomic manager does not re-evaluate
+        symptoms for history that already played out.  Dynamic actions
+        whose name already exists in the table are skipped — the loader
+        rebuilds reflective additions from the mirrored session model,
+        and re-registering would raise a duplicate error.  ``metamodel``
+        is only needed when the state manager carried a model slot.
+        """
+        self.state.restore_external(doc.get("state", {}), metamodel=metamodel)
+        for name, breaker_doc in doc.get("breakers", {}).items():
+            breaker = self.resources.breaker(name)
+            if breaker is not None:
+                breaker.restore_external(breaker_doc)
+        existing = {action.name for action in self.calls._actions}
+        for entry in doc.get("dynamic_actions", []):
+            if entry["name"] in existing:
+                continue
+            if entry.get("callable"):
+                raise BrokerActionError(
+                    f"dynamic action {entry['name']!r} has a callable "
+                    f"implementation and is not installed on the "
+                    f"restoring side"
+                )
+            self.install_action(
+                BrokerAction(
+                    name=entry["name"],
+                    pattern=entry["pattern"],
+                    implementation=list(entry.get("steps", [])),
+                    guard=entry.get("guard"),
+                    priority=int(entry.get("priority", 0)),
+                )
+            )
+        self.autonomic.restore_external(doc.get("autonomic", {}))
+        self.api_calls = int(doc.get("api_calls", 0))
+        self.events_forwarded = int(doc.get("events_forwarded", 0))
+        self.resources.invocations = int(doc.get("invocations", 0))
+        self.resources.retries = int(doc.get("retries", 0))
+        self.calls.dispatched = int(doc.get("dispatched", 0))
 
     def stats(self) -> dict[str, Any]:
         stats: dict[str, Any] = {

@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Mapping
 
+from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
-from repro.modeling.serialize import clone_model
+from repro.modeling.serialize import clone_model, model_from_dict, model_to_dict
 
 __all__ = ["StateError", "StateManager"]
 
@@ -86,8 +87,22 @@ class StateManager:
             raise StateError(f"state {self.name!r}: no snapshot to restore")
         if index is None:
             index = len(self._snapshots) - 1
-        if not 0 <= index < len(self._snapshots):
-            raise StateError(f"state {self.name!r}: no snapshot {index}")
+        elif isinstance(index, bool) or not isinstance(index, int):
+            raise StateError(
+                f"state {self.name!r}: snapshot index must be an integer, "
+                f"got {index!r}"
+            )
+        if index < 0:
+            raise StateError(
+                f"state {self.name!r}: snapshot index {index} is negative "
+                f"(indices count up from 0; latest is "
+                f"{len(self._snapshots) - 1})"
+            )
+        if index >= len(self._snapshots):
+            raise StateError(
+                f"state {self.name!r}: no snapshot {index} "
+                f"(only {len(self._snapshots)} on the stack)"
+            )
         restored = self._snapshots[index]
         del self._snapshots[index:]
         old = self._values
@@ -121,6 +136,47 @@ class StateManager:
         if self._model is None:
             raise StateError(f"state {self.name!r}: no runtime model installed")
         return clone_model(self._model)
+
+    # -- externalization (PR 5) -------------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture values, the snapshot stack, and the model slot."""
+        doc: dict[str, Any] = {
+            "values": {key: self._values[key] for key in sorted(self._values)},
+            "snapshots": [
+                {key: snap[key] for key in sorted(snap)}
+                for snap in self._snapshots
+            ],
+        }
+        doc["model"] = model_to_dict(self._model) if self._model else None
+        return doc
+
+    def restore_external(
+        self,
+        doc: Mapping[str, Any],
+        *,
+        metamodel: Metamodel | None = None,
+    ) -> None:
+        """Apply an externalized document.
+
+        Quiet by design: watchers are *not* notified — the effects the
+        source session's watchers produced have already happened, and
+        replaying them here (e.g. autonomic symptom evaluation) would
+        diverge the restored session from the original.
+
+        ``metamodel`` is needed only when the document carries a model
+        slot; the model is rebuilt in this manager's own space.
+        """
+        self._values = dict(doc.get("values", {}))
+        self._snapshots = [dict(snap) for snap in doc.get("snapshots", [])]
+        model_doc = doc.get("model")
+        if model_doc is not None:
+            if metamodel is None:
+                raise StateError(
+                    f"state {self.name!r}: document carries a runtime model "
+                    f"but no metamodel was provided to rebuild it"
+                )
+            self._model = model_from_dict(model_doc, metamodel)
 
     def __contains__(self, key: object) -> bool:
         return key in self._values

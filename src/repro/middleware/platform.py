@@ -153,6 +153,20 @@ class Platform:
         self._require(self.synthesis, "synthesis")
         return self.synthesis.teardown_script()
 
+    # -- checkpoint / restore (PR 5) -------------------------------------------
+
+    def checkpoint(self) -> "Any":
+        """Capture this session as a :class:`SessionSnapshot`."""
+        from repro.middleware.snapshot import capture_snapshot
+
+        return capture_snapshot(self)
+
+    def restore_from(self, snapshot: "Any") -> "Platform":
+        """Apply a captured snapshot onto this (compatible) platform."""
+        from repro.middleware.snapshot import apply_snapshot
+
+        return apply_snapshot(self, snapshot)
+
     # -- models@runtime reflection -------------------------------------------------
 
     def reflect(self) -> Model:

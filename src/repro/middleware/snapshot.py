@@ -1,0 +1,302 @@
+"""Session snapshots: externalized whole-platform state (PR 5).
+
+The paper's premise is that the middleware and its applications *are
+models*; this module makes the remaining live state a model artifact
+too.  A :class:`SessionSnapshot` is a versioned, JSON-serializable
+document capturing everything a platform needs to resume exactly where
+it left off:
+
+* the middleware model (including reflective additions mirrored into
+  it at runtime),
+* per-layer state documents from the ``externalize()`` protocol
+  (:mod:`repro.runtime.external`): UI workspace models, the synthesis
+  runtime model + live LTS executions, controller context, and the
+  broker's state manager / breaker / autonomic surface.
+
+Two restore paths exist, mirroring the two failure modes:
+
+* :meth:`Platform.restore_from` (via :func:`apply_snapshot`) applies a
+  snapshot onto an already-built, *compatible* platform — the
+  supervised-restart path, where the crashed layer objects survive and
+  only their state was reset.
+* :func:`restore_platform` rebuilds the whole platform from the
+  snapshot's middleware model via the loader and then applies the
+  state documents — the migration/cold-recovery path, where nothing
+  but the snapshot (plus the domain's DSK callables) crosses the gap.
+
+:class:`CheckpointScheduler` takes periodic snapshots on the clock's
+timer queue and, wired to a :class:`~repro.runtime.component.Supervisor`,
+re-applies the latest one after a supervised restart so the session
+resumes from its checkpoint instead of cold.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.modeling.serialize import (
+    SerializationError,
+    check_envelope,
+    model_from_dict,
+    model_to_dict,
+)
+from repro.runtime.external import ExternalizeError
+
+if TYPE_CHECKING:
+    from repro.middleware.loader import DomainKnowledge
+    from repro.middleware.platform import Platform
+    from repro.runtime.clock import Clock
+    from repro.runtime.component import Component, Supervisor
+    from repro.runtime.events import EventBus
+    from repro.runtime.metrics import MetricsRegistry
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SessionSnapshot",
+    "capture_snapshot",
+    "apply_snapshot",
+    "restore_platform",
+    "CheckpointScheduler",
+]
+
+#: envelope identifying serialized session snapshots.
+SNAPSHOT_FORMAT = "repro-session"
+SNAPSHOT_VERSION = 1
+
+
+@dataclass
+class SessionSnapshot:
+    """A captured session: middleware model + per-layer state docs."""
+
+    name: str
+    domain: str
+    middleware_model: dict[str, Any]
+    layers: dict[str, dict[str, Any]] = field(default_factory=dict)
+    version: int = SNAPSHOT_VERSION
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "version": self.version,
+            "name": self.name,
+            "domain": self.domain,
+            "middleware_model": self.middleware_model,
+            "layers": self.layers,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "SessionSnapshot":
+        version = check_envelope(
+            doc, expected_format=SNAPSHOT_FORMAT, max_version=SNAPSHOT_VERSION
+        )
+        try:
+            return cls(
+                name=str(doc["name"]),
+                domain=str(doc["domain"]),
+                middleware_model=dict(doc["middleware_model"]),
+                layers={
+                    key: dict(value)
+                    for key, value in dict(doc.get("layers", {})).items()
+                },
+                version=version,
+            )
+        except KeyError as exc:
+            raise SerializationError(
+                f"session snapshot missing required key {exc}"
+            ) from exc
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionSnapshot":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise SerializationError("top-level JSON value must be an object")
+        return cls.from_dict(doc)
+
+
+# -- capture ---------------------------------------------------------------
+
+
+def capture_snapshot(platform: "Platform") -> SessionSnapshot:
+    """Externalize a platform's full mutable state.
+
+    Capture is cheap enough to run on the hot path's shard thread (the
+    benchmark gate holds it under 5% of E1 when idle) and must happen
+    on that thread under the sharded runtime — the capture itself is
+    the quiesce point.
+    """
+    layers: dict[str, dict[str, Any]] = {}
+    if platform.ui is not None:
+        layers["ui"] = platform.ui.externalize()
+    if platform.synthesis is not None:
+        layers["synthesis"] = platform.synthesis.externalize()
+    if platform.controller is not None:
+        layers["controller"] = platform.controller.externalize()
+    if platform.broker is not None:
+        layers["broker"] = platform.broker.externalize()
+    return SessionSnapshot(
+        name=platform.name,
+        domain=platform.domain,
+        middleware_model=model_to_dict(platform.middleware_model),
+        layers=layers,
+    )
+
+
+# -- restore ---------------------------------------------------------------
+
+
+def apply_snapshot(platform: "Platform", snapshot: SessionSnapshot) -> "Platform":
+    """Apply a snapshot's layer state onto a compatible platform.
+
+    The platform must be started (dispatcher listeners and the
+    controller's stack machine only exist then) and of the same domain.
+    Layers restore bottom-up so upper-layer re-announcements (the
+    synthesis dispatcher notifying the UI runtime view) land on
+    already-consistent lower layers.
+    """
+    if snapshot.domain != platform.domain:
+        raise ExternalizeError(
+            f"snapshot of domain {snapshot.domain!r} cannot restore a "
+            f"{platform.domain!r} platform"
+        )
+    if not platform.started:
+        raise ExternalizeError(
+            f"platform {platform.name!r} must be started before restore "
+            f"(layer machinery is built on start)"
+        )
+    layers = snapshot.layers
+    if platform.broker is not None and "broker" in layers:
+        platform.broker.restore_external(
+            layers["broker"], metamodel=platform.dsml
+        )
+    if platform.controller is not None and "controller" in layers:
+        platform.controller.restore_external(layers["controller"])
+    if platform.synthesis is not None and "synthesis" in layers:
+        platform.synthesis.restore_external(layers["synthesis"])
+    if platform.ui is not None and "ui" in layers:
+        platform.ui.restore_external(layers["ui"])
+    return platform
+
+
+def restore_platform(
+    snapshot: SessionSnapshot,
+    dsk: "DomainKnowledge",
+    *,
+    bus: "EventBus | None" = None,
+    clock: "Clock | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> "Platform":
+    """Rebuild a platform from a snapshot (migration / cold recovery).
+
+    The middleware model travels inside the snapshot — including any
+    reflective additions mirrored into it — so the loader rebuilds the
+    exact layer configuration the source session was running.  ``dsk``
+    supplies the non-serializable domain knowledge (metamodel object,
+    resource instances, Python-implemented actions); it must be the
+    same DSK the source session was loaded with.
+    """
+    from repro.middleware.loader import load_platform
+    from repro.middleware.metamodel import middleware_metamodel
+
+    model = model_from_dict(snapshot.middleware_model, middleware_metamodel())
+    platform = load_platform(
+        model, dsk, bus=bus, clock=clock, metrics=metrics, start=True
+    )
+    return apply_snapshot(platform, snapshot)
+
+
+# -- periodic checkpointing -------------------------------------------------
+
+
+class CheckpointScheduler:
+    """Periodic platform checkpoints + supervised warm recovery.
+
+    On clocks with a timer queue (:class:`~repro.runtime.clock.VirtualClock`)
+    ticks self-schedule through ``clock.call_later``; on plain wall
+    clocks the owner drives :meth:`tick` explicitly (e.g. between
+    workload steps), keeping the hot path free of timer threads.
+
+    :meth:`attach` wires the scheduler to a supervisor: after any
+    successful supervised restart the latest snapshot is re-applied to
+    the platform, turning a cold restart into a resume-from-checkpoint.
+    """
+
+    def __init__(
+        self,
+        platform: "Platform",
+        *,
+        interval: float = 1.0,
+        clock: "Clock | None" = None,
+        on_checkpoint: Callable[[SessionSnapshot], None] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("checkpoint interval must be > 0")
+        self.platform = platform
+        self.interval = interval
+        self.clock = clock or platform.clock
+        self.on_checkpoint = on_checkpoint
+        self.last_snapshot: SessionSnapshot | None = None
+        self.checkpoints_taken = 0
+        self.recoveries = 0
+        self._running = False
+
+    # -- ticking -----------------------------------------------------------
+
+    def start(self) -> "CheckpointScheduler":
+        if self._running:
+            return self
+        self._running = True
+        self._schedule()
+        return self
+
+    def stop(self) -> "CheckpointScheduler":
+        self._running = False
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _schedule(self) -> None:
+        schedule = getattr(self.clock, "call_later", None)
+        if callable(schedule):
+            schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.tick()
+        self._schedule()
+
+    def tick(self) -> SessionSnapshot:
+        """Take one checkpoint now (also the manual-drive entry point)."""
+        snapshot = capture_snapshot(self.platform)
+        self.last_snapshot = snapshot
+        self.checkpoints_taken += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(snapshot)
+        return snapshot
+
+    # -- supervised recovery ---------------------------------------------------
+
+    def attach(self, supervisor: "Supervisor") -> "CheckpointScheduler":
+        """Re-apply the latest checkpoint after supervised restarts."""
+        supervisor.on_restarted = self._on_restarted
+        return self
+
+    def _on_restarted(self, component: "Component") -> None:
+        if self.last_snapshot is None:
+            return
+        # A layer restart resets only that layer's state, but the
+        # snapshot is whole-session and idempotent — re-applying it
+        # across all layers is the simplest consistent recovery.
+        apply_snapshot(self.platform, self.last_snapshot)
+        self.recoveries += 1

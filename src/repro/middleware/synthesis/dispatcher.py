@@ -61,3 +61,19 @@ class Dispatcher:
         """Drop the runtime model (system reset)."""
         with self._lock:
             self._runtime_model = None
+
+    def install(self, model: Model | None, *, dispatches: int | None = None) -> None:
+        """Install a restored runtime model without counting a dispatch.
+
+        Used by session restore (PR 5): the model was already promoted
+        once in the source session, so only the listener notification is
+        replayed — the UI's runtime view must track the restored model.
+        """
+        with self._lock:
+            self._runtime_model = model
+            if dispatches is not None:
+                self.dispatches = dispatches
+            listeners = list(self._listeners)
+        if model is not None:
+            for listener in listeners:
+                listener(model)

@@ -27,6 +27,7 @@ from repro.modeling.constraints import ConstraintRegistry, validate_model
 from repro.modeling.diff import ChangeList
 from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
+from repro.modeling.serialize import model_from_dict, model_to_dict
 from repro.runtime.component import Component
 from repro.runtime.events import Call
 
@@ -210,6 +211,41 @@ class SynthesisEngine(Component):
 
     def handle_event(self, topic: str, payload: dict[str, Any]) -> int:
         return self.interpreter.handle_event(topic, payload)
+
+    # -- externalization (PR 5) -----------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture the runtime model, interpreter state, and counters."""
+        runtime_model = self.dispatcher.runtime_model
+        return {
+            "runtime_model": (
+                model_to_dict(runtime_model)
+                if runtime_model is not None
+                else None
+            ),
+            "dispatches": self.dispatcher.dispatches,
+            "interpreter": self.interpreter.externalize(),
+            "cycles": self.cycles,
+            "rejected": self.rejected,
+        }
+
+    def restore_external(self, doc: dict[str, Any]) -> None:
+        """Apply a captured document; rules must already be installed.
+
+        The restored runtime model is re-announced to dispatcher
+        listeners (UI runtime view) but does not count as a dispatch —
+        the counter is restored from the document instead.
+        """
+        model_doc = doc.get("runtime_model")
+        model = (
+            model_from_dict(model_doc, self.metamodel)
+            if model_doc is not None
+            else None
+        )
+        self.dispatcher.install(model, dispatches=int(doc.get("dispatches", 0)))
+        self.interpreter.restore_external(doc.get("interpreter", {}))
+        self.cycles = int(doc.get("cycles", 0))
+        self.rejected = int(doc.get("rejected", 0))
 
     def stats(self) -> dict[str, Any]:
         return {

@@ -343,6 +343,52 @@ class ChangeInterpreter:
             raise EventDeliveryError(Event(topic=topic, payload=payload), errors)
         return matched
 
+    # -- externalization (PR 5) --------------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture live LTS executions and counters.
+
+        Rules are domain knowledge, not state — the restoring side is
+        expected to have installed the same DSK, so executions are
+        recorded as ``(object id, lts name, current state)`` and
+        re-attached by LTS name on restore.
+        """
+        return {
+            "executions": [
+                {
+                    "id": object_id,
+                    "lts": execution.lts.name,
+                    "state": execution.state,
+                }
+                for object_id, execution in sorted(self._executions.items())
+            ],
+            "changes_processed": self.changes_processed,
+            "commands_emitted": self.commands_emitted,
+        }
+
+    def restore_external(self, doc: Mapping[str, Any]) -> None:
+        """Rebuild executions against the locally installed rules."""
+        by_lts_name = {rule.lts.name: rule.lts for rule in self._rules.values()}
+        executions: dict[str, LTSExecution] = {}
+        for entry in doc.get("executions", []):
+            lts = by_lts_name.get(entry["lts"])
+            if lts is None:
+                raise InterpreterError(
+                    f"cannot restore execution for {entry['id']!r}: no "
+                    f"installed rule carries LTS {entry['lts']!r}"
+                )
+            try:
+                executions[entry["id"]] = lts.new_execution(
+                    state=entry["state"]
+                )
+            except LTSError as exc:
+                raise InterpreterError(
+                    f"cannot restore execution for {entry['id']!r}: {exc}"
+                ) from exc
+        self._executions = executions
+        self.changes_processed = int(doc.get("changes_processed", 0))
+        self.commands_emitted = int(doc.get("commands_emitted", 0))
+
     # -- diagnostics ---------------------------------------------------------------
 
     def entity_state(self, object_id: str) -> str | None:

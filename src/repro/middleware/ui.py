@@ -21,7 +21,12 @@ from typing import Any, Callable
 from repro.modeling.constraints import ConstraintRegistry, ValidationReport, validate_model
 from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
-from repro.modeling.serialize import clone_model, model_from_json
+from repro.modeling.serialize import (
+    clone_model,
+    model_from_dict,
+    model_from_json,
+    model_to_dict,
+)
 from repro.modeling.weave import WeaveResult, weave_models
 from repro.runtime.component import Component
 
@@ -157,6 +162,28 @@ class ModelWorkspace(Component):
         )
         self.put_model(woven.model)
         return woven, self.submit(woven.model, **context)
+
+    # -- externalization (PR 5) ----------------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture the user's workspace models and the submit counter.
+
+        The runtime view is *not* captured here: it is re-announced by
+        the synthesis dispatcher when its restored runtime model is
+        installed, so serializing it twice would only invite skew.
+        """
+        return {
+            "models": {
+                name: model_to_dict(self._models[name])
+                for name in sorted(self._models)
+            },
+            "submissions": self.submissions,
+        }
+
+    def restore_external(self, doc: dict[str, Any]) -> None:
+        for name, model_doc in doc.get("models", {}).items():
+            self._models[name] = model_from_dict(model_doc, self.metamodel)
+        self.submissions = int(doc.get("submissions", 0))
 
     # -- runtime view ------------------------------------------------------------------
 

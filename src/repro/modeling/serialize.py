@@ -7,7 +7,8 @@ Synthesis layer's model comparator depends on.
 
 Document format for a model::
 
-    {"metamodel": "cml", "name": "my-model",
+    {"format": "repro-model", "version": 1,
+     "metamodel": "cml", "name": "my-model",
      "roots": [ {object}, ... ]}
 
 and for an object::
@@ -16,6 +17,13 @@ and for an object::
      "attrs": {"name": "chat"},
      "refs": {"connections": [{object}, ...],      # containment: inline
               "owner": {"$ref": "person#1"}}}      # cross-ref: by id
+
+The top-level ``format``/``version`` envelope (added in PR 5) lets
+readers reject documents written by incompatible future writers while
+staying tolerant of *legacy* payloads: a document without the envelope
+is read as version 1 (every pre-envelope writer produced what is now
+version 1), so artifacts serialized before the envelope existed remain
+loadable.
 """
 
 from __future__ import annotations
@@ -33,7 +41,10 @@ from repro.modeling.meta import (
 from repro.modeling.model import Model, ModelError, ModelSpace, MObject
 
 __all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
     "SerializationError",
+    "check_envelope",
     "model_to_dict",
     "model_from_dict",
     "model_to_json",
@@ -48,6 +59,46 @@ __all__ = [
 
 class SerializationError(Exception):
     """Raised on malformed documents or unresolvable references."""
+
+
+#: envelope identifying serialized model documents.
+FORMAT_NAME = "repro-model"
+#: current writer version; readers accept any version up to this one.
+FORMAT_VERSION = 1
+
+
+def check_envelope(
+    doc: dict[str, Any],
+    *,
+    expected_format: str = FORMAT_NAME,
+    max_version: int = FORMAT_VERSION,
+) -> int:
+    """Validate a document envelope; returns the document version.
+
+    Tolerant reader contract: a document *without* a ``format`` key is
+    a legacy payload and is read as version 1.  A document with a
+    mismatching format name, a non-integer version, or a version newer
+    than ``max_version`` raises :class:`SerializationError` — future
+    writers must not be silently misread.
+    """
+    if "format" not in doc:
+        return 1  # legacy unversioned payload
+    if doc.get("format") != expected_format:
+        raise SerializationError(
+            f"document format {doc.get('format')!r} is not "
+            f"{expected_format!r}"
+        )
+    version = doc.get("version", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise SerializationError(
+            f"document version must be an integer, got {version!r}"
+        )
+    if version < 1 or version > max_version:
+        raise SerializationError(
+            f"unsupported {expected_format!r} document version {version} "
+            f"(this reader supports 1..{max_version})"
+        )
+    return version
 
 
 # -- serialization ------------------------------------------------------
@@ -93,6 +144,8 @@ def object_to_dict(obj: MObject) -> dict[str, Any]:
 
 def model_to_dict(model: Model) -> dict[str, Any]:
     return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
         "metamodel": model.metamodel.name,
         "name": model.name,
         "roots": [object_to_dict(root) for root in model.roots],
@@ -165,6 +218,7 @@ def model_from_dict(
     *,
     space: ModelSpace | None = None,
 ) -> Model:
+    check_envelope(doc)
     if doc.get("metamodel") not in (None, metamodel.name):
         raise SerializationError(
             f"document metamodel {doc.get('metamodel')!r} does not match "

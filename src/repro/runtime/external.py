@@ -1,0 +1,48 @@
+"""State externalization protocol (PR 5).
+
+Every mutable-state surface in the middleware — state manager,
+synthesis interpreter, controller layer, broker layer, circuit
+breakers — implements the same two-method contract so a whole session
+can be captured as a JSON-serializable document and restored
+byte-for-byte elsewhere:
+
+``externalize() -> dict``
+    Return a deterministic, JSON-serializable snapshot of the
+    component's mutable state.  Deterministic means: same logical
+    state, same document — dict key order is insertion order and
+    collections are emitted in a stable order, so two captures of an
+    identical session compare equal.
+
+``restore_external(doc) -> None``
+    Apply a previously externalized document onto this (compatible)
+    instance.  Restore is *quiet*: it must not fire watchers, emit
+    signals, or otherwise re-run side effects that already happened in
+    the source session — the external world has already seen them.
+
+The documents compose: a :class:`~repro.middleware.snapshot.SessionSnapshot`
+is just the per-layer documents stitched under a versioned envelope
+(see ``modeling/serialize.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+__all__ = ["ExternalizeError", "StateExternalizer"]
+
+
+class ExternalizeError(Exception):
+    """Raised when a state document cannot be captured or applied."""
+
+
+@runtime_checkable
+class StateExternalizer(Protocol):
+    """Contract for components whose mutable state can be shipped."""
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture mutable state as a JSON-serializable document."""
+        ...
+
+    def restore_external(self, doc: dict[str, Any]) -> None:
+        """Apply a captured document onto this instance, quietly."""
+        ...

@@ -205,6 +205,45 @@ class CircuitBreaker:
         """Force-close (administrative override)."""
         self._transition(BreakerState.CLOSED)
 
+    # -- externalization (PR 5) ------------------------------------------
+
+    def externalize(self) -> dict[str, Any]:
+        """Capture the mutable state-machine fields for migration.
+
+        Configuration (thresholds, recovery time) is *not* captured —
+        it belongs to the fault policy the target already installs.
+        ``-inf`` is not JSON; an unopened breaker encodes ``opened_at``
+        as ``None``.
+        """
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "trial_successes": self._trial_successes,
+            "opened_at": (
+                None if self._opened_at == float("-inf") else self._opened_at
+            ),
+            "rejections": self.rejections,
+            "transitions": [list(entry) for entry in self.transitions],
+        }
+
+    def restore_external(self, doc: dict[str, Any]) -> None:
+        """Apply captured state without firing ``on_transition``."""
+        state = doc.get("state", BreakerState.CLOSED)
+        if state not in (
+            BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN
+        ):
+            raise ValueError(f"unknown breaker state {state!r}")
+        self.state = state
+        self.consecutive_failures = int(doc.get("consecutive_failures", 0))
+        self._trial_successes = int(doc.get("trial_successes", 0))
+        opened_at = doc.get("opened_at")
+        self._opened_at = float("-inf") if opened_at is None else float(opened_at)
+        self.rejections = int(doc.get("rejections", 0))
+        self.transitions = [
+            (float(t), str(old), str(new))
+            for t, old, new in doc.get("transitions", [])
+        ]
+
     def __repr__(self) -> str:
         return (
             f"CircuitBreaker({self.name!r}, state={self.state}, "

@@ -55,6 +55,7 @@ __all__ = [
     "Shard",
     "ForwardingChannel",
     "ShardedRuntime",
+    "ShardRebalancer",
 ]
 
 #: the shard whose task the current thread is executing (if any).
@@ -310,6 +311,13 @@ class ShardedRuntime:
             for index in range(shards)
         ]
         self.channel = ForwardingChannel(self, batch_size=batch_size)
+        #: session-key -> shard-index overrides written by migration.
+        #: Read lock-free on the hot path (CPython dict reads are
+        #: atomic; the common case is an empty dict), written under
+        #: ``_routes_lock``.
+        self._routes: dict[str, int] = {}
+        self._routes_lock = threading.Lock()
+        self.migrations = 0
         self.started = False
 
     # -- lifecycle --------------------------------------------------------
@@ -364,7 +372,12 @@ class ShardedRuntime:
     # -- routing ----------------------------------------------------------
 
     def shard_for(self, key: str) -> Shard:
-        """The shard owning session ``key`` (stable CRC-32 affinity)."""
+        """The shard owning session ``key``: the migration override if
+        one exists, otherwise stable CRC-32 affinity."""
+        if self._routes:
+            index = self._routes.get(str(key))
+            if index is not None:
+                return self.shards[index]
         return self.shards[shard_index_for(key, len(self.shards))]
 
     def submit(
@@ -397,6 +410,81 @@ class ShardedRuntime:
             target.bus.publish(signal)
             return
         self.channel.forward(signal, to_shard=target.index, origin=origin)
+
+    # -- live migration (PR 5) ---------------------------------------------
+
+    def migrate(
+        self,
+        key: str,
+        to_shard: int,
+        *,
+        capture: Callable[[], Any],
+        restore: Callable[[Any], Any],
+        timeout: float = 30.0,
+    ) -> Any:
+        """Move session ``key`` to ``to_shard`` without losing state.
+
+        Protocol (quiesce → drain → snapshot → transfer → restore →
+        re-point):
+
+        1. ``capture`` is posted to the *source* shard's FIFO mailbox,
+           so it runs after every previously submitted task for the
+           session — the capture itself is the quiesce point, and its
+           return value is the state that travels (typically a
+           :class:`~repro.middleware.snapshot.SessionSnapshot`).
+        2. Cross-shard signals already buffered for the source are
+           flushed and delivered on the source bus *before* the
+           re-point, so nothing is silently redirected mid-flight.
+           (Producers must not target the session concurrently with
+           the migration itself; FIFO submits through :meth:`submit`
+           simply queue behind it.)
+        3. The routing override maps ``key`` to the target shard: every
+           subsequent :meth:`submit` / :meth:`route_signal` lands there.
+        4. ``restore(snapshot)`` runs on the *target* shard's thread,
+           rebuilding the session against the target's bus/clock/
+           metrics; its return value is returned to the caller.
+
+        Causal trace chains survive because the snapshot carries model
+        documents, not live signals — signals forwarded post-migration
+        derive children exactly as before, now toward the new shard.
+        """
+        if not self.started:
+            raise ShardedRuntimeError(f"fabric {self.name!r} is not started")
+        if not 0 <= to_shard < len(self.shards):
+            raise ShardedRuntimeError(
+                f"no shard {to_shard} (fabric has {len(self.shards)})"
+            )
+        source = self.shard_for(key)
+        target = self.shards[to_shard]
+        if source is target:
+            return None
+        # 1. quiesce + snapshot on the source shard thread.
+        captured = source.call(capture)
+        if self.inline:
+            self.drain()
+        snapshot = captured.result(timeout=timeout)
+        # 2. drain in-flight signals bound for the source shard.
+        if self.channel.flush(source.index):
+            if self.inline:
+                self.drain()
+            else:
+                source.call(lambda: None).result(timeout=timeout)
+        # 3. re-point the route.
+        with self._routes_lock:
+            self._routes[str(key)] = to_shard
+        # 4. restore on the target shard thread.
+        restored = target.call(restore, snapshot)
+        if self.inline:
+            self.drain()
+        result = restored.result(timeout=timeout)
+        self.migrations += 1
+        target.metrics.count("fabric.migrations_in", target.name)
+        return result
+
+    def route_overrides(self) -> dict[str, int]:
+        """A copy of the migration routing overlay (key -> shard)."""
+        with self._routes_lock:
+            return dict(self._routes)
 
     def drain(self) -> int:
         """Inline mode: run queued tasks (and flushed batches) to
@@ -435,6 +523,8 @@ class ShardedRuntime:
             "published": sum(s.bus.published for s in self.shards),
             "delivered": sum(s.bus.delivered for s in self.shards),
             "channel": self.channel.stats(),
+            "migrations": self.migrations,
+            "route_overrides": len(self._routes),
         }
 
     def __repr__(self) -> str:
@@ -442,3 +532,121 @@ class ShardedRuntime:
             f"ShardedRuntime({self.name!r}, shards={len(self.shards)}, "
             f"inline={self.inline}, started={self.started})"
         )
+
+
+class ShardRebalancer:
+    """Moves hot sessions between shards to even out load (PR 5).
+
+    CRC-32 affinity balances session *counts*, not session *costs*: a
+    few heavy sessions can pin one shard at 100% while the rest idle.
+    The rebalancer consumes per-session cost estimates (the caller
+    derives them from per-shard metrics — e.g. API-call counters or
+    mailbox task counts), plans greedy hottest-to-coolest moves until
+    the max/min shard load ratio drops under ``imbalance_threshold``,
+    and applies the moves with :meth:`ShardedRuntime.migrate`.
+    """
+
+    def __init__(
+        self,
+        runtime: ShardedRuntime,
+        *,
+        imbalance_threshold: float = 1.25,
+        max_moves: int = 64,
+    ) -> None:
+        if imbalance_threshold < 1.0:
+            raise ShardedRuntimeError("imbalance_threshold must be >= 1.0")
+        self.runtime = runtime
+        self.imbalance_threshold = imbalance_threshold
+        self.max_moves = max_moves
+        self.moves_applied = 0
+
+    # -- observation --------------------------------------------------------
+
+    def shard_loads(self) -> list[int]:
+        """Tasks processed per shard — the fabric-level load signal."""
+        return [shard.mailbox.processed for shard in self.runtime.shards]
+
+    def imbalance(self, loads: "Iterable[float]") -> float:
+        """max/min load ratio (min clamped to 1 to stay defined)."""
+        values = list(loads)
+        return max(values) / max(min(values), 1) if values else 1.0
+
+    # -- planning -----------------------------------------------------------
+
+    def plan(self, session_costs: dict[str, float]) -> list[tuple[str, int]]:
+        """Greedy hottest-to-coolest move plan.
+
+        ``session_costs`` maps session keys to a load estimate in any
+        consistent unit.  Repeatedly moves the most expensive session
+        off the most loaded shard onto the least loaded one, as long as
+        the move strictly shrinks the max-min spread and the fabric is
+        above the imbalance threshold.  Deterministic: ties break on
+        session key.
+        """
+        shards = len(self.runtime.shards)
+        if shards < 2 or not session_costs:
+            return []
+        loads = [0.0] * shards
+        by_shard: dict[int, list[str]] = {i: [] for i in range(shards)}
+        for key in sorted(session_costs):
+            index = self.runtime.shard_for(key).index
+            loads[index] += session_costs[key]
+            by_shard[index].append(key)
+        moves: list[tuple[str, int]] = []
+        while len(moves) < self.max_moves:
+            hottest = max(range(shards), key=lambda i: (loads[i], -i))
+            coolest = min(range(shards), key=lambda i: (loads[i], i))
+            spread = loads[hottest] - loads[coolest]
+            if (
+                hottest == coolest
+                or not by_shard[hottest]
+                or loads[hottest] <= self.imbalance_threshold * max(loads[coolest], 1e-12)
+            ):
+                break
+            candidate = max(
+                by_shard[hottest], key=lambda k: (session_costs[k], k)
+            )
+            cost = session_costs[candidate]
+            if cost >= spread:
+                # Moving it would overshoot; try the cheapest instead.
+                candidate = min(
+                    by_shard[hottest], key=lambda k: (session_costs[k], k)
+                )
+                cost = session_costs[candidate]
+                if cost >= spread:
+                    break  # no move improves the spread
+            by_shard[hottest].remove(candidate)
+            by_shard[coolest].append(candidate)
+            loads[hottest] -= cost
+            loads[coolest] += cost
+            moves.append((candidate, coolest))
+        return moves
+
+    # -- execution ---------------------------------------------------------
+
+    def apply(
+        self,
+        moves: "Iterable[tuple[str, int]]",
+        *,
+        capture: Callable[[str], Any],
+        restore: Callable[[str, Any], Any],
+        timeout: float = 30.0,
+    ) -> int:
+        """Execute a plan via live migration.
+
+        ``capture(key)`` runs on the session's source shard and returns
+        the travelling state; ``restore(key, snapshot)`` runs on the
+        target shard.  Returns the number of sessions moved.
+        """
+        applied = 0
+        for key, to_shard in moves:
+            self.runtime.migrate(
+                key,
+                to_shard,
+                capture=lambda k=key: capture(k),
+                restore=lambda snapshot, k=key: restore(k, snapshot),
+                timeout=timeout,
+            )
+            applied += 1
+        self.moves_applied += applied
+        return applied

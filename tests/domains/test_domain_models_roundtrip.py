@@ -70,6 +70,40 @@ def test_roundtripped_model_conforms(name):
     assert report.ok, report.render()
 
 
+def _two_phase_log(case, middleware_model):
+    """Run case's two-phase workload on ``middleware_model``; op_log."""
+    service = case.service()
+    platform = load_platform(middleware_model, case.knowledge(service))
+    if platform.controller is not None and case.context:
+        platform.controller.context.update(case.context)
+    try:
+        platform.run_model(case.phase1())
+        platform.run_model(case.phase2())
+    finally:
+        platform.stop()
+    return list(service.op_log)
+
+
+def _migrate_cases():
+    from repro.bench.migrate import domain_cases
+
+    return domain_cases()
+
+
+@pytest.mark.parametrize("case", _migrate_cases(), ids=lambda c: c.name)
+def test_reloaded_model_runs_identically(case):
+    """assemble -> serialize -> deserialize -> load_platform produces
+    exactly the behaviour of the directly assembled platform, for every
+    shipped domain — the full deployment-artifact round trip."""
+    direct = _two_phase_log(case, case.middleware())
+    reloaded_model = model_from_json(
+        model_to_json(case.middleware()), middleware_metamodel()
+    )
+    reloaded = _two_phase_log(case, reloaded_model)
+    assert direct  # the workload touches the external world
+    assert reloaded == direct
+
+
 def test_roundtripped_cvm_executes():
     """The serialized artifact is deployable: parse -> load -> run."""
     from repro.domains.communication.cml import (

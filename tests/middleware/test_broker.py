@@ -139,6 +139,80 @@ class TestStateManager:
         state.restore()
         assert ("x", 9, 1) in changes
 
+    def test_restore_by_index_pops_later_snapshots(self, state):
+        state.set("v", 0)
+        state.snapshot()          # index 0
+        state.set("v", 1)
+        state.snapshot()          # index 1
+        state.set("v", 2)
+        state.restore(0)
+        assert state.get("v") == 0
+        assert state.snapshot_count == 0
+
+    def test_restore_index_type_checked(self, state):
+        state.snapshot()
+        with pytest.raises(StateError, match="must be an integer"):
+            state.restore("latest")
+        # bool is an int subclass but a nonsensical index — reject it.
+        with pytest.raises(StateError, match="must be an integer"):
+            state.restore(True)
+
+    def test_restore_negative_index_rejected(self, state):
+        state.snapshot()
+        with pytest.raises(StateError, match="negative"):
+            state.restore(-1)
+        # the failed restore must not have consumed the snapshot
+        assert state.snapshot_count == 1
+
+    def test_restore_out_of_range_index_rejected(self, state):
+        state.snapshot()
+        with pytest.raises(StateError, match="no snapshot 3"):
+            state.restore(3)
+        assert state.snapshot_count == 1
+
+    def test_drop_without_snapshot(self, state):
+        with pytest.raises(StateError, match="no snapshot to drop"):
+            state.drop_snapshot()
+
+    def test_externalize_roundtrip_preserves_snapshot_stack(self, state):
+        state.set("a", 1)
+        state.snapshot()
+        state.set("a", 2)
+        doc = state.externalize()
+        other = StateManager()
+        other.restore_external(doc)
+        assert other.get("a") == 2
+        other.restore()
+        assert other.get("a") == 1
+
+    def test_restore_external_is_quiet(self, state):
+        changes = []
+        state.watch(lambda k, old, new: changes.append(k))
+        state.restore_external({"values": {"a": 1}, "snapshots": []})
+        assert state.get("a") == 1
+        assert changes == []
+
+    def test_restore_external_model_needs_metamodel(self, state):
+        from repro.domains.communication.cml import CmlBuilder
+
+        builder = CmlBuilder("m")
+        builder.person("p1")
+        state.install_model(builder.build())
+        doc = state.externalize()
+        with pytest.raises(StateError, match="metamodel"):
+            StateManager().restore_external(doc)
+
+    def test_externalize_model_slot_roundtrip(self, state):
+        from repro.domains.communication.cml import CmlBuilder, cml_metamodel
+
+        builder = CmlBuilder("m")
+        builder.person("p1")
+        state.install_model(builder.build())
+        other = StateManager()
+        other.restore_external(state.externalize(), metamodel=cml_metamodel())
+        assert other.runtime_model is not None
+        assert len(other.runtime_model) == len(state.runtime_model)
+
 
 class TestBrokerActions:
     def test_declarative_resource_steps(self, resources, state):

@@ -5,7 +5,10 @@ import pytest
 from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model
 from repro.modeling.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
     SerializationError,
+    check_envelope,
     clone_model,
     clone_object,
     metamodel_from_dict,
@@ -139,6 +142,53 @@ class TestErrors:
         doc = {"roots": [{"class": "Book", "attrs": {"pages": "many"}}]}
         with pytest.raises(SerializationError):
             model_from_dict(doc, metamodel)
+
+
+class TestEnvelope:
+    def test_documents_carry_versioned_envelope(self, model):
+        doc = model_to_dict(model)
+        assert doc["format"] == FORMAT_NAME
+        assert doc["version"] == FORMAT_VERSION
+
+    def test_legacy_unversioned_document_still_loads(self, model, metamodel):
+        doc = model_to_dict(model)
+        del doc["format"]
+        del doc["version"]
+        restored = model_from_dict(doc, metamodel)
+        assert len(restored) == len(model)
+
+    def test_check_envelope_reports_legacy_as_version_1(self):
+        assert check_envelope({"roots": []}) == 1
+
+    def test_wrong_format_rejected(self, model, metamodel):
+        doc = model_to_dict(model)
+        doc["format"] = "not-a-model"
+        with pytest.raises(SerializationError, match="format"):
+            model_from_dict(doc, metamodel)
+
+    def test_future_version_rejected(self, model, metamodel):
+        doc = model_to_dict(model)
+        doc["version"] = FORMAT_VERSION + 1
+        with pytest.raises(SerializationError, match="version"):
+            model_from_dict(doc, metamodel)
+
+    def test_non_integer_version_rejected(self, model, metamodel):
+        doc = model_to_dict(model)
+        for bad in ("2", True, 1.5, None):
+            doc["version"] = bad
+            with pytest.raises(SerializationError, match="version"):
+                model_from_dict(doc, metamodel)
+
+    def test_zero_and_negative_versions_rejected(self, model, metamodel):
+        doc = model_to_dict(model)
+        for bad in (0, -1):
+            doc["version"] = bad
+            with pytest.raises(SerializationError, match="version"):
+                model_from_dict(doc, metamodel)
+
+    def test_roundtrip_is_fixpoint_with_envelope(self, model, metamodel):
+        text = model_to_json(model)
+        assert model_to_json(model_from_json(text, metamodel)) == text
 
 
 class TestClone:
