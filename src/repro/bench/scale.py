@@ -100,14 +100,16 @@ class _SessionState:
 
     __slots__ = ("spec", "service", "broker", "done")
 
-    def __init__(self, spec: SessionSpec, metrics: Any) -> None:
+    def __init__(
+        self, spec: SessionSpec, metrics: Any, *, work: Any = None
+    ) -> None:
         from repro.domains.communication.cml import cml_metamodel
         from repro.domains.communication.cvm import build_middleware_model
         from repro.middleware.loader import DomainKnowledge, load_platform
         from repro.sim.network import CommService
 
         self.spec = spec
-        self.service = CommService("net0", work=_blocking_work)
+        self.service = CommService("net0", work=work or _blocking_work)
         knowledge = DomainKnowledge(
             dsml=cml_metamodel(), resources=[self.service]
         )

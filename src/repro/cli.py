@@ -41,6 +41,10 @@ Commands:
   live-migration benchmark (all four domains, byte-identical op_logs vs
   uninterrupted runs, migration pause and rebalance throughput) and
   write ``BENCH_PR5.json`` (also ``python -m repro.bench.migrate``).
+* ``bench-ingress`` — run the async-ingress admission/shedding benchmark
+  (open-loop arrival at 2x the sustainable rate, shedding on vs off,
+  byte-identical op_logs for admitted sessions) and write
+  ``BENCH_PR6.json`` (also ``python -m repro.bench.ingress``).
 """
 
 from __future__ import annotations
@@ -602,6 +606,50 @@ def cmd_bench_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_ingress(args: argparse.Namespace) -> int:
+    from repro.bench.ingress import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    ingress = results["ingress"]
+    capacity = ingress["capacity"]
+    print(
+        f"\nasync ingress: {ingress['sessions']} sessions over "
+        f"{ingress['shards']} shards, closed-loop capacity "
+        f"{capacity['capacity_steps_per_s']:.0f} steps/s"
+    )
+    unloaded = ingress["unloaded"]
+    shed_on = ingress["overload_shed_on"]
+    shed_off = ingress["overload_shed_off"]
+    print(
+        f"unloaded p99 {unloaded['latency_p99_ms']:.2f} ms; at "
+        f"{ingress['overload_factor']:.0f}x overload: shedding on "
+        f"p99 {shed_on['latency_p99_ms']:.2f} ms "
+        f"({ingress['p99_ratio_shed_on_vs_unloaded']:.2f}x), shedding off "
+        f"p99 {shed_off['latency_p99_ms']:.2f} ms "
+        f"({ingress['p99_ratio_shed_off_vs_unloaded']:.2f}x)"
+    )
+    print(
+        f"goodput with shedding: "
+        f"{ingress['goodput_fraction_of_capacity']:.0%} of capacity "
+        f"({shed_on['shed_entry_sessions']} of {shed_on['sessions']} "
+        f"sessions shed at entry, {shed_on['shed_midway_sessions']} midway)"
+    )
+    determinism = ingress["determinism"]
+    print(
+        f"seeded shed decisions deterministic: "
+        f"{determinism['deterministic']} "
+        f"({determinism['sheds']}/{determinism['arrivals']} arrivals shed); "
+        f"unhandled exceptions: {ingress['unhandled_exceptions']}; "
+        f"op_log mismatches: {len(ingress['op_log_mismatches'])}"
+    )
+    print(
+        f"gates: p99 <= 3x unloaded met={ingress['meets_p99_gate']}, "
+        f"goodput >= 80% of capacity met={ingress['meets_goodput_gate']}"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -720,6 +768,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="fewer repeats (CI migrate-smoke)",
     )
+
+    bench_ingress = sub.add_parser(
+        "bench-ingress",
+        help="run the async-ingress admission/shedding benchmark and "
+             "write BENCH_PR6.json",
+    )
+    bench_ingress.add_argument("--output", default="BENCH_PR6.json")
+    bench_ingress.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload, perf gates report-only (CI ingress-smoke)",
+    )
     return parser
 
 
@@ -739,6 +798,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-synthesis": cmd_bench_synthesis,
     "bench-scale": cmd_bench_scale,
     "bench-migrate": cmd_bench_migrate,
+    "bench-ingress": cmd_bench_ingress,
 }
 
 

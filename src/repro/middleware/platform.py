@@ -419,6 +419,53 @@ class PlatformPool:
         platform = self.platform_for(key)
         return self.runtime.submit(key, fn, platform)
 
+    def close_session(self, key: str) -> bool:
+        """Release per-session fabric state for a closed session.
+
+        Prunes the migration route override installed by
+        :meth:`ShardedRuntime.migrate` (if any) so the routing table
+        stays bounded over millions of session lifetimes.  Returns
+        True when an override was dropped.
+        """
+        return self.runtime.release(key)
+
+    # -- ingress (PR 6) ---------------------------------------------------
+
+    def build_ingress(
+        self,
+        *,
+        policy: "Any | None" = None,
+        clock: "Clock | None" = None,
+        watch_breakers: bool = True,
+        name: str | None = None,
+    ) -> "Any":
+        """An admission-controlled async front door over this pool.
+
+        Returns an :class:`~repro.runtime.ingress.IngressTier` whose
+        admitted requests execute exactly like :meth:`submit` —
+        ``fn(platform)`` on the owning shard, per-session FIFO — but
+        pass admission control first: bounded per-session queues,
+        priority classes, load shedding with typed
+        ``InvocationOutcome.REJECTED`` results, and (with
+        ``watch_breakers``) shed decisions fed by the circuit-breaker
+        events each shard platform's Broker publishes.  Wrap it in
+        :class:`~repro.runtime.ingress.AsyncIngress` for coroutine
+        callers.
+        """
+        from repro.runtime.ingress import IngressTier
+
+        tier = IngressTier(
+            self.runtime,
+            policy=policy,
+            clock=clock,
+            resolve=lambda key: (self.platform_for(key),),
+            name=name if name is not None else f"{self.name}.ingress",
+        )
+        if watch_breakers:
+            for platform in self.platforms:
+                tier.watch_bus(platform.bus)
+        return tier
+
     def route_signal(self, signal: Any, *, key: str) -> None:
         """Deliver ``signal`` on the owning shard's bus (batched when
         it crosses shards)."""

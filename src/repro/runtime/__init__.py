@@ -37,6 +37,16 @@ from repro.runtime.executor import (
     ThreadPoolExecutorAdapter,
 )
 from repro.runtime.factory import ComponentFactory, ComponentSpec, FactoryError
+from repro.runtime.ingress import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionPolicy,
+    AsyncIngress,
+    IngressError,
+    IngressRejected,
+    IngressTier,
+    ShedReason,
+)
 from repro.runtime.metrics import (
     Counter,
     LatencyHistogram,
@@ -69,6 +79,8 @@ __all__ = [
     "Registry", "TypeRegistry", "RegistryError",
     "ShardedRuntime", "ShardedRuntimeError", "Shard", "ForwardingChannel",
     "shard_index_for", "current_shard",
+    "IngressTier", "AsyncIngress", "AdmissionPolicy", "IngressError",
+    "IngressRejected", "ShedReason", "INTERACTIVE", "BATCH",
     "Counter", "LatencyHistogram", "MetricsRegistry",
     "default_registry", "set_default_registry",
     "TraceRecord", "TraceRecorder", "start_tracing", "stop_tracing",

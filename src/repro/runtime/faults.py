@@ -24,6 +24,7 @@ reuses the backoff schedule for component restarts.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -123,6 +124,18 @@ class CircuitBreaker:
     ``on_transition(breaker, old_state, new_state)`` fires on every
     state change — the Broker's resource manager uses it to publish
     breaker events the autonomic manager consumes as symptoms.
+
+    Thread safety: one breaker may guard a resource shared by several
+    shard threads, so state transitions and half-open probe counting
+    are serialized behind a reentrant lock (reentrant because
+    ``on_transition`` handlers may legitimately call back into the
+    breaker).  The single-threaded fast path stays lock-free: a
+    *closed* breaker admits in :meth:`allow` and records a no-op
+    success in :meth:`record_success` on a plain attribute read, which
+    is atomic in CPython.  The inherent admission race — a thread may
+    pass ``allow`` while another thread's failure concurrently opens
+    the circuit — exists with or without the lock (the decision always
+    precedes the call) and is bounded to in-flight calls.
     """
 
     def __init__(
@@ -151,10 +164,12 @@ class CircuitBreaker:
         self._opened_at = float("-inf")
         self.transitions: list[tuple[float, str, str]] = []
         self.rejections = 0
+        self._lock = threading.RLock()
 
     # -- state machine ---------------------------------------------------
 
     def _transition(self, target: str) -> None:
+        # Caller holds self._lock.
         if target == self.state:
             return
         old, self.state = self.state, target
@@ -174,36 +189,47 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """Whether a call may proceed; may transition open → half-open."""
-        if self.state == BreakerState.OPEN:
-            if self._now() >= self.retry_at:
-                self._transition(BreakerState.HALF_OPEN)
-            else:
-                self.rejections += 1
-                return False
-        return True
+        if self.state == BreakerState.CLOSED:
+            return True  # lock-free fast path (atomic attribute read)
+        with self._lock:
+            if self.state == BreakerState.OPEN:
+                if self._now() >= self.retry_at:
+                    self._transition(BreakerState.HALF_OPEN)
+                else:
+                    self.rejections += 1
+                    return False
+            return True
 
     def record_success(self) -> None:
-        if self.state == BreakerState.HALF_OPEN:
-            self._trial_successes += 1
-            if self._trial_successes >= self.half_open_trials:
-                self._transition(BreakerState.CLOSED)
-        else:
-            self.consecutive_failures = 0
-
-    def record_failure(self) -> None:
-        if self.state == BreakerState.HALF_OPEN:
-            self._transition(BreakerState.OPEN)
-            return
-        self.consecutive_failures += 1
         if (
             self.state == BreakerState.CLOSED
-            and self.consecutive_failures >= self.failure_threshold
+            and self.consecutive_failures == 0
         ):
-            self._transition(BreakerState.OPEN)
+            return  # lock-free fast path: nothing to update
+        with self._lock:
+            if self.state == BreakerState.HALF_OPEN:
+                self._trial_successes += 1
+                if self._trial_successes >= self.half_open_trials:
+                    self._transition(BreakerState.CLOSED)
+            else:
+                self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self.state == BreakerState.HALF_OPEN:
+                self._transition(BreakerState.OPEN)
+                return
+            self.consecutive_failures += 1
+            if (
+                self.state == BreakerState.CLOSED
+                and self.consecutive_failures >= self.failure_threshold
+            ):
+                self._transition(BreakerState.OPEN)
 
     def reset(self) -> None:
         """Force-close (administrative override)."""
-        self._transition(BreakerState.CLOSED)
+        with self._lock:
+            self._transition(BreakerState.CLOSED)
 
     # -- externalization (PR 5) ------------------------------------------
 
@@ -215,16 +241,17 @@ class CircuitBreaker:
         ``-inf`` is not JSON; an unopened breaker encodes ``opened_at``
         as ``None``.
         """
-        return {
-            "state": self.state,
-            "consecutive_failures": self.consecutive_failures,
-            "trial_successes": self._trial_successes,
-            "opened_at": (
-                None if self._opened_at == float("-inf") else self._opened_at
-            ),
-            "rejections": self.rejections,
-            "transitions": [list(entry) for entry in self.transitions],
-        }
+        with self._lock:
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "trial_successes": self._trial_successes,
+                "opened_at": (
+                    None if self._opened_at == float("-inf") else self._opened_at
+                ),
+                "rejections": self.rejections,
+                "transitions": [list(entry) for entry in self.transitions],
+            }
 
     def restore_external(self, doc: dict[str, Any]) -> None:
         """Apply captured state without firing ``on_transition``."""
@@ -233,16 +260,19 @@ class CircuitBreaker:
             BreakerState.CLOSED, BreakerState.OPEN, BreakerState.HALF_OPEN
         ):
             raise ValueError(f"unknown breaker state {state!r}")
-        self.state = state
-        self.consecutive_failures = int(doc.get("consecutive_failures", 0))
-        self._trial_successes = int(doc.get("trial_successes", 0))
-        opened_at = doc.get("opened_at")
-        self._opened_at = float("-inf") if opened_at is None else float(opened_at)
-        self.rejections = int(doc.get("rejections", 0))
-        self.transitions = [
-            (float(t), str(old), str(new))
-            for t, old, new in doc.get("transitions", [])
-        ]
+        with self._lock:
+            self.state = state
+            self.consecutive_failures = int(doc.get("consecutive_failures", 0))
+            self._trial_successes = int(doc.get("trial_successes", 0))
+            opened_at = doc.get("opened_at")
+            self._opened_at = (
+                float("-inf") if opened_at is None else float(opened_at)
+            )
+            self.rejections = int(doc.get("rejections", 0))
+            self.transitions = [
+                (float(t), str(old), str(new))
+                for t, old, new in doc.get("transitions", [])
+            ]
 
     def __repr__(self) -> str:
         return (

@@ -469,9 +469,15 @@ class ShardedRuntime:
                 self.drain()
             else:
                 source.call(lambda: None).result(timeout=timeout)
-        # 3. re-point the route.
+        # 3. re-point the route.  A session migrated back to its
+        # affinity shard needs no override — storing one anyway would
+        # leak a table entry per round-trip for the fabric's lifetime.
+        home = shard_index_for(key, len(self.shards))
         with self._routes_lock:
-            self._routes[str(key)] = to_shard
+            if to_shard == home:
+                self._routes.pop(str(key), None)
+            else:
+                self._routes[str(key)] = to_shard
         # 4. restore on the target shard thread.
         restored = target.call(restore, snapshot)
         if self.inline:
@@ -480,6 +486,17 @@ class ShardedRuntime:
         self.migrations += 1
         target.metrics.count("fabric.migrations_in", target.name)
         return result
+
+    def release(self, key: str) -> bool:
+        """Forget session ``key``'s migration route override.
+
+        Callers that close sessions must release them, otherwise every
+        migrated-then-closed session leaks one ``_routes`` entry for
+        the fabric's lifetime.  Safe to call for never-migrated keys;
+        returns True when an override was actually dropped.
+        """
+        with self._routes_lock:
+            return self._routes.pop(str(key), None) is not None
 
     def route_overrides(self) -> dict[str, int]:
         """A copy of the migration routing overlay (key -> shard)."""

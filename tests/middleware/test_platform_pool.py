@@ -93,3 +93,136 @@ class TestPoolExecution:
         stats = pool.stats()
         assert stats["task_errors"] == 0
         assert stats["platforms"] == ["cvm"] * 2
+
+
+class TestIngressIntegration:
+    def test_build_ingress_binds_the_owning_platform(self):
+        with make_pool(shards=4, inline=True) as pool:
+            tier = pool.build_ingress()
+            futures = {
+                key: tier.submit(key, open_session(key), entry=True)
+                for key in (f"s{i}" for i in range(8))
+            }
+            while tier.backlog:
+                tier.pump()
+                pool.drain()
+            for key, future in futures.items():
+                outcome = future.result(timeout=1)
+                assert outcome.ok
+                assert outcome.value == pool.platform_for(key).name
+                owner = pool.platform_for(key)
+                assert owner.broker.state.get(f"session:{key}") is not None
+            stats = tier.stats()
+            assert stats["admitted"] == 8
+            assert stats["shed"] == 0
+            assert stats["completed"] == 8
+            tier.close()
+
+    def test_build_ingress_watches_every_shard_bus(self):
+        from repro.runtime.events import Event
+        from repro.runtime.ingress import BATCH, ShedReason
+
+        with make_pool(shards=2, inline=True) as pool:
+            tier = pool.build_ingress()
+            # A breaker opening on *any* shard's platform bus sheds
+            # batch entry traffic at the pool's front door.
+            pool.platforms[1].bus.publish(
+                Event(topic="resource.net0.breaker_open")
+            )
+            outcome = tier.submit(
+                "newcomer", open_session("newcomer"),
+                priority=BATCH, entry=True,
+            ).result(timeout=1)
+            assert outcome.error.reason == ShedReason.BREAKER_OPEN
+            tier.close()
+
+    def test_ingress_op_logs_match_synchronous_submit(self):
+        # One session per shard (private per-shard service op_log), so
+        # the ingress path can be compared byte-for-byte against the
+        # synchronous submit path.
+        from repro.middleware.platform import PlatformPool
+
+        def run(via_ingress):
+            services = {}
+
+            def factory(shard):
+                service = CommService("net0", op_cost=0.0)
+                services[shard.index] = service
+                return build_cvm(
+                    service=service, bus=shard.bus,
+                    clock=shard.clock, metrics=shard.metrics,
+                )
+
+            with PlatformPool(
+                factory, name="eq", shards=2, inline=True
+            ) as pool:
+                keys, seen = [], set()
+                index = 0
+                while len(seen) < 2:
+                    key = f"conn{index}"
+                    index += 1
+                    shard = pool.shard_for(key).index
+                    if shard not in seen:
+                        seen.add(shard)
+                        keys.append(key)
+
+                def steps(key):
+                    yield lambda p: p.broker.call_api(
+                        "ncb.open_session", connection=key
+                    )
+                    yield lambda p: p.broker.call_api(
+                        "ncb.add_party", connection=key, party=f"{key}-p1"
+                    )
+                    yield lambda p: p.broker.call_api(
+                        "ncb.open_stream", connection=key, medium="m1",
+                        media_type="audio", quality="low",
+                    )
+                    yield lambda p: p.broker.call_api(
+                        "ncb.close_session", connection=key
+                    )
+
+                if via_ingress:
+                    tier = pool.build_ingress()
+                    for key in keys:
+                        for position, step in enumerate(steps(key)):
+                            future = tier.submit(
+                                key, step, entry=position == 0
+                            )
+                            assert not future.done(), "nothing may shed"
+                    while tier.backlog:
+                        tier.pump()
+                        pool.drain()
+                    tier.close()
+                else:
+                    for key in keys:
+                        for step in steps(key):
+                            pool.submit(key, step)
+                        pool.drain()
+            return {
+                index: "\n".join(service.op_log)
+                for index, service in services.items()
+            }
+
+        golden = run(via_ingress=False)
+        assert any(golden.values()), "workload must touch the service"
+        assert run(via_ingress=True) == golden
+
+    def test_close_session_releases_migration_route(self):
+        from repro.middleware.snapshot import SessionSnapshot  # noqa: F401
+
+        with make_pool(shards=2, inline=True) as pool:
+            key = "roaming"
+            pool.submit(key, open_session(key))
+            pool.drain()
+            home = pool.shard_for(key).index
+            away = (home + 1) % 2
+            pool.runtime.migrate(
+                key, away,
+                capture=lambda: "state",
+                restore=lambda snapshot: snapshot,
+            )
+            assert pool.runtime.route_overrides() == {key: away}
+            assert pool.close_session(key) is True
+            assert pool.runtime.route_overrides() == {}
+            # Idempotent for never-migrated (or already closed) keys.
+            assert pool.close_session(key) is False

@@ -414,3 +414,129 @@ class TestSupervisor:
         clock.run_until_idle()
         assert supervisor.crashes == 1
         assert component.starts == 2
+
+
+class TestCircuitBreakerConcurrency:
+    """Regression: the breaker state machine used to have no lock —
+    transitions and half-open probe counting raced across shard
+    threads sharing one guarded resource."""
+
+    LEGAL_EDGES = {
+        (BreakerState.CLOSED, BreakerState.OPEN),
+        (BreakerState.OPEN, BreakerState.HALF_OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.OPEN),
+        (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    }
+
+    def test_two_thread_hammer_produces_only_legal_transitions(self):
+        import threading
+
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            "shared",
+            failure_threshold=3,
+            recovery_time=0.5,
+            half_open_trials=2,
+            now=lambda: clock[0],
+        )
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(20_000):
+                    roll = rng.random()
+                    if roll < 0.40:
+                        breaker.record_failure()
+                    elif roll < 0.80:
+                        breaker.record_success()
+                    elif roll < 0.95:
+                        breaker.allow()
+                    else:
+                        # Advance shared time so open -> half-open
+                        # probes happen during the hammer.
+                        clock[0] = clock[0] + 0.6
+                        breaker.allow()
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,), daemon=True)
+            for seed in (1, 2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+            assert not thread.is_alive()
+        assert errors == []
+        transitions = list(breaker.transitions)
+        assert transitions, "hammer should exercise transitions"
+        # Every recorded edge must be a legal state-machine move, the
+        # chain must be contiguous (each edge starts where the previous
+        # ended), and timestamps must never go backwards.
+        previous_state = BreakerState.CLOSED
+        previous_time = float("-inf")
+        for when, old, new in transitions:
+            assert (old, new) in self.LEGAL_EDGES, (old, new)
+            assert old == previous_state
+            assert when >= previous_time
+            previous_state, previous_time = new, when
+        assert breaker.state == previous_state
+
+    def test_half_open_probe_counting_is_atomic(self):
+        import threading
+
+        # half_open_trials=2 with two racing probe successes: a lost
+        # update (the pre-lock bug) leaves the breaker stuck half-open.
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            "probes",
+            failure_threshold=1,
+            recovery_time=0.1,
+            half_open_trials=2,
+            now=lambda: clock[0],
+        )
+        rounds = 200
+        # Three parties: the two probe threads plus the main thread
+        # driving the open -> half-open cycle.
+        barrier = threading.Barrier(3)
+        errors = []
+
+        def prober():
+            try:
+                for _ in range(rounds):
+                    barrier.wait(timeout=30)  # breaker is half-open here
+                    breaker.record_success()
+                    barrier.wait(timeout=30)
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=prober, daemon=True) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(rounds):
+            breaker.record_failure()  # closed -> open
+            assert breaker.state == BreakerState.OPEN
+            clock[0] += 0.2
+            assert breaker.allow()  # open -> half-open, admits probes
+            assert breaker.state == BreakerState.HALF_OPEN
+            barrier.wait(timeout=30)  # release both probe successes
+            barrier.wait(timeout=30)  # both recorded
+            assert breaker.state == BreakerState.CLOSED
+        for thread in threads:
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+        assert errors == []
+
+    def test_closed_fast_path_still_resets_failure_streak(self):
+        breaker = CircuitBreaker("fast", failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.consecutive_failures == 2
+        breaker.record_success()  # takes the slow path (streak != 0)
+        assert breaker.consecutive_failures == 0
+        breaker.record_success()  # lock-free no-op fast path
+        assert breaker.state == BreakerState.CLOSED

@@ -535,6 +535,65 @@ class TestMigration:
             runtime.stop()
 
 
+class TestRoutePruning:
+    """Regression: the migration route-override table must stay bounded
+    (it used to grow one entry per migrated session, forever)."""
+
+    def test_migrate_back_home_prunes_the_override(self):
+        runtime = ShardedRuntime(2, name="prune", inline=True)
+        runtime.start()
+        try:
+            key = "session-x"
+            home = runtime.shard_for(key).index
+            away = 1 - home
+            runtime.migrate(key, away, capture=dict, restore=lambda s: s)
+            assert runtime.route_overrides() == {key: away}
+            # Migrating back to the affinity shard must *remove* the
+            # entry, not overwrite it with the affinity index.
+            runtime.migrate(key, home, capture=dict, restore=lambda s: s)
+            assert runtime.route_overrides() == {}
+            assert runtime.stats()["route_overrides"] == 0
+            assert runtime.shard_for(key).index == home
+        finally:
+            runtime.stop()
+
+    def test_release_drops_override_for_closed_session(self):
+        runtime = ShardedRuntime(2, name="prune-close", inline=True)
+        runtime.start()
+        try:
+            key = "session-x"
+            away = 1 - runtime.shard_for(key).index
+            runtime.migrate(key, away, capture=dict, restore=lambda s: s)
+            assert runtime.release(key) is True
+            assert runtime.route_overrides() == {}
+            # Routing falls back to CRC affinity after release.
+            assert runtime.shard_for(key).index == 1 - away
+            # Idempotent, and safe for never-migrated keys.
+            assert runtime.release(key) is False
+            assert runtime.release("never-migrated") is False
+        finally:
+            runtime.stop()
+
+    def test_churn_does_not_grow_the_table(self):
+        runtime = ShardedRuntime(4, name="prune-churn", inline=True)
+        runtime.start()
+        try:
+            for i in range(64):
+                key = f"churn-{i:03d}"
+                home = runtime.shard_for(key).index
+                away = (home + 1) % 4
+                runtime.migrate(key, away, capture=dict, restore=lambda s: s)
+                if i % 2:
+                    runtime.migrate(
+                        key, home, capture=dict, restore=lambda s: s
+                    )  # migrated back home
+                else:
+                    runtime.release(key)  # closed
+            assert runtime.route_overrides() == {}
+        finally:
+            runtime.stop()
+
+
 class TestShardRebalancer:
     def test_threshold_validated(self):
         from repro.runtime.sharded import ShardRebalancer
