@@ -418,7 +418,7 @@ class _ScenarioRunner:
 
     __slots__ = ("service", "dsk", "platform")
 
-    def __init__(self, *, blocking: bool = False) -> None:
+    def __init__(self, *, blocking: bool = False, op_cost: float = 0.0) -> None:
         from repro.domains.communication.cml import cml_metamodel
         from repro.domains.communication.cvm import (
             build_middleware_model,
@@ -430,7 +430,10 @@ class _ScenarioRunner:
         if blocking:
             self.service = CommService("net0", work=_blocking_work)
         else:
-            self.service = CommService("net0", op_cost=0.0)
+            # op_cost=0.0 isolates pure middleware CPU cost; pass
+            # CommService.DEFAULT_OP_COST for the calibrated E1 regime
+            # where simulated service work dominates (EXPERIMENTS.md).
+            self.service = CommService("net0", op_cost=op_cost)
         self.dsk = DomainKnowledge(
             dsml=cml_metamodel(), resources=[self.service]
         )

@@ -431,6 +431,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Run the quickstart with causal tracing; print the signal forest."""
     from repro.runtime.trace import TraceRecorder
 
+    if args.replay is not None:
+        return _trace_replay(args)
     with TraceRecorder(limit=args.limit) as recorder:
         _run_quickstart(show_output=args.show_run)
     min_length = 1 if args.all else 2
@@ -440,6 +442,137 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )
     print(recorder.render(min_length=min_length))
     return 0
+
+
+def _trace_replay(args: argparse.Namespace) -> int:
+    """Deterministically re-execute a session's write-ahead log and
+    print the causal signal chains the replay produced.
+
+    The log's latest checkpoint names the domain; its DSK is looked up
+    from the shipped domain registry, the platform is rebuilt on a
+    virtual clock, and the tail entries re-run with their recorded
+    external effects memoized (no external operation executes twice).
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.bench.migrate import domain_cases
+    from repro.bench.wal import apply_entry
+    from repro.middleware.snapshot import recover_session
+    from repro.runtime.clock import VirtualClock
+    from repro.runtime.trace import TraceRecorder
+    from repro.runtime.wal import WalError, WriteAheadLog
+
+    if not Path(args.replay).is_dir():
+        print(f"no log directory at {args.replay!r}", file=sys.stderr)
+        return 2
+    # replaying seals re-executed entries back into the log, so work on
+    # a throwaway copy and leave the original untouched.
+    workdir = Path(tempfile.mkdtemp(prefix="trace-replay-"))
+    shutil.rmtree(workdir)
+    shutil.copytree(args.replay, workdir)
+    try:
+        wal = WriteAheadLog(workdir, fsync=False)
+    except (WalError, OSError) as exc:
+        shutil.rmtree(workdir, ignore_errors=True)
+        print(f"cannot open log at {args.replay!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        sessions: dict[str, list[dict]] = {}
+        for _position, doc in wal.replay():
+            sessions.setdefault(str(doc.get("session", "")), []).append(doc)
+        if not sessions:
+            print(f"log at {args.replay!r} holds no frames")
+            return 0
+        names = sorted(sessions)
+        if args.session is not None:
+            target = args.session
+            if target not in sessions:
+                print(
+                    f"no session {target!r} in log; it holds {names}",
+                    file=sys.stderr,
+                )
+                return 2
+        elif len(names) == 1:
+            target = names[0]
+        else:
+            print(
+                f"log holds sessions {names}; pick one with --session",
+                file=sys.stderr,
+            )
+            return 2
+
+        docs = sessions[target]
+        entries = [d for d in docs if d.get("k") == "entry"]
+        applied = sum(1 for d in docs if d.get("k") == "applied")
+        checkpoints = [d for d in docs if d.get("k") == "checkpoint"]
+        print(
+            f"session {target!r}: {len(entries)} logged entries, "
+            f"{applied} applied seals, {len(checkpoints)} checkpoints"
+        )
+        for doc in entries:
+            sig = doc["sig"]
+            payload = sig.get("payload") or {}
+            op = payload.get("op", "?")
+            detail = payload.get("api") or payload.get(
+                "model", {}
+            ).get("name", "")
+            print(
+                f"  entry seq={sig.get('seq')} trace={sig.get('trace_id')} "
+                f"topic={sig.get('topic')} op={op}"
+                + (f" ({detail})" if detail else "")
+            )
+
+        if not checkpoints:
+            print(
+                "\nno checkpoint in the log — nothing to rebuild a "
+                "platform from; listing only"
+            )
+            return 0
+        domain = str(checkpoints[-1].get("snapshot", {}).get("domain", ""))
+        case = next(
+            (c for c in domain_cases() if c.name == domain), None
+        )
+        if case is None:
+            print(
+                f"\nunknown domain {domain!r}; cannot re-execute",
+                file=sys.stderr,
+            )
+            return 2
+        dsk = case.knowledge(case.service())
+        print(f"\nre-executing on a fresh {domain!r} platform (virtual clock):")
+        with TraceRecorder(limit=args.limit) as recorder:
+            report = recover_session(
+                wal,
+                session=target,
+                apply_entry=apply_entry,
+                dsk=dsk,
+                clock=VirtualClock(),
+            )
+        report.platform.stop()
+        print(
+            f"  replayed {report.replayed_entries} entries "
+            f"({report.deduplicated} deduplicated), "
+            f"{report.effects_memoized} external effects memoized, "
+            f"{report.effects_live} re-executed live, "
+            f"{len(report.errors)} errors"
+        )
+        if args.trace_id is not None:
+            chain = recorder.chain_for(args.trace_id)
+            if not chain:
+                print(f"no signals recorded for trace {args.trace_id}")
+                return 0
+            print(f"\nchain for trace {args.trace_id}:")
+            for record in chain:
+                print(f"  {record}")
+            return 0
+        print(f"\ncausal chains from the replay ({len(recorder)} signals):\n")
+        print(recorder.render(min_length=1))
+        return 0
+    finally:
+        wal.close()
+        shutil.rmtree(workdir, ignore_errors=True)
 
 
 def cmd_bench_fabric(args: argparse.Namespace) -> int:
@@ -650,6 +783,50 @@ def cmd_bench_ingress(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_wal(args: argparse.Namespace) -> int:
+    from repro.bench.wal import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    kill = results["kill_recovery"]
+    print(
+        f"\nkill-mid-workload recovery: {len(kill['domains'])} domains, "
+        f"op_logs identical={kill['all_identical']}, "
+        f"median recover {kill['median_recover_ms']:.2f} ms"
+    )
+    fabric = results["fabric_kill"]
+    print(
+        f"fabric shard kill ({fabric['shards']} shards, killed after "
+        f"{fabric['killed_after']}/{fabric['steps']} steps): "
+        f"op_log identical={fabric['op_log_identical']}, "
+        f"{fabric['effects_memoized']} effects memoized, "
+        f"recover {fabric['recover_ms']:.2f} ms"
+    )
+    e1 = results["e1_overhead"]
+    calibrated = e1["calibrated"]
+    print(
+        f"WAL-on E1 overhead: {calibrated['overhead_pct']:.2f}% "
+        f"({calibrated['per_step_overhead_us']:.1f}µs/step on "
+        f"{calibrated['bare_ms'] / e1['steps'] * 1000:.0f}µs steps; "
+        f"gate <= {e1['gate_pct']}%, met: {e1['meets_gate']}; "
+        f"structural {e1['structural']['per_step_overhead_us']:.1f}µs/step "
+        f"at op_cost=0)"
+    )
+    for profile in e1["sync_profiles"]:
+        print(
+            f"  durability pricing: sync_every={profile['sync_every']} "
+            f"fsync={profile['fsync']}: "
+            f"{profile['per_entry_us']:.0f}µs/entry"
+        )
+    latency = results["recovery_latency"]
+    print(
+        f"recovery latency: snapshot-only "
+        f"{latency['snapshot_only_ms']:.2f} ms, "
+        f"+{latency['per_tail_entry_us']:.0f}µs per tail entry"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -722,6 +899,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max signals to record")
     trace.add_argument("--show-run", action="store_true",
                        help="also show the quickstart's own output")
+    trace.add_argument("--replay", metavar="WAL_DIR",
+                       help="instead of the quickstart: deterministically "
+                            "re-execute a session's write-ahead log and "
+                            "trace the replay")
+    trace.add_argument("--session",
+                       help="with --replay: which session to replay "
+                            "(default: the only one in the log)")
+    trace.add_argument("--trace-id", type=int,
+                       help="with --replay: print only this causal chain")
 
     bench = sub.add_parser(
         "bench-fabric",
@@ -779,6 +965,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="smaller workload, perf gates report-only (CI ingress-smoke)",
     )
+
+    bench_wal = sub.add_parser(
+        "bench-wal",
+        help="run the durable-WAL kill/recovery and overhead benchmark "
+             "and write BENCH_PR7.json",
+    )
+    bench_wal.add_argument("--output", default="BENCH_PR7.json")
+    bench_wal.add_argument(
+        "--quick", action="store_true",
+        help="fewer repeats, perf gate report-only (CI wal-smoke)",
+    )
     return parser
 
 
@@ -799,6 +996,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-scale": cmd_bench_scale,
     "bench-migrate": cmd_bench_migrate,
     "bench-ingress": cmd_bench_ingress,
+    "bench-wal": cmd_bench_wal,
 }
 
 

@@ -147,8 +147,26 @@ class ResourceManager:
         self._breakers: dict[str, CircuitBreaker] = {}
         #: deterministic jitter source (policies opt into jitter)
         self._rng = random.Random(0)
+        #: exactly-once interceptor (see repro.runtime.wal.EffectJournal);
+        #: None keeps the bare invocation paths untouched.
+        self.effect_journal: Any = None
         self.invocations = 0
         self.retries = 0
+
+    def install_effect_journal(self, journal: Any) -> None:
+        """Route every resource invocation through ``journal.around``.
+
+        While a journal entry is open, live operations are recorded as
+        ``effect`` frames and replayed operations return their memoized
+        outcome without touching the resource — the exactly-once half
+        of WAL recovery.  Passing ``None`` uninstalls.  The journal's
+        ``error_factory`` is defaulted to the broker fault taxonomy so
+        replayed error outcomes re-raise with their original types
+        (retry policies and handlers behave identically on replay).
+        """
+        self.effect_journal = journal
+        if journal is not None and journal.error_factory is None:
+            journal.error_factory = _replay_error
 
     def register(self, resource: Resource) -> Resource:
         if resource.name in self._resources:
@@ -254,7 +272,15 @@ class ResourceManager:
         resource = self.require(resource_name)
         policy = self.fault_policy(resource_name)
         breaker = self._breakers.get(resource_name)
+        journal = self.effect_journal
         if policy is None and breaker is None:
+            if journal is not None and journal.active:
+                return journal.around_invoke(
+                    f"{resource_name}.{operation}",
+                    resource.invoke,
+                    operation,
+                    args,
+                )
             # Unprotected fast path: semantics and overhead unchanged.
             return resource.invoke(operation, **args)
         outcome = self._guarded(resource, operation, args, policy, breaker)
@@ -298,8 +324,20 @@ class ResourceManager:
             self.retries += 1
             self.metrics.count("faults.retries", resource.name)
 
+        # Each *attempt* passes through the journal separately, so on
+        # replay the recorded attempt outcomes line up one-to-one with
+        # the retry loop's calls (policy decisions are deterministic:
+        # seeded rng, breaker state restored from the snapshot).
+        journal = self.effect_journal
+        if journal is not None and journal.active:
+            attempt_call: Callable[[], Any] = lambda: journal.around_invoke(
+                label, resource.invoke, operation, args
+            )
+        else:
+            attempt_call = lambda: resource.invoke(operation, **args)
+
         outcome = call_guarded(
-            lambda: resource.invoke(operation, **args),
+            attempt_call,
             policy=policy or PASSTHROUGH_POLICY,
             breaker=breaker,
             clock=self.clock,
@@ -326,6 +364,25 @@ class ResourceManager:
 
     def __len__(self) -> int:
         return len(self._resources)
+
+
+#: replayed error outcomes re-raise with their original broker types so
+#: retry policies (``retry_on=TransientResourceError``) and API error
+#: handling behave identically during WAL replay.
+_REPLAY_ERROR_TYPES: dict[str, type[Exception]] = {
+    "ResourceError": ResourceError,
+    "TransientResourceError": TransientResourceError,
+    "BreakerOpenError": BreakerOpenError,
+}
+
+
+def _replay_error(type_name: str, message: str) -> Exception:
+    cls = _REPLAY_ERROR_TYPES.get(type_name)
+    if cls is not None:
+        return cls(message)
+    from repro.runtime.faults import ReplayedFault
+
+    return ReplayedFault(f"{type_name}: {message}")
 
 
 def _resource_event(resource_name: str, topic: str, payload: dict[str, Any]):

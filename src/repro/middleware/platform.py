@@ -75,6 +75,11 @@ class Platform:
 
         self.components = Registry(name=f"{name}.components")
         self.started = False
+        #: set when a snapshot restore failed partway AND could not be
+        #: rolled back (see repro.middleware.snapshot.apply_snapshot):
+        #: the platform state is inconsistent and must not serve work
+        #: until a supervised retry restores it from the snapshot.
+        self.failed = False
         self._wire()
 
     # -- wiring ----------------------------------------------------------
@@ -377,6 +382,7 @@ class PlatformPool:
         self.platforms: list[Platform] = [
             factory(shard) for shard in self.runtime.shards
         ]
+        self._ingress_tiers: list[Any] = []
         self.started = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -422,11 +428,18 @@ class PlatformPool:
     def close_session(self, key: str) -> bool:
         """Release per-session fabric state for a closed session.
 
-        Prunes the migration route override installed by
-        :meth:`ShardedRuntime.migrate` (if any) so the routing table
-        stays bounded over millions of session lifetimes.  Returns
-        True when an override was dropped.
+        Entries still queued in any ingress tier built by
+        :meth:`build_ingress` are resolved first as typed ``REJECTED``
+        outcomes (``ShedReason.SESSION_CLOSED``) — closing a session
+        must never leave a waiter hanging on a queue nobody will pump,
+        nor dispatch its backlog into the released session.  Then the
+        migration route override installed by
+        :meth:`ShardedRuntime.migrate` (if any) is pruned so the
+        routing table stays bounded over millions of session
+        lifetimes.  Returns True when an override was dropped.
         """
+        for tier in self._ingress_tiers:
+            tier.close_session(key)
         return self.runtime.release(key)
 
     # -- ingress (PR 6) ---------------------------------------------------
@@ -464,6 +477,7 @@ class PlatformPool:
         if watch_breakers:
             for platform in self.platforms:
                 tier.watch_bus(platform.bus)
+        self._ingress_tiers.append(tier)
         return tier
 
     def route_signal(self, signal: Any, *, key: str) -> None:

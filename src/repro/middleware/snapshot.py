@@ -60,6 +60,9 @@ __all__ = [
     "apply_snapshot",
     "restore_platform",
     "CheckpointScheduler",
+    "DurableSession",
+    "RecoveryReport",
+    "recover_session",
 ]
 
 #: envelope identifying serialized session snapshots.
@@ -153,6 +156,21 @@ def capture_snapshot(platform: "Platform") -> SessionSnapshot:
 # -- restore ---------------------------------------------------------------
 
 
+def _apply_layer_docs(
+    platform: "Platform", layers: dict[str, dict[str, Any]]
+) -> None:
+    if platform.broker is not None and "broker" in layers:
+        platform.broker.restore_external(
+            layers["broker"], metamodel=platform.dsml
+        )
+    if platform.controller is not None and "controller" in layers:
+        platform.controller.restore_external(layers["controller"])
+    if platform.synthesis is not None and "synthesis" in layers:
+        platform.synthesis.restore_external(layers["synthesis"])
+    if platform.ui is not None and "ui" in layers:
+        platform.ui.restore_external(layers["ui"])
+
+
 def apply_snapshot(platform: "Platform", snapshot: SessionSnapshot) -> "Platform":
     """Apply a snapshot's layer state onto a compatible platform.
 
@@ -161,6 +179,13 @@ def apply_snapshot(platform: "Platform", snapshot: SessionSnapshot) -> "Platform
     Layers restore bottom-up so upper-layer re-announcements (the
     synthesis dispatcher notifying the UI runtime view) land on
     already-consistent lower layers.
+
+    Restore is all-or-nothing: the pre-restore state is captured first
+    and rolled back if a layer fails partway, re-raising the original
+    error with the platform still consistent.  If even the rollback
+    fails, ``platform.failed`` is set so supervisors/pools refuse to
+    route into a half-restored session and instead retry from the
+    snapshot.
     """
     if snapshot.domain != platform.domain:
         raise ExternalizeError(
@@ -172,17 +197,27 @@ def apply_snapshot(platform: "Platform", snapshot: SessionSnapshot) -> "Platform
             f"platform {platform.name!r} must be started before restore "
             f"(layer machinery is built on start)"
         )
-    layers = snapshot.layers
-    if platform.broker is not None and "broker" in layers:
-        platform.broker.restore_external(
-            layers["broker"], metamodel=platform.dsml
-        )
-    if platform.controller is not None and "controller" in layers:
-        platform.controller.restore_external(layers["controller"])
-    if platform.synthesis is not None and "synthesis" in layers:
-        platform.synthesis.restore_external(layers["synthesis"])
-    if platform.ui is not None and "ui" in layers:
-        platform.ui.restore_external(layers["ui"])
+    try:
+        rollback = capture_snapshot(platform)
+    except Exception:  # noqa: BLE001 - capture failure ≠ restore failure
+        rollback = None
+    try:
+        _apply_layer_docs(platform, snapshot.layers)
+    except Exception as exc:
+        if rollback is None:
+            platform.failed = True
+            raise
+        try:
+            _apply_layer_docs(platform, rollback.layers)
+        except Exception:  # noqa: BLE001 - double fault: mark and surface
+            platform.failed = True
+            raise ExternalizeError(
+                f"restore of {platform.name!r} failed mid-layer and "
+                f"rollback also failed; platform marked failed for "
+                f"supervised retry from the snapshot"
+            ) from exc
+        raise  # rolled back: surface the original error, state consistent
+    platform.failed = False
     return platform
 
 
@@ -210,7 +245,17 @@ def restore_platform(
     platform = load_platform(
         model, dsk, bus=bus, clock=clock, metrics=metrics, start=True
     )
-    return apply_snapshot(platform, snapshot)
+    try:
+        return apply_snapshot(platform, snapshot)
+    except Exception:
+        # Never leak a started half-restored platform: tear it down so
+        # its bus subscriptions and resources are released before the
+        # caller retries from the snapshot.
+        try:
+            platform.stop()
+        except Exception:  # noqa: BLE001 - teardown is best-effort
+            pass
+        raise
 
 
 # -- periodic checkpointing -------------------------------------------------
@@ -236,6 +281,9 @@ class CheckpointScheduler:
         interval: float = 1.0,
         clock: "Clock | None" = None,
         on_checkpoint: Callable[[SessionSnapshot], None] | None = None,
+        wal: Any = None,
+        session: str | None = None,
+        apply_entry: Callable[[Any, Any], Any] | None = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("checkpoint interval must be > 0")
@@ -243,10 +291,24 @@ class CheckpointScheduler:
         self.interval = interval
         self.clock = clock or platform.clock
         self.on_checkpoint = on_checkpoint
+        #: optional WriteAheadLog: ticks become durable checkpoint
+        #: frames (snapshot-then-truncate) and supervised recovery
+        #: upgrades to restore-latest-snapshot + replay-tail.
+        self.wal = wal
+        self.session = session if session is not None else platform.name
+        self.apply_entry = apply_entry
         self.last_snapshot: SessionSnapshot | None = None
+        self.last_recovery: "RecoveryReport | None" = None
         self.checkpoints_taken = 0
+        self.checkpoint_errors = 0
+        self.last_error: Exception | None = None
         self.recoveries = 0
         self._running = False
+        #: epoch fences stale timers: stop()/start() bump it, so a
+        #: timer armed by an earlier life of the scheduler (e.g. before
+        #: a restore) fires as a no-op instead of double-arming ticks.
+        self._epoch = 0
+        self._timer: Any = None
 
     # -- ticking -----------------------------------------------------------
 
@@ -254,11 +316,16 @@ class CheckpointScheduler:
         if self._running:
             return self
         self._running = True
+        self._epoch += 1
         self._schedule()
         return self
 
     def stop(self) -> "CheckpointScheduler":
         self._running = False
+        self._epoch += 1
+        timer, self._timer = self._timer, None
+        if timer is not None and hasattr(timer, "cancel"):
+            timer.cancel()
         return self
 
     @property
@@ -268,17 +335,32 @@ class CheckpointScheduler:
     def _schedule(self) -> None:
         schedule = getattr(self.clock, "call_later", None)
         if callable(schedule):
-            schedule(self.interval, self._fire)
+            epoch = self._epoch
+            self._timer = schedule(self.interval, lambda: self._fire(epoch))
 
-    def _fire(self) -> None:
+    def _fire(self, epoch: int | None = None) -> None:
         if not self._running:
             return
-        self.tick()
-        self._schedule()
+        if epoch is not None and epoch != self._epoch:
+            return  # stale timer from a previous start(); do not double-arm
+        try:
+            self.tick()
+        except Exception as exc:  # noqa: BLE001 - one bad tick must not
+            # kill the schedule chain (all future checkpoints); record
+            # and keep ticking.
+            self.checkpoint_errors += 1
+            self.last_error = exc
+        finally:
+            if self._running and (epoch is None or epoch == self._epoch):
+                self._schedule()
 
     def tick(self) -> SessionSnapshot:
         """Take one checkpoint now (also the manual-drive entry point)."""
         snapshot = capture_snapshot(self.platform)
+        if self.wal is not None:
+            # Durable snapshot-then-truncate: the checkpoint frame
+            # records the position it covers and older segments drop.
+            self.wal.checkpoint(snapshot.to_dict(), session=self.session)
         self.last_snapshot = snapshot
         self.checkpoints_taken += 1
         if self.on_checkpoint is not None:
@@ -293,6 +375,22 @@ class CheckpointScheduler:
         return self
 
     def _on_restarted(self, component: "Component") -> None:
+        if (
+            self.wal is not None
+            and self.apply_entry is not None
+            and self.last_snapshot is not None
+        ):
+            # Exactly-once warm recovery: restore the latest durable
+            # checkpoint, then replay the WAL tail with memoized
+            # external effects and (trace_id, seq) dedup.
+            self.last_recovery = recover_session(
+                self.wal,
+                session=self.session,
+                apply_entry=self.apply_entry,
+                platform=self.platform,
+            )
+            self.recoveries += 1
+            return
         if self.last_snapshot is None:
             return
         # A layer restart resets only that layer's state, but the
@@ -300,3 +398,259 @@ class CheckpointScheduler:
         # across all layers is the simplest consistent recovery.
         apply_snapshot(self.platform, self.last_snapshot)
         self.recoveries += 1
+
+
+# -- durable sessions (write-ahead log + exactly-once recovery) -------------
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_session` did: the restored platform, the
+    checkpoint it started from, and the tail it replayed."""
+
+    platform: "Platform"
+    snapshot: SessionSnapshot | None
+    replayed_entries: int = 0
+    deduplicated: int = 0
+    effects_memoized: int = 0
+    effects_live: int = 0
+    errors: list[tuple[int, Exception]] = field(default_factory=list)
+    journal: Any = None
+
+
+def recover_session(
+    wal: Any,
+    *,
+    session: str,
+    apply_entry: Callable[["Platform", Any], Any],
+    platform: "Platform | None" = None,
+    dsk: "DomainKnowledge | None" = None,
+    bus: "EventBus | None" = None,
+    clock: "Clock | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> RecoveryReport:
+    """Restore-latest-snapshot + replay-tail from a write-ahead log.
+
+    Scans ``wal`` for ``session``'s latest ``checkpoint`` frame and the
+    ``entry``/``applied`` frames after it, then:
+
+    1. restores the checkpoint — onto the given warm ``platform``, or
+       by rebuilding one from the embedded snapshot via
+       :func:`restore_platform` (requires ``dsk``);
+    2. replays each tail entry through ``apply_entry(platform, signal)``
+       with an :class:`~repro.runtime.wal.EffectJournal` installed on
+       the broker, so external operations whose outcomes were recorded
+       return memoized results instead of re-executing — and entries
+       are deduplicated by ``(trace_id, seq)``.  Delivery is therefore
+       exactly-once even though the log is written at-least-once.
+
+    If the log holds no checkpoint for the session, a warm ``platform``
+    is assumed to be at log-start state and the *whole* entry sequence
+    replays (cold bootstrap); without a platform this raises
+    :class:`~repro.runtime.wal.WalError`.
+
+    Entries whose replay raises are recorded in ``report.errors`` and
+    recovery continues — an entry that failed identically before the
+    crash must not wedge the session forever.
+    """
+    from repro.runtime.events import advance_signal_seq
+    from repro.runtime.wal import (
+        EffectJournal,
+        WalError,
+        signal_from_doc,
+    )
+
+    checkpoint_doc: dict[str, Any] | None = None
+    entries: list[dict[str, Any]] = []
+    effects: dict[int, list[list[Any]]] = {}
+    applied: set[int] = set()
+    max_seq = 0
+    for _position, doc in wal.replay():
+        if str(doc.get("session", "")) != session:
+            continue
+        kind = doc.get("k")
+        if kind == "checkpoint":
+            checkpoint_doc = doc
+            entries.clear()
+            effects.clear()
+            applied.clear()
+        elif kind == "entry":
+            entries.append(doc["sig"])
+            max_seq = max(max_seq, int(doc["sig"].get("seq", 0)))
+        elif kind == "applied":
+            seq = int(doc["entry_seq"])
+            applied.add(seq)
+            sealed = doc.get("effects")
+            if sealed:
+                effects[seq] = sealed
+        elif kind == "effect":
+            # tolerant reader: frame-per-effect layout from older logs,
+            # normalized to the sealed record shape ([label, "ok",
+            # value] / [label, "error", type, message]).
+            record = (
+                [doc.get("label"), "ok", doc.get("value")]
+                if doc.get("status") == "ok"
+                else [
+                    doc.get("label"),
+                    "error",
+                    str(doc.get("error_type", "Exception")),
+                    str(doc.get("error", "")),
+                ]
+            )
+            effects.setdefault(int(doc["entry_seq"]), []).append(record)
+
+    snapshot: SessionSnapshot | None = None
+    if checkpoint_doc is not None:
+        snapshot = SessionSnapshot.from_dict(checkpoint_doc["snapshot"])
+    if platform is None:
+        if snapshot is None:
+            raise WalError(
+                f"no checkpoint for session {session!r} in {wal!r} and "
+                f"no warm platform to replay onto"
+            )
+        if dsk is None:
+            raise WalError(
+                "cold recovery needs the domain's DSK to rebuild the "
+                "platform from the snapshot"
+            )
+        platform = restore_platform(
+            snapshot, dsk, bus=bus, clock=clock, metrics=metrics
+        )
+    elif snapshot is not None:
+        apply_snapshot(platform, snapshot)
+
+    if max_seq:
+        advance_signal_seq(max_seq)
+    journal = EffectJournal(wal, session=session)
+    if platform.broker is not None:
+        platform.broker.resources.install_effect_journal(journal)
+    report = RecoveryReport(platform=platform, snapshot=snapshot, journal=journal)
+    seen: set[tuple[int, int]] = set()
+    for sig_doc in entries:
+        signal = signal_from_doc(sig_doc)
+        key = (signal.trace_id, signal.seq)
+        if key in seen:
+            report.deduplicated += 1
+            continue
+        seen.add(key)
+        journal.begin_entry(
+            signal,
+            recorded_effects=effects.get(signal.seq),
+            already_applied=signal.seq in applied,
+        )
+        error: Exception | None = None
+        try:
+            apply_entry(platform, signal)
+        except Exception as exc:  # noqa: BLE001 - deterministic re-raise
+            error = exc
+        try:
+            journal.end_entry()
+        except WalError as exc:
+            error = error if error is not None else exc
+        if error is not None:
+            report.errors.append((signal.seq, error))
+        report.replayed_entries += 1
+    report.effects_memoized = journal.replayed
+    report.effects_live = journal.recorded
+    return report
+
+
+class DurableSession:
+    """Write-ahead logging wrapper for one platform session.
+
+    Every unit of work enters through :meth:`execute`: the entry signal
+    is appended to the log *before* it is applied (write-ahead), the
+    broker's external operations are memoized while it runs, and an
+    ``applied`` frame seals the entry with its recorded effects.  :meth:`checkpoint`
+    embeds a full snapshot and truncates covered segments.  After a
+    crash, :func:`recover_session` (or
+    :meth:`DurableSession.recover`) rebuilds the exact pre-crash state
+    with external effects executed exactly once.
+    """
+
+    def __init__(
+        self,
+        platform: "Platform",
+        wal: Any,
+        *,
+        session: str | None = None,
+        journal: Any = None,
+    ) -> None:
+        from repro.runtime.wal import EffectJournal
+
+        self.platform = platform
+        self.wal = wal
+        self.session = session if session is not None else platform.name
+        self.journal = (
+            journal
+            if journal is not None
+            else EffectJournal(wal, session=self.session)
+        )
+        if platform.broker is not None:
+            platform.broker.resources.install_effect_journal(self.journal)
+        self.entries_logged = 0
+
+    def execute(
+        self,
+        entry_doc: dict[str, Any],
+        apply_entry: Callable[["Platform", Any], Any],
+        *,
+        topic: str = "session.entry",
+    ) -> Any:
+        """Durably log ``entry_doc`` then apply it.
+
+        ``apply_entry(platform, signal)`` receives the logged entry
+        signal (payload = ``entry_doc``) — the same callable is handed
+        to :func:`recover_session` so replay re-runs identical code.
+        """
+        # the payload aliases entry_doc: it is encoded into the log by
+        # log_call, and apply_entry receives the same dict the caller
+        # handed in.
+        journal = self.journal
+        signal = journal.log_call(topic, entry_doc)
+        self.entries_logged += 1
+        try:
+            return apply_entry(self.platform, signal)
+        finally:
+            journal.end_entry()
+
+    def checkpoint(self) -> SessionSnapshot:
+        snapshot = capture_snapshot(self.platform)
+        self.wal.checkpoint(snapshot.to_dict(), session=self.session)
+        return snapshot
+
+    def close(self) -> None:
+        """Detach from the log (drops the session from the truncation
+        floor; the platform itself is left to its owner)."""
+        self.wal.forget_session(self.session)
+        if self.platform.broker is not None:
+            self.platform.broker.resources.install_effect_journal(None)
+
+    @classmethod
+    def recover(
+        cls,
+        wal: Any,
+        *,
+        session: str,
+        apply_entry: Callable[["Platform", Any], Any],
+        dsk: "DomainKnowledge | None" = None,
+        platform: "Platform | None" = None,
+        bus: "EventBus | None" = None,
+        clock: "Clock | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> tuple["DurableSession", RecoveryReport]:
+        """Rebuild a durable session from its log after a crash."""
+        report = recover_session(
+            wal,
+            session=session,
+            apply_entry=apply_entry,
+            platform=platform,
+            dsk=dsk,
+            bus=bus,
+            clock=clock,
+            metrics=metrics,
+        )
+        durable = cls(
+            report.platform, wal, session=session, journal=report.journal
+        )
+        return durable, report

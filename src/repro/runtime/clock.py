@@ -14,7 +14,25 @@ import itertools
 import time
 from typing import Callable
 
-__all__ = ["Clock", "WallClock", "VirtualClock", "Timer"]
+__all__ = ["Clock", "WallClock", "VirtualClock", "Timer", "TimerHandle"]
+
+
+class TimerHandle:
+    """A scheduled callback; ``cancel()`` prevents it from firing.
+
+    Cancellation is lazy: the heap entry stays queued and is skipped
+    when its timestamp is reached, so cancel is O(1) and never
+    disturbs an in-flight ``advance``.
+    """
+
+    __slots__ = ("when", "cancelled")
+
+    def __init__(self, when: float) -> None:
+        self.when = when
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
 
 
 class Clock:
@@ -55,7 +73,9 @@ class VirtualClock(Clock):
 
     def __init__(self, *, start: float = 0.0) -> None:
         self._now = float(start)
-        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timers: list[
+            tuple[float, int, TimerHandle, Callable[[], None]]
+        ] = []
         self._seq = itertools.count()
 
     def now(self) -> float:
@@ -69,30 +89,36 @@ class VirtualClock(Clock):
             raise ValueError("cannot advance a clock backwards")
         deadline = self._now + seconds
         while self._timers and self._timers[0][0] <= deadline:
-            when, _seq, callback = heapq.heappop(self._timers)
+            when, _seq, handle, callback = heapq.heappop(self._timers)
+            if handle.cancelled:
+                continue
             self._now = max(self._now, when)
             callback()
         # A timer callback may itself have advanced the clock past the
         # deadline (nested advance); never move time backwards.
         self._now = max(self._now, deadline)
 
-    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+    def call_at(self, when: float, callback: Callable[[], None]) -> TimerHandle:
         """Schedule ``callback`` to fire when time reaches ``when``."""
         if when < self._now:
             raise ValueError(f"cannot schedule in the past ({when} < {self._now})")
-        heapq.heappush(self._timers, (when, next(self._seq), callback))
+        handle = TimerHandle(when)
+        heapq.heappush(self._timers, (when, next(self._seq), handle, callback))
+        return handle
 
-    def call_later(self, delay: float, callback: Callable[[], None]) -> None:
-        self.call_at(self._now + delay, callback)
+    def call_later(self, delay: float, callback: Callable[[], None]) -> TimerHandle:
+        return self.call_at(self._now + delay, callback)
 
     @property
     def pending_timers(self) -> int:
-        return len(self._timers)
+        return sum(1 for timer in self._timers if not timer[2].cancelled)
 
     def run_until_idle(self, *, limit: float = float("inf")) -> None:
         """Fire all pending timers up to ``limit`` (absolute time)."""
         while self._timers and self._timers[0][0] <= limit:
-            when, _seq, callback = heapq.heappop(self._timers)
+            when, _seq, handle, callback = heapq.heappop(self._timers)
+            if handle.cancelled:
+                continue
             self._now = max(self._now, when)
             callback()
 

@@ -39,9 +39,24 @@ __all__ = [
     "EventBus",
     "TopicMatcher",
     "tracing_active",
+    "advance_signal_seq",
+    "mint_call",
 ]
 
 _signal_seq = itertools.count(1)
+
+
+def advance_signal_seq(minimum: int) -> None:
+    """Ensure freshly-minted signal seqs exceed ``minimum``.
+
+    Recovery replays signals reconstructed from a write-ahead log with
+    their *original* seq numbers; advancing the process counter past
+    the highest replayed seq keeps post-recovery signals from colliding
+    with logged ones, so ``(trace_id, seq)`` dedup stays sound.
+    """
+    global _signal_seq
+    current = next(_signal_seq)
+    _signal_seq = itertools.count(max(current, minimum + 1))
 
 #: process-wide signal-creation hook (installed by repro.runtime.trace).
 _trace_hook: Callable[["Signal"], None] | None = None
@@ -144,6 +159,32 @@ class Event(Signal):
     @property
     def kind(self) -> str:
         return "event"
+
+
+def mint_call(topic: str, payload: Mapping[str, Any], origin: str) -> Call:
+    """Construct a chain-rooting :class:`Call` without dataclass
+    ``__init__`` overhead.
+
+    Behaviourally identical to ``Call(topic=..., payload=...,
+    origin=...)`` — fresh ``seq``, ``trace_id == seq``, no parent, the
+    trace hook fires — but populates the instance ``__dict__``
+    directly, skipping the frozen dataclass's ``object.__setattr__``
+    per field.  Per-signal hot paths (the durable session's
+    write-ahead loop) mint thousands of root calls; everything else
+    should use the ordinary constructors.
+    """
+    seq = next(_signal_seq)
+    call = object.__new__(Call)
+    d = call.__dict__
+    d["topic"] = topic
+    d["payload"] = payload
+    d["origin"] = origin
+    d["seq"] = seq
+    d["trace_id"] = seq
+    d["parent_seq"] = None
+    if _trace_hook is not None:
+        _trace_hook(call)
+    return call
 
 
 @dataclass

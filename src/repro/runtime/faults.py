@@ -32,6 +32,7 @@ from repro.runtime.clock import Clock, WallClock
 
 __all__ = [
     "FaultError",
+    "ReplayedFault",
     "CircuitOpen",
     "RetryPolicy",
     "PASSTHROUGH",
@@ -44,6 +45,12 @@ __all__ = [
 
 class FaultError(Exception):
     """Base class for fault-layer errors."""
+
+
+class ReplayedFault(FaultError):
+    """A memoized error outcome replayed from the write-ahead log whose
+    original exception type could not be reconstructed.  Carries the
+    original type name and message so diagnostics survive recovery."""
 
 
 class CircuitOpen(FaultError):

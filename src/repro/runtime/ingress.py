@@ -99,6 +99,7 @@ class ShedReason:
     SHARD_BACKLOG = "shard_backlog"
     BREAKER_OPEN = "breaker_open"
     CLOSED = "ingress_closed"
+    SESSION_CLOSED = "session_closed"
 
 
 class IngressRejected(FaultError):
@@ -372,8 +373,11 @@ class IngressTier:
     def _bind(self, key: str, fn: Callable[..., Any]) -> Callable[[], Any]:
         if self._resolve is None:
             return fn
-        args = self._resolve(key)
-        return lambda: fn(*args)
+        # Resolve lazily, on the shard thread at run time: a session
+        # migrated while its request sat queued must execute against
+        # the platform that owns it *now*, not a stale submit-time one.
+        resolve = self._resolve
+        return lambda: fn(*resolve(key))
 
     def _admission_locked(self, request: IngressRequest) -> str | None:
         """The shed decision; None admits.  Caller holds the lock."""
@@ -421,6 +425,14 @@ class IngressTier:
                     if not queue:
                         continue  # emptied by an earlier pass
                     head = queue[0]
+                    # Re-resolve shard ownership at dispatch time: a
+                    # migrate() that landed while the request was
+                    # queued re-pointed the session's affinity, and
+                    # dispatching to the submit-time shard would break
+                    # the one-shard-per-session ordering contract.
+                    owner = self.runtime.shard_for(key).index
+                    if owner != head.shard:
+                        head.shard = owner
                     taken = batches.get(head.shard)
                     if self._inflight[head.shard] >= cap:
                         stalled[priority].append(key)
@@ -513,6 +525,41 @@ class IngressTier:
         for subscription in self._watched:
             subscription.cancel()
         self._watched.clear()
+
+    def close_session(self, key: str) -> int:
+        """Shed everything still queued for a closing session.
+
+        Entries queued when their session closes must not dispatch into
+        a released session (or hang forever on a queue nobody pumps):
+        each one resolves immediately as a typed ``REJECTED`` outcome
+        with ``ShedReason.SESSION_CLOSED``.  Requests already handed to
+        a shard mailbox are past the point of no return and complete
+        normally.  Returns the number of requests shed.
+        """
+        key = str(key)
+        with self._lock:
+            queue = self._queues.pop(key, None)
+            victims = list(queue) if queue else []
+            self._queued -= len(victims)
+            self.shed += len(victims)
+            # The key may still sit in a ready deque; pump() skips keys
+            # with no queue, so no further bookkeeping is needed.
+        for request in victims:
+            self.metrics.count("ingress.shed", ShedReason.SESSION_CLOSED)
+            request.future.set_result(
+                InvocationOutcome(
+                    status=InvocationOutcome.REJECTED,
+                    label=key,
+                    error=IngressRejected(
+                        ShedReason.SESSION_CLOSED,
+                        session=key,
+                        priority=request.priority,
+                    ),
+                    attempts=0,
+                    elapsed=0.0,
+                )
+            )
+        return len(victims)
 
     def stats(self) -> dict[str, Any]:
         with self._lock:

@@ -1,0 +1,829 @@
+"""Durable write-ahead signal log with exactly-once replay.
+
+Checkpoints (PR 5) are point-in-time and in-memory: a crash between
+checkpoints silently drops every signal applied since the last
+snapshot, and supervised restart (PR 2) re-runs whatever the caller
+retries — at-least-once at best.  This module adds the missing
+durability tier, shaped after orchestrator-core's "persist every step,
+resume from the store" discipline:
+
+* :class:`WriteAheadLog` — an append-only, segmented, length-prefixed
+  and CRC-32-checked log of JSON frames.  Every segment opens with a
+  versioned ``repro-wal`` header envelope (same tolerant-reader
+  contract as ``serialize.py``), appends are group-committed (fsync
+  once per ``sync_every`` frames, and always on checkpoint), and an
+  interrupted write leaves a *torn tail* that the reader detects by
+  CRC/length and truncates on the next open — the classic
+  torn-write-tolerant WAL recovery rule.
+
+* Frame kinds: ``entry`` (a :class:`~repro.runtime.events.Signal`
+  with its PR 1 ``trace_id``/``parent_seq`` causal chain, written
+  *before* the work it names is dispatched), ``applied`` (the entry
+  completed, carrying the memoized outcomes of every external resource
+  operation it performed), and ``checkpoint`` (a full
+  ``SessionSnapshot`` document embedded in the log, recording the
+  position it covers).  Effects ride inside the ``applied`` frame
+  rather than as individual frames: one locked write seals an entry,
+  and under group commit the two layouts have identical durability —
+  anything after the last fsync is lost either way, and an entry whose
+  seal was lost simply re-executes on recovery.  Snapshot-then-truncate
+  compaction: a checkpoint rotates to a fresh segment first, so every
+  older segment is wholly covered and can be deleted.
+
+* :class:`EffectJournal` — the exactly-once mechanism.  Replaying an
+  entry through the middleware re-runs the deterministic layers, but
+  external resource operations must not execute twice (the simulated
+  services append to ``op_log``; a duplicate invoke is observable).
+  The journal buffers each operation's outcome (value or typed error)
+  while live and seals them into the entry's ``applied`` frame; during
+  replay it *intercepts* the same operations and returns the memoized
+  outcome (or re-raises a reconstructed typed error) without touching
+  the resource.  Recovery is therefore restore-latest-snapshot +
+  replay-tail with delivery deduplicated by ``(trace_id, seq)`` —
+  exactly-once end to end.
+
+Binary frame format (all integers big-endian)::
+
+    [u32 length][u32 crc32-of-payload][payload: UTF-8 JSON, length bytes]
+
+A frame whose length field runs past end-of-file, or whose CRC does
+not match, terminates a *final* segment cleanly (torn tail from a
+crash mid-write); anywhere else it raises :class:`WalError` because it
+means corruption rather than interruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterator, NamedTuple
+
+from repro.runtime.events import Call, Event, Signal, mint_call
+
+try:  # optional accelerator: dumps straight to bytes, ~10x stdlib.
+    import orjson as _orjson
+except ImportError:  # pragma: no cover - stdlib fallback
+    _orjson = None  # type: ignore[assignment]
+
+if _orjson is not None:
+    import functools
+
+    _ORJSON_OPTS = _orjson.OPT_NON_STR_KEYS
+    # partial, not a def: orjson is called straight from the hot path,
+    # and a C-level partial skips one Python frame per frame encoded.
+    _dumps = functools.partial(_orjson.dumps, option=_ORJSON_OPTS)
+    _dumps_lenient = functools.partial(
+        _orjson.dumps, default=repr, option=_ORJSON_OPTS
+    )
+    _loads = _orjson.loads
+else:  # pragma: no cover - exercised only without orjson
+
+    def _dumps(doc: Any) -> bytes:
+        return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+    def _dumps_lenient(doc: Any) -> bytes:
+        return json.dumps(
+            doc, separators=(",", ":"), default=repr
+        ).encode("utf-8")
+
+    _loads = json.loads
+
+__all__ = [
+    "WAL_FORMAT",
+    "WAL_VERSION",
+    "WalError",
+    "WalReplayDivergence",
+    "WalPosition",
+    "WriteAheadLog",
+    "EffectJournal",
+    "signal_to_doc",
+    "signal_from_doc",
+]
+
+#: envelope identifying WAL segment headers (serialize.py discipline).
+WAL_FORMAT = "repro-wal"
+#: current writer version; readers accept any version up to this one.
+WAL_VERSION = 1
+
+_HEADER = struct.Struct(">II")  # (length, crc32)
+
+_SIGNAL_KINDS: dict[str, type[Signal]] = {
+    "signal": Signal,
+    "call": Call,
+    "event": Event,
+}
+
+
+class WalError(Exception):
+    """Corrupt log, unsupported format, or unserializable frame."""
+
+
+class WalReplayDivergence(WalError):
+    """Replayed execution requested a different effect sequence than
+    the log recorded — the apply function is not deterministic."""
+
+
+class WalPosition(NamedTuple):
+    """A durable log coordinate: byte ``offset`` within ``segment``.
+
+    A NamedTuple rather than a dataclass: two positions are minted per
+    logged entry on the hot path, and tuple construction is several
+    times cheaper than frozen-dataclass ``__init__``.  Ordering is
+    lexicographic on ``(segment, offset)`` either way.
+    """
+
+    segment: int
+    offset: int
+
+    def to_list(self) -> list[int]:
+        return [self.segment, self.offset]
+
+    @classmethod
+    def from_list(cls, raw: Any) -> "WalPosition":
+        return cls(int(raw[0]), int(raw[1]))
+
+
+def signal_to_doc(signal: Signal) -> dict[str, Any]:
+    """The replayable projection of a signal (causal fields included).
+
+    The payload is aliased, not copied — the doc is encoded immediately
+    on the append path, and replayed docs come from :func:`_loads`.
+    """
+    return {
+        "kind": signal.kind,
+        "topic": signal.topic,
+        "payload": signal.payload,
+        "origin": signal.origin,
+        "seq": signal.seq,
+        "trace_id": signal.trace_id,
+        "parent_seq": signal.parent_seq,
+    }
+
+
+def signal_from_doc(doc: dict[str, Any]) -> Signal:
+    """Reconstruct a signal with its original seq and causal chain."""
+    cls = _SIGNAL_KINDS.get(doc.get("kind", "signal"), Signal)
+    return cls(
+        topic=doc["topic"],
+        payload=doc.get("payload", {}),
+        origin=doc.get("origin", ""),
+        seq=int(doc["seq"]),
+        trace_id=int(doc.get("trace_id", 0)),
+        parent_seq=doc.get("parent_seq"),
+    )
+
+
+def _encode_frame(payload: bytes) -> bytes:
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """Append-only segmented log of JSON frames for one shard.
+
+    ``directory`` holds numbered segment files (``wal-00000000.log``,
+    ``wal-00000001.log``, ...).  Opening an existing directory resumes
+    the highest segment, validating its header and truncating any torn
+    tail left by a crash mid-append.
+
+    Durability knobs: ``fsync=False`` trusts the OS page cache (tests,
+    benches measuring CPU overhead); otherwise appends are
+    group-committed — ``flush()+fsync()`` once every ``sync_every``
+    frames and always on :meth:`sync`/:meth:`checkpoint`/:meth:`close`.
+
+    Thread safety: all mutating calls serialize on one lock, so shard
+    pump threads and an ingress producer can share a log.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        name: str = "wal",
+        sync_every: int = 64,
+        fsync: bool = True,
+        segment_max_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        self.sync_every = max(1, int(sync_every))
+        self.fsync = bool(fsync)
+        self.segment_max_bytes = int(segment_max_bytes)
+        # a plain Lock (not RLock): public methods never nest — locked
+        # sections call only the _*_locked helpers — and it is a shade
+        # cheaper on the two acquisitions every logged entry pays.
+        self._lock = threading.Lock()
+        self._file: Any = None
+        self._segment = 0
+        self._offset = 0
+        self._unsynced = 0
+        self._closed = False
+        # truncation floor bookkeeping: last checkpointed segment per
+        # session, and every session seen appending since open.
+        self._checkpoint_segment: dict[str, int] = {}
+        self._active_sessions: set[str] = set()
+        self.appends = 0
+        self.syncs = 0
+        self.rotations = 0
+        self.truncated_segments = 0
+        self.torn_tail_repaired = False
+        self._open_latest()
+
+    # -- segment management -------------------------------------------
+
+    def _segment_path(self, segment: int) -> Path:
+        return self.directory / f"{self.name}-{segment:08d}.log"
+
+    def segments(self) -> list[int]:
+        """Existing segment indexes, ascending."""
+        prefix = f"{self.name}-"
+        found = []
+        for path in self.directory.glob(f"{self.name}-*.log"):
+            stem = path.name[len(prefix):-4]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    def _open_latest(self) -> None:
+        existing = self.segments()
+        if not existing:
+            self._start_segment(0)
+            return
+        self._segment = existing[-1]
+        path = self._segment_path(self._segment)
+        valid = self._scan_valid_length(path)
+        size = path.stat().st_size
+        if valid < size:
+            # torn tail from a crash mid-append: truncate to the last
+            # whole frame so the log ends on a clean boundary.
+            with open(path, "r+b") as handle:
+                handle.truncate(valid)
+            self.torn_tail_repaired = True
+        self._file = open(path, "ab")
+        self._offset = valid
+        # rebuild truncation-floor bookkeeping from the surviving log.
+        for _, doc in self.replay():
+            kind = doc.get("k")
+            session = str(doc.get("session", ""))
+            if kind == "checkpoint":
+                self._checkpoint_segment[session] = int(
+                    doc.get("position", [self._segment, 0])[0]
+                )
+            elif kind == "entry":
+                self._active_sessions.add(session)
+
+    def _start_segment(self, segment: int) -> None:
+        self._segment = segment
+        self._file = open(self._segment_path(segment), "ab")
+        self._offset = 0
+        header = {
+            "format": WAL_FORMAT,
+            "version": WAL_VERSION,
+            "k": "header",
+            "segment": segment,
+            "log": self.name,
+        }
+        frame = _encode_frame(_dumps(header))
+        self._file.write(frame)
+        self._offset = len(frame)
+        self._sync_locked()
+
+    def _scan_valid_length(self, path: Path) -> int:
+        """Byte length of the longest valid frame prefix of ``path``."""
+        valid = 0
+        with open(path, "rb") as handle:
+            while True:
+                header = handle.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    return valid
+                length, crc = _HEADER.unpack(header)
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    return valid
+                valid += _HEADER.size + length
+
+    # -- appending ----------------------------------------------------
+
+    def position(self) -> WalPosition:
+        with self._lock:
+            return WalPosition(self._segment, self._offset)
+
+    def _encode(self, doc: dict[str, Any], *, strict: bool) -> bytes:
+        """Serialize a frame payload (outside the lock: encoding does
+        not touch writer state, so it should not extend lock hold)."""
+        try:
+            return _dumps(doc)
+        except (TypeError, ValueError) as exc:
+            if strict:
+                raise WalError(
+                    f"frame {doc.get('k')!r} is not JSON-serializable: {exc}"
+                ) from exc
+            return _dumps_lenient(doc)
+
+    def _write_locked(self, payload: bytes) -> None:
+        """The leanest framed write: no position minted (hot path)."""
+        if self._closed:
+            raise WalError(f"log {self.name!r} is closed")
+        if self._offset >= self.segment_max_bytes:
+            self._rotate_locked()
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(frame)
+        self._offset += len(frame)
+        self.appends += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self._sync_locked()
+
+    def _append_locked(self, doc: dict[str, Any], *, strict: bool) -> WalPosition:
+        payload = self._encode(doc, strict=strict)
+        if self._closed:
+            raise WalError(f"log {self.name!r} is closed")
+        if self._offset >= self.segment_max_bytes:
+            self._rotate_locked()
+        position = WalPosition(self._segment, self._offset)
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._file.write(frame)
+        self._offset += len(frame)
+        self.appends += 1
+        self._unsynced += 1
+        if self._unsynced >= self.sync_every:
+            self._sync_locked()
+        return position
+
+    def append(self, doc: dict[str, Any], *, strict: bool = True) -> WalPosition:
+        """Append one raw frame; returns its position.
+
+        ``strict=False`` falls back to ``repr`` for non-JSON values —
+        used by the fabric tier logging arbitrary signal payloads for
+        observability, never for frames the recovery path replays.
+        """
+        with self._lock:
+            return self._append_locked(doc, strict=strict)
+
+    def append_entry(
+        self,
+        signal: Signal,
+        *,
+        session: str = "",
+        strict: bool = True,
+    ) -> None:
+        """Write-ahead record of a signal about to be dispatched.
+
+        This and :meth:`seal_entry` are the two per-entry hot-path
+        writes: the frame is encoded outside the lock, the signal doc
+        is built inline, and no position is minted.
+        """
+        payload = self._encode(
+            {
+                "k": "entry",
+                "session": session,
+                "sig": {
+                    "kind": signal.kind,
+                    "topic": signal.topic,
+                    "payload": signal.payload,
+                    "origin": signal.origin,
+                    "seq": signal.seq,
+                    "trace_id": signal.trace_id,
+                    "parent_seq": signal.parent_seq,
+                },
+            },
+            strict=strict,
+        )
+        with self._lock:
+            self._active_sessions.add(session)
+            self._write_locked(payload)
+
+    def seal_entry(
+        self,
+        *,
+        session: str,
+        entry_seq: int,
+        effects: list[list[Any]] | None = None,
+    ) -> None:
+        """Seal an entry: it completed, with these memoized effects."""
+        doc: dict[str, Any] = {
+            "k": "applied",
+            "session": session,
+            "entry_seq": entry_seq,
+        }
+        if effects:
+            doc["effects"] = effects
+        payload = self._encode(doc, strict=True)
+        with self._lock:
+            self._write_locked(payload)
+
+    def sync(self) -> None:
+        with self._lock:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        if self._file is None:
+            return
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self.syncs += 1
+
+    def _rotate_locked(self) -> None:
+        self._sync_locked()
+        self._file.close()
+        self.rotations += 1
+        self._start_segment(self._segment + 1)
+
+    def rotate(self) -> int:
+        """Seal the current segment and start the next; returns its index."""
+        with self._lock:
+            self._rotate_locked()
+            return self._segment
+
+    # -- checkpointing ------------------------------------------------
+
+    def checkpoint(
+        self,
+        snapshot_doc: dict[str, Any],
+        *,
+        session: str = "",
+        truncate: bool = True,
+    ) -> WalPosition:
+        """Embed a snapshot covering everything logged so far.
+
+        Rotates first so the checkpoint opens a fresh segment: every
+        earlier segment is then wholly covered by *some* checkpoint and
+        is deleted, subject to the truncation floor — a shard log shared
+        by several sessions only drops segments older than the oldest
+        session's last checkpoint (a session that never checkpointed
+        pins the whole log until it does or is :meth:`forget_session`-ed).
+        """
+        with self._lock:
+            covers = WalPosition(self._segment, self._offset)
+            self._rotate_locked()
+            position = self._append_locked(
+                {
+                    "k": "checkpoint",
+                    "session": session,
+                    "position": covers.to_list(),
+                    "snapshot": snapshot_doc,
+                },
+                strict=True,
+            )
+            self._sync_locked()
+            self._checkpoint_segment[session] = position.segment
+            self._active_sessions.add(session)
+            if truncate:
+                self._truncate_locked()
+            return position
+
+    def _truncation_floor(self) -> int:
+        floor = self._segment
+        for session in self._active_sessions:
+            floor = min(floor, self._checkpoint_segment.get(session, 0))
+        return floor
+
+    def _truncate_locked(self) -> int:
+        floor = self._truncation_floor()
+        dropped = 0
+        for segment in self.segments():
+            if segment < floor:
+                self._segment_path(segment).unlink()
+                dropped += 1
+        self.truncated_segments += dropped
+        return dropped
+
+    def truncate(self) -> int:
+        """Delete segments below the truncation floor; returns count."""
+        with self._lock:
+            return self._truncate_locked()
+
+    def forget_session(self, session: str) -> None:
+        """Drop a closed session from the truncation floor."""
+        with self._lock:
+            self._active_sessions.discard(session)
+            self._checkpoint_segment.pop(session, None)
+
+    # -- reading ------------------------------------------------------
+
+    def replay(
+        self, *, start: WalPosition | None = None
+    ) -> Iterator[tuple[WalPosition, dict[str, Any]]]:
+        """Yield ``(position, doc)`` for every frame at/after ``start``.
+
+        Header frames are consumed for envelope validation and not
+        yielded.  A torn tail in the *final* segment ends iteration
+        cleanly; a bad frame anywhere else raises :class:`WalError`.
+        """
+        from repro.modeling.serialize import SerializationError, check_envelope
+
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+            segments = self.segments()
+        last = segments[-1] if segments else -1
+        for segment in segments:
+            if start is not None and segment < start.segment:
+                continue
+            path = self._segment_path(segment)
+            offset = 0
+            with open(path, "rb") as handle:
+                first = True
+                while True:
+                    header = handle.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        if header and segment != last:
+                            raise WalError(
+                                f"truncated frame header mid-log in "
+                                f"segment {segment}"
+                            )
+                        break
+                    length, crc = _HEADER.unpack(header)
+                    payload = handle.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        if segment != last:
+                            raise WalError(
+                                f"corrupt frame mid-log in segment "
+                                f"{segment} at offset {offset}"
+                            )
+                        break  # torn tail: crash mid-append
+                    try:
+                        doc = _loads(payload)
+                    except ValueError as exc:
+                        raise WalError(
+                            f"undecodable frame in segment {segment} at "
+                            f"offset {offset}: {exc}"
+                        ) from exc
+                    position = WalPosition(segment, offset)
+                    offset += _HEADER.size + length
+                    if first:
+                        first = False
+                        if doc.get("k") == "header":
+                            try:
+                                check_envelope(
+                                    doc,
+                                    expected_format=WAL_FORMAT,
+                                    max_version=WAL_VERSION,
+                                )
+                            except SerializationError as exc:
+                                raise WalError(str(exc)) from exc
+                            continue
+                        raise WalError(
+                            f"segment {segment} does not open with a "
+                            f"{WAL_FORMAT!r} header frame"
+                        )
+                    if start is not None and position < start:
+                        continue
+                    yield position, doc
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._sync_locked()
+            self._file.close()
+            self._file = None
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, segment={self._segment}, "
+            f"appends={self.appends})"
+        )
+
+
+class EffectJournal:
+    """Exactly-once interceptor for external resource operations.
+
+    While an entry is being applied *live*, :meth:`around` invokes the
+    operation and buffers its outcome (value or typed error); when the
+    entry completes, :meth:`end_entry` seals the buffered outcomes into
+    the entry's ``applied`` frame with a single locked write.  While an
+    entry is being *replayed* during recovery, :meth:`around` pops the
+    next recorded effect and returns (or re-raises) it without invoking
+    the operation — the middleware layers re-run deterministically, the
+    external world does not.
+
+    An entry whose ``applied`` frame never made it to disk (crash
+    mid-entry, or after the entry frame but before the seal) replays
+    its operations live against the restored resource state — the same
+    redo rule a frame-per-effect layout degrades to under group commit,
+    where unsynced effect frames are lost with the seal anyway.
+
+    ``error_factory(type_name, message)`` rebuilds a typed exception
+    for replayed error outcomes; the broker installs one mapping its
+    resource fault taxonomy (see ``ResourceManager.install_effect_journal``).
+    """
+
+    def __init__(self, wal: WriteAheadLog, *, session: str = "") -> None:
+        self.wal = wal
+        self.session = session
+        self.error_factory: Callable[[str, str], Exception] | None = None
+        #: whether an entry is open — a plain attribute, not a
+        #: property: the resource manager consults it on every
+        #: invocation, journal installed or not.
+        self.active = False
+        self._entry_seq: int | None = None
+        self._op_index = 0
+        self._effects: list[list[Any]] = []
+        self._replay_queue: deque[list[Any]] | None = None
+        self._already_applied = False
+        self.recorded = 0
+        self.replayed = 0
+        # hot-path bindings: the per-entry writes go straight at the
+        # log's lock and lean write (same module; see log_call).
+        self._wal_lock = wal._lock
+        self._wal_write = wal._write_locked
+        self._session_registered = False
+        # Precomputed frame fragments: the per-step entry and applied
+        # frames are assembled by byte concatenation around the only
+        # variable parts (topic, payload, seq), which beats serializing
+        # a freshly-built nested dict on every step.  The concatenated
+        # bytes parse to exactly the documented frame docs.
+        session_json = _dumps(session)
+        self._entry_prefix = (
+            b'{"k":"entry","session":' + session_json
+            + b',"sig":{"kind":"call","origin":' + session_json
+            + b',"topic":'
+        )
+        self._seal_prefix = (
+            b'{"k":"applied","session":' + session_json + b',"entry_seq":'
+        )
+        self._topic_json: dict[str, bytes] = {}
+
+    @property
+    def replaying(self) -> bool:
+        return self._replay_queue is not None and bool(self._replay_queue)
+
+    def log_call(self, topic: str, payload: dict[str, Any]) -> Call:
+        """Fused hot path: mint a chain-rooting :class:`Call`,
+        write-ahead its entry frame, open the entry.
+
+        Equivalent to ``Call(topic=..., payload=..., origin=session)``
+        + ``wal.append_entry(...)`` + :meth:`begin_entry` — this is the
+        per-step front half of ``DurableSession.execute``.  The logged
+        payload aliases ``payload``; the returned call is what
+        ``apply_entry`` should receive.
+        """
+        if self.active:
+            raise WalError("EffectJournal entries do not nest")
+        call = mint_call(topic, payload, self.session)
+        seq = call.seq
+        topic_json = self._topic_json.get(topic)
+        if topic_json is None:
+            topic_json = self._topic_json[topic] = _dumps(topic)
+        try:
+            frame = (
+                self._entry_prefix + topic_json
+                + b',"payload":' + _dumps(payload)
+                + b',"seq":%d,"trace_id":%d,"parent_seq":null}}'
+                % (seq, seq)
+            )
+        except (TypeError, ValueError) as exc:
+            raise WalError(
+                f"entry seq={seq} is not JSON-serializable: {exc}"
+            ) from exc
+        if not self._session_registered:
+            with self._wal_lock:
+                self.wal._active_sessions.add(self.session)
+            self._session_registered = True
+        with self._wal_lock:
+            self._wal_write(frame)
+        self._entry_seq = seq
+        self._effects = []
+        self._already_applied = False
+        self._replay_queue = None
+        self.active = True
+        return call
+
+    def begin_entry(
+        self,
+        signal: Signal,
+        *,
+        recorded_effects: list[list[Any]] | None = None,
+        already_applied: bool = False,
+    ) -> None:
+        if self.active:
+            raise WalError("EffectJournal entries do not nest")
+        self._entry_seq = signal.seq
+        self._op_index = 0
+        self._effects = []
+        self._already_applied = already_applied
+        # log order == execution order for both the sealed-list layout
+        # and the older frame-per-effect layout, so no sort is needed.
+        self._replay_queue = (
+            deque(recorded_effects) if recorded_effects else None
+        )
+        self.active = True
+
+    def end_entry(self) -> None:
+        if not self.active:
+            return
+        entry_seq = self._entry_seq
+        assert entry_seq is not None
+        leftover = self._replay_queue
+        effects = self._effects
+        self.active = False
+        self._entry_seq = None
+        self._replay_queue = None
+        self._effects = []
+        # live effects are counted here in one batch rather than one
+        # increment per operation in around()/around_invoke().
+        self.recorded += len(effects)
+        if leftover:
+            raise WalReplayDivergence(
+                f"entry seq={entry_seq} replayed fewer effects than "
+                f"recorded ({len(leftover)} left over)"
+            )
+        if not self._already_applied:
+            # inline seal (see WriteAheadLog.seal_entry): byte concat
+            # around the precomputed prefix, one locked write.
+            if effects:
+                try:
+                    frame = (
+                        self._seal_prefix + b"%d" % entry_seq
+                        + b',"effects":' + _dumps(effects) + b"}"
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise WalError(
+                        f"entry seq={entry_seq} effects are not "
+                        f"JSON-serializable: {exc}"
+                    ) from exc
+            else:
+                frame = self._seal_prefix + b"%d}" % entry_seq
+            with self._wal_lock:
+                self._wal_write(frame)
+
+    def _replay_next(self, label: str) -> Any:
+        """Pop the next recorded effect and return/raise its outcome.
+
+        Records are ``[label, "ok", value]`` or ``[label, "error",
+        error_type, message]`` (see :meth:`around`).
+        """
+        queue = self._replay_queue
+        assert queue is not None
+        record = queue.popleft()
+        if record[0] != label:
+            raise WalReplayDivergence(
+                f"entry seq={self._entry_seq} effect {self._op_index} "
+                f"recorded {record[0]!r} but replay requested {label!r}"
+            )
+        self._op_index += 1
+        self.replayed += 1
+        if record[1] == "ok":
+            return record[2]
+        factory = self.error_factory
+        message = str(record[3])
+        if factory is not None:
+            raise factory(str(record[2]), message)
+        raise WalError(f"replayed error effect {record[2]}: {message}")
+
+    def around(self, label: str, call: Callable[[], Any]) -> Any:
+        """Run ``call`` exactly once across crash/recovery."""
+        if not self.active:
+            return call()
+        if self._replay_queue:
+            return self._replay_next(label)
+        try:
+            value = call()
+        except Exception as exc:
+            self._effects.append(
+                [label, "error", type(exc).__name__, str(exc)]
+            )
+            raise
+        self._effects.append([label, "ok", value])
+        return value
+
+    def around_invoke(
+        self,
+        label: str,
+        fn: Callable[..., Any],
+        operation: str,
+        args: dict[str, Any],
+    ) -> Any:
+        """:meth:`around` for ``resource.invoke``-shaped callables.
+
+        Takes the callable and its arguments directly so the resource
+        manager's hot path does not build a closure per operation.
+        """
+        if not self.active:
+            return fn(operation, **args)
+        if self._replay_queue:
+            return self._replay_next(label)
+        try:
+            value = fn(operation, **args)
+        except Exception as exc:
+            self._effects.append(
+                [label, "error", type(exc).__name__, str(exc)]
+            )
+            raise
+        self._effects.append([label, "ok", value])
+        return value

@@ -226,3 +226,37 @@ class TestIngressIntegration:
             assert pool.runtime.route_overrides() == {}
             # Idempotent for never-migrated (or already closed) keys.
             assert pool.close_session(key) is False
+
+
+class TestPoolCloseSessionShedsIngress:
+    def test_close_session_resolves_queued_ingress_backlog(self):
+        from repro.runtime.faults import InvocationOutcome
+        from repro.runtime.ingress import (
+            AdmissionPolicy,
+            IngressRejected,
+            ShedReason,
+        )
+
+        with make_pool(shards=2, inline=True) as pool:
+            tier = pool.build_ingress(
+                policy=AdmissionPolicy(max_inflight_per_shard=1)
+            )
+            key = "closing"
+            queued = [
+                pool.submit(key, open_session(key)),
+                tier.submit(key, open_session(key), entry=True),
+                tier.submit(key, open_session(key)),
+            ]
+            pool.drain()  # only the direct submit ran; tier never pumped
+            assert queued[0].done()
+            shed = pool.close_session(key)
+            assert shed is False  # no migration route existed
+            for future in queued[1:]:
+                assert future.done(), (
+                    "closing the session must not leave ingress waiters"
+                )
+                outcome = future.result()
+                assert outcome.status == InvocationOutcome.REJECTED
+                assert isinstance(outcome.error, IngressRejected)
+                assert outcome.error.reason == ShedReason.SESSION_CLOSED
+            tier.close()

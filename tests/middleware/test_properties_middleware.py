@@ -266,3 +266,69 @@ def test_weave_key_set_is_union(base, aspect):
     woven_names = {o.name for o in result.model.walk()}
     assert woven_names == base_names | aspect_names
     assert result.added == len(aspect_names - base_names)
+
+
+# ---------------------------------------------------------------------------
+# Externalized state round-trips per layer (PR 7 satellite): for every
+# middleware layer, restore_external(externalize()) is a fixpoint —
+# the doc a layer emits restores to a layer that emits the same doc,
+# under arbitrary JSON-ish session state.
+# ---------------------------------------------------------------------------
+
+_json_values = st.one_of(
+    st.integers(-1000, 1000),
+    st.booleans(),
+    st.text(alphabet=string.ascii_lowercase, max_size=8),
+    st.lists(st.integers(0, 9), max_size=3),
+)
+_state_dicts = st.dictionaries(_names, _json_values, max_size=6)
+
+
+def _comm_platform():
+    from repro.domains.communication.cvm import build_cvm, default_context
+    from repro.sim.network import CommService
+
+    platform = build_cvm(service=CommService("net0", op_cost=0.0))
+    platform.controller.context.update(default_context())
+    return platform
+
+
+@settings(max_examples=8, deadline=None)
+@given(state=_state_dicts, context=_state_dicts, drift=_state_dicts)
+def test_layer_externalize_restore_is_fixpoint(state, context, drift):
+    platform = _comm_platform()
+    try:
+        for key, value in state.items():
+            platform.broker.state.set(key, value)
+        for key, value in context.items():
+            platform.controller.context.set(key, value)
+        layers = {
+            "ui": platform.ui,
+            "synthesis": platform.synthesis,
+            "controller": platform.controller,
+            "broker": platform.broker,
+        }
+        docs = {name: layer.externalize() for name, layer in layers.items()}
+        # drift the live state, then restore each layer from its doc
+        for key, value in drift.items():
+            platform.broker.state.set(key, value)
+            platform.controller.context.set(key, value)
+        for name, layer in layers.items():
+            layer.restore_external(docs[name])
+            assert layer.externalize() == docs[name], name
+    finally:
+        platform.stop()
+
+
+@settings(max_examples=8, deadline=None)
+@given(state=_state_dicts)
+def test_state_manager_externalize_restore_fixpoint(state):
+    manager = StateManager()
+    for key, value in state.items():
+        manager.set(key, value)
+    doc = manager.externalize()
+    other = StateManager()
+    other.set("pre-existing", "drift")
+    other.restore_external(doc)
+    assert other.externalize() == doc
+    assert "pre-existing" not in other

@@ -467,3 +467,52 @@ class TestOpLogEquivalence:
         assert tier.stats()["shed"] == 0
         for spec in specs:
             assert states[spec.key].op_log_bytes() == golden[spec.key]
+
+
+class TestCloseSession:
+    """Closing a session must shed its queued backlog as typed rejects
+    (PR 7 satellite): nothing may dispatch into a released session, and
+    no waiter may hang on a queue nobody will pump."""
+
+    def test_queued_requests_shed_as_session_closed(self):
+        runtime, tier = make_tier(
+            1, policy=AdmissionPolicy(max_inflight_per_shard=1)
+        )
+        with runtime:
+            first = tier.submit("s1", lambda: "first")
+            second = tier.submit("s1", lambda: "second")
+            third = tier.submit("s1", lambda: "third")
+            tier.pump()  # dispatches "first" only (inflight limit 1)
+            assert tier.close_session("s1") == 2
+            for future in (second, third):
+                assert future.done(), "shed resolves immediately"
+                outcome = future.result()
+                assert outcome.status == InvocationOutcome.REJECTED
+                assert isinstance(outcome.error, IngressRejected)
+                assert outcome.error.reason == ShedReason.SESSION_CLOSED
+                assert outcome.error.session == "s1"
+            # past the point of no return: the dispatched request
+            # still completes normally
+            runtime.drain()
+            tier.pump()
+            assert first.result().value == "first"
+            assert tier.stats()["shed"] == 2
+            assert tier.stats()["queued"] == 0
+
+    def test_close_session_without_backlog_is_noop(self):
+        runtime, tier = make_tier(1)
+        with runtime:
+            assert tier.close_session("ghost") == 0
+            assert tier.stats()["shed"] == 0
+
+    def test_other_sessions_unaffected(self):
+        runtime, tier = make_tier(
+            1, policy=AdmissionPolicy(max_inflight_per_shard=1)
+        )
+        with runtime:
+            victim = tier.submit("victim", lambda: "v")
+            survivor = tier.submit("other", lambda: "ok")
+            assert tier.close_session("victim") == 1
+            assert victim.done() and not survivor.done()
+            run_all(runtime, tier)
+            assert survivor.result().value == "ok"

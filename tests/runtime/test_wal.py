@@ -1,0 +1,457 @@
+"""Unit tests for the write-ahead signal log (PR 7 tentpole).
+
+Covers the binary frame format (length prefix + CRC-32), the versioned
+segment header envelope, torn-tail repair on reopen, segment rotation
+and snapshot-then-truncate compaction, and the
+:class:`~repro.runtime.wal.EffectJournal` exactly-once contract: live
+effect memoization into the ``applied`` seal, replay without touching
+the callable, typed error reconstruction, and divergence detection.
+"""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.runtime.events import Call, Event, Signal
+from repro.runtime.wal import (
+    WAL_FORMAT,
+    WAL_VERSION,
+    EffectJournal,
+    WalError,
+    WalPosition,
+    WalReplayDivergence,
+    WriteAheadLog,
+    signal_from_doc,
+    signal_to_doc,
+)
+
+_HEADER = struct.Struct(">II")
+
+
+def open_wal(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    return WriteAheadLog(tmp_path / "wal", **kwargs)
+
+
+def frames(wal, **kwargs):
+    return [doc for _pos, doc in wal.replay(**kwargs)]
+
+
+class TestFrameFormat:
+    def test_append_replay_roundtrip(self, tmp_path):
+        with open_wal(tmp_path) as wal:
+            wal.append({"k": "a", "n": 1})
+            wal.append({"k": "b", "nested": {"x": [1, 2]}})
+            docs = frames(wal)
+        assert docs == [{"k": "a", "n": 1}, {"k": "b", "nested": {"x": [1, 2]}}]
+
+    def test_positions_are_ordered_and_returned(self, tmp_path):
+        with open_wal(tmp_path) as wal:
+            first = wal.append({"k": "a"})
+            second = wal.append({"k": "b"})
+            assert first < second
+            assert first.segment == second.segment == 0
+            positions = [pos for pos, _doc in wal.replay()]
+        assert positions == [first, second]
+
+    def test_replay_from_start_position(self, tmp_path):
+        with open_wal(tmp_path) as wal:
+            wal.append({"k": "a"})
+            cut = wal.append({"k": "b"})
+            wal.append({"k": "c"})
+            docs = frames(wal, start=cut)
+        assert [d["k"] for d in docs] == ["b", "c"]
+
+    def test_segment_opens_with_header_envelope(self, tmp_path):
+        wal = open_wal(tmp_path)
+        path = wal._segment_path(0)
+        wal.close()
+        raw = path.read_bytes()
+        length, crc = _HEADER.unpack(raw[: _HEADER.size])
+        payload = raw[_HEADER.size:_HEADER.size + length]
+        assert zlib.crc32(payload) == crc
+        import json
+
+        header = json.loads(payload)
+        assert header["format"] == WAL_FORMAT
+        assert header["version"] == WAL_VERSION
+        assert header["k"] == "header"
+
+    def test_unserializable_strict_frame_rejected(self, tmp_path):
+        with open_wal(tmp_path) as wal:
+            with pytest.raises(WalError, match="not JSON-serializable"):
+                wal.append({"k": "bad", "value": object()})
+            # lenient mode degrades to repr instead (observability frames)
+            wal.append({"k": "ok", "value": object()}, strict=False)
+            docs = frames(wal)
+        assert len(docs) == 1 and docs[0]["k"] == "ok"
+
+    def test_closed_log_rejects_appends(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append({"k": "late"})
+        wal.close()  # idempotent
+
+
+class TestCrashRecoveryRules:
+    def test_torn_tail_repaired_on_reopen(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"k": "kept"})
+        wal.close()
+        path = wal._segment_path(0)
+        intact = path.stat().st_size
+        # simulate a crash mid-append: half a frame at the tail
+        with open(path, "ab") as handle:
+            handle.write(_HEADER.pack(1000, 0) + b"torn")
+        reopened = open_wal(tmp_path)
+        assert reopened.torn_tail_repaired
+        assert path.stat().st_size == intact
+        assert [d["k"] for d in frames(reopened)] == ["kept"]
+        # and the repaired log appends cleanly after the cut
+        reopened.append({"k": "after"})
+        assert [d["k"] for d in frames(reopened)] == ["kept", "after"]
+        reopened.close()
+
+    def test_torn_tail_in_final_segment_ends_replay_cleanly(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"k": "kept"})
+        wal.sync()
+        path = wal._segment_path(0)
+        with open(path, "ab") as handle:
+            handle.write(b"\x00\x00")  # not even a whole header
+        assert [d["k"] for d in frames(wal)] == ["kept"]
+        wal.close()
+
+    def test_corruption_mid_log_raises(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"k": "a"})
+        wal.rotate()
+        wal.append({"k": "b"})
+        wal.close()
+        # flip payload bytes in the *non-final* segment: corruption,
+        # not interruption, so the reader must refuse rather than skip.
+        path = wal._segment_path(0)
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        # reopen rebuilds truncation bookkeeping by replaying the log,
+        # so the corruption is refused at open time already
+        with pytest.raises(WalError, match="corrupt frame mid-log"):
+            open_wal(tmp_path)
+
+    def test_bad_header_envelope_rejected(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.close()
+        path = wal._segment_path(0)
+        payload = (
+            b'{"format":"repro-wal","version":99,"k":"header","segment":0}'
+        )
+        path.write_bytes(
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        with pytest.raises(WalError, match="version"):
+            open_wal(tmp_path)
+
+    def test_missing_header_frame_rejected(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.close()
+        path = wal._segment_path(0)
+        payload = b'{"k":"entry","session":"s"}'
+        path.write_bytes(
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        with pytest.raises(WalError, match="header frame"):
+            open_wal(tmp_path)
+
+
+class TestSegmentsAndTruncation:
+    def test_rotation_on_segment_size(self, tmp_path):
+        wal = open_wal(tmp_path, segment_max_bytes=256)
+        for i in range(32):
+            wal.append({"k": "fill", "i": i, "pad": "x" * 32})
+        assert wal.rotations > 0
+        assert len(wal.segments()) == wal.rotations + 1
+        # every frame survives across the rotation boundary
+        assert [d["i"] for d in frames(wal)] == list(range(32))
+        wal.close()
+
+    def test_checkpoint_rotates_and_truncates(self, tmp_path):
+        wal = open_wal(tmp_path)
+        sig = Signal(topic="t", payload={}, origin="s")
+        wal.append_entry(sig, session="s")
+        wal.checkpoint({"state": 1}, session="s")
+        # the pre-checkpoint segment is wholly covered and dropped
+        assert wal.truncated_segments == 1
+        kinds = [d["k"] for d in frames(wal)]
+        assert kinds[0] == "checkpoint"
+        wal.close()
+
+    def test_unconverged_session_pins_truncation_floor(self, tmp_path):
+        wal = open_wal(tmp_path)
+        laggard = Signal(topic="t", payload={}, origin="lag")
+        wal.append_entry(laggard, session="lag")  # never checkpoints
+        wal.checkpoint({"state": 1}, session="fast")
+        assert wal.truncated_segments == 0  # pinned by "lag"
+        wal.forget_session("lag")
+        assert wal.truncate() == 1
+        wal.close()
+
+    def test_floor_bookkeeping_survives_reopen(self, tmp_path):
+        wal = open_wal(tmp_path)
+        laggard = Signal(topic="t", payload={}, origin="lag")
+        wal.append_entry(laggard, session="lag")
+        wal.checkpoint({"state": 1}, session="fast", truncate=False)
+        wal.close()
+        reopened = open_wal(tmp_path)
+        assert reopened.truncate() == 0  # "lag" still pins segment 0
+        reopened.forget_session("lag")
+        assert reopened.truncate() == 1
+        reopened.close()
+
+    def test_reopen_resumes_highest_segment(self, tmp_path):
+        wal = open_wal(tmp_path)
+        wal.append({"k": "a"})
+        wal.rotate()
+        wal.append({"k": "b"})
+        wal.close()
+        reopened = open_wal(tmp_path)
+        reopened.append({"k": "c"})
+        assert [d["k"] for d in frames(reopened)] == ["a", "b", "c"]
+        assert reopened._segment == 1
+        reopened.close()
+
+
+class TestSignalDocs:
+    @pytest.mark.parametrize("cls", [Signal, Call, Event])
+    def test_roundtrip_preserves_causal_chain(self, cls):
+        original = cls(
+            topic="conn.setup", payload={"x": 1}, origin="ctl",
+            seq=41, trace_id=7, parent_seq=3,
+        )
+        doc = signal_to_doc(original)
+        restored = signal_from_doc(doc)
+        assert type(restored) is cls
+        assert restored.kind == original.kind
+        assert (restored.seq, restored.trace_id, restored.parent_seq) == (
+            41, 7, 3
+        )
+        assert restored.topic == original.topic
+        assert restored.payload == original.payload
+
+    def test_entry_frame_shape(self, tmp_path):
+        wal = open_wal(tmp_path)
+        sig = Call(topic="t", payload={"a": 1}, origin="s",
+                   seq=5, trace_id=5, parent_seq=None)
+        wal.append_entry(sig, session="s")
+        wal.seal_entry(session="s", entry_seq=5,
+                       effects=[["net.send", "ok", True]])
+        entry, applied = frames(wal)
+        assert entry == {"k": "entry", "session": "s",
+                         "sig": signal_to_doc(sig)}
+        assert applied == {"k": "applied", "session": "s", "entry_seq": 5,
+                           "effects": [["net.send", "ok", True]]}
+        wal.close()
+
+
+class TestEffectJournal:
+    def test_log_call_mints_chain_root_and_logs_documented_frame(
+        self, tmp_path
+    ):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="sess")
+        call = journal.log_call("session.entry", {"op": "api", "n": 1})
+        assert isinstance(call, Call)
+        assert call.kind == "call"
+        assert call.trace_id == call.seq and call.parent_seq is None
+        assert call.origin == "sess"
+        journal.end_entry()
+        entry, applied = frames(wal)
+        # the concat-encoded frame parses to exactly the documented doc
+        assert entry == {
+            "k": "entry",
+            "session": "sess",
+            "sig": {
+                "kind": "call",
+                "origin": "sess",
+                "topic": "session.entry",
+                "payload": {"op": "api", "n": 1},
+                "seq": call.seq,
+                "trace_id": call.seq,
+                "parent_seq": None,
+            },
+        }
+        assert applied == {"k": "applied", "session": "sess",
+                           "entry_seq": call.seq}
+        wal.close()
+
+    def test_entries_do_not_nest(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.log_call("t", {})
+        with pytest.raises(WalError, match="nest"):
+            journal.log_call("t", {})
+        journal.end_entry()
+        wal.close()
+
+    def test_live_effects_seal_and_replay_memoized(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        calls = []
+
+        def op(value):
+            calls.append(value)
+            return value * 2
+
+        entry = journal.log_call("t", {})
+        assert journal.around("res.op", lambda: op(21)) == 42
+        journal.end_entry()
+        assert journal.recorded == 1
+        applied = [d for d in frames(wal) if d["k"] == "applied"]
+        assert applied[0]["effects"] == [["res.op", "ok", 42]]
+
+        # replay: the memoized outcome comes back, the callable does not run
+        replayed = signal_from_doc(signal_to_doc(entry))
+        journal.begin_entry(replayed, recorded_effects=applied[0]["effects"],
+                            already_applied=True)
+        assert journal.replaying
+        assert journal.around("res.op", lambda: op(999)) == 42
+        journal.end_entry()
+        assert calls == [21]
+        assert journal.replayed == 1
+        wal.close()
+
+    def test_error_effects_reraise_via_factory(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+
+        def boom():
+            raise KeyError("missing")
+
+        journal.log_call("t", {})
+        with pytest.raises(KeyError):
+            journal.around("res.op", boom)
+        journal.end_entry()
+        applied = [d for d in frames(wal) if d["k"] == "applied"]
+        label, status, error_type, message = applied[0]["effects"][0]
+        assert (label, status, error_type) == ("res.op", "error", "KeyError")
+
+        class Rebuilt(Exception):
+            pass
+
+        journal.error_factory = lambda t, m: Rebuilt(f"{t}:{m}")
+        journal.begin_entry(
+            Signal(topic="t", payload={}, origin="s"),
+            recorded_effects=applied[0]["effects"], already_applied=True,
+        )
+        with pytest.raises(Rebuilt, match="KeyError"):
+            journal.around("res.op", lambda: None)
+        journal.end_entry()
+        wal.close()
+
+    def test_error_replay_without_factory_raises_walerror(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.begin_entry(
+            Signal(topic="t", payload={}, origin="s"),
+            recorded_effects=[["res.op", "error", "ValueError", "bad"]],
+            already_applied=True,
+        )
+        with pytest.raises(WalError, match="replayed error effect"):
+            journal.around("res.op", lambda: None)
+        journal.end_entry()
+        wal.close()
+
+    def test_label_divergence_detected(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.begin_entry(
+            Signal(topic="t", payload={}, origin="s"),
+            recorded_effects=[["res.a", "ok", 1]], already_applied=True,
+        )
+        with pytest.raises(WalReplayDivergence, match="res.a"):
+            journal.around("res.b", lambda: 1)
+        wal.close()
+
+    def test_leftover_effects_divergence_at_end(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.begin_entry(
+            Signal(topic="t", payload={}, origin="s"),
+            recorded_effects=[["res.a", "ok", 1], ["res.b", "ok", 2]],
+            already_applied=True,
+        )
+        journal.around("res.a", lambda: None)
+        with pytest.raises(WalReplayDivergence, match="left over"):
+            journal.end_entry()
+        # the divergence still closed the entry
+        assert not journal.active
+        wal.close()
+
+    def test_already_applied_entry_writes_no_second_seal(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.begin_entry(
+            Signal(topic="t", payload={}, origin="s", seq=9),
+            already_applied=True,
+        )
+        journal.end_entry()
+        assert frames(wal) == []
+        wal.close()
+
+    def test_around_invoke_live_and_replay(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        invoked = []
+
+        def invoke(operation, **args):
+            invoked.append((operation, args))
+            return {"op": operation}
+
+        entry = journal.log_call("t", {})
+        value = journal.around_invoke("net.open", invoke, "open", {"a": 1})
+        assert value == {"op": "open"}
+        journal.end_entry()
+        applied = [d for d in frames(wal) if d["k"] == "applied"]
+        journal.begin_entry(entry, recorded_effects=applied[0]["effects"],
+                            already_applied=True)
+        assert journal.around_invoke(
+            "net.open", invoke, "open", {"a": 1}
+        ) == {"op": "open"}
+        journal.end_entry()
+        assert invoked == [("open", {"a": 1})]
+        wal.close()
+
+    def test_inactive_journal_passes_through(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        assert journal.around("x", lambda: 5) == 5
+        assert journal.around_invoke(
+            "x", lambda op, **a: (op, a), "go", {"k": 1}
+        ) == ("go", {"k": 1})
+        assert wal.appends == 0  # pass-through logs nothing
+        wal.close()
+
+    def test_unserializable_payload_rejected_at_log_call(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        with pytest.raises(WalError, match="not JSON-serializable"):
+            journal.log_call("t", {"bad": object()})
+        wal.close()
+
+    def test_unserializable_effects_rejected_at_seal(self, tmp_path):
+        wal = open_wal(tmp_path)
+        journal = EffectJournal(wal, session="s")
+        journal.log_call("t", {})
+        journal.around("res.op", lambda: object())
+        with pytest.raises(WalError, match="effects are not"):
+            journal.end_entry()
+        wal.close()
+
+
+class TestWalPosition:
+    def test_list_roundtrip_and_ordering(self):
+        position = WalPosition(3, 128)
+        assert WalPosition.from_list(position.to_list()) == position
+        assert WalPosition(2, 999) < WalPosition(3, 0) < position
