@@ -31,6 +31,9 @@ SUITE = {
 
 
 def _suite_time(factory, repeat: int = 7) -> float:
+    # Noise-floor estimator (see harness.e1_paired_bench): timing noise
+    # on a shared box is strictly additive, so the minimum converges on
+    # the true suite cost where a trimmed mean still tracks neighbours.
     samples = []
     for _ in range(repeat):
         _broker, _service, runner = factory()
@@ -38,9 +41,7 @@ def _suite_time(factory, repeat: int = 7) -> float:
         for steps in SUITE.values():
             runner.run(steps)
         samples.append(time.perf_counter() - start)
-    samples.sort()
-    trimmed = samples[:-2]
-    return sum(trimmed) / len(trimmed)
+    return min(samples)
 
 
 def test_full_config_suite(benchmark):

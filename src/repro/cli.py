@@ -638,8 +638,11 @@ def cmd_bench_faults(args: argparse.Namespace) -> int:
 def cmd_bench_synthesis(args: argparse.Namespace) -> int:
     from repro.bench.synthesis import write_bench_json
 
-    results = write_bench_json(args.output, quick=args.quick)
-    print(f"wrote {args.output}")
+    path = args.output or (
+        "BENCH_PR8.json" if args.tier == "aot" else "BENCH_PR3.json"
+    )
+    results = write_bench_json(path, quick=args.quick, tier=args.tier)
+    print(f"wrote {path}")
     micro = results["template_microbench"]
     print(
         f"\ntemplate evaluation: compiled {micro['compiled_us']:.2f}µs vs "
@@ -655,6 +658,30 @@ def cmd_bench_synthesis(args: argparse.Namespace) -> int:
         f"{stress['scripts_identical']})"
     )
     e1 = results["e1"]
+    if args.tier == "aot":
+        equivalence = results["tier_equivalence"]
+        print(
+            f"tier equivalence: {len(equivalence['domains'])} domains, "
+            f"all identical: {equivalence['all_identical']}; edit cycle "
+            f"regenerated: "
+            f"{equivalence['edit_cycle']['regenerated_after_cycle']}"
+        )
+        calibrated = e1["calibrated"]
+        line = (
+            f"E1 overhead (Tier-3): {e1['mean_overhead_pct']:.2f}% "
+            f"calibrated floor "
+            f"({calibrated['per_step_overhead_us']:.1f}µs/step; median "
+            f"cross-check {calibrated['median_overhead_pct']:.2f}%; "
+            f"structural "
+            f"{e1['structural']['per_step_overhead_us']:.1f}µs/step); "
+            f"gate <= {results['gate_pct']}%, met: "
+            f"{results['meets_e1_gate']}"
+        )
+        baseline = results.get("baseline_e1_mean_overhead_pct")
+        if baseline is not None:
+            line += f"; BENCH_PR4 baseline was {baseline:.1f}%"
+        print(line)
+        return 0
     line = (
         f"E1 mean overhead: {e1['mean_overhead_pct']:.1f}% "
         f"(model {e1['model_ms']:.3f} ms vs handcrafted "
@@ -664,6 +691,36 @@ def cmd_bench_synthesis(args: argparse.Namespace) -> int:
     if baseline is not None:
         line += f"; BENCH_PR1 baseline was {baseline:.1f}%"
     print(line)
+    return 0
+
+
+def cmd_aot_gen(args: argparse.Namespace) -> int:
+    from repro.bench.migrate import _fresh_session, domain_cases
+    from repro.modeling.aotgen import generate_module_source
+
+    cases = {case.name: case for case in domain_cases()}
+    if args.domain not in cases:
+        print(
+            f"unknown domain {args.domain!r} "
+            f"(choose from: {', '.join(sorted(cases))})"
+        )
+        return 2
+    _service, _dsk, platform = _fresh_session(cases[args.domain])
+    try:
+        source = generate_module_source(
+            rules=platform.synthesis.interpreter._rules,
+            actions=list(platform.broker.calls._actions),
+            dsml=platform.dsml,
+            domain=platform.domain,
+        )
+    finally:
+        platform.stop()
+    if args.output == "-":
+        sys.stdout.write(source)
+        return 0
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(source)
+    print(f"wrote {args.output} ({len(source.splitlines())} lines)")
     return 0
 
 
@@ -927,10 +984,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare compiled vs interpreted synthesis and write "
              "BENCH_PR3.json",
     )
-    bench_synthesis.add_argument("--output", default="BENCH_PR3.json")
+    bench_synthesis.add_argument(
+        "--output", default=None,
+        help="report path (default: BENCH_PR3.json, or BENCH_PR8.json "
+             "with --tier aot)",
+    )
     bench_synthesis.add_argument(
         "--quick", action="store_true",
         help="smaller workloads (CI perf-smoke)",
+    )
+    bench_synthesis.add_argument(
+        "--tier", choices=("compiled", "aot"), default="compiled",
+        help="synthesis tier under test: 'compiled' (Tier-2, PR 3 "
+             "report) or 'aot' (Tier-3 generated modules, PR 8 report "
+             "with the tier-equivalence check and the gated E1 sweep)",
+    )
+
+    aot_gen = sub.add_parser(
+        "aot-gen",
+        help="emit the Tier-3 generated Python module for a domain's "
+             "DSK (deterministic: same DSK -> same source)",
+    )
+    aot_gen.add_argument(
+        "--domain", default="communication",
+        help="domain whose DSK to compile (default: communication)",
+    )
+    aot_gen.add_argument(
+        "--output", default="-",
+        help="file to write the module source to ('-' for stdout)",
     )
 
     bench_scale = sub.add_parser(
@@ -993,6 +1074,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-fabric": cmd_bench_fabric,
     "bench-faults": cmd_bench_faults,
     "bench-synthesis": cmd_bench_synthesis,
+    "aot-gen": cmd_aot_gen,
     "bench-scale": cmd_bench_scale,
     "bench-migrate": cmd_bench_migrate,
     "bench-ingress": cmd_bench_ingress,

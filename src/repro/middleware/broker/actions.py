@@ -318,6 +318,12 @@ class EventBindingTable:
         self.resources = resources
         self.state = state
         self._bindings: list[EventBinding] = []
+        #: per-topic route cache (topic -> bindings whose *pattern*
+        #: matches; guards stay payload-dependent and are evaluated per
+        #: dispatch).  Every resource event funnels through here, so
+        #: the repeated pattern scan collapses to one dict hit.
+        #: Invalidated on bind(); bounded against topic cardinality.
+        self._routes: dict[str, tuple[EventBinding, ...]] = {}
         self.handled = 0
 
     def bind(
@@ -329,12 +335,26 @@ class EventBindingTable:
     ) -> EventBinding:
         binding = EventBinding(topic_pattern=topic_pattern, action=action, guard=guard)
         self._bindings.append(binding)
+        self._routes = {}
         return binding
+
+    def routes(self, topic: str) -> tuple[EventBinding, ...]:
+        """The bindings whose topic pattern matches ``topic``, cached."""
+        cached = self._routes.get(topic)
+        if cached is None:
+            cached = tuple(
+                binding for binding in self._bindings
+                if binding._topic_match(topic)
+            )
+            if len(self._routes) >= 1024:
+                self._routes = {}
+            self._routes[topic] = cached
+        return cached
 
     def dispatch(self, topic: str, payload: Mapping[str, Any]) -> int:
         """Run all matching bindings; returns how many fired."""
         fired = 0
-        for binding in self._bindings:
+        for binding in self.routes(topic):
             if binding.matches(topic, payload):
                 args = dict(payload)
                 args["topic"] = topic

@@ -68,11 +68,23 @@ class BrokerLayer(Component):
         self.api_calls = 0
         self.events_forwarded = 0
         self._subscription = None
+        #: the upward port, resolved once per running window (on_start).
+        self._upward: Any = None
         #: actions installed while running (reflection, autonomic
         #: plans) — the loader installs model-defined actions before
         #: start, so anything arriving later must travel with the
         #: session snapshot (PR 5).
         self._dynamic_actions: list[BrokerAction] = []
+        #: Tier-3 generated call table (exact API -> fn) or None;
+        #: dropped — all calls fall back to table dispatch — whenever
+        #: an action is installed at runtime.
+        self._aot_calls: dict[str, Any] | None = None
+        #: pre-resolved per-label instruments for the two per-signal
+        #: counters, valid for single-writer registries only (see
+        #: MetricsRegistry.counter); the registry is fixed at
+        #: construction, so no invalidation is needed.
+        self._api_counters: dict[str, Any] = {}
+        self._fwd_counters: dict[str, Any] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -99,6 +111,9 @@ class BrokerLayer(Component):
             self._subscription = self.bus.subscribe(
                 "resource.*", self._on_resource_event
             )
+        # Ports cannot be rewired while running (Component.wire), so
+        # the upward target is fixed for the whole running window.
+        self._upward = self.port_or_none("upward")
         if self.autonomic.enabled:
             self.state.watch(lambda *_: self.autonomic.observe_state())
 
@@ -106,12 +121,37 @@ class BrokerLayer(Component):
         if self._subscription is not None:
             self._subscription.cancel()
             self._subscription = None
+        self._upward = None
 
     # -- the layer interface (BrokerPort) -------------------------------------
 
     def call_api(self, api: str, **args: Any) -> Any:
         """Handle a call from the Controller layer."""
         self.require_running()
+        aot = self._aot_calls
+        if aot is not None and "_transactional" not in args:
+            # Tier-3 fast path: a generated per-API function with the
+            # exact dispatch/step semantics of the action table, minus
+            # per-call env dict construction.  Documented tier property:
+            # the per-call latency histogram sample is skipped (the
+            # call counter still ticks).  Transactional calls take the
+            # slow path for its snapshot/rollback bracket.
+            fn = aot.get(api)
+            if fn is not None:
+                self.api_calls += 1
+                metrics = self.metrics
+                if metrics.enabled:
+                    if metrics.thread_safe:
+                        metrics.count("broker.call_api", api)
+                    else:
+                        counter = self._api_counters.get(api)
+                        if counter is None:
+                            counter = self._api_counters[api] = (
+                                metrics.live_counter("broker.call_api", api)
+                            )
+                        counter.value += 1
+                self.calls.dispatched += 1
+                return fn(self.resources, self.state, self.state._values, args)
         self.api_calls += 1
         self.metrics.count("broker.call_api", api)
         snapshot_taken = False
@@ -159,7 +199,16 @@ class BrokerLayer(Component):
         registered = self.calls.register(action)
         if self.running:
             self._dynamic_actions.append(registered)
+        # The new action may displace a generated winner (priority,
+        # wildcard overlap): drop the Tier-3 table; the synthesis-cycle
+        # refresh hook regenerates it from the updated action list.
+        self._aot_calls = None
         return registered
+
+    def install_aot(self, calls: dict[str, Any] | None) -> None:
+        """Install (or with ``None`` remove) a validated Tier-3 call
+        table (``AotProgram.broker_calls``)."""
+        self._aot_calls = dict(calls) if calls is not None else None
 
     def install_event_binding(
         self, topic_pattern: str, action: BrokerAction, *, guard: str | None = None
@@ -195,15 +244,34 @@ class BrokerLayer(Component):
     # -- event path -----------------------------------------------------------------
 
     def _on_resource_event(self, signal: Signal) -> None:
-        payload = dict(signal.payload)
-        # 1. layer-local event bindings (model-defined reactions)
-        self.events.dispatch(signal.topic, payload)
-        # 2. autonomic monitoring
-        self.autonomic.observe_event(signal.topic, payload)
+        # 1. layer-local event bindings (model-defined reactions) and
+        # 2. autonomic monitoring — both get a defensive payload copy,
+        #    built only when at least one of them will look at it (the
+        #    common resource event matches no binding pattern and the
+        #    autonomic manager is disabled; the copy would be pure
+        #    overhead).  The binding table's per-topic route cache
+        #    makes the "any binding for this topic?" probe one dict hit.
+        events = self.events
+        if (events._bindings and events.routes(signal.topic)) or (
+            self.autonomic.enabled
+        ):
+            payload = dict(signal.payload)
+            events.dispatch(signal.topic, payload)
+            self.autonomic.observe_event(signal.topic, payload)
         # 3. forward upward for the Controller's event handler
         self.events_forwarded += 1
-        self.metrics.count("broker.events_forwarded", signal.topic)
-        upward = self.port_or_none("upward")
+        metrics = self.metrics
+        if metrics.enabled:
+            if metrics.thread_safe:
+                metrics.count("broker.events_forwarded", signal.topic)
+            else:
+                counter = self._fwd_counters.get(signal.topic)
+                if counter is None:
+                    counter = self._fwd_counters[signal.topic] = (
+                        metrics.live_counter("broker.events_forwarded", signal.topic)
+                    )
+                counter.value += 1
+        upward = self._upward
         if upward is not None:
             upward.receive_signal(signal)
 

@@ -19,7 +19,7 @@ import random
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.runtime.clock import Clock
-from repro.runtime.events import EventBus
+from repro.runtime.events import EventBus, mint_event
 from repro.runtime.faults import (
     PASSTHROUGH as PASSTHROUGH_POLICY,
     CircuitBreaker,
@@ -145,6 +145,11 @@ class ResourceManager:
         self._resources: dict[str, Resource] = {}
         self._policies: dict[str, RetryPolicy] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: resources confirmed unprotected (no policy, no breaker, no
+        #: effect journal installed): one dict hit replaces the
+        #: policy/breaker/journal lookups on every invocation.
+        #: Invalidated whenever protection state can change.
+        self._unguarded: dict[str, Resource] = {}
         #: deterministic jitter source (policies opt into jitter)
         self._rng = random.Random(0)
         #: exactly-once interceptor (see repro.runtime.wal.EffectJournal);
@@ -165,6 +170,7 @@ class ResourceManager:
         (retry policies and handlers behave identically on replay).
         """
         self.effect_journal = journal
+        self._unguarded = {}
         if journal is not None and journal.error_factory is None:
             journal.error_factory = _replay_error
 
@@ -172,17 +178,31 @@ class ResourceManager:
         if resource.name in self._resources:
             raise ResourceError(f"duplicate resource {resource.name!r}")
         self._resources[resource.name] = resource
-        resource.attach(
-            lambda topic, payload, _name=resource.name: self.bus.publish(
-                _resource_event(_name, topic, payload)
-            )
-        )
+        bus = self.bus
+        name = resource.name
+        prefix = f"resource.{name}."
+        full_topics: dict[str, str] = {}
+
+        def _notify(topic: str, payload: dict[str, Any]) -> None:
+            # Flattened _resource_event: the full topic string is
+            # built once per distinct op topic and reused, so every
+            # downstream per-topic cache (bus routes, instruments,
+            # binding/handler routes) keys on an interned string with
+            # a cached hash.
+            full = full_topics.get(topic)
+            if full is None:
+                full = full_topics[topic] = prefix + topic
+            payload.setdefault("resource", name)
+            bus.publish(mint_event(full, payload, name))
+
+        resource.attach(_notify)
         return resource
 
     def deregister(self, name: str) -> Resource:
         resource = self._resources.pop(name, None)
         if resource is None:
             raise ResourceError(f"no resource {name!r}")
+        self._unguarded.pop(name, None)
         resource.detach()
         return resource
 
@@ -206,6 +226,7 @@ class ResourceManager:
     ) -> None:
         """Install a retry policy and/or breaker for ``resource_name``
         (``"*"`` = default for every resource without its own)."""
+        self._unguarded = {}
         if policy is not None:
             self._policies[resource_name] = policy
         if breaker is not None:
@@ -268,6 +289,13 @@ class ResourceManager:
     # -- invocation -------------------------------------------------------
 
     def invoke(self, resource_name: str, operation: str, **args: Any) -> Any:
+        fast = self._unguarded.get(resource_name)
+        if fast is not None:
+            # Confirmed unprotected on a previous invocation and no
+            # protection change since: skip the policy/breaker/journal
+            # lookups entirely.
+            self.invocations += 1
+            return fast.invoke(operation, **args)
         self.invocations += 1
         resource = self.require(resource_name)
         policy = self.fault_policy(resource_name)
@@ -281,6 +309,8 @@ class ResourceManager:
                     operation,
                     args,
                 )
+            if journal is None:
+                self._unguarded[resource_name] = resource
             # Unprotected fast path: semantics and overhead unchanged.
             return resource.invoke(operation, **args)
         outcome = self._guarded(resource, operation, args, policy, breaker)
@@ -386,12 +416,14 @@ def _replay_error(type_name: str, message: str) -> Exception:
 
 
 def _resource_event(resource_name: str, topic: str, payload: dict[str, Any]):
-    from repro.runtime.events import Event
+    """Build a ``resource.<name>.<topic>`` event from a *fresh* payload.
 
-    merged = dict(payload)
-    merged.setdefault("resource", resource_name)
-    return Event(
-        topic=f"resource.{resource_name}.{topic}",
-        payload=merged,
-        origin=resource_name,
+    Takes ownership of ``payload`` (every caller builds it per event —
+    ``Resource.notify`` kwargs, breaker-transition literals), so the
+    hot path skips a defensive copy and the dataclass constructor
+    (see :func:`~repro.runtime.events.mint_event`).
+    """
+    payload.setdefault("resource", resource_name)
+    return mint_event(
+        f"resource.{resource_name}.{topic}", payload, resource_name
     )

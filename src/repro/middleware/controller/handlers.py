@@ -307,11 +307,31 @@ class EventHandler:
 
     def __init__(self) -> None:
         self._handlers: list[tuple[str, Callable[[str, dict[str, Any]], None]]] = []
+        #: per-topic route cache (topic -> matching callbacks): every
+        #: Broker resource event passes through here, so the repeated
+        #: pattern scan is replaced with one dict hit.  Invalidated on
+        #: registration; bounded against unbounded distinct topics.
+        self._routes: dict[str, tuple[Callable[[str, dict[str, Any]], None], ...]] = {}
         self.handled = 0
         self.unhandled = 0
 
     def on(self, pattern: str, callback: Callable[[str, dict[str, Any]], None]) -> None:
         self._handlers.append((pattern, callback))
+        self._routes = {}
+
+    def routes(self, topic: str) -> tuple[Callable[[str, dict[str, Any]], None], ...]:
+        """The callbacks matching ``topic``, cached per topic."""
+        cached = self._routes.get(topic)
+        if cached is None:
+            cached = tuple(
+                callback
+                for pattern, callback in self._handlers
+                if TopicMatcher.matches(pattern, topic)
+            )
+            if len(self._routes) >= 1024:
+                self._routes = {}
+            self._routes[topic] = cached
+        return cached
 
     def dispatch(self, topic: str, payload: dict[str, Any]) -> int:
         """Invoke every matching callback; handler exceptions are
@@ -319,9 +339,7 @@ class EventHandler:
         callbacks ran (same contract as the event bus)."""
         matched = 0
         errors: list[Exception] = []
-        for pattern, callback in self._handlers:
-            if not TopicMatcher.matches(pattern, topic):
-                continue
+        for callback in self.routes(topic):
             matched += 1
             try:
                 callback(topic, payload)

@@ -90,8 +90,14 @@ def load_platform(
     clock: Clock | None = None,
     metrics: MetricsRegistry | None = None,
     start: bool = True,
+    aot: bool = False,
 ) -> Platform:
-    """Realize a middleware model as a running platform."""
+    """Realize a middleware model as a running platform.
+
+    ``aot=True`` additionally compiles the loaded DSK into a Tier-3
+    generated module (see :mod:`repro.middleware.synthesis.aot`) once
+    the platform is started; requires ``start=True``.
+    """
     if middleware_model.metamodel is not middleware_metamodel():
         raise LoaderError(
             "middleware model must conform to the md-dsm metamodel"
@@ -131,6 +137,10 @@ def load_platform(
     if start:
         platform.start()
         _post_start_install(platform, root, dsk)
+        if aot and platform.synthesis is not None:
+            platform.enable_aot()
+    elif aot:
+        raise LoaderError("aot=True requires start=True")
     return platform
 
 

@@ -158,6 +158,16 @@ class Platform:
         self._require(self.synthesis, "synthesis")
         return self.synthesis.teardown_script()
 
+    def enable_aot(self) -> "Any":
+        """Compile the loaded DSK into a Tier-3 generated module and
+        install it (synthesis dispatch tables + broker call table);
+        returns the installed ``AotProgram``.  Runtime DSK edits fall
+        back to Tier-2 and regenerate lazily after the next cycle."""
+        from repro.middleware.synthesis.aot import enable_aot
+
+        self._require(self.synthesis, "synthesis")
+        return enable_aot(self)
+
     # -- checkpoint / restore (PR 5) -------------------------------------------
 
     def checkpoint(self) -> "Any":

@@ -228,6 +228,7 @@ def restore_platform(
     bus: "EventBus | None" = None,
     clock: "Clock | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    aot: bool = False,
 ) -> "Platform":
     """Rebuild a platform from a snapshot (migration / cold recovery).
 
@@ -237,6 +238,10 @@ def restore_platform(
     supplies the non-serializable domain knowledge (metamodel object,
     resource instances, Python-implemented actions); it must be the
     same DSK the source session was loaded with.
+
+    ``aot=True`` re-enables the Tier-3 generated module *after* the
+    snapshot is applied — restore may re-install dynamic broker
+    actions, so the module is compiled from the fully restored DSK.
     """
     from repro.middleware.loader import load_platform
     from repro.middleware.metamodel import middleware_metamodel
@@ -246,7 +251,10 @@ def restore_platform(
         model, dsk, bus=bus, clock=clock, metrics=metrics, start=True
     )
     try:
-        return apply_snapshot(platform, snapshot)
+        restored = apply_snapshot(platform, snapshot)
+        if aot and restored.synthesis is not None:
+            restored.enable_aot()
+        return restored
     except Exception:
         # Never leak a started half-restored platform: tear it down so
         # its bus subscriptions and resources are released before the

@@ -79,6 +79,10 @@ class SynthesisEngine(Component):
         #: optional negotiation hook: (new_model) -> new_model (possibly
         #: adjusted after negotiating with remote parties).
         self.negotiator: Callable[[Model], Model] | None = None
+        #: Tier-3 regeneration hook (set by synthesis.aot.enable_aot):
+        #: called after each completed cycle so a DSK edit that dropped
+        #: the installed program is rebuilt once the edit has settled.
+        self.aot_refresh: Callable[[], None] | None = None
         self.cycles = 0
         self.rejected = 0
 
@@ -128,6 +132,12 @@ class SynthesisEngine(Component):
         script.source_model = new_model.name
         self.dispatcher.promote(new_model)
         self.cycles += 1
+        if self.aot_refresh is not None:
+            # Lazy Tier-3 regeneration: the cycle that carried a DSK
+            # edit ran (partly) on Tier-2; rebuild the generated module
+            # now that the edit has settled so later cycles return to
+            # Tier-3.  No-op while the installed program is current.
+            self.aot_refresh()
         if submit and not script.empty:
             downward = self.port_or_none("downward")
             if downward is not None:

@@ -25,6 +25,8 @@ Command template format (a dict)::
 
 from __future__ import annotations
 
+import json
+from collections import OrderedDict
 from typing import Any, Callable, Mapping
 
 from repro.middleware.synthesis.scripts import Command, ControlScript
@@ -44,6 +46,11 @@ class InterpreterError(Exception):
 def _interp(source: str, env: Mapping[str, Any]) -> Any:
     """Reference-tier evaluation: cached parse, interpreted AST walk."""
     return compile_expression(source).evaluate(env)
+
+
+#: Sentinel returned by the Tier-3 fast path to defer one change to
+#: the Tier-2 interpreter (shape not covered by the generated module).
+_AOT_MISS = object()
 
 
 class EntityRule:
@@ -138,6 +145,53 @@ class _CompiledTemplate:
         )
 
 
+class _TemplatePlanCache:
+    """Compiled-template cache keyed by template *structure*.
+
+    PR3 keyed plans ``{id(template) -> plan}`` per class: identity
+    keying confuses two structurally different templates whenever an id
+    is reused, and entries for replaced rules pinned dead templates
+    alive without bound.  Keys are now the canonical JSON of the
+    template dict — structurally equal templates share one compiled
+    plan, structurally different ones can never collide — inside an
+    LRU bound.  An identity memo in front keeps the common case (the
+    same template object firing change after change) at one dict hit
+    instead of a JSON encode.
+    """
+
+    __slots__ = ("max_entries", "_by_structure", "_by_id")
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self.max_entries = max_entries
+        self._by_structure: OrderedDict[str, _CompiledTemplate] = OrderedDict()
+        #: id(template) -> (template, plan); the stored reference keeps
+        #: the id valid, the identity check rejects lookups for a
+        #: different object that was never memoized under this id.
+        self._by_id: dict[int, tuple[Any, _CompiledTemplate]] = {}
+
+    def lookup(self, template: Mapping[str, Any]) -> _CompiledTemplate:
+        memo = self._by_id.get(id(template))
+        if memo is not None and memo[0] is template:
+            return memo[1]
+        key = json.dumps(template, sort_keys=True, default=repr)
+        cache = self._by_structure
+        compiled = cache.get(key)
+        if compiled is None:
+            compiled = _CompiledTemplate(template)
+            cache[key] = compiled
+            if len(cache) > self.max_entries:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
+        if len(self._by_id) >= self.max_entries:
+            self._by_id.clear()  # memo only: rebuilt on demand
+        self._by_id[id(template)] = (template, compiled)
+        return compiled
+
+    def __len__(self) -> int:
+        return len(self._by_structure)
+
+
 class ChangeInterpreter:
     """Stateful interpreter mapping change lists to control scripts."""
 
@@ -147,9 +201,12 @@ class ChangeInterpreter:
         self._rules: dict[str, EntityRule] = {}
         #: object id -> live LTS execution for that entity.
         self._executions: dict[str, LTSExecution] = {}
-        #: class name -> {id(template) -> compiled plan}; dropped when
-        #: the class's rule is replaced via :meth:`add_rule`.
-        self._plans: dict[str, dict[int, _CompiledTemplate]] = {}
+        #: structural-hash-keyed LRU of compiled template plans; safe
+        #: across rule replacement (same structure -> same semantics).
+        self._plans = _TemplatePlanCache()
+        #: installed Tier-3 program (synthesis.aot.AotProgram) or None;
+        #: dropped — falling back to Tier-2 — on any rule edit.
+        self._aot: Any = None
         #: event topic pattern -> callback(topic, payload) for events
         #: from the Controller layer (failure recovery hooks).
         self._event_hooks: list[
@@ -169,12 +226,19 @@ class ChangeInterpreter:
         if existing is not None and not replace:
             raise InterpreterError(f"duplicate rule for class {rule.class_name!r}")
         self._rules[rule.class_name] = rule
+        # The structural plan cache needs no invalidation (new templates
+        # lower under their own structural keys), but any installed
+        # Tier-3 program was generated from the previous rule set:
+        # drop it so edited entities run on Tier-2 until the next
+        # completed synthesis cycle regenerates the module.
         if existing is not None:
-            # Invalidate the compiled plan: the new rule's templates
-            # must be lowered fresh (stale closures would keep emitting
-            # the replaced semantics).
-            self._plans.pop(rule.class_name, None)
+            self._aot = None
         return rule
+
+    def install_aot(self, program: Any) -> None:
+        """Install (or with ``None`` remove) a validated Tier-3 program
+        (:class:`repro.middleware.synthesis.aot.AotProgram`)."""
+        self._aot = program
 
     def on_event(
         self, pattern: str, callback: Callable[[str, dict[str, Any]], None]
@@ -212,6 +276,15 @@ class ChangeInterpreter:
             return []
         execution = self._execution_for(change, rule)
         label = self._label_for(change)
+        if (
+            self._aot is not None
+            and self.compiled
+            and not env_base
+            and change.class_name in self._aot.syn_classes
+        ):
+            commands = self._aot_change(change, rule, execution, label)
+            if commands is not _AOT_MISS:
+                return commands
         env = dict(env_base)
         env.update(self._change_env(change))
         commands: list[Command] = []
@@ -224,13 +297,8 @@ class ChangeInterpreter:
                 )
             return []
         if self.compiled:
-            plan = self._plans.get(rule.class_name)
-            if plan is None:
-                plan = self._plans[rule.class_name] = {}
             for template in actions:
-                compiled = plan.get(id(template))
-                if compiled is None or compiled.template is not template:
-                    compiled = plan[id(template)] = _CompiledTemplate(template)
+                compiled = self._plans.lookup(template)
                 if compiled.foreach_fn is not None:
                     for item in compiled.foreach_fn(env):
                         item_env = dict(env)
@@ -258,6 +326,60 @@ class ChangeInterpreter:
                         commands.append(command)
         if change.kind == "remove":
             # Entity left the model; discard its execution state.
+            self._executions.pop(change.object_id, None)
+        return commands
+
+    def _aot_change(
+        self,
+        change: Change,
+        rule: EntityRule,
+        execution: LTSExecution,
+        label: str,
+    ) -> list[Command] | Any:
+        """Tier-3 dispatch for one change; ``_AOT_MISS`` defers to
+        Tier-2 for shapes the generated module does not cover.
+
+        Mirrors the Tier-2 path exactly: all guards in the dispatch
+        group are evaluated (guard errors propagate even when an
+        earlier transition already matched, like ``LTSExecution.
+        enabled``), the winning *live* transition mutates the same
+        execution state/trace, and the many-valued feature touches
+        Tier-2's env construction performs are replayed so the slot
+        store materializes identically.
+        """
+        obj = change.new_object or change.old_object
+        if obj is None:
+            return _AOT_MISS  # templates resolve names against obj
+        program = self._aot
+        # Tier-2 builds the change env *before* stepping, calling
+        # obj.get() on every declared attribute — which materializes
+        # many-valued lists into the slot store even for changes that
+        # end up unmatched.  Replay those touches first.
+        for attr_name in program.syn_many.get(change.class_name, ()):
+            obj.get(attr_name)
+        entries = program.syn_dispatch.get(
+            (change.class_name, execution.state, label)
+        )
+        chosen = None
+        if entries is not None:
+            for guard_fn, transition, renders in entries:
+                enabled = guard_fn is None or guard_fn(change, obj)
+                if enabled and chosen is None:
+                    chosen = (transition, renders)
+        if chosen is None:
+            if rule.on_unmatched == "error" or self.strict:
+                raise InterpreterError(
+                    f"rule {rule.class_name!r}: no transition for {label!r} "
+                    f"from state {execution.state!r} (change: {change})"
+                )
+            return []
+        transition, renders = chosen
+        execution.state = transition.target
+        execution.trace.append(transition)
+        commands: list[Command] = []
+        for render in renders:
+            commands.extend(render(change, obj))
+        if change.kind == "remove":
             self._executions.pop(change.object_id, None)
         return commands
 

@@ -41,6 +41,7 @@ __all__ = [
     "tracing_active",
     "advance_signal_seq",
     "mint_call",
+    "mint_event",
 ]
 
 _signal_seq = itertools.count(1)
@@ -187,6 +188,29 @@ def mint_call(topic: str, payload: Mapping[str, Any], origin: str) -> Call:
     return call
 
 
+def mint_event(topic: str, payload: Mapping[str, Any], origin: str) -> Event:
+    """Construct a chain-rooting :class:`Event` without dataclass
+    ``__init__`` overhead (the :func:`mint_call` counterpart).
+
+    Per-operation resource events are the hottest signal class in the
+    system — every simulated service call publishes one — so the E1
+    hot path mints them directly; everything else should use the
+    ordinary constructors.
+    """
+    seq = next(_signal_seq)
+    event = object.__new__(Event)
+    d = event.__dict__
+    d["topic"] = topic
+    d["payload"] = payload
+    d["origin"] = origin
+    d["seq"] = seq
+    d["trace_id"] = seq
+    d["parent_seq"] = None
+    if _trace_hook is not None:
+        _trace_hook(event)
+    return event
+
+
 @dataclass
 class Subscription:
     """A live subscription; ``cancel()`` detaches it from the bus."""
@@ -246,6 +270,18 @@ class EventBus:
         self.metrics = metrics
         self._index: TopicIndex[Subscription] = TopicIndex()
         self._subscriptions: list[Subscription] = []
+        #: per-topic route cache: topic -> (subscriptions, candidates).
+        #: Publishing the same topic repeatedly (the resource-event hot
+        #: path) costs one dict hit instead of a trie walk + sort.
+        #: Invalidated wholesale on any subscribe/cancel; bounded so a
+        #: workload minting unbounded distinct topics cannot leak.
+        self._routes: dict[str, tuple[list[Subscription], int]] = {}
+        #: per-topic (counter, histogram) pairs pre-resolved from the
+        #: wired single-writer registry (see MetricsRegistry.counter);
+        #: valid only for that registry object, so swaps fall back to
+        #: the keyed recording calls.
+        self._instruments: dict[str, tuple[Any, Any]] = {}
+        self._instruments_for: Any = None
         self._mutate = threading.Lock()
         self._history: list[Signal] = []
         self.record_history = False
@@ -259,7 +295,29 @@ class EventBus:
         with self._mutate:
             self._subscriptions.append(subscription)
             self._index.add(pattern, subscription)
+            self._routes = {}
         return subscription
+
+    def _route(self, topic: str) -> list[Subscription]:
+        """The cached subscription list for ``topic`` (see ``_routes``).
+
+        A subscription added mid-publish sees only later publishes
+        (adding clears the cache, and the in-flight publish iterates
+        the list it already fetched); a cancellation mid-publish is
+        honoured immediately via the ``active`` flag, exactly as on
+        the uncached path.
+        """
+        cached = self._routes.get(topic)
+        if cached is None:
+            matched = self._index.match(topic)
+            if len(self._routes) >= 1024:
+                self._routes = {}
+            self._routes[topic] = (matched, self._index.last_candidates)
+            return matched
+        matched, candidates = cached
+        # keep the routing diagnostics truthful on cache hits
+        self._index.last_candidates = candidates
+        return matched
 
     def publish(self, signal: Signal) -> int:
         """Deliver ``signal``; returns the number of subscribers reached."""
@@ -267,24 +325,46 @@ class EventBus:
             self._history.append(signal)
         metrics = self.metrics if self.metrics is not None else default_registry()
         timed = metrics.enabled
+        clock = self.clock
         if timed:
-            start = self.clock.now() if self.clock is not None else time.perf_counter()
-        errors: list[Exception] = []
+            start = clock.now() if clock is not None else time.perf_counter()
+        errors: list[Exception] | None = None
         delivered = 0
-        for subscription in self._index.match(signal.topic):
+        topic = signal.topic
+        for subscription in self._route(topic):
             if not subscription.active:
                 continue
             delivered += 1
             try:
                 subscription.callback(signal)
             except Exception as exc:  # noqa: BLE001 - aggregated below
+                if errors is None:
+                    errors = []
                 errors.append(exc)
         self.published += 1
         self.delivered += delivered
         if timed:
-            end = self.clock.now() if self.clock is not None else time.perf_counter()
-            metrics.count("bus.publish", signal.topic)
-            metrics.observe("bus.deliver", signal.topic, end - start)
+            end = clock.now() if clock is not None else time.perf_counter()
+            if metrics is self.metrics and not metrics.thread_safe:
+                # Single-writer wired registry: bump pre-resolved
+                # per-topic instruments directly (the documented
+                # MetricsRegistry.counter fast path).
+                if self._instruments_for is not metrics:
+                    self._instruments = {}
+                    self._instruments_for = metrics
+                pair = self._instruments.get(topic)
+                if pair is None:
+                    if len(self._instruments) >= 1024:
+                        self._instruments = {}
+                    pair = self._instruments[topic] = (
+                        metrics.live_counter("bus.publish", topic),
+                        metrics.live_histogram("bus.deliver", topic),
+                    )
+                pair[0].value += 1
+                pair[1].observe(end - start)
+            else:
+                metrics.count("bus.publish", topic)
+                metrics.observe("bus.deliver", topic, end - start)
         if errors:
             raise EventDeliveryError(signal, errors)
         return delivered
@@ -322,7 +402,7 @@ class EventBus:
                 )
             matched = routes.get(signal.topic)
             if matched is None:
-                matched = routes[signal.topic] = self._index.match(signal.topic)
+                matched = routes[signal.topic] = self._route(signal.topic)
             count = 0
             for subscription in matched:
                 if not subscription.active:
@@ -370,6 +450,7 @@ class EventBus:
             if subscription in self._subscriptions:
                 self._subscriptions.remove(subscription)
                 self._index.remove(subscription.pattern, subscription)
+                self._routes = {}
 
     @property
     def subscriber_count(self) -> int:

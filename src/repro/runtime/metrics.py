@@ -223,6 +223,45 @@ class MetricsRegistry:
                 histogram = self._histograms[key] = LatencyHistogram()
             histogram.observe(seconds)
 
+    def live_counter(self, name: str, label: str = "") -> Counter:
+        """The live counter for ``(name, label)``, created if missing.
+
+        Hot paths on *single-writer* registries (``thread_safe=False``)
+        may cache the returned instrument and bump ``.value`` directly,
+        skipping the per-call key build and lookup — but must keep
+        honouring ``enabled`` themselves.  On thread-safe registries
+        direct bumps would bypass the write lock; use :meth:`count`.
+        (:meth:`histogram` is the read-only lookup; this pair creates.)
+        """
+        key = (name, label)
+        lock = self._lock
+        if lock is None:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            return counter
+        with lock:
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            return counter
+
+    def live_histogram(self, name: str, label: str = "") -> LatencyHistogram:
+        """The live histogram for ``(name, label)``, created if missing.
+        Same single-writer caching contract as :meth:`live_counter`."""
+        key = (name, label)
+        lock = self._lock
+        if lock is None:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram()
+            return histogram
+        with lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram()
+            return histogram
+
     def time(self, name: str, label: str = "", *, clock: Clock | None = None):
         """Context manager recording elapsed time into a histogram."""
         return _TimerContext(self, name, label, clock or self.clock)

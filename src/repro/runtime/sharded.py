@@ -643,6 +643,47 @@ class ShardRebalancer:
 
     # -- planning -----------------------------------------------------------
 
+    def plan_from_metrics(
+        self,
+        sessions: "Iterable[str]",
+        *,
+        queue_weight: float = 1e-3,
+    ) -> list[tuple[str, int]]:
+        """Plan moves from *observed* per-shard load instead of
+        caller-supplied costs (ROADMAP follow-on from PR 5).
+
+        Per-shard load is read from the shard's own registry — the sum
+        of observed latency seconds across its histograms (broker
+        call/cycle timings land there through the per-shard platform) —
+        plus ``queue_weight`` per pending mailbox task, so a shard with
+        a deep backlog counts as hot even before those tasks execute.
+        Each shard's load is attributed evenly to the sessions homed on
+        it (per-shard registries cannot see individual sessions): under
+        the greedy planner that still moves sessions off hot shards
+        first, which is the signal that matters.  The explicit
+        :meth:`plan` path remains for callers with exact costs (tests,
+        cost-model experiments).
+        """
+        shards = self.runtime.shards
+        loads: list[float] = []
+        for shard in shards:
+            observed = sum(
+                histogram.total
+                for _name, _label, histogram in shard.metrics.histograms()
+            )
+            loads.append(observed + queue_weight * shard.mailbox.pending)
+        homed: dict[int, list[str]] = {shard.index: [] for shard in shards}
+        for key in sorted(set(sessions)):
+            homed[self.runtime.shard_for(key).index].append(key)
+        costs: dict[str, float] = {}
+        for index, keys in homed.items():
+            if not keys:
+                continue
+            share = loads[index] / len(keys)
+            for key in keys:
+                costs[key] = share
+        return self.plan(costs)
+
     def plan(self, session_costs: dict[str, float]) -> list[tuple[str, int]]:
         """Greedy hottest-to-coolest move plan.
 

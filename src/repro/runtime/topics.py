@@ -32,9 +32,13 @@ subscriptions.
 from __future__ import annotations
 
 from functools import lru_cache
+from operator import itemgetter
 from typing import Any, Callable, Generic, Iterator, TypeVar
 
 __all__ = ["TopicMatcher", "TopicIndex"]
+
+#: sort key for (order, entry) pairs on the match hot path.
+_by_order = itemgetter(0)
 
 
 @lru_cache(maxsize=1024)
@@ -227,7 +231,8 @@ class TopicIndex(Generic[E]):
             hits.extend(node.tail)
             candidates += len(node.tail)
         self.last_candidates = candidates
-        hits.sort(key=lambda pair: pair[0])
+        if len(hits) > 1:
+            hits.sort(key=_by_order)
         return [entry for _order, entry in hits]
 
     def __iter__(self) -> Iterator[E]:

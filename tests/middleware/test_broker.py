@@ -311,6 +311,19 @@ class TestEventBindings:
         bindings.dispatch("t", {"level": 5})
         assert state.get("count") == 1
 
+    def test_route_cache_invalidated_by_late_bind(self, resources, state):
+        """A topic cached as unrouted must pick up bindings added
+        afterwards (the per-topic route cache is dropped on bind)."""
+        bindings = EventBindingTable(resources, state)
+        assert bindings.dispatch("resource.dev0.alert", {}) == 0
+        action = BrokerAction(
+            name="react", pattern="*",
+            implementation=[{"set": "seen", "expr": "topic"}],
+        )
+        bindings.bind("resource.dev0.*", action)
+        assert bindings.dispatch("resource.dev0.alert", {}) == 1
+        assert state.get("seen") == "resource.dev0.alert"
+
 
 class TestAutonomicManager:
     @pytest.fixture

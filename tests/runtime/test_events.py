@@ -96,6 +96,23 @@ class TestEventBus:
         bus.emit("a")
         assert bus.history() == []
 
+    def test_instrument_cache_follows_registry_swap(self):
+        """The wired single-writer registry's pre-resolved instruments
+        must not survive a metrics swap: recordings after the swap land
+        in the new registry, and the old one stops ticking."""
+        from repro.runtime.metrics import MetricsRegistry
+
+        first = MetricsRegistry()
+        bus = EventBus(metrics=first)
+        bus.emit("hot.topic")
+        bus.emit("hot.topic")
+        assert first.counter_value("bus.publish", "hot.topic") == 2
+        second = MetricsRegistry()
+        bus.metrics = second
+        bus.emit("hot.topic")
+        assert first.counter_value("bus.publish", "hot.topic") == 2
+        assert second.counter_value("bus.publish", "hot.topic") == 1
+
     def test_call_vs_emit_kinds(self):
         bus = EventBus()
         seen = []
