@@ -696,7 +696,13 @@ def cmd_bench_synthesis(args: argparse.Namespace) -> int:
 
 def cmd_aot_gen(args: argparse.Namespace) -> int:
     from repro.bench.migrate import _fresh_session, domain_cases
-    from repro.modeling.aotgen import generate_module_source
+    from repro.modeling.aotgen import (
+        dsk_fingerprint,
+        dsk_hash,
+        generate_module_source,
+        read_cached_source,
+        write_cached_source,
+    )
 
     cases = {case.name: case for case in domain_cases()}
     if args.domain not in cases:
@@ -707,12 +713,25 @@ def cmd_aot_gen(args: argparse.Namespace) -> int:
         return 2
     _service, _dsk, platform = _fresh_session(cases[args.domain])
     try:
-        source = generate_module_source(
-            rules=platform.synthesis.interpreter._rules,
-            actions=list(platform.broker.calls._actions),
-            dsml=platform.dsml,
-            domain=platform.domain,
+        rules = platform.synthesis.interpreter._rules
+        actions = list(platform.broker.calls._actions)
+        dsml = platform.dsml
+        digest = dsk_hash(
+            dsk_fingerprint(rules=rules, actions=actions, dsml=dsml)
         )
+        source = None
+        if args.cache_dir:
+            source = read_cached_source(args.cache_dir, digest)
+            if source is not None:
+                print(f"cache hit: aot-{digest}.py in {args.cache_dir}")
+        if source is None:
+            source = generate_module_source(
+                rules=rules, actions=actions, dsml=dsml,
+                domain=platform.domain,
+            )
+            if args.cache_dir:
+                write_cached_source(args.cache_dir, digest, source)
+                print(f"cached as aot-{digest}.py in {args.cache_dir}")
     finally:
         platform.stop()
     if args.output == "-":
@@ -884,6 +903,52 @@ def cmd_bench_wal(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_cluster(args: argparse.Namespace) -> int:
+    from repro.bench.cluster import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    throughput = results["throughput"]
+    print(
+        f"\nprocess fabric: {throughput['sessions']} interleaved sessions"
+    )
+    for run in throughput["runs"]:
+        print(
+            f"  workers={run['workers']:<2} elapsed={run['elapsed_s']:.3f}s "
+            f"steps/s={run['steps_per_s']:.0f} "
+            f"sessions/s={run['sessions_per_s']:.0f} "
+            f"op_logs_identical={run['op_logs_identical']}"
+        )
+    speedup = throughput["speedup_steps_4_workers_vs_1"]
+    if speedup is not None:
+        print(
+            f"step throughput at 4 workers: {speedup:.2f}x the 1-worker "
+            f"run (bar: >= 3x, met: {throughput['meets_3x_at_4_workers']})"
+        )
+    migration = results["migration"]
+    pauses = [row["pause_ms"] for row in migration["domains"]]
+    print(
+        f"cross-process migration: {len(migration['domains'])} domains, "
+        f"op_logs identical={migration['all_identical']}, "
+        f"pauses {min(pauses):.1f}-{max(pauses):.1f} ms"
+    )
+    fault = results["fault"]
+    print(
+        f"kill-a-worker: {fault['rejected_worker_dead']} typed "
+        f"WORKER_DEAD rejections, {fault['unresolved_futures']} unresolved "
+        f"futures, {fault['untyped_failures']} untyped failures, "
+        f"{fault['restarts']} restart(s), "
+        f"op_logs identical={fault['op_logs_identical']}"
+    )
+    determinism = results["determinism"]
+    print(
+        f"seeded frame ordering: {determinism['runs']} runs at seed "
+        f"{determinism['seed']}, "
+        f"op_logs identical={determinism['op_logs_identical']}"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -1013,6 +1078,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="-",
         help="file to write the module source to ('-' for stdout)",
     )
+    aot_gen.add_argument(
+        "--cache-dir", default=None,
+        help="also read/write the disk module cache keyed by DSK_HASH "
+             "(the cluster workers' cold-start cache)",
+    )
 
     bench_scale = sub.add_parser(
         "bench-scale",
@@ -1057,6 +1127,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="fewer repeats, perf gate report-only (CI wal-smoke)",
     )
+
+    bench_cluster = sub.add_parser(
+        "bench-cluster",
+        help="run the multi-process session-fabric benchmark and write "
+             "BENCH_PR9.json",
+    )
+    bench_cluster.add_argument("--output", default="BENCH_PR9.json")
+    bench_cluster.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload, speedup gate report-only "
+             "(CI cluster-smoke)",
+    )
     return parser
 
 
@@ -1079,6 +1161,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-migrate": cmd_bench_migrate,
     "bench-ingress": cmd_bench_ingress,
     "bench-wal": cmd_bench_wal,
+    "bench-cluster": cmd_bench_cluster,
 }
 
 

@@ -1,0 +1,276 @@
+"""DSK registry and worker backend for the multi-process session fabric.
+
+:mod:`repro.runtime.cluster` is middleware-agnostic: workers resolve a
+backend object from a ``"module:attr"`` spec.  This module supplies that
+backend for the shipped middleware stack.
+
+A :class:`DskRegistry` maps domain names to *entries* — anything with
+``name`` / ``service()`` / ``knowledge(service)`` / ``middleware()`` /
+``context`` attributes (:class:`repro.bench.migrate.DomainCase` qualifies
+as-is).  A cold worker can therefore rebuild a full platform for any
+registered domain from a portable capture doc containing nothing but the
+session snapshot, exported service state, and the ``DSK_HASH``: the
+registry supplies the DSK, :func:`restore_platform` re-realizes the
+platform, and — with an AOT cache directory configured — the Tier-3
+module is loaded from disk keyed by the hash (``load_program`` refuses
+ABI/hash mismatches, falling back to regeneration and ultimately Tier-2)
+instead of being regenerated per restore.
+
+The shipped hash is checked against one recomputed from the rebuilt
+platform's live rules/actions/metamodel; a mismatch means the registry's
+DSK diverged from the one the capture came from, and the restore is
+refused rather than silently resumed on different semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "ClusterBackendError",
+    "DskRegistry",
+    "RegistryBackend",
+    "default_registry",
+    "default_backend",
+]
+
+
+class ClusterBackendError(RuntimeError):
+    """A worker-side session operation could not be performed."""
+
+
+def platform_dsk_hash(platform: Any) -> str:
+    """``DSK_HASH`` of a started platform's live knowledge."""
+    from repro.modeling.aotgen import dsk_fingerprint, dsk_hash
+
+    broker = platform.broker
+    return dsk_hash(dsk_fingerprint(
+        rules=platform.synthesis.interpreter._rules,
+        actions=list(broker.calls._actions) if broker is not None else [],
+        dsml=platform.dsml,
+    ))
+
+
+class DskRegistry:
+    """Domain name -> DSK entry, the worker's source of domain knowledge."""
+
+    def __init__(self, entries: list | None = None):
+        self._entries: dict[str, Any] = {}
+        for entry in entries or []:
+            self.register(entry)
+
+    def register(self, entry: Any) -> None:
+        self._entries[entry.name] = entry
+
+    def get(self, name: str) -> Any:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ClusterBackendError(
+                f"domain {name!r} not in DSK registry "
+                f"(known: {sorted(self._entries)})"
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+
+class _SessionHost:
+    """One live session on a worker: its service, DSK, and platform."""
+
+    __slots__ = ("entry", "service", "dsk", "platform")
+
+    def __init__(self, entry, service, dsk, platform):
+        self.entry = entry
+        self.service = service
+        self.dsk = dsk
+        self.platform = platform
+
+
+class RegistryBackend:
+    """Worker-protocol backend hosting one platform per session.
+
+    Implements the contract documented in :mod:`repro.runtime.cluster`:
+    ``open`` / ``apply`` / ``capture`` / ``restore`` / ``drop`` /
+    ``close`` / ``describe``, plus the optional ``configure`` hook the
+    worker calls with the coordinator's options dict (``aot`` and
+    ``aot_cache_dir`` route every platform build through the Tier-3
+    disk cache).
+    """
+
+    def __init__(self, registry: DskRegistry | None = None, *,
+                 aot: bool = False, aot_cache_dir: str | None = None):
+        self.registry = registry or default_registry()
+        self.aot = aot
+        self.aot_cache_dir = aot_cache_dir
+        self.worker_id = -1
+        self.sessions: dict[str, _SessionHost] = {}
+
+    # -- worker hooks ------------------------------------------------------
+
+    def configure(self, worker_id: int, options: dict) -> None:
+        self.worker_id = worker_id
+        if "aot" in options:
+            self.aot = bool(options["aot"])
+        if options.get("aot_cache_dir"):
+            self.aot_cache_dir = str(options["aot_cache_dir"])
+
+    # -- session lifecycle -------------------------------------------------
+
+    def open(self, session: str, doc: dict) -> dict:
+        from repro.middleware.loader import load_platform
+
+        if session in self.sessions:
+            raise ClusterBackendError(f"session {session!r} already open")
+        entry = self.registry.get(doc["domain"])
+        service = entry.service()
+        dsk = entry.knowledge(service)
+        platform = load_platform(
+            entry.middleware(), dsk,
+            aot=self.aot, aot_cache_dir=self.aot_cache_dir,
+        )
+        context = dict(getattr(entry, "context", {}) or {})
+        context.update(doc.get("context") or {})
+        if platform.controller is not None and context:
+            platform.controller.context.update(context)
+        if platform.broker is not None and not doc.get("autonomic", True):
+            platform.broker.autonomic.enabled = False
+        self.sessions[session] = _SessionHost(entry, service, dsk, platform)
+        return {
+            "domain": entry.name,
+            "dsk_hash": platform_dsk_hash(platform),
+            "worker": self.worker_id,
+        }
+
+    def _host(self, session: str) -> _SessionHost:
+        host = self.sessions.get(session)
+        if host is None:
+            raise ClusterBackendError(
+                f"session {session!r} not open on worker {self.worker_id}"
+            )
+        return host
+
+    def apply(self, session: str, doc: dict) -> Any:
+        host = self._host(session)
+        op = doc.get("op")
+        if op == "api":
+            broker = host.platform.broker
+            if broker is None:
+                raise ClusterBackendError("session platform has no broker")
+            return broker.call_api(doc["api"], **(doc.get("args") or {}))
+        if op == "fail":
+            host.service.inject_failure(self._session_id(host, doc["conn"]))
+            return None
+        if op == "recover":
+            return host.platform.broker.call_api(
+                "ncb.recover_session",
+                session=self._session_id(host, doc["conn"]),
+            )
+        if op == "run_model":
+            from repro.modeling.serialize import model_from_dict
+
+            model = model_from_dict(doc["model"], host.dsk.dsml)
+            host.platform.run_model(model)
+            return {"ran": model.name}
+        if op == "noop":
+            return None
+        raise ClusterBackendError(f"unknown session op {op!r}")
+
+    @staticmethod
+    def _session_id(host: _SessionHost, connection: str) -> str:
+        return host.platform.broker.state.get(f"session:{connection}")
+
+    # -- migration / recovery ----------------------------------------------
+
+    def capture(self, session: str) -> dict:
+        """Portable capture: snapshot + exported service state + DSK hash.
+
+        Platform snapshots deliberately exclude the simulated resources
+        (the DSK supplies them), so cross-process migration ships the
+        services' exported state — including the op_log, the correctness
+        witness — alongside the snapshot.
+        """
+        host = self._host(session)
+        return {
+            "domain": host.entry.name,
+            "dsk_hash": platform_dsk_hash(host.platform),
+            "snapshot": host.platform.checkpoint().to_dict(),
+            "services": {
+                resource.name: resource.export_state()
+                for resource in host.dsk.resources
+            },
+        }
+
+    def restore(self, session: str, doc: dict) -> dict:
+        from repro.middleware.snapshot import SessionSnapshot, restore_platform
+
+        if session in self.sessions:
+            raise ClusterBackendError(
+                f"session {session!r} already open; cannot restore over it"
+            )
+        entry = self.registry.get(doc["domain"])
+        service = entry.service()
+        dsk = entry.knowledge(service)
+        exported = doc.get("services") or {}
+        for resource in dsk.resources:
+            state = exported.get(resource.name)
+            if state is not None:
+                resource.import_state(state)
+        platform = restore_platform(
+            SessionSnapshot.from_dict(doc["snapshot"]), dsk,
+            aot=self.aot, aot_cache_dir=self.aot_cache_dir,
+        )
+        live_hash = platform_dsk_hash(platform)
+        shipped = doc.get("dsk_hash")
+        if shipped and shipped != live_hash:
+            platform.stop()
+            raise ClusterBackendError(
+                f"DSK hash mismatch on restore of {session!r}: capture came "
+                f"from {shipped!r}, registry rebuilt {live_hash!r}"
+            )
+        self.sessions[session] = _SessionHost(entry, service, dsk, platform)
+        return {"restored": session, "dsk_hash": live_hash,
+                "worker": self.worker_id}
+
+    def drop(self, session: str) -> dict:
+        """Forget a session after it migrated out (no workload effects)."""
+        host = self.sessions.pop(session, None)
+        if host is not None and host.platform.started:
+            host.platform.stop()
+        return {"dropped": session}
+
+    def close(self, session: str) -> dict:
+        host = self.sessions.pop(session, None)
+        if host is not None and host.platform.started:
+            host.platform.stop()
+        return {"closed": session}
+
+    # -- introspection -----------------------------------------------------
+
+    def describe(self, session: str) -> dict:
+        host = self._host(session)
+        return {
+            "domain": host.entry.name,
+            "dsk_hash": platform_dsk_hash(host.platform),
+            "op_logs": {
+                resource.name: list(resource.op_log)
+                for resource in host.dsk.resources
+            },
+        }
+
+
+def default_registry() -> DskRegistry:
+    """Registry of the four shipped domains' DSK entries.
+
+    Reuses the migration benchmark's :class:`DomainCase` definitions —
+    the canonical description of each domain's service/DSK/middleware
+    triple — imported lazily to keep this module import-light.
+    """
+    from repro.bench.migrate import domain_cases
+
+    return DskRegistry(domain_cases())
+
+
+def default_backend() -> RegistryBackend:
+    """Factory for the ``"repro.middleware.cluster:default_backend"`` spec."""
+    return RegistryBackend(default_registry())

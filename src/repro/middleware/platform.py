@@ -158,15 +158,17 @@ class Platform:
         self._require(self.synthesis, "synthesis")
         return self.synthesis.teardown_script()
 
-    def enable_aot(self) -> "Any":
+    def enable_aot(self, *, cache_dir: str | None = None) -> "Any":
         """Compile the loaded DSK into a Tier-3 generated module and
         install it (synthesis dispatch tables + broker call table);
         returns the installed ``AotProgram``.  Runtime DSK edits fall
-        back to Tier-2 and regenerate lazily after the next cycle."""
+        back to Tier-2 and regenerate lazily after the next cycle.
+        ``cache_dir`` loads/persists the generated module on disk keyed
+        by ``DSK_HASH`` so cold starts skip generation."""
         from repro.middleware.synthesis.aot import enable_aot
 
         self._require(self.synthesis, "synthesis")
-        return enable_aot(self)
+        return enable_aot(self, cache_dir=cache_dir)
 
     # -- checkpoint / restore (PR 5) -------------------------------------------
 
@@ -393,6 +395,12 @@ class PlatformPool:
             factory(shard) for shard in self.runtime.shards
         ]
         self._ingress_tiers: list[Any] = []
+        #: attached process cluster (PR 9) + session keys migrated out
+        #: to remote workers: key -> worker index.
+        self._cluster: Any = None
+        self._apply_doc: "Callable[[Platform, str, dict], Any] | None" = None
+        self._remote: dict[str, int] = {}
+        self._rebalancer: Any = None
         self.started = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -409,6 +417,8 @@ class PlatformPool:
     def stop(self) -> "PlatformPool":
         if not self.started:
             return self
+        if self._rebalancer is not None:
+            self._rebalancer.stop()
         self.runtime.stop()
         for platform in self.platforms:
             platform.stop()
@@ -450,6 +460,10 @@ class PlatformPool:
         """
         for tier in self._ingress_tiers:
             tier.close_session(key)
+        key = str(key)
+        worker = self._remote.pop(key, None)
+        if worker is not None and self._cluster is not None:
+            self._cluster.close_session(key)
         return self.runtime.release(key)
 
     # -- ingress (PR 6) ---------------------------------------------------
@@ -489,6 +503,141 @@ class PlatformPool:
                 tier.watch_bus(platform.bus)
         self._ingress_tiers.append(tier)
         return tier
+
+    # -- cluster routing (PR 9) -------------------------------------------
+
+    def attach_cluster(
+        self,
+        cluster: Any,
+        *,
+        apply: "Callable[[Platform, str, dict], Any]",
+    ) -> None:
+        """Enable remote routing through a :class:`ProcessCluster`.
+
+        ``apply(platform, key, doc)`` executes one doc-encoded
+        submission against a *local* platform — the same docs a remote
+        worker's backend applies — so :meth:`submit_doc` can route each
+        submission transparently: sessions migrated out via
+        :meth:`migrate_to_worker` go over the wire, everything else
+        runs in-process on the owning shard.
+        """
+        self._cluster = cluster
+        self._apply_doc = apply
+
+    def remote_worker_for(self, key: str) -> int | None:
+        """Worker index hosting ``key``, or None when local."""
+        return self._remote.get(str(key))
+
+    def submit_doc(self, key: str, doc: dict) -> Any:
+        """Submit one doc-encoded step for ``key``, local or remote.
+
+        Returns a future resolving to an
+        :class:`~repro.runtime.faults.InvocationOutcome` on both paths:
+        remote submissions ride the cluster protocol (worker death
+        surfaces as typed ``REJECTED`` outcomes, never a hung future),
+        local ones run ``apply(platform, key, doc)`` on the owning
+        shard thread.
+        """
+        if self._apply_doc is None:
+            raise PlatformError(
+                f"pool {self.name!r}: attach_cluster() before submit_doc()"
+            )
+        key = str(key)
+        if self._cluster is not None and key in self._remote:
+            return self._cluster.submit(key, doc)
+        from repro.runtime.faults import InvocationOutcome
+
+        platform = self.platform_for(key)
+        apply = self._apply_doc
+
+        def run(target: Platform) -> Any:
+            try:
+                value = apply(target, key, doc)
+            except Exception as exc:  # noqa: BLE001 - typed outcome
+                return InvocationOutcome(
+                    status=InvocationOutcome.FAILED, label=key,
+                    error=exc, attempts=1, elapsed=0.0,
+                )
+            return InvocationOutcome(
+                status=InvocationOutcome.OK, label=key,
+                value=value, attempts=1, elapsed=0.0,
+            )
+
+        return self.runtime.submit(key, run, platform)
+
+    def migrate_to_worker(
+        self,
+        key: str,
+        worker: int,
+        *,
+        capture: "Callable[[Platform], dict]",
+        timeout: float = 30.0,
+    ) -> Any:
+        """Live-migrate session ``key`` out of this process.
+
+        Runs the PR 5 quiesce→capture→flush sequence on the owning
+        shard (``capture(platform)`` must return the session's
+        transportable doc: snapshot + service state), ships the doc to
+        ``worker`` over the cluster protocol, and re-points routing so
+        subsequent :meth:`submit_doc` calls go remote.
+        """
+        if self._cluster is None:
+            raise PlatformError(
+                f"pool {self.name!r}: attach_cluster() before migrate_to_worker()"
+            )
+        key = str(key)
+        platform = self.platform_for(key)
+        result = self.runtime.migrate_out(
+            key,
+            capture=lambda: capture(platform),
+            transfer=lambda doc: self._cluster.restore_session(
+                key, doc, worker=worker
+            ),
+            timeout=timeout,
+        )
+        self._remote[key] = worker
+        return result
+
+    # -- load-driven rebalancing (PR 9, folded PR 5 follow-on) ------------
+
+    def build_rebalancer(
+        self,
+        *,
+        sessions: "Callable[[], Any]",
+        capture: "Callable[[str], Any]",
+        restore: "Callable[[str, Any], Any]",
+        interval: float = 1.0,
+        clock: "Clock | None" = None,
+        queue_weight: float = 1e-3,
+        min_moves: int = 1,
+    ) -> "Any":
+        """A periodic load-driven rebalance trigger over this pool.
+
+        Every ``interval`` seconds the trigger plans moves from *live*
+        per-shard load — ``MetricsRegistry`` latency totals plus
+        mailbox queue depth via
+        :meth:`ShardRebalancer.plan_from_metrics` — and applies them
+        through the migration protocol with the caller's per-session
+        ``capture(key)`` / ``restore(key, snapshot)``.  Timers are
+        epoch-fenced (CheckpointScheduler discipline): :meth:`stop`
+        invalidates in-flight callbacks.  Returns the started
+        :class:`~repro.runtime.sharded.RebalanceTrigger`.
+        """
+        from repro.runtime.sharded import RebalanceTrigger, ShardRebalancer
+
+        trigger = RebalanceTrigger(
+            ShardRebalancer(self.runtime),
+            sessions=sessions,
+            capture=capture,
+            restore=restore,
+            interval=interval,
+            clock=clock or WallClock(),
+            queue_weight=queue_weight,
+            min_moves=min_moves,
+        )
+        trigger.start()
+        self._rebalancer = trigger
+        return trigger
 
     def route_signal(self, signal: Any, *, key: str) -> None:
         """Deliver ``signal`` on the owning shard's bus (batched when

@@ -229,6 +229,7 @@ def restore_platform(
     clock: "Clock | None" = None,
     metrics: "MetricsRegistry | None" = None,
     aot: bool = False,
+    aot_cache_dir: str | None = None,
 ) -> "Platform":
     """Rebuild a platform from a snapshot (migration / cold recovery).
 
@@ -242,6 +243,10 @@ def restore_platform(
     ``aot=True`` re-enables the Tier-3 generated module *after* the
     snapshot is applied — restore may re-install dynamic broker
     actions, so the module is compiled from the fully restored DSK.
+    ``aot_cache_dir`` serves that compile from the disk cache keyed by
+    ``DSK_HASH`` when warm — the cluster-worker cold-restore path,
+    where a worker restores from snapshot + DSK hash alone and loads
+    the pregenerated module instead of regenerating.
     """
     from repro.middleware.loader import load_platform
     from repro.middleware.metamodel import middleware_metamodel
@@ -253,7 +258,7 @@ def restore_platform(
     try:
         restored = apply_snapshot(platform, snapshot)
         if aot and restored.synthesis is not None:
-            restored.enable_aot()
+            restored.enable_aot(cache_dir=aot_cache_dir)
         return restored
     except Exception:
         # Never leak a started half-restored platform: tear it down so

@@ -44,6 +44,8 @@ import ast
 import hashlib
 import json
 import keyword
+import os
+from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from repro.modeling.expr import (
@@ -59,6 +61,9 @@ __all__ = [
     "dsk_fingerprint",
     "dsk_hash",
     "generate_module_source",
+    "cache_path",
+    "read_cached_source",
+    "write_cached_source",
 ]
 
 #: Bumped whenever the generated-module contract (names, signatures,
@@ -981,3 +986,50 @@ def generate_module_source(
 
 def _mangle(name: str) -> str:
     return "".join(c if c.isalnum() else "_" for c in name)
+
+
+# -- on-disk module cache ----------------------------------------------------
+#
+# Generated source is deterministic for a DSK, and DSK_HASH covers the
+# ABI and the full structural fingerprint — so a module cached on disk
+# keyed by the hash is safe to load anywhere the live DSK hashes the
+# same (the loader revalidates before install either way).  Cold
+# platform starts — local restarts or remote cluster workers — skip
+# generation entirely on a cache hit.
+
+
+def cache_path(cache_dir: str | os.PathLike, digest: str) -> Path:
+    """Where a generated module for ``digest`` lives under ``cache_dir``."""
+    return Path(cache_dir) / f"aot-{digest}.py"
+
+
+def read_cached_source(
+    cache_dir: str | os.PathLike, digest: str
+) -> str | None:
+    """Cached module source for ``digest``, or None on miss/unreadable.
+
+    Corrupt or truncated cache files are the loader's problem by
+    design: ``load_program`` revalidates ABI and DSK_HASH against the
+    live DSK and raises ``AotError`` on any mismatch, at which point
+    callers regenerate and overwrite.
+    """
+    try:
+        return cache_path(cache_dir, digest).read_text(encoding="utf-8")
+    except OSError:
+        return None
+
+
+def write_cached_source(
+    cache_dir: str | os.PathLike, digest: str, source: str
+) -> Path:
+    """Atomically persist generated module source keyed by ``digest``.
+
+    Write-to-temp then ``os.replace`` so a concurrent reader (another
+    worker process warming the same DSK) never sees a torn file.
+    """
+    target = cache_path(cache_dir, digest)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(source, encoding="utf-8")
+    os.replace(tmp, target)
+    return target

@@ -36,6 +36,13 @@ from repro.runtime.executor import (
     TaskExecutor,
     ThreadPoolExecutorAdapter,
 )
+from repro.runtime.cluster import (
+    ClusterError,
+    ClusterFabric,
+    ProcessCluster,
+    RemoteWorkerError,
+    worker_main,
+)
 from repro.runtime.factory import ComponentFactory, ComponentSpec, FactoryError
 from repro.runtime.ingress import (
     BATCH,
@@ -79,6 +86,8 @@ __all__ = [
     "Registry", "TypeRegistry", "RegistryError",
     "ShardedRuntime", "ShardedRuntimeError", "Shard", "ForwardingChannel",
     "shard_index_for", "current_shard",
+    "ProcessCluster", "ClusterFabric", "ClusterError", "RemoteWorkerError",
+    "worker_main",
     "IngressTier", "AsyncIngress", "AdmissionPolicy", "IngressError",
     "IngressRejected", "ShedReason", "INTERACTIVE", "BATCH",
     "Counter", "LatencyHistogram", "MetricsRegistry",

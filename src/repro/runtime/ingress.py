@@ -100,6 +100,11 @@ class ShedReason:
     BREAKER_OPEN = "breaker_open"
     CLOSED = "ingress_closed"
     SESSION_CLOSED = "session_closed"
+    #: the worker process hosting the session died (socket EOF/reset);
+    #: pending and subsequent submissions resolve as typed REJECTED
+    #: outcomes until the supervisor restarts the worker and the
+    #: session is restored (see repro.runtime.cluster).
+    WORKER_DEAD = "worker_dead"
 
 
 class IngressRejected(FaultError):

@@ -56,6 +56,7 @@ __all__ = [
     "ForwardingChannel",
     "ShardedRuntime",
     "ShardRebalancer",
+    "RebalanceTrigger",
 ]
 
 #: the shard whose task the current thread is executing (if any).
@@ -540,6 +541,48 @@ class ShardedRuntime:
         target.metrics.count("fabric.migrations_in", target.name)
         return result
 
+    def migrate_out(
+        self,
+        key: str,
+        *,
+        capture: Callable[[], Any],
+        transfer: Callable[[Any], Any],
+        timeout: float = 30.0,
+    ) -> Any:
+        """Migrate session ``key`` out of this fabric entirely.
+
+        The cross-process egress half of :meth:`migrate`: the same
+        quiesce→capture→flush discipline runs on the source shard, but
+        instead of restoring on a sibling shard, ``transfer(snapshot)``
+        runs on the *calling* thread and ships the captured state
+        elsewhere — typically over a cluster socket to a remote worker
+        (:class:`~repro.runtime.cluster.ProcessCluster`).  The local
+        route override (if any) is dropped; the caller owns remote
+        routing from here on.  Returns ``transfer``'s result.
+        """
+        if not self.started:
+            raise ShardedRuntimeError(f"fabric {self.name!r} is not started")
+        source = self.shard_for(key)
+        # 1. quiesce + snapshot on the source shard thread (FIFO: runs
+        # after everything already submitted for the session).
+        captured = source.call(capture)
+        if self.inline:
+            self.drain()
+        snapshot = captured.result(timeout=timeout)
+        # 2. deliver in-flight signals bound for the source shard.
+        if self.channel.flush(source.index):
+            if self.inline:
+                self.drain()
+            else:
+                source.call(lambda: None).result(timeout=timeout)
+        # 3. ship the state out; only on success forget local routing.
+        result = transfer(snapshot)
+        with self._routes_lock:
+            self._routes.pop(str(key), None)
+        self.migrations += 1
+        source.metrics.count("fabric.migrations_out", source.name)
+        return result
+
     def release(self, key: str) -> bool:
         """Forget session ``key``'s migration route override.
 
@@ -761,3 +804,127 @@ class ShardRebalancer:
             applied += 1
         self.moves_applied += applied
         return applied
+
+
+class RebalanceTrigger:
+    """Periodic load-driven rebalancing (PR 9, folded PR 5 follow-on).
+
+    Every ``interval`` seconds: plan moves from *live* observed load
+    (:meth:`ShardRebalancer.plan_from_metrics` — per-shard latency
+    histogram totals plus mailbox queue depth) over the caller's
+    current session set, and apply them through the migration protocol.
+    No caller-supplied cost model: the metrics registry *is* the cost
+    model.
+
+    Timer discipline mirrors ``CheckpointScheduler``: on clocks with a
+    timer queue (``VirtualClock``) ticks self-schedule through
+    ``clock.call_later`` with epoch fencing (``stop()``/``start()``
+    bump the epoch so a stale timer from a previous life fires as a
+    no-op); on plain wall clocks the owner drives :meth:`tick`
+    explicitly between workload steps.
+    """
+
+    def __init__(
+        self,
+        rebalancer: ShardRebalancer,
+        *,
+        sessions: Callable[[], "Iterable[str]"],
+        capture: Callable[[str], Any],
+        restore: Callable[[str, Any], Any],
+        clock: Clock,
+        interval: float = 1.0,
+        queue_weight: float = 1e-3,
+        min_moves: int = 1,
+        timeout: float = 30.0,
+    ) -> None:
+        if interval <= 0:
+            raise ShardedRuntimeError("rebalance interval must be > 0")
+        self.rebalancer = rebalancer
+        self.sessions = sessions
+        self.capture = capture
+        self.restore = restore
+        self.clock = clock
+        self.interval = interval
+        self.queue_weight = queue_weight
+        self.min_moves = min_moves
+        self.timeout = timeout
+        self.ticks = 0
+        self.moves_applied = 0
+        self.errors = 0
+        self.last_error: Exception | None = None
+        self.last_plan: list[tuple[str, int]] = []
+        self._running = False
+        self._epoch = 0
+        self._timer: Any = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "RebalanceTrigger":
+        if self._running:
+            return self
+        self._running = True
+        self._epoch += 1
+        self._schedule()
+        return self
+
+    def stop(self) -> "RebalanceTrigger":
+        self._running = False
+        self._epoch += 1
+        timer, self._timer = self._timer, None
+        if timer is not None and hasattr(timer, "cancel"):
+            timer.cancel()
+        return self
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _schedule(self) -> None:
+        schedule = getattr(self.clock, "call_later", None)
+        if callable(schedule):
+            epoch = self._epoch
+            self._timer = schedule(self.interval, lambda: self._fire(epoch))
+
+    def _fire(self, epoch: int | None = None) -> None:
+        if not self._running:
+            return
+        if epoch is not None and epoch != self._epoch:
+            return  # stale timer from a previous start(); do not double-arm
+        try:
+            self.tick()
+        except Exception as exc:  # noqa: BLE001 - trigger must not die
+            self.errors += 1
+            self.last_error = exc
+        finally:
+            if self._running and (epoch is None or epoch == self._epoch):
+                self._schedule()
+
+    # -- one rebalance round ----------------------------------------------
+
+    def tick(self) -> list[tuple[str, int]]:
+        """Plan from live metrics and apply; returns the moves made."""
+        self.ticks += 1
+        moves = self.rebalancer.plan_from_metrics(
+            list(self.sessions()), queue_weight=self.queue_weight
+        )
+        if len(moves) < self.min_moves:
+            moves = []  # not worth paying migration cost this round
+        self.last_plan = list(moves)
+        if moves:
+            self.moves_applied += self.rebalancer.apply(
+                moves,
+                capture=self.capture,
+                restore=self.restore,
+                timeout=self.timeout,
+            )
+        return moves
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "running": self._running,
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "moves_applied": self.moves_applied,
+            "errors": self.errors,
+            "last_plan": list(self.last_plan),
+        }

@@ -103,6 +103,10 @@ __all__ = [
     "EffectJournal",
     "signal_to_doc",
     "signal_from_doc",
+    "FRAME_HEADER_SIZE",
+    "encode_frame_doc",
+    "decode_frame_header",
+    "decode_frame_payload",
 ]
 
 #: envelope identifying WAL segment headers (serialize.py discipline).
@@ -180,6 +184,49 @@ def signal_from_doc(doc: dict[str, Any]) -> Signal:
 
 def _encode_frame(payload: bytes) -> bytes:
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+#: Size of the ``[u32 length][u32 crc32]`` frame header in bytes —
+#: streaming readers (the cluster socket transport) read exactly this
+#: many bytes before the payload.
+FRAME_HEADER_SIZE = _HEADER.size
+
+
+def encode_frame_doc(doc: Any, *, lenient: bool = False) -> bytes:
+    """Encode one JSON document as a length-prefixed CRC-checked frame.
+
+    The exact WAL wire discipline (``[u32 length][u32 crc32][payload]``,
+    big-endian, UTF-8 JSON payload) exposed for other transports — the
+    multi-process cluster protocol frames its control and batch
+    messages identically so corruption detection and the tolerant-
+    reader contract are shared.  ``lenient=True`` stringifies
+    unserializable leaves instead of raising.
+    """
+    try:
+        payload = _dumps_lenient(doc) if lenient else _dumps(doc)
+    except (TypeError, ValueError) as exc:
+        raise WalError(f"unserializable frame: {exc}") from exc
+    return _encode_frame(payload)
+
+
+def decode_frame_header(header: bytes) -> tuple[int, int]:
+    """Unpack a frame header into ``(payload_length, expected_crc)``."""
+    if len(header) != _HEADER.size:
+        raise WalError(
+            f"short frame header: {len(header)} bytes, need {_HEADER.size}"
+        )
+    length, crc = _HEADER.unpack(header)
+    return length, crc
+
+
+def decode_frame_payload(payload: bytes, expected_crc: int) -> Any:
+    """CRC-verify and decode one frame payload read off a stream."""
+    if zlib.crc32(payload) != expected_crc:
+        raise WalError("frame CRC mismatch")
+    try:
+        return _loads(payload)
+    except ValueError as exc:
+        raise WalError(f"undecodable frame payload: {exc}") from exc
 
 
 class WriteAheadLog:

@@ -206,6 +206,51 @@ class DeviceFleet(Resource):
             ),
         }
 
+    # -- state transport (cluster migration) -------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "devices": [
+                {
+                    "device_id": d.device_id,
+                    "sensors": list(d.sensors),
+                    "seed": d.seed,
+                    "battery": d.battery,
+                    "participating": d.participating,
+                    "samples_taken": d.samples_taken,
+                    "region": d.region,
+                    "active_tasks": {
+                        task: dict(spec) for task, spec in d.active_tasks.items()
+                    },
+                }
+                for d in self.devices.values()
+            ],
+            "seed": self._seed,
+            "op_count": self.op_count,
+            "op_log": list(self.op_log),
+        }
+
+    def import_state(self, doc: dict[str, Any]) -> None:
+        self.devices = {
+            entry["device_id"]: SensingDevice(
+                device_id=entry["device_id"],
+                sensors=tuple(entry.get("sensors", ())),
+                seed=int(entry.get("seed", 0)),
+                battery=float(entry.get("battery", 100.0)),
+                participating=bool(entry.get("participating", True)),
+                samples_taken=int(entry.get("samples_taken", 0)),
+                region=entry.get("region", "center"),
+                active_tasks={
+                    task: dict(spec)
+                    for task, spec in entry.get("active_tasks", {}).items()
+                },
+            )
+            for entry in doc.get("devices", [])
+        }
+        self._seed = int(doc.get("seed", self._seed))
+        self.op_count = int(doc.get("op_count", 0))
+        self.op_log = list(doc.get("op_log", []))
+
     # -- churn driving (bench/test API) ------------------------------------------
 
     def drain_battery(self, device: str, amount: float) -> None:

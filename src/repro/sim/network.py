@@ -16,7 +16,6 @@ handling is honest.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -98,9 +97,11 @@ class CommService(Resource):
         self.op_log: list[str] = []
         # Per-instance id sequences: two services (or two benchmark
         # runs in one process) must mint identical, replayable
-        # session/stream ids for golden-trace comparisons.
-        self._session_seq = itertools.count(1)
-        self._stream_seq = itertools.count(1)
+        # session/stream ids for golden-trace comparisons.  Plain ints
+        # (not itertools.count) so state export can ship them to a
+        # reincarnated service on another process.
+        self._session_seq = 1
+        self._stream_seq = 1
 
     # -- Resource contract ---------------------------------------------
 
@@ -126,7 +127,8 @@ class CommService(Resource):
     # -- session lifecycle --------------------------------------------------
 
     def op_open_session(self, initiator: str, parties: list[str] | None = None) -> str:
-        session_id = f"sess-{next(self._session_seq)}"
+        session_id = f"sess-{self._session_seq}"
+        self._session_seq += 1
         session = Session(session_id=session_id, initiator=initiator)
         session.parties.add(initiator)
         for party in parties or []:
@@ -177,7 +179,8 @@ class CommService(Resource):
             raise NetworkError(f"unknown medium {medium!r}")
         if quality not in self.QUALITIES:
             raise NetworkError(f"unknown quality {quality!r}")
-        stream_id = f"stream-{next(self._stream_seq)}"
+        stream_id = f"stream-{self._stream_seq}"
+        self._stream_seq += 1
         found.streams[stream_id] = MediaStream(
             stream_id=stream_id, medium=medium, quality=quality
         )
@@ -228,6 +231,61 @@ class CommService(Resource):
         found.state = "active"
         self.notify("session_recovered", session=session)
         return True
+
+    # -- state transport (cluster migration) -----------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """Serialize full service state (JSON-safe) for cross-process
+        transport.  Includes the op_log and id sequences so a restored
+        service continues the golden trace exactly where it left off."""
+        return {
+            "sessions": [
+                {
+                    "session_id": s.session_id,
+                    "initiator": s.initiator,
+                    "parties": sorted(s.parties),
+                    "state": s.state,
+                    "streams": [
+                        {
+                            "stream_id": m.stream_id,
+                            "medium": m.medium,
+                            "quality": m.quality,
+                            "open": m.open,
+                            "bytes_sent": m.bytes_sent,
+                        }
+                        for m in s.streams.values()
+                    ],
+                }
+                for s in self.sessions.values()
+            ],
+            "session_seq": self._session_seq,
+            "stream_seq": self._stream_seq,
+            "op_count": self.op_count,
+            "op_log": list(self.op_log),
+        }
+
+    def import_state(self, doc: dict[str, Any]) -> None:
+        self.sessions = {}
+        for entry in doc.get("sessions", []):
+            session = Session(
+                session_id=entry["session_id"],
+                initiator=entry["initiator"],
+                parties=set(entry.get("parties", [])),
+                state=entry.get("state", "active"),
+            )
+            for item in entry.get("streams", []):
+                session.streams[item["stream_id"]] = MediaStream(
+                    stream_id=item["stream_id"],
+                    medium=item["medium"],
+                    quality=item.get("quality", "standard"),
+                    open=bool(item.get("open", True)),
+                    bytes_sent=int(item.get("bytes_sent", 0)),
+                )
+            self.sessions[session.session_id] = session
+        self._session_seq = int(doc.get("session_seq", 1))
+        self._stream_seq = int(doc.get("stream_seq", 1))
+        self.op_count = int(doc.get("op_count", 0))
+        self.op_log = list(doc.get("op_log", []))
 
     # -- failure injection (bench/test API) ------------------------------------------
 

@@ -235,6 +235,48 @@ class PlantController(Resource):
             )
         return balance
 
+    # -- state transport (cluster migration) -------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "devices": [
+                {
+                    "device_id": d.device_id,
+                    "kind": d.kind,
+                    "power_rating": d.power_rating,
+                    "mode": d.mode,
+                    "priority": d.priority,
+                    "health": d.health,
+                    "energy": d.energy,
+                }
+                for d in self.devices.values()
+            ],
+            "grid_import_limit": self.grid_import_limit,
+            "tariff": self.tariff,
+            "ticks": self.ticks,
+            "op_count": self.op_count,
+            "op_log": list(self.op_log),
+        }
+
+    def import_state(self, doc: dict[str, Any]) -> None:
+        self.devices = {
+            entry["device_id"]: PowerDevice(
+                device_id=entry["device_id"],
+                kind=entry["kind"],
+                power_rating=float(entry["power_rating"]),
+                mode=entry.get("mode", "off"),
+                priority=int(entry.get("priority", 1)),
+                health=entry.get("health", "ok"),
+                energy=float(entry.get("energy", 0.0)),
+            )
+            for entry in doc.get("devices", [])
+        }
+        self.grid_import_limit = float(doc.get("grid_import_limit", 5000.0))
+        self.tariff = float(doc.get("tariff", 1.0))
+        self.ticks = int(doc.get("ticks", 0))
+        self.op_count = int(doc.get("op_count", 0))
+        self.op_log = list(doc.get("op_log", []))
+
     # -- failure injection (bench/test API) --------------------------------------
 
     def inject_device_failure(self, device: str) -> None:

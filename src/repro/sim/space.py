@@ -229,6 +229,46 @@ class SmartSpace(Resource):
         self.notify(f"announce.{topic}", **payload)
         return len(self.objects)
 
+    # -- state transport (cluster migration) -----------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        return {
+            "objects": [
+                {
+                    "object_id": o.object_id,
+                    "kind": o.kind,
+                    "capabilities": dict(o.capabilities),
+                    "present": o.present,
+                    "installed_scripts": {
+                        trigger: [dict(s) for s in scripts]
+                        for trigger, scripts in o.installed_scripts.items()
+                    },
+                }
+                for o in self.objects.values()
+            ],
+            "op_count": self.op_count,
+            "op_log": list(self.op_log),
+        }
+
+    def import_state(self, doc: dict[str, Any]) -> None:
+        self.objects = {
+            entry["object_id"]: SmartObject(
+                object_id=entry["object_id"],
+                kind=entry.get("kind", "generic"),
+                capabilities=dict(entry.get("capabilities", {})),
+                present=bool(entry.get("present", False)),
+                installed_scripts={
+                    trigger: [dict(s) for s in scripts]
+                    for trigger, scripts in entry.get(
+                        "installed_scripts", {}
+                    ).items()
+                },
+            )
+            for entry in doc.get("objects", [])
+        }
+        self.op_count = int(doc.get("op_count", 0))
+        self.op_log = list(doc.get("op_log", []))
+
     # -- presence driving (bench/test API) ------------------------------------
 
     def object_enters(self, object_id: str) -> None:

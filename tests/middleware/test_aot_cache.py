@@ -1,0 +1,168 @@
+"""Disk-cached AOT modules keyed by DSK_HASH (cluster cold-start path)."""
+
+import pytest
+
+from repro.domains.communication.cml import cml_metamodel
+from repro.domains.communication.cvm import (
+    build_middleware_model,
+    default_context,
+)
+from repro.middleware.loader import DomainKnowledge, load_platform
+from repro.middleware.snapshot import restore_platform
+from repro.middleware.synthesis.aot import build_program
+from repro.modeling.aotgen import (
+    cache_path,
+    dsk_fingerprint,
+    dsk_hash,
+    read_cached_source,
+    write_cached_source,
+)
+from repro.sim.network import CommService
+
+
+def _comm_platform():
+    service = CommService("net0", op_cost=0.0)
+    dsk = DomainKnowledge(dsml=cml_metamodel(), resources=[service])
+    platform = load_platform(build_middleware_model(), dsk)
+    platform.controller.context.update(default_context())
+    return service, dsk, platform
+
+
+def _dsk_parts(platform):
+    return {
+        "rules": platform.synthesis.interpreter._rules,
+        "actions": list(platform.broker.calls._actions),
+        "dsml": platform.dsml,
+    }
+
+
+class TestBuildProgramCache:
+    def test_miss_generates_and_writes(self, tmp_path):
+        _service, _dsk, platform = _comm_platform()
+        try:
+            parts = _dsk_parts(platform)
+            digest = dsk_hash(dsk_fingerprint(**parts))
+            assert read_cached_source(tmp_path, digest) is None
+
+            program = build_program(**parts, cache_dir=str(tmp_path))
+            assert not program.from_cache
+            cached = read_cached_source(tmp_path, digest)
+            assert cached == program.source
+            assert cache_path(tmp_path, digest).name == f"aot-{digest}.py"
+        finally:
+            platform.stop()
+
+    def test_hit_loads_identical_program(self, tmp_path):
+        _service, _dsk, platform = _comm_platform()
+        try:
+            parts = _dsk_parts(platform)
+            cold = build_program(**parts, cache_dir=str(tmp_path))
+            warm = build_program(**parts, cache_dir=str(tmp_path))
+            assert not cold.from_cache
+            assert warm.from_cache
+            assert warm.source == cold.source
+            assert warm.dsk_hash == cold.dsk_hash
+            assert warm.broker_calls.keys() == cold.broker_calls.keys()
+        finally:
+            platform.stop()
+
+    def test_corrupt_entry_regenerated_and_overwritten(self, tmp_path):
+        _service, _dsk, platform = _comm_platform()
+        try:
+            parts = _dsk_parts(platform)
+            digest = dsk_hash(dsk_fingerprint(**parts))
+            write_cached_source(tmp_path, digest, "ABI = 'garbage'\n")
+
+            program = build_program(**parts, cache_dir=str(tmp_path))
+            # Loader validation rejected the entry: regenerated live...
+            assert not program.from_cache
+            # ...and the bad entry was overwritten with the good module.
+            assert read_cached_source(tmp_path, digest) == program.source
+            assert build_program(**parts, cache_dir=str(tmp_path)).from_cache
+        finally:
+            platform.stop()
+
+    def test_tampered_hash_is_a_miss(self, tmp_path):
+        _service, _dsk, platform = _comm_platform()
+        try:
+            parts = _dsk_parts(platform)
+            digest = dsk_hash(dsk_fingerprint(**parts))
+            good = build_program(**parts, cache_dir=str(tmp_path))
+            tampered = good.source.replace(digest, "f" * 64)
+            assert tampered != good.source
+            write_cached_source(tmp_path, digest, tampered)
+            assert not build_program(
+                **parts, cache_dir=str(tmp_path)
+            ).from_cache
+        finally:
+            platform.stop()
+
+
+class TestPlatformCacheWiring:
+    def test_enable_aot_populates_and_reuses_cache(self, tmp_path):
+        _service, _dsk, cold_platform = _comm_platform()
+        try:
+            assert not cold_platform.enable_aot(
+                cache_dir=str(tmp_path)
+            ).from_cache
+        finally:
+            cold_platform.stop()
+
+        _service, _dsk, warm_platform = _comm_platform()
+        try:
+            assert warm_platform.enable_aot(
+                cache_dir=str(tmp_path)
+            ).from_cache
+        finally:
+            warm_platform.stop()
+
+    def test_load_platform_aot_cache_dir(self, tmp_path):
+        service, dsk, seed = _comm_platform()
+        seed.enable_aot(cache_dir=str(tmp_path))
+        seed.stop()
+
+        service = CommService("net0", op_cost=0.0)
+        dsk = DomainKnowledge(dsml=cml_metamodel(), resources=[service])
+        platform = load_platform(
+            build_middleware_model(), dsk,
+            aot=True, aot_cache_dir=str(tmp_path),
+        )
+        try:
+            assert platform.synthesis.interpreter._aot is not None
+            assert platform.synthesis.interpreter._aot.from_cache
+        finally:
+            platform.stop()
+
+    def test_restore_platform_aot_cache_dir(self, tmp_path):
+        service, dsk, platform = _comm_platform()
+        platform.enable_aot(cache_dir=str(tmp_path))
+        platform.broker.call_api("ncb.open_session", connection="c1")
+        snapshot = platform.checkpoint()
+        platform.stop()
+
+        restored = restore_platform(
+            snapshot, dsk, aot=True, aot_cache_dir=str(tmp_path)
+        )
+        try:
+            assert restored.synthesis.interpreter._aot.from_cache
+            assert restored.broker.state.get("session:c1")
+        finally:
+            restored.stop()
+
+
+class TestAotGenCli:
+    def test_cache_dir_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "aot-cache"
+        out = tmp_path / "mod.py"
+        argv = ["aot-gen", "--domain", "communication",
+                "--cache-dir", str(cache), "--output", str(out)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cached as aot-" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hit: aot-" in second
+        assert out.read_text(encoding="utf-8").startswith('"""')
