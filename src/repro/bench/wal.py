@@ -78,17 +78,32 @@ OVERHEAD_GATE_PCT = 5.0
 
 
 def apply_entry(platform: Any, signal: Any) -> Any:
-    """Apply one logged entry signal to a platform (live or replay)."""
+    """Apply one logged entry signal to a platform (live or replay).
+
+    Re-derives the entry's declared cross-session emissions
+    (``doc["emit"]``) after the op applies, exactly as the live fabric
+    does (:meth:`PlatformPool.submit_doc`), so a replayed entry mints
+    the same causal children the fabric routed — and logged — the
+    first time.
+    """
     from repro.modeling.serialize import model_from_dict
 
     doc = signal.payload
     op = doc.get("op")
     if op == "run_model":
         model = model_from_dict(doc["model"], platform.dsml)
-        return platform.run_model(model)
-    if op == "api":
-        return platform.broker.call_api(doc["api"], **doc.get("args", {}))
-    raise ValueError(f"unknown durable entry op {op!r}")
+        value = platform.run_model(model)
+    elif op == "api":
+        value = platform.broker.call_api(doc["api"], **doc.get("args", {}))
+    else:
+        raise ValueError(f"unknown durable entry op {op!r}")
+    emits = doc.get("emit") or ()
+    if emits:
+        from repro.middleware.platform import emit_event
+
+        for spec in emits:
+            emit_event(spec, signal.origin or "", signal)
+    return value
 
 
 class _PlainEntry:

@@ -432,6 +432,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.runtime.trace import TraceRecorder
 
     if args.replay is not None:
+        if getattr(args, "slice", False):
+            return _trace_replay_slice(args)
         return _trace_replay(args)
     with TraceRecorder(limit=args.limit) as recorder:
         _run_quickstart(show_output=args.show_run)
@@ -572,6 +574,164 @@ def _trace_replay(args: argparse.Namespace) -> int:
         return 0
     finally:
         wal.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _trace_replay_slice(args: argparse.Namespace) -> int:
+    """Reassemble one trace's causal slice from the union of per-shard
+    write-ahead logs under ``--replay ROOT``, re-execute its root
+    session, and verify the replay reproduces the logged sub-DAG.
+
+    The slice's root entry names its home session; that session is
+    rebuilt from its shard log's latest checkpoint (domain looked up
+    from the shipped registry) and its tail re-run on a virtual clock
+    under a :class:`TraceRecorder`.  Derived signals re-mint fresh
+    seqs, so the comparison is structural — see
+    :mod:`repro.runtime.walslice`.
+    """
+    import shutil
+    from pathlib import Path
+
+    from repro.bench.migrate import domain_cases
+    from repro.bench.wal import apply_entry
+    from repro.middleware.snapshot import recover_session
+    from repro.runtime import walslice
+    from repro.runtime.clock import VirtualClock
+    from repro.runtime.trace import TraceRecorder
+    from repro.runtime.wal import WriteAheadLog
+
+    root = Path(args.replay)
+    if not root.is_dir():
+        print(f"no log directory at {args.replay!r}", file=sys.stderr)
+        return 2
+    workdir = walslice.staging_dir()
+    try:
+        logs = walslice.stage_logs(root, workdir)
+        if not any(log.frames for log in logs):
+            print(
+                f"no write-ahead frames under {args.replay!r}",
+                file=sys.stderr,
+            )
+            return 2
+        census = walslice.trace_census(logs)
+        if not census:
+            print(f"no logged entries under {args.replay!r}")
+            return 0
+        if args.trace_id is not None:
+            trace_id = args.trace_id
+            if trace_id not in census:
+                print(
+                    f"no trace {trace_id} in these logs; traces: "
+                    f"{sorted(census)}",
+                    file=sys.stderr,
+                )
+                return 2
+        else:
+            multi = [t for t, info in census.items() if info["nodes"] > 1]
+            if len(multi) == 1:
+                trace_id = multi[0]
+            else:
+                print(
+                    f"{len(logs)} log(s) hold {len(census)} trace(s); "
+                    "pick one with --trace-id:"
+                )
+                shown = 0
+                for tid in sorted(
+                    census, key=lambda t: -census[t]["nodes"]
+                ):
+                    info = census[tid]
+                    print(
+                        f"  trace {tid}: {info['nodes']} signal(s) "
+                        f"across {info['logs']} log(s)"
+                    )
+                    shown += 1
+                    if shown >= 20:
+                        print(f"  ... {len(census) - shown} more")
+                        break
+                return 2
+
+        nodes = walslice.collect_slice(logs, trace_id)
+        print(
+            f"causal slice for trace {trace_id}: {len(nodes)} logged "
+            f"signal(s) across {len({n.log for n in nodes})} log(s), "
+            f"{len({n.session for n in nodes})} session(s)\n"
+        )
+        print(walslice.render_slice(nodes))
+        roots = [n for n in nodes if n.parent_seq is None]
+        if not roots:
+            print(
+                "\nslice has no root entry in these logs (home shard "
+                "log missing?); listing only"
+            )
+            return 0
+        session = roots[0].session
+        home = next(
+            log
+            for log in logs
+            if any(
+                doc.get("k") == "entry"
+                and (doc.get("sig") or {}).get("seq") == roots[0].seq
+                for doc in log.frames
+            )
+        )
+        frames = walslice.session_replay_frames(home, session)
+        checkpoints = [d for d in frames if d.get("k") == "checkpoint"]
+        if not checkpoints:
+            print(
+                f"\nno checkpoint for session {session!r} in "
+                f"{home.label} — cannot rebuild a platform; listing only"
+            )
+            return 0
+        domain = str(checkpoints[-1].get("snapshot", {}).get("domain", ""))
+        case = next((c for c in domain_cases() if c.name == domain), None)
+        if case is None:
+            print(
+                f"\nunknown domain {domain!r}; cannot re-execute",
+                file=sys.stderr,
+            )
+            return 2
+        scratch = WriteAheadLog(
+            workdir / "slice-replay", name="slice", fsync=False
+        )
+        for doc in frames:
+            scratch.append(doc, strict=False)
+        dsk = case.knowledge(case.service())
+        print(
+            f"\nre-executing session {session!r} (home log {home.label}) "
+            f"on a fresh {domain!r} platform (virtual clock):"
+        )
+        try:
+            with TraceRecorder(limit=args.limit) as recorder:
+                report = recover_session(
+                    scratch,
+                    session=session,
+                    apply_entry=apply_entry,
+                    dsk=dsk,
+                    clock=VirtualClock(),
+                )
+            report.platform.stop()
+        finally:
+            scratch.close()
+        print(
+            f"  replayed {report.replayed_entries} entries "
+            f"({report.deduplicated} deduplicated), "
+            f"{report.effects_memoized} effects memoized, "
+            f"{len(report.errors)} errors"
+        )
+        verdict = walslice.verify_slice(nodes, recorder.chain_for(trace_id))
+        if verdict.ok:
+            print(
+                f"\nslice reproduced exactly: all {verdict.logged_nodes} "
+                f"logged signal(s) matched structurally "
+                f"({verdict.surplus} unlogged intra-platform "
+                f"derivation(s) alongside)"
+            )
+            return 0
+        print(f"\nslice NOT reproduced ({len(verdict.missing)} mismatches):")
+        for miss in verdict.missing:
+            print(f"  {miss}")
+        return 1
+    finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
 
@@ -949,6 +1109,49 @@ def cmd_bench_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_walfabric(args: argparse.Namespace) -> int:
+    from repro.bench.walfabric import write_bench_json
+
+    results = write_bench_json(args.output, quick=args.quick)
+    print(f"wrote {args.output}")
+    adoption = results["adoption"]
+    print(
+        f"\nstandby adoption: {adoption['victim_sessions']} of "
+        f"{adoption['sessions']} sessions lost with the killed worker, "
+        f"{adoption['adopted_sessions']} adopted onto worker "
+        f"{adoption['adoption_target']} "
+        f"({adoption['replayed_entries']} WAL entries replayed), "
+        f"{adoption['rejected_worker_dead']} typed WORKER_DEAD "
+        f"rejections resubmitted, "
+        f"{adoption['unresolved_futures']} unresolved futures, "
+        f"op_logs identical={adoption['op_logs_identical']}"
+    )
+    e1 = results["e1_pool_overhead"]
+    calibrated = e1["calibrated"]
+    structural = e1["structural"]
+    print(
+        f"durable-pool E1 overhead (calibrated, op_cost="
+        f"{calibrated['op_cost']}): {calibrated['overhead_pct']:.2f}% "
+        f"({calibrated['per_step_overhead_us']:.1f} us/step on "
+        f"{calibrated['bare_ms'] / e1['steps'] * 1000:.0f} us) "
+        f"(gate: <= {e1['gate_pct']}%, met: {e1['meets_gate']})"
+    )
+    print(
+        f"  structural (op_cost=0, diagnostic): "
+        f"{structural['overhead_pct']:.1f}%; fabric end-to-end delta "
+        f"{e1['fabric']['per_step_delta_us']:+.1f} us/step "
+        f"(pair spread {e1['fabric']['pair_spread_us']:.0f} us, "
+        f"diagnostic)"
+    )
+    slices = results["slice_replay"]
+    print(
+        f"causal-slice replay: {slices['traces_checked']} traces "
+        f"({slices['cross_log_traces']} spanning >1 shard log), "
+        f"all reproduced={slices['all_reproduced']}"
+    )
+    return 0
+
+
 # -- argument parsing -----------------------------------------------------
 
 
@@ -1030,6 +1233,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the only one in the log)")
     trace.add_argument("--trace-id", type=int,
                        help="with --replay: print only this causal chain")
+    trace.add_argument("--slice", action="store_true",
+                       help="with --replay: treat WAL_DIR as a fabric root "
+                            "of per-shard logs, reassemble one trace's "
+                            "causal slice from their union, re-execute its "
+                            "root session, and verify the replay reproduces "
+                            "the logged sub-DAG")
 
     bench = sub.add_parser(
         "bench-fabric",
@@ -1139,6 +1348,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="smaller workload, speedup gate report-only "
              "(CI cluster-smoke)",
     )
+
+    bench_walfabric = sub.add_parser(
+        "bench-walfabric",
+        help="run the durable-fabric benchmark (standby adoption, "
+             "durable-pool E1 overhead, causal-slice replay) and write "
+             "BENCH_PR10.json",
+    )
+    bench_walfabric.add_argument("--output", default="BENCH_PR10.json")
+    bench_walfabric.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload, overhead gate report-only "
+             "(CI walfabric-smoke)",
+    )
     return parser
 
 
@@ -1162,6 +1384,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "bench-ingress": cmd_bench_ingress,
     "bench-wal": cmd_bench_wal,
     "bench-cluster": cmd_bench_cluster,
+    "bench-walfabric": cmd_bench_walfabric,
 }
 
 

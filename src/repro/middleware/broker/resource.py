@@ -292,16 +292,28 @@ class ResourceManager:
         fast = self._unguarded.get(resource_name)
         if fast is not None:
             # Confirmed unprotected on a previous invocation and no
-            # protection change since: skip the policy/breaker/journal
-            # lookups entirely.
+            # protection change since: skip the policy/breaker lookups.
+            # The journal check stays in the fast path — ``active``
+            # toggles per entry, so it cannot be cached — but it is one
+            # attribute read when no journal is installed, keeping the
+            # undurable hot path effectively unchanged.
             self.invocations += 1
+            journal = self.effect_journal
+            if journal is not None and journal.active:
+                return journal.around_invoke(
+                    f"{resource_name}.{operation}",
+                    fast.invoke,
+                    operation,
+                    args,
+                )
             return fast.invoke(operation, **args)
         self.invocations += 1
         resource = self.require(resource_name)
         policy = self.fault_policy(resource_name)
         breaker = self._breakers.get(resource_name)
-        journal = self.effect_journal
         if policy is None and breaker is None:
+            self._unguarded[resource_name] = resource
+            journal = self.effect_journal
             if journal is not None and journal.active:
                 return journal.around_invoke(
                     f"{resource_name}.{operation}",
@@ -309,8 +321,6 @@ class ResourceManager:
                     operation,
                     args,
                 )
-            if journal is None:
-                self._unguarded[resource_name] = resource
             # Unprotected fast path: semantics and overhead unchanged.
             return resource.invoke(operation, **args)
         outcome = self._guarded(resource, operation, args, policy, breaker)

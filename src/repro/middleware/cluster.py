@@ -32,6 +32,7 @@ __all__ = [
     "RegistryBackend",
     "default_registry",
     "default_backend",
+    "prewarm_aot_cache",
 ]
 
 
@@ -99,12 +100,27 @@ class RegistryBackend:
     """
 
     def __init__(self, registry: DskRegistry | None = None, *,
-                 aot: bool = False, aot_cache_dir: str | None = None):
+                 aot: bool = False, aot_cache_dir: str | None = None,
+                 durability: Any = None, wal_dir: str | None = None,
+                 checkpoint_every: int = 8):
         self.registry = registry or default_registry()
         self.aot = aot
         self.aot_cache_dir = aot_cache_dir
         self.worker_id = -1
         self.sessions: dict[str, _SessionHost] = {}
+        # Durability (PR 10): a per-worker write-ahead log shared by the
+        # hosted sessions.  ``durability`` accepts a DurabilityPolicy,
+        # "wal"/"off", or None (decided at configure; workers default to
+        # "wal").  Activated by :meth:`configure` (every spawned worker)
+        # or an explicit :meth:`enable_durability`; a bare backend built
+        # for in-process use stays on the undurable hot path.
+        self.durability_spec = durability
+        self.wal_dir = wal_dir
+        self.checkpoint_every = int(checkpoint_every)
+        self.durability: Any = None
+        self._policy: Any = None
+        self._applies: dict[str, int] = {}
+        self._ship_cursor: Any = None
 
     # -- worker hooks ------------------------------------------------------
 
@@ -114,6 +130,44 @@ class RegistryBackend:
             self.aot = bool(options["aot"])
         if options.get("aot_cache_dir"):
             self.aot_cache_dir = str(options["aot_cache_dir"])
+        if options.get("prewarm_aot"):
+            prewarm_aot_cache(self.registry, self.aot_cache_dir)
+            self.aot = True
+        if options.get("wal_dir"):
+            self.wal_dir = str(options["wal_dir"])
+        if "checkpoint_every" in options:
+            self.checkpoint_every = int(options["checkpoint_every"])
+        spec = options.get("durability", self.durability_spec)
+        self.enable_durability(spec)
+
+    def enable_durability(self, spec: Any = None) -> Any:
+        """Open this worker's WAL under ``wal-shard-NN/`` (idempotent)."""
+        from repro.runtime.durability import DurabilityPolicy
+
+        if self.durability is not None:
+            return self.durability
+        policy = DurabilityPolicy.resolve(
+            spec if spec is not None else self.durability_spec
+        )
+        if not policy.enabled:
+            return None
+        if policy.log_root is None and self.wal_dir:
+            policy.log_root = self.wal_dir
+        if policy.checkpoint_every:
+            self.checkpoint_every = int(policy.checkpoint_every)
+        self._policy = policy
+        index = self.worker_id if self.worker_id >= 0 else 0
+        self.durability = policy.open_shard(index, name=f"worker-{index:02d}")
+        return self.durability
+
+    def shutdown(self) -> None:
+        """Worker-exit hook: seal and close the WAL, drop ephemeral roots."""
+        durability, self.durability = self.durability, None
+        if durability is not None:
+            durability.close()
+        if self._policy is not None:
+            self._policy.discard_ephemeral_root()
+            self._policy = None
 
     # -- session lifecycle -------------------------------------------------
 
@@ -136,6 +190,7 @@ class RegistryBackend:
         if platform.broker is not None and not doc.get("autonomic", True):
             platform.broker.autonomic.enabled = False
         self.sessions[session] = _SessionHost(entry, service, dsk, platform)
+        self._checkpoint_session(session)
         return {
             "domain": entry.name,
             "dsk_hash": platform_dsk_hash(platform),
@@ -152,6 +207,28 @@ class RegistryBackend:
 
     def apply(self, session: str, doc: dict) -> Any:
         host = self._host(session)
+        durability = self.durability
+        if durability is None:
+            return self._dispatch(host, doc)
+        # Write-ahead the operation doc as the session's next entry
+        # signal, run it with the session's effect journal installed
+        # (external resource calls are memoized into the seal), and
+        # count toward the periodic full checkpoint.
+        broker = host.platform.broker
+        resources = broker.resources if broker is not None else None
+        value = durability.execute(
+            session, doc,
+            lambda _signal: self._dispatch(host, doc),
+            resources=resources,
+        )
+        count = self._applies.get(session, 0) + 1
+        if self.checkpoint_every and count >= self.checkpoint_every:
+            count = 0
+            durability.checkpoint(session, self._capture_host(host))
+        self._applies[session] = count
+        return value
+
+    def _dispatch(self, host: _SessionHost, doc: dict) -> Any:
         op = doc.get("op")
         if op == "api":
             broker = host.platform.broker
@@ -190,7 +267,9 @@ class RegistryBackend:
         services' exported state — including the op_log, the correctness
         witness — alongside the snapshot.
         """
-        host = self._host(session)
+        return self._capture_host(self._host(session))
+
+    def _capture_host(self, host: _SessionHost) -> dict:
         return {
             "domain": host.entry.name,
             "dsk_hash": platform_dsk_hash(host.platform),
@@ -200,6 +279,15 @@ class RegistryBackend:
                 for resource in host.dsk.resources
             },
         }
+
+    def _checkpoint_session(self, session: str) -> None:
+        """Embed the session's portable capture doc as a WAL checkpoint
+        frame — the base the shipped tail replays on top of."""
+        durability = self.durability
+        if durability is None:
+            return
+        self._applies[session] = 0
+        durability.checkpoint(session, self._capture_host(self._host(session)))
 
     def restore(self, session: str, doc: dict) -> dict:
         from repro.middleware.snapshot import SessionSnapshot, restore_platform
@@ -229,6 +317,7 @@ class RegistryBackend:
                 f"from {shipped!r}, registry rebuilt {live_hash!r}"
             )
         self.sessions[session] = _SessionHost(entry, service, dsk, platform)
+        self._checkpoint_session(session)
         return {"restored": session, "dsk_hash": live_hash,
                 "worker": self.worker_id}
 
@@ -237,13 +326,116 @@ class RegistryBackend:
         host = self.sessions.pop(session, None)
         if host is not None and host.platform.started:
             host.platform.stop()
+        self._forget_durable(session, "dropped")
         return {"dropped": session}
 
     def close(self, session: str) -> dict:
         host = self.sessions.pop(session, None)
         if host is not None and host.platform.started:
             host.platform.stop()
+        self._forget_durable(session, "closed")
         return {"closed": session}
+
+    def _forget_durable(self, session: str, kind: str) -> None:
+        durability = self.durability
+        if durability is None:
+            return
+        durability.log_event(kind, session)
+        durability.forget(session)
+        self._applies.pop(session, None)
+
+    # -- log shipping / adoption -------------------------------------------
+
+    def ship_tail(self) -> list:
+        """WAL frames appended since the last call.
+
+        The worker loop piggybacks these on every reply
+        (``reply["ship"]``), so by the time a caller's future resolves
+        the coordinator's warm copy already holds the op's entry and
+        seal.  Seek-based (:meth:`WriteAheadLog.tail_since`): the
+        cursor pays for new frames only.
+        """
+        durability = self.durability
+        if durability is None:
+            return []
+        cursor, frames = durability.wal.tail_since(self._ship_cursor)
+        self._ship_cursor = cursor
+        return frames
+
+    def adopt(self, session: str, frames: list) -> dict:
+        """Adopt a session lost with its worker, from shipped WAL frames.
+
+        Restores the latest shipped checkpoint (a portable capture doc:
+        snapshot + exported service state + DSK hash), then replays the
+        shipped entry tail *live* through
+        :func:`~repro.middleware.snapshot.recover_session` —
+        ``applied`` frames are deliberately dropped so external effects
+        re-execute against the rebuilt services (the originals died
+        with the worker), while ``(trace_id, seq)`` dedup still
+        squelches double-delivered entries.  Idempotent: adopting an
+        already-open session is a no-op, so a second adoption attempt
+        (coordinator retry, racing supervisors) cannot double-apply.
+        """
+        if session in self.sessions:
+            return {"already": True, "session": session,
+                    "worker": self.worker_id}
+        capture_doc = None
+        tail: list[dict] = []
+        for doc in frames or []:
+            if str(doc.get("session", "")) != session:
+                continue
+            kind = doc.get("k")
+            if kind == "checkpoint" and not doc.get("delta"):
+                capture_doc = doc.get("snapshot")
+                tail = []
+            elif kind == "entry":
+                tail.append(doc)
+        if capture_doc is None:
+            raise ClusterBackendError(
+                f"no shipped checkpoint for session {session!r}; cannot adopt"
+            )
+        self.restore(session, capture_doc)
+        host = self._host(session)
+        replayed = deduplicated = 0
+        errors: list[str] = []
+        if tail:
+            import shutil
+            import tempfile
+
+            from repro.middleware.snapshot import recover_session
+            from repro.runtime.wal import WriteAheadLog
+
+            scratch_dir = tempfile.mkdtemp(prefix="repro-adopt-")
+            try:
+                scratch = WriteAheadLog(scratch_dir, name="adopt",
+                                        fsync=False)
+                for doc in tail:
+                    scratch.append(doc, strict=False)
+                report = recover_session(
+                    scratch,
+                    session=session,
+                    apply_entry=lambda _platform, signal: self._dispatch(
+                        host, signal.payload),
+                    platform=host.platform,
+                )
+                scratch.close()
+                replayed = report.replayed_entries
+                deduplicated = report.deduplicated
+                errors = [f"seq={seq}: {exc}" for seq, exc in report.errors]
+            finally:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
+            broker = host.platform.broker
+            if broker is not None:
+                # recover_session installed a journal bound to the
+                # scratch log; the durable apply path installs the
+                # session's own journal on the next operation.
+                broker.resources.install_effect_journal(None)
+        # Re-base the local log so this worker's shipped copy covers
+        # the adopted state from here on.
+        self._checkpoint_session(session)
+        return {"adopted": session, "worker": self.worker_id,
+                "replayed": replayed, "deduplicated": deduplicated,
+                "errors": errors}
 
     # -- introspection -----------------------------------------------------
 
@@ -257,6 +449,36 @@ class RegistryBackend:
                 for resource in host.dsk.resources
             },
         }
+
+
+def prewarm_aot_cache(registry: DskRegistry,
+                      cache_dir: str | None) -> dict[str, str]:
+    """Generate Tier-3 modules for every registered DSK into ``cache_dir``.
+
+    Run once at cluster boot (coordinator ``warmup`` hook, or per worker
+    via the ``prewarm_aot`` option): each domain's platform is built
+    with the AOT disk cache enabled, which persists the generated module
+    keyed by ``DSK_HASH``, so session opens and cold restores load from
+    disk instead of regenerating.  Returns ``{domain: dsk_hash}``.
+    """
+    from repro.middleware.loader import load_platform
+
+    if not cache_dir:
+        return {}
+    report: dict[str, str] = {}
+    for name in registry.names():
+        entry = registry.get(name)
+        service = entry.service()
+        dsk = entry.knowledge(service)
+        platform = load_platform(
+            entry.middleware(), dsk, aot=True, aot_cache_dir=str(cache_dir)
+        )
+        try:
+            report[name] = platform_dsk_hash(platform)
+        finally:
+            if platform.started:
+                platform.stop()
+    return report
 
 
 def default_registry() -> DskRegistry:

@@ -27,11 +27,37 @@ from repro.modeling.meta import Metamodel
 from repro.modeling.model import Model, MObject
 from repro.modeling.serialize import clone_model, clone_object
 from repro.runtime.clock import Clock, WallClock
+from repro.runtime.durability import DurabilityPolicy
 from repro.runtime.events import EventBus
 from repro.runtime.metrics import MetricsRegistry, default_registry
 from repro.runtime.sharded import Shard, ShardedRuntime
 
-__all__ = ["PlatformError", "Platform", "PlatformPool"]
+__all__ = ["PlatformError", "Platform", "PlatformPool", "emit_event"]
+
+
+def emit_event(spec: dict, key: str, signal: Any = None) -> Any:
+    """Build the :class:`Event` for one ``doc["emit"]`` directive.
+
+    Derived from ``signal`` (the step's write-ahead entry) when given —
+    same ``trace_id``, ``parent_seq`` = the entry's seq — else a fresh
+    trace root.  Shared by the live fabric path
+    (:meth:`PlatformPool.submit_doc`) and the replayer
+    (:func:`repro.bench.wal.apply_entry`), which is what makes a
+    logged emission structurally reproducible under replay.
+    """
+    from repro.runtime.events import Event
+
+    topic = str(spec.get("topic", "session.emit"))
+    payload = dict(spec.get("payload") or {})
+    if signal is None:
+        return Event(topic=topic, payload=payload, origin=key)
+    return Event(
+        topic=topic,
+        payload=payload,
+        origin=key,
+        trace_id=signal.trace_id,
+        parent_seq=signal.seq,
+    )
 
 
 class PlatformError(Exception):
@@ -353,6 +379,24 @@ class Platform:
         )
 
 
+class _CoverAllLog:
+    """Log facade for shard-level checkpoint schedulers: full
+    checkpoints carry ``cover_all`` (one platform snapshot covers every
+    hosted session, so all truncation floors advance); everything else
+    passes through."""
+
+    def __init__(self, wal: Any) -> None:
+        self._wal = wal
+
+    def checkpoint(self, snapshot_doc: Any, **kwargs: Any) -> Any:
+        if not kwargs.get("delta"):
+            kwargs["cover_all"] = True
+        return self._wal.checkpoint(snapshot_doc, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._wal, name)
+
+
 class PlatformPool:
     """A sharded multi-session front door over N platform instances.
 
@@ -386,11 +430,21 @@ class PlatformPool:
         name: str = "pool",
         inline: bool = False,
         batch_size: int = 64,
+        durability: "DurabilityPolicy | str | None" = "wal",
     ) -> None:
         self.name = name
         self.runtime = ShardedRuntime(
             shards, name=name, inline=inline, batch_size=batch_size
         )
+        #: durability by default (PR 10): every shard gets its own
+        #: ``wal-shard-NN/`` write-ahead log under the policy's root
+        #: (an ephemeral directory unless the policy names one) and
+        #: doc-encoded submissions are write-ahead logged with sealed
+        #: effects.  ``durability="off"`` is the escape hatch that
+        #: preserves the undurable hot path byte-for-byte.
+        self.durability = DurabilityPolicy.resolve(durability)
+        if self.durability.enabled:
+            self.runtime.attach_durability(self.durability)
         self.platforms: list[Platform] = [
             factory(shard) for shard in self.runtime.shards
         ]
@@ -401,6 +455,7 @@ class PlatformPool:
         self._apply_doc: "Callable[[Platform, str, dict], Any] | None" = None
         self._remote: dict[str, int] = {}
         self._rebalancer: Any = None
+        self._checkpointers: list[Any] = []
         self.started = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -408,6 +463,12 @@ class PlatformPool:
     def start(self) -> "PlatformPool":
         if self.started:
             return self
+        if (
+            self.durability.enabled
+            and self.runtime.shards[0].durability is None
+        ):
+            # restarted after stop() closed the logs: reopen them.
+            self.runtime.attach_durability(self.durability)
         self.runtime.start()
         for platform in self.platforms:
             platform.start()
@@ -419,9 +480,15 @@ class PlatformPool:
             return self
         if self._rebalancer is not None:
             self._rebalancer.stop()
+        for checkpointer in self._checkpointers:
+            checkpointer.stop()
         self.runtime.stop()
         for platform in self.platforms:
             platform.stop()
+        self.runtime.close_wals()
+        # an auto-created log root holds nothing anyone can find again;
+        # reclaim it (named roots are the caller's to keep).
+        self.durability.discard_ephemeral_root()
         self.started = False
         return self
 
@@ -464,6 +531,14 @@ class PlatformPool:
         worker = self._remote.pop(key, None)
         if worker is not None and self._cluster is not None:
             self._cluster.close_session(key)
+        durability = self.runtime.shard_for(key).durability
+        if durability is not None:
+            # typed close frame, then drop the session from the
+            # truncation floor — a closed session must not pin segments
+            # (nor replay on recovery: recover_session only replays
+            # entry frames, and the close frame marks intent).
+            durability.log_event("closed", key)
+            durability.forget(key)
         return self.runtime.release(key)
 
     # -- ingress (PR 6) ---------------------------------------------------
@@ -501,8 +576,19 @@ class PlatformPool:
         if watch_breakers:
             for platform in self.platforms:
                 tier.watch_bus(platform.bus)
+        if self.durability.enabled:
+            # admission decisions become part of the durable record:
+            # every shed lands as a typed frame in the owning shard's
+            # log, so a post-crash audit can tell "never admitted"
+            # from "admitted and lost".
+            tier.on_shed = self._log_shed
         self._ingress_tiers.append(tier)
         return tier
+
+    def _log_shed(self, key: str, reason: str) -> None:
+        durability = self.runtime.shard_for(key).durability
+        if durability is not None:
+            durability.log_event("shed", key, reason=reason)
 
     # -- cluster routing (PR 9) -------------------------------------------
 
@@ -547,12 +633,46 @@ class PlatformPool:
             return self._cluster.submit(key, doc)
         from repro.runtime.faults import InvocationOutcome
 
-        platform = self.platform_for(key)
+        shard = self.shard_for(key)
+        platform = self.platforms[shard.index]
         apply = self._apply_doc
+        durability = shard.durability
 
-        def run(target: Platform) -> Any:
-            try:
+        if durability is None:
+
+            def run(target: Platform) -> Any:
+                try:
+                    value = apply(target, key, doc)
+                    self._route_emits(key, doc, None)
+                except Exception as exc:  # noqa: BLE001 - typed outcome
+                    return InvocationOutcome(
+                        status=InvocationOutcome.FAILED, label=key,
+                        error=exc, attempts=1, elapsed=0.0,
+                    )
+                return InvocationOutcome(
+                    status=InvocationOutcome.OK, label=key,
+                    value=value, attempts=1, elapsed=0.0,
+                )
+
+            return self.runtime.submit(key, run, platform)
+
+        def run_durable(target: Platform) -> Any:
+            # DurableSession.execute as a fabric default: write-ahead
+            # the entry frame, apply with the session's effect journal
+            # installed on the broker, seal the memoized effects.
+            resources = (
+                target.broker.resources if target.broker is not None else None
+            )
+
+            def applied(signal: Any) -> Any:
                 value = apply(target, key, doc)
+                self._route_emits(key, doc, signal)
+                return value
+
+            try:
+                value = durability.execute(
+                    key, doc, applied, resources=resources
+                )
             except Exception as exc:  # noqa: BLE001 - typed outcome
                 return InvocationOutcome(
                     status=InvocationOutcome.FAILED, label=key,
@@ -563,7 +683,32 @@ class PlatformPool:
                 value=value, attempts=1, elapsed=0.0,
             )
 
-        return self.runtime.submit(key, run, platform)
+        return self.runtime.submit(key, run_durable, platform)
+
+    def _route_emits(self, key: str, doc: dict, signal: Any) -> None:
+        """Route the step's declared cross-session emissions.
+
+        A doc-encoded step may carry ``doc["emit"]``: a list of
+        ``{"topic", "key", "payload"?}`` directives.  After the op
+        applies, each directive becomes an :class:`Event` *causally
+        derived from the step's write-ahead entry signal* (same
+        ``trace_id``, ``parent_seq`` = the entry's seq) and is routed
+        to its target session's shard — where ``route_signal``
+        write-ahead logs it.  One logged trace therefore spans
+        sessions and shards, and because the directive lives in the
+        logged entry doc itself, replaying the entry re-derives the
+        same emission: causal slices are reproducible from the union
+        of per-shard logs (``repro trace --replay ROOT --slice``).
+
+        With durability off there is no entry signal; emissions still
+        route, as fresh trace roots.
+        """
+        emits = doc.get("emit") or ()
+        if not emits:
+            return
+        for spec in emits:
+            event = emit_event(spec, key, signal)
+            self.route_signal(event, key=str(spec.get("key", key)))
 
     def migrate_to_worker(
         self,
@@ -638,6 +783,97 @@ class PlatformPool:
         trigger.start()
         self._rebalancer = trigger
         return trigger
+
+    # -- durable checkpoints + recovery (PR 10) ---------------------------
+
+    def build_checkpoints(
+        self,
+        *,
+        interval: float | None = None,
+        clock: "Clock | None" = None,
+        delta: bool | None = None,
+        full_every: int = 8,
+    ) -> list[Any]:
+        """One :class:`~repro.middleware.snapshot.CheckpointScheduler`
+        per shard platform, writing into that shard's log.
+
+        Each scheduler checkpoints its platform under the *platform's*
+        name with ``cover_all`` — one shard snapshot embeds the state
+        of every session the shard hosts, so all their truncation
+        floors advance together.  ``delta`` (default: the policy's
+        ``delta_checkpoints``) writes dirty-layer deltas between full
+        checkpoints.  On wall clocks drive ticks via
+        :meth:`checkpoint_now`; virtual clocks self-schedule.
+        """
+        if not self.durability.enabled:
+            raise PlatformError(
+                f"pool {self.name!r}: durability is off; no log to "
+                f"checkpoint into"
+            )
+        from repro.middleware.snapshot import CheckpointScheduler
+
+        policy = self.durability
+        use_delta = policy.delta_checkpoints if delta is None else delta
+        period = interval or policy.checkpoint_interval or 1.0
+        schedulers = []
+        for shard, platform in zip(self.runtime.shards, self.platforms):
+            scheduler = CheckpointScheduler(
+                platform,
+                interval=period,
+                clock=clock or shard.clock,
+                wal=_CoverAllLog(shard.durability.wal),
+                session=platform.name,
+                delta=use_delta,
+                full_every=full_every,
+            )
+            schedulers.append(scheduler)
+        self._checkpointers.extend(schedulers)
+        return schedulers
+
+    def checkpoint_now(self, *, timeout: float = 30.0) -> list[Any]:
+        """Tick every shard's checkpoint scheduler on its own thread
+        (the capture quiesce point) and wait for the snapshots."""
+        futures = [
+            self.runtime.shards[index].call(scheduler.tick)
+            for index, scheduler in enumerate(self._checkpointers)
+        ]
+        if self.runtime.inline:
+            self.runtime.drain()
+        return [future.result(timeout=timeout) for future in futures]
+
+    def recover_session(
+        self,
+        key: str,
+        *,
+        apply_entry: "Callable[[Platform, Any], Any]",
+    ) -> Any:
+        """Exactly-once recovery of one session from its shard's log.
+
+        Restores the shard's latest ``cover_all`` checkpoint (if the
+        pool checkpoints) and replays the session's entry tail with
+        memoized effects and ``(trace_id, seq)`` dedup onto the owning
+        shard's platform.  Call on a quiesced or freshly rebuilt pool —
+        typically after :meth:`start` on a pool pointed at the same
+        ``log_root`` a crashed pool was using.
+        """
+        from repro.middleware.snapshot import recover_session
+
+        key = str(key)
+        shard = self.shard_for(key)
+        durability = shard.durability
+        if durability is None:
+            raise PlatformError(
+                f"pool {self.name!r}: durability is off; nothing to "
+                f"recover {key!r} from"
+            )
+        platform = self.platforms[shard.index]
+        return recover_session(
+            durability.wal,
+            session=key,
+            apply_entry=apply_entry,
+            platform=platform,
+            checkpoint_session=platform.name,
+        )
 
     def route_signal(self, signal: Any, *, key: str) -> None:
         """Deliver ``signal`` on the owning shard's bus (batched when

@@ -128,13 +128,32 @@ class SessionSnapshot:
 # -- capture ---------------------------------------------------------------
 
 
-def capture_snapshot(platform: "Platform") -> SessionSnapshot:
+def _layer_digest(doc: dict[str, Any]) -> int:
+    """Order-stable digest of one externalized layer doc."""
+    import zlib
+
+    return zlib.crc32(
+        json.dumps(doc, sort_keys=True, default=repr).encode("utf-8")
+    )
+
+
+def capture_snapshot(
+    platform: "Platform", *, dirty_only: bool = False
+) -> SessionSnapshot:
     """Externalize a platform's full mutable state.
 
     Capture is cheap enough to run on the hot path's shard thread (the
     benchmark gate holds it under 5% of E1 when idle) and must happen
     on that thread under the sharded runtime — the capture itself is
     the quiesce point.
+
+    ``dirty_only=True`` captures a *delta*: only layers whose
+    externalized doc changed since the previous digest baseline on this
+    platform (set by the last ``dirty_only`` capture, or explicitly by
+    a :class:`CheckpointScheduler` after a full checkpoint) are kept in
+    ``layers``.  The envelope (name/domain/middleware model) is always
+    full, so the result folds onto any earlier full snapshot by layer
+    union.
     """
     layers: dict[str, dict[str, Any]] = {}
     if platform.ui is not None:
@@ -145,6 +164,15 @@ def capture_snapshot(platform: "Platform") -> SessionSnapshot:
         layers["controller"] = platform.controller.externalize()
     if platform.broker is not None:
         layers["broker"] = platform.broker.externalize()
+    if dirty_only:
+        digests = {name: _layer_digest(doc) for name, doc in layers.items()}
+        baseline = getattr(platform, "_checkpoint_digests", None) or {}
+        layers = {
+            name: doc
+            for name, doc in layers.items()
+            if baseline.get(name) != digests[name]
+        }
+        platform._checkpoint_digests = digests  # type: ignore[attr-defined]
     return SessionSnapshot(
         name=platform.name,
         domain=platform.domain,
@@ -297,6 +325,8 @@ class CheckpointScheduler:
         wal: Any = None,
         session: str | None = None,
         apply_entry: Callable[[Any, Any], Any] | None = None,
+        delta: bool = False,
+        full_every: int = 8,
     ) -> None:
         if interval <= 0:
             raise ValueError("checkpoint interval must be > 0")
@@ -310,6 +340,15 @@ class CheckpointScheduler:
         self.wal = wal
         self.session = session if session is not None else platform.name
         self.apply_entry = apply_entry
+        #: delta mode (PR 10): between full checkpoints, ticks write
+        #: dirty-layer-only delta frames (no rotation/truncation);
+        #: every ``full_every``-th tick promotes to a full checkpoint
+        #: so the truncation floor keeps advancing.
+        self.delta = bool(delta)
+        self.full_every = max(1, int(full_every))
+        self.delta_checkpoints = 0
+        self.delta_skipped = 0
+        self._ticks_since_full = 0
         self.last_snapshot: SessionSnapshot | None = None
         self.last_recovery: "RecoveryReport | None" = None
         self.checkpoints_taken = 0
@@ -369,11 +408,48 @@ class CheckpointScheduler:
 
     def tick(self) -> SessionSnapshot:
         """Take one checkpoint now (also the manual-drive entry point)."""
+        use_delta = (
+            self.delta
+            and self.last_snapshot is not None
+            and self._ticks_since_full < self.full_every
+        )
+        if use_delta:
+            delta_snapshot = capture_snapshot(self.platform, dirty_only=True)
+            self._ticks_since_full += 1
+            if delta_snapshot.layers and self.wal is not None:
+                self.wal.checkpoint(
+                    delta_snapshot.to_dict(), session=self.session, delta=True
+                )
+                self.delta_checkpoints += 1
+            elif not delta_snapshot.layers:
+                self.delta_skipped += 1
+            # fold onto the last full snapshot so warm supervised
+            # recovery (_on_restarted) still re-applies *every* layer —
+            # a clean layer may have drifted after a crash.
+            assert self.last_snapshot is not None
+            folded = SessionSnapshot(
+                name=delta_snapshot.name,
+                domain=delta_snapshot.domain,
+                middleware_model=delta_snapshot.middleware_model,
+                layers={**self.last_snapshot.layers, **delta_snapshot.layers},
+            )
+            self.last_snapshot = folded
+            self.checkpoints_taken += 1
+            if self.on_checkpoint is not None:
+                self.on_checkpoint(folded)
+            return folded
         snapshot = capture_snapshot(self.platform)
         if self.wal is not None:
             # Durable snapshot-then-truncate: the checkpoint frame
             # records the position it covers and older segments drop.
             self.wal.checkpoint(snapshot.to_dict(), session=self.session)
+        if self.delta:
+            # reset the dirty baseline to this full checkpoint.
+            self.platform._checkpoint_digests = {  # type: ignore[attr-defined]
+                name: _layer_digest(doc)
+                for name, doc in snapshot.layers.items()
+            }
+            self._ticks_since_full = 0
         self.last_snapshot = snapshot
         self.checkpoints_taken += 1
         if self.on_checkpoint is not None:
@@ -441,6 +517,7 @@ def recover_session(
     bus: "EventBus | None" = None,
     clock: "Clock | None" = None,
     metrics: "MetricsRegistry | None" = None,
+    checkpoint_session: str | None = None,
 ) -> RecoveryReport:
     """Restore-latest-snapshot + replay-tail from a write-ahead log.
 
@@ -465,6 +542,13 @@ def recover_session(
     Entries whose replay raises are recorded in ``report.errors`` and
     recovery continues — an entry that failed identically before the
     crash must not wedge the session forever.
+
+    ``checkpoint_session`` names the log session whose checkpoint
+    frames act as this session's restore barrier — the shard-level
+    case (PR 10), where one platform hosts many sessions and the
+    :class:`CheckpointScheduler` checkpoints under the platform's name
+    with ``cover_all``.  Checkpoint frames marked ``covers_all`` are
+    honored regardless.
     """
     from repro.runtime.events import advance_signal_seq
     from repro.runtime.wal import (
@@ -478,12 +562,33 @@ def recover_session(
     effects: dict[int, list[list[Any]]] = {}
     applied: set[int] = set()
     max_seq = 0
+    ckpt_owner = session if checkpoint_session is None else checkpoint_session
     for _position, doc in wal.replay():
-        if str(doc.get("session", "")) != session:
-            continue
         kind = doc.get("k")
+        owner = str(doc.get("session", ""))
         if kind == "checkpoint":
-            checkpoint_doc = doc
+            if owner not in (session, ckpt_owner) and not doc.get(
+                "covers_all"
+            ):
+                continue
+        elif owner != session:
+            continue
+        if kind == "checkpoint":
+            if doc.get("delta"):
+                # Dirty-layer delta: folds onto the latest full
+                # checkpoint by layer union.  A delta with no base
+                # (base truncated away, or an imported partial tail) is
+                # skipped — the entries it covered are still in the
+                # scan and will replay instead.
+                if checkpoint_doc is None:
+                    continue
+                base = dict(checkpoint_doc["snapshot"])
+                merged = dict(base.get("layers", {}))
+                merged.update(doc["snapshot"].get("layers", {}))
+                base["layers"] = merged
+                checkpoint_doc = {**checkpoint_doc, "snapshot": base}
+            else:
+                checkpoint_doc = doc
             entries.clear()
             effects.clear()
             applied.clear()

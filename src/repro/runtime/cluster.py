@@ -36,18 +36,26 @@ import json
 import multiprocessing
 import os
 import queue
+import shutil
 import socket
+import tempfile
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.runtime.faults import InvocationOutcome
 from repro.runtime.ingress import IngressRejected, IngressTier, ShedReason
-from repro.runtime.sharded import shard_index_for
+from repro.runtime.sharded import (
+    RebalanceTrigger,
+    ShardRebalancer,
+    shard_index_for,
+)
 from repro.runtime.wal import (
     FRAME_HEADER_SIZE,
     WalError,
+    WriteAheadLog,
     decode_frame_header,
     decode_frame_payload,
     encode_frame_doc,
@@ -58,6 +66,8 @@ __all__ = [
     "RemoteWorkerError",
     "ProcessCluster",
     "ClusterFabric",
+    "ClusterRebalancer",
+    "LogShipper",
     "worker_main",
 ]
 
@@ -170,6 +180,12 @@ def worker_main(worker_id: int, port: int, token: str, backend_spec: str,
                 reply["value"] = backend.close(session)
             elif op == "describe":
                 reply["value"] = backend.describe(session)
+            elif op == "adopt":
+                adopt = getattr(backend, "adopt", None)
+                if adopt is None:
+                    raise ClusterError(
+                        "backend does not support session adoption")
+                reply["value"] = adopt(session, frame.get("frames") or [])
             elif op == "ping":
                 reply["value"] = {"pong": True, "worker": worker_id,
                                   "pid": os.getpid()}
@@ -180,6 +196,18 @@ def worker_main(worker_id: int, port: int, token: str, backend_spec: str,
         except BaseException as exc:  # workload errors never kill the worker
             reply = {"k": "res", "id": frame.get("id"), "ok": False,
                      "error": {"type": type(exc).__name__, "message": str(exc)}}
+        # Log shipping (PR 10): piggyback the backend's new WAL frames
+        # on this reply.  The entry for this very op was write-aheaded
+        # before its effects ran and sealed after, so a resolved future
+        # implies its frames are in the coordinator's warm copy.
+        ship = getattr(backend, "ship_tail", None)
+        if ship is not None:
+            try:
+                frames = ship()
+            except Exception:
+                frames = []
+            if frames:
+                reply["ship"] = frames
         reply["backlog"] = inbox.qsize()
         with send_lock:
             try:
@@ -188,6 +216,12 @@ def worker_main(worker_id: int, port: int, token: str, backend_spec: str,
                 break
         if op == "stop":
             break
+    shutdown = getattr(backend, "shutdown", None)
+    if shutdown is not None:
+        try:
+            shutdown()
+        except Exception:
+            pass
     try:
         sock.close()
     except OSError:
@@ -295,6 +329,17 @@ class _WorkerHandle:
                 return
             self.reported_backlog = int(frame.get("backlog", 0))
             entry = self._pending.pop(frame.get("id"), None)
+        ship = frame.get("ship")
+        if ship:
+            # Append to the warm copy *before* resolving the future:
+            # once a caller observes an op's outcome, the op's WAL
+            # frames are already adoptable.
+            shipper = self.cluster.shipper
+            if shipper is not None:
+                try:
+                    shipper.receive(self.index, ship)
+                except Exception:
+                    pass
         if entry is None:
             return
         session, started, future = entry
@@ -341,6 +386,119 @@ class _WorkerHandle:
 
 
 # ---------------------------------------------------------------------------
+# Log shipping / standby adoption
+# ---------------------------------------------------------------------------
+
+
+class LogShipper:
+    """Warm standby copies of each worker's write-ahead log (PR 10).
+
+    Durable workers piggyback their freshly appended WAL frames on
+    every reply (``reply["ship"]``); the coordinator lands them here in
+    one standby :class:`WriteAheadLog` per worker — same CRC frame
+    protocol end to end — *before* the caller's future resolves.  On
+    ``WORKER_DEAD``, :meth:`adopt` replays each lost session's shipped
+    tail (latest checkpoint frame + later entries) into a surviving
+    worker through the backend's idempotent ``adopt`` op, re-pointing
+    the coordinator's routes.  Operations that died unshipped were also
+    unacknowledged — their futures resolved REJECTED — so the caller's
+    resubmit keeps delivery exactly-once.
+    """
+
+    def __init__(self, cluster: "ProcessCluster",
+                 directory: "str | os.PathLike | None" = None, *,
+                 standby: int | None = None):
+        self.cluster = cluster
+        if directory is None:
+            self._ephemeral: str | None = tempfile.mkdtemp(
+                prefix="repro-ship-")
+            directory = self._ephemeral
+        else:
+            self._ephemeral = None
+        self.directory = Path(directory)
+        self.standby = standby
+        self.frames_received = 0
+        self.adoptions: list[dict] = []
+        self._logs: dict[int, WriteAheadLog] = {}
+        self._lock = threading.Lock()
+
+    def log_for(self, index: int) -> WriteAheadLog:
+        with self._lock:
+            log = self._logs.get(index)
+            if log is None:
+                log = self._logs[index] = WriteAheadLog(
+                    self.directory / f"ship-w{index:02d}",
+                    name=f"ship-w{index:02d}",
+                    fsync=False,
+                )
+            return log
+
+    def receive(self, index: int, frames: list) -> None:
+        """Land one reply's shipped frames in worker ``index``'s copy."""
+        log = self.log_for(index)
+        for doc in frames:
+            log.append(doc, strict=False)
+        self.frames_received += len(frames)
+
+    # -- adoption ----------------------------------------------------------
+
+    def adoption_target(self, dead_index: int) -> int | None:
+        """The worker that adopts: the configured standby when it is
+        alive, otherwise the least-loaded surviving worker."""
+        handles = self.cluster.handles
+        if (self.standby is not None and self.standby != dead_index
+                and handles[self.standby].alive):
+            return self.standby
+        alive = [h for h in handles if h.alive and h.index != dead_index]
+        if not alive:
+            return None
+        return min(alive, key=lambda h: (h.depth, h.index)).index
+
+    def adopt(self, dead_index: int, sessions: "set[str] | list[str]", *,
+              timeout: float = 60.0) -> dict:
+        """Adopt every lost session from the dead worker's shipped log."""
+        target = self.adoption_target(dead_index)
+        report: dict = {"worker": dead_index, "target": target,
+                        "sessions": {}}
+        if target is None:
+            report["error"] = "no surviving worker to adopt into"
+            self.adoptions.append(report)
+            return report
+        log = self.log_for(dead_index)
+        handle = self.cluster.handles[target]
+        for key in sorted(sessions):
+            frames = log.export_session(key)
+            if not any(doc.get("k") == "checkpoint" and not doc.get("delta")
+                       for doc in frames):
+                report["sessions"][key] = {"skipped": "no shipped checkpoint"}
+                continue
+            outcome = handle.request(
+                "adopt", key, None, frames=frames).result(timeout)
+            if outcome.status == InvocationOutcome.OK:
+                with self.cluster._lock:
+                    if target == shard_index_for(
+                            key, len(self.cluster.handles)):
+                        self.cluster._routes.pop(key, None)
+                    else:
+                        self.cluster._routes[key] = target
+                handle.sessions.add(key)
+                report["sessions"][key] = outcome.value
+            else:
+                report["sessions"][key] = {"error": str(outcome.error)}
+        self.adoptions.append(report)
+        return report
+
+    def close(self) -> None:
+        with self._lock:
+            logs, self._logs = dict(self._logs), {}
+        for log in logs.values():
+            log.close()
+        if self._ephemeral is not None:
+            shutil.rmtree(self._ephemeral, ignore_errors=True)
+            self._ephemeral = None
+
+
+# ---------------------------------------------------------------------------
 # Coordinator
 # ---------------------------------------------------------------------------
 
@@ -363,7 +521,8 @@ class ProcessCluster:
 
     def __init__(self, workers: int = 2, *, backend: str,
                  name: str = "cluster", options: dict | None = None,
-                 restart: bool = True, start_timeout: float = 60.0):
+                 restart: bool = True, start_timeout: float = 60.0,
+                 warmup=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.name = name
@@ -371,9 +530,12 @@ class ProcessCluster:
         self.options = dict(options or {})
         self.restart = restart
         self.start_timeout = start_timeout
+        self.warmup = warmup  # zero-arg hook run once before spawning
         self.handles = [_WorkerHandle(self, i) for i in range(workers)]
         self.stats_ = _ClusterStats()
         self.on_worker_death = None  # optional callback(index, lost_sessions)
+        self.shipper: LogShipper | None = None
+        self._adoption_event = threading.Event()
         self._routes: dict[str, int] = {}
         self._held: dict[str, list] = {}
         self._lock = threading.Lock()
@@ -386,6 +548,11 @@ class ProcessCluster:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ProcessCluster":
+        if self.warmup is not None:
+            # e.g. repro.middleware.cluster.prewarm_aot_cache: populate
+            # the shared AOT disk cache once, before any worker races
+            # to generate the same modules.
+            self.warmup()
         self._listener = socket.create_server(("127.0.0.1", 0))
         self._port = self._listener.getsockname()[1]
         self._token = f"{self.name}-{os.getpid()}-{id(self):x}"
@@ -460,6 +627,8 @@ class ProcessCluster:
             except OSError:
                 pass
             self._listener = None
+        if self.shipper is not None:
+            self.shipper.close()
 
     def __enter__(self) -> "ProcessCluster":
         return self
@@ -603,6 +772,15 @@ class ProcessCluster:
                 callback(handle.index, lost)
             except Exception:
                 pass
+        shipper = self.shipper
+        if shipper is not None and not self._closed:
+            try:
+                if lost:
+                    shipper.adopt(handle.index, lost)
+            except Exception:
+                pass
+            finally:
+                self._adoption_event.set()
         if self.restart and not self._closed:
             process = handle.process
             if process is not None:
@@ -630,6 +808,31 @@ class ProcessCluster:
     def wait_worker(self, index: int, timeout: float = 30.0) -> bool:
         return self.handles[index].wait_ready(timeout)
 
+    # -- durability / adoption ---------------------------------------------
+
+    def build_shipper(self, directory=None, *,
+                      standby: int | None = None) -> LogShipper:
+        """Attach warm-standby log shipping (idempotent).
+
+        From the next reply on, every durable worker's WAL frames land
+        in a coordinator-held copy; when a worker dies its sessions are
+        adopted onto ``standby`` (or the least-loaded survivor).
+        """
+        if self.shipper is None:
+            self.shipper = LogShipper(self, directory, standby=standby)
+        return self.shipper
+
+    def wait_adoption(self, timeout: float = 30.0) -> dict | None:
+        """Block until the supervisor finished an adoption pass after a
+        worker death; returns its report (None on timeout)."""
+        if not self._adoption_event.wait(timeout):
+            return None
+        self._adoption_event.clear()
+        shipper = self.shipper
+        if shipper is not None and shipper.adoptions:
+            return shipper.adoptions[-1]
+        return None
+
     def stats(self) -> dict:
         return {
             "workers": len(self.handles),
@@ -639,6 +842,8 @@ class ProcessCluster:
             "deaths": self.stats_.deaths,
             "restarts": self.stats_.restarts,
             "lost_sessions": list(self.stats_.lost_sessions),
+            "adoptions": (len(self.shipper.adoptions)
+                          if self.shipper is not None else 0),
             "routes": dict(self._routes),
         }
 
@@ -660,6 +865,101 @@ class ProcessCluster:
             kwargs["clock"] = clock
         return IngressTier(fabric, name=name or f"{self.name}-ingress",
                            **kwargs)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def build_rebalancer(self, *, interval: float = 1.0, clock=None,
+                         queue_weight: float = 1.0, min_moves: int = 1,
+                         imbalance_threshold: float = 1.25,
+                         max_moves: int = 8,
+                         timeout: float = 30.0) -> RebalanceTrigger:
+        """Periodic backlog-driven rebalancing at the coordinator.
+
+        Every tick plans greedy moves from the per-worker backlog
+        frames piggybacked on each reply (``_WorkerHandle.depth``:
+        in-flight requests plus the worker's reported queue) and
+        applies them with cross-process live migration.  Clocks without
+        a timer queue leave the caller driving ``trigger.tick()``.
+        """
+        rebalancer = ClusterRebalancer(
+            self, imbalance_threshold=imbalance_threshold,
+            max_moves=max_moves)
+        return RebalanceTrigger(
+            rebalancer,
+            sessions=lambda: [key for handle in self.handles
+                              for key in list(handle.sessions)],
+            # ClusterRebalancer.apply migrates through the cluster's own
+            # capture/restore protocol; the trigger-level hooks are moot.
+            capture=lambda key: None,
+            restore=lambda key, snapshot: None,
+            clock=clock if clock is not None else time,
+            interval=interval,
+            queue_weight=queue_weight,
+            min_moves=min_moves,
+            timeout=timeout,
+        )
+
+
+class _ClusterShardView:
+    """The sliver of the sharded-runtime surface the greedy planner
+    reads: ``shards`` (for the count) and ``shard_for(key).index``."""
+
+    def __init__(self, cluster: ProcessCluster):
+        self.cluster = cluster
+
+    @property
+    def shards(self):
+        return self.cluster.handles
+
+    def shard_for(self, key: str):
+        return self.cluster.handles[self.cluster.worker_for(key)]
+
+
+class ClusterRebalancer(ShardRebalancer):
+    """Greedy session moves across worker processes.
+
+    Reuses :class:`ShardRebalancer`'s planner, but the load signal is
+    the coordinator's own per-worker depth (pending futures + the
+    backlog every reply frame reports) and the move primitive is
+    :meth:`ProcessCluster.migrate` — quiesce, portable capture,
+    restore, drop — instead of an in-process shard hop.
+    """
+
+    def __init__(self, cluster: ProcessCluster, *,
+                 imbalance_threshold: float = 1.25, max_moves: int = 64):
+        super().__init__(_ClusterShardView(cluster),
+                         imbalance_threshold=imbalance_threshold,
+                         max_moves=max_moves)
+        self.cluster = cluster
+
+    def shard_loads(self) -> list[int]:
+        return [handle.depth for handle in self.cluster.handles]
+
+    def plan_from_metrics(self, sessions, *,
+                          queue_weight: float = 1.0):
+        loads = [float(handle.depth) * queue_weight
+                 for handle in self.cluster.handles]
+        homed: dict[int, list[str]] = {
+            handle.index: [] for handle in self.cluster.handles}
+        for key in sorted(set(sessions)):
+            homed[self.cluster.worker_for(key)].append(key)
+        costs: dict[str, float] = {}
+        for index, keys in homed.items():
+            if not keys:
+                continue
+            share = loads[index] / len(keys)
+            for key in keys:
+                costs[key] = share
+        return self.plan(costs)
+
+    def apply(self, moves, *, capture=None, restore=None,
+              timeout: float = 30.0) -> int:
+        applied = 0
+        for key, to_worker in moves:
+            self.cluster.migrate(key, to_worker, timeout=timeout)
+            applied += 1
+        self.moves_applied += applied
+        return applied
 
 
 # ---------------------------------------------------------------------------

@@ -270,6 +270,11 @@ class IngressTier:
         #: invoked (from any thread) when queued work or shard capacity
         #: appears — the async facade wires this to its wakeup event.
         self.on_work: Callable[[], None] | None = None
+        #: invoked as ``on_shed(key, reason)`` for every shed decision
+        #: (admission rejects and close_session victims) — a durable
+        #: fabric hooks this to land typed shed frames in the owning
+        #: shard's write-ahead log (PR 10).  Must not raise.
+        self.on_shed: Callable[[str, str], None] | None = None
         self.admitted = 0
         self.shed = 0
         self.dispatched = 0
@@ -357,6 +362,9 @@ class IngressTier:
                 self.shed += 1
         if reason is not None:
             self.metrics.count("ingress.shed", reason)
+            on_shed = self.on_shed
+            if on_shed is not None:
+                on_shed(key, reason)
             request.future.set_result(
                 InvocationOutcome(
                     status=InvocationOutcome.REJECTED,
@@ -549,8 +557,11 @@ class IngressTier:
             self.shed += len(victims)
             # The key may still sit in a ready deque; pump() skips keys
             # with no queue, so no further bookkeeping is needed.
+        on_shed = self.on_shed
         for request in victims:
             self.metrics.count("ingress.shed", ShedReason.SESSION_CLOSED)
+            if on_shed is not None:
+                on_shed(key, ShedReason.SESSION_CLOSED)
             request.future.set_result(
                 InvocationOutcome(
                     status=InvocationOutcome.REJECTED,

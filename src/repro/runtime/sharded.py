@@ -112,6 +112,10 @@ class Shard:
         #: ShardedRuntime.attach_wal): fabric-routed signals append
         #: here before dispatch.
         self.wal: Any = None
+        #: optional ShardDurability (see ShardedRuntime.attach_durability):
+        #: the fabric's DurabilityPolicy applied to this shard — owns
+        #: ``wal`` plus the per-session effect journals.
+        self.durability: Any = None
         self.started = False
 
     # -- lifecycle --------------------------------------------------------
@@ -393,9 +397,41 @@ class ShardedRuntime:
             logs.append(shard.wal)
         return logs
 
+    def attach_durability(self, policy: Any = None) -> list[Any]:
+        """Apply a :class:`~repro.runtime.durability.DurabilityPolicy`
+        to every shard (PR 10).
+
+        Each shard gets a :class:`~repro.runtime.durability.ShardDurability`
+        — its own ``wal-shard-NN/`` log under the policy's root plus
+        per-session effect journals — so every hosted session is
+        durable without opting in.  ``shard.wal`` aliases the
+        durability log, which keeps :meth:`route_signal`'s write-ahead
+        of fabric signals on the same per-shard file.  Returns the
+        shard-ordered durability runtimes (empty when the policy is
+        ``"off"``).
+        """
+        from repro.runtime.durability import DurabilityPolicy
+
+        resolved = DurabilityPolicy.resolve(policy)
+        if not resolved.enabled:
+            return []
+        durables = []
+        for shard in self.shards:
+            durability = resolved.open_shard(
+                shard.index, name=f"{self.name}-s{shard.index}"
+            )
+            shard.durability = durability
+            shard.wal = durability.wal
+            durables.append(durability)
+        return durables
+
     def close_wals(self) -> None:
         for shard in self.shards:
-            if shard.wal is not None:
+            if shard.durability is not None:
+                shard.durability.close()
+                shard.durability = None
+                shard.wal = None
+            elif shard.wal is not None:
                 shard.wal.close()
                 shard.wal = None
 
@@ -537,6 +573,20 @@ class ShardedRuntime:
         if self.inline:
             self.drain()
         result = restored.result(timeout=timeout)
+        # 5. durable fabrics hand the session's log tail (latest full
+        # checkpoint + later frames) and truncation floor to the target
+        # shard's log, so recovery after the move needs only the
+        # target's wal — and the source stops pinning segments for a
+        # session it no longer hosts.
+        if (
+            source.durability is not None
+            and target.durability is not None
+            and source.durability is not target.durability
+        ):
+            frames = source.durability.export_session(str(key))
+            if frames:
+                target.durability.import_session(frames, session=str(key))
+            source.durability.forget(str(key))
         self.migrations += 1
         target.metrics.count("fabric.migrations_in", target.name)
         return result
@@ -579,6 +629,10 @@ class ShardedRuntime:
         result = transfer(snapshot)
         with self._routes_lock:
             self._routes.pop(str(key), None)
+        if source.durability is not None:
+            # the session now lives behind a remote log; stop pinning
+            # local segments for it.
+            source.durability.forget(str(key))
         self.migrations += 1
         source.metrics.count("fabric.migrations_out", source.name)
         return result

@@ -318,9 +318,16 @@ class WriteAheadLog:
             kind = doc.get("k")
             session = str(doc.get("session", ""))
             if kind == "checkpoint":
-                self._checkpoint_segment[session] = int(
-                    doc.get("position", [self._segment, 0])[0]
-                )
+                if doc.get("delta"):
+                    # deltas ride on their full base: they must not
+                    # advance the truncation floor past it.
+                    self._active_sessions.add(session)
+                else:
+                    floor = int(doc.get("position", [self._segment, 0])[0])
+                    self._checkpoint_segment[session] = floor
+                    if doc.get("covers_all"):
+                        for active in self._active_sessions:
+                            self._checkpoint_segment[active] = floor
             elif kind == "entry":
                 self._active_sessions.add(session)
 
@@ -497,6 +504,8 @@ class WriteAheadLog:
         *,
         session: str = "",
         truncate: bool = True,
+        delta: bool = False,
+        cover_all: bool = False,
     ) -> WalPosition:
         """Embed a snapshot covering everything logged so far.
 
@@ -506,22 +515,46 @@ class WriteAheadLog:
         by several sessions only drops segments older than the oldest
         session's last checkpoint (a session that never checkpointed
         pins the whole log until it does or is :meth:`forget_session`-ed).
+
+        ``delta=True`` appends an incremental checkpoint in place: no
+        rotation, no floor advance, no truncation.  A delta only holds
+        the layers that changed since the previous checkpoint, so the
+        base (full) checkpoint and the intervening frames must survive
+        for recovery to fold them together.
+
+        ``cover_all=True`` marks this checkpoint as covering *every*
+        session active in the log — the shard-level snapshot case,
+        where one platform snapshot embeds the state of all hosted
+        sessions and their older entry frames are no longer needed for
+        recovery.  Each active session's truncation floor advances to
+        this checkpoint's segment.
         """
+        doc: dict[str, Any] = {
+            "k": "checkpoint",
+            "session": session,
+            "snapshot": snapshot_doc,
+        }
         with self._lock:
-            covers = WalPosition(self._segment, self._offset)
+            if delta:
+                doc["delta"] = True
+                doc["position"] = WalPosition(
+                    self._segment, self._offset
+                ).to_list()
+                position = self._append_locked(doc, strict=True)
+                self._sync_locked()
+                self._active_sessions.add(session)
+                return position
+            if cover_all:
+                doc["covers_all"] = True
+            doc["position"] = WalPosition(self._segment, self._offset).to_list()
             self._rotate_locked()
-            position = self._append_locked(
-                {
-                    "k": "checkpoint",
-                    "session": session,
-                    "position": covers.to_list(),
-                    "snapshot": snapshot_doc,
-                },
-                strict=True,
-            )
+            position = self._append_locked(doc, strict=True)
             self._sync_locked()
             self._checkpoint_segment[session] = position.segment
             self._active_sessions.add(session)
+            if cover_all:
+                for active in self._active_sessions:
+                    self._checkpoint_segment[active] = position.segment
             if truncate:
                 self._truncate_locked()
             return position
@@ -552,6 +585,101 @@ class WriteAheadLog:
         with self._lock:
             self._active_sessions.discard(session)
             self._checkpoint_segment.pop(session, None)
+
+    # -- session hand-off ---------------------------------------------
+
+    def export_session(self, session: str) -> list[dict[str, Any]]:
+        """The session's recovery-relevant tail as raw frame docs.
+
+        Returns the latest *full* checkpoint frame (if any) followed by
+        every later frame of the session — delta checkpoints, entries,
+        seals, events — in log order.  This is exactly what a target
+        shard needs to :meth:`import_session` and recover the session
+        as if it had always lived there; earlier frames are already
+        covered by the checkpoint and stay behind.
+        """
+        frames: list[dict[str, Any]] = []
+        for _position, doc in self.replay():
+            if str(doc.get("session", "")) != session:
+                continue
+            if doc.get("k") == "checkpoint" and not doc.get("delta"):
+                frames = [doc]
+            else:
+                frames.append(doc)
+        return frames
+
+    def import_session(
+        self, frames: list[dict[str, Any]], *, session: str
+    ) -> None:
+        """Adopt an exported tail: append the frames and register the
+        session's truncation floor at this log's current head."""
+        with self._lock:
+            floor_segment: int | None = None
+            for doc in frames:
+                position = self._append_locked(doc, strict=False)
+                if doc.get("k") == "checkpoint" and not doc.get("delta"):
+                    floor_segment = position.segment
+            self._active_sessions.add(session)
+            if floor_segment is not None:
+                self._checkpoint_segment[session] = floor_segment
+            self._sync_locked()
+
+    def tail_since(
+        self, start: WalPosition | None = None
+    ) -> tuple[WalPosition, list[dict[str, Any]]]:
+        """Seek-based tail read for log shipping: every frame appended
+        at/after ``start``, plus the cursor to pass next call.
+
+        Unlike :meth:`replay`, which scans each segment from the top to
+        mint positions, this seeks straight to ``start``'s byte offset,
+        so a per-operation shipping cursor pays O(new frames) rather
+        than O(segment).  Header frames are skipped.  A torn tail ends
+        the read (those bytes ship once the frame completes), and a
+        segment truncated since ``start`` is skipped — its frames are
+        covered by the checkpoint that truncated it, which itself
+        shipped.
+        """
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+            segments = self.segments()
+            end = WalPosition(self._segment, self._offset)
+        docs: list[dict[str, Any]] = []
+        for segment in segments:
+            if segment > end.segment:
+                break
+            if start is not None and segment < start.segment:
+                continue
+            offset = (
+                start.offset
+                if start is not None and segment == start.segment
+                else 0
+            )
+            if segment == end.segment and offset >= end.offset:
+                continue
+            try:
+                handle = open(self._segment_path(segment), "rb")
+            except FileNotFoundError:
+                continue
+            with handle:
+                if offset:
+                    handle.seek(offset)
+                while not (segment == end.segment and offset >= end.offset):
+                    header = handle.read(_HEADER.size)
+                    if len(header) < _HEADER.size:
+                        break
+                    length, crc = _HEADER.unpack(header)
+                    payload = handle.read(length)
+                    if len(payload) < length or zlib.crc32(payload) != crc:
+                        break
+                    offset += _HEADER.size + length
+                    try:
+                        doc = _loads(payload)
+                    except ValueError:
+                        break
+                    if doc.get("k") != "header":
+                        docs.append(doc)
+        return end, docs
 
     # -- reading ------------------------------------------------------
 

@@ -1,0 +1,436 @@
+"""Log shipping and standby adoption under failure (PR 10).
+
+Three layers, cheapest first:
+
+- ``WriteAheadLog.tail_since`` — the seek-based shipping cursor — under
+  rotation and a corrupted shipped segment;
+- ``RegistryBackend.ship_tail`` / ``adopt`` driven entirely in-process,
+  so the failure properties (truncated tails, crash mid-ship, double
+  adoption, duplicate delivery) are deterministic;
+- one real two-process cluster: SIGKILL a worker, standby adopts, the
+  session's op_logs are byte-identical to the pre-kill record.
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.middleware.cluster import (
+    ClusterBackendError,
+    RegistryBackend,
+    default_backend,
+)
+from repro.runtime.durability import DurabilityPolicy
+from repro.runtime.wal import WriteAheadLog
+
+OPEN_DOC = {"domain": "communication", "autonomic": False}
+
+OPS = [
+    {"op": "api", "api": "ncb.open_session", "args": {"connection": "c1"}},
+    {"op": "api", "api": "ncb.add_party",
+     "args": {"connection": "c1", "party": "alice"}},
+    {"op": "api", "api": "ncb.add_party",
+     "args": {"connection": "c1", "party": "bob"}},
+]
+
+
+# ---------------------------------------------------------------------------
+# tail_since: the shipping cursor
+# ---------------------------------------------------------------------------
+
+
+class TestTailSince:
+    def _docs(self, n, start=0):
+        return [{"k": "entry", "session": "s",
+                 "sig": {"kind": "call", "topic": "t", "payload": {"i": i},
+                         "origin": "o", "seq": start + i,
+                         "trace_id": start + i, "parent_seq": None}}
+                for i in range(n)]
+
+    def test_cursor_pays_for_new_frames_only(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="ship", fsync=False)
+        try:
+            for doc in self._docs(3):
+                wal.append(doc)
+            cursor, frames = wal.tail_since(None)
+            assert [f["sig"]["seq"] for f in frames] == [0, 1, 2]
+            assert wal.tail_since(cursor)[1] == []
+            for doc in self._docs(2, start=10):
+                wal.append(doc)
+            cursor, frames = wal.tail_since(cursor)
+            assert [f["sig"]["seq"] for f in frames] == [10, 11]
+        finally:
+            wal.close()
+
+    def test_cursor_crosses_segment_rotation(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, name="ship", fsync=False,
+                            segment_max_bytes=256)
+        try:
+            cursor, _ = wal.tail_since(None)
+            for doc in self._docs(20):
+                wal.append(doc)
+            assert len(wal.segments()) > 1  # rotation actually happened
+            _, frames = wal.tail_since(cursor)
+            assert [f["sig"]["seq"] for f in frames] == list(range(20))
+        finally:
+            wal.close()
+
+    def test_corrupt_shipped_segment_ends_read_cleanly(self, tmp_path):
+        """A flipped byte mid-segment stops the tail read at the last
+        intact frame — no exception, no garbage frames shipped."""
+        wal = WriteAheadLog(tmp_path, name="ship", fsync=False)
+        try:
+            positions = [wal.append(doc) for doc in self._docs(3)]
+            wal.sync()
+            path = tmp_path / f"ship-{positions[-1].segment:08d}.log"
+            with open(path, "r+b") as handle:
+                handle.seek(positions[-1].offset + 8)  # inside last frame
+                handle.write(b"\xff")
+            _, frames = wal.tail_since(None)
+            assert [f["sig"]["seq"] for f in frames] == [0, 1]
+        finally:
+            wal.close()
+
+
+# ---------------------------------------------------------------------------
+# RegistryBackend ship/adopt, in-process
+# ---------------------------------------------------------------------------
+
+
+def _durable_backend(tmp_path, worker_id, **policy_kwargs):
+    policy = DurabilityPolicy(
+        mode="wal", log_root=str(tmp_path / f"wal-{worker_id}"),
+        fsync=False, **policy_kwargs,
+    )
+    backend = RegistryBackend(durability=policy)
+    backend.worker_id = worker_id
+    backend.enable_durability()
+    return backend
+
+
+@pytest.fixture()
+def shipped(tmp_path):
+    """A source backend with one session worked and shipped, an empty
+    adopter, and the golden op_logs the adopter must reproduce."""
+    source = _durable_backend(tmp_path, 0)
+    adopter = _durable_backend(tmp_path, 1)
+    try:
+        source.open("s1", OPEN_DOC)
+        frames = source.ship_tail()
+        for doc in OPS:
+            source.apply("s1", doc)
+        frames += source.ship_tail()
+        golden = source.describe("s1")["op_logs"]
+        yield SimpleNamespace(source=source, adopter=adopter,
+                              frames=frames, golden=golden)
+    finally:
+        for backend in (source, adopter):
+            for session in list(backend.sessions):
+                backend.close(session)
+            backend.shutdown()
+
+
+class TestShipAdopt:
+    def test_adoption_reproduces_op_logs_exactly(self, shipped):
+        report = shipped.adopter.adopt("s1", shipped.frames)
+        assert report["adopted"] == "s1"
+        assert report["replayed"] == len(OPS)
+        assert report["errors"] == []
+        assert shipped.adopter.describe("s1")["op_logs"] == shipped.golden
+
+    def test_ship_cursor_is_incremental(self, shipped):
+        assert shipped.frames  # the worked tail shipped something
+        assert shipped.source.ship_tail() == []  # nothing new since
+        shipped.source.apply("s1", OPS[1])
+        tail = shipped.source.ship_tail()
+        kinds = [doc["k"] for doc in tail]
+        assert "entry" in kinds and "applied" in kinds
+        assert all(doc["session"] == "s1" for doc in tail)
+
+    def test_double_adoption_is_a_noop(self, shipped):
+        shipped.adopter.adopt("s1", shipped.frames)
+        again = shipped.adopter.adopt("s1", shipped.frames)
+        assert again == {"already": True, "session": "s1", "worker": 1}
+        assert shipped.adopter.describe("s1")["op_logs"] == shipped.golden
+
+    def test_truncated_tail_adopts_the_shipped_prefix(self, shipped):
+        """Crash mid-ship: the coordinator holds a prefix of the tail.
+        Adoption replays what shipped; resubmitting the lost suffix
+        converges on the golden record (exactly-once end to end)."""
+        frames = list(shipped.frames)
+        dropped = []
+        while frames and frames[-1]["k"] in ("entry", "applied"):
+            dropped.append(frames.pop())
+        lost_entries = [doc for doc in reversed(dropped)
+                        if doc["k"] == "entry"]
+        assert lost_entries  # the cut actually lost work
+        report = shipped.adopter.adopt("s1", frames)
+        assert report["replayed"] == len(OPS) - len(lost_entries)
+        for doc in lost_entries:
+            shipped.adopter.apply("s1", doc["sig"]["payload"])
+        assert shipped.adopter.describe("s1")["op_logs"] == shipped.golden
+
+    def test_unsealed_entry_replays_live(self, shipped):
+        """The tail ends with an entry whose seal never shipped: the
+        op was write-ahead logged but unacknowledged.  Adoption re-runs
+        it against the rebuilt services, landing on the golden record."""
+        frames = list(shipped.frames)
+        assert frames[-1]["k"] == "applied"
+        frames.pop()  # entry now unsealed
+        report = shipped.adopter.adopt("s1", frames)
+        assert report["replayed"] == len(OPS)
+        assert report["errors"] == []
+        assert shipped.adopter.describe("s1")["op_logs"] == shipped.golden
+
+    def test_duplicate_frames_deduplicated(self, shipped):
+        """Log shipping can double-deliver (retry after a lost ack);
+        ``(trace_id, seq)`` dedup keeps replay exactly-once."""
+        entries = [doc for doc in shipped.frames if doc["k"] == "entry"]
+        report = shipped.adopter.adopt("s1", shipped.frames + entries)
+        assert report["deduplicated"] == len(entries)
+        assert shipped.adopter.describe("s1")["op_logs"] == shipped.golden
+
+    def test_adopt_without_checkpoint_refused(self, shipped):
+        tail_only = [doc for doc in shipped.frames
+                     if doc["k"] != "checkpoint"]
+        with pytest.raises(ClusterBackendError, match="no shipped checkpoint"):
+            shipped.adopter.adopt("s1", tail_only)
+
+    def test_adopt_ignores_other_sessions_frames(self, shipped):
+        noise = [{"k": "entry", "session": "other",
+                  "sig": {"kind": "call", "topic": "t", "payload": OPS[0],
+                          "origin": "o", "seq": 999, "trace_id": 999,
+                          "parent_seq": None}}]
+        report = shipped.adopter.adopt("s1", noise + shipped.frames)
+        assert report["replayed"] == len(OPS)
+        assert "other" not in shipped.adopter.sessions
+
+    def test_adoption_rebases_the_local_log(self, shipped):
+        """Adopt re-checkpoints into the adopter's own WAL, so the
+        adopter's shipped copy covers the session from here on."""
+        shipped.adopter.adopt("s1", shipped.frames)
+        tail = shipped.adopter.ship_tail()
+        assert any(doc["k"] == "checkpoint" and doc["session"] == "s1"
+                   for doc in tail)
+
+
+class TestBackendDurabilityModes:
+    def test_off_keeps_the_undurable_path(self):
+        backend = RegistryBackend(durability="off")
+        backend.configure(0, {})
+        assert backend.durability is None
+        backend.open("s1", OPEN_DOC)
+        try:
+            for doc in OPS:
+                backend.apply("s1", doc)
+            assert backend.ship_tail() == []
+        finally:
+            backend.close("s1")
+
+    def test_durable_and_undurable_records_match(self, tmp_path):
+        durable = _durable_backend(tmp_path, 0)
+        bare = RegistryBackend(durability="off")
+        bare.configure(0, {})
+        try:
+            for backend in (durable, bare):
+                backend.open("s1", OPEN_DOC)
+                for doc in OPS:
+                    backend.apply("s1", doc)
+            assert (durable.describe("s1")["op_logs"]
+                    == bare.describe("s1")["op_logs"])
+        finally:
+            for backend in (durable, bare):
+                backend.close("s1")
+            durable.shutdown()
+
+    def test_periodic_checkpoint_honors_checkpoint_every(self, tmp_path):
+        backend = _durable_backend(tmp_path, 0, checkpoint_every=2)
+        assert backend.checkpoint_every == 2
+        backend.open("s1", OPEN_DOC)
+        try:
+            backend.ship_tail()
+            for doc in OPS:  # 3 ops -> one periodic checkpoint at op 2
+                backend.apply("s1", doc)
+            tail = backend.ship_tail()
+            checkpoints = [doc for doc in tail if doc["k"] == "checkpoint"]
+            assert len(checkpoints) == 1
+        finally:
+            backend.close("s1")
+            backend.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# LogShipper: standby copies and adoption targeting
+# ---------------------------------------------------------------------------
+
+
+def _fake_cluster(*handles):
+    return SimpleNamespace(
+        handles=[SimpleNamespace(index=i, alive=alive, depth=depth,
+                                 sessions=set())
+                 for i, (alive, depth) in enumerate(handles)],
+        _lock=threading.Lock(),
+        _routes={},
+    )
+
+
+class TestLogShipper:
+    def test_receive_lands_frames_in_per_worker_logs(self, tmp_path):
+        from repro.runtime.cluster import LogShipper
+
+        shipper = LogShipper(_fake_cluster((True, 0), (True, 0)),
+                             tmp_path / "ship")
+        try:
+            checkpoint = {"k": "checkpoint", "session": "s1",
+                          "snapshot": {"domain": "d"}}
+            entry = {"k": "entry", "session": "s1",
+                     "sig": {"kind": "call", "topic": "t", "payload": {},
+                             "origin": "o", "seq": 1, "trace_id": 1,
+                             "parent_seq": None}}
+            shipper.receive(0, [checkpoint, entry])
+            shipper.receive(1, [checkpoint])
+            assert shipper.frames_received == 3
+            exported = shipper.log_for(0).export_session("s1")
+            assert [doc["k"] for doc in exported] == ["checkpoint", "entry"]
+            assert len(shipper.log_for(1).export_session("s1")) == 1
+        finally:
+            shipper.close()
+
+    def test_adoption_target_prefers_live_standby(self, tmp_path):
+        from repro.runtime.cluster import LogShipper
+
+        cluster = _fake_cluster((True, 9), (True, 0), (True, 3))
+        shipper = LogShipper(cluster, tmp_path, standby=0)
+        assert shipper.adoption_target(dead_index=2) == 0
+        assert shipper.adoption_target(dead_index=0) == 1  # least loaded
+        shipper.close()
+
+    def test_adoption_target_falls_back_when_standby_dead(self, tmp_path):
+        from repro.runtime.cluster import LogShipper
+
+        cluster = _fake_cluster((False, 0), (True, 5), (True, 2))
+        shipper = LogShipper(cluster, tmp_path, standby=0)
+        assert shipper.adoption_target(dead_index=1) == 2
+        shipper.close()
+
+    def test_no_survivor_reports_error(self, tmp_path):
+        from repro.runtime.cluster import LogShipper
+
+        cluster = _fake_cluster((True, 0), (False, 0))
+        shipper = LogShipper(cluster, tmp_path)
+        report = shipper.adopt(0, {"s1"})
+        assert report["error"] == "no surviving worker to adopt into"
+        assert shipper.adoptions == [report]
+        shipper.close()
+
+    def test_ephemeral_directory_reclaimed_on_close(self):
+        from repro.runtime.cluster import LogShipper
+
+        shipper = LogShipper(_fake_cluster((True, 0)))
+        directory = shipper.directory
+        shipper.receive(0, [{"k": "entry", "session": "s",
+                             "sig": {"kind": "call", "topic": "t",
+                                     "payload": {}, "origin": "o", "seq": 1,
+                                     "trace_id": 1, "parent_seq": None}}])
+        assert directory.exists()
+        shipper.close()
+        assert not directory.exists()
+
+
+# ---------------------------------------------------------------------------
+# ClusterRebalancer: planning from coordinator depth frames
+# ---------------------------------------------------------------------------
+
+
+class TestClusterRebalancerPlanning:
+    def test_plan_spreads_hot_worker(self):
+        from repro.runtime.cluster import ClusterRebalancer
+
+        cluster = _fake_cluster((True, 4), (True, 0))
+        cluster.worker_for = lambda key: 0  # everything homed hot
+        rebalancer = ClusterRebalancer(cluster)
+        moves = rebalancer.plan_from_metrics(["a", "b"])
+        assert moves  # hot worker sheds to the idle one
+        assert all(target == 1 for _key, target in moves)
+
+    def test_balanced_fleet_plans_nothing(self):
+        from repro.runtime.cluster import ClusterRebalancer
+
+        cluster = _fake_cluster((True, 2), (True, 2))
+        cluster.worker_for = lambda key: {"a": 0, "b": 1}[key]
+        rebalancer = ClusterRebalancer(cluster)
+        assert rebalancer.plan_from_metrics(["a", "b"]) == []
+
+    def test_shard_loads_reads_handle_depth(self):
+        from repro.runtime.cluster import ClusterRebalancer
+
+        cluster = _fake_cluster((True, 3), (True, 1))
+        assert ClusterRebalancer(cluster).shard_loads() == [3, 1]
+
+    def test_build_rebalancer_wires_a_trigger(self):
+        from repro.runtime.cluster import ClusterRebalancer, ProcessCluster
+        from repro.runtime.sharded import RebalanceTrigger
+
+        cluster = ProcessCluster(
+            2, backend="repro.middleware.cluster:default_backend",
+            name="plan-only",
+        )  # never started: planning wiring only
+        trigger = cluster.build_rebalancer(interval=2.0, min_moves=3)
+        assert isinstance(trigger, RebalanceTrigger)
+        assert isinstance(trigger.rebalancer, ClusterRebalancer)
+        assert trigger.rebalancer.cluster is cluster
+        assert trigger.interval == 2.0
+        assert trigger.min_moves == 3
+
+
+# ---------------------------------------------------------------------------
+# End to end: SIGKILL a worker, the standby adopts
+# ---------------------------------------------------------------------------
+
+
+class TestStandbyAdoptionEndToEnd:
+    def test_killed_workers_sessions_adopted_byte_identical(self):
+        from repro.runtime.cluster import ProcessCluster
+
+        cluster = ProcessCluster(
+            2, backend="repro.middleware.cluster:default_backend",
+            name="ship-e2e",
+        )
+        cluster.build_shipper()
+        cluster.start()
+        try:
+            keys = []
+            index = 0
+            while len({cluster.worker_for(k) for k in keys}) < 2:
+                key = f"ship-{index:03d}"
+                index += 1
+                if cluster.worker_for(key) not in {
+                    cluster.worker_for(k) for k in keys
+                }:
+                    keys.append(key)
+            for key in keys:
+                cluster.open_session(key, OPEN_DOC).result(60)
+                for doc in OPS:
+                    cluster.call(key, doc, timeout=60)
+            victim = cluster.worker_for(keys[0])
+            survivor_key = keys[1]
+            golden = cluster.describe(keys[0])["op_logs"]
+            cluster.kill_worker(victim)
+            report = cluster.wait_adoption(60)
+            assert report is not None
+            row = report["sessions"][keys[0]]
+            assert row.get("adopted") == keys[0]
+            assert row["errors"] == []
+            # lost session: state reproduced exactly on the survivor
+            assert cluster.describe(keys[0])["op_logs"] == golden
+            # both sessions still serve operations after the failover
+            for key in (keys[0], survivor_key):
+                cluster.call(key, {"op": "api", "api": "ncb.add_party",
+                                   "args": {"connection": "c1",
+                                            "party": "carol"}}, timeout=60)
+            stats = cluster.stats()
+            assert stats["deaths"] == 1
+            assert stats["adoptions"] == 1
+        finally:
+            cluster.stop()
